@@ -1,0 +1,61 @@
+//! Criterion bench behind Figure 11: the X-Map pipeline fit (the offline job whose
+//! scalability the paper measures) and the cluster-simulator speedup computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmap_bench::{amazon_like, Scale};
+use xmap_cf::DomainId;
+use xmap_core::{XMapConfig, XMapMode, XMapPipeline};
+use xmap_engine::{ClusterCostModel, ClusterSim};
+
+fn bench_pipeline_fit(c: &mut Criterion) {
+    let ds = amazon_like(Scale::Quick);
+    let mut group = c.benchmark_group("fig11_pipeline_fit");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            b.iter(|| {
+                XMapPipeline::fit(
+                    &ds.matrix,
+                    DomainId::SOURCE,
+                    DomainId::TARGET,
+                    XMapConfig {
+                        mode: XMapMode::NxMapItemBased,
+                        k: 20,
+                        workers,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_sim(c: &mut Criterion) {
+    let ds = amazon_like(Scale::Quick);
+    let model = XMapPipeline::fit(
+        &ds.matrix,
+        DomainId::SOURCE,
+        DomainId::TARGET,
+        XMapConfig {
+            mode: XMapMode::NxMapItemBased,
+            k: 20,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sim = ClusterSim::new(
+        model.stats().extension_task_costs.clone(),
+        ClusterCostModel::xmap_like(),
+    );
+    let machines: Vec<usize> = (4..=20).collect();
+    let mut group = c.benchmark_group("fig11_cluster_sim");
+    group.bench_function("speedup_curve_4_to_20_machines", |b| {
+        b.iter(|| sim.speedup_curve(&machines, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_fit, bench_cluster_sim);
+criterion_main!(benches);

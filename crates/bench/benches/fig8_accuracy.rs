@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 8: end-to-end accuracy runs (fit + cold-start
+//! prediction) for the X-Map variants and the linked-domain baseline at k = 20.
+//!
+//! The wall-clock numbers here are the per-system costs of regenerating one point of
+//! Figure 8; the MAE values themselves are produced by the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmap_bench::experiments::{evaluate_baseline, evaluate_xmap, harness_split, Direction};
+use xmap_bench::Scale;
+use xmap_core::{XMapConfig, XMapMode};
+
+fn bench_fig8(c: &mut Criterion) {
+    let (_, split, source, target) = harness_split(Scale::Quick, Direction::MovieToBook);
+    let mut group = c.benchmark_group("fig8_accuracy");
+    group.sample_size(10);
+
+    for mode in [
+        XMapMode::NxMapItemBased,
+        XMapMode::NxMapUserBased,
+        XMapMode::XMapItemBased,
+        XMapMode::XMapUserBased,
+    ] {
+        group.bench_with_input(BenchmarkId::new("xmap", mode.label()), &mode, |b, &mode| {
+            b.iter(|| {
+                let config = XMapConfig {
+                    mode,
+                    k: 20,
+                    ..Default::default()
+                };
+                evaluate_xmap(&split, source, target, config)
+            })
+        });
+    }
+    for baseline in ["ITEMAVERAGE", "REMOTEUSER", "ITEM-BASED-KNN"] {
+        group.bench_with_input(BenchmarkId::new("baseline", baseline), &baseline, |b, &name| {
+            b.iter(|| evaluate_baseline(&split, source, name, 20))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the X-Sim machinery: baseline graph construction, layer
+//! partitioning, cross-domain X-Sim table computation and AlterEgo mapping.
+//!
+//! These are the per-stage costs of the pipeline of Figure 4 and the ablation data for
+//! the layer-based-pruning design choice called out in DESIGN.md (pruned meta-path
+//! enumeration vs a wide-open per-layer fan-out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xmap_bench::{amazon_like, Scale};
+use xmap_cf::DomainId;
+use xmap_core::XSimTable;
+use xmap_engine::WorkerPool;
+use xmap_graph::{GraphConfig, LayerPartition, MetaPathConfig, SimilarityGraph};
+
+fn bench_stages(c: &mut Criterion) {
+    let ds = amazon_like(Scale::Quick);
+    let mut group = c.benchmark_group("xsim_stages");
+    group.sample_size(10);
+
+    group.bench_function("baseliner_graph_build", |b| {
+        b.iter(|| SimilarityGraph::build(&ds.matrix, GraphConfig::default()))
+    });
+
+    let graph = SimilarityGraph::build(&ds.matrix, GraphConfig::default());
+    group.bench_function("layer_partition", |b| b.iter(|| LayerPartition::from_graph(&graph)));
+
+    let (_, partition) = LayerPartition::from_graph(&graph);
+    let pool = WorkerPool::new(1);
+    for per_layer_top_k in [3usize, 10, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("xsim_table_per_layer_top_k", per_layer_top_k),
+            &per_layer_top_k,
+            |b, &k| {
+                b.iter(|| {
+                    XSimTable::compute(
+                        &graph,
+                        &partition,
+                        DomainId::SOURCE,
+                        MetaPathConfig {
+                            per_layer_top_k: k,
+                            ..Default::default()
+                        },
+                        &pool,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

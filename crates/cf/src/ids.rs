@@ -1,0 +1,151 @@
+//! Strongly typed identifiers for users, items and domains.
+//!
+//! The paper's data model (Table 1) speaks of a set of users `U`, a set of items `I` and
+//! domains `D^S` / `D^T`. All identifiers in this workspace are dense `u32` indices wrapped
+//! in newtypes so that a user index can never be confused with an item index at compile
+//! time, while staying 4 bytes wide for cache-friendly adjacency lists.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user (dense index into a [`crate::RatingMatrix`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item (dense index into a [`crate::RatingMatrix`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+/// Identifier of an application domain (e.g. movies = 0, books = 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainId(pub u16);
+
+impl UserId {
+    /// Returns the raw index as a `usize` for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// Returns the raw index as a `usize` for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DomainId {
+    /// The conventional source domain used throughout examples and tests.
+    pub const SOURCE: DomainId = DomainId(0);
+    /// The conventional target domain used throughout examples and tests.
+    pub const TARGET: DomainId = DomainId(1);
+
+    /// Returns the raw index as a `usize` for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<u16> for DomainId {
+    fn from(v: u16) -> Self {
+        DomainId(v)
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Debug for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(UserId(1) < UserId(2));
+        assert!(ItemId(0) < ItemId(10));
+        assert!(DomainId(0) < DomainId(1));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(UserId(7).to_string(), "u7");
+        assert_eq!(ItemId(3).to_string(), "i3");
+        assert_eq!(DomainId(1).to_string(), "d1");
+        assert_eq!(format!("{:?}", UserId(7)), "u7");
+    }
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        assert_eq!(UserId(42).index(), 42);
+        assert_eq!(ItemId(42).index(), 42);
+        assert_eq!(DomainId(3).index(), 3);
+    }
+
+    #[test]
+    fn ids_convert_from_raw_integers() {
+        assert_eq!(UserId::from(5u32), UserId(5));
+        assert_eq!(ItemId::from(5u32), ItemId(5));
+        assert_eq!(DomainId::from(2u16), DomainId(2));
+    }
+
+    #[test]
+    fn domain_constants_are_distinct() {
+        assert_ne!(DomainId::SOURCE, DomainId::TARGET);
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_integers() {
+        let json = serde_json::to_string(&UserId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: UserId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, UserId(9));
+    }
+}

@@ -1,0 +1,606 @@
+//! Neighbour-based collaborative filtering — Algorithms 1 and 2 of the paper.
+//!
+//! * [`UserKnn`] implements the user-based scheme: Phase 1 selects the k most similar
+//!   users under Equation 1, Phase 2 predicts with Equation 2 and ranks the top-N items.
+//! * [`ItemKnn`] implements the item-based scheme: Phase 1 precomputes, for every item,
+//!   its k most similar items under the chosen metric (Equation 3 / adjusted cosine),
+//!   Phase 2 predicts with Equation 4.
+//!
+//! Both predictors also accept an *external profile* — a list of `(item, rating)` pairs
+//! that is not stored in the training matrix. This is exactly how X-Map consumes them:
+//! the AlterEgo profile of a user is an artificial profile in the target domain that is
+//! combined with the target-domain training data (§4.4).
+
+use crate::error::{CfError, Result};
+use crate::ids::{ItemId, UserId};
+use crate::matrix::RatingMatrix;
+use crate::rating::Timestep;
+use crate::similarity::{item_similarity_stats, user_similarity, SimilarityMetric};
+use crate::topk::{top_k, TopK};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An external (possibly artificial) user profile: item, rating value and the logical
+/// timestep at which the rating was (or is considered to have been) given.
+pub type Profile = Vec<(ItemId, f64, Timestep)>;
+
+/// Builds a [`Profile`] from `(item, value)` pairs with timestep 0.
+pub fn profile_from_pairs(pairs: impl IntoIterator<Item = (ItemId, f64)>) -> Profile {
+    pairs
+        .into_iter()
+        .map(|(i, v)| (i, v, Timestep(0)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// User-based CF (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the user-based recommender.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UserKnnConfig {
+    /// Number of neighbours `k` retained in Phase 1.
+    pub k: usize,
+    /// Neighbours with |similarity| below this threshold are discarded (0 keeps all).
+    pub min_similarity: f64,
+}
+
+impl Default for UserKnnConfig {
+    fn default() -> Self {
+        UserKnnConfig {
+            k: 50,
+            min_similarity: 0.0,
+        }
+    }
+}
+
+/// User-based k-nearest-neighbour collaborative filtering (Algorithm 1).
+pub struct UserKnn<'a> {
+    matrix: &'a RatingMatrix,
+    config: UserKnnConfig,
+}
+
+impl<'a> UserKnn<'a> {
+    /// Creates a user-based recommender over a training matrix.
+    pub fn new(matrix: &'a RatingMatrix, config: UserKnnConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(CfError::invalid_parameter("k", "must be at least 1"));
+        }
+        Ok(UserKnn { matrix, config })
+    }
+
+    /// The underlying training matrix.
+    pub fn matrix(&self) -> &RatingMatrix {
+        self.matrix
+    }
+
+    /// Phase 1: the k most similar users to `user` (Equation 1), sorted by descending
+    /// similarity. The user themself is never included.
+    pub fn neighbors(&self, user: UserId) -> Vec<(UserId, f64)> {
+        let mut collector = TopK::new(self.config.k);
+        for other in self.matrix.users() {
+            if other == user {
+                continue;
+            }
+            let sim = user_similarity(self.matrix, user, other);
+            if sim.abs() > self.config.min_similarity && sim != 0.0 {
+                collector.push(sim, other);
+            }
+        }
+        collector
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(s, u)| (u, s))
+            .collect()
+    }
+
+    /// Phase 1 for an external profile: the k most similar training users to the profile.
+    pub fn neighbors_of_profile(&self, profile: &Profile) -> Vec<(UserId, f64)> {
+        let profile_map: HashMap<ItemId, f64> = profile.iter().map(|&(i, v, _)| (i, v)).collect();
+        let mut collector = TopK::new(self.config.k);
+        for other in self.matrix.users() {
+            let sim = self.profile_user_similarity(&profile_map, other);
+            if sim.abs() > self.config.min_similarity && sim != 0.0 {
+                collector.push(sim, other);
+            }
+        }
+        collector
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(s, u)| (u, s))
+            .collect()
+    }
+
+    /// Equation 1 between an external profile and a stored user (centred by item average).
+    fn profile_user_similarity(&self, profile: &HashMap<ItemId, f64>, other: UserId) -> f64 {
+        let mut num = 0.0;
+        let mut den_a = 0.0;
+        let mut den_b = 0.0;
+        for e in self.matrix.user_profile(other) {
+            if let Some(&ra) = profile.get(&e.item) {
+                let i_avg = self.matrix.item_average(e.item);
+                let da = ra - i_avg;
+                let db = e.value - i_avg;
+                num += da * db;
+                den_a += da * da;
+                den_b += db * db;
+            }
+        }
+        let den = (den_a * den_b).sqrt();
+        if den < 1e-12 {
+            0.0
+        } else {
+            (num / den).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// Phase 2: predicted rating of `item` for `user` (Equation 2), using precomputed
+    /// neighbours. Falls back to the user average when no neighbour rated the item.
+    pub fn predict_with_neighbors(
+        &self,
+        user_average: f64,
+        neighbors: &[(UserId, f64)],
+        item: ItemId,
+    ) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(b, sim) in neighbors {
+            if let Some(r) = self.matrix.rating(b, item) {
+                num += sim * (r - self.matrix.user_average(b));
+                den += sim.abs();
+            }
+        }
+        let raw = if den < 1e-12 { user_average } else { user_average + num / den };
+        self.matrix.scale().clamp(raw)
+    }
+
+    /// Predicted rating of `item` for a stored `user`.
+    pub fn predict(&self, user: UserId, item: ItemId) -> f64 {
+        let neighbors = self.neighbors(user);
+        self.predict_with_neighbors(self.matrix.user_average(user), &neighbors, item)
+    }
+
+    /// Predicted rating of `item` for an external profile.
+    pub fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        let neighbors = self.neighbors_of_profile(profile);
+        let avg = profile_average(profile).unwrap_or_else(|| self.matrix.global_average());
+        self.predict_with_neighbors(avg, &neighbors, item)
+    }
+
+    /// Top-N recommendations for a stored user, excluding items the user already rated.
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
+        let neighbors = self.neighbors(user);
+        let avg = self.matrix.user_average(user);
+        let rated: Vec<ItemId> = self.matrix.user_profile(user).iter().map(|e| e.item).collect();
+        self.rank_candidates(avg, &neighbors, &rated, n)
+    }
+
+    /// Top-N recommendations for an external profile, excluding the profile's own items.
+    pub fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        let neighbors = self.neighbors_of_profile(profile);
+        let avg = profile_average(profile).unwrap_or_else(|| self.matrix.global_average());
+        let rated: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
+        self.rank_candidates(avg, &neighbors, &rated, n)
+    }
+
+    fn rank_candidates(
+        &self,
+        user_average: f64,
+        neighbors: &[(UserId, f64)],
+        exclude: &[ItemId],
+        n: usize,
+    ) -> Vec<(ItemId, f64)> {
+        // Only items rated by at least one neighbour can receive a personalised score.
+        let mut candidates: Vec<ItemId> = Vec::new();
+        for &(b, _) in neighbors {
+            for e in self.matrix.user_profile(b) {
+                candidates.push(e.item);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let scored = candidates
+            .into_iter()
+            .filter(|i| !exclude.contains(i))
+            .map(|i| (self.predict_with_neighbors(user_average, neighbors, i), i));
+        top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item-based CF (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+/// Configuration of the item-based recommender.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ItemKnnConfig {
+    /// Number of neighbour items `k` retained per item in Phase 1.
+    pub k: usize,
+    /// Similarity metric for Phase 1 (the paper uses adjusted cosine).
+    pub metric: SimilarityMetric,
+    /// Temporal decay rate α of Equation 7; 0 disables temporal weighting.
+    pub temporal_alpha: f64,
+}
+
+impl Default for ItemKnnConfig {
+    fn default() -> Self {
+        ItemKnnConfig {
+            k: 50,
+            metric: SimilarityMetric::AdjustedCosine,
+            temporal_alpha: 0.0,
+        }
+    }
+}
+
+/// A neighbour of an item in the precomputed model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ItemNeighbor {
+    /// Neighbouring item.
+    pub item: ItemId,
+    /// Similarity between the model item and the neighbour.
+    pub similarity: f64,
+}
+
+/// Item-based k-nearest-neighbour collaborative filtering (Algorithm 2) with optional
+/// temporal weighting (Equation 7).
+pub struct ItemKnn<'a> {
+    matrix: &'a RatingMatrix,
+    config: ItemKnnConfig,
+    /// `neighbors[i]` = top-k similar items of item `i`, sorted by descending similarity.
+    neighbors: Vec<Vec<ItemNeighbor>>,
+}
+
+impl<'a> ItemKnn<'a> {
+    /// Phase 1: precomputes the k most similar items for every item.
+    ///
+    /// Candidate pairs are generated through co-rating users (two items that share no
+    /// user have zero similarity under every supported metric and are skipped), so the
+    /// cost is proportional to the sum over users of the squared profile length rather
+    /// than `O(m^2)`.
+    pub fn fit(matrix: &'a RatingMatrix, config: ItemKnnConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(CfError::invalid_parameter("k", "must be at least 1"));
+        }
+        if config.temporal_alpha < 0.0 || !config.temporal_alpha.is_finite() {
+            return Err(CfError::invalid_parameter(
+                "temporal_alpha",
+                "must be finite and non-negative",
+            ));
+        }
+
+        let n_items = matrix.n_items();
+        let mut candidate_sets: Vec<Vec<ItemId>> = vec![Vec::new(); n_items];
+        for u in matrix.users() {
+            let profile = matrix.user_profile(u);
+            for a in 0..profile.len() {
+                for b in 0..profile.len() {
+                    if a != b {
+                        candidate_sets[profile[a].item.index()].push(profile[b].item);
+                    }
+                }
+            }
+        }
+
+        let mut neighbors = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            let mut cands = std::mem::take(&mut candidate_sets[i]);
+            cands.sort_unstable();
+            cands.dedup();
+            let mut collector = TopK::new(config.k);
+            for j in cands {
+                let stats = item_similarity_stats(matrix, ItemId(i as u32), j, config.metric);
+                if stats.similarity != 0.0 {
+                    collector.push(stats.similarity, j);
+                }
+            }
+            neighbors.push(
+                collector
+                    .into_sorted_vec()
+                    .into_iter()
+                    .map(|(s, j)| ItemNeighbor {
+                        item: j,
+                        similarity: s,
+                    })
+                    .collect(),
+            );
+        }
+
+        Ok(ItemKnn {
+            matrix,
+            config,
+            neighbors,
+        })
+    }
+
+    /// The underlying training matrix.
+    pub fn matrix(&self) -> &RatingMatrix {
+        self.matrix
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> ItemKnnConfig {
+        self.config
+    }
+
+    /// The precomputed neighbours of an item (empty for unknown or isolated items).
+    pub fn neighbors(&self, item: ItemId) -> &[ItemNeighbor] {
+        self.neighbors
+            .get(item.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Phase 2, Equation 4: predicted rating of `item` for a stored user.
+    pub fn predict(&self, user: UserId, item: ItemId) -> f64 {
+        let profile: Profile = self
+            .matrix
+            .user_profile(user)
+            .iter()
+            .map(|e| (e.item, e.value, e.timestep))
+            .collect();
+        self.predict_for_profile(&profile, item)
+    }
+
+    /// Phase 2 for an external profile (Equation 4, or Equation 7 when α > 0): the
+    /// prediction only depends on the querying user's own ratings of items similar to
+    /// `item`, which is what makes the temporal variant well-defined per user (§4.4).
+    pub fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        let item_avg = self.matrix.item_average(item);
+        let now = profile.iter().map(|&(_, _, t)| t).max().unwrap_or(Timestep(0));
+        let ratings: HashMap<ItemId, (f64, Timestep)> = profile
+            .iter()
+            .map(|&(i, v, t)| (i, (v, t)))
+            .collect();
+
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for n in self.neighbors(item) {
+            if let Some(&(r, t)) = ratings.get(&n.item) {
+                let weight = if self.config.temporal_alpha > 0.0 {
+                    (-self.config.temporal_alpha * now.elapsed_since(t) as f64).exp()
+                } else {
+                    1.0
+                };
+                num += n.similarity * (r - self.matrix.item_average(n.item)) * weight;
+                den += n.similarity.abs() * weight;
+            }
+        }
+        let raw = if den < 1e-12 { item_avg } else { item_avg + num / den };
+        self.matrix.scale().clamp(raw)
+    }
+
+    /// Top-N recommendations for a stored user, excluding already rated items.
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
+        let profile: Profile = self
+            .matrix
+            .user_profile(user)
+            .iter()
+            .map(|e| (e.item, e.value, e.timestep))
+            .collect();
+        self.recommend_for_profile(&profile, n)
+    }
+
+    /// Top-N recommendations for an external profile, excluding the profile's own items.
+    ///
+    /// Candidates are the neighbours of the profile's items (anything else would receive
+    /// the unpersonalised item-average score anyway).
+    pub fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
+        let mut candidates: Vec<ItemId> = Vec::new();
+        for &(i, _, _) in profile {
+            for nb in self.neighbors(i) {
+                candidates.push(nb.item);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let scored = candidates
+            .into_iter()
+            .filter(|i| !owned.contains(i))
+            .map(|i| (self.predict_for_profile(profile, i), i));
+        top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
+    }
+}
+
+/// Mean rating of a profile, if non-empty.
+pub fn profile_average(profile: &Profile) -> Option<f64> {
+    if profile.is_empty() {
+        None
+    } else {
+        Some(profile.iter().map(|&(_, v, _)| v).sum::<f64>() / profile.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::RatingMatrixBuilder;
+
+    /// Two clear taste clusters: users 0-2 love items 0-2 and hate 3-5; users 3-5 the
+    /// opposite. User 6 is a partial member of the first cluster used for predictions.
+    fn clustered() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..3u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, 5.0).unwrap();
+            }
+            for i in 3..6u32 {
+                b.push_parts(u, i, 1.0).unwrap();
+            }
+        }
+        for u in 3..6u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, 1.0).unwrap();
+            }
+            for i in 3..6u32 {
+                b.push_parts(u, i, 5.0).unwrap();
+            }
+        }
+        // user 6: likes item 0 and 1, has not seen 2..6
+        b.push_parts(6, 0, 5.0).unwrap();
+        b.push_parts(6, 1, 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn user_knn_finds_same_cluster_neighbors() {
+        let m = clustered();
+        let knn = UserKnn::new(&m, UserKnnConfig { k: 3, min_similarity: 0.0 }).unwrap();
+        let neigh = knn.neighbors(UserId(0));
+        assert!(!neigh.is_empty());
+        // the most similar users must come from the same cluster (users 1, 2 or 6)
+        for &(u, s) in neigh.iter().take(2) {
+            assert!(u == UserId(1) || u == UserId(2) || u == UserId(6), "unexpected neighbor {u}");
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn user_knn_predicts_cluster_preferences() {
+        let m = clustered();
+        let knn = UserKnn::new(&m, UserKnnConfig::default()).unwrap();
+        let liked = knn.predict(UserId(6), ItemId(2));
+        let disliked = knn.predict(UserId(6), ItemId(4));
+        assert!(liked > disliked, "cluster item should be predicted higher: {liked} vs {disliked}");
+        assert!(liked >= 3.5);
+        assert!(disliked <= 3.0);
+    }
+
+    #[test]
+    fn user_knn_recommend_excludes_rated_items() {
+        let m = clustered();
+        let knn = UserKnn::new(&m, UserKnnConfig::default()).unwrap();
+        let recs = knn.recommend(UserId(6), 3);
+        assert!(!recs.is_empty());
+        for (item, _) in &recs {
+            assert_ne!(*item, ItemId(0));
+            assert_ne!(*item, ItemId(1));
+        }
+        // best recommendation should be the remaining cluster item
+        assert_eq!(recs[0].0, ItemId(2));
+    }
+
+    #[test]
+    fn user_knn_external_profile_matches_stored_user_behaviour() {
+        let m = clustered();
+        let knn = UserKnn::new(&m, UserKnnConfig::default()).unwrap();
+        let profile = profile_from_pairs([(ItemId(0), 5.0), (ItemId(1), 4.0)]);
+        let stored = knn.predict(UserId(6), ItemId(2));
+        let external = knn.predict_for_profile(&profile, ItemId(2));
+        assert!((stored - external).abs() < 0.75, "external profile should predict similarly: {stored} vs {external}");
+        let recs = knn.recommend_for_profile(&profile, 2);
+        assert_eq!(recs[0].0, ItemId(2));
+    }
+
+    #[test]
+    fn user_knn_rejects_zero_k() {
+        let m = clustered();
+        assert!(UserKnn::new(&m, UserKnnConfig { k: 0, min_similarity: 0.0 }).is_err());
+    }
+
+    #[test]
+    fn item_knn_neighbors_stay_within_cluster() {
+        let m = clustered();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig { k: 2, ..Default::default() }).unwrap();
+        let neigh = knn.neighbors(ItemId(0));
+        assert!(!neigh.is_empty());
+        for n in neigh {
+            assert!(n.item == ItemId(1) || n.item == ItemId(2), "unexpected item neighbor {:?}", n.item);
+            assert!(n.similarity > 0.0);
+        }
+    }
+
+    #[test]
+    fn item_knn_predicts_cluster_preferences() {
+        let m = clustered();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default()).unwrap();
+        let liked = knn.predict(UserId(6), ItemId(2));
+        let disliked = knn.predict(UserId(6), ItemId(4));
+        assert!(liked > disliked, "{liked} vs {disliked}");
+    }
+
+    #[test]
+    fn item_knn_recommend_for_profile_prefers_cluster_item() {
+        let m = clustered();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default()).unwrap();
+        let profile = profile_from_pairs([(ItemId(0), 5.0), (ItemId(1), 5.0)]);
+        let recs = knn.recommend_for_profile(&profile, 6);
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].0, ItemId(2));
+        for (item, _) in &recs {
+            assert_ne!(*item, ItemId(0));
+            assert_ne!(*item, ItemId(1));
+        }
+    }
+
+    #[test]
+    fn item_knn_prediction_falls_back_to_item_average() {
+        let m = clustered();
+        let knn = ItemKnn::fit(&m, ItemKnnConfig::default()).unwrap();
+        // empty profile -> no neighbour information -> item average
+        let p: Profile = Vec::new();
+        let pred = knn.predict_for_profile(&p, ItemId(0));
+        assert!((pred - m.item_average(ItemId(0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn item_knn_rejects_bad_parameters() {
+        let m = clustered();
+        assert!(ItemKnn::fit(&m, ItemKnnConfig { k: 0, ..Default::default() }).is_err());
+        assert!(ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                temporal_alpha: -0.1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                temporal_alpha: f64::NAN,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn temporal_weighting_prefers_recent_ratings() {
+        // item 2's neighbours are items 0 and 1; the profile rates item 0 high long ago
+        // and item 1 low recently. With α = 0 both count equally; with large α the
+        // recent (low) rating dominates, so the prediction must not increase.
+        let m = clustered();
+        let flat = ItemKnn::fit(&m, ItemKnnConfig { temporal_alpha: 0.0, ..Default::default() }).unwrap();
+        let decayed = ItemKnn::fit(&m, ItemKnnConfig { temporal_alpha: 0.5, ..Default::default() }).unwrap();
+        let profile: Profile = vec![
+            (ItemId(0), 5.0, Timestep(0)),
+            (ItemId(1), 1.0, Timestep(100)),
+        ];
+        let p_flat = flat.predict_for_profile(&profile, ItemId(2));
+        let p_decay = decayed.predict_for_profile(&profile, ItemId(2));
+        assert!(p_decay <= p_flat + 1e-9, "temporal weighting should favour the recent low rating: {p_decay} vs {p_flat}");
+    }
+
+    #[test]
+    fn profile_average_handles_empty() {
+        assert_eq!(profile_average(&Vec::new()), None);
+        let p = profile_from_pairs([(ItemId(0), 2.0), (ItemId(1), 4.0)]);
+        assert_eq!(profile_average(&p), Some(3.0));
+    }
+
+    #[test]
+    fn predictions_respect_rating_scale() {
+        let m = clustered();
+        let uknn = UserKnn::new(&m, UserKnnConfig::default()).unwrap();
+        let iknn = ItemKnn::fit(&m, ItemKnnConfig::default()).unwrap();
+        for u in m.users() {
+            for i in m.items() {
+                let pu = uknn.predict(u, i);
+                let pi = iknn.predict(u, i);
+                assert!((1.0..=5.0).contains(&pu), "user-based prediction out of scale: {pu}");
+                assert!((1.0..=5.0).contains(&pi), "item-based prediction out of scale: {pi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Compact rating matrix with user-major and item-major views.
+//!
+//! The paper works with the standard sparse user × item rating matrix `M_D` (Table 1) and
+//! repeatedly needs both *user profiles* `X_u` (the items rated by a user) and *item
+//! profiles* `Y_i` (the users who rated an item), together with the per-user and per-item
+//! average ratings `r̄_u` and `r̄_i` used by the similarity metrics and predictors.
+//!
+//! [`RatingMatrix`] stores the ratings once in CSR (compressed sparse row) form keyed by
+//! user and keeps a mirrored CSC-style item-major index, so that both `X_u` and `Y_i` are
+//! contiguous slices. Entries within a row/column are sorted by the secondary id, which
+//! lets pairwise similarity computations run as linear merges.
+
+use crate::error::{CfError, Result};
+use crate::ids::{DomainId, ItemId, UserId};
+use crate::rating::{Rating, RatingScale, Timestep};
+use serde::{Deserialize, Serialize};
+
+/// One stored rating as seen from the user-major view: `(item, value, timestep)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UserEntry {
+    /// The rated item.
+    pub item: ItemId,
+    /// The rating value.
+    pub value: f64,
+    /// Logical time of the rating.
+    pub timestep: Timestep,
+}
+
+/// One stored rating as seen from the item-major view: `(user, value, timestep)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ItemEntry {
+    /// The user who rated.
+    pub user: UserId,
+    /// The rating value.
+    pub value: f64,
+    /// Logical time of the rating.
+    pub timestep: Timestep,
+}
+
+/// Builder that accumulates raw [`Rating`] events and produces a [`RatingMatrix`].
+///
+/// Duplicate `(user, item)` pairs keep the *latest* rating by timestep (ties broken by
+/// insertion order), mirroring the common practice of retaining a user's most recent
+/// opinion of an item.
+#[derive(Clone, Debug, Default)]
+pub struct RatingMatrixBuilder {
+    ratings: Vec<Rating>,
+    item_domains: Vec<(ItemId, DomainId)>,
+    scale: RatingScale,
+    n_users_hint: usize,
+    n_items_hint: usize,
+}
+
+impl RatingMatrixBuilder {
+    /// Creates an empty builder with the default 1–5 scale.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with an explicit rating scale.
+    pub fn with_scale(scale: RatingScale) -> Self {
+        RatingMatrixBuilder {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Pre-sizes internal buffers (purely an optimisation).
+    pub fn reserve(&mut self, n_ratings: usize) -> &mut Self {
+        self.ratings.reserve(n_ratings);
+        self
+    }
+
+    /// Hints the number of users and items so unrated trailing ids are still represented.
+    pub fn with_dimensions(mut self, n_users: usize, n_items: usize) -> Self {
+        self.n_users_hint = n_users;
+        self.n_items_hint = n_items;
+        self
+    }
+
+    /// Adds a rating event.
+    ///
+    /// Non-finite rating values are rejected; the rating scale is *not* enforced here so
+    /// that mean-centred or synthetic data can be stored, but see
+    /// [`RatingMatrix::scale`] for prediction clamping.
+    pub fn push(&mut self, rating: Rating) -> Result<&mut Self> {
+        if !rating.value.is_finite() {
+            return Err(CfError::InvalidRating {
+                value: rating.value,
+                context: "RatingMatrixBuilder::push",
+            });
+        }
+        self.ratings.push(rating);
+        Ok(self)
+    }
+
+    /// Adds a rating by raw ids, defaulting the timestep to 0.
+    pub fn push_parts(&mut self, user: u32, item: u32, value: f64) -> Result<&mut Self> {
+        self.push(Rating::new(UserId(user), ItemId(item), value))
+    }
+
+    /// Adds a rating by raw ids with an explicit timestep.
+    pub fn push_timed(&mut self, user: u32, item: u32, value: f64, t: u32) -> Result<&mut Self> {
+        self.push(Rating::at(UserId(user), ItemId(item), value, Timestep(t)))
+    }
+
+    /// Declares the domain an item belongs to (defaults to [`DomainId::SOURCE`]).
+    pub fn set_item_domain(&mut self, item: ItemId, domain: DomainId) -> &mut Self {
+        self.item_domains.push((item, domain));
+        self
+    }
+
+    /// Number of rating events accumulated so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Whether no rating has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// Finalises the builder into an immutable [`RatingMatrix`].
+    pub fn build(mut self) -> Result<RatingMatrix> {
+        if self.ratings.is_empty() && self.n_users_hint == 0 && self.n_items_hint == 0 {
+            return Err(CfError::EmptyMatrix);
+        }
+
+        let mut n_users = self.n_users_hint;
+        let mut n_items = self.n_items_hint;
+        for r in &self.ratings {
+            n_users = n_users.max(r.user.index() + 1);
+            n_items = n_items.max(r.item.index() + 1);
+        }
+        for (item, _) in &self.item_domains {
+            n_items = n_items.max(item.index() + 1);
+        }
+
+        // Deduplicate (user, item) keeping the most recent entry. Stable sort keeps
+        // insertion order for equal timesteps so "last pushed wins" among ties.
+        self.ratings
+            .sort_by(|a, b| (a.user, a.item, a.timestep).cmp(&(b.user, b.item, b.timestep)));
+        let mut deduped: Vec<Rating> = Vec::with_capacity(self.ratings.len());
+        for r in self.ratings {
+            match deduped.last_mut() {
+                Some(last) if last.user == r.user && last.item == r.item => *last = r,
+                _ => deduped.push(r),
+            }
+        }
+
+        // User-major CSR.
+        let mut user_offsets = vec![0usize; n_users + 1];
+        for r in &deduped {
+            user_offsets[r.user.index() + 1] += 1;
+        }
+        for u in 0..n_users {
+            user_offsets[u + 1] += user_offsets[u];
+        }
+        let mut user_entries = vec![
+            UserEntry {
+                item: ItemId(0),
+                value: 0.0,
+                timestep: Timestep(0)
+            };
+            deduped.len()
+        ];
+        {
+            let mut cursor = user_offsets.clone();
+            for r in &deduped {
+                let pos = cursor[r.user.index()];
+                user_entries[pos] = UserEntry {
+                    item: r.item,
+                    value: r.value,
+                    timestep: r.timestep,
+                };
+                cursor[r.user.index()] += 1;
+            }
+        }
+        // Entries are already sorted by item within each user because of the global sort.
+
+        // Item-major CSC mirror.
+        let mut item_offsets = vec![0usize; n_items + 1];
+        for r in &deduped {
+            item_offsets[r.item.index() + 1] += 1;
+        }
+        for i in 0..n_items {
+            item_offsets[i + 1] += item_offsets[i];
+        }
+        let mut item_entries = vec![
+            ItemEntry {
+                user: UserId(0),
+                value: 0.0,
+                timestep: Timestep(0)
+            };
+            deduped.len()
+        ];
+        {
+            let mut cursor = item_offsets.clone();
+            // Iterating in (user, item) order yields user-sorted columns.
+            for r in &deduped {
+                let pos = cursor[r.item.index()];
+                item_entries[pos] = ItemEntry {
+                    user: r.user,
+                    value: r.value,
+                    timestep: r.timestep,
+                };
+                cursor[r.item.index()] += 1;
+            }
+        }
+
+        // Averages.
+        let mut user_avg = vec![0.0f64; n_users];
+        for u in 0..n_users {
+            let row = &user_entries[user_offsets[u]..user_offsets[u + 1]];
+            if !row.is_empty() {
+                user_avg[u] = row.iter().map(|e| e.value).sum::<f64>() / row.len() as f64;
+            }
+        }
+        let mut item_avg = vec![0.0f64; n_items];
+        for i in 0..n_items {
+            let col = &item_entries[item_offsets[i]..item_offsets[i + 1]];
+            if !col.is_empty() {
+                item_avg[i] = col.iter().map(|e| e.value).sum::<f64>() / col.len() as f64;
+            }
+        }
+        let global_avg = if deduped.is_empty() {
+            self.scale.midpoint()
+        } else {
+            deduped.iter().map(|r| r.value).sum::<f64>() / deduped.len() as f64
+        };
+
+        // Item domains (default SOURCE).
+        let mut item_domain = vec![DomainId::SOURCE; n_items];
+        for (item, domain) in self.item_domains {
+            item_domain[item.index()] = domain;
+        }
+
+        Ok(RatingMatrix {
+            n_users,
+            n_items,
+            user_offsets,
+            user_entries,
+            item_offsets,
+            item_entries,
+            user_avg,
+            item_avg,
+            global_avg,
+            item_domain,
+            scale: self.scale,
+        })
+    }
+}
+
+/// Immutable sparse rating matrix with dual user-major / item-major views.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RatingMatrix {
+    n_users: usize,
+    n_items: usize,
+    user_offsets: Vec<usize>,
+    user_entries: Vec<UserEntry>,
+    item_offsets: Vec<usize>,
+    item_entries: Vec<ItemEntry>,
+    user_avg: Vec<f64>,
+    item_avg: Vec<f64>,
+    global_avg: f64,
+    item_domain: Vec<DomainId>,
+    scale: RatingScale,
+}
+
+impl RatingMatrix {
+    /// Builds a matrix from an iterator of ratings with the default scale.
+    pub fn from_ratings<I: IntoIterator<Item = Rating>>(ratings: I) -> Result<Self> {
+        let mut b = RatingMatrixBuilder::new();
+        for r in ratings {
+            b.push(r)?;
+        }
+        b.build()
+    }
+
+    /// Number of users (including users with no rating, if declared via dimensions).
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of stored ratings (after deduplication).
+    pub fn n_ratings(&self) -> usize {
+        self.user_entries.len()
+    }
+
+    /// Density of the matrix: ratings / (users × items). Zero for degenerate shapes.
+    pub fn density(&self) -> f64 {
+        if self.n_users == 0 || self.n_items == 0 {
+            0.0
+        } else {
+            self.n_ratings() as f64 / (self.n_users as f64 * self.n_items as f64)
+        }
+    }
+
+    /// The rating scale declared at build time.
+    pub fn scale(&self) -> RatingScale {
+        self.scale
+    }
+
+    /// Iterator over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.n_users as u32).map(UserId)
+    }
+
+    /// Iterator over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.n_items as u32).map(ItemId)
+    }
+
+    /// The user profile `X_u`: every `(item, value, timestep)` rated by `user`, sorted by
+    /// item id. Empty slice (not an error) for in-range users with no ratings.
+    pub fn user_profile(&self, user: UserId) -> &[UserEntry] {
+        let u = user.index();
+        if u >= self.n_users {
+            return &[];
+        }
+        &self.user_entries[self.user_offsets[u]..self.user_offsets[u + 1]]
+    }
+
+    /// The item profile `Y_i`: every `(user, value, timestep)` who rated `item`, sorted by
+    /// user id. Empty slice for in-range items with no ratings.
+    pub fn item_profile(&self, item: ItemId) -> &[ItemEntry] {
+        let i = item.index();
+        if i >= self.n_items {
+            return &[];
+        }
+        &self.item_entries[self.item_offsets[i]..self.item_offsets[i + 1]]
+    }
+
+    /// Number of ratings given by a user.
+    pub fn user_degree(&self, user: UserId) -> usize {
+        self.user_profile(user).len()
+    }
+
+    /// Number of ratings received by an item.
+    pub fn item_degree(&self, item: ItemId) -> usize {
+        self.item_profile(item).len()
+    }
+
+    /// The rating a user gave an item, if any (binary search in the user row).
+    pub fn rating(&self, user: UserId, item: ItemId) -> Option<f64> {
+        let row = self.user_profile(user);
+        row.binary_search_by(|e| e.item.cmp(&item))
+            .ok()
+            .map(|idx| row[idx].value)
+    }
+
+    /// The timestep at which a user rated an item, if any.
+    pub fn rating_timestep(&self, user: UserId, item: ItemId) -> Option<Timestep> {
+        let row = self.user_profile(user);
+        row.binary_search_by(|e| e.item.cmp(&item))
+            .ok()
+            .map(|idx| row[idx].timestep)
+    }
+
+    /// Average rating `r̄_u` of a user; falls back to the global average for users with no
+    /// ratings (the paper completes the sparse matrix with averages, Table 1 footnote).
+    pub fn user_average(&self, user: UserId) -> f64 {
+        let u = user.index();
+        if u >= self.n_users || self.user_degree(user) == 0 {
+            self.global_avg
+        } else {
+            self.user_avg[u]
+        }
+    }
+
+    /// Average rating `r̄_i` of an item; falls back to the global average for unrated items.
+    pub fn item_average(&self, item: ItemId) -> f64 {
+        let i = item.index();
+        if i >= self.n_items || self.item_degree(item) == 0 {
+            self.global_avg
+        } else {
+            self.item_avg[i]
+        }
+    }
+
+    /// Global average rating over the whole matrix.
+    pub fn global_average(&self) -> f64 {
+        self.global_avg
+    }
+
+    /// Domain that an item belongs to.
+    pub fn item_domain(&self, item: ItemId) -> DomainId {
+        self.item_domain
+            .get(item.index())
+            .copied()
+            .unwrap_or(DomainId::SOURCE)
+    }
+
+    /// Items belonging to a given domain.
+    pub fn items_in_domain(&self, domain: DomainId) -> Vec<ItemId> {
+        self.items().filter(|&i| self.item_domain(i) == domain).collect()
+    }
+
+    /// The set of domains present in the matrix, in ascending id order.
+    pub fn domains(&self) -> Vec<DomainId> {
+        let mut ds: Vec<DomainId> = self.item_domain.clone();
+        ds.sort_unstable();
+        ds.dedup();
+        ds
+    }
+
+    /// Users who rated at least one item in *every* domain of `domains` — the *overlap*
+    /// (straddler) users that make heterogeneous recommendation possible (§1.3).
+    pub fn overlapping_users(&self, domains: &[DomainId]) -> Vec<UserId> {
+        if domains.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        'users: for u in self.users() {
+            let profile = self.user_profile(u);
+            for &d in domains {
+                if !profile.iter().any(|e| self.item_domain(e.item) == d) {
+                    continue 'users;
+                }
+            }
+            out.push(u);
+        }
+        out
+    }
+
+    /// Iterates all ratings in user-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Rating> + '_ {
+        self.users().flat_map(move |u| {
+            self.user_profile(u).iter().map(move |e| Rating {
+                user: u,
+                item: e.item,
+                value: e.value,
+                timestep: e.timestep,
+            })
+        })
+    }
+
+    /// Returns a new matrix containing only ratings for which `keep` returns true,
+    /// preserving dimensions, domains and scale. Useful for building training subsets.
+    pub fn filter(&self, mut keep: impl FnMut(&Rating) -> bool) -> Result<RatingMatrix> {
+        let mut b = RatingMatrixBuilder::with_scale(self.scale)
+            .with_dimensions(self.n_users, self.n_items);
+        for r in self.iter() {
+            if keep(&r) {
+                b.push(r)?;
+            }
+        }
+        for i in self.items() {
+            b.set_item_domain(i, self.item_domain(i));
+        }
+        b.build()
+    }
+
+    /// Splits the matrix view of a user's profile by domain: `(in_domain, out_of_domain)`.
+    pub fn profile_by_domain(&self, user: UserId, domain: DomainId) -> (Vec<UserEntry>, Vec<UserEntry>) {
+        let mut inside = Vec::new();
+        let mut outside = Vec::new();
+        for &e in self.user_profile(user) {
+            if self.item_domain(e.item) == domain {
+                inside.push(e);
+            } else {
+                outside.push(e);
+            }
+        }
+        (inside, outside)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        b.push_parts(0, 0, 5.0).unwrap();
+        b.push_parts(0, 1, 3.0).unwrap();
+        b.push_parts(1, 0, 4.0).unwrap();
+        b.push_parts(1, 2, 2.0).unwrap();
+        b.push_parts(2, 1, 1.0).unwrap();
+        b.set_item_domain(ItemId(2), DomainId::TARGET);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_counts() {
+        let m = small();
+        assert_eq!(m.n_users(), 3);
+        assert_eq!(m.n_items(), 3);
+        assert_eq!(m.n_ratings(), 5);
+        assert!((m.density() - 5.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_are_sorted_and_consistent() {
+        let m = small();
+        let p0 = m.user_profile(UserId(0));
+        assert_eq!(p0.len(), 2);
+        assert!(p0[0].item < p0[1].item);
+        let y0 = m.item_profile(ItemId(0));
+        assert_eq!(y0.len(), 2);
+        assert!(y0[0].user < y0[1].user);
+        // every user-view rating appears in the item view
+        for r in m.iter() {
+            assert!(m
+                .item_profile(r.item)
+                .iter()
+                .any(|e| e.user == r.user && e.value == r.value));
+        }
+    }
+
+    #[test]
+    fn rating_lookup_and_averages() {
+        let m = small();
+        assert_eq!(m.rating(UserId(0), ItemId(1)), Some(3.0));
+        assert_eq!(m.rating(UserId(2), ItemId(0)), None);
+        assert!((m.user_average(UserId(0)) - 4.0).abs() < 1e-12);
+        assert!((m.item_average(ItemId(0)) - 4.5).abs() < 1e-12);
+        assert!((m.global_average() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_ids_fall_back_gracefully() {
+        let m = small();
+        assert!(m.user_profile(UserId(99)).is_empty());
+        assert!(m.item_profile(ItemId(99)).is_empty());
+        assert_eq!(m.user_average(UserId(99)), m.global_average());
+        assert_eq!(m.item_average(ItemId(99)), m.global_average());
+        assert_eq!(m.item_domain(ItemId(99)), DomainId::SOURCE);
+    }
+
+    #[test]
+    fn duplicate_ratings_keep_latest_timestep() {
+        let mut b = RatingMatrixBuilder::new();
+        b.push_timed(0, 0, 2.0, 1).unwrap();
+        b.push_timed(0, 0, 5.0, 9).unwrap();
+        b.push_timed(0, 0, 3.0, 4).unwrap();
+        let m = b.build().unwrap();
+        assert_eq!(m.n_ratings(), 1);
+        assert_eq!(m.rating(UserId(0), ItemId(0)), Some(5.0));
+        assert_eq!(m.rating_timestep(UserId(0), ItemId(0)), Some(Timestep(9)));
+    }
+
+    #[test]
+    fn empty_builder_errors_unless_dimensioned() {
+        assert_eq!(RatingMatrixBuilder::new().build().unwrap_err(), CfError::EmptyMatrix);
+        let m = RatingMatrixBuilder::new().with_dimensions(2, 3).build().unwrap();
+        assert_eq!(m.n_users(), 2);
+        assert_eq!(m.n_items(), 3);
+        assert_eq!(m.n_ratings(), 0);
+        assert_eq!(m.density(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_ratings_rejected() {
+        let mut b = RatingMatrixBuilder::new();
+        let err = b.push_parts(0, 0, f64::NAN).unwrap_err();
+        assert!(matches!(err, CfError::InvalidRating { .. }));
+    }
+
+    #[test]
+    fn domains_and_overlap() {
+        let m = small();
+        assert_eq!(m.item_domain(ItemId(2)), DomainId::TARGET);
+        assert_eq!(m.items_in_domain(DomainId::TARGET), vec![ItemId(2)]);
+        assert_eq!(m.domains(), vec![DomainId::SOURCE, DomainId::TARGET]);
+        // user 1 rated items in both domains; users 0 and 2 only in SOURCE
+        assert_eq!(
+            m.overlapping_users(&[DomainId::SOURCE, DomainId::TARGET]),
+            vec![UserId(1)]
+        );
+        assert_eq!(m.overlapping_users(&[]), Vec::<UserId>::new());
+    }
+
+    #[test]
+    fn filter_preserves_dimensions_and_domains() {
+        let m = small();
+        let only_high = m.filter(|r| r.value >= 4.0).unwrap();
+        assert_eq!(only_high.n_users(), m.n_users());
+        assert_eq!(only_high.n_items(), m.n_items());
+        assert_eq!(only_high.n_ratings(), 2);
+        assert_eq!(only_high.item_domain(ItemId(2)), DomainId::TARGET);
+    }
+
+    #[test]
+    fn profile_by_domain_partitions_profile() {
+        let m = small();
+        let (inside, outside) = m.profile_by_domain(UserId(1), DomainId::TARGET);
+        assert_eq!(inside.len(), 1);
+        assert_eq!(outside.len(), 1);
+        assert_eq!(inside[0].item, ItemId(2));
+    }
+
+    #[test]
+    fn iter_round_trips_through_from_ratings() {
+        let m = small();
+        let ratings: Vec<Rating> = m.iter().collect();
+        let m2 = RatingMatrix::from_ratings(ratings).unwrap();
+        assert_eq!(m2.n_ratings(), m.n_ratings());
+        for r in m.iter() {
+            assert_eq!(m2.rating(r.user, r.item), Some(r.value));
+        }
+    }
+}

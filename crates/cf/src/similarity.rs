@@ -1,0 +1,468 @@
+//! Similarity metrics and significance statistics.
+//!
+//! Three classical metrics appear in the paper:
+//!
+//! * **user–user Pearson-style similarity** (Equation 1, Algorithm 1, Phase 1) — computed
+//!   on ratings mean-centred by the *item* average,
+//! * **item–item adjusted cosine** (Equations 3 and 6, Algorithm 2 / §3.1) — computed on
+//!   ratings mean-centred by the *user* average, which the paper (following Sarwar et al.)
+//!   considers the most effective baseline similarity, and
+//! * plain **cosine** and **Pearson** item–item similarities, provided for completeness
+//!   and ablation benches.
+//!
+//! On top of the raw similarity the X-Sim metric needs the *weighted significance*
+//! `S_{i,j}` (Definition 2: users who mutually like or mutually dislike the pair) and its
+//! normalised form `Ŝ_{i,j} = S_{i,j} / |Y_i ∪ Y_j|` (Definition 4). Both are returned in
+//! a single [`SimilarityStats`] record so that one merge pass over the two item profiles
+//! yields everything the graph layer needs.
+
+use crate::ids::{ItemId, UserId};
+use crate::matrix::RatingMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Which item–item similarity formula to use for the baseline similarity graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityMetric {
+    /// Adjusted cosine (Equation 6) — ratings centred by the user average. The paper's
+    /// default and the metric used for every reported experiment.
+    AdjustedCosine,
+    /// Plain cosine over raw rating vectors.
+    Cosine,
+    /// Pearson correlation over co-rating users (centred by each item's mean over the
+    /// co-rating set).
+    Pearson,
+}
+
+impl Default for SimilarityMetric {
+    fn default() -> Self {
+        SimilarityMetric::AdjustedCosine
+    }
+}
+
+/// Full pairwise statistics for an item pair `(i, j)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityStats {
+    /// The similarity value under the chosen metric, in `[-1, 1]` (0 if undefined).
+    pub similarity: f64,
+    /// Number of users who rated both items.
+    pub co_raters: usize,
+    /// Weighted significance `S_{i,j}` (Definition 2): mutual likes + mutual dislikes.
+    pub significance: usize,
+    /// Size of the union `|Y_i ∪ Y_j|`.
+    pub union_size: usize,
+}
+
+impl SimilarityStats {
+    /// A record representing "no relationship" (no co-raters).
+    pub const NONE: SimilarityStats = SimilarityStats {
+        similarity: 0.0,
+        co_raters: 0,
+        significance: 0,
+        union_size: 0,
+    };
+
+    /// Normalised weighted significance `Ŝ_{i,j} = S_{i,j} / |Y_i ∪ Y_j|` (Definition 4).
+    /// Zero when the union is empty.
+    pub fn normalized_significance(&self) -> f64 {
+        if self.union_size == 0 {
+            0.0
+        } else {
+            self.significance as f64 / self.union_size as f64
+        }
+    }
+}
+
+/// Computes the item–item similarity together with significance statistics for `(i, j)`.
+///
+/// This is a single linear merge over the two item profiles (which are sorted by user id),
+/// so the cost is `O(|Y_i| + |Y_j|)`.
+pub fn item_similarity_stats(
+    matrix: &RatingMatrix,
+    i: ItemId,
+    j: ItemId,
+    metric: SimilarityMetric,
+) -> SimilarityStats {
+    let yi = matrix.item_profile(i);
+    let yj = matrix.item_profile(j);
+    if yi.is_empty() || yj.is_empty() {
+        return SimilarityStats {
+            union_size: yi.len() + yj.len(),
+            ..SimilarityStats::NONE
+        };
+    }
+
+    let i_avg = matrix.item_average(i);
+    let j_avg = matrix.item_average(j);
+
+    // Accumulators for the different metrics over co-rating users.
+    let mut dot = 0.0f64;
+    let mut num = 0.0f64;
+    let mut co_raters = 0usize;
+    let mut significance = 0usize;
+    let mut co_i = Vec::new();
+    let mut co_j = Vec::new();
+
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < yi.len() && b < yj.len() {
+        match yi[a].user.cmp(&yj[b].user) {
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+            std::cmp::Ordering::Equal => {
+                let u = yi[a].user;
+                let ri = yi[a].value;
+                let rj = yj[b].value;
+                co_raters += 1;
+
+                // Definition 2: mutual like (both >= item average) or mutual dislike.
+                let likes_i = ri >= i_avg;
+                let likes_j = rj >= j_avg;
+                if likes_i == likes_j {
+                    significance += 1;
+                }
+
+                match metric {
+                    SimilarityMetric::AdjustedCosine => {
+                        let u_avg = matrix.user_average(u);
+                        num += (ri - u_avg) * (rj - u_avg);
+                    }
+                    SimilarityMetric::Cosine => {
+                        dot += ri * rj;
+                    }
+                    SimilarityMetric::Pearson => {
+                        co_i.push(ri);
+                        co_j.push(rj);
+                    }
+                }
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+
+    let union_size = yi.len() + yj.len() - co_raters;
+    if co_raters == 0 {
+        return SimilarityStats {
+            similarity: 0.0,
+            co_raters,
+            significance,
+            union_size,
+        };
+    }
+
+    let similarity = match metric {
+        SimilarityMetric::AdjustedCosine => {
+            // Denominator runs over *all* raters of each item, centred by each rater's
+            // user average — Equation 6 of the paper.
+            let den_i: f64 = yi
+                .iter()
+                .map(|e| {
+                    let d = e.value - matrix.user_average(e.user);
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt();
+            let den_j: f64 = yj
+                .iter()
+                .map(|e| {
+                    let d = e.value - matrix.user_average(e.user);
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt();
+            safe_ratio(num, den_i * den_j)
+        }
+        SimilarityMetric::Cosine => {
+            let den_i: f64 = yi.iter().map(|e| e.value * e.value).sum::<f64>().sqrt();
+            let den_j: f64 = yj.iter().map(|e| e.value * e.value).sum::<f64>().sqrt();
+            safe_ratio(dot, den_i * den_j)
+        }
+        SimilarityMetric::Pearson => {
+            let n = co_i.len() as f64;
+            let mean_i = co_i.iter().sum::<f64>() / n;
+            let mean_j = co_j.iter().sum::<f64>() / n;
+            let mut num = 0.0;
+            let mut di = 0.0;
+            let mut dj = 0.0;
+            for k in 0..co_i.len() {
+                let a = co_i[k] - mean_i;
+                let b = co_j[k] - mean_j;
+                num += a * b;
+                di += a * a;
+                dj += b * b;
+            }
+            safe_ratio(num, (di * dj).sqrt())
+        }
+    };
+
+    SimilarityStats {
+        similarity: clamp_similarity(similarity),
+        co_raters,
+        significance,
+        union_size,
+    }
+}
+
+/// Item–item similarity only (convenience wrapper around [`item_similarity_stats`]).
+pub fn item_similarity(matrix: &RatingMatrix, i: ItemId, j: ItemId, metric: SimilarityMetric) -> f64 {
+    item_similarity_stats(matrix, i, j, metric).similarity
+}
+
+/// User–user similarity of Equation 1 (Algorithm 1, Phase 1): ratings are centred by the
+/// *item* average and the sums run over the items co-rated by both users.
+pub fn user_similarity(matrix: &RatingMatrix, a: UserId, b: UserId) -> f64 {
+    let xa = matrix.user_profile(a);
+    let xb = matrix.user_profile(b);
+    if xa.is_empty() || xb.is_empty() {
+        return 0.0;
+    }
+
+    let mut num = 0.0f64;
+    let mut den_a = 0.0f64;
+    let mut den_b = 0.0f64;
+
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < xa.len() && q < xb.len() {
+        match xa[p].item.cmp(&xb[q].item) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                let i_avg = matrix.item_average(xa[p].item);
+                let da = xa[p].value - i_avg;
+                let db = xb[q].value - i_avg;
+                num += da * db;
+                den_a += da * da;
+                den_b += db * db;
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+
+    clamp_similarity(safe_ratio(num, (den_a * den_b).sqrt()))
+}
+
+/// Number of items co-rated by two users.
+pub fn co_rated_items(matrix: &RatingMatrix, a: UserId, b: UserId) -> usize {
+    let xa = matrix.user_profile(a);
+    let xb = matrix.user_profile(b);
+    let (mut p, mut q, mut n) = (0usize, 0usize, 0usize);
+    while p < xa.len() && q < xb.len() {
+        match xa[p].item.cmp(&xb[q].item) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    n
+}
+
+#[inline]
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den.abs() < 1e-12 || !den.is_finite() || !num.is_finite() {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[inline]
+fn clamp_similarity(s: f64) -> f64 {
+    if s.is_finite() {
+        s.clamp(-1.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::RatingMatrixBuilder;
+    use proptest::prelude::*;
+
+    /// The Figure 1(a) scenario: five users, three movies, two books.
+    /// Interstellar and The Forever War share no raters, but Inception bridges them.
+    fn fig1a() -> (RatingMatrix, ItemId, ItemId, ItemId) {
+        // items: 0 Interstellar, 1 Inception, 2 The Martian, 3 The Forever War, 4 Ender's Game
+        let mut b = RatingMatrixBuilder::new();
+        // Alice rates movies only
+        b.push_parts(0, 0, 5.0).unwrap();
+        b.push_parts(0, 2, 4.0).unwrap();
+        // Bob rates Interstellar + Inception + one book
+        b.push_parts(1, 0, 5.0).unwrap();
+        b.push_parts(1, 1, 5.0).unwrap();
+        b.push_parts(1, 4, 4.0).unwrap();
+        // Cecilia rates Inception and The Forever War
+        b.push_parts(2, 1, 4.0).unwrap();
+        b.push_parts(2, 3, 5.0).unwrap();
+        // Dave rates The Martian
+        b.push_parts(3, 2, 2.0).unwrap();
+        // Eve rates Ender's Game
+        b.push_parts(4, 4, 3.0).unwrap();
+        (b.build().unwrap(), ItemId(0), ItemId(1), ItemId(3))
+    }
+
+    #[test]
+    fn no_common_raters_gives_zero_similarity() {
+        let (m, interstellar, _inception, forever_war) = fig1a();
+        let stats = item_similarity_stats(&m, interstellar, forever_war, SimilarityMetric::AdjustedCosine);
+        assert_eq!(stats.similarity, 0.0);
+        assert_eq!(stats.co_raters, 0);
+        assert_eq!(stats.significance, 0);
+    }
+
+    #[test]
+    fn bridge_item_has_nonzero_similarity_with_both_endpoints() {
+        let (m, interstellar, inception, forever_war) = fig1a();
+        let s1 = item_similarity_stats(&m, interstellar, inception, SimilarityMetric::AdjustedCosine);
+        let s2 = item_similarity_stats(&m, inception, forever_war, SimilarityMetric::AdjustedCosine);
+        assert!(s1.co_raters >= 1);
+        assert!(s2.co_raters >= 1);
+        // Significance counts mutual like/dislike; Bob likes both Interstellar and Inception.
+        assert!(s1.significance >= 1);
+        // Cecilia rates Inception below and The Forever War above their respective
+        // averages, so the pair has a co-rater but no mutual like/dislike.
+        assert_eq!(s2.significance, 0);
+    }
+
+    #[test]
+    fn cosine_of_identical_columns_is_one() {
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..4u32 {
+            b.push_parts(u, 0, (u + 1) as f64).unwrap();
+            b.push_parts(u, 1, (u + 1) as f64).unwrap();
+        }
+        let m = b.build().unwrap();
+        let s = item_similarity(&m, ItemId(0), ItemId(1), SimilarityMetric::Cosine);
+        assert!((s - 1.0).abs() < 1e-9);
+        let p = item_similarity(&m, ItemId(0), ItemId(1), SimilarityMetric::Pearson);
+        assert!((p - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_anticorrelated_columns_is_minus_one() {
+        let mut b = RatingMatrixBuilder::new();
+        let vals = [1.0, 2.0, 4.0, 5.0];
+        for (u, &v) in vals.iter().enumerate() {
+            b.push_parts(u as u32, 0, v).unwrap();
+            b.push_parts(u as u32, 1, 6.0 - v).unwrap();
+        }
+        let m = b.build().unwrap();
+        let p = item_similarity(&m, ItemId(0), ItemId(1), SimilarityMetric::Pearson);
+        assert!((p + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjusted_cosine_detects_shared_preference_direction() {
+        // Users with different rating scales but the same relative preference.
+        let mut b = RatingMatrixBuilder::new();
+        // user 0: loves both items relative to their average
+        b.push_parts(0, 0, 5.0).unwrap();
+        b.push_parts(0, 1, 5.0).unwrap();
+        b.push_parts(0, 2, 1.0).unwrap();
+        // user 1: also prefers items 0 and 1 over item 2, on a lower scale
+        b.push_parts(1, 0, 4.0).unwrap();
+        b.push_parts(1, 1, 4.0).unwrap();
+        b.push_parts(1, 2, 2.0).unwrap();
+        let m = b.build().unwrap();
+        let s01 = item_similarity(&m, ItemId(0), ItemId(1), SimilarityMetric::AdjustedCosine);
+        let s02 = item_similarity(&m, ItemId(0), ItemId(2), SimilarityMetric::AdjustedCosine);
+        assert!(s01 > 0.0, "mutually liked items should be positively similar, got {s01}");
+        assert!(s02 < 0.0, "liked vs disliked items should be negatively similar, got {s02}");
+        assert!(s01 > s02);
+    }
+
+    #[test]
+    fn user_similarity_matches_shared_taste() {
+        let mut b = RatingMatrixBuilder::new();
+        // users 0 and 1 agree, user 2 disagrees
+        for item in 0..4u32 {
+            b.push_parts(0, item, if item % 2 == 0 { 5.0 } else { 1.0 }).unwrap();
+            b.push_parts(1, item, if item % 2 == 0 { 4.0 } else { 2.0 }).unwrap();
+            b.push_parts(2, item, if item % 2 == 0 { 1.0 } else { 5.0 }).unwrap();
+        }
+        let m = b.build().unwrap();
+        let agree = user_similarity(&m, UserId(0), UserId(1));
+        let disagree = user_similarity(&m, UserId(0), UserId(2));
+        assert!(agree > 0.5, "agreeing users should have high similarity, got {agree}");
+        assert!(disagree < -0.5, "disagreeing users should have negative similarity, got {disagree}");
+        assert_eq!(co_rated_items(&m, UserId(0), UserId(1)), 4);
+    }
+
+    #[test]
+    fn user_similarity_with_empty_profile_is_zero() {
+        let mut b = RatingMatrixBuilder::new().with_dimensions(3, 2);
+        b.push_parts(0, 0, 4.0).unwrap();
+        let m = b.build().unwrap();
+        assert_eq!(user_similarity(&m, UserId(0), UserId(2)), 0.0);
+        assert_eq!(co_rated_items(&m, UserId(0), UserId(2)), 0);
+    }
+
+    #[test]
+    fn stats_union_and_normalized_significance() {
+        let (m, _interstellar, inception, forever_war) = fig1a();
+        let s = item_similarity_stats(&m, inception, forever_war, SimilarityMetric::AdjustedCosine);
+        // Inception rated by Bob and Cecilia; Forever War by Cecilia only -> union = 2.
+        assert_eq!(s.union_size, 2);
+        assert_eq!(s.co_raters, 1);
+        assert!(s.normalized_significance() >= 0.0 && s.normalized_significance() <= 1.0);
+        assert_eq!(SimilarityStats::NONE.normalized_significance(), 0.0);
+    }
+
+    #[test]
+    fn default_metric_is_adjusted_cosine() {
+        assert_eq!(SimilarityMetric::default(), SimilarityMetric::AdjustedCosine);
+    }
+
+    proptest! {
+        /// Similarities are symmetric and bounded for every metric on random matrices.
+        #[test]
+        fn similarity_symmetric_and_bounded(
+            ratings in proptest::collection::vec((0u32..12, 0u32..10, 1u32..=5), 1..120),
+            metric_ix in 0usize..3,
+        ) {
+            let metric = [SimilarityMetric::AdjustedCosine, SimilarityMetric::Cosine, SimilarityMetric::Pearson][metric_ix];
+            let mut b = RatingMatrixBuilder::new();
+            for (u, i, v) in ratings {
+                b.push_parts(u, i, v as f64).unwrap();
+            }
+            let m = b.build().unwrap();
+            for i in 0..m.n_items().min(6) as u32 {
+                for j in 0..m.n_items().min(6) as u32 {
+                    let sij = item_similarity_stats(&m, ItemId(i), ItemId(j), metric);
+                    let sji = item_similarity_stats(&m, ItemId(j), ItemId(i), metric);
+                    prop_assert!((sij.similarity - sji.similarity).abs() < 1e-9);
+                    prop_assert!(sij.similarity >= -1.0 - 1e-9 && sij.similarity <= 1.0 + 1e-9);
+                    prop_assert_eq!(sij.co_raters, sji.co_raters);
+                    prop_assert_eq!(sij.significance, sji.significance);
+                    prop_assert!(sij.significance <= sij.co_raters);
+                    prop_assert!(sij.co_raters <= sij.union_size || sij.union_size == 0);
+                }
+            }
+        }
+
+        /// User similarity is symmetric and bounded.
+        #[test]
+        fn user_similarity_symmetric(
+            ratings in proptest::collection::vec((0u32..8, 0u32..8, 1u32..=5), 1..80),
+        ) {
+            let mut b = RatingMatrixBuilder::new();
+            for (u, i, v) in ratings {
+                b.push_parts(u, i, v as f64).unwrap();
+            }
+            let m = b.build().unwrap();
+            for a in 0..m.n_users().min(5) as u32 {
+                for c in 0..m.n_users().min(5) as u32 {
+                    let sab = user_similarity(&m, UserId(a), UserId(c));
+                    let sba = user_similarity(&m, UserId(c), UserId(a));
+                    prop_assert!((sab - sba).abs() < 1e-9);
+                    prop_assert!((-1.0..=1.0).contains(&sab));
+                }
+            }
+        }
+    }
+}

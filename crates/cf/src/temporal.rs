@@ -1,0 +1,137 @@
+//! Temporal relevance weighting (Equation 7 and §6.2 of the paper).
+//!
+//! The item-based recommender can weight each of the querying user's past ratings by an
+//! exponential decay `e^{-α (t - t_{A,j})}` so that recent opinions count more. The decay
+//! is applied inside [`crate::ItemKnn`] (via [`crate::ItemKnnConfig::temporal_alpha`]);
+//! this module provides the decay function itself plus the α-sweep utility used to
+//! reproduce Figure 5, where the optimal α is selected by minimising MAE on a validation
+//! set.
+
+use crate::rating::Timestep;
+use serde::{Deserialize, Serialize};
+
+/// Exponential time-decay weight `e^{-α Δt}` used by Equation 7.
+///
+/// `alpha == 0` disables the decay (weight 1 for every rating).
+#[inline]
+pub fn decay_weight(alpha: f64, now: Timestep, rated_at: Timestep) -> f64 {
+    debug_assert!(alpha >= 0.0, "negative decay rates are not meaningful");
+    if alpha == 0.0 {
+        1.0
+    } else {
+        (-alpha * now.elapsed_since(rated_at) as f64).exp()
+    }
+}
+
+/// Result of evaluating one candidate α in a sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPoint {
+    /// Decay rate evaluated.
+    pub alpha: f64,
+    /// Mean absolute error measured with this decay rate.
+    pub mae: f64,
+}
+
+/// Outcome of an α sweep: every evaluated point plus the optimum (the paper reports the
+/// optimally tuned `α_o` per direction in Figure 5).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlphaSweep {
+    /// All evaluated `(α, MAE)` points, in the order they were evaluated.
+    pub points: Vec<AlphaPoint>,
+}
+
+impl AlphaSweep {
+    /// Runs a sweep by calling `evaluate(α) -> MAE` for each candidate.
+    pub fn run(alphas: impl IntoIterator<Item = f64>, mut evaluate: impl FnMut(f64) -> f64) -> Self {
+        let points = alphas
+            .into_iter()
+            .map(|alpha| AlphaPoint {
+                alpha,
+                mae: evaluate(alpha),
+            })
+            .collect();
+        AlphaSweep { points }
+    }
+
+    /// The candidate with the lowest MAE (`α_o` in the paper), if any candidate was
+    /// evaluated and produced a finite error.
+    pub fn optimal(&self) -> Option<AlphaPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.mae.is_finite())
+            .copied()
+            .min_by(|a, b| a.mae.partial_cmp(&b.mae).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The canonical grid used by Figure 5: α ∈ {0, 0.01, …, 0.2}.
+    pub fn paper_grid() -> Vec<f64> {
+        (0..=20).map(|i| i as f64 * 0.01).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_alpha_means_no_decay() {
+        assert_eq!(decay_weight(0.0, Timestep(100), Timestep(0)), 1.0);
+    }
+
+    #[test]
+    fn decay_decreases_with_age() {
+        let now = Timestep(100);
+        let recent = decay_weight(0.1, now, Timestep(95));
+        let old = decay_weight(0.1, now, Timestep(10));
+        assert!(recent > old);
+        assert!(old > 0.0);
+        assert!((decay_weight(0.1, now, now) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn future_ratings_do_not_amplify() {
+        // elapsed_since saturates at zero, so a "future" rating gets weight 1, not > 1
+        assert_eq!(decay_weight(0.5, Timestep(5), Timestep(50)), 1.0);
+    }
+
+    #[test]
+    fn sweep_finds_minimum() {
+        // synthetic convex error curve with minimum at alpha = 0.03
+        let sweep = AlphaSweep::run(AlphaSweep::paper_grid(), |a| (a - 0.03).powi(2) + 0.7);
+        let best = sweep.optimal().unwrap();
+        assert!((best.alpha - 0.03).abs() < 1e-9);
+        assert_eq!(sweep.points.len(), 21);
+    }
+
+    #[test]
+    fn sweep_ignores_non_finite_errors() {
+        let sweep = AlphaSweep::run([0.0, 0.1, 0.2], |a| if a == 0.1 { f64::NAN } else { a });
+        assert_eq!(sweep.optimal().unwrap().alpha, 0.0);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_optimum() {
+        let sweep = AlphaSweep::run(std::iter::empty::<f64>(), |_| 0.0);
+        assert!(sweep.optimal().is_none());
+    }
+
+    proptest! {
+        /// Decay weights are always in [0, 1] for non-negative α (extreme ages may
+        /// underflow to exactly zero, which is still a valid weight).
+        #[test]
+        fn weights_bounded(alpha in 0.0f64..2.0, now in 0u32..1000, then in 0u32..1000) {
+            let w = decay_weight(alpha, Timestep(now), Timestep(then));
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+
+        /// Weight is monotonically non-increasing in the age of the rating.
+        #[test]
+        fn weights_monotone_in_age(alpha in 0.0f64..2.0, now in 100u32..1000, d1 in 0u32..100, d2 in 0u32..100) {
+            let (older, newer) = if d1 > d2 { (d1, d2) } else { (d2, d1) };
+            let w_old = decay_weight(alpha, Timestep(now), Timestep(now - older));
+            let w_new = decay_weight(alpha, Timestep(now), Timestep(now - newer));
+            prop_assert!(w_old <= w_new + 1e-12);
+        }
+    }
+}

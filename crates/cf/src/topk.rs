@@ -1,0 +1,192 @@
+//! Top-k selection utilities.
+//!
+//! Every phase of the paper ("top-k neighbours", "top-k similar items per layer",
+//! "top-N recommendations") boils down to keeping the k largest-scored candidates.
+//! [`TopK`] is a small bounded min-heap keyed by an `f64` score that tolerates NaN-free
+//! floating point scores and returns its content sorted by descending score.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the bounded heap: ordered by score ascending so the heap root is the
+/// current minimum and can be evicted cheaply.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry<T> {
+    score: f64,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the minimum score at the root.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Bounded collection retaining the `k` highest-scored payloads.
+#[derive(Clone, Debug)]
+pub struct TopK<T> {
+    k: usize,
+    heap: BinaryHeap<HeapEntry<T>>,
+}
+
+impl<T> TopK<T> {
+    /// Creates a collector for the `k` best items. `k == 0` collects nothing.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// Offers a candidate. Non-finite scores are ignored.
+    pub fn push(&mut self, score: f64, payload: T) {
+        if self.k == 0 || !score.is_finite() {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { score, payload });
+        } else if let Some(min) = self.heap.peek() {
+            if score > min.score {
+                self.heap.pop();
+                self.heap.push(HeapEntry { score, payload });
+            }
+        }
+    }
+
+    /// Number of retained candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th (smallest retained) score, if the collector is full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.score)
+        } else {
+            None
+        }
+    }
+
+    /// Consumes the collector and returns `(score, payload)` pairs sorted by descending
+    /// score (ties keep an arbitrary but deterministic order).
+    pub fn into_sorted_vec(self) -> Vec<(f64, T)> {
+        let mut v: Vec<(f64, T)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.score, e.payload))
+            .collect();
+        v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
+        v
+    }
+}
+
+/// Convenience: select the top-k of an iterator of `(score, payload)` pairs.
+pub fn top_k<T>(k: usize, iter: impl IntoIterator<Item = (f64, T)>) -> Vec<(f64, T)> {
+    let mut collector = TopK::new(k);
+    for (score, payload) in iter {
+        collector.push(score, payload);
+    }
+    collector.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_the_k_largest() {
+        let scores = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0];
+        let got = top_k(3, scores.iter().enumerate().map(|(i, &s)| (s, i)));
+        let got_scores: Vec<f64> = got.iter().map(|(s, _)| *s).collect();
+        assert_eq!(got_scores, vec![9.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_k_collects_nothing() {
+        let got = top_k(0, [(1.0, "a"), (2.0, "b")]);
+        assert!(got.is_empty());
+        let mut c = TopK::new(0);
+        c.push(5.0, ());
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn fewer_candidates_than_k_returns_all_sorted() {
+        let got = top_k(10, [(1.0, "a"), (3.0, "b"), (2.0, "c")]);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].1, "b");
+        assert_eq!(got[2].1, "a");
+    }
+
+    #[test]
+    fn nan_and_infinite_scores_are_ignored() {
+        let got = top_k(5, [(f64::NAN, 0), (f64::INFINITY, 1), (2.0, 2), (1.0, 3)]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (2.0, 2));
+    }
+
+    #[test]
+    fn threshold_reports_kth_score_only_when_full() {
+        let mut c = TopK::new(2);
+        assert_eq!(c.threshold(), None);
+        c.push(1.0, ());
+        assert_eq!(c.threshold(), None);
+        c.push(5.0, ());
+        assert_eq!(c.threshold(), Some(1.0));
+        c.push(3.0, ());
+        assert_eq!(c.threshold(), Some(3.0));
+    }
+
+    #[test]
+    fn negative_scores_are_supported() {
+        let got = top_k(2, [(-5.0, "a"), (-1.0, "b"), (-3.0, "c")]);
+        assert_eq!(got[0].1, "b");
+        assert_eq!(got[1].1, "c");
+    }
+
+    proptest! {
+        /// The collector returns exactly the k largest values of the input (as a multiset).
+        #[test]
+        fn matches_full_sort(k in 0usize..20, values in proptest::collection::vec(-100.0f64..100.0, 0..200)) {
+            let got: Vec<f64> = top_k(k, values.iter().map(|&v| (v, ()))).into_iter().map(|(s, _)| s).collect();
+            let mut expect = values.clone();
+            expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            expect.truncate(k);
+            prop_assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(expect.iter()) {
+                prop_assert!((g - e).abs() < 1e-12);
+            }
+        }
+
+        /// Output is always sorted descending.
+        #[test]
+        fn output_sorted_descending(k in 1usize..10, values in proptest::collection::vec(-1.0f64..1.0, 0..100)) {
+            let got = top_k(k, values.iter().map(|&v| (v, ())));
+            for w in got.windows(2) {
+                prop_assert!(w[0].0 >= w[1].0);
+            }
+        }
+    }
+}

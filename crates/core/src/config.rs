@@ -1,0 +1,236 @@
+//! Configuration of the X-Map pipeline.
+
+use crate::generator::RatingTransfer;
+use serde::{Deserialize, Serialize};
+use xmap_cf::SimilarityMetric;
+use xmap_graph::MetaPathConfig;
+
+/// Which of the four recommender variants evaluated in §6 to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XMapMode {
+    /// Non-private, user-based CF in the target domain (`NX-MAP-UB`).
+    NxMapUserBased,
+    /// Non-private, item-based CF in the target domain (`NX-MAP-IB`).
+    NxMapItemBased,
+    /// Differentially private, user-based (`X-MAP-UB`).
+    XMapUserBased,
+    /// Differentially private, item-based (`X-MAP-IB`).
+    XMapItemBased,
+}
+
+impl XMapMode {
+    /// Whether this mode applies the differential-privacy mechanisms (PRS + PNSA/PNCF).
+    pub fn is_private(&self) -> bool {
+        matches!(self, XMapMode::XMapUserBased | XMapMode::XMapItemBased)
+    }
+
+    /// Whether the target-domain CF step is item-based.
+    pub fn is_item_based(&self) -> bool {
+        matches!(self, XMapMode::NxMapItemBased | XMapMode::XMapItemBased)
+    }
+
+    /// Display name matching the labels used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            XMapMode::NxMapUserBased => "NX-MAP-UB",
+            XMapMode::NxMapItemBased => "NX-MAP-IB",
+            XMapMode::XMapUserBased => "X-MAP-UB",
+            XMapMode::XMapItemBased => "X-MAP-IB",
+        }
+    }
+}
+
+/// Differential-privacy parameters (§6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyConfig {
+    /// ε for the PRS AlterEgo-generation mechanism (Algorithm 3).
+    pub epsilon: f64,
+    /// ε′ shared by PNSA and PNCF (Algorithms 4 and 5); each receives ε′/2.
+    pub epsilon_prime: f64,
+    /// Failure probability ρ of the truncated-similarity bound (Theorems 3–4).
+    pub rho: f64,
+}
+
+impl Default for PrivacyConfig {
+    fn default() -> Self {
+        // The paper's selected operating point for X-Map-ib (§6.3).
+        PrivacyConfig {
+            epsilon: 0.3,
+            epsilon_prime: 0.8,
+            rho: 0.05,
+        }
+    }
+}
+
+impl PrivacyConfig {
+    /// The operating point the paper selects for the user-based variant (ε=0.6, ε′=0.3).
+    pub fn user_based_default() -> Self {
+        PrivacyConfig {
+            epsilon: 0.6,
+            epsilon_prime: 0.3,
+            rho: 0.05,
+        }
+    }
+}
+
+/// Full configuration of an X-Map run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct XMapConfig {
+    /// Recommender variant.
+    pub mode: XMapMode,
+    /// Neighbourhood size `k` used everywhere a top-k appears: layer extension fan-out,
+    /// CF neighbours, similar-item lists (§6.4 uses k = 50).
+    pub k: usize,
+    /// Baseline similarity metric for the similarity graph (adjusted cosine in the paper).
+    pub metric: SimilarityMetric,
+    /// Meta-path enumeration limits.
+    pub metapath: MetaPathConfig,
+    /// Temporal decay α for the item-based recommender (Equation 7); 0 disables it.
+    pub temporal_alpha: f64,
+    /// How rating values are carried onto replacement items when building AlterEgos.
+    pub transfer: RatingTransfer,
+    /// Size of the replacement shortlist per source item: the generator (and the PRS
+    /// mechanism in the private modes) selects the replacement from the
+    /// `replacement_pool` best heterogeneous candidates. A small shortlist keeps the
+    /// exponential mechanism useful even at strong privacy levels, mirroring the paper's
+    /// top-k extension lists (§5.2).
+    pub replacement_pool: usize,
+    /// Privacy parameters; only consulted by the private modes.
+    pub privacy: PrivacyConfig,
+    /// Seed for all randomised mechanisms (PRS, PNSA, PNCF). The same seed and inputs
+    /// give identical models, which the experiments rely on.
+    pub seed: u64,
+    /// Number of worker threads for the parallel stages.
+    pub workers: usize,
+}
+
+impl Default for XMapConfig {
+    fn default() -> Self {
+        XMapConfig {
+            mode: XMapMode::NxMapItemBased,
+            k: 50,
+            metric: SimilarityMetric::AdjustedCosine,
+            metapath: MetaPathConfig::default(),
+            temporal_alpha: 0.0,
+            transfer: RatingTransfer::default(),
+            replacement_pool: 10,
+            privacy: PrivacyConfig::default(),
+            seed: 42,
+            workers: 1,
+        }
+    }
+}
+
+impl XMapConfig {
+    /// Validates the configuration, returning a description of the first problem found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".to_string());
+        }
+        if self.temporal_alpha < 0.0 || !self.temporal_alpha.is_finite() {
+            return Err(format!("temporal_alpha must be finite and >= 0, got {}", self.temporal_alpha));
+        }
+        if self.metapath.per_layer_top_k == 0 {
+            return Err("metapath.per_layer_top_k must be at least 1".to_string());
+        }
+        if self.replacement_pool == 0 {
+            return Err("replacement_pool must be at least 1".to_string());
+        }
+        if self.mode.is_private() {
+            if !(self.privacy.epsilon.is_finite() && self.privacy.epsilon > 0.0) {
+                return Err(format!("privacy.epsilon must be positive, got {}", self.privacy.epsilon));
+            }
+            if !(self.privacy.epsilon_prime.is_finite() && self.privacy.epsilon_prime > 0.0) {
+                return Err(format!(
+                    "privacy.epsilon_prime must be positive, got {}",
+                    self.privacy.epsilon_prime
+                ));
+            }
+            if !(0.0 < self.privacy.rho && self.privacy.rho < 1.0) {
+                return Err(format!("privacy.rho must be in (0, 1), got {}", self.privacy.rho));
+            }
+        }
+        if self.workers == 0 {
+            return Err("workers must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags_and_labels() {
+        assert!(XMapMode::XMapItemBased.is_private());
+        assert!(XMapMode::XMapUserBased.is_private());
+        assert!(!XMapMode::NxMapItemBased.is_private());
+        assert!(XMapMode::NxMapItemBased.is_item_based());
+        assert!(XMapMode::XMapItemBased.is_item_based());
+        assert!(!XMapMode::NxMapUserBased.is_item_based());
+        assert_eq!(XMapMode::XMapUserBased.label(), "X-MAP-UB");
+        assert_eq!(XMapMode::NxMapItemBased.label(), "NX-MAP-IB");
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(XMapConfig::default().validate().is_ok());
+        let private = XMapConfig {
+            mode: XMapMode::XMapItemBased,
+            ..Default::default()
+        };
+        assert!(private.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_reported() {
+        let mut c = XMapConfig::default();
+        c.k = 0;
+        assert!(c.validate().unwrap_err().contains("k"));
+
+        let mut c = XMapConfig::default();
+        c.temporal_alpha = -1.0;
+        assert!(c.validate().unwrap_err().contains("temporal_alpha"));
+
+        let mut c = XMapConfig::default();
+        c.workers = 0;
+        assert!(c.validate().unwrap_err().contains("workers"));
+
+        let mut c = XMapConfig {
+            mode: XMapMode::XMapItemBased,
+            ..Default::default()
+        };
+        c.privacy.epsilon = 0.0;
+        assert!(c.validate().unwrap_err().contains("epsilon"));
+
+        let mut c = XMapConfig {
+            mode: XMapMode::XMapUserBased,
+            ..Default::default()
+        };
+        c.privacy.epsilon_prime = f64::NAN;
+        assert!(c.validate().unwrap_err().contains("epsilon_prime"));
+
+        let mut c = XMapConfig {
+            mode: XMapMode::XMapUserBased,
+            ..Default::default()
+        };
+        c.privacy.rho = 1.5;
+        assert!(c.validate().unwrap_err().contains("rho"));
+    }
+
+    #[test]
+    fn privacy_epsilon_ignored_for_non_private_modes() {
+        let mut c = XMapConfig::default(); // non-private
+        c.privacy.epsilon = -1.0;
+        assert!(c.validate().is_ok(), "non-private modes do not consult privacy parameters");
+    }
+
+    #[test]
+    fn paper_operating_points() {
+        let ib = PrivacyConfig::default();
+        assert_eq!((ib.epsilon, ib.epsilon_prime), (0.3, 0.8));
+        let ub = PrivacyConfig::user_based_default();
+        assert_eq!((ub.epsilon, ub.epsilon_prime), (0.6, 0.3));
+    }
+}

@@ -1,0 +1,460 @@
+//! AlterEgo generation (§4.3 and the Generator component of §5.3).
+//!
+//! The generator performs two steps:
+//!
+//! 1. **Item mapping / replacement selection** — every source-domain item is mapped to a
+//!    replacement item in the target domain. Non-privately this is simply the most
+//!    X-Sim-similar heterogeneous item; privately it is the **PRS** exponential mechanism
+//!    (Algorithm 3), which selects a replacement with probability proportional to
+//!    `exp(ε · X-Sim / (2 · GS))`, `GS = 2`.
+//! 2. **Mapped user profile** — the user's source-domain ratings are re-addressed to the
+//!    replacement items, preserving the rating values and logical timesteps (which is how
+//!    AlterEgos retain temporal behaviour across domains). If the user already has
+//!    ratings in the target domain they are appended, per footnote 6 of the paper.
+
+use crate::config::{XMapConfig, XMapMode};
+use crate::xsim::XSimTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xmap_cf::knn::Profile;
+use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
+use xmap_privacy::{exponential_mechanism, Sensitivity};
+
+/// How a source-domain rating value is carried onto its replacement item when building an
+/// AlterEgo profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RatingTransfer {
+    /// Carry the rating value verbatim — exactly the item-replacement step the paper
+    /// describes (§4.3, Figure 3).
+    Raw,
+    /// Carry the user's *deviation* from the source item's mean rating, re-centred on the
+    /// replacement item's mean. An implementation refinement (ablatable, see DESIGN.md):
+    /// it prevents popularity differences between the two items from being misread as a
+    /// like/dislike signal by the mean-centred CF predictors downstream.
+    MeanAdjusted,
+}
+
+impl Default for RatingTransfer {
+    fn default() -> Self {
+        RatingTransfer::MeanAdjusted
+    }
+}
+
+/// A user's artificial profile in the target domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AlterEgo {
+    /// The user the profile belongs to.
+    pub user: UserId,
+    /// The target-domain profile: `(item, rating, timestep)` triples. Items mapped from
+    /// the source domain come first (in source-profile order), any genuine target-domain
+    /// ratings of the user are appended.
+    pub profile: Profile,
+    /// How many entries of `profile` were mapped from the source domain (the remainder
+    /// are the user's own target-domain ratings).
+    pub n_mapped: usize,
+}
+
+impl AlterEgo {
+    /// Whether the profile contains any information at all.
+    pub fn is_empty(&self) -> bool {
+        self.profile.is_empty()
+    }
+}
+
+/// The item-to-item replacement table produced by the mapping step.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplacementTable {
+    replacements: HashMap<ItemId, ItemId>,
+}
+
+impl ReplacementTable {
+    /// The replacement of a source item, if it has one.
+    pub fn replacement(&self, item: ItemId) -> Option<ItemId> {
+        self.replacements.get(&item).copied()
+    }
+
+    /// Number of source items with a replacement.
+    pub fn len(&self) -> usize {
+        self.replacements.len()
+    }
+
+    /// Whether no item has a replacement.
+    pub fn is_empty(&self) -> bool {
+        self.replacements.is_empty()
+    }
+
+    /// Iterates `(source item, replacement)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, ItemId)> + '_ {
+        self.replacements.iter().map(|(a, b)| (*a, *b))
+    }
+
+    /// Maps a user's source-domain profile into an AlterEgo in the target domain
+    /// (the "mapped user profiles" step of §5.3), carrying rating values over verbatim
+    /// exactly as the paper describes.
+    ///
+    /// Rating values and timesteps are carried over; when several source items map to
+    /// the same replacement the most recent rating wins; the user's genuine target-domain
+    /// ratings are appended and override mapped entries for the same item.
+    pub fn map_profile(
+        &self,
+        matrix: &RatingMatrix,
+        user: UserId,
+        source_domain: DomainId,
+        target_domain: DomainId,
+    ) -> AlterEgo {
+        self.map_profile_with(matrix, user, source_domain, target_domain, RatingTransfer::Raw)
+    }
+
+    /// Like [`ReplacementTable::map_profile`] but with an explicit rating-transfer rule.
+    pub fn map_profile_with(
+        &self,
+        matrix: &RatingMatrix,
+        user: UserId,
+        source_domain: DomainId,
+        target_domain: DomainId,
+        transfer: RatingTransfer,
+    ) -> AlterEgo {
+        let mut mapped: HashMap<ItemId, (f64, xmap_cf::Timestep)> = HashMap::new();
+        let mut order: Vec<ItemId> = Vec::new();
+        let mut own_target: Profile = Vec::new();
+
+        for entry in matrix.user_profile(user) {
+            let domain = matrix.item_domain(entry.item);
+            if domain == source_domain {
+                if let Some(replacement) = self.replacement(entry.item) {
+                    let value = match transfer {
+                        RatingTransfer::Raw => entry.value,
+                        RatingTransfer::MeanAdjusted => {
+                            // transfer the user's *deviation* from the source item's mean
+                            // onto the replacement item's mean, so items with different
+                            // popularity levels do not distort the AlterEgo
+                            let deviation = entry.value - matrix.item_average(entry.item);
+                            matrix
+                                .scale()
+                                .clamp(matrix.item_average(replacement) + deviation)
+                        }
+                    };
+                    match mapped.get(&replacement) {
+                        Some(&(_, t)) if t >= entry.timestep => {}
+                        _ => {
+                            if !mapped.contains_key(&replacement) {
+                                order.push(replacement);
+                            }
+                            mapped.insert(replacement, (value, entry.timestep));
+                        }
+                    }
+                }
+            } else if domain == target_domain {
+                own_target.push((entry.item, entry.value, entry.timestep));
+            }
+        }
+
+        let mut profile: Profile = order
+            .into_iter()
+            .map(|item| {
+                let (value, t) = mapped[&item];
+                (item, value, t)
+            })
+            .collect();
+        let n_mapped = profile.len();
+        // Do not duplicate items the user has genuinely rated in the target domain: the
+        // real rating overrides the mapped one.
+        let own_items: Vec<ItemId> = own_target.iter().map(|&(i, _, _)| i).collect();
+        profile.retain(|(i, _, _)| !own_items.contains(i));
+        let n_mapped = n_mapped.min(profile.len());
+        profile.extend(own_target);
+
+        AlterEgo {
+            user,
+            profile,
+            n_mapped,
+        }
+    }
+}
+
+/// Generates AlterEgo profiles from an [`XSimTable`].
+pub struct AlterEgoGenerator<'a> {
+    matrix: &'a RatingMatrix,
+    xsim: &'a XSimTable,
+    source_domain: DomainId,
+    target_domain: DomainId,
+    config: XMapConfig,
+    replacements: ReplacementTable,
+}
+
+impl<'a> AlterEgoGenerator<'a> {
+    /// Builds the generator and materialises the replacement table.
+    ///
+    /// For the private modes every item's replacement is drawn once with the PRS
+    /// mechanism and then reused for every user — the replacement table is part of the
+    /// released model, so drawing it once per item (rather than per user) spends the ε
+    /// budget once, exactly as Algorithm 3 is invoked by the Generator component.
+    pub fn new(
+        matrix: &'a RatingMatrix,
+        xsim: &'a XSimTable,
+        source_domain: DomainId,
+        target_domain: DomainId,
+        config: XMapConfig,
+    ) -> Self {
+        let mut replacements = HashMap::new();
+        let private = config.mode.is_private();
+        for (item, all_candidates) in xsim.iter() {
+            // Replacing an item with a *dissimilar* (negatively correlated) heterogeneous
+            // item while keeping the original rating would inject anti-signal into the
+            // AlterEgo, so only positively similar candidates are eligible replacements.
+            // The candidate pool is further restricted to the top-k entries (the extender
+            // only materialises top-k lists per layer, §5.2) so that the private
+            // exponential mechanism — which flattens towards a uniform choice as ε
+            // shrinks — always selects from a pool of reasonable replacements.
+            let mut candidates: Vec<crate::xsim::XSimEntry> = all_candidates
+                .iter()
+                .filter(|c| c.similarity > 0.0)
+                .copied()
+                .collect();
+            candidates.truncate(config.replacement_pool.max(1));
+            if candidates.is_empty() {
+                continue;
+            }
+            let replacement = if private {
+                // PRS: sample proportionally to exp(ε · X-Sim / (2 · GS)), with the
+                // certainty-weighted X-Sim as the score (still bounded in [-1, 1], so the
+                // global sensitivity of 2 is unchanged).
+                let scores: Vec<f64> = candidates.iter().map(|c| c.weighted_similarity()).collect();
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(item.0) + 1)));
+                let idx = exponential_mechanism(
+                    &mut rng,
+                    &scores,
+                    config.privacy.epsilon,
+                    Sensitivity::XSIM_GLOBAL.value(),
+                )
+                .expect("candidate list is non-empty and scores are finite");
+                candidates[idx].item
+            } else {
+                candidates[0].item
+            };
+            replacements.insert(item, replacement);
+        }
+        AlterEgoGenerator {
+            matrix,
+            xsim,
+            source_domain,
+            target_domain,
+            config,
+            replacements: ReplacementTable { replacements },
+        }
+    }
+
+    /// The materialised replacement table.
+    pub fn replacements(&self) -> &ReplacementTable {
+        &self.replacements
+    }
+
+    /// The X-Sim table the generator was built from.
+    pub fn xsim(&self) -> &XSimTable {
+        self.xsim
+    }
+
+    /// Generates the AlterEgo profile of one user.
+    ///
+    /// Every source-domain rating whose item has a replacement contributes one mapped
+    /// entry; if several source items map to the same target item, the entry rated most
+    /// recently wins (matching the "latest rating wins" semantics of the rating matrix).
+    /// The user's genuine target-domain ratings are appended afterwards.
+    pub fn generate(&self, user: UserId) -> AlterEgo {
+        self.replacements.map_profile_with(
+            self.matrix,
+            user,
+            self.source_domain,
+            self.target_domain,
+            self.config.transfer,
+        )
+    }
+
+    /// Generates AlterEgos for a batch of users.
+    pub fn generate_batch(&self, users: &[UserId]) -> Vec<AlterEgo> {
+        users.iter().map(|&u| self.generate(u)).collect()
+    }
+
+    /// The configuration the generator runs under.
+    pub fn config(&self) -> &XMapConfig {
+        &self.config
+    }
+
+    /// Whether the generator applies the private replacement selection.
+    pub fn is_private(&self) -> bool {
+        matches!(
+            self.config.mode,
+            XMapMode::XMapItemBased | XMapMode::XMapUserBased
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivacyConfig;
+    use xmap_dataset::toy::{items, users, ToyScenario};
+    use xmap_engine::WorkerPool;
+    use xmap_graph::{GraphConfig, LayerPartition, MetaPathConfig, SimilarityGraph};
+
+    fn setup(mode: XMapMode, epsilon: f64) -> (ToyScenario, XSimTable, XMapConfig) {
+        let toy = ToyScenario::build();
+        let graph = SimilarityGraph::build(&toy.matrix, GraphConfig { top_k: None, ..Default::default() });
+        let (_, partition) = LayerPartition::from_graph(&graph);
+        let table = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
+        let config = XMapConfig {
+            mode,
+            k: 2,
+            privacy: PrivacyConfig {
+                epsilon,
+                ..PrivacyConfig::default()
+            },
+            ..Default::default()
+        };
+        (toy, table, config)
+    }
+
+    #[test]
+    fn non_private_replacement_is_the_best_xsim_match() {
+        let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        assert!(!gen.is_private());
+        for (item, replacement) in gen.replacements().iter() {
+            assert_eq!(Some(replacement), table.best_match(item).map(|e| e.item));
+        }
+        assert!(!gen.replacements().is_empty());
+    }
+
+    #[test]
+    fn alice_gets_a_book_alterego_despite_never_rating_books() {
+        let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let alter = gen.generate(users::ALICE);
+        assert!(!alter.is_empty(), "Alice's AlterEgo must contain mapped book ratings");
+        assert_eq!(alter.n_mapped, alter.profile.len());
+        for &(item, value, _) in &alter.profile {
+            assert_eq!(toy.matrix.item_domain(item), DomainId::TARGET);
+            assert!((1.0..=5.0).contains(&value));
+        }
+    }
+
+    #[test]
+    fn mapped_profile_preserves_rating_values_and_timesteps() {
+        let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let alter = gen.generate(users::ALICE);
+        // Alice rated Interstellar 5.0 at t=0; its replacement entry must carry 5.0.
+        let interstellar_replacement = gen.replacements().replacement(items::INTERSTELLAR);
+        if let Some(rep) = interstellar_replacement {
+            if let Some(&(_, value, t)) = alter.profile.iter().find(|&&(i, _, _)| i == rep) {
+                // the replacement may also receive The Martian's rating if both map to the
+                // same book; in that case the later timestep (The Martian, t=1) wins
+                assert!(value == 5.0 || value == 4.0);
+                assert!(t.0 <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn own_target_ratings_are_appended_and_override_mapped_ones() {
+        let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        // Cecilia has genuinely rated The Forever War (5.0) and Dune (4.0): those real
+        // ratings must appear exactly once each, overriding any mapped entry.
+        let alter = gen.generate(users::CECILIA);
+        let forever_war: Vec<_> = alter
+            .profile
+            .iter()
+            .filter(|&&(i, _, _)| i == items::THE_FOREVER_WAR)
+            .collect();
+        assert_eq!(forever_war.len(), 1);
+        assert_eq!(forever_war[0].1, 5.0);
+        let dune: Vec<_> = alter
+            .profile
+            .iter()
+            .filter(|&&(i, _, _)| i == items::DUNE)
+            .collect();
+        assert_eq!(dune.len(), 1);
+        assert_eq!(dune[0].1, 4.0);
+        assert!(alter.n_mapped <= alter.profile.len());
+    }
+
+    #[test]
+    fn user_with_no_source_profile_gets_only_their_target_ratings() {
+        let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        // Eve rated only books.
+        let alter = gen.generate(users::EVE);
+        assert_eq!(alter.n_mapped, 0);
+        assert_eq!(alter.profile.len(), 3);
+        assert!(alter.profile.iter().any(|&(i, _, _)| i == items::ENDERS_GAME));
+    }
+
+    #[test]
+    fn private_replacements_stay_within_candidate_sets() {
+        let (toy, table, config) = setup(XMapMode::XMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        assert!(gen.is_private());
+        for (item, replacement) in gen.replacements().iter() {
+            assert!(
+                table.candidates(item).iter().any(|c| c.item == replacement),
+                "private replacement must come from the candidate set"
+            );
+        }
+    }
+
+    #[test]
+    fn private_generation_is_deterministic_per_seed() {
+        let (toy, table, config) = setup(XMapMode::XMapItemBased, 0.5);
+        let a = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let b = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let pa: Vec<_> = a.replacements().iter().collect();
+        let pb: Vec<_> = b.replacements().iter().collect();
+        let mut pa = pa;
+        let mut pb = pb;
+        pa.sort();
+        pb.sort();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn high_epsilon_private_mapping_matches_non_private_mapping_often() {
+        // With a very weak privacy requirement the exponential mechanism almost always
+        // picks the best candidate, so PRS degrades gracefully to the NX-Map mapping
+        // (the paper notes X-Map "inherently transforms to NX-Map" as ε grows, §6.3).
+        let (toy, table, cfg_private) = setup(XMapMode::XMapItemBased, 100.0);
+        let (_, _, cfg_plain) = setup(XMapMode::NxMapItemBased, 0.3);
+        let private = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, cfg_private);
+        let plain = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, cfg_plain);
+        let mut agree = 0;
+        let mut total = 0;
+        for (item, rep) in plain.replacements().iter() {
+            total += 1;
+            if private.replacements().replacement(item) == Some(rep) {
+                agree += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(agree * 2 >= total, "with ε=100 most replacements should agree ({agree}/{total})");
+    }
+
+    #[test]
+    fn batch_generation_matches_individual_generation() {
+        let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
+        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let batch = gen.generate_batch(&[users::ALICE, users::BOB]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], gen.generate(users::ALICE));
+        assert_eq!(batch[1], gen.generate(users::BOB));
+        assert_eq!(gen.config().k, 2);
+        assert_eq!(gen.xsim().source_domain(), Some(DomainId::SOURCE));
+    }
+}

@@ -1,0 +1,84 @@
+//! # xmap-core — the X-Map heterogeneous recommender
+//!
+//! This crate implements the primary contribution of *"Heterogeneous Recommendations:
+//! What You Might Like To Read After Watching Interstellar"* (Guerraoui, Kermarrec, Lin,
+//! Patra — VLDB 2017):
+//!
+//! * the **X-Sim** meta-path-based inter-item similarity (Definitions 2–6, [`xsim`]),
+//! * **AlterEgo** generation — mapping a user's source-domain profile into an artificial
+//!   target-domain profile, either non-privately (most-similar replacement) or with the
+//!   ε-differentially-private **PRS** exponential mechanism ([`generator`]),
+//! * the private recommendation machinery **PNSA** / **PNCF** (Algorithms 4 and 5,
+//!   [`private`]),
+//! * the four user-facing recommender variants — `NX-Map-ub`, `NX-Map-ib`, `X-Map-ub`,
+//!   `X-Map-ib` ([`recommend`]), and
+//! * the end-to-end four-component pipeline (baseliner → extender → generator →
+//!   recommender, Figure 4) that ties everything together and exposes the measured
+//!   per-stage costs used by the scalability experiment ([`pipeline`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xmap_core::{XMapConfig, XMapMode, XMapPipeline};
+//! use xmap_dataset::toy::{items, users, ToyScenario};
+//! use xmap_cf::DomainId;
+//!
+//! let toy = ToyScenario::build();
+//! let config = XMapConfig {
+//!     mode: XMapMode::NxMapItemBased,
+//!     k: 2,
+//!     ..XMapConfig::default()
+//! };
+//! let model = XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
+//! // Alice never rated a book, but her AlterEgo gives her book predictions.
+//! let recs = model.recommend(users::ALICE, 2);
+//! assert!(!recs.is_empty());
+//! let _predicted = model.predict(users::ALICE, items::THE_FOREVER_WAR);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod generator;
+pub mod pipeline;
+pub mod private;
+pub mod recommend;
+pub mod xsim;
+
+pub use config::{PrivacyConfig, XMapConfig, XMapMode};
+pub use generator::{AlterEgo, AlterEgoGenerator, RatingTransfer, ReplacementTable};
+pub use pipeline::{PipelineStats, XMapModel, XMapPipeline};
+pub use xsim::{XSimEntry, XSimTable};
+
+/// Errors produced by the X-Map pipeline.
+#[derive(Debug)]
+pub enum XMapError {
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+    /// The underlying CF substrate reported an error.
+    Cf(xmap_cf::CfError),
+    /// The training data does not contain the requested domains or users.
+    Data(String),
+}
+
+impl std::fmt::Display for XMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XMapError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            XMapError::Cf(e) => write!(f, "collaborative filtering error: {e}"),
+            XMapError::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XMapError {}
+
+impl From<xmap_cf::CfError> for XMapError {
+    fn from(e: xmap_cf::CfError) -> Self {
+        XMapError::Cf(e)
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, XMapError>;

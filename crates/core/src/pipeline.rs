@@ -1,0 +1,433 @@
+//! The end-to-end X-Map pipeline (Figure 4): baseliner → extender → generator →
+//! recommender.
+//!
+//! [`XMapPipeline::fit`] runs the four offline components over an aggregated two-domain
+//! rating matrix and produces an [`XMapModel`] that can answer online queries: the
+//! AlterEgo of a user, predicted ratings for target-domain items, and top-N
+//! recommendations. Per-stage wall-clock durations and per-item work estimates are
+//! captured in [`PipelineStats`] — the scalability experiment (Figure 11) feeds the work
+//! estimates into the cluster simulator.
+
+use crate::config::{XMapConfig, XMapMode};
+use crate::generator::{AlterEgo, AlterEgoGenerator, ReplacementTable};
+use crate::recommend::{
+    ItemBasedRecommender, PrivateItemBasedRecommender, PrivateUserBasedRecommender,
+    ProfileRecommender, UserBasedRecommender,
+};
+use crate::xsim::XSimTable;
+use crate::{Result, XMapError};
+use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
+use xmap_engine::{StageReport, StageTimer, WorkerPool};
+use xmap_graph::{BridgeIndex, GraphConfig, Layer, LayerPartition, SimilarityGraph};
+
+/// Summary statistics of a fitted pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// Heterogeneous item pairs connected by a *direct* baseline edge (the "standard"
+    /// bar of Figure 1(b)).
+    pub n_standard_hetero_pairs: usize,
+    /// Heterogeneous item pairs connected after the X-Sim extension (the "meta-path-
+    /// based" bar of Figure 1(b)).
+    pub n_xsim_hetero_pairs: usize,
+    /// Number of bridge items detected.
+    pub n_bridge_items: usize,
+    /// Item counts per `(domain, layer)` cell of the layer partition.
+    pub layer_counts: Vec<(DomainId, Layer, usize)>,
+    /// Wall-clock duration of each pipeline stage.
+    pub stage_durations: Vec<StageReport>,
+    /// Per-source-item work estimates (candidate counts) for the extension stage; the
+    /// scalability benchmark schedules these onto simulated machines.
+    pub extension_task_costs: Vec<f64>,
+    /// Number of ratings in the target-domain training matrix.
+    pub n_target_ratings: usize,
+}
+
+/// A fitted X-Map model.
+pub struct XMapModel {
+    config: XMapConfig,
+    source_domain: DomainId,
+    target_domain: DomainId,
+    full: RatingMatrix,
+    replacements: ReplacementTable,
+    xsim: XSimTable,
+    recommender: Box<dyn ProfileRecommender + Send + Sync>,
+    stats: PipelineStats,
+}
+
+impl XMapModel {
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &XMapConfig {
+        &self.config
+    }
+
+    /// The source domain (where users are assumed to have history).
+    pub fn source_domain(&self) -> DomainId {
+        self.source_domain
+    }
+
+    /// The target domain (where recommendations are produced).
+    pub fn target_domain(&self) -> DomainId {
+        self.target_domain
+    }
+
+    /// The item-to-item replacement table (the released artifact of the generator).
+    pub fn replacements(&self) -> &ReplacementTable {
+        &self.replacements
+    }
+
+    /// The heterogeneous X-Sim table computed by the extender.
+    pub fn xsim(&self) -> &XSimTable {
+        &self.xsim
+    }
+
+    /// Pipeline statistics (stage timings, pair counts, layer sizes).
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Display label of the active recommender variant.
+    pub fn label(&self) -> &'static str {
+        self.recommender.label()
+    }
+
+    /// The AlterEgo profile of a user in the target domain.
+    pub fn alterego(&self, user: UserId) -> AlterEgo {
+        self.replacements.map_profile_with(
+            &self.full,
+            user,
+            self.source_domain,
+            self.target_domain,
+            self.config.transfer,
+        )
+    }
+
+    /// Predicted rating of a target-domain item for a user, driven by their AlterEgo.
+    pub fn predict(&self, user: UserId, item: ItemId) -> f64 {
+        let alter = self.alterego(user);
+        self.recommender.predict_for_profile(&alter.profile, item)
+    }
+
+    /// Top-N target-domain recommendations for a user, excluding items already present in
+    /// their AlterEgo profile (mapped or genuinely rated).
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
+        let alter = self.alterego(user);
+        self.recommender.recommend_for_profile(&alter.profile, n)
+    }
+
+    /// Predicted rating for an explicit (possibly artificial) target-domain profile.
+    pub fn predict_for_profile(&self, profile: &xmap_cf::knn::Profile, item: ItemId) -> f64 {
+        self.recommender.predict_for_profile(profile, item)
+    }
+}
+
+/// Entry point for fitting X-Map models.
+pub struct XMapPipeline;
+
+impl XMapPipeline {
+    /// Fits an X-Map model on an aggregated rating matrix containing both domains.
+    ///
+    /// `source` is the domain users are assumed to have rated in; `target` is the domain
+    /// recommendations are produced for. The two must be distinct and both present in the
+    /// matrix.
+    pub fn fit(
+        matrix: &RatingMatrix,
+        source: DomainId,
+        target: DomainId,
+        config: XMapConfig,
+    ) -> Result<XMapModel> {
+        config.validate().map_err(XMapError::InvalidConfig)?;
+        if source == target {
+            return Err(XMapError::InvalidConfig(
+                "source and target domains must differ".to_string(),
+            ));
+        }
+        let domains = matrix.domains();
+        if !domains.contains(&source) || !domains.contains(&target) {
+            return Err(XMapError::Data(format!(
+                "matrix does not contain both requested domains (has {domains:?})"
+            )));
+        }
+
+        let timer = StageTimer::new();
+        let pool = WorkerPool::new(config.workers);
+
+        // --- Baseliner: the baseline similarity graph over the aggregated domains. ---
+        let graph = timer.run_stage("baseliner", || {
+            SimilarityGraph::build(
+                matrix,
+                GraphConfig {
+                    metric: config.metric,
+                    top_k: Some(config.k),
+                    min_similarity: 0.0,
+                },
+            )
+        });
+
+        // --- Extender: bridges, layers and the cross-domain X-Sim table. ---
+        let (bridges, partition, xsim) = timer.run_stage("extender", || {
+            let bridges = BridgeIndex::from_graph(&graph);
+            let partition = LayerPartition::compute(&graph, &bridges);
+            let xsim = XSimTable::compute(&graph, &partition, source, config.metapath, &pool);
+            (bridges, partition, xsim)
+        });
+
+        // --- Generator: item replacements (PRS for the private modes). ---
+        let replacements = timer.run_stage("generator", || {
+            AlterEgoGenerator::new(matrix, &xsim, source, target, config)
+                .replacements()
+                .clone()
+        });
+
+        // --- Recommender: fit the target-domain CF model consuming AlterEgos. ---
+        let target_matrix = matrix
+            .filter(|r| matrix.item_domain(r.item) == target)
+            .map_err(|_| XMapError::Data("target domain has no ratings".to_string()))?;
+        let n_target_ratings = target_matrix.n_ratings();
+        if n_target_ratings == 0 {
+            return Err(XMapError::Data("target domain has no ratings".to_string()));
+        }
+        let recommender: Box<dyn ProfileRecommender + Send + Sync> =
+            timer.run_stage("recommender", || -> Result<_> {
+                Ok(match config.mode {
+                    XMapMode::NxMapItemBased => Box::new(ItemBasedRecommender::fit(
+                        target_matrix,
+                        config.k,
+                        config.temporal_alpha,
+                    )?)
+                        as Box<dyn ProfileRecommender + Send + Sync>,
+                    XMapMode::NxMapUserBased => {
+                        Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
+                    }
+                    XMapMode::XMapItemBased => Box::new(PrivateItemBasedRecommender::fit(
+                        target_matrix,
+                        config.k,
+                        config.privacy.epsilon_prime,
+                        config.privacy.rho,
+                        config.temporal_alpha,
+                        config.seed,
+                    )?),
+                    XMapMode::XMapUserBased => Box::new(PrivateUserBasedRecommender::fit(
+                        target_matrix,
+                        config.k,
+                        config.privacy.epsilon_prime,
+                        config.privacy.rho,
+                        config.seed,
+                    )?),
+                })
+            })?;
+
+        // Per-item work estimates for the scalability simulation: candidate fan-out of
+        // each source item during the extension stage.
+        let extension_task_costs: Vec<f64> = graph
+            .items()
+            .filter(|&i| graph.item_domain(i) == source)
+            .map(|i| 1.0 + graph.edges(i).len() as f64 + xsim.candidates(i).len() as f64)
+            .collect();
+
+        let stats = PipelineStats {
+            n_standard_hetero_pairs: graph.n_heterogeneous_pairs(),
+            n_xsim_hetero_pairs: xsim.n_heterogeneous_pairs(),
+            n_bridge_items: bridges.n_bridges(),
+            layer_counts: partition.cell_counts(),
+            stage_durations: timer.reports(),
+            extension_task_costs,
+            n_target_ratings,
+        };
+
+        Ok(XMapModel {
+            config,
+            source_domain: source,
+            target_domain: target,
+            full: matrix.clone(),
+            replacements,
+            xsim,
+            recommender,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrivacyConfig;
+    use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+    use xmap_dataset::toy::{items, users, ToyScenario};
+
+    fn toy_config(mode: XMapMode) -> XMapConfig {
+        XMapConfig {
+            mode,
+            k: 2,
+            privacy: PrivacyConfig {
+                epsilon: 0.5,
+                epsilon_prime: 0.8,
+                rho: 0.05,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn toy_pipeline_recommends_books_to_alice() {
+        let toy = ToyScenario::build();
+        let model = XMapPipeline::fit(
+            &toy.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            toy_config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert_eq!(model.label(), "NX-MAP-IB");
+        assert_eq!(model.source_domain(), DomainId::SOURCE);
+        assert_eq!(model.target_domain(), DomainId::TARGET);
+
+        let alter = model.alterego(users::ALICE);
+        assert!(!alter.is_empty(), "Alice must receive an AlterEgo");
+        let recs = model.recommend(users::ALICE, 2);
+        assert!(!recs.is_empty(), "Alice must receive book recommendations");
+        for (item, score) in &recs {
+            assert_eq!(toy.matrix.item_domain(*item), DomainId::TARGET);
+            assert!((1.0..=5.0).contains(score));
+        }
+        let pred = model.predict(users::ALICE, items::THE_FOREVER_WAR);
+        assert!((1.0..=5.0).contains(&pred));
+    }
+
+    #[test]
+    fn pipeline_stats_capture_the_four_stages_and_pair_counts() {
+        let toy = ToyScenario::build();
+        let model = XMapPipeline::fit(
+            &toy.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            toy_config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let stats = model.stats();
+        let stage_names: Vec<&str> = stats.stage_durations.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(stage_names, vec!["baseliner", "extender", "generator", "recommender"]);
+        assert!(stats.n_xsim_hetero_pairs >= stats.n_standard_hetero_pairs);
+        assert!(stats.n_bridge_items >= 2, "Inception and at least one book are bridges");
+        assert!(!stats.extension_task_costs.is_empty());
+        assert!(stats.n_target_ratings > 0);
+        let total_layer_items: usize = stats.layer_counts.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total_layer_items, toy.matrix.n_items());
+    }
+
+    #[test]
+    fn all_four_modes_fit_and_predict_on_a_synthetic_dataset() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        for mode in [
+            XMapMode::NxMapItemBased,
+            XMapMode::NxMapUserBased,
+            XMapMode::XMapItemBased,
+            XMapMode::XMapUserBased,
+        ] {
+            let model = XMapPipeline::fit(
+                &ds.matrix,
+                DomainId::SOURCE,
+                DomainId::TARGET,
+                XMapConfig {
+                    mode,
+                    k: 10,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(model.label(), mode.label());
+            let user = ds.overlap_users[0];
+            let item = ds.target_items()[0];
+            let pred = model.predict(user, item);
+            assert!((1.0..=5.0).contains(&pred), "{mode:?} produced out-of-scale prediction {pred}");
+            let recs = model.recommend(user, 5);
+            for (i, _) in recs {
+                assert_eq!(ds.matrix.item_domain(i), DomainId::TARGET);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_direction_works_too() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::TARGET,
+            DomainId::SOURCE,
+            XMapConfig {
+                k: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(model.source_domain(), DomainId::TARGET);
+        let user = ds.overlap_users[0];
+        let item = ds.source_items()[0];
+        assert!((1.0..=5.0).contains(&model.predict(user, item)));
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let toy = ToyScenario::build();
+        // same source and target
+        assert!(matches!(
+            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::SOURCE, XMapConfig::default()),
+            Err(XMapError::InvalidConfig(_))
+        ));
+        // missing domain
+        assert!(matches!(
+            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId(7), XMapConfig::default()),
+            Err(XMapError::Data(_))
+        ));
+        // invalid configuration
+        let bad = XMapConfig {
+            k: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, bad),
+            Err(XMapError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn cold_start_user_gets_personalised_predictions() {
+        // A user with only source ratings should receive different predictions for
+        // different target items (i.e. not a constant fallback), because their AlterEgo
+        // carries their tastes across.
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::default());
+        let model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            XMapConfig {
+                k: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let user = ds.source_only_users[0];
+        let alter = model.alterego(user);
+        assert!(!alter.is_empty(), "source-only user should still get an AlterEgo");
+        let preds: Vec<f64> = ds.target_items().iter().take(20).map(|&i| model.predict(user, i)).collect();
+        let min = preds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 1e-6, "predictions should differ across items (got constant {min})");
+    }
+
+    #[test]
+    fn private_model_is_reproducible_for_a_fixed_seed() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let cfg = XMapConfig {
+            mode: XMapMode::XMapItemBased,
+            k: 8,
+            seed: 123,
+            ..Default::default()
+        };
+        let a = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let b = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let user = ds.overlap_users[0];
+        for &item in ds.target_items().iter().take(10) {
+            assert_eq!(a.predict(user, item), b.predict(user, item));
+        }
+    }
+}

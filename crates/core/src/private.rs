@@ -1,0 +1,291 @@
+//! Private neighbour selection (PNSA, Algorithm 4) and private prediction noise (PNCF,
+//! Algorithm 5).
+//!
+//! Both mechanisms operate on *scored candidates*: for a target item `t_i`, every
+//! candidate neighbour `t_j` carries its similarity `Sim(t_i, t_j)` and a data-dependent
+//! *similarity-based sensitivity* `SS(t_i, t_j)` (Theorem 2). PNSA selects `k` neighbours
+//! without replacement with probability proportional to
+//! `exp(ε′ · Ŝim(t_i, t_j) / (2k · 2 SS(t_i, t_j)))`, where `Ŝim` is the truncated
+//! similarity of Theorems 3–4, consuming ε′/2. PNCF then perturbs each selected
+//! similarity with `Lap(SS / (ε′/2))` noise before it enters the prediction formula,
+//! consuming the other ε′/2 — together ε′-differential privacy by sequential composition.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use xmap_cf::{ItemId, RatingMatrix};
+use xmap_privacy::{laplace_noise, similarity_sensitivity, truncated_similarity};
+use xmap_privacy::sensitivity::truncation_width;
+
+/// A candidate neighbour of some target item.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoredCandidate {
+    /// The candidate item.
+    pub item: ItemId,
+    /// Its (non-private) similarity with the item being predicted.
+    pub similarity: f64,
+    /// The similarity-based sensitivity `SS` of the pair (Theorem 2).
+    pub sensitivity: f64,
+}
+
+/// Computes the similarity-based sensitivity `SS(i, j)` for an item pair directly from
+/// the rating matrix (mean-centred co-rating vectors and full adjusted-cosine norms).
+pub fn pair_sensitivity(matrix: &RatingMatrix, i: ItemId, j: ItemId) -> f64 {
+    let yi = matrix.item_profile(i);
+    let yj = matrix.item_profile(j);
+    let mut co_i = Vec::new();
+    let mut co_j = Vec::new();
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < yi.len() && b < yj.len() {
+        match yi[a].user.cmp(&yj[b].user) {
+            std::cmp::Ordering::Less => a += 1,
+            std::cmp::Ordering::Greater => b += 1,
+            std::cmp::Ordering::Equal => {
+                let avg = matrix.user_average(yi[a].user);
+                co_i.push(yi[a].value - avg);
+                co_j.push(yj[b].value - avg);
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    let norm = |profile: &[xmap_cf::matrix::ItemEntry]| {
+        profile
+            .iter()
+            .map(|e| {
+                let d = e.value - matrix.user_average(e.user);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+    similarity_sensitivity(&co_i, &co_j, norm(yi), norm(yj))
+}
+
+/// The PNSA mechanism: privately selects `k` neighbours from `candidates`.
+///
+/// * `epsilon_prime` is the full ε′ of the recommendation phase; PNSA uses its ε′/2 share
+///   internally by allocating `ε′ / (2k)` per selected neighbour, matching Algorithm 4.
+/// * `rho` is the failure probability of the truncated-similarity bound.
+/// * `vector_len` is `|v|`, the maximal rating-vector length (number of candidates is a
+///   faithful stand-in when the full vocabulary size is unknown).
+///
+/// Returns the selected candidates (with their *non-noisy* similarities; PNCF adds noise
+/// at prediction time).
+pub fn private_neighbor_selection<R: Rng + ?Sized>(
+    rng: &mut R,
+    candidates: &[ScoredCandidate],
+    k: usize,
+    epsilon_prime: f64,
+    rho: f64,
+    vector_len: usize,
+) -> Vec<ScoredCandidate> {
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    if candidates.len() <= k {
+        return candidates.to_vec();
+    }
+
+    // Sim_k(t_i): the k-th largest similarity among the candidates.
+    let mut sims: Vec<f64> = candidates.iter().map(|c| c.similarity).collect();
+    sims.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let sim_k = sims[k - 1];
+    let max_sensitivity = candidates
+        .iter()
+        .map(|c| c.sensitivity)
+        .fold(0.0f64, f64::max)
+        .max(1e-6);
+    let w = truncation_width(sim_k, k, epsilon_prime, max_sensitivity, vector_len.max(k + 1), rho);
+
+    // Per-candidate exponents of the exponential mechanism, numerically stabilised by
+    // subtracting the maximum exponent before exponentiation.
+    let per_pick_epsilon = epsilon_prime / (2.0 * k as f64);
+    let exponents: Vec<f64> = candidates
+        .iter()
+        .map(|c| {
+            let truncated = truncated_similarity(c.similarity, sim_k, w);
+            per_pick_epsilon * truncated / (2.0 * c.sensitivity.max(1e-6))
+        })
+        .collect();
+
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut selected = Vec::with_capacity(k);
+    while selected.len() < k && !remaining.is_empty() {
+        let max_e = remaining
+            .iter()
+            .map(|&i| exponents[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = remaining.iter().map(|&i| (exponents[i] - max_e).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut u: f64 = rng.gen_range(0.0..total);
+        let mut picked_pos = remaining.len() - 1;
+        for (pos, weight) in weights.iter().enumerate() {
+            if u < *weight {
+                picked_pos = pos;
+                break;
+            }
+            u -= weight;
+        }
+        let idx = remaining.remove(picked_pos);
+        selected.push(candidates[idx]);
+    }
+    selected
+}
+
+/// The PNCF noise step: perturbs a similarity with Laplace noise calibrated to the pair's
+/// similarity-based sensitivity and the ε′/2 budget of the prediction phase.
+pub fn pncf_noisy_similarity<R: Rng + ?Sized>(
+    rng: &mut R,
+    similarity: f64,
+    sensitivity: f64,
+    epsilon_prime: f64,
+) -> f64 {
+    let scale = sensitivity.max(0.0) / (epsilon_prime / 2.0);
+    similarity + laplace_noise(rng, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xmap_cf::RatingMatrixBuilder;
+
+    fn candidates(n: usize) -> Vec<ScoredCandidate> {
+        (0..n)
+            .map(|i| ScoredCandidate {
+                item: ItemId(i as u32),
+                similarity: 1.0 - i as f64 * 0.1,
+                sensitivity: 0.05,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_returns_k_distinct_candidates() {
+        let cands = candidates(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = private_neighbor_selection(&mut rng, &cands, 4, 0.8, 0.05, 100);
+        assert_eq!(picked.len(), 4);
+        let mut items: Vec<ItemId> = picked.iter().map(|c| c.item).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 4);
+        for p in &picked {
+            assert!(cands.contains(p), "selected candidate must come from the input");
+        }
+    }
+
+    #[test]
+    fn small_candidate_sets_are_returned_whole() {
+        let cands = candidates(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = private_neighbor_selection(&mut rng, &cands, 5, 0.8, 0.05, 100);
+        assert_eq!(picked.len(), 3);
+        assert!(private_neighbor_selection(&mut rng, &[], 5, 0.8, 0.05, 100).is_empty());
+        assert!(private_neighbor_selection(&mut rng, &cands, 0, 0.8, 0.05, 100).is_empty());
+    }
+
+    #[test]
+    fn high_epsilon_prefers_high_similarity_candidates() {
+        let cands = candidates(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut top_hits = 0usize;
+        let trials = 300;
+        for _ in 0..trials {
+            let picked = private_neighbor_selection(&mut rng, &cands, 3, 50.0, 0.05, 100);
+            // with a huge ε′ the three most similar candidates should almost always win
+            if picked.iter().all(|c| c.similarity >= 0.75) {
+                top_hits += 1;
+            }
+        }
+        assert!(
+            top_hits as f64 / trials as f64 > 0.8,
+            "high ε′ should concentrate on the best candidates ({top_hits}/{trials})"
+        );
+    }
+
+    #[test]
+    fn low_epsilon_spreads_selection() {
+        let cands = candidates(20);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut picked_worst = 0usize;
+        let trials = 400;
+        for _ in 0..trials {
+            let picked = private_neighbor_selection(&mut rng, &cands, 3, 0.01, 0.05, 100);
+            if picked.iter().any(|c| c.similarity < 0.0) {
+                picked_worst += 1;
+            }
+        }
+        assert!(
+            picked_worst > 0,
+            "a very small ε′ should occasionally select poor candidates"
+        );
+    }
+
+    #[test]
+    fn tiny_sensitivities_do_not_overflow() {
+        let cands: Vec<ScoredCandidate> = (0..10)
+            .map(|i| ScoredCandidate {
+                item: ItemId(i as u32),
+                similarity: 0.9 - i as f64 * 0.05,
+                sensitivity: 1e-9,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = private_neighbor_selection(&mut rng, &cands, 3, 0.8, 0.05, 50);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn pncf_noise_scales_with_sensitivity_and_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30_000;
+        let avg_noise = |sens: f64, eps: f64, rng: &mut StdRng| {
+            (0..n)
+                .map(|_| (pncf_noisy_similarity(rng, 0.0, sens, eps)).abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let small = avg_noise(0.01, 0.8, &mut rng);
+        let large = avg_noise(0.5, 0.8, &mut rng);
+        assert!(large > 10.0 * small, "noise must grow with sensitivity: {large} vs {small}");
+        let strict = avg_noise(0.1, 0.1, &mut rng);
+        let loose = avg_noise(0.1, 2.0, &mut rng);
+        assert!(strict > 5.0 * loose, "noise must grow as ε′ shrinks: {strict} vs {loose}");
+    }
+
+    #[test]
+    fn pair_sensitivity_reflects_co_rater_support() {
+        // Items 0 and 1 co-rated by many users; items 0 and 2 co-rated by exactly one.
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..20u32 {
+            b.push_parts(u, 0, ((u % 5) + 1) as f64).unwrap();
+            b.push_parts(u, 1, ((u % 5) + 1) as f64).unwrap();
+            // every user also rates some filler item so user averages are not degenerate
+            b.push_parts(u, 3, 3.0).unwrap();
+        }
+        b.push_parts(0, 2, 5.0).unwrap();
+        let m = b.build().unwrap();
+        let well_supported = pair_sensitivity(&m, ItemId(0), ItemId(1));
+        let fragile = pair_sensitivity(&m, ItemId(0), ItemId(2));
+        assert!(
+            fragile >= well_supported,
+            "a single-co-rater pair must be at least as sensitive ({fragile} vs {well_supported})"
+        );
+        assert!(well_supported > 0.0 && well_supported <= 2.0);
+        // disconnected pair falls back to the floor value
+        let disconnected = pair_sensitivity(&m, ItemId(1), ItemId(2));
+        assert!(disconnected > 0.0);
+    }
+
+    #[test]
+    fn selection_is_deterministic_for_a_seed() {
+        let cands = candidates(12);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let pa = private_neighbor_selection(&mut a, &cands, 4, 0.8, 0.05, 60);
+        let pb = private_neighbor_selection(&mut b, &cands, 4, 0.8, 0.05, 60);
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,677 @@
+//! The target-domain recommenders consuming AlterEgo profiles (§4.4).
+//!
+//! All four variants share the same interface: given an AlterEgo profile (an artificial
+//! target-domain profile) they predict ratings for target-domain items and rank top-N
+//! recommendations.
+//!
+//! * [`ItemBasedRecommender`] — NX-Map-ib: item-based CF (Equation 4) over the
+//!   target-domain training data, with optional temporal weighting (Equation 7).
+//! * [`UserBasedRecommender`] — NX-Map-ub: user-based CF (Equations 1–2) where the
+//!   AlterEgo plays the role of Alice's profile.
+//! * [`PrivateItemBasedRecommender`] — X-Map-ib: the item-based variant with PNSA
+//!   neighbour selection and PNCF Laplace noise (Algorithms 4–5).
+//! * [`PrivateUserBasedRecommender`] — X-Map-ub: the user-based variant with the same
+//!   mechanisms adapted to user–user similarities (global sensitivity 2, see DESIGN.md).
+
+use crate::private::{pncf_noisy_similarity, private_neighbor_selection, pair_sensitivity, ScoredCandidate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use xmap_cf::knn::{profile_average, Profile};
+use xmap_cf::topk::top_k;
+use xmap_cf::{ItemId, ItemKnn, ItemKnnConfig, RatingMatrix, Timestep, UserKnn, UserKnnConfig};
+
+/// Common interface of the four target-domain recommenders.
+pub trait ProfileRecommender {
+    /// Predicted rating of `item` for the given (AlterEgo) profile.
+    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64;
+
+    /// Top-N recommendations for the profile, excluding the profile's own items.
+    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)>;
+
+    /// Label matching the paper's figure legends.
+    fn label(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Non-private item-based (NX-Map-ib)
+// ---------------------------------------------------------------------------
+
+/// Item-based CF over the target domain, owned (no borrows into the training matrix).
+pub struct ItemBasedRecommender {
+    target: RatingMatrix,
+    /// Top-k similar target items per item, indexed by item id.
+    neighbors: Vec<Vec<(ItemId, f64)>>,
+    temporal_alpha: f64,
+}
+
+impl ItemBasedRecommender {
+    /// Fits the recommender on the target-domain training matrix.
+    pub fn fit(target: RatingMatrix, k: usize, temporal_alpha: f64) -> crate::Result<Self> {
+        let knn = ItemKnn::fit(
+            &target,
+            ItemKnnConfig {
+                k,
+                temporal_alpha,
+                ..Default::default()
+            },
+        )?;
+        let neighbors: Vec<Vec<(ItemId, f64)>> = (0..target.n_items() as u32)
+            .map(|i| {
+                knn.neighbors(ItemId(i))
+                    .iter()
+                    .map(|n| (n.item, n.similarity))
+                    .collect()
+            })
+            .collect();
+        drop(knn);
+        Ok(ItemBasedRecommender {
+            target,
+            neighbors,
+            temporal_alpha,
+        })
+    }
+
+    /// The target-domain training matrix.
+    pub fn target(&self) -> &RatingMatrix {
+        &self.target
+    }
+
+    /// The precomputed neighbours of an item.
+    pub fn neighbors(&self, item: ItemId) -> &[(ItemId, f64)] {
+        self.neighbors
+            .get(item.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
+        predict_item_based(
+            &self.target,
+            self.neighbors(item),
+            profile,
+            item,
+            self.temporal_alpha,
+            |_, s| s,
+        )
+    }
+}
+
+impl ProfileRecommender for ItemBasedRecommender {
+    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        self.predict_impl(profile, item)
+    }
+
+    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        recommend_from_neighbors(profile, n, |i| self.neighbors(i), |p, i| self.predict_impl(p, i))
+    }
+
+    fn label(&self) -> &'static str {
+        "NX-MAP-IB"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-private user-based (NX-Map-ub)
+// ---------------------------------------------------------------------------
+
+/// User-based CF over the target domain where the query profile is the AlterEgo.
+pub struct UserBasedRecommender {
+    target: RatingMatrix,
+    k: usize,
+}
+
+impl UserBasedRecommender {
+    /// Creates the recommender over the target-domain training matrix.
+    pub fn fit(target: RatingMatrix, k: usize) -> crate::Result<Self> {
+        if k == 0 {
+            return Err(crate::XMapError::InvalidConfig("k must be at least 1".into()));
+        }
+        Ok(UserBasedRecommender { target, k })
+    }
+
+    /// The target-domain training matrix.
+    pub fn target(&self) -> &RatingMatrix {
+        &self.target
+    }
+
+    fn knn(&self) -> UserKnn<'_> {
+        UserKnn::new(
+            &self.target,
+            UserKnnConfig {
+                k: self.k,
+                min_similarity: 0.0,
+            },
+        )
+        .expect("k validated at construction")
+    }
+}
+
+impl ProfileRecommender for UserBasedRecommender {
+    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        self.knn().predict_for_profile(profile, item)
+    }
+
+    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        self.knn().recommend_for_profile(profile, n)
+    }
+
+    fn label(&self) -> &'static str {
+        "NX-MAP-UB"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Private item-based (X-Map-ib)
+// ---------------------------------------------------------------------------
+
+/// Item-based CF with PNSA neighbour selection and PNCF Laplace noise.
+pub struct PrivateItemBasedRecommender {
+    target: RatingMatrix,
+    /// Candidate neighbours (with sensitivities) per item, larger than k so PNSA has a
+    /// meaningful pool to select from.
+    candidates: Vec<Vec<ScoredCandidate>>,
+    k: usize,
+    epsilon_prime: f64,
+    rho: f64,
+    temporal_alpha: f64,
+    seed: u64,
+}
+
+impl PrivateItemBasedRecommender {
+    /// Fits the recommender: the candidate pool per item is the `k + k/4` most similar
+    /// items (so the exponential mechanism can also pick sub-optimal neighbours, which is
+    /// where the selection privacy comes from), each annotated with its similarity-based
+    /// sensitivity. The pool is kept close to `k` because on small catalogues a very wide
+    /// pool makes the ε′-constrained selection close to uniform over the catalogue — a
+    /// scale artefact the paper's 400K-item catalogue does not exhibit (see DESIGN.md).
+    pub fn fit(
+        target: RatingMatrix,
+        k: usize,
+        epsilon_prime: f64,
+        rho: f64,
+        temporal_alpha: f64,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        let pool_size = (k + k / 4).max(4);
+        let knn = ItemKnn::fit(
+            &target,
+            ItemKnnConfig {
+                k: pool_size,
+                temporal_alpha,
+                ..Default::default()
+            },
+        )?;
+        let candidates: Vec<Vec<ScoredCandidate>> = (0..target.n_items() as u32)
+            .map(|i| {
+                knn.neighbors(ItemId(i))
+                    .iter()
+                    .map(|n| ScoredCandidate {
+                        item: n.item,
+                        similarity: n.similarity,
+                        sensitivity: pair_sensitivity(&target, ItemId(i), n.item),
+                    })
+                    .collect()
+            })
+            .collect();
+        drop(knn);
+        Ok(PrivateItemBasedRecommender {
+            target,
+            candidates,
+            k,
+            epsilon_prime,
+            rho,
+            temporal_alpha,
+            seed,
+        })
+    }
+
+    /// The target-domain training matrix.
+    pub fn target(&self) -> &RatingMatrix {
+        &self.target
+    }
+
+    /// The candidate pool of an item (before private selection).
+    pub fn candidates(&self, item: ItemId) -> &[ScoredCandidate] {
+        self.candidates
+            .get(item.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
+        // Deterministic per (seed, item): repeated queries for the same item release the
+        // same randomised output rather than averaging the noise away.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (0x5851_f42d_4c95_7f2du64.wrapping_mul(u64::from(item.0) + 1)));
+        let selected = private_neighbor_selection(
+            &mut rng,
+            self.candidates(item),
+            self.k,
+            self.epsilon_prime,
+            self.rho,
+            self.target.n_items().max(self.k + 1),
+        );
+        let neighbor_sims: Vec<(ItemId, f64)> = selected
+            .iter()
+            .map(|c| {
+                // Clamping the noisy similarity back into the metric's public range is
+                // post-processing and therefore privacy-free; it bounds the damage of
+                // large Laplace draws on sparsely supported pairs.
+                let noisy = pncf_noisy_similarity(&mut rng, c.similarity, c.sensitivity, self.epsilon_prime)
+                    .clamp(-1.0, 1.0);
+                (c.item, noisy)
+            })
+            .collect();
+        predict_item_based(
+            &self.target,
+            &neighbor_sims,
+            profile,
+            item,
+            self.temporal_alpha,
+            |_, s| s,
+        )
+    }
+}
+
+impl ProfileRecommender for PrivateItemBasedRecommender {
+    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        self.predict_impl(profile, item)
+    }
+
+    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        recommend_from_neighbors(
+            profile,
+            n,
+            |i| {
+                // candidate pools drive the candidate generation; selection happens inside
+                // the prediction for each candidate item
+                self.candidates
+                    .get(i.index())
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                self.candidates(i)
+            },
+            |p, i| self.predict_impl(p, i),
+        )
+    }
+
+    fn label(&self) -> &'static str {
+        "X-MAP-IB"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Private user-based (X-Map-ub)
+// ---------------------------------------------------------------------------
+
+/// User-based CF with private neighbour selection and noisy similarities.
+///
+/// The paper formulates PNSA/PNCF in item terms; for the user-based variant we apply the
+/// same mechanisms to user–user similarities with the metric's global sensitivity
+/// (range `[-1, 1]`, so `GS = 2`) — see the substitution notes in DESIGN.md.
+pub struct PrivateUserBasedRecommender {
+    target: RatingMatrix,
+    k: usize,
+    epsilon_prime: f64,
+    rho: f64,
+    seed: u64,
+}
+
+impl PrivateUserBasedRecommender {
+    /// Creates the recommender.
+    pub fn fit(target: RatingMatrix, k: usize, epsilon_prime: f64, rho: f64, seed: u64) -> crate::Result<Self> {
+        if k == 0 {
+            return Err(crate::XMapError::InvalidConfig("k must be at least 1".into()));
+        }
+        Ok(PrivateUserBasedRecommender {
+            target,
+            k,
+            epsilon_prime,
+            rho,
+            seed,
+        })
+    }
+
+    /// The target-domain training matrix.
+    pub fn target(&self) -> &RatingMatrix {
+        &self.target
+    }
+
+    fn private_neighbors(&self, profile: &Profile, salt: u64) -> Vec<(xmap_cf::UserId, f64)> {
+        const USER_SIM_GLOBAL_SENSITIVITY: f64 = 2.0;
+        let knn = UserKnn::new(
+            &self.target,
+            UserKnnConfig {
+                // gather a slightly larger pool than k so the exponential mechanism has
+                // room without collapsing to a uniform choice over the whole user base
+                k: (self.k + self.k / 4).max(4),
+                min_similarity: 0.0,
+            },
+        )
+        .expect("k validated at construction");
+        let pool = knn.neighbors_of_profile(profile);
+        let candidates: Vec<ScoredCandidate> = pool
+            .iter()
+            .enumerate()
+            .map(|(idx, &(_, sim))| ScoredCandidate {
+                // encode the pool position in the item id slot; resolved back below
+                item: ItemId(idx as u32),
+                similarity: sim,
+                sensitivity: USER_SIM_GLOBAL_SENSITIVITY,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ salt);
+        let selected = private_neighbor_selection(
+            &mut rng,
+            &candidates,
+            self.k,
+            self.epsilon_prime,
+            self.rho,
+            self.target.n_users().max(self.k + 1),
+        );
+        selected
+            .into_iter()
+            .map(|c| {
+                let (user, sim) = pool[c.item.index()];
+                // post-processing clamp into the similarity range (privacy-free)
+                let noisy = pncf_noisy_similarity(&mut rng, sim, c.sensitivity, self.epsilon_prime)
+                    .clamp(-1.0, 1.0);
+                (user, noisy)
+            })
+            .collect()
+    }
+
+    fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
+        let neighbors = self.private_neighbors(profile, 0x9e37_79b9u64 ^ u64::from(item.0));
+        let avg = profile_average(profile).unwrap_or_else(|| self.target.global_average());
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(b, sim) in &neighbors {
+            if let Some(r) = self.target.rating(b, item) {
+                num += sim * (r - self.target.user_average(b));
+                den += sim.abs();
+            }
+        }
+        let raw = if den < 1e-12 { avg } else { avg + num / den };
+        self.target.scale().clamp(raw)
+    }
+}
+
+impl ProfileRecommender for PrivateUserBasedRecommender {
+    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        self.predict_impl(profile, item)
+    }
+
+    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        // candidate items: anything rated by the (private) neighbourhood of the profile
+        let neighbors = self.private_neighbors(profile, 0xfeed_beefu64);
+        let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
+        let mut candidates: Vec<ItemId> = Vec::new();
+        for &(u, _) in &neighbors {
+            for e in self.target.user_profile(u) {
+                candidates.push(e.item);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let scored = candidates
+            .into_iter()
+            .filter(|i| !owned.contains(i))
+            .map(|i| (self.predict_impl(profile, i), i));
+        top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
+    }
+
+    fn label(&self) -> &'static str {
+        "X-MAP-UB"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared prediction helpers
+// ---------------------------------------------------------------------------
+
+/// Equation 4 / 7 prediction shared by the item-based recommenders: given neighbour
+/// `(item, similarity)` pairs of `item`, combine the profile's ratings of those
+/// neighbours. `transform` lets callers post-process each similarity (identity for the
+/// non-private path; PNCF noise is already applied by the caller in the private path).
+fn predict_item_based(
+    target: &RatingMatrix,
+    neighbor_sims: &[(ItemId, f64)],
+    profile: &Profile,
+    item: ItemId,
+    temporal_alpha: f64,
+    transform: impl Fn(ItemId, f64) -> f64,
+) -> f64 {
+    let item_avg = target.item_average(item);
+    let now: Timestep = profile.iter().map(|&(_, _, t)| t).max().unwrap_or(Timestep(0));
+    let ratings: HashMap<ItemId, (f64, Timestep)> =
+        profile.iter().map(|&(i, v, t)| (i, (v, t))).collect();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(j, sim) in neighbor_sims {
+        if let Some(&(r, t)) = ratings.get(&j) {
+            let weight = if temporal_alpha > 0.0 {
+                (-temporal_alpha * now.elapsed_since(t) as f64).exp()
+            } else {
+                1.0
+            };
+            let s = transform(j, sim);
+            num += s * (r - target.item_average(j)) * weight;
+            den += s.abs() * weight;
+        }
+    }
+    let raw = if den < 1e-12 { item_avg } else { item_avg + num / den };
+    target.scale().clamp(raw)
+}
+
+/// Shared top-N ranking: candidates are the neighbours of the profile's items.
+fn recommend_from_neighbors<'a, C: 'a + NeighborLike>(
+    profile: &Profile,
+    n: usize,
+    neighbors_of: impl Fn(ItemId) -> &'a [C],
+    predict: impl Fn(&Profile, ItemId) -> f64,
+) -> Vec<(ItemId, f64)> {
+    let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
+    let mut candidates: Vec<ItemId> = Vec::new();
+    for &(i, _, _) in profile {
+        for c in neighbors_of(i) {
+            candidates.push(c.item_id());
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    let scored = candidates
+        .into_iter()
+        .filter(|i| !owned.contains(i))
+        .map(|i| (predict(profile, i), i));
+    top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
+}
+
+/// Anything that names a neighbouring item.
+trait NeighborLike {
+    fn item_id(&self) -> ItemId;
+}
+
+impl NeighborLike for (ItemId, f64) {
+    fn item_id(&self) -> ItemId {
+        self.0
+    }
+}
+
+impl NeighborLike for ScoredCandidate {
+    fn item_id(&self) -> ItemId {
+        self.item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_cf::knn::profile_from_pairs;
+    use xmap_cf::{DomainId, RatingMatrixBuilder};
+
+    /// Target-domain matrix with two item clusters (0-2 liked together, 3-5 liked
+    /// together by the other half of the users).
+    fn target_matrix() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..4u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, 5.0).unwrap();
+            }
+            for i in 3..6u32 {
+                b.push_parts(u, i, 1.0).unwrap();
+            }
+        }
+        for u in 4..8u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, 1.0).unwrap();
+            }
+            for i in 3..6u32 {
+                b.push_parts(u, i, 5.0).unwrap();
+            }
+        }
+        for i in 0..6u32 {
+            b.set_item_domain(ItemId(i), DomainId::TARGET);
+        }
+        b.build().unwrap()
+    }
+
+    fn cluster_profile() -> Profile {
+        profile_from_pairs([(ItemId(0), 5.0), (ItemId(1), 4.0)])
+    }
+
+    #[test]
+    fn item_based_follows_the_profile_cluster() {
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let p = cluster_profile();
+        let liked = rec.predict_for_profile(&p, ItemId(2));
+        let disliked = rec.predict_for_profile(&p, ItemId(4));
+        assert!(liked > disliked, "{liked} vs {disliked}");
+        let recs = rec.recommend_for_profile(&p, 3);
+        assert_eq!(recs[0].0, ItemId(2));
+        assert!(recs.iter().all(|(i, _)| *i != ItemId(0) && *i != ItemId(1)));
+        assert_eq!(rec.label(), "NX-MAP-IB");
+        assert!(!rec.neighbors(ItemId(0)).is_empty());
+        assert_eq!(rec.target().n_items(), 6);
+    }
+
+    #[test]
+    fn user_based_follows_the_profile_cluster() {
+        let rec = UserBasedRecommender::fit(target_matrix(), 3).unwrap();
+        let p = cluster_profile();
+        let liked = rec.predict_for_profile(&p, ItemId(2));
+        let disliked = rec.predict_for_profile(&p, ItemId(4));
+        assert!(liked > disliked, "{liked} vs {disliked}");
+        let recs = rec.recommend_for_profile(&p, 2);
+        assert_eq!(recs[0].0, ItemId(2));
+        assert_eq!(rec.label(), "NX-MAP-UB");
+        assert!(UserBasedRecommender::fit(target_matrix(), 0).is_err());
+    }
+
+    #[test]
+    fn private_item_based_is_noisier_but_still_directionally_correct() {
+        let rec = PrivateItemBasedRecommender::fit(target_matrix(), 3, 5.0, 0.05, 0.0, 7).unwrap();
+        let p = cluster_profile();
+        let liked = rec.predict_for_profile(&p, ItemId(2));
+        let disliked = rec.predict_for_profile(&p, ItemId(4));
+        // with a generous ε′ the ordering should survive the noise
+        assert!(liked > disliked, "{liked} vs {disliked}");
+        assert_eq!(rec.label(), "X-MAP-IB");
+        assert!(!rec.candidates(ItemId(0)).is_empty());
+        assert_eq!(rec.target().n_users(), 8);
+        let recs = rec.recommend_for_profile(&p, 3);
+        assert!(!recs.is_empty());
+        for (i, _) in recs {
+            assert!(i != ItemId(0) && i != ItemId(1));
+        }
+    }
+
+    #[test]
+    fn private_predictions_are_deterministic_per_seed_and_vary_across_seeds() {
+        let p = cluster_profile();
+        let a = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 7).unwrap();
+        let b = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 7).unwrap();
+        assert_eq!(a.predict_for_profile(&p, ItemId(2)), b.predict_for_profile(&p, ItemId(2)));
+        let c = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 1234).unwrap();
+        // different seeds usually give different noise; check over several items
+        let differs = (0..6u32)
+            .any(|i| a.predict_for_profile(&p, ItemId(i)) != c.predict_for_profile(&p, ItemId(i)));
+        assert!(differs, "different seeds should perturb at least one prediction");
+    }
+
+    #[test]
+    fn stronger_privacy_degrades_item_based_accuracy_on_average() {
+        let target = target_matrix();
+        let p = cluster_profile();
+        // ground truth: item 2 should be ~5, item 4 should be ~1
+        let truth = [(ItemId(2), 5.0), (ItemId(4), 1.0)];
+        let error_for = |eps: f64, seed: u64| {
+            let rec = PrivateItemBasedRecommender::fit(target.clone(), 3, eps, 0.05, 0.0, seed).unwrap();
+            truth
+                .iter()
+                .map(|&(i, t)| (rec.predict_for_profile(&p, i) - t).abs())
+                .sum::<f64>()
+                / truth.len() as f64
+        };
+        let mut strict = 0.0;
+        let mut loose = 0.0;
+        for seed in 0..30u64 {
+            strict += error_for(0.05, seed);
+            loose += error_for(10.0, seed);
+        }
+        assert!(
+            strict >= loose,
+            "stronger privacy (smaller ε′) should not beat weaker privacy on average: {strict} vs {loose}"
+        );
+    }
+
+    #[test]
+    fn private_user_based_runs_and_respects_scale() {
+        let rec = PrivateUserBasedRecommender::fit(target_matrix(), 3, 2.0, 0.05, 11).unwrap();
+        let p = cluster_profile();
+        for i in 0..6u32 {
+            let v = rec.predict_for_profile(&p, ItemId(i));
+            assert!((1.0..=5.0).contains(&v));
+        }
+        let recs = rec.recommend_for_profile(&p, 4);
+        assert!(!recs.is_empty());
+        for (i, _) in &recs {
+            assert!(*i != ItemId(0) && *i != ItemId(1));
+        }
+        assert_eq!(rec.label(), "X-MAP-UB");
+        assert_eq!(rec.target().n_users(), 8);
+        assert!(PrivateUserBasedRecommender::fit(target_matrix(), 0, 2.0, 0.05, 1).is_err());
+    }
+
+    #[test]
+    fn temporal_alpha_changes_item_based_predictions() {
+        let flat = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let decayed = ItemBasedRecommender::fit(target_matrix(), 5, 0.3).unwrap();
+        // profile: old high rating on item 0, recent low rating on item 1
+        let profile: Profile = vec![(ItemId(0), 5.0, Timestep(0)), (ItemId(1), 1.0, Timestep(50))];
+        let p_flat = flat.predict_for_profile(&profile, ItemId(2));
+        let p_decay = decayed.predict_for_profile(&profile, ItemId(2));
+        assert!(p_decay <= p_flat + 1e-9, "decay must favour the recent low rating: {p_decay} vs {p_flat}");
+    }
+
+    #[test]
+    fn empty_profile_falls_back_to_item_average() {
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let empty: Profile = Vec::new();
+        let pred = rec.predict_for_profile(&empty, ItemId(3));
+        assert!((pred - rec.target().item_average(ItemId(3))).abs() < 1e-9);
+        assert!(rec.recommend_for_profile(&empty, 3).is_empty());
+        let urec = UserBasedRecommender::fit(target_matrix(), 3).unwrap();
+        let upred = urec.predict_for_profile(&empty, ItemId(3));
+        assert!((1.0..=5.0).contains(&upred));
+    }
+
+    #[test]
+    fn predictions_ignore_unknown_items_gracefully() {
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let p = cluster_profile();
+        let v = rec.predict_for_profile(&p, ItemId(999));
+        assert!((1.0..=5.0).contains(&v));
+        assert!(rec.neighbors(ItemId(999)).is_empty());
+    }
+}

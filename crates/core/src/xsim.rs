@@ -1,0 +1,402 @@
+//! The X-Sim meta-path-based similarity metric (§3.3, Definitions 2–6).
+//!
+//! For a pair of heterogeneous items `(i, j)`:
+//!
+//! * each meta-path `p = i_1 ↔ … ↔ i_k` between them gets a **path similarity**
+//!   `s_p = Σ_t S_{t,t+1} · s_ac(t, t+1) / Σ_t S_{t,t+1}` — the significance-weighted mean
+//!   of the baseline similarities along the path (Definition 3's weighting), and a
+//! * **path certainty** `c_p = Π_t Ŝ_{t,t+1}` — the product of normalised weighted
+//!   significances, which automatically penalises long paths (Definition 5);
+//! * **X-Sim(i, j)** is the certainty-weighted mean of the path similarities over all
+//!   meta-paths between `i` and `j` (Definition 6). Items that share a direct baseline
+//!   edge keep that baseline similarity (the meta-path machinery only fills in pairs
+//!   that are *not* directly connected, §3.3).
+//!
+//! The [`XSimTable`] holds, for every source-domain item, its reachable target-domain
+//! items with X-Sim values — exactly what the extender hands to the generator (§5.2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xmap_cf::{DomainId, ItemId};
+use xmap_engine::WorkerPool;
+use xmap_graph::{enumerate_cross_domain_paths, LayerPartition, MetaPath, MetaPathConfig, SimilarityGraph};
+
+/// One heterogeneous similarity entry: a target-domain item with its X-Sim value.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct XSimEntry {
+    /// The reachable item in the other domain.
+    pub item: ItemId,
+    /// X-Sim value in `[-1, 1]`.
+    pub similarity: f64,
+    /// Certainty of the value in `[0, 1]`: the normalised weighted significance `Ŝ` of
+    /// the direct edge, or the (capped) sum of path certainties for meta-path pairs.
+    /// This is the paper's own "how much should this similarity be trusted" signal
+    /// (Definitions 4–5); the generator ranks replacement candidates by
+    /// [`XSimEntry::weighted_similarity`] so that a 1-co-rater similarity of 1.0 does not
+    /// outrank a 20-co-rater similarity of 0.7.
+    pub certainty: f64,
+    /// Number of meta-paths that contributed (1 for directly connected pairs).
+    pub n_paths: usize,
+}
+
+impl XSimEntry {
+    /// Certainty-weighted similarity used to rank replacement candidates.
+    pub fn weighted_similarity(&self) -> f64 {
+        self.similarity * self.certainty
+    }
+}
+
+/// Path similarity `s_p` of a meta-path (significance-weighted mean of hop similarities).
+/// Returns `None` when the path contains a hop with zero significance weight everywhere
+/// (no mutual like/dislike on any hop), in which case the path carries no signal.
+pub fn path_similarity(graph: &SimilarityGraph, path: &MetaPath) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in path.hops() {
+        let edge = graph.edge_between(a, b).or_else(|| graph.edge_between(b, a))?;
+        let s = edge.stats.significance as f64;
+        num += s * edge.stats.similarity;
+        den += s;
+    }
+    if den <= 0.0 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+/// Path certainty `c_p` of a meta-path (product of normalised weighted significances).
+pub fn path_certainty(graph: &SimilarityGraph, path: &MetaPath) -> f64 {
+    let mut certainty = 1.0;
+    for (a, b) in path.hops() {
+        let edge = match graph.edge_between(a, b).or_else(|| graph.edge_between(b, a)) {
+            Some(e) => e,
+            None => return 0.0,
+        };
+        certainty *= edge.normalized_significance();
+    }
+    certainty
+}
+
+/// Aggregates a set of meta-paths that share the same endpoints into an X-Sim value
+/// (Definition 6). Returns `None` when no path carries certainty or signal.
+pub fn aggregate_paths(graph: &SimilarityGraph, paths: &[&MetaPath]) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for path in paths {
+        let certainty = path_certainty(graph, path);
+        if certainty <= 0.0 {
+            continue;
+        }
+        if let Some(sim) = path_similarity(graph, path) {
+            num += certainty * sim;
+            den += certainty;
+        }
+    }
+    if den <= 0.0 {
+        None
+    } else {
+        Some((num / den).clamp(-1.0, 1.0))
+    }
+}
+
+/// The cross-domain X-Sim table: for every source item, its reachable target items.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct XSimTable {
+    entries: HashMap<ItemId, Vec<XSimEntry>>,
+    source_domain: Option<DomainId>,
+}
+
+impl XSimTable {
+    /// Computes the table for every item of `source_domain` (the extender's cross-domain
+    /// step). The per-item work is independent, so it is distributed over `pool`.
+    pub fn compute(
+        graph: &SimilarityGraph,
+        partition: &LayerPartition,
+        source_domain: DomainId,
+        metapath: MetaPathConfig,
+        pool: &WorkerPool,
+    ) -> Self {
+        let source_items: Vec<ItemId> = graph
+            .items()
+            .filter(|&i| graph.item_domain(i) == source_domain)
+            .collect();
+
+        let per_item: Vec<(ItemId, Vec<XSimEntry>)> = pool.parallel_map(&source_items, |&item| {
+            (item, Self::entries_for_item(graph, partition, item, source_domain, metapath))
+        });
+
+        XSimTable {
+            entries: per_item.into_iter().filter(|(_, v)| !v.is_empty()).collect(),
+            source_domain: Some(source_domain),
+        }
+    }
+
+    fn entries_for_item(
+        graph: &SimilarityGraph,
+        partition: &LayerPartition,
+        item: ItemId,
+        source_domain: DomainId,
+        metapath: MetaPathConfig,
+    ) -> Vec<XSimEntry> {
+        // Direct heterogeneous edges keep their baseline similarity, with the edge's
+        // normalised weighted significance as the certainty.
+        let mut direct: HashMap<ItemId, (f64, f64)> = HashMap::new();
+        for e in graph.edges(item) {
+            if graph.item_domain(e.to) != source_domain {
+                direct.insert(e.to, (e.stats.similarity, e.normalized_significance()));
+            }
+        }
+
+        // Meta-paths fill in the pairs that are not directly connected.
+        let paths = enumerate_cross_domain_paths(graph, partition, item, source_domain, metapath);
+        let mut by_destination: HashMap<ItemId, Vec<&MetaPath>> = HashMap::new();
+        for p in &paths {
+            by_destination.entry(p.destination()).or_default().push(p);
+        }
+
+        let mut entries: Vec<XSimEntry> = Vec::new();
+        for (&dest, &(sim, certainty)) in &direct {
+            entries.push(XSimEntry {
+                item: dest,
+                similarity: sim,
+                certainty,
+                n_paths: 1,
+            });
+        }
+        for (dest, dest_paths) in by_destination {
+            if direct.contains_key(&dest) {
+                continue;
+            }
+            if let Some(similarity) = aggregate_paths(graph, &dest_paths) {
+                let certainty = dest_paths
+                    .iter()
+                    .map(|p| path_certainty(graph, p))
+                    .sum::<f64>()
+                    .min(1.0);
+                entries.push(XSimEntry {
+                    item: dest,
+                    similarity,
+                    certainty,
+                    n_paths: dest_paths.len(),
+                });
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.weighted_similarity()
+                .partial_cmp(&a.weighted_similarity())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        entries
+    }
+
+    /// The source domain the table was computed for.
+    pub fn source_domain(&self) -> Option<DomainId> {
+        self.source_domain
+    }
+
+    /// The heterogeneous candidates of a source item, best first. Empty if the item has
+    /// no cross-domain connectivity at all.
+    pub fn candidates(&self, item: ItemId) -> &[XSimEntry] {
+        self.entries.get(&item).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The best heterogeneous match of a source item (highest certainty-weighted X-Sim).
+    pub fn best_match(&self, item: ItemId) -> Option<XSimEntry> {
+        self.candidates(item).first().copied()
+    }
+
+    /// Number of source items with at least one heterogeneous candidate.
+    pub fn n_connected_items(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of heterogeneous `(source item, target item)` pairs with an X-Sim
+    /// value — the "meta-path-based" bar of Figure 1(b).
+    pub fn n_heterogeneous_pairs(&self) -> usize {
+        self.entries.values().map(|v| v.len()).sum()
+    }
+
+    /// Iterates over all `(source item, candidates)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &[XSimEntry])> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_dataset::toy::{items, ToyScenario};
+    use xmap_graph::GraphConfig;
+
+    fn toy_graph() -> (SimilarityGraph, LayerPartition) {
+        let toy = ToyScenario::build();
+        let graph = SimilarityGraph::build(&toy.matrix, GraphConfig { top_k: None, ..Default::default() });
+        let (_, partition) = LayerPartition::from_graph(&graph);
+        (graph, partition)
+    }
+
+    #[test]
+    fn interstellar_reaches_the_forever_war_via_meta_paths() {
+        let (graph, partition) = toy_graph();
+        let table = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
+        // The motivating example: Interstellar has no direct similarity with The Forever
+        // War, but X-Sim connects them through Inception.
+        let cands = table.candidates(items::INTERSTELLAR);
+        assert!(
+            cands.iter().any(|e| e.item == items::THE_FOREVER_WAR),
+            "Interstellar should reach The Forever War, got {cands:?}"
+        );
+        assert_eq!(table.source_domain(), Some(DomainId::SOURCE));
+    }
+
+    #[test]
+    fn meta_paths_add_pairs_beyond_direct_edges() {
+        let (graph, partition) = toy_graph();
+        let table = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
+        let standard = graph.n_heterogeneous_pairs();
+        let metapath_based = table.n_heterogeneous_pairs();
+        assert!(
+            metapath_based > standard,
+            "meta-paths should add heterogeneous similarities: {metapath_based} vs {standard}"
+        );
+    }
+
+    #[test]
+    fn direct_edges_keep_their_baseline_similarity() {
+        let (graph, partition) = toy_graph();
+        let table = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
+        // Inception and The Forever War are directly connected through Cecilia.
+        if let Some(direct_edge) = graph.edge_between(items::INCEPTION, items::THE_FOREVER_WAR) {
+            let entry = table
+                .candidates(items::INCEPTION)
+                .iter()
+                .find(|e| e.item == items::THE_FOREVER_WAR)
+                .copied()
+                .expect("directly connected pair must appear in the table");
+            assert!((entry.similarity - direct_edge.stats.similarity).abs() < 1e-12);
+            assert_eq!(entry.n_paths, 1);
+        }
+    }
+
+    #[test]
+    fn xsim_values_are_bounded_and_sorted() {
+        let (graph, partition) = toy_graph();
+        let table = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(2),
+        );
+        for (_, cands) in table.iter() {
+            for w in cands.windows(2) {
+                assert!(w[0].weighted_similarity() >= w[1].weighted_similarity());
+            }
+            for e in cands {
+                assert!((-1.0..=1.0).contains(&e.similarity));
+                assert!((0.0..=1.0).contains(&e.certainty));
+                assert!(e.weighted_similarity().abs() <= e.similarity.abs() + 1e-12);
+                assert!(e.n_paths >= 1);
+            }
+        }
+        assert!(table.n_connected_items() <= 3, "only source items can be table keys");
+    }
+
+    #[test]
+    fn path_certainty_penalises_longer_paths() {
+        let (graph, partition) = toy_graph();
+        // enumerate the paths from Interstellar; any 2-hop path must have certainty no
+        // larger than the certainty of its 1-hop prefix (certainties multiply factors <= 1)
+        let paths = enumerate_cross_domain_paths(
+            &graph,
+            &partition,
+            items::INTERSTELLAR,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+        );
+        for p in &paths {
+            let c = path_certainty(&graph, p);
+            assert!((0.0..=1.0).contains(&c));
+            if p.n_hops() >= 2 {
+                let prefix = MetaPath {
+                    items: p.items[..2].to_vec(),
+                };
+                assert!(c <= path_certainty(&graph, &prefix) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn path_similarity_is_weighted_mean_of_hop_similarities() {
+        let (graph, _) = toy_graph();
+        let path = MetaPath {
+            items: vec![items::INTERSTELLAR, items::INCEPTION, items::THE_FOREVER_WAR],
+        };
+        if let Some(sp) = path_similarity(&graph, &path) {
+            let s1 = graph
+                .edge_between(items::INTERSTELLAR, items::INCEPTION)
+                .unwrap()
+                .stats
+                .similarity;
+            let s2 = graph
+                .edge_between(items::INCEPTION, items::THE_FOREVER_WAR)
+                .unwrap()
+                .stats
+                .similarity;
+            assert!(sp >= s1.min(s2) - 1e-9 && sp <= s1.max(s2) + 1e-9, "sp {sp} outside [{}, {}]", s1.min(s2), s1.max(s2));
+        }
+    }
+
+    #[test]
+    fn missing_edges_yield_no_similarity() {
+        let (graph, _) = toy_graph();
+        // a fabricated path over unconnected items has no certainty and no similarity
+        let bogus = MetaPath {
+            items: vec![items::INTERSTELLAR, items::ENDERS_GAME],
+        };
+        if graph.edge_between(items::INTERSTELLAR, items::ENDERS_GAME).is_none() {
+            assert_eq!(path_certainty(&graph, &bogus), 0.0);
+            assert!(path_similarity(&graph, &bogus).is_none());
+            assert!(aggregate_paths(&graph, &[&bogus]).is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_tables_agree() {
+        let (graph, partition) = toy_graph();
+        let seq = XSimTable::compute(&graph, &partition, DomainId::SOURCE, MetaPathConfig::default(), &WorkerPool::new(1));
+        let par = XSimTable::compute(&graph, &partition, DomainId::SOURCE, MetaPathConfig::default(), &WorkerPool::new(4));
+        assert_eq!(seq.n_heterogeneous_pairs(), par.n_heterogeneous_pairs());
+        for (item, cands) in seq.iter() {
+            assert_eq!(par.candidates(item), cands);
+        }
+    }
+
+    #[test]
+    fn unknown_item_has_no_candidates() {
+        let (graph, partition) = toy_graph();
+        let table = XSimTable::compute(&graph, &partition, DomainId::SOURCE, MetaPathConfig::default(), &WorkerPool::new(1));
+        assert!(table.candidates(ItemId(999)).is_empty());
+        assert!(table.best_match(ItemId(999)).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal CSV import/export for rating traces.
+//!
+//! The format is the conventional `user_id,item_id,rating,timestamp[,domain]` layout used
+//! by the Amazon and MovieLens dumps the paper evaluates on, so real traces can be loaded
+//! when they are available. The writer emits the same format, which makes the synthetic
+//! datasets exportable for inspection or reuse outside this workspace.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use xmap_cf::{DomainId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timestep, UserId};
+
+/// Errors raised by CSV import/export.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The resulting matrix could not be built.
+    Build(xmap_cf::CfError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IoError::Build(e) => write!(f, "could not build rating matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads ratings from CSV text: `user,item,rating,timestep[,domain]`, `#`-prefixed lines
+/// and blank lines are skipped. Returns the built matrix.
+pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
+    let reader = BufReader::new(reader);
+    let mut builder = RatingMatrixBuilder::new();
+    let mut domains: Vec<(ItemId, DomainId)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 3 {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("expected at least 3 fields, got {}", fields.len()),
+            });
+        }
+        let user: u32 = fields[0].parse().map_err(|e| IoError::Parse {
+            line: line_no,
+            message: format!("bad user id `{}`: {e}", fields[0]),
+        })?;
+        let item: u32 = fields[1].parse().map_err(|e| IoError::Parse {
+            line: line_no,
+            message: format!("bad item id `{}`: {e}", fields[1]),
+        })?;
+        let value: f64 = fields[2].parse().map_err(|e| IoError::Parse {
+            line: line_no,
+            message: format!("bad rating `{}`: {e}", fields[2]),
+        })?;
+        let timestep: u32 = if fields.len() > 3 && !fields[3].is_empty() {
+            fields[3].parse().map_err(|e| IoError::Parse {
+                line: line_no,
+                message: format!("bad timestep `{}`: {e}", fields[3]),
+            })?
+        } else {
+            0
+        };
+        if fields.len() > 4 && !fields[4].is_empty() {
+            let domain: u16 = fields[4].parse().map_err(|e| IoError::Parse {
+                line: line_no,
+                message: format!("bad domain `{}`: {e}", fields[4]),
+            })?;
+            domains.push((ItemId(item), DomainId(domain)));
+        }
+        builder
+            .push(Rating::at(UserId(user), ItemId(item), value, Timestep(timestep)))
+            .map_err(IoError::Build)?;
+    }
+    for (item, domain) in domains {
+        builder.set_item_domain(item, domain);
+    }
+    builder.build().map_err(IoError::Build)
+}
+
+/// Reads ratings from a CSV file on disk.
+pub fn read_ratings_file(path: impl AsRef<Path>) -> Result<RatingMatrix, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_ratings_csv(file)
+}
+
+/// Writes a rating matrix as CSV (`user,item,rating,timestep,domain`).
+pub fn write_ratings_csv<W: Write>(matrix: &RatingMatrix, mut writer: W) -> Result<(), IoError> {
+    writeln!(writer, "# user,item,rating,timestep,domain")?;
+    for r in matrix.iter() {
+        writeln!(
+            writer,
+            "{},{},{},{},{}",
+            r.user.0,
+            r.item.0,
+            r.value,
+            r.timestep.0,
+            matrix.item_domain(r.item).0
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a rating matrix to a CSV file on disk.
+pub fn write_ratings_file(matrix: &RatingMatrix, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_ratings_csv(matrix, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{CrossDomainConfig, CrossDomainDataset};
+
+    #[test]
+    fn parse_simple_csv() {
+        let csv = "# comment\n0,0,5,1,0\n0,1,3,2,1\n1,1,4,0,1\n\n";
+        let m = read_ratings_csv(csv.as_bytes()).unwrap();
+        assert_eq!(m.n_ratings(), 3);
+        assert_eq!(m.rating(UserId(0), ItemId(0)), Some(5.0));
+        assert_eq!(m.item_domain(ItemId(1)), DomainId(1));
+        assert_eq!(m.rating_timestep(UserId(0), ItemId(1)), Some(Timestep(2)));
+    }
+
+    #[test]
+    fn parse_without_optional_fields() {
+        let csv = "0,0,5\n1,0,2\n";
+        let m = read_ratings_csv(csv.as_bytes()).unwrap();
+        assert_eq!(m.n_ratings(), 2);
+        assert_eq!(m.rating_timestep(UserId(0), ItemId(0)), Some(Timestep(0)));
+        assert_eq!(m.item_domain(ItemId(0)), DomainId::SOURCE);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_ratings_csv("0,0,5\nnot,a,rating\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("bad user id"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        let err = read_ratings_csv("0,0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn round_trip_preserves_ratings_and_domains() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let mut buffer = Vec::new();
+        write_ratings_csv(&ds.matrix, &mut buffer).unwrap();
+        let restored = read_ratings_csv(buffer.as_slice()).unwrap();
+        assert_eq!(restored.n_ratings(), ds.matrix.n_ratings());
+        for r in ds.matrix.iter() {
+            assert_eq!(restored.rating(r.user, r.item), Some(r.value));
+            assert_eq!(restored.item_domain(r.item), ds.matrix.item_domain(r.item));
+            assert_eq!(restored.rating_timestep(r.user, r.item), Some(r.timestep));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let dir = std::env::temp_dir().join("xmap_dataset_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ratings.csv");
+        write_ratings_file(&ds.matrix, &path).unwrap();
+        let restored = read_ratings_file(&path).unwrap();
+        assert_eq!(restored.n_ratings(), ds.matrix.n_ratings());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_ratings_file("/nonexistent/path/to/ratings.csv").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+}

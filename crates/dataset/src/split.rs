@@ -1,0 +1,306 @@
+//! Train/test splits implementing the paper's evaluation scheme (§6.1).
+//!
+//! The protocol for the heterogeneous experiments is: partition the *overlapping* users
+//! into training and test sets; for every test user hide their target-domain profile
+//! (entirely for the cold-start evaluation, partially for the sparsity evaluation of
+//! Figure 10) and predict the hidden ratings from their source-domain profile. The
+//! overlap experiment of Figure 9 additionally restricts how many of the non-test
+//! overlapping users contribute their straddling ratings to the training set.
+
+use crate::synthetic::CrossDomainDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use xmap_cf::{DomainId, Rating, RatingMatrix, UserId};
+
+/// Configuration of a cross-domain evaluation split.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SplitConfig {
+    /// Fraction of the overlapping users held out as test users.
+    pub test_fraction: f64,
+    /// Number of target-domain ratings of each test user *kept in the training set*
+    /// (the "auxiliary profile" of Figure 10). 0 reproduces the cold-start setting.
+    pub auxiliary_profile_size: usize,
+    /// Fraction of the *non-test* overlapping users whose ratings are kept in training
+    /// (the "fraction of training set" axis of Figure 9). 1.0 keeps everyone.
+    pub overlap_fraction: f64,
+    /// RNG seed controlling which users are held out.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            test_fraction: 0.3,
+            auxiliary_profile_size: 0,
+            overlap_fraction: 1.0,
+            seed: 99,
+        }
+    }
+}
+
+/// A materialised cross-domain split.
+#[derive(Clone, Debug)]
+pub struct CrossDomainSplit {
+    /// Training matrix: everything except the hidden target-domain ratings of the test
+    /// users (and except the ratings of overlap users dropped by `overlap_fraction`).
+    pub train: RatingMatrix,
+    /// Hidden `(user, item, true rating)` triples to predict — all in the target domain.
+    pub test: Vec<Rating>,
+    /// The users whose target profiles were hidden.
+    pub test_users: Vec<UserId>,
+    /// The non-test overlapping users retained as straddlers in training.
+    pub training_overlap_users: Vec<UserId>,
+}
+
+impl CrossDomainSplit {
+    /// Builds a split of `dataset` in which `target` is the domain whose ratings are
+    /// hidden and predicted.
+    pub fn build(dataset: &CrossDomainDataset, target: DomainId, config: SplitConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.test_fraction),
+            "test_fraction must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.overlap_fraction),
+            "overlap_fraction must be in [0, 1]"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Shuffle the overlapping users deterministically and carve out the test set.
+        let mut overlap = dataset.overlap_users.clone();
+        for i in (1..overlap.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            overlap.swap(i, j);
+        }
+        let n_test = ((overlap.len() as f64) * config.test_fraction).round() as usize;
+        let n_test = n_test.min(overlap.len());
+        let test_users: Vec<UserId> = overlap[..n_test].to_vec();
+        let rest: Vec<UserId> = overlap[n_test..].to_vec();
+        let n_keep = ((rest.len() as f64) * config.overlap_fraction).round() as usize;
+        let training_overlap_users: Vec<UserId> = rest[..n_keep.min(rest.len())].to_vec();
+        let dropped_overlap: Vec<UserId> = rest[n_keep.min(rest.len())..].to_vec();
+
+        // For each test user decide which of their target-domain ratings stay in training
+        // (the auxiliary profile) and which become test ratings.
+        let matrix = &dataset.matrix;
+        let mut keep_in_training: std::collections::HashSet<(UserId, xmap_cf::ItemId)> =
+            std::collections::HashSet::new();
+        let mut test: Vec<Rating> = Vec::new();
+        for &u in &test_users {
+            let mut target_profile: Vec<_> = matrix
+                .user_profile(u)
+                .iter()
+                .filter(|e| matrix.item_domain(e.item) == target)
+                .copied()
+                .collect();
+            // keep the earliest-rated auxiliary items (they would realistically be known
+            // first), hide the rest
+            target_profile.sort_by_key(|e| e.timestep);
+            for (idx, e) in target_profile.into_iter().enumerate() {
+                if idx < config.auxiliary_profile_size {
+                    keep_in_training.insert((u, e.item));
+                } else {
+                    test.push(Rating {
+                        user: u,
+                        item: e.item,
+                        value: e.value,
+                        timestep: e.timestep,
+                    });
+                }
+            }
+        }
+
+        let dropped: std::collections::HashSet<UserId> = dropped_overlap.into_iter().collect();
+        let test_user_set: std::collections::HashSet<UserId> = test_users.iter().copied().collect();
+        let train = matrix
+            .filter(|r| {
+                if dropped.contains(&r.user) {
+                    return false;
+                }
+                if test_user_set.contains(&r.user) && matrix.item_domain(r.item) == target {
+                    return keep_in_training.contains(&(r.user, r.item));
+                }
+                true
+            })
+            .expect("training split is never empty for non-degenerate datasets");
+
+        CrossDomainSplit {
+            train,
+            test,
+            test_users,
+            training_overlap_users,
+        }
+    }
+}
+
+/// A plain per-rating random holdout used by the homogeneous experiments (Table 3):
+/// each rating lands in the test set independently with probability `test_fraction`.
+pub fn random_holdout(
+    matrix: &RatingMatrix,
+    test_fraction: f64,
+    seed: u64,
+) -> (RatingMatrix, Vec<Rating>) {
+    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut test = Vec::new();
+    let mut decisions: std::collections::HashMap<(UserId, xmap_cf::ItemId), bool> =
+        std::collections::HashMap::new();
+    for r in matrix.iter() {
+        let is_test = rng.gen_bool(test_fraction);
+        decisions.insert((r.user, r.item), is_test);
+        if is_test {
+            test.push(r);
+        }
+    }
+    let train = matrix
+        .filter(|r| !decisions.get(&(r.user, r.item)).copied().unwrap_or(false))
+        .expect("training split is never empty for non-degenerate inputs");
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{CrossDomainConfig, CrossDomainDataset};
+
+    fn dataset() -> CrossDomainDataset {
+        CrossDomainDataset::generate(CrossDomainConfig::small())
+    }
+
+    #[test]
+    fn cold_start_split_hides_entire_target_profile() {
+        let ds = dataset();
+        let split = CrossDomainSplit::build(&ds, DomainId::TARGET, SplitConfig::default());
+        assert!(!split.test_users.is_empty());
+        assert!(!split.test.is_empty());
+        for &u in &split.test_users {
+            let (target, source) = split.train.profile_by_domain(u, DomainId::TARGET);
+            assert!(target.is_empty(), "cold-start test user {u} still has target ratings in training");
+            assert!(!source.is_empty(), "test user {u} must keep their source profile");
+        }
+        // every test rating is a target-domain rating of a test user with the true value
+        for r in &split.test {
+            assert!(split.test_users.contains(&r.user));
+            assert_eq!(ds.matrix.item_domain(r.item), DomainId::TARGET);
+            assert_eq!(ds.matrix.rating(r.user, r.item), Some(r.value));
+            assert_eq!(split.train.rating(r.user, r.item), None);
+        }
+    }
+
+    #[test]
+    fn auxiliary_profile_keeps_requested_number_of_ratings() {
+        let ds = dataset();
+        for aux in [1usize, 3, 6] {
+            let split = CrossDomainSplit::build(
+                &ds,
+                DomainId::TARGET,
+                SplitConfig {
+                    auxiliary_profile_size: aux,
+                    ..Default::default()
+                },
+            );
+            for &u in &split.test_users {
+                let full: usize = ds
+                    .matrix
+                    .user_profile(u)
+                    .iter()
+                    .filter(|e| ds.matrix.item_domain(e.item) == DomainId::TARGET)
+                    .count();
+                let kept = split
+                    .train
+                    .user_profile(u)
+                    .iter()
+                    .filter(|e| split.train.item_domain(e.item) == DomainId::TARGET)
+                    .count();
+                assert_eq!(kept, aux.min(full));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_fraction_controls_training_straddlers() {
+        let ds = dataset();
+        let full = CrossDomainSplit::build(
+            &ds,
+            DomainId::TARGET,
+            SplitConfig {
+                overlap_fraction: 1.0,
+                ..Default::default()
+            },
+        );
+        let half = CrossDomainSplit::build(
+            &ds,
+            DomainId::TARGET,
+            SplitConfig {
+                overlap_fraction: 0.5,
+                ..Default::default()
+            },
+        );
+        assert!(half.training_overlap_users.len() < full.training_overlap_users.len());
+        assert!(half.train.n_ratings() < full.train.n_ratings());
+        // test users are identical because the seed and test fraction are identical
+        assert_eq!(half.test_users, full.test_users);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = dataset();
+        let a = CrossDomainSplit::build(&ds, DomainId::TARGET, SplitConfig::default());
+        let b = CrossDomainSplit::build(&ds, DomainId::TARGET, SplitConfig::default());
+        assert_eq!(a.test_users, b.test_users);
+        assert_eq!(a.test.len(), b.test.len());
+        let c = CrossDomainSplit::build(
+            &ds,
+            DomainId::TARGET,
+            SplitConfig {
+                seed: 12345,
+                ..Default::default()
+            },
+        );
+        // a different seed typically selects different users (not guaranteed, but for
+        // this dataset size the probability of an identical shuffle is negligible)
+        assert_ne!(a.test_users, c.test_users);
+    }
+
+    #[test]
+    fn split_works_in_the_reverse_direction() {
+        let ds = dataset();
+        let split = CrossDomainSplit::build(&ds, DomainId::SOURCE, SplitConfig::default());
+        for r in &split.test {
+            assert_eq!(ds.matrix.item_domain(r.item), DomainId::SOURCE);
+        }
+        for &u in &split.test_users {
+            let (hidden, kept) = split.train.profile_by_domain(u, DomainId::SOURCE);
+            assert!(hidden.is_empty());
+            assert!(!kept.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_holdout_partitions_ratings() {
+        let ds = dataset();
+        let (train, test) = random_holdout(&ds.matrix, 0.25, 7);
+        assert_eq!(train.n_ratings() + test.len(), ds.matrix.n_ratings());
+        for r in &test {
+            assert_eq!(train.rating(r.user, r.item), None);
+            assert_eq!(ds.matrix.rating(r.user, r.item), Some(r.value));
+        }
+        let frac = test.len() as f64 / ds.matrix.n_ratings() as f64;
+        assert!((frac - 0.25).abs() < 0.1, "holdout fraction {frac} too far from 0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn invalid_test_fraction_panics() {
+        let ds = dataset();
+        let _ = CrossDomainSplit::build(
+            &ds,
+            DomainId::TARGET,
+            SplitConfig {
+                test_fraction: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

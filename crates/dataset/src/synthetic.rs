@@ -1,0 +1,371 @@
+//! Synthetic cross-domain rating traces.
+//!
+//! The generator follows a latent-factor model: every user and every item owns a taste /
+//! topic vector, and the "true" affinity of a user for an item is the dot product of the
+//! two, rescaled to the rating scale and perturbed by noise. Crucially, a user's taste
+//! vector is *the same in both domains* — that is precisely the cross-domain structure
+//! that makes heterogeneous recommendation possible and that the real Amazon overlap
+//! users exhibit. Users are split into three groups:
+//!
+//! * source-only users (rate only source-domain items),
+//! * target-only users (rate only target-domain items),
+//! * overlap users / straddlers (rate in both domains).
+//!
+//! The number of straddlers directly controls how many bridge items and meta-paths exist,
+//! which is what the overlap experiment (Figure 9) sweeps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use xmap_cf::rating::RatingScale;
+use xmap_cf::{DomainId, ItemId, RatingMatrix, RatingMatrixBuilder, UserId};
+
+/// Configuration of the synthetic cross-domain trace.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CrossDomainConfig {
+    /// Number of items in the source domain (movies in the paper's running example).
+    pub n_source_items: usize,
+    /// Number of items in the target domain (books).
+    pub n_target_items: usize,
+    /// Users who rate only in the source domain.
+    pub n_source_only_users: usize,
+    /// Users who rate only in the target domain.
+    pub n_target_only_users: usize,
+    /// Straddlers: users who rate in both domains.
+    pub n_overlap_users: usize,
+    /// Ratings each user gives per domain they are active in.
+    pub ratings_per_user: usize,
+    /// Dimension of the latent taste vectors.
+    pub latent_dim: usize,
+    /// Standard deviation of the rating noise (in stars).
+    pub noise: f64,
+    /// RNG seed; the same seed always produces the same trace.
+    pub seed: u64,
+}
+
+impl Default for CrossDomainConfig {
+    fn default() -> Self {
+        CrossDomainConfig {
+            n_source_items: 120,
+            n_target_items: 150,
+            n_source_only_users: 80,
+            n_target_only_users: 80,
+            n_overlap_users: 60,
+            ratings_per_user: 15,
+            latent_dim: 4,
+            noise: 0.35,
+            seed: 7,
+        }
+    }
+}
+
+impl CrossDomainConfig {
+    /// A smaller configuration for quick tests and examples.
+    pub fn small() -> Self {
+        CrossDomainConfig {
+            n_source_items: 40,
+            n_target_items: 50,
+            n_source_only_users: 25,
+            n_target_only_users: 25,
+            n_overlap_users: 20,
+            ratings_per_user: 10,
+            latent_dim: 3,
+            noise: 0.3,
+            seed: 13,
+        }
+    }
+
+    /// Total number of users the trace will contain.
+    pub fn n_users(&self) -> usize {
+        self.n_source_only_users + self.n_target_only_users + self.n_overlap_users
+    }
+
+    /// Total number of items the trace will contain.
+    pub fn n_items(&self) -> usize {
+        self.n_source_items + self.n_target_items
+    }
+}
+
+/// A generated cross-domain dataset: the rating matrix plus the user-group bookkeeping
+/// needed by the evaluation protocols.
+#[derive(Clone, Debug)]
+pub struct CrossDomainDataset {
+    /// The aggregated rating matrix (both domains, item domains declared).
+    pub matrix: RatingMatrix,
+    /// Users active only in the source domain.
+    pub source_only_users: Vec<UserId>,
+    /// Users active only in the target domain.
+    pub target_only_users: Vec<UserId>,
+    /// Straddlers, active in both domains.
+    pub overlap_users: Vec<UserId>,
+    /// The configuration the dataset was generated from.
+    pub config: CrossDomainConfig,
+    /// Hidden ground-truth affinities used by tests: `affinity(user, item)` before noise.
+    user_factors: Vec<Vec<f64>>,
+    item_factors: Vec<Vec<f64>>,
+}
+
+impl CrossDomainDataset {
+    /// Generates a dataset from the configuration.
+    pub fn generate(config: CrossDomainConfig) -> Self {
+        assert!(config.n_source_items > 0 && config.n_target_items > 0, "domains must be non-empty");
+        assert!(config.latent_dim > 0, "latent dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale = RatingScale::FIVE_STAR;
+
+        let n_users = config.n_users();
+        let n_items = config.n_items();
+        let user_factors: Vec<Vec<f64>> = (0..n_users)
+            .map(|_| random_unit_vector(&mut rng, config.latent_dim))
+            .collect();
+        let item_factors: Vec<Vec<f64>> = (0..n_items)
+            .map(|_| random_unit_vector(&mut rng, config.latent_dim))
+            .collect();
+
+        // User groups by index range.
+        let source_only_users: Vec<UserId> =
+            (0..config.n_source_only_users as u32).map(UserId).collect();
+        let target_only_users: Vec<UserId> = (config.n_source_only_users as u32
+            ..(config.n_source_only_users + config.n_target_only_users) as u32)
+            .map(UserId)
+            .collect();
+        let overlap_users: Vec<UserId> = ((config.n_source_only_users + config.n_target_only_users) as u32
+            ..n_users as u32)
+            .map(UserId)
+            .collect();
+
+        let mut builder = RatingMatrixBuilder::with_scale(scale).with_dimensions(n_users, n_items);
+        let source_items: Vec<ItemId> = (0..config.n_source_items as u32).map(ItemId).collect();
+        let target_items: Vec<ItemId> =
+            (config.n_source_items as u32..n_items as u32).map(ItemId).collect();
+
+        let emit = |builder: &mut RatingMatrixBuilder,
+                        rng: &mut StdRng,
+                        user: UserId,
+                        items: &[ItemId],
+                        timestep_base: u32| {
+            let mut chosen = sample_without_replacement(rng, items, config.ratings_per_user);
+            chosen.sort_unstable();
+            for (ord, item) in chosen.into_iter().enumerate() {
+                let affinity = dot(&user_factors[user.index()], &item_factors[item.index()]);
+                let noise = gaussian(rng) * config.noise;
+                let value = (3.0 + 2.0 * affinity + noise).round();
+                let value = scale.clamp(value);
+                builder
+                    .push(xmap_cf::Rating::at(
+                        user,
+                        item,
+                        value,
+                        xmap_cf::Timestep(timestep_base + ord as u32),
+                    ))
+                    .expect("generated ratings are always finite");
+            }
+        };
+
+        for &u in &source_only_users {
+            emit(&mut builder, &mut rng, u, &source_items, 0);
+        }
+        for &u in &target_only_users {
+            emit(&mut builder, &mut rng, u, &target_items, 0);
+        }
+        for &u in &overlap_users {
+            // straddlers first rate the source domain, later the target domain, giving
+            // them a meaningful temporal ordering across domains
+            emit(&mut builder, &mut rng, u, &source_items, 0);
+            emit(&mut builder, &mut rng, u, &target_items, config.ratings_per_user as u32);
+        }
+
+        for &i in &source_items {
+            builder.set_item_domain(i, DomainId::SOURCE);
+        }
+        for &i in &target_items {
+            builder.set_item_domain(i, DomainId::TARGET);
+        }
+
+        let matrix = builder.build().expect("generated dataset is never empty");
+        CrossDomainDataset {
+            matrix,
+            source_only_users,
+            target_only_users,
+            overlap_users,
+            config,
+            user_factors,
+            item_factors,
+        }
+    }
+
+    /// The noiseless ground-truth affinity of a user for an item, mapped to the rating
+    /// scale. Used by tests and by sanity checks in the benches.
+    pub fn true_rating(&self, user: UserId, item: ItemId) -> f64 {
+        let affinity = dot(&self.user_factors[user.index()], &self.item_factors[item.index()]);
+        RatingScale::FIVE_STAR.clamp(3.0 + 2.0 * affinity)
+    }
+
+    /// Items of the source domain.
+    pub fn source_items(&self) -> Vec<ItemId> {
+        self.matrix.items_in_domain(DomainId::SOURCE)
+    }
+
+    /// Items of the target domain.
+    pub fn target_items(&self) -> Vec<ItemId> {
+        self.matrix.items_in_domain(DomainId::TARGET)
+    }
+}
+
+fn random_unit_vector(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..dim).map(|_| gaussian(rng)).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+    for x in &mut v {
+        *x /= norm;
+    }
+    v
+}
+
+/// Box–Muller standard normal sample.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn sample_without_replacement(rng: &mut StdRng, pool: &[ItemId], count: usize) -> Vec<ItemId> {
+    let count = count.min(pool.len());
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    // partial Fisher–Yates
+    for i in 0..count {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices[..count].iter().map(|&i| pool[i]).collect()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generated_shape_matches_config() {
+        let cfg = CrossDomainConfig::small();
+        let ds = CrossDomainDataset::generate(cfg);
+        assert_eq!(ds.matrix.n_users(), cfg.n_users());
+        assert_eq!(ds.matrix.n_items(), cfg.n_items());
+        assert_eq!(ds.source_items().len(), cfg.n_source_items);
+        assert_eq!(ds.target_items().len(), cfg.n_target_items);
+        assert_eq!(ds.overlap_users.len(), cfg.n_overlap_users);
+        assert_eq!(ds.source_only_users.len(), cfg.n_source_only_users);
+        assert_eq!(ds.target_only_users.len(), cfg.n_target_only_users);
+    }
+
+    #[test]
+    fn user_groups_rate_only_their_domains() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        for &u in &ds.source_only_users {
+            for e in ds.matrix.user_profile(u) {
+                assert_eq!(ds.matrix.item_domain(e.item), DomainId::SOURCE);
+            }
+        }
+        for &u in &ds.target_only_users {
+            for e in ds.matrix.user_profile(u) {
+                assert_eq!(ds.matrix.item_domain(e.item), DomainId::TARGET);
+            }
+        }
+        for &u in &ds.overlap_users {
+            let (src, tgt) = ds.matrix.profile_by_domain(u, DomainId::SOURCE);
+            assert!(!src.is_empty(), "straddler must rate the source domain");
+            assert!(!tgt.is_empty(), "straddler must rate the target domain");
+        }
+    }
+
+    #[test]
+    fn overlap_users_match_matrix_overlap_detection() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let detected = ds.matrix.overlapping_users(&[DomainId::SOURCE, DomainId::TARGET]);
+        assert_eq!(detected, ds.overlap_users);
+    }
+
+    #[test]
+    fn ratings_are_on_the_five_star_scale_and_deterministic() {
+        let cfg = CrossDomainConfig::small();
+        let a = CrossDomainDataset::generate(cfg);
+        let b = CrossDomainDataset::generate(cfg);
+        assert_eq!(a.matrix.n_ratings(), b.matrix.n_ratings());
+        for r in a.matrix.iter() {
+            assert!((1.0..=5.0).contains(&r.value));
+            assert_eq!(b.matrix.rating(r.user, r.item), Some(r.value));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let a = CrossDomainDataset::generate(CrossDomainConfig { seed: 1, ..CrossDomainConfig::small() });
+        let b = CrossDomainDataset::generate(CrossDomainConfig { seed: 2, ..CrossDomainConfig::small() });
+        let differing = a
+            .matrix
+            .iter()
+            .filter(|r| b.matrix.rating(r.user, r.item) != Some(r.value))
+            .count();
+        assert!(differing > 0, "different seeds should change the trace");
+    }
+
+    #[test]
+    fn ratings_correlate_with_ground_truth() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::default());
+        // observed ratings should be closer to the ground truth than a constant predictor
+        let mut err_truth = 0.0;
+        let mut err_const = 0.0;
+        let mut n = 0.0;
+        for r in ds.matrix.iter() {
+            err_truth += (r.value - ds.true_rating(r.user, r.item)).abs();
+            err_const += (r.value - 3.0).abs();
+            n += 1.0;
+        }
+        assert!(err_truth / n < err_const / n, "ground truth must explain the ratings better than a constant");
+    }
+
+    #[test]
+    fn straddler_target_ratings_have_later_timesteps() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let u = ds.overlap_users[0];
+        let (src, tgt) = ds.matrix.profile_by_domain(u, DomainId::SOURCE);
+        let max_src = src.iter().map(|e| e.timestep).max().unwrap();
+        let min_tgt = tgt.iter().map(|e| e.timestep).min().unwrap();
+        assert!(min_tgt >= max_src, "target ratings happen after source ratings for straddlers");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The generator never panics and always respects group sizes for a range of
+        /// configurations, including degenerate ones (zero overlap, tiny domains).
+        #[test]
+        fn generator_respects_arbitrary_configs(
+            n_src in 1usize..30,
+            n_tgt in 1usize..30,
+            overlap in 0usize..10,
+            per_user in 1usize..8,
+            seed in 0u64..50,
+        ) {
+            let cfg = CrossDomainConfig {
+                n_source_items: n_src,
+                n_target_items: n_tgt,
+                n_source_only_users: 5,
+                n_target_only_users: 5,
+                n_overlap_users: overlap,
+                ratings_per_user: per_user,
+                latent_dim: 3,
+                noise: 0.2,
+                seed,
+            };
+            let ds = CrossDomainDataset::generate(cfg);
+            prop_assert_eq!(ds.overlap_users.len(), overlap);
+            prop_assert_eq!(ds.matrix.n_items(), n_src + n_tgt);
+            for r in ds.matrix.iter() {
+                prop_assert!((1.0..=5.0).contains(&r.value));
+            }
+        }
+    }
+}

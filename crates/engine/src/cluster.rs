@@ -1,0 +1,256 @@
+//! Deterministic cluster simulator for the scalability experiment (Figure 11).
+//!
+//! The paper measures the speedup of X-Map (and of Spark MLlib-ALS) when the same job
+//! runs on 4–20 machines, normalised to the 5-machine time. A single evaluation host
+//! cannot reproduce a 20-machine cluster with real threads, so — per the substitution
+//! rule in `DESIGN.md` — this module *simulates* distributed execution:
+//!
+//! * the job is described as a bag of independent task costs (e.g. per-partition
+//!   similarity-computation times, measured locally or modelled from partition sizes);
+//! * on `m` machines the tasks are scheduled greedily, longest first (LPT), onto the
+//!   machine with the least load — the same load-balancing behaviour a Spark scheduler
+//!   approximates;
+//! * the simulated makespan adds a per-stage coordination/shuffle cost that grows with
+//!   the machine count and with the fraction of data that must cross machines, plus a
+//!   serial (non-parallelisable) fraction — this is what bends the curve away from the
+//!   ideal linear speedup, for ALS (iterative, shuffle-heavy) much more than for X-Map
+//!   (embarrassingly parallel per-item/per-user work).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model of one distributed job.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterCostModel {
+    /// Work that cannot be parallelised (driver-side aggregation, job setup), in the same
+    /// unit as the task costs.
+    pub serial_cost: f64,
+    /// Coordination overhead added *per machine* participating in a stage (heartbeats,
+    /// task scheduling, result collection).
+    pub per_machine_overhead: f64,
+    /// Shuffle cost coefficient: each stage pays `shuffle_cost * total_work * (m-1)/m`,
+    /// modelling the fraction of records that must leave their machine in an all-to-all
+    /// exchange over `m` machines.
+    pub shuffle_cost: f64,
+    /// Number of shuffle stages the job performs.
+    pub shuffle_stages: usize,
+}
+
+impl ClusterCostModel {
+    /// A cost model resembling X-Map's pipeline: almost no serial work and a single
+    /// cheap shuffle (exchanging the pruned top-k lists between layers).
+    pub fn xmap_like() -> Self {
+        ClusterCostModel {
+            serial_cost: 0.01,
+            per_machine_overhead: 0.002,
+            shuffle_cost: 0.01,
+            shuffle_stages: 2,
+        }
+    }
+
+    /// A cost model resembling iterative ALS: a noticeable serial driver portion and many
+    /// shuffle-heavy iterations (factor broadcast + gradient aggregation per sweep).
+    pub fn als_like() -> Self {
+        ClusterCostModel {
+            serial_cost: 0.05,
+            per_machine_overhead: 0.004,
+            shuffle_cost: 0.035,
+            shuffle_stages: 10,
+        }
+    }
+}
+
+/// One point of a speedup curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    /// Number of machines.
+    pub machines: usize,
+    /// Simulated makespan on that many machines.
+    pub makespan: f64,
+    /// Speedup relative to the baseline machine count.
+    pub speedup: f64,
+}
+
+/// The cluster simulator: task costs plus a cost model.
+#[derive(Clone, Debug)]
+pub struct ClusterSim {
+    task_costs: Vec<f64>,
+    model: ClusterCostModel,
+}
+
+impl ClusterSim {
+    /// Creates a simulator for a job consisting of `task_costs` independent tasks.
+    /// Non-finite or negative costs are rejected.
+    pub fn new(task_costs: Vec<f64>, model: ClusterCostModel) -> Self {
+        assert!(
+            task_costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "task costs must be finite and non-negative"
+        );
+        ClusterSim { task_costs, model }
+    }
+
+    /// Total amount of parallelisable work.
+    pub fn total_work(&self) -> f64 {
+        self.task_costs.iter().sum()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.task_costs.len()
+    }
+
+    /// Simulated makespan of the job on `machines` machines.
+    ///
+    /// LPT scheduling: tasks are sorted by decreasing cost and each task is placed on the
+    /// currently least-loaded machine. The result is the most loaded machine's finish
+    /// time, plus the modelled serial, per-machine and shuffle costs.
+    pub fn makespan(&self, machines: usize) -> f64 {
+        let machines = machines.max(1);
+        let mut sorted = self.task_costs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let mut loads = vec![0.0f64; machines];
+        for cost in sorted {
+            // place on the least-loaded machine
+            let (idx, _) = loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("at least one machine");
+            loads[idx] += cost;
+        }
+        let parallel_part = loads.iter().cloned().fold(0.0, f64::max);
+        let m = machines as f64;
+        // The shuffle term models the fraction of records that must leave their machine
+        // in an all-to-all exchange: (m-1)/m of the data per stage. The aggregate network
+        // does not speed up as machines are added, so this term grows (slowly) with m —
+        // which is what bends shuffle-heavy jobs (ALS) away from linear speedup.
+        let shuffle = self.model.shuffle_cost
+            * self.total_work()
+            * ((m - 1.0) / m)
+            * self.model.shuffle_stages as f64;
+        let overhead = self.model.per_machine_overhead * m;
+        self.model.serial_cost + parallel_part + shuffle + overhead
+    }
+
+    /// Speedup of `machines` machines relative to `baseline_machines`
+    /// (`S_p = T_baseline / T_p`, the normalisation used in §6.6 where the baseline is 5
+    /// machines instead of a sequential run).
+    pub fn speedup(&self, machines: usize, baseline_machines: usize) -> f64 {
+        self.makespan(baseline_machines) / self.makespan(machines)
+    }
+
+    /// The full speedup curve for a list of machine counts.
+    pub fn speedup_curve(&self, machine_counts: &[usize], baseline_machines: usize) -> Vec<SpeedupPoint> {
+        machine_counts
+            .iter()
+            .map(|&m| SpeedupPoint {
+                machines: m,
+                makespan: self.makespan(m),
+                speedup: self.speedup(m, baseline_machines),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uniform_tasks(n: usize, cost: f64) -> Vec<f64> {
+        vec![cost; n]
+    }
+
+    #[test]
+    fn makespan_decreases_with_more_machines() {
+        let sim = ClusterSim::new(uniform_tasks(200, 0.1), ClusterCostModel::xmap_like());
+        let mut prev = f64::INFINITY;
+        for m in [1usize, 2, 4, 8, 16] {
+            let t = sim.makespan(m);
+            assert!(t < prev, "makespan should shrink: {t} on {m} machines (prev {prev})");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn speedup_is_one_at_baseline_and_grows() {
+        let sim = ClusterSim::new(uniform_tasks(400, 0.05), ClusterCostModel::xmap_like());
+        assert!((sim.speedup(5, 5) - 1.0).abs() < 1e-12);
+        let s10 = sim.speedup(10, 5);
+        let s20 = sim.speedup(20, 5);
+        assert!(s10 > 1.0);
+        assert!(s20 > s10);
+        // ideal speedup from 5 to 20 machines is 4x; the model must stay below it
+        assert!(s20 < 4.0, "speedup {s20} exceeds the ideal bound");
+        // but an embarrassingly parallel job should stay reasonably close to linear
+        assert!(s20 > 2.0, "X-Map-like job should scale well, got {s20}");
+    }
+
+    #[test]
+    fn xmap_model_scales_better_than_als_model() {
+        let tasks = uniform_tasks(400, 0.05);
+        let xmap = ClusterSim::new(tasks.clone(), ClusterCostModel::xmap_like());
+        let als = ClusterSim::new(tasks, ClusterCostModel::als_like());
+        for m in [8usize, 12, 16, 20] {
+            assert!(
+                xmap.speedup(m, 5) > als.speedup(m, 5),
+                "X-Map should out-scale ALS at {m} machines"
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_handles_skewed_tasks() {
+        // one huge task dominates: makespan can never drop below it
+        let mut tasks = uniform_tasks(50, 0.01);
+        tasks.push(5.0);
+        let sim = ClusterSim::new(tasks, ClusterCostModel::xmap_like());
+        for m in [1usize, 4, 16] {
+            assert!(sim.makespan(m) >= 5.0);
+        }
+    }
+
+    #[test]
+    fn speedup_curve_reports_every_requested_point() {
+        let sim = ClusterSim::new(uniform_tasks(100, 0.02), ClusterCostModel::xmap_like());
+        let counts = [4usize, 6, 8, 10, 12, 14, 16, 18, 20];
+        let curve = sim.speedup_curve(&counts, 5);
+        assert_eq!(curve.len(), counts.len());
+        for (point, &m) in curve.iter().zip(&counts) {
+            assert_eq!(point.machines, m);
+            assert!(point.makespan > 0.0);
+            assert!(point.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_machines_clamped_to_one() {
+        let sim = ClusterSim::new(uniform_tasks(10, 0.1), ClusterCostModel::xmap_like());
+        assert_eq!(sim.makespan(0), sim.makespan(1));
+        assert_eq!(sim.n_tasks(), 10);
+        assert!((sim.total_work() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_costs_rejected() {
+        let _ = ClusterSim::new(vec![1.0, -0.5], ClusterCostModel::xmap_like());
+    }
+
+    proptest! {
+        /// The makespan is always at least the largest task and at least total/machines,
+        /// and never exceeds the single-machine makespan.
+        #[test]
+        fn makespan_bounds(
+            costs in proptest::collection::vec(0.0f64..1.0, 1..100),
+            machines in 1usize..24,
+        ) {
+            let model = ClusterCostModel { serial_cost: 0.0, per_machine_overhead: 0.0, shuffle_cost: 0.0, shuffle_stages: 0 };
+            let sim = ClusterSim::new(costs.clone(), model);
+            let t = sim.makespan(machines);
+            let max_task = costs.iter().cloned().fold(0.0, f64::max);
+            let lower = (sim.total_work() / machines as f64).max(max_task);
+            prop_assert!(t >= lower - 1e-9, "makespan {t} below lower bound {lower}");
+            prop_assert!(t <= sim.makespan(1) + 1e-9);
+        }
+    }
+}

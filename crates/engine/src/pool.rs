@@ -1,0 +1,253 @@
+//! A small work-stealing worker pool for embarrassingly parallel map stages.
+//!
+//! Every computationally heavy phase of X-Map (baseline similarity computation, layer
+//! extension, AlterEgo generation, per-user recommendation) is a pure function applied
+//! independently to each element of a collection. [`WorkerPool::parallel_map`] runs such
+//! a function across `workers` scoped threads that pull indices from a shared atomic
+//! counter — the simplest form of dynamic load balancing, adequate because individual
+//! tasks are small and numerous.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size worker pool. The pool owns no threads between calls; threads are scoped
+/// to each `parallel_map` invocation, so the pool is trivially `Send + Sync` and cheap to
+/// create.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given number of workers (at least 1).
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn default_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkerPool::new(workers)
+    }
+
+    /// The number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every element of `items` and returns the results in input order.
+    ///
+    /// With a single worker the map runs inline on the calling thread (no thread spawn
+    /// overhead), which also makes single-core CI environments behave deterministically.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.parallel_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`WorkerPool::parallel_map`] but also passes the element index to `f`.
+    pub fn parallel_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.workers == 1 || items.len() == 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let n = items.len();
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let results_ptr = SendPtr(results.as_mut_ptr());
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                let cursor = &cursor;
+                let f = &f;
+                let results_ptr = results_ptr;
+                scope.spawn(move |_| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let value = f(idx, &items[idx]);
+                    // SAFETY: each index is claimed by exactly one worker (fetch_add is
+                    // unique per idx), the vector was pre-sized to n elements, and the
+                    // scope guarantees workers finish before `results` is read.
+                    unsafe {
+                        *results_ptr.slot(idx) = Some(value);
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every index was processed"))
+            .collect()
+    }
+
+    /// Splits `total` work items into per-worker contiguous ranges of near-equal size.
+    /// Useful when the caller wants chunked rather than element-wise scheduling.
+    pub fn chunk_ranges(&self, total: usize) -> Vec<std::ops::Range<usize>> {
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(total);
+        let base = total / workers;
+        let extra = total % workers;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::default_parallelism()
+    }
+}
+
+/// A raw pointer wrapper that is `Send`/`Copy` so scoped workers can write disjoint slots.
+/// Accessing the pointer goes through [`SendPtr::slot`] so closures capture the whole
+/// wrapper (and its `Send` impl) rather than the raw pointer field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to the `idx`-th slot.
+    ///
+    /// # Safety
+    /// The caller must ensure `idx` is in bounds of the allocation and that no other
+    /// thread accesses the same slot concurrently.
+    unsafe fn slot(self, idx: usize) -> *mut T {
+        self.0.add(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let pool = WorkerPool::new(4);
+        let input: Vec<u64> = (0..1000).collect();
+        let out = pool.parallel_map(&input, |x| x * 2);
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_map_passes_correct_indices() {
+        let pool = WorkerPool::new(3);
+        let input = vec!["a", "b", "c", "d"];
+        let out = pool.parallel_map_indexed(&input, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let pool = WorkerPool::new(8);
+        let out: Vec<u32> = pool.parallel_map(&Vec::<u32>::new(), |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let out = pool.parallel_map(&[1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn default_pool_has_at_least_one_worker() {
+        assert!(WorkerPool::default().workers() >= 1);
+        assert!(WorkerPool::default_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn results_match_sequential_for_expensive_closure() {
+        let pool = WorkerPool::new(4);
+        let input: Vec<u64> = (0..200).collect();
+        let expensive = |x: &u64| -> u64 {
+            // small busy work so threads interleave
+            (0..100).fold(*x, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        };
+        let parallel = pool.parallel_map(&input, expensive);
+        let sequential: Vec<u64> = input.iter().map(expensive).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_without_overlap() {
+        let pool = WorkerPool::new(4);
+        let ranges = pool.chunk_ranges(10);
+        assert_eq!(ranges.len(), 4);
+        let mut covered = vec![false; 10];
+        for r in &ranges {
+            for i in r.clone() {
+                assert!(!covered[i], "index {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+        assert!(pool.chunk_ranges(0).is_empty());
+        // more workers than items: one range per item
+        assert_eq!(WorkerPool::new(16).chunk_ranges(3).len(), 3);
+    }
+
+    proptest! {
+        /// Parallel map equals sequential map for arbitrary inputs and worker counts.
+        #[test]
+        fn equivalent_to_sequential(input in proptest::collection::vec(0i64..1000, 0..300), workers in 1usize..8) {
+            let pool = WorkerPool::new(workers);
+            let parallel = pool.parallel_map(&input, |x| x * x - 3);
+            let sequential: Vec<i64> = input.iter().map(|x| x * x - 3).collect();
+            prop_assert_eq!(parallel, sequential);
+        }
+
+        /// Chunk ranges always partition [0, total).
+        #[test]
+        fn chunks_partition(total in 0usize..500, workers in 1usize..10) {
+            let ranges = WorkerPool::new(workers).chunk_ranges(total);
+            let count: usize = ranges.iter().map(|r| r.len()).sum();
+            prop_assert_eq!(count, total);
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Named-stage wall-clock accounting.
+//!
+//! The X-Map implementation is a four-stage pipeline (baseliner → extender → generator →
+//! recommender, Figure 4). [`StageTimer`] records how long each named stage took so
+//! experiments can report per-component costs and the cluster simulator can be fed with
+//! realistic stage weights.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// One recorded stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+}
+
+/// Collects named stage durations. Thread-safe so parallel stages can record themselves.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    reports: Mutex<Vec<StageReport>>,
+}
+
+impl StageTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` as a named stage, recording its duration, and returns its result.
+    pub fn run_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(name, start.elapsed());
+        result
+    }
+
+    /// Records an externally measured duration for a named stage.
+    pub fn record(&self, name: &str, duration: Duration) {
+        self.reports.lock().push(StageReport {
+            name: name.to_string(),
+            duration,
+        });
+    }
+
+    /// All recorded stages in recording order.
+    pub fn reports(&self) -> Vec<StageReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Total duration across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.reports.lock().iter().map(|r| r.duration).sum()
+    }
+
+    /// The duration of the most recent stage with the given name, if any.
+    pub fn last(&self, name: &str) -> Option<Duration> {
+        self.reports
+            .lock()
+            .iter()
+            .rev()
+            .find(|r| r.name == name)
+            .map(|r| r.duration)
+    }
+
+    /// Clears all recorded stages.
+    pub fn reset(&self) {
+        self.reports.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stage_records_and_returns() {
+        let timer = StageTimer::new();
+        let value = timer.run_stage("baseliner", || 21 * 2);
+        assert_eq!(value, 42);
+        let reports = timer.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "baseliner");
+    }
+
+    #[test]
+    fn record_and_query_by_name() {
+        let timer = StageTimer::new();
+        timer.record("extender", Duration::from_millis(5));
+        timer.record("generator", Duration::from_millis(7));
+        timer.record("extender", Duration::from_millis(9));
+        assert_eq!(timer.last("extender"), Some(Duration::from_millis(9)));
+        assert_eq!(timer.last("generator"), Some(Duration::from_millis(7)));
+        assert_eq!(timer.last("missing"), None);
+        assert_eq!(timer.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn reset_clears_reports() {
+        let timer = StageTimer::new();
+        timer.record("a", Duration::from_millis(1));
+        timer.reset();
+        assert!(timer.reports().is_empty());
+        assert_eq!(timer.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stages_are_recorded_in_order() {
+        let timer = StageTimer::new();
+        for name in ["baseliner", "extender", "generator", "recommender"] {
+            timer.run_stage(name, || std::thread::sleep(Duration::from_micros(10)));
+        }
+        let names: Vec<String> = timer.reports().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["baseliner", "extender", "generator", "recommender"]);
+        assert!(timer.total() >= Duration::from_micros(40));
+    }
+}

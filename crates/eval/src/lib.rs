@@ -1,0 +1,22 @@
+//! # xmap-eval — metrics and evaluation protocols
+//!
+//! The paper evaluates along three axes (§6.1): prediction accuracy (MAE), privacy (the
+//! ε / ε′ parameters, which are inputs rather than measurements) and scalability
+//! (speedup). This crate provides:
+//!
+//! * [`metrics`] — MAE, RMSE, precision/recall@N and catalogue coverage;
+//! * [`protocol`] — the shared evaluation loop (predict every hidden test rating with a
+//!   system under test and aggregate the error) plus sweep bookkeeping; and
+//! * [`report`] — plain-text table/series rendering used by the `figures` harness in
+//!   `xmap-bench` so every reproduced table and figure prints in a uniform format.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+
+pub use metrics::{coverage, mae, precision_at_n, recall_at_n, rmse};
+pub use protocol::{evaluate_predictions, EvalOutcome, SweepPoint, SweepSeries};
+pub use report::{render_series_table, render_table};

@@ -1,0 +1,173 @@
+//! Accuracy and ranking metrics.
+
+/// Mean Absolute Error between predictions and true ratings (§6.1).
+///
+/// Pairs with a non-finite prediction are counted with the maximum possible error of the
+/// provided pairs' span rather than silently dropped, so a buggy predictor cannot look
+/// artificially good; with no pairs the result is `NaN`.
+pub fn mae(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    let span = pairs
+        .iter()
+        .map(|&(_, truth)| truth)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    let worst = (span.1 - span.0).abs().max(1.0);
+    let total: f64 = pairs
+        .iter()
+        .map(|&(pred, truth)| {
+            if pred.is_finite() {
+                (pred - truth).abs()
+            } else {
+                worst
+            }
+        })
+        .sum();
+    total / pairs.len() as f64
+}
+
+/// Root Mean Squared Error between predictions and true ratings.
+pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    let total: f64 = pairs
+        .iter()
+        .map(|&(pred, truth)| {
+            let d = if pred.is_finite() { pred - truth } else { 5.0 };
+            d * d
+        })
+        .sum();
+    (total / pairs.len() as f64).sqrt()
+}
+
+/// Precision@N: the fraction of the first `n` recommended items that are relevant.
+pub fn precision_at_n<T: PartialEq>(recommended: &[T], relevant: &[T], n: usize) -> f64 {
+    let n = n.min(recommended.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = recommended[..n].iter().filter(|r| relevant.contains(r)).count();
+    hits as f64 / n as f64
+}
+
+/// Recall@N: the fraction of relevant items that appear in the first `n` recommendations.
+/// Each relevant item counts at most once even if it is recommended multiple times.
+pub fn recall_at_n<T: PartialEq>(recommended: &[T], relevant: &[T], n: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let n = n.min(recommended.len());
+    let head = &recommended[..n];
+    let mut hits = 0usize;
+    for (idx, r) in relevant.iter().enumerate() {
+        // guard against duplicates in `relevant` as well: only the first occurrence counts
+        let first_occurrence = relevant[..idx].iter().all(|earlier| earlier != r);
+        if first_occurrence && head.contains(r) {
+            hits += 1;
+        }
+    }
+    let distinct_relevant = relevant
+        .iter()
+        .enumerate()
+        .filter(|(idx, r)| relevant[..*idx].iter().all(|earlier| &earlier != r))
+        .count();
+    hits as f64 / distinct_relevant.max(1) as f64
+}
+
+/// Catalogue coverage: the fraction of `catalogue_size` distinct items that appear in at
+/// least one recommendation list.
+pub fn coverage<T: PartialEq + Clone>(recommendation_lists: &[Vec<T>], catalogue_size: usize) -> f64 {
+    if catalogue_size == 0 {
+        return 0.0;
+    }
+    let mut seen: Vec<T> = Vec::new();
+    for list in recommendation_lists {
+        for item in list {
+            if !seen.contains(item) {
+                seen.push(item.clone());
+            }
+        }
+    }
+    seen.len() as f64 / catalogue_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mae_of_perfect_predictions_is_zero() {
+        let pairs = vec![(3.0, 3.0), (4.5, 4.5)];
+        assert_eq!(mae(&pairs), 0.0);
+        assert_eq!(rmse(&pairs), 0.0);
+    }
+
+    #[test]
+    fn mae_matches_hand_computation() {
+        let pairs = vec![(3.0, 4.0), (5.0, 3.0)];
+        assert!((mae(&pairs) - 1.5).abs() < 1e-12);
+        assert!((rmse(&pairs) - ((1.0f64 + 4.0) / 2.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_nan() {
+        assert!(mae(&[]).is_nan());
+        assert!(rmse(&[]).is_nan());
+    }
+
+    #[test]
+    fn non_finite_predictions_are_penalised() {
+        let good = vec![(3.0, 3.0), (3.0, 3.0)];
+        let bad = vec![(f64::NAN, 3.0), (3.0, 3.0)];
+        assert!(mae(&bad) > mae(&good));
+        assert!(rmse(&bad) > rmse(&good));
+    }
+
+    #[test]
+    fn precision_and_recall_basic_cases() {
+        let recommended = vec![1, 2, 3, 4, 5];
+        let relevant = vec![2, 5, 9];
+        assert!((precision_at_n(&recommended, &relevant, 5) - 0.4).abs() < 1e-12);
+        assert!((recall_at_n(&recommended, &relevant, 5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((precision_at_n(&recommended, &relevant, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_n(&recommended, &relevant, 0), 0.0);
+        assert_eq!(recall_at_n(&recommended, &Vec::<i32>::new(), 5), 0.0);
+        // n larger than the recommendation list just uses the whole list
+        assert!((precision_at_n(&recommended, &relevant, 50) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let lists = vec![vec![1, 2], vec![2, 3], vec![3, 4]];
+        assert!((coverage(&lists, 8) - 0.5).abs() < 1e-12);
+        assert_eq!(coverage(&Vec::<Vec<i32>>::new(), 8), 0.0);
+        assert_eq!(coverage(&lists, 0), 0.0);
+    }
+
+    proptest! {
+        /// MAE and RMSE are non-negative and RMSE >= MAE (Jensen).
+        #[test]
+        fn error_metric_relationships(pairs in proptest::collection::vec((1.0f64..5.0, 1.0f64..5.0), 1..100)) {
+            let m = mae(&pairs);
+            let r = rmse(&pairs);
+            prop_assert!(m >= 0.0);
+            prop_assert!(r >= m - 1e-9);
+        }
+
+        /// Precision and recall are always in [0, 1].
+        #[test]
+        fn ranking_metrics_bounded(
+            recommended in proptest::collection::vec(0u32..50, 0..30),
+            relevant in proptest::collection::vec(0u32..50, 0..30),
+            n in 0usize..40,
+        ) {
+            let p = precision_at_n(&recommended, &relevant, n);
+            let r = recall_at_n(&recommended, &relevant, n);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

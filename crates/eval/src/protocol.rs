@@ -1,0 +1,145 @@
+//! The shared evaluation loop and sweep bookkeeping.
+
+use crate::metrics::{mae, rmse};
+use serde::{Deserialize, Serialize};
+use xmap_cf::{ItemId, Rating, UserId};
+
+/// The outcome of evaluating one system on one test set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Mean absolute error over the test ratings.
+    pub mae: f64,
+    /// Root mean squared error over the test ratings.
+    pub rmse: f64,
+    /// Number of test ratings evaluated.
+    pub n: usize,
+}
+
+/// Evaluates a predictor over hidden test ratings: `predict(user, item)` is called for
+/// every test triple and compared with the true rating (the paper's §6.1 protocol).
+pub fn evaluate_predictions(
+    test: &[Rating],
+    mut predict: impl FnMut(UserId, ItemId) -> f64,
+) -> EvalOutcome {
+    let pairs: Vec<(f64, f64)> = test
+        .iter()
+        .map(|r| (predict(r.user, r.item), r.value))
+        .collect();
+    EvalOutcome {
+        mae: mae(&pairs),
+        rmse: rmse(&pairs),
+        n: pairs.len(),
+    }
+}
+
+/// One point of a parameter sweep: the x-value (k, α, ε, overlap fraction, …) and the
+/// measured y-value (almost always MAE).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// The measured value at that parameter.
+    pub y: f64,
+}
+
+/// A named series of sweep points — one line of a figure.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSeries {
+    /// Legend label (e.g. "X-MAP-IB").
+    pub label: String,
+    /// The measured points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        SweepSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(SweepPoint { x, y });
+    }
+
+    /// The point with the smallest y value, if any finite point exists.
+    pub fn best(&self) -> Option<SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.y.is_finite())
+            .copied()
+            .min_by(|a, b| a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Whether the series is (weakly) monotonically decreasing in y — used by tests that
+    /// check trends such as "MAE decreases as the overlap grows", with `slack` absorbing
+    /// experimental noise.
+    pub fn is_decreasing(&self, slack: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].y <= w[0].y + slack)
+    }
+
+    /// Mean y value over the series (NaN for an empty series).
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        self.points.iter().map(|p| p.y).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_cf::Rating;
+
+    #[test]
+    fn evaluate_predictions_aggregates_errors() {
+        let test = vec![
+            Rating::new(UserId(0), ItemId(0), 4.0),
+            Rating::new(UserId(0), ItemId(1), 2.0),
+            Rating::new(UserId(1), ItemId(0), 5.0),
+        ];
+        // constant predictor of 3.0
+        let outcome = evaluate_predictions(&test, |_, _| 3.0);
+        assert_eq!(outcome.n, 3);
+        assert!((outcome.mae - (1.0 + 1.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!(outcome.rmse >= outcome.mae);
+        // a perfect predictor
+        let perfect = evaluate_predictions(&test, |u, i| {
+            test.iter().find(|r| r.user == u && r.item == i).unwrap().value
+        });
+        assert_eq!(perfect.mae, 0.0);
+    }
+
+    #[test]
+    fn empty_test_set_gives_nan() {
+        let outcome = evaluate_predictions(&[], |_, _| 3.0);
+        assert_eq!(outcome.n, 0);
+        assert!(outcome.mae.is_nan());
+    }
+
+    #[test]
+    fn sweep_series_bookkeeping() {
+        let mut s = SweepSeries::new("X-MAP-IB");
+        s.push(10.0, 0.8);
+        s.push(20.0, 0.7);
+        s.push(30.0, 0.72);
+        assert_eq!(s.label, "X-MAP-IB");
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.best().unwrap().x, 20.0);
+        assert!(!s.is_decreasing(0.0));
+        assert!(s.is_decreasing(0.05));
+        assert!((s.mean_y() - (0.8 + 0.7 + 0.72) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_edge_cases() {
+        let s = SweepSeries::new("empty");
+        assert!(s.best().is_none());
+        assert!(s.mean_y().is_nan());
+        assert!(s.is_decreasing(0.0));
+    }
+}

@@ -1,0 +1,308 @@
+//! The baseline similarity graph `G_ac` (§3.1 of the paper).
+//!
+//! Vertices are items (from every domain, treated as one aggregated item set); an edge
+//! `(i, j)` exists when the two items have at least one common rater and a non-zero
+//! similarity under the chosen metric. Each edge carries the full [`SimilarityStats`]
+//! (similarity, co-rater count, weighted significance, union size) so that X-Sim's path
+//! similarity and path certainty can be computed without going back to the rating matrix.
+//!
+//! The graph is stored as per-item adjacency lists sorted by descending similarity and
+//! optionally pruned to the top-k strongest edges per item — never as a dense m × m
+//! matrix, which would be intractable at the paper's scale (§3.1 discusses exactly this
+//! O(m²) blow-up).
+
+use serde::{Deserialize, Serialize};
+use xmap_cf::similarity::{item_similarity_stats, SimilarityStats};
+use xmap_cf::{DomainId, ItemId, RatingMatrix, SimilarityMetric};
+
+/// Configuration for building the baseline similarity graph.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GraphConfig {
+    /// Similarity metric for edge weights (the paper uses adjusted cosine).
+    pub metric: SimilarityMetric,
+    /// Keep only the `top_k` strongest edges (by similarity) per item; `None` keeps all.
+    pub top_k: Option<usize>,
+    /// Drop edges whose |similarity| is below this threshold.
+    pub min_similarity: f64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            metric: SimilarityMetric::AdjustedCosine,
+            top_k: Some(50),
+            min_similarity: 0.0,
+        }
+    }
+}
+
+/// A weighted edge of the similarity graph.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The neighbouring item.
+    pub to: ItemId,
+    /// Pairwise statistics between the owning item and `to`.
+    pub stats: SimilarityStats,
+}
+
+impl Edge {
+    /// Similarity weight of the edge.
+    pub fn similarity(&self) -> f64 {
+        self.stats.similarity
+    }
+
+    /// Normalised weighted significance `Ŝ` of the edge (Definition 4).
+    pub fn normalized_significance(&self) -> f64 {
+        self.stats.normalized_significance()
+    }
+}
+
+/// The baseline similarity graph with per-item adjacency lists.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimilarityGraph {
+    adjacency: Vec<Vec<Edge>>,
+    item_domain: Vec<DomainId>,
+    config: GraphConfig,
+}
+
+impl SimilarityGraph {
+    /// Builds the graph from a rating matrix containing the aggregated domains.
+    ///
+    /// Candidate item pairs are generated through co-rating users, so items with no
+    /// common rater never pay a similarity computation.
+    pub fn build(matrix: &RatingMatrix, config: GraphConfig) -> Self {
+        let n_items = matrix.n_items();
+        let mut candidate_sets: Vec<Vec<ItemId>> = vec![Vec::new(); n_items];
+        for u in matrix.users() {
+            let profile = matrix.user_profile(u);
+            for a in 0..profile.len() {
+                for b in 0..profile.len() {
+                    if a != b {
+                        candidate_sets[profile[a].item.index()].push(profile[b].item);
+                    }
+                }
+            }
+        }
+
+        let mut adjacency = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            let mut cands = std::mem::take(&mut candidate_sets[i]);
+            cands.sort_unstable();
+            cands.dedup();
+            let mut edges: Vec<Edge> = cands
+                .into_iter()
+                .map(|j| Edge {
+                    to: j,
+                    stats: item_similarity_stats(matrix, ItemId(i as u32), j, config.metric),
+                })
+                .filter(|e| {
+                    e.stats.similarity != 0.0 && e.stats.similarity.abs() >= config.min_similarity
+                })
+                .collect();
+            edges.sort_by(|a, b| {
+                b.stats
+                    .similarity
+                    .partial_cmp(&a.stats.similarity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            if let Some(k) = config.top_k {
+                edges.truncate(k);
+            }
+            adjacency.push(edges);
+        }
+
+        let item_domain = (0..n_items as u32).map(|i| matrix.item_domain(ItemId(i))).collect();
+
+        SimilarityGraph {
+            adjacency,
+            item_domain,
+            config,
+        }
+    }
+
+    /// The configuration the graph was built with.
+    pub fn config(&self) -> GraphConfig {
+        self.config
+    }
+
+    /// Number of items (vertices), rated or not.
+    pub fn n_items(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Total number of directed edges stored (an undirected edge that survives pruning on
+    /// both endpoints is counted twice).
+    pub fn n_directed_edges(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum()
+    }
+
+    /// The outgoing edges of an item, sorted by descending similarity.
+    pub fn edges(&self, item: ItemId) -> &[Edge] {
+        self.adjacency
+            .get(item.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The domain of an item.
+    pub fn item_domain(&self, item: ItemId) -> DomainId {
+        self.item_domain
+            .get(item.index())
+            .copied()
+            .unwrap_or(DomainId::SOURCE)
+    }
+
+    /// Iterator over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.n_items() as u32).map(ItemId)
+    }
+
+    /// The edge between two specific items, if it survived pruning on `from`'s side.
+    pub fn edge_between(&self, from: ItemId, to: ItemId) -> Option<&Edge> {
+        self.edges(from).iter().find(|e| e.to == to)
+    }
+
+    /// Whether the item has at least one edge to an item of a *different* domain.
+    pub fn has_cross_domain_edge(&self, item: ItemId) -> bool {
+        let d = self.item_domain(item);
+        self.edges(item).iter().any(|e| self.item_domain(e.to) != d)
+    }
+
+    /// Number of item pairs `(i, j)` with `i` and `j` in different domains connected by a
+    /// direct edge — the "standard" heterogeneous similarity count of Figure 1(b).
+    /// Each undirected pair is counted once.
+    pub fn n_heterogeneous_pairs(&self) -> usize {
+        let mut count = 0usize;
+        for i in self.items() {
+            let di = self.item_domain(i);
+            for e in self.edges(i) {
+                if self.item_domain(e.to) != di && i < e.to {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_cf::RatingMatrixBuilder;
+
+    /// Two domains; user 2 straddles them.
+    fn fixture() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        // movies: items 0, 1, 2 ; books: items 3, 4
+        b.push_parts(0, 0, 5.0).unwrap();
+        b.push_parts(0, 1, 4.0).unwrap();
+        b.push_parts(1, 1, 5.0).unwrap();
+        b.push_parts(1, 2, 2.0).unwrap();
+        b.push_parts(2, 1, 4.0).unwrap(); // straddler rates a movie
+        b.push_parts(2, 3, 5.0).unwrap(); // ... and books
+        b.push_parts(2, 4, 2.0).unwrap();
+        b.push_parts(3, 3, 4.0).unwrap();
+        b.push_parts(3, 4, 1.0).unwrap();
+        for i in 0..3u32 {
+            b.set_item_domain(ItemId(i), DomainId::SOURCE);
+        }
+        for i in 3..5u32 {
+            b.set_item_domain(ItemId(i), DomainId::TARGET);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edges_only_between_co_rated_items() {
+        let m = fixture();
+        let g = SimilarityGraph::build(&m, GraphConfig::default());
+        assert_eq!(g.n_items(), 5);
+        // items 0 and 2 share no rater
+        assert!(g.edge_between(ItemId(0), ItemId(2)).is_none());
+        // items 0 and 1 share user 0
+        assert!(g.edge_between(ItemId(0), ItemId(1)).is_some() || g.edge_between(ItemId(1), ItemId(0)).is_some());
+        // cross-domain edge through the straddler (user 2): item 1 and item 3
+        assert!(g.has_cross_domain_edge(ItemId(1)) || g.has_cross_domain_edge(ItemId(3)));
+    }
+
+    #[test]
+    fn adjacency_sorted_by_descending_similarity() {
+        let m = fixture();
+        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        for i in g.items() {
+            let edges = g.edges(i);
+            for w in edges.windows(2) {
+                assert!(w[0].similarity() >= w[1].similarity());
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_pruning_limits_degree() {
+        let mut b = RatingMatrixBuilder::new();
+        // star pattern: one user rates everything -> item 0 is connected to all others
+        for i in 0..20u32 {
+            b.push_parts(0, i, ((i % 5) + 1) as f64).unwrap();
+            b.push_parts(1 + i, i, 3.0).unwrap(); // extra raters to vary averages
+        }
+        let m = b.build().unwrap();
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: Some(5),
+                ..Default::default()
+            },
+        );
+        for i in g.items() {
+            assert!(g.edges(i).len() <= 5, "item {i} has degree {}", g.edges(i).len());
+        }
+        let unpruned = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        assert!(unpruned.n_directed_edges() >= g.n_directed_edges());
+    }
+
+    #[test]
+    fn min_similarity_filters_weak_edges() {
+        let m = fixture();
+        let strict = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                min_similarity: 0.99,
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        let loose = SimilarityGraph::build(&m, GraphConfig { top_k: None, min_similarity: 0.0, ..Default::default() });
+        assert!(strict.n_directed_edges() <= loose.n_directed_edges());
+        for i in strict.items() {
+            for e in strict.edges(i) {
+                assert!(e.similarity().abs() >= 0.99);
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pair_count_is_symmetric_and_small_here() {
+        let m = fixture();
+        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        // only the straddler (user 2) creates cross-domain pairs: (1,3), (1,4)
+        let n = g.n_heterogeneous_pairs();
+        assert!(n >= 1 && n <= 3, "unexpected heterogeneous pair count {n}");
+    }
+
+    #[test]
+    fn out_of_range_item_has_no_edges_and_default_domain() {
+        let m = fixture();
+        let g = SimilarityGraph::build(&m, GraphConfig::default());
+        assert!(g.edges(ItemId(99)).is_empty());
+        assert_eq!(g.item_domain(ItemId(99)), DomainId::SOURCE);
+    }
+
+    #[test]
+    fn edge_accessors_expose_stats() {
+        let m = fixture();
+        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let e = g.edges(ItemId(0)).first().copied().unwrap();
+        assert!(e.similarity().abs() <= 1.0);
+        assert!(e.normalized_significance() >= 0.0 && e.normalized_significance() <= 1.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Meta-path enumeration with layer-based pruning (Definition 3, §3.2 and §5.2).
+//!
+//! A meta-path between two items consists of at most one item from each of the six
+//! layers, moving across *adjacent* layers only:
+//!
+//! ```text
+//! NN_src ↔ NB_src ↔ BB_src ↔ BB_tgt ↔ NB_tgt ↔ NN_tgt
+//! ```
+//!
+//! Enumeration is a depth-first walk from the start item in which each hop (a) follows an
+//! edge of the baseline similarity graph, (b) moves to the *next* layer rank
+//! ([`crate::LayerPartition::path_rank`]), and (c) is restricted to the `per_layer_top_k`
+//! strongest such edges — the "top-k items from every neighbouring layer" pruning that
+//! the extender applies (§5.2).
+
+use crate::graph::SimilarityGraph;
+use crate::layers::LayerPartition;
+use serde::{Deserialize, Serialize};
+use xmap_cf::{DomainId, ItemId};
+
+/// Configuration of meta-path enumeration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MetaPathConfig {
+    /// Per-hop fan-out: only the `per_layer_top_k` strongest edges into the next layer
+    /// are followed.
+    pub per_layer_top_k: usize,
+    /// Upper bound on the number of paths collected per starting item (a safety valve for
+    /// pathological graphs; the layer structure already bounds path length at 6).
+    pub max_paths: usize,
+}
+
+impl Default for MetaPathConfig {
+    fn default() -> Self {
+        MetaPathConfig {
+            per_layer_top_k: 10,
+            max_paths: 10_000,
+        }
+    }
+}
+
+/// A meta-path: the ordered sequence of items visited, starting at the source item.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaPath {
+    /// Visited items in order; always at least two items (one hop).
+    pub items: Vec<ItemId>,
+}
+
+impl MetaPath {
+    /// The first item of the path.
+    pub fn source(&self) -> ItemId {
+        self.items[0]
+    }
+
+    /// The last item of the path.
+    pub fn destination(&self) -> ItemId {
+        *self.items.last().expect("meta-paths are never empty")
+    }
+
+    /// Number of hops (edges) in the path.
+    pub fn n_hops(&self) -> usize {
+        self.items.len().saturating_sub(1)
+    }
+
+    /// Iterator over consecutive item pairs (the edges of the path).
+    pub fn hops(&self) -> impl Iterator<Item = (ItemId, ItemId)> + '_ {
+        self.items.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+/// Enumerates pruned meta-paths from `start` to items satisfying `accept`.
+///
+/// `source_domain` orients the layer ranks: paths always move *away* from the source
+/// domain's NN layer towards the other domain's NN layer. Paths are reported as soon as
+/// an accepted item is reached (and the walk continues deeper, so both a 2-hop and a
+/// 3-hop path to different accepted items can be reported).
+pub fn enumerate_meta_paths(
+    graph: &SimilarityGraph,
+    partition: &LayerPartition,
+    start: ItemId,
+    source_domain: DomainId,
+    config: MetaPathConfig,
+    mut accept: impl FnMut(ItemId) -> bool,
+) -> Vec<MetaPath> {
+    let mut paths = Vec::new();
+    let mut current = vec![start];
+    dfs(
+        graph,
+        partition,
+        source_domain,
+        config,
+        &mut current,
+        &mut paths,
+        &mut accept,
+    );
+    paths
+}
+
+/// Convenience wrapper: all pruned meta-paths from `start` (an item of `source_domain`)
+/// to any item of the *other* domain. This is the enumeration the extender's
+/// cross-domain step needs: for every source item, the reachable target items together
+/// with the paths that reach them.
+pub fn enumerate_cross_domain_paths(
+    graph: &SimilarityGraph,
+    partition: &LayerPartition,
+    start: ItemId,
+    source_domain: DomainId,
+    config: MetaPathConfig,
+) -> Vec<MetaPath> {
+    enumerate_meta_paths(graph, partition, start, source_domain, config, |item| {
+        partition.domain(item) != source_domain
+    })
+}
+
+fn dfs(
+    graph: &SimilarityGraph,
+    partition: &LayerPartition,
+    source_domain: DomainId,
+    config: MetaPathConfig,
+    current: &mut Vec<ItemId>,
+    paths: &mut Vec<MetaPath>,
+    accept: &mut impl FnMut(ItemId) -> bool,
+) {
+    if paths.len() >= config.max_paths {
+        return;
+    }
+    let here = *current.last().expect("path is never empty");
+    let here_rank = partition.path_rank(here, source_domain);
+    if here_rank >= 5 {
+        return; // the far NN layer is terminal
+    }
+
+    // Candidate hops: edges into the next layer rank, strongest first (the adjacency is
+    // already sorted by descending similarity), limited to the per-layer top-k.
+    let mut taken = 0usize;
+    for edge in graph.edges(here) {
+        if taken >= config.per_layer_top_k || paths.len() >= config.max_paths {
+            break;
+        }
+        let next = edge.to;
+        if current.contains(&next) {
+            continue;
+        }
+        if partition.path_rank(next, source_domain) != here_rank + 1 {
+            continue;
+        }
+        taken += 1;
+        current.push(next);
+        if accept(next) {
+            paths.push(MetaPath {
+                items: current.clone(),
+            });
+        }
+        dfs(graph, partition, source_domain, config, current, paths, accept);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphConfig;
+    use crate::layers::LayerPartition;
+    use proptest::prelude::*;
+    use xmap_cf::RatingMatrixBuilder;
+
+    /// The chain 0(NN_S) - 1(NB_S) - 2(BB_S) - 3(BB_T) - 4(NB_T) - 5(NN_T).
+    fn chain() -> (SimilarityGraph, LayerPartition) {
+        let mut b = RatingMatrixBuilder::new();
+        b.push_parts(0, 0, 5.0).unwrap();
+        b.push_parts(0, 1, 4.0).unwrap();
+        b.push_parts(1, 1, 5.0).unwrap();
+        b.push_parts(1, 2, 4.0).unwrap();
+        b.push_parts(2, 2, 5.0).unwrap();
+        b.push_parts(2, 3, 4.0).unwrap();
+        b.push_parts(3, 3, 5.0).unwrap();
+        b.push_parts(3, 4, 4.0).unwrap();
+        b.push_parts(4, 4, 5.0).unwrap();
+        b.push_parts(4, 5, 4.0).unwrap();
+        for i in 0..3u32 {
+            b.set_item_domain(ItemId(i), xmap_cf::DomainId::SOURCE);
+        }
+        for i in 3..6u32 {
+            b.set_item_domain(ItemId(i), xmap_cf::DomainId::TARGET);
+        }
+        let m = b.build().unwrap();
+        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let (_, p) = LayerPartition::from_graph(&g);
+        (g, p)
+    }
+
+    #[test]
+    fn full_chain_is_enumerated_from_the_nn_layer() {
+        let (g, p) = chain();
+        let paths = enumerate_cross_domain_paths(
+            &g,
+            &p,
+            ItemId(0),
+            xmap_cf::DomainId::SOURCE,
+            MetaPathConfig::default(),
+        );
+        assert!(!paths.is_empty());
+        // the longest path reaches the far NN item 5 through every layer once
+        let longest = paths.iter().max_by_key(|p| p.n_hops()).unwrap();
+        assert_eq!(longest.items, vec![ItemId(0), ItemId(1), ItemId(2), ItemId(3), ItemId(4), ItemId(5)]);
+        assert_eq!(longest.n_hops(), 5);
+        // every reported path ends in the target domain
+        for path in &paths {
+            assert_eq!(p.domain(path.destination()), xmap_cf::DomainId::TARGET);
+            assert_eq!(path.source(), ItemId(0));
+        }
+    }
+
+    #[test]
+    fn paths_visit_each_layer_at_most_once_with_increasing_rank() {
+        let (g, p) = chain();
+        for start in [ItemId(0), ItemId(1), ItemId(2)] {
+            let paths = enumerate_cross_domain_paths(
+                &g,
+                &p,
+                start,
+                xmap_cf::DomainId::SOURCE,
+                MetaPathConfig::default(),
+            );
+            for path in paths {
+                let ranks: Vec<u8> = path
+                    .items
+                    .iter()
+                    .map(|&i| p.path_rank(i, xmap_cf::DomainId::SOURCE))
+                    .collect();
+                for w in ranks.windows(2) {
+                    assert_eq!(w[1], w[0] + 1, "ranks must increase by one: {ranks:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_item_reaches_target_in_a_single_hop() {
+        let (g, p) = chain();
+        let paths = enumerate_cross_domain_paths(
+            &g,
+            &p,
+            ItemId(2),
+            xmap_cf::DomainId::SOURCE,
+            MetaPathConfig::default(),
+        );
+        assert!(paths.iter().any(|pth| pth.items == vec![ItemId(2), ItemId(3)]));
+    }
+
+    #[test]
+    fn hop_iterator_matches_items() {
+        let path = MetaPath {
+            items: vec![ItemId(0), ItemId(1), ItemId(3)],
+        };
+        let hops: Vec<(ItemId, ItemId)> = path.hops().collect();
+        assert_eq!(hops, vec![(ItemId(0), ItemId(1)), (ItemId(1), ItemId(3))]);
+        assert_eq!(path.source(), ItemId(0));
+        assert_eq!(path.destination(), ItemId(3));
+    }
+
+    #[test]
+    fn max_paths_caps_enumeration() {
+        let (g, p) = chain();
+        let paths = enumerate_cross_domain_paths(
+            &g,
+            &p,
+            ItemId(0),
+            xmap_cf::DomainId::SOURCE,
+            MetaPathConfig {
+                max_paths: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn per_layer_top_k_limits_fanout() {
+        // Build a star: bridge item 0 (SOURCE) connected to many TARGET bridge items.
+        let mut b = RatingMatrixBuilder::new();
+        for t in 0..8u32 {
+            // user t rates source item 0 and target item 1 + t
+            b.push_parts(t, 0, 5.0).unwrap();
+            b.push_parts(t, 1 + t, ((t % 5) + 1) as f64).unwrap();
+        }
+        b.set_item_domain(ItemId(0), xmap_cf::DomainId::SOURCE);
+        for t in 0..8u32 {
+            b.set_item_domain(ItemId(1 + t), xmap_cf::DomainId::TARGET);
+        }
+        let m = b.build().unwrap();
+        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let (_, p) = LayerPartition::from_graph(&g);
+        let narrow = enumerate_cross_domain_paths(
+            &g,
+            &p,
+            ItemId(0),
+            xmap_cf::DomainId::SOURCE,
+            MetaPathConfig {
+                per_layer_top_k: 3,
+                ..Default::default()
+            },
+        );
+        let wide = enumerate_cross_domain_paths(
+            &g,
+            &p,
+            ItemId(0),
+            xmap_cf::DomainId::SOURCE,
+            MetaPathConfig {
+                per_layer_top_k: 100,
+                ..Default::default()
+            },
+        );
+        assert!(narrow.len() <= 3 + 3 * 3, "narrow fanout produced {} paths", narrow.len());
+        assert!(wide.len() >= narrow.len());
+    }
+
+    proptest! {
+        /// On random two-domain matrices every enumerated path starts at the requested
+        /// item, ends in the other domain, has at most 5 hops, and never repeats an item.
+        #[test]
+        fn path_invariants(
+            ratings in proptest::collection::vec((0u32..10, 0u32..12, 1u32..=5), 10..150),
+            start in 0u32..12,
+        ) {
+            let mut b = RatingMatrixBuilder::new();
+            for (u, i, v) in &ratings {
+                b.push_parts(*u, *i, *v as f64).unwrap();
+            }
+            for i in 0..12u32 {
+                let d = if i < 6 { xmap_cf::DomainId::SOURCE } else { xmap_cf::DomainId::TARGET };
+                b.set_item_domain(ItemId(i), d);
+            }
+            let m = b.build().unwrap();
+            let g = SimilarityGraph::build(&m, GraphConfig { top_k: Some(5), ..Default::default() });
+            let (_, p) = LayerPartition::from_graph(&g);
+            let src_domain = if start < 6 { xmap_cf::DomainId::SOURCE } else { xmap_cf::DomainId::TARGET };
+            let paths = enumerate_cross_domain_paths(&g, &p, ItemId(start), src_domain, MetaPathConfig::default());
+            for path in paths {
+                prop_assert_eq!(path.source(), ItemId(start));
+                prop_assert!(path.n_hops() >= 1 && path.n_hops() <= 5);
+                prop_assert!(p.domain(path.destination()) != src_domain);
+                let mut seen = path.items.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), path.items.len(), "no repeated items");
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Privacy-budget accounting.
+//!
+//! X-Map spends ε on AlterEgo generation (PRS) and ε′ on recommendation (split as ε′/2
+//! for PNSA and ε′/2 for PNCF, composing by the sequential-composition property of
+//! differential privacy, §4.4). [`PrivacyBudget`] is a small accountant that tracks how
+//! much of a total budget has been consumed and refuses to overspend, so experiment code
+//! cannot accidentally claim a tighter guarantee than it actually provides.
+
+use std::fmt;
+
+/// Error returned when a mechanism asks for more budget than remains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetError {
+    /// Amount requested by the mechanism.
+    pub requested: f64,
+    /// Amount still available.
+    pub remaining: f64,
+    /// Label of the mechanism that made the request.
+    pub mechanism: String,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mechanism `{}` requested ε={} but only ε={} remains",
+            self.mechanism, self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A record of one budget expenditure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expenditure {
+    /// Label of the mechanism that spent the budget.
+    pub mechanism: String,
+    /// Amount of ε consumed.
+    pub epsilon: f64,
+}
+
+/// Sequential-composition privacy-budget accountant.
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    ledger: Vec<Expenditure>,
+}
+
+impl PrivacyBudget {
+    /// Creates an accountant with a total budget of `total` (must be positive and finite).
+    pub fn new(total: f64) -> Self {
+        assert!(
+            total.is_finite() && total > 0.0,
+            "total privacy budget must be positive and finite, got {total}"
+        );
+        PrivacyBudget {
+            total,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// The total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The amount already consumed (sum of the ledger).
+    pub fn spent(&self) -> f64 {
+        self.ledger.iter().map(|e| e.epsilon).sum()
+    }
+
+    /// The amount still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent()).max(0.0)
+    }
+
+    /// Attempts to consume `epsilon` on behalf of `mechanism`. Fails without side effects
+    /// if the remaining budget is insufficient (a small tolerance absorbs floating-point
+    /// drift from repeated equal splits).
+    pub fn spend(&mut self, mechanism: impl Into<String>, epsilon: f64) -> Result<(), BudgetError> {
+        let mechanism = mechanism.into();
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "spent ε must be positive and finite, got {epsilon}"
+        );
+        if epsilon > self.remaining() + 1e-12 {
+            return Err(BudgetError {
+                requested: epsilon,
+                remaining: self.remaining(),
+                mechanism,
+            });
+        }
+        self.ledger.push(Expenditure { mechanism, epsilon });
+        Ok(())
+    }
+
+    /// The full expenditure ledger, in spending order.
+    pub fn ledger(&self) -> &[Expenditure] {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn spend_and_track() {
+        let mut b = PrivacyBudget::new(1.0);
+        assert_eq!(b.total(), 1.0);
+        b.spend("PRS", 0.3).unwrap();
+        b.spend("PNSA", 0.35).unwrap();
+        assert!((b.spent() - 0.65).abs() < 1e-12);
+        assert!((b.remaining() - 0.35).abs() < 1e-12);
+        assert_eq!(b.ledger().len(), 2);
+        assert_eq!(b.ledger()[0].mechanism, "PRS");
+    }
+
+    #[test]
+    fn overspending_is_rejected_without_side_effects() {
+        let mut b = PrivacyBudget::new(0.5);
+        b.spend("PRS", 0.4).unwrap();
+        let err = b.spend("PNCF", 0.2).unwrap_err();
+        assert_eq!(err.mechanism, "PNCF");
+        assert!((err.remaining - 0.1).abs() < 1e-12);
+        assert!(err.to_string().contains("PNCF"));
+        // ledger unchanged
+        assert_eq!(b.ledger().len(), 1);
+        assert!((b.remaining() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_exhaustion_is_allowed() {
+        let mut b = PrivacyBudget::new(0.8);
+        b.spend("PNSA", 0.4).unwrap();
+        b.spend("PNCF", 0.4).unwrap();
+        assert!(b.remaining() < 1e-12);
+        assert!(b.spend("extra", 0.01).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_total_budget_panics() {
+        let _ = PrivacyBudget::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spent ε")]
+    fn non_positive_spend_panics() {
+        let mut b = PrivacyBudget::new(1.0);
+        let _ = b.spend("x", 0.0);
+    }
+
+    proptest! {
+        /// Spent + remaining always equals the total (within float tolerance), and the
+        /// accountant never lets total spending exceed the budget.
+        #[test]
+        fn conservation(total in 0.1f64..10.0, spends in proptest::collection::vec(0.001f64..1.0, 0..50)) {
+            let mut b = PrivacyBudget::new(total);
+            for (i, s) in spends.iter().enumerate() {
+                let _ = b.spend(format!("m{i}"), *s);
+            }
+            prop_assert!(b.spent() <= b.total() + 1e-9);
+            prop_assert!((b.spent() + b.remaining() - b.total()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Sensitivity notions used by X-Map's private algorithms.
+//!
+//! * The **global sensitivity** of X-Sim is `|X-Sim_max − X-Sim_min| = 2` because the
+//!   metric is a convex combination of adjusted-cosine values in `[-1, 1]` (Algorithm 3,
+//!   step 2). PRS uses this constant.
+//! * The **similarity-based sensitivity** `SS(t_i, t_j)` of Theorem 2 bounds how much the
+//!   adjusted-cosine similarity between two items can change when one user's profile is
+//!   added or removed. PNSA and PNCF use it to calibrate the exponential mechanism and
+//!   the Laplace noise respectively.
+//! * The **truncated similarity** `Ŝim(t_i, t_j) = max(Sim(t_i, t_j), Sim_k(t_i) − w)`
+//!   (Algorithm 4, step 7) clips low similarities to improve the quality of privately
+//!   selected neighbours (Theorems 3 and 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A sensitivity value together with the notion it was derived under.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Worst case over all possible datasets (used by PRS: `GS = 2` for X-Sim scores).
+    Global(f64),
+    /// Data-dependent bound for a specific record pair (used by PNSA / PNCF).
+    SimilarityBased(f64),
+}
+
+impl Sensitivity {
+    /// The numeric sensitivity value.
+    pub fn value(&self) -> f64 {
+        match *self {
+            Sensitivity::Global(v) | Sensitivity::SimilarityBased(v) => v,
+        }
+    }
+
+    /// The global sensitivity of any score bounded in `[-1, 1]`, e.g. X-Sim: `2`.
+    pub const XSIM_GLOBAL: Sensitivity = Sensitivity::Global(2.0);
+}
+
+/// Computes the similarity-based sensitivity `SS(t_i, t_j)` of Theorem 2.
+///
+/// `ratings_i` and `ratings_j` are the mean-centred rating vectors of the two items
+/// restricted to their *co-rating* users, aligned index-by-index (user `x` contributes
+/// `ratings_i[x]` and `ratings_j[x]`). `norm_i` / `norm_j` are the L2 norms of the two
+/// items' *full* mean-centred rating vectors (over all their raters, not only co-raters),
+/// matching the adjusted-cosine denominator of Equation 6.
+///
+/// The sensitivity is the maximum of
+/// * the largest single-user contribution `|r_xi · r_xj| / (‖r'_i‖ ‖r'_j‖)` where the
+///   primed norms exclude that user (how much the numerator can move when a user is
+///   removed), and
+/// * the change of the full similarity value caused by shrinking the denominator from the
+///   primed to the unprimed norms.
+///
+/// Degenerate vectors (zero norms, no co-raters) yield a small positive floor so that the
+/// exponential mechanism and Laplace noise remain well defined.
+pub fn similarity_sensitivity(
+    ratings_i: &[f64],
+    ratings_j: &[f64],
+    norm_i: f64,
+    norm_j: f64,
+) -> f64 {
+    const FLOOR: f64 = 1e-6;
+    assert_eq!(
+        ratings_i.len(),
+        ratings_j.len(),
+        "co-rating vectors must be aligned"
+    );
+    if ratings_i.is_empty() || norm_i <= 0.0 || norm_j <= 0.0 {
+        return FLOOR;
+    }
+
+    let dot: f64 = ratings_i
+        .iter()
+        .zip(ratings_j)
+        .map(|(a, b)| a * b)
+        .sum();
+    let full_sim = dot / (norm_i * norm_j);
+
+    let mut max_term: f64 = 0.0;
+    for x in 0..ratings_i.len() {
+        let rxi = ratings_i[x];
+        let rxj = ratings_j[x];
+        // Norms of the vectors with user x removed.
+        let prime_i = (norm_i * norm_i - rxi * rxi).max(0.0).sqrt();
+        let prime_j = (norm_j * norm_j - rxj * rxj).max(0.0).sqrt();
+        if prime_i <= 1e-12 || prime_j <= 1e-12 {
+            // Removing the user collapses a vector: the similarity can swing across its
+            // whole range.
+            max_term = max_term.max(1.0);
+            continue;
+        }
+        let term1 = (rxi * rxj).abs() / (prime_i * prime_j);
+        let term2 = (dot - rxi * rxj) / (prime_i * prime_j) - full_sim;
+        max_term = max_term.max(term1).max(term2.abs());
+    }
+
+    max_term.clamp(FLOOR, 2.0)
+}
+
+/// The truncated similarity `Ŝim(t_i, t_j) = max(Sim(t_i, t_j), Sim_k(t_i) − w)` of
+/// Algorithm 4, step 7: similarities far below the k-th neighbour similarity are lifted
+/// to the truncation threshold so that the exponential mechanism does not waste
+/// probability mass discriminating among hopeless candidates.
+#[inline]
+pub fn truncated_similarity(similarity: f64, kth_similarity: f64, w: f64) -> f64 {
+    similarity.max(kth_similarity - w)
+}
+
+/// The truncation width `w = min(Sim_k(t_i), (4k / ε′) · SS · ln(k (|v| − k) / ρ))` of
+/// Theorems 3–4 / Algorithm 4 step 3. `v_len` is the maximal rating-vector length and `ρ`
+/// the failure probability. Degenerate inputs (k ≥ |v|, non-positive ε′) return
+/// `kth_similarity`, i.e. maximal truncation.
+pub fn truncation_width(
+    kth_similarity: f64,
+    k: usize,
+    epsilon_prime: f64,
+    sensitivity: f64,
+    v_len: usize,
+    rho: f64,
+) -> f64 {
+    if k == 0 || v_len <= k || epsilon_prime <= 0.0 || !(0.0..1.0).contains(&rho) || rho == 0.0 {
+        return kth_similarity;
+    }
+    let log_arg = (k * (v_len - k)) as f64 / rho;
+    if log_arg <= 1.0 {
+        return kth_similarity;
+    }
+    let w = (4.0 * k as f64 / epsilon_prime) * sensitivity * log_arg.ln();
+    kth_similarity.min(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn global_xsim_sensitivity_is_two() {
+        assert_eq!(Sensitivity::XSIM_GLOBAL.value(), 2.0);
+        assert_eq!(Sensitivity::SimilarityBased(0.3).value(), 0.3);
+    }
+
+    #[test]
+    fn empty_or_degenerate_vectors_get_floor() {
+        assert_eq!(similarity_sensitivity(&[], &[], 1.0, 1.0), 1e-6);
+        assert_eq!(similarity_sensitivity(&[1.0], &[1.0], 0.0, 1.0), 1e-6);
+    }
+
+    #[test]
+    fn single_dominant_user_has_high_sensitivity() {
+        // One user entirely determines the similarity: removing them collapses it.
+        let s = similarity_sensitivity(&[2.0], &[2.0], 2.0, 2.0);
+        assert!(s >= 1.0, "sensitivity should be large, got {s}");
+    }
+
+    #[test]
+    fn many_small_contributions_have_low_sensitivity() {
+        // 100 co-raters each contributing a tiny amount: removing any one barely matters.
+        let ri: Vec<f64> = vec![0.1; 100];
+        let rj: Vec<f64> = vec![0.1; 100];
+        let norm = (100.0f64 * 0.01).sqrt();
+        let s = similarity_sensitivity(&ri, &rj, norm, norm);
+        assert!(s < 0.05, "sensitivity should be small, got {s}");
+    }
+
+    #[test]
+    fn sensitivity_bounded_by_two() {
+        let s = similarity_sensitivity(&[5.0, -5.0], &[5.0, 5.0], 5.0, 5.0);
+        assert!(s <= 2.0);
+    }
+
+    #[test]
+    fn truncation_lifts_low_similarities_only() {
+        assert_eq!(truncated_similarity(0.9, 0.5, 0.1), 0.9);
+        assert_eq!(truncated_similarity(0.1, 0.5, 0.1), 0.4);
+        assert_eq!(truncated_similarity(0.4, 0.5, 0.1), 0.4);
+    }
+
+    #[test]
+    fn truncation_width_degenerate_cases() {
+        assert_eq!(truncation_width(0.7, 0, 0.5, 0.1, 100, 0.05), 0.7);
+        assert_eq!(truncation_width(0.7, 10, 0.5, 0.1, 5, 0.05), 0.7);
+        assert_eq!(truncation_width(0.7, 10, 0.0, 0.1, 100, 0.05), 0.7);
+        assert_eq!(truncation_width(0.7, 10, 0.5, 0.1, 100, 0.0), 0.7);
+    }
+
+    #[test]
+    fn truncation_width_capped_by_kth_similarity() {
+        // Large sensitivity makes the formula huge; the width must still be <= Sim_k.
+        let w = truncation_width(0.3, 20, 0.1, 1.0, 1000, 0.05);
+        assert_eq!(w, 0.3);
+        // Tiny sensitivity gives a small width below Sim_k.
+        let w = truncation_width(0.9, 5, 10.0, 1e-4, 1000, 0.05);
+        assert!(w < 0.9 && w > 0.0);
+    }
+
+    proptest! {
+        /// The similarity-based sensitivity is always within (0, 2].
+        #[test]
+        fn sensitivity_in_range(
+            pairs in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..40),
+            extra_i in 0.0f64..4.0,
+            extra_j in 0.0f64..4.0,
+        ) {
+            let ri: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let rj: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            // full norms are at least the co-rater norms (items may have extra raters)
+            let norm_i = (ri.iter().map(|x| x * x).sum::<f64>() + extra_i).sqrt();
+            let norm_j = (rj.iter().map(|x| x * x).sum::<f64>() + extra_j).sqrt();
+            let s = similarity_sensitivity(&ri, &rj, norm_i, norm_j);
+            prop_assert!(s > 0.0 && s <= 2.0, "sensitivity {s}");
+        }
+
+        /// Truncated similarity never decreases the raw similarity.
+        #[test]
+        fn truncation_never_decreases(sim in -1.0f64..1.0, kth in -1.0f64..1.0, w in 0.0f64..2.0) {
+            prop_assert!(truncated_similarity(sim, kth, w) >= sim);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Differentially private heterogeneous recommendation: the privacy / quality trade-off.
+//!
+//! Fits the private X-Map-ib variant at several privacy levels (ε for the PRS AlterEgo
+//! mechanism, ε′ for PNSA/PNCF) and reports the cold-start MAE for each, alongside the
+//! non-private NX-Map-ib reference — a miniature of the paper's Figures 6–7.
+//!
+//! ```text
+//! cargo run --release --example private_alterego
+//! ```
+
+use xmap_suite::prelude::*;
+
+fn main() {
+    let dataset = CrossDomainDataset::generate(CrossDomainConfig::default());
+    // Hide the book profiles of 30% of the straddlers; predict them from their movies.
+    let split = CrossDomainSplit::build(&dataset, DomainId::TARGET, SplitConfig::default());
+    println!(
+        "training on {} ratings, predicting {} hidden book ratings of {} cold-start users\n",
+        split.train.n_ratings(),
+        split.test.len(),
+        split.test_users.len()
+    );
+
+    // Non-private reference.
+    let reference = fit_and_score(
+        &split,
+        XMapConfig {
+            mode: XMapMode::NxMapItemBased,
+            k: 25,
+            ..XMapConfig::default()
+        },
+    );
+    println!("{:<28} MAE {:.4}", "NX-Map-ib (non-private)", reference);
+
+    // Private variants at increasing privacy budgets (larger ε = weaker privacy).
+    for (eps, eps_prime) in [(0.1, 0.1), (0.3, 0.8), (0.6, 0.8), (1.0, 1.0)] {
+        let config = XMapConfig {
+            mode: XMapMode::XMapItemBased,
+            k: 25,
+            privacy: PrivacyConfig {
+                epsilon: eps,
+                epsilon_prime: eps_prime,
+                rho: 0.05,
+            },
+            ..XMapConfig::default()
+        };
+        let mae = fit_and_score(&split, config);
+        println!("{:<28} MAE {:.4}", format!("X-Map-ib (ε={eps}, ε'={eps_prime})"), mae);
+    }
+
+    println!("\nsmaller ε / ε' = stronger privacy = noisier AlterEgos and predictions;");
+    println!("as the budget grows X-Map converges back to the non-private NX-Map quality.");
+}
+
+fn fit_and_score(split: &CrossDomainSplit, config: XMapConfig) -> f64 {
+    let model = XMapPipeline::fit(&split.train, DomainId::SOURCE, DomainId::TARGET, config)
+        .expect("training split contains both domains");
+    evaluate_predictions(&split.test, |u, i| model.predict(u, i)).mae
+}
