@@ -12,22 +12,26 @@ fn bench_pipeline_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_pipeline_fit");
     group.sample_size(10);
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
-            b.iter(|| {
-                XMapPipeline::fit(
-                    &ds.matrix,
-                    DomainId::SOURCE,
-                    DomainId::TARGET,
-                    XMapConfig {
-                        mode: XMapMode::NxMapItemBased,
-                        k: 20,
-                        workers,
-                        ..Default::default()
-                    },
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    XMapPipeline::fit(
+                        &ds.matrix,
+                        DomainId::SOURCE,
+                        DomainId::TARGET,
+                        XMapConfig {
+                            mode: XMapMode::NxMapItemBased,
+                            k: 20,
+                            workers,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -32,9 +32,11 @@ fn bench_fig8(c: &mut Criterion) {
         });
     }
     for baseline in ["ITEMAVERAGE", "REMOTEUSER", "ITEM-BASED-KNN"] {
-        group.bench_with_input(BenchmarkId::new("baseline", baseline), &baseline, |b, &name| {
-            b.iter(|| evaluate_baseline(&split, source, name, 20))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline", baseline),
+            &baseline,
+            |b, &name| b.iter(|| evaluate_baseline(&split, source, name, 20)),
+        );
     }
     group.finish();
 }

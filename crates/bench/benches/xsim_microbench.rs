@@ -2,14 +2,18 @@
 //! partitioning, cross-domain X-Sim table computation and AlterEgo mapping.
 //!
 //! These are the per-stage costs of the pipeline of Figure 4 and the ablation data for
-//! the layer-based-pruning design choice called out in DESIGN.md (pruned meta-path
-//! enumeration vs a wide-open per-layer fan-out).
+//! the layer-based-pruning design choice called out in DESIGN.md. The headline
+//! comparison is `xsim_extender`: the seed-equivalent **per-pair** path
+//! ([`XSimTable::compute`] — meta-paths materialised, every hop re-resolved through
+//! `edge_between`) against the **batched** frontier expansion over the CSR arena
+//! ([`XSimTable::compute_batched`] — per-partition scratch, no path materialisation),
+//! both single-threaded so the speedup isolates the algorithmic change.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xmap_bench::{amazon_like, Scale};
 use xmap_cf::DomainId;
 use xmap_core::XSimTable;
-use xmap_engine::WorkerPool;
+use xmap_engine::{fn_stage, Dataflow, StageContext, WorkerPool};
 use xmap_graph::{GraphConfig, LayerPartition, MetaPathConfig, SimilarityGraph};
 
 fn bench_stages(c: &mut Criterion) {
@@ -22,25 +26,44 @@ fn bench_stages(c: &mut Criterion) {
     });
 
     let graph = SimilarityGraph::build(&ds.matrix, GraphConfig::default());
-    group.bench_function("layer_partition", |b| b.iter(|| LayerPartition::from_graph(&graph)));
+    group.bench_function("layer_partition", |b| {
+        b.iter(|| LayerPartition::from_graph(&graph))
+    });
 
     let (_, partition) = LayerPartition::from_graph(&graph);
     let pool = WorkerPool::new(1);
     for per_layer_top_k in [3usize, 10, 25] {
+        let metapath = MetaPathConfig {
+            per_layer_top_k,
+            ..Default::default()
+        };
         group.bench_with_input(
-            BenchmarkId::new("xsim_table_per_layer_top_k", per_layer_top_k),
-            &per_layer_top_k,
-            |b, &k| {
+            BenchmarkId::new("extender_per_pair_top_k", per_layer_top_k),
+            &metapath,
+            |b, &metapath| {
+                b.iter(|| XSimTable::compute(&graph, &partition, DomainId::SOURCE, metapath, &pool))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("extender_batched_top_k", per_layer_top_k),
+            &metapath,
+            |b, &metapath| {
                 b.iter(|| {
-                    XSimTable::compute(
+                    let flow = Dataflow::new(1, 16);
+                    flow.run(
+                        &fn_stage(
+                            "extender",
+                            |g: &SimilarityGraph, cx: &mut StageContext<'_>| {
+                                XSimTable::compute_batched(
+                                    g,
+                                    &partition,
+                                    DomainId::SOURCE,
+                                    metapath,
+                                    cx,
+                                )
+                            },
+                        ),
                         &graph,
-                        &partition,
-                        DomainId::SOURCE,
-                        MetaPathConfig {
-                            per_layer_top_k: k,
-                            ..Default::default()
-                        },
-                        &pool,
                     )
                 })
             },

@@ -50,10 +50,19 @@ fn run(id: &str, scale: Scale) {
             println!("## Figure 1(b) — heterogeneous similarities, standard vs meta-path-based");
             let r = experiments::fig1b(scale);
             let rows = vec![
-                vec!["Standard (direct edges)".to_string(), r.standard.to_string()],
-                vec!["Meta-path-based (X-Sim)".to_string(), r.metapath_based.to_string()],
+                vec![
+                    "Standard (direct edges)".to_string(),
+                    r.standard.to_string(),
+                ],
+                vec![
+                    "Meta-path-based (X-Sim)".to_string(),
+                    r.metapath_based.to_string(),
+                ],
             ];
-            print!("{}", render_table(&["method", "# heterogeneous similarities"], &rows));
+            print!(
+                "{}",
+                render_table(&["method", "# heterogeneous similarities"], &rows)
+            );
         }
         "fig5" => {
             println!("## Figure 5 — temporal relevance: MAE vs α (item-based variants)");
@@ -61,7 +70,10 @@ fn run(id: &str, scale: Scale) {
             print!("{}", render_series_table("alpha", &series, 4));
             for s in &series {
                 if let Some(best) = s.best() {
-                    println!("optimal alpha for {}: {:.2} (MAE {:.4})", s.label, best.x, best.y);
+                    println!(
+                        "optimal alpha for {}: {:.2} (MAE {:.4})",
+                        s.label, best.x, best.y
+                    );
                 }
             }
         }
@@ -107,8 +119,14 @@ fn run(id: &str, scale: Scale) {
                 .iter()
                 .map(|(g, c, d)| vec![g.clone(), c.to_string(), d.to_string()])
                 .collect();
-            print!("{}", render_table(&["genre", "movie count", "sub-domain"], &rows));
-            println!("sub-domain sizes: D1 = {} items, D2 = {} items", t.domain_sizes.0, t.domain_sizes.1);
+            print!(
+                "{}",
+                render_table(&["genre", "movie count", "sub-domain"], &rows)
+            );
+            println!(
+                "sub-domain sizes: D1 = {} items, D2 = {} items",
+                t.domain_sizes.0, t.domain_sizes.1
+            );
         }
         "table3" => {
             println!("## Table 3 — homogeneous setting: MAE of NX-Map / X-Map / ALS");

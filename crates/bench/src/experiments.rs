@@ -7,7 +7,9 @@
 //! reproduced artifact, and `EXPERIMENTS.md` records both.
 
 use crate::datasets::{amazon_like, movielens_like, Scale};
-use xmap_cf::baselines::{ItemAverage, LinkedDomainItemKnn, RatingPredictor, RemoteUser, SingleDomainItemKnn};
+use xmap_cf::baselines::{
+    ItemAverage, LinkedDomainItemKnn, RatingPredictor, RemoteUser, SingleDomainItemKnn,
+};
 use xmap_cf::{DomainId, Rating, RatingMatrix, UserKnnConfig};
 use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapPipeline};
 use xmap_dataset::split::{random_holdout, CrossDomainSplit, SplitConfig};
@@ -65,6 +67,9 @@ fn harness_config(mode: XMapMode, k: usize) -> XMapConfig {
             XMapMode::XMapUserBased => PrivacyConfig::user_based_default(),
             _ => PrivacyConfig::default(),
         },
+        // Spark-style sizing for the Figure 11 sweep: comfortably more dataflow
+        // partitions (= simulated tasks) than the largest simulated cluster.
+        partitions: 128,
         ..Default::default()
     }
 }
@@ -82,7 +87,12 @@ pub fn evaluate_xmap(
 }
 
 /// Evaluates one of the competitor baselines on a split.
-pub fn evaluate_baseline(split: &CrossDomainSplit, source: DomainId, system: &str, k: usize) -> f64 {
+pub fn evaluate_baseline(
+    split: &CrossDomainSplit,
+    source: DomainId,
+    system: &str,
+    k: usize,
+) -> f64 {
     let train = &split.train;
     let test: &[Rating] = &split.test;
     match system {
@@ -91,8 +101,15 @@ pub fn evaluate_baseline(split: &CrossDomainSplit, source: DomainId, system: &st
             evaluate_predictions(test, |u, i| p.predict(u, i)).mae
         }
         "REMOTEUSER" => {
-            let p = RemoteUser::new(train, source, UserKnnConfig { k, min_similarity: 0.0 })
-                .expect("training matrix is non-empty");
+            let p = RemoteUser::new(
+                train,
+                source,
+                UserKnnConfig {
+                    k,
+                    min_similarity: 0.0,
+                },
+            )
+            .expect("training matrix is non-empty");
             evaluate_predictions(test, |u, i| p.predict(u, i)).mae
         }
         "ITEM-BASED-KNN" | "KNN-CD" => {
@@ -105,10 +122,14 @@ pub fn evaluate_baseline(split: &CrossDomainSplit, source: DomainId, system: &st
             } else {
                 DomainId::SOURCE
             };
-            let p = SingleDomainItemKnn::fit(train, target, k).expect("training matrix is non-empty");
+            let p =
+                SingleDomainItemKnn::fit(train, target, k).expect("training matrix is non-empty");
             let queries: Vec<_> = test.iter().map(|r| (r.user, r.item)).collect();
             let preds = p.predict_batch(&queries).expect("prediction batch");
-            let pairs: Vec<(f64, f64)> = preds.into_iter().zip(test.iter().map(|r| r.value)).collect();
+            let pairs: Vec<(f64, f64)> = preds
+                .into_iter()
+                .zip(test.iter().map(|r| r.value))
+                .collect();
             xmap_eval::mae(&pairs)
         }
         other => panic!("unknown baseline `{other}`"),
@@ -213,7 +234,11 @@ fn privacy_surface(scale: Scale, mode: XMapMode) -> Vec<PrivacySurface> {
                     },
                     ..harness_config(mode, 40)
                 };
-                rows.push((eps, eps_prime, evaluate_xmap(&split, source, target, config)));
+                rows.push((
+                    eps,
+                    eps_prime,
+                    evaluate_xmap(&split, source, target, config),
+                ));
             }
         }
         out.push(PrivacySurface {
@@ -269,7 +294,10 @@ pub fn fig8(scale: Scale) -> Vec<FigurePanel> {
         for mode in modes {
             let mut s = SweepSeries::new(mode.label());
             for &k in &ks {
-                s.push(k as f64, evaluate_xmap(&split, source, target, harness_config(mode, k)));
+                s.push(
+                    k as f64,
+                    evaluate_xmap(&split, source, target, harness_config(mode, k)),
+                );
             }
             series.push(s);
         }
@@ -321,7 +349,10 @@ pub fn fig9(scale: Scale) -> Vec<FigurePanel> {
                 },
             );
             for (idx, &mode) in modes.iter().enumerate() {
-                series[idx].push(fraction, evaluate_xmap(&split, source, target, harness_config(mode, k)));
+                series[idx].push(
+                    fraction,
+                    evaluate_xmap(&split, source, target, harness_config(mode, k)),
+                );
             }
             for (idx, name) in baselines.iter().enumerate() {
                 baseline_series[idx].push(fraction, evaluate_baseline(&split, source, name, k));
@@ -373,7 +404,10 @@ pub fn fig10(scale: Scale) -> Vec<FigurePanel> {
                 },
             );
             for (idx, &mode) in modes.iter().enumerate() {
-                series[idx].push(aux as f64, evaluate_xmap(&split, source, target, harness_config(mode, k)));
+                series[idx].push(
+                    aux as f64,
+                    evaluate_xmap(&split, source, target, harness_config(mode, k)),
+                );
             }
             for (idx, name) in baselines.iter().enumerate() {
                 baseline_series[idx].push(aux as f64, evaluate_baseline(&split, source, name, k));
@@ -437,7 +471,11 @@ pub fn table3(scale: Scale) -> Vec<(String, f64)> {
         )
         .expect("partitioned dataset contains both sub-domains");
         let outcome = evaluate_predictions(&test, |u, i| model.predict(u, i));
-        let label = if mode == XMapMode::NxMapItemBased { "NX-Map" } else { "X-Map" };
+        let label = if mode == XMapMode::NxMapItemBased {
+            "NX-Map"
+        } else {
+            "X-Map"
+        };
         results.push((label.to_string(), outcome.mae));
     }
 
@@ -503,7 +541,10 @@ pub fn fig11(scale: Scale) -> Vec<SweepSeries> {
 /// Returns the underlying Amazon-like dataset plus a default cold-start split for a
 /// direction — exposed so integration tests and examples can reuse the exact harness
 /// protocol.
-pub fn harness_split(scale: Scale, direction: Direction) -> (CrossDomainDataset, CrossDomainSplit, DomainId, DomainId) {
+pub fn harness_split(
+    scale: Scale,
+    direction: Direction,
+) -> (CrossDomainDataset, CrossDomainSplit, DomainId, DomainId) {
     let ds = amazon_like(scale);
     let (source, target) = direction.domains();
     let split = CrossDomainSplit::build(&ds, target, default_split());
@@ -547,7 +588,12 @@ mod tests {
         // The core accuracy claim of Figures 8-9: the non-private X-Map variants
         // outperform ItemAverage and RemoteUser in the cold-start setting.
         let (_, split, source, target) = harness_split(Scale::Quick, Direction::MovieToBook);
-        let nxmap = evaluate_xmap(&split, source, target, harness_config(XMapMode::NxMapItemBased, 40));
+        let nxmap = evaluate_xmap(
+            &split,
+            source,
+            target,
+            harness_config(XMapMode::NxMapItemBased, 40),
+        );
         let item_avg = evaluate_baseline(&split, source, "ITEMAVERAGE", 40);
         assert!(
             nxmap < item_avg + 0.05,
@@ -559,8 +605,14 @@ mod tests {
     fn private_variant_pays_a_bounded_quality_cost() {
         let nx = quick_mae(XMapMode::NxMapItemBased, Direction::MovieToBook);
         let x = quick_mae(XMapMode::XMapItemBased, Direction::MovieToBook);
-        assert!(x >= nx - 0.05, "privacy should not improve accuracy (got {x:.3} vs {nx:.3})");
-        assert!(x < nx + 1.5, "privacy cost should stay bounded (got {x:.3} vs {nx:.3})");
+        assert!(
+            x >= nx - 0.05,
+            "privacy should not improve accuracy (got {x:.3} vs {nx:.3})"
+        );
+        assert!(
+            x < nx + 1.5,
+            "privacy cost should stay bounded (got {x:.3} vs {nx:.3})"
+        );
     }
 
     #[test]
@@ -573,10 +625,20 @@ mod tests {
         // speedup at 20 machines (last point) must favour X-Map
         let x_last = xmap.points.last().unwrap().y;
         let a_last = als.points.last().unwrap().y;
-        assert!(x_last > a_last, "X-Map should out-scale ALS: {x_last} vs {a_last}");
-        assert!(x_last > 1.5, "X-Map should show a clear speedup over the 5-machine baseline");
+        assert!(
+            x_last > a_last,
+            "X-Map should out-scale ALS: {x_last} vs {a_last}"
+        );
+        assert!(
+            x_last > 1.5,
+            "X-Map should show a clear speedup over the 5-machine baseline"
+        );
         // speedup is 1.0 at the baseline of 5 machines
-        let at5 = xmap.points.iter().find(|p| (p.x - 5.0).abs() < 1e-9).unwrap();
+        let at5 = xmap
+            .points
+            .iter()
+            .find(|p| (p.x - 5.0).abs() < 1e-9)
+            .unwrap();
         assert!((at5.y - 1.0).abs() < 1e-9);
     }
 

@@ -63,7 +63,10 @@ impl AlsModel {
             return Err(CfError::invalid_parameter("factors", "must be at least 1"));
         }
         if config.iterations == 0 {
-            return Err(CfError::invalid_parameter("iterations", "must be at least 1"));
+            return Err(CfError::invalid_parameter(
+                "iterations",
+                "must be at least 1",
+            ));
         }
         if config.regularization < 0.0 || !config.regularization.is_finite() {
             return Err(CfError::invalid_parameter(
@@ -81,8 +84,10 @@ impl AlsModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let global_mean = matrix.global_average();
 
-        let mut user_factors: Vec<f64> = (0..n_users * f).map(|_| rng.gen_range(-0.1..0.1)).collect();
-        let mut item_factors: Vec<f64> = (0..n_items * f).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let mut user_factors: Vec<f64> =
+            (0..n_users * f).map(|_| rng.gen_range(-0.1..0.1)).collect();
+        let mut item_factors: Vec<f64> =
+            (0..n_items * f).map(|_| rng.gen_range(-0.1..0.1)).collect();
 
         let mut loss_history = Vec::with_capacity(config.iterations);
         for _sweep in 0..config.iterations {
@@ -290,8 +295,12 @@ mod tests {
     /// Low-rank synthetic ratings: r(u, i) = clamp(3 + sign pattern), rank-1 structure.
     fn low_rank(n_users: u32, n_items: u32, density: f64, seed: u64) -> RatingMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let user_sign: Vec<f64> = (0..n_users).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
-        let item_sign: Vec<f64> = (0..n_items).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let user_sign: Vec<f64> = (0..n_users)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let item_sign: Vec<f64> = (0..n_items)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
         let mut b = RatingMatrixBuilder::new().with_dimensions(n_users as usize, n_items as usize);
         for u in 0..n_users {
             for i in 0..n_items {
@@ -307,17 +316,36 @@ mod tests {
     #[test]
     fn training_loss_decreases() {
         let m = low_rank(40, 30, 0.3, 1);
-        let model = AlsModel::train(&m, AlsConfig { factors: 4, iterations: 8, ..Default::default() }).unwrap();
+        let model = AlsModel::train(
+            &m,
+            AlsConfig {
+                factors: 4,
+                iterations: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let first = model.loss_history.first().copied().unwrap();
         let last = model.loss_history.last().copied().unwrap();
         assert!(last <= first, "loss should not increase: {first} -> {last}");
-        assert!(last < 1.0, "rank-1 structure should be learnable, got RMSE {last}");
+        assert!(
+            last < 1.0,
+            "rank-1 structure should be learnable, got RMSE {last}"
+        );
     }
 
     #[test]
     fn predictions_recover_structure() {
         let m = low_rank(40, 30, 0.4, 2);
-        let model = AlsModel::train(&m, AlsConfig { factors: 4, iterations: 10, ..Default::default() }).unwrap();
+        let model = AlsModel::train(
+            &m,
+            AlsConfig {
+                factors: 4,
+                iterations: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // On observed entries the prediction should be close to the true value.
         let mut abs_err = 0.0;
         let mut n = 0;
@@ -332,7 +360,15 @@ mod tests {
     #[test]
     fn predictions_clamped_and_fallback_for_unknown_ids() {
         let m = low_rank(10, 10, 0.5, 3);
-        let model = AlsModel::train(&m, AlsConfig { factors: 2, iterations: 3, ..Default::default() }).unwrap();
+        let model = AlsModel::train(
+            &m,
+            AlsConfig {
+                factors: 2,
+                iterations: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for u in 0..10u32 {
             for i in 0..10u32 {
                 let p = model.predict(UserId(u), ItemId(i));
@@ -346,7 +382,15 @@ mod tests {
     #[test]
     fn recommend_excludes_requested_items() {
         let m = low_rank(20, 15, 0.4, 4);
-        let model = AlsModel::train(&m, AlsConfig { factors: 3, iterations: 5, ..Default::default() }).unwrap();
+        let model = AlsModel::train(
+            &m,
+            AlsConfig {
+                factors: 3,
+                iterations: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let exclude = vec![ItemId(0), ItemId(1), ItemId(2)];
         let recs = model.recommend(UserId(0), 5, &exclude);
         assert_eq!(recs.len(), 5);
@@ -358,14 +402,38 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let m = low_rank(5, 5, 0.6, 5);
-        assert!(AlsModel::train(&m, AlsConfig { factors: 0, ..Default::default() }).is_err());
-        assert!(AlsModel::train(&m, AlsConfig { iterations: 0, ..Default::default() }).is_err());
-        assert!(AlsModel::train(&m, AlsConfig { regularization: -1.0, ..Default::default() }).is_err());
+        assert!(AlsModel::train(
+            &m,
+            AlsConfig {
+                factors: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(AlsModel::train(
+            &m,
+            AlsConfig {
+                iterations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(AlsModel::train(
+            &m,
+            AlsConfig {
+                regularization: -1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn empty_matrix_is_rejected() {
-        let m = RatingMatrixBuilder::new().with_dimensions(3, 3).build().unwrap();
+        let m = RatingMatrixBuilder::new()
+            .with_dimensions(3, 3)
+            .build()
+            .unwrap();
         assert!(matches!(
             AlsModel::train(&m, AlsConfig::default()),
             Err(CfError::EmptyMatrix)
@@ -385,10 +453,18 @@ mod tests {
     #[test]
     fn training_is_deterministic_for_fixed_seed() {
         let m = low_rank(15, 12, 0.4, 6);
-        let cfg = AlsConfig { factors: 3, iterations: 4, seed: 7, ..Default::default() };
+        let cfg = AlsConfig {
+            factors: 3,
+            iterations: 4,
+            seed: 7,
+            ..Default::default()
+        };
         let m1 = AlsModel::train(&m, cfg).unwrap();
         let m2 = AlsModel::train(&m, cfg).unwrap();
         assert_eq!(m1.loss_history, m2.loss_history);
-        assert_eq!(m1.predict(UserId(3), ItemId(4)), m2.predict(UserId(3), ItemId(4)));
+        assert_eq!(
+            m1.predict(UserId(3), ItemId(4)),
+            m2.predict(UserId(3), ItemId(4))
+        );
     }
 }

@@ -220,7 +220,11 @@ impl RatingPredictor for RemoteUser<'_> {
                 den += sim.abs();
             }
         }
-        let raw = if den < 1e-12 { user_avg } else { user_avg + num / den };
+        let raw = if den < 1e-12 {
+            user_avg
+        } else {
+            user_avg + num / den
+        };
         self.full.scale().clamp(raw)
     }
     fn name(&self) -> &'static str {
@@ -332,7 +336,10 @@ mod tests {
     fn item_average_is_unpersonalised() {
         let m = cross_domain();
         let p = ItemAverage::new(&m);
-        assert_eq!(p.predict(UserId(0), ItemId(3)), p.predict(UserId(2), ItemId(3)));
+        assert_eq!(
+            p.predict(UserId(0), ItemId(3)),
+            p.predict(UserId(2), ItemId(3))
+        );
         assert!((p.predict(UserId(0), ItemId(3)) - m.item_average(ItemId(3))).abs() < 1e-12);
         assert_eq!(p.name(), "ItemAverage");
     }
@@ -348,12 +355,23 @@ mod tests {
     #[test]
     fn remote_user_personalises_cold_start_predictions() {
         let m = cross_domain();
-        let p = RemoteUser::new(&m, DomainId::SOURCE, UserKnnConfig { k: 2, min_similarity: 0.0 }).unwrap();
+        let p = RemoteUser::new(
+            &m,
+            DomainId::SOURCE,
+            UserKnnConfig {
+                k: 2,
+                min_similarity: 0.0,
+            },
+        )
+        .unwrap();
         // user 3 (cold-start) has movie taste like users 0-1, so book 3 should be
         // predicted high and book 5 low.
         let liked = p.predict(UserId(3), ItemId(3));
         let disliked = p.predict(UserId(3), ItemId(5));
-        assert!(liked > disliked, "RemoteUser should personalise: {liked} vs {disliked}");
+        assert!(
+            liked > disliked,
+            "RemoteUser should personalise: {liked} vs {disliked}"
+        );
         assert!(liked >= 4.0);
         assert!(disliked <= 2.5);
         assert_eq!(p.name(), "RemoteUser");
@@ -362,7 +380,15 @@ mod tests {
     #[test]
     fn remote_user_neighbors_come_from_source_similarity() {
         let m = cross_domain();
-        let p = RemoteUser::new(&m, DomainId::SOURCE, UserKnnConfig { k: 2, min_similarity: 0.0 }).unwrap();
+        let p = RemoteUser::new(
+            &m,
+            DomainId::SOURCE,
+            UserKnnConfig {
+                k: 2,
+                min_similarity: 0.0,
+            },
+        )
+        .unwrap();
         let neigh = p.source_neighbors(UserId(3));
         assert!(!neigh.is_empty());
         // most similar source-domain users are 0 and 1
@@ -387,7 +413,9 @@ mod tests {
         let m = cross_domain();
         let p = SingleDomainItemKnn::fit(&m, DomainId::TARGET, 5).unwrap();
         assert!(p.training_matrix().n_ratings() < m.n_ratings());
-        let preds = p.predict_batch(&[(UserId(3), ItemId(3)), (UserId(3), ItemId(5))]).unwrap();
+        let preds = p
+            .predict_batch(&[(UserId(3), ItemId(3)), (UserId(3), ItemId(5))])
+            .unwrap();
         // user 3 has no target-domain ratings, so both predictions are unpersonalised
         // item averages.
         assert!((preds[0] - p.training_matrix().item_average(ItemId(3))).abs() < 1e-9);
@@ -432,12 +460,17 @@ mod tests {
         let remote = RemoteUser::new(&m, DomainId::SOURCE, UserKnnConfig::default()).unwrap();
         let linked = LinkedDomainItemKnn::fit(&m, 10).unwrap();
         let slope = SlopeOne::fit(&m);
-        let predictors: Vec<&dyn RatingPredictor> = vec![&item_avg, &user_avg, &remote, &linked, &slope];
+        let predictors: Vec<&dyn RatingPredictor> =
+            vec![&item_avg, &user_avg, &remote, &linked, &slope];
         for p in predictors {
             for u in m.users() {
                 for i in m.items() {
                     let v = p.predict(u, i);
-                    assert!((1.0..=5.0).contains(&v), "{} produced out-of-scale {v}", p.name());
+                    assert!(
+                        (1.0..=5.0).contains(&v),
+                        "{} produced out-of-scale {v}",
+                        p.name()
+                    );
                 }
             }
         }

@@ -72,9 +72,14 @@ mod tests {
         assert!(CfError::EmptyMatrix.to_string().contains("non-empty"));
         let e = CfError::invalid_parameter("k", "must be positive");
         assert_eq!(e.to_string(), "invalid parameter `k`: must be positive");
-        let e = CfError::InvalidRating { value: f64::NAN, context: "builder" };
+        let e = CfError::InvalidRating {
+            value: f64::NAN,
+            context: "builder",
+        };
         assert!(e.to_string().contains("invalid rating"));
-        assert!(CfError::TrainingDiverged("nan loss".into()).to_string().contains("nan loss"));
+        assert!(CfError::TrainingDiverged("nan loss".into())
+            .to_string()
+            .contains("nan loss"));
     }
 
     #[test]

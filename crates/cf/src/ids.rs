@@ -142,10 +142,12 @@ mod tests {
     }
 
     #[test]
-    fn ids_serialize_as_plain_integers() {
-        let json = serde_json::to_string(&UserId(9)).unwrap();
-        assert_eq!(json, "9");
-        let back: UserId = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, UserId(9));
+    fn ids_stay_compact() {
+        // The dense-index layout the adjacency arenas rely on: ids are exactly
+        // as wide as their raw integer, with no niche or padding overhead.
+        assert_eq!(std::mem::size_of::<UserId>(), 4);
+        assert_eq!(std::mem::size_of::<ItemId>(), 4);
+        assert_eq!(std::mem::size_of::<DomainId>(), 2);
+        assert_eq!(std::mem::size_of::<Option<ItemId>>(), 8);
     }
 }

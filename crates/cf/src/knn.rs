@@ -150,7 +150,11 @@ impl<'a> UserKnn<'a> {
                 den += sim.abs();
             }
         }
-        let raw = if den < 1e-12 { user_average } else { user_average + num / den };
+        let raw = if den < 1e-12 {
+            user_average
+        } else {
+            user_average + num / den
+        };
         self.matrix.scale().clamp(raw)
     }
 
@@ -171,7 +175,12 @@ impl<'a> UserKnn<'a> {
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
         let neighbors = self.neighbors(user);
         let avg = self.matrix.user_average(user);
-        let rated: Vec<ItemId> = self.matrix.user_profile(user).iter().map(|e| e.item).collect();
+        let rated: Vec<ItemId> = self
+            .matrix
+            .user_profile(user)
+            .iter()
+            .map(|e| e.item)
+            .collect();
         self.rank_candidates(avg, &neighbors, &rated, n)
     }
 
@@ -282,8 +291,8 @@ impl<'a> ItemKnn<'a> {
         }
 
         let mut neighbors = Vec::with_capacity(n_items);
-        for i in 0..n_items {
-            let mut cands = std::mem::take(&mut candidate_sets[i]);
+        for (i, candidates) in candidate_sets.iter_mut().enumerate() {
+            let mut cands = std::mem::take(candidates);
             cands.sort_unstable();
             cands.dedup();
             let mut collector = TopK::new(config.k);
@@ -346,11 +355,13 @@ impl<'a> ItemKnn<'a> {
     /// `item`, which is what makes the temporal variant well-defined per user (§4.4).
     pub fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
         let item_avg = self.matrix.item_average(item);
-        let now = profile.iter().map(|&(_, _, t)| t).max().unwrap_or(Timestep(0));
-        let ratings: HashMap<ItemId, (f64, Timestep)> = profile
+        let now = profile
             .iter()
-            .map(|&(i, v, t)| (i, (v, t)))
-            .collect();
+            .map(|&(_, _, t)| t)
+            .max()
+            .unwrap_or(Timestep(0));
+        let ratings: HashMap<ItemId, (f64, Timestep)> =
+            profile.iter().map(|&(i, v, t)| (i, (v, t))).collect();
 
         let mut num = 0.0;
         let mut den = 0.0;
@@ -365,7 +376,11 @@ impl<'a> ItemKnn<'a> {
                 den += n.similarity.abs() * weight;
             }
         }
-        let raw = if den < 1e-12 { item_avg } else { item_avg + num / den };
+        let raw = if den < 1e-12 {
+            item_avg
+        } else {
+            item_avg + num / den
+        };
         self.matrix.scale().clamp(raw)
     }
 
@@ -445,12 +460,22 @@ mod tests {
     #[test]
     fn user_knn_finds_same_cluster_neighbors() {
         let m = clustered();
-        let knn = UserKnn::new(&m, UserKnnConfig { k: 3, min_similarity: 0.0 }).unwrap();
+        let knn = UserKnn::new(
+            &m,
+            UserKnnConfig {
+                k: 3,
+                min_similarity: 0.0,
+            },
+        )
+        .unwrap();
         let neigh = knn.neighbors(UserId(0));
         assert!(!neigh.is_empty());
         // the most similar users must come from the same cluster (users 1, 2 or 6)
         for &(u, s) in neigh.iter().take(2) {
-            assert!(u == UserId(1) || u == UserId(2) || u == UserId(6), "unexpected neighbor {u}");
+            assert!(
+                u == UserId(1) || u == UserId(2) || u == UserId(6),
+                "unexpected neighbor {u}"
+            );
             assert!(s > 0.0);
         }
     }
@@ -461,7 +486,10 @@ mod tests {
         let knn = UserKnn::new(&m, UserKnnConfig::default()).unwrap();
         let liked = knn.predict(UserId(6), ItemId(2));
         let disliked = knn.predict(UserId(6), ItemId(4));
-        assert!(liked > disliked, "cluster item should be predicted higher: {liked} vs {disliked}");
+        assert!(
+            liked > disliked,
+            "cluster item should be predicted higher: {liked} vs {disliked}"
+        );
         assert!(liked >= 3.5);
         assert!(disliked <= 3.0);
     }
@@ -487,7 +515,10 @@ mod tests {
         let profile = profile_from_pairs([(ItemId(0), 5.0), (ItemId(1), 4.0)]);
         let stored = knn.predict(UserId(6), ItemId(2));
         let external = knn.predict_for_profile(&profile, ItemId(2));
-        assert!((stored - external).abs() < 0.75, "external profile should predict similarly: {stored} vs {external}");
+        assert!(
+            (stored - external).abs() < 0.75,
+            "external profile should predict similarly: {stored} vs {external}"
+        );
         let recs = knn.recommend_for_profile(&profile, 2);
         assert_eq!(recs[0].0, ItemId(2));
     }
@@ -495,17 +526,35 @@ mod tests {
     #[test]
     fn user_knn_rejects_zero_k() {
         let m = clustered();
-        assert!(UserKnn::new(&m, UserKnnConfig { k: 0, min_similarity: 0.0 }).is_err());
+        assert!(UserKnn::new(
+            &m,
+            UserKnnConfig {
+                k: 0,
+                min_similarity: 0.0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn item_knn_neighbors_stay_within_cluster() {
         let m = clustered();
-        let knn = ItemKnn::fit(&m, ItemKnnConfig { k: 2, ..Default::default() }).unwrap();
+        let knn = ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let neigh = knn.neighbors(ItemId(0));
         assert!(!neigh.is_empty());
         for n in neigh {
-            assert!(n.item == ItemId(1) || n.item == ItemId(2), "unexpected item neighbor {:?}", n.item);
+            assert!(
+                n.item == ItemId(1) || n.item == ItemId(2),
+                "unexpected item neighbor {:?}",
+                n.item
+            );
             assert!(n.similarity > 0.0);
         }
     }
@@ -546,7 +595,14 @@ mod tests {
     #[test]
     fn item_knn_rejects_bad_parameters() {
         let m = clustered();
-        assert!(ItemKnn::fit(&m, ItemKnnConfig { k: 0, ..Default::default() }).is_err());
+        assert!(ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(ItemKnn::fit(
             &m,
             ItemKnnConfig {
@@ -571,15 +627,32 @@ mod tests {
         // and item 1 low recently. With α = 0 both count equally; with large α the
         // recent (low) rating dominates, so the prediction must not increase.
         let m = clustered();
-        let flat = ItemKnn::fit(&m, ItemKnnConfig { temporal_alpha: 0.0, ..Default::default() }).unwrap();
-        let decayed = ItemKnn::fit(&m, ItemKnnConfig { temporal_alpha: 0.5, ..Default::default() }).unwrap();
+        let flat = ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                temporal_alpha: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let decayed = ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                temporal_alpha: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let profile: Profile = vec![
             (ItemId(0), 5.0, Timestep(0)),
             (ItemId(1), 1.0, Timestep(100)),
         ];
         let p_flat = flat.predict_for_profile(&profile, ItemId(2));
         let p_decay = decayed.predict_for_profile(&profile, ItemId(2));
-        assert!(p_decay <= p_flat + 1e-9, "temporal weighting should favour the recent low rating: {p_decay} vs {p_flat}");
+        assert!(
+            p_decay <= p_flat + 1e-9,
+            "temporal weighting should favour the recent low rating: {p_decay} vs {p_flat}"
+        );
     }
 
     #[test]
@@ -598,8 +671,14 @@ mod tests {
             for i in m.items() {
                 let pu = uknn.predict(u, i);
                 let pi = iknn.predict(u, i);
-                assert!((1.0..=5.0).contains(&pu), "user-based prediction out of scale: {pu}");
-                assert!((1.0..=5.0).contains(&pi), "item-based prediction out of scale: {pi}");
+                assert!(
+                    (1.0..=5.0).contains(&pu),
+                    "user-based prediction out of scale: {pu}"
+                );
+                assert!(
+                    (1.0..=5.0).contains(&pi),
+                    "item-based prediction out of scale: {pi}"
+                );
             }
         }
     }

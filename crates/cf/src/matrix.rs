@@ -138,8 +138,7 @@ impl RatingMatrixBuilder {
 
         // Deduplicate (user, item) keeping the most recent entry. Stable sort keeps
         // insertion order for equal timesteps so "last pushed wins" among ties.
-        self.ratings
-            .sort_by(|a, b| (a.user, a.item, a.timestep).cmp(&(b.user, b.item, b.timestep)));
+        self.ratings.sort_by_key(|a| (a.user, a.item, a.timestep));
         let mut deduped: Vec<Rating> = Vec::with_capacity(self.ratings.len());
         for r in self.ratings {
             match deduped.last_mut() {
@@ -398,7 +397,9 @@ impl RatingMatrix {
 
     /// Items belonging to a given domain.
     pub fn items_in_domain(&self, domain: DomainId) -> Vec<ItemId> {
-        self.items().filter(|&i| self.item_domain(i) == domain).collect()
+        self.items()
+            .filter(|&i| self.item_domain(i) == domain)
+            .collect()
     }
 
     /// The set of domains present in the matrix, in ascending id order.
@@ -443,8 +444,8 @@ impl RatingMatrix {
     /// Returns a new matrix containing only ratings for which `keep` returns true,
     /// preserving dimensions, domains and scale. Useful for building training subsets.
     pub fn filter(&self, mut keep: impl FnMut(&Rating) -> bool) -> Result<RatingMatrix> {
-        let mut b = RatingMatrixBuilder::with_scale(self.scale)
-            .with_dimensions(self.n_users, self.n_items);
+        let mut b =
+            RatingMatrixBuilder::with_scale(self.scale).with_dimensions(self.n_users, self.n_items);
         for r in self.iter() {
             if keep(&r) {
                 b.push(r)?;
@@ -457,7 +458,11 @@ impl RatingMatrix {
     }
 
     /// Splits the matrix view of a user's profile by domain: `(in_domain, out_of_domain)`.
-    pub fn profile_by_domain(&self, user: UserId, domain: DomainId) -> (Vec<UserEntry>, Vec<UserEntry>) {
+    pub fn profile_by_domain(
+        &self,
+        user: UserId,
+        domain: DomainId,
+    ) -> (Vec<UserEntry>, Vec<UserEntry>) {
         let mut inside = Vec::new();
         let mut outside = Vec::new();
         for &e in self.user_profile(user) {
@@ -547,8 +552,14 @@ mod tests {
 
     #[test]
     fn empty_builder_errors_unless_dimensioned() {
-        assert_eq!(RatingMatrixBuilder::new().build().unwrap_err(), CfError::EmptyMatrix);
-        let m = RatingMatrixBuilder::new().with_dimensions(2, 3).build().unwrap();
+        assert_eq!(
+            RatingMatrixBuilder::new().build().unwrap_err(),
+            CfError::EmptyMatrix
+        );
+        let m = RatingMatrixBuilder::new()
+            .with_dimensions(2, 3)
+            .build()
+            .unwrap();
         assert_eq!(m.n_users(), 2);
         assert_eq!(m.n_items(), 3);
         assert_eq!(m.n_ratings(), 0);

@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// Timesteps are monotone per user; the absolute scale is irrelevant, only differences
 /// `t - t_{A,j}` enter the temporal decay `e^{-α (t - t_{A,j})}` of Equation 7.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Timestep(pub u32);
 
 impl Timestep {
@@ -81,7 +83,10 @@ impl RatingScale {
 
     /// Creates a scale, panicking if `min >= max` or either bound is not finite.
     pub fn new(min: f64, max: f64) -> Self {
-        assert!(min.is_finite() && max.is_finite() && min < max, "invalid rating scale [{min}, {max}]");
+        assert!(
+            min.is_finite() && max.is_finite() && min < max,
+            "invalid rating scale [{min}, {max}]"
+        );
         RatingScale { min, max }
     }
 

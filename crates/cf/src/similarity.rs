@@ -21,10 +21,11 @@ use crate::matrix::RatingMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Which item–item similarity formula to use for the baseline similarity graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SimilarityMetric {
     /// Adjusted cosine (Equation 6) — ratings centred by the user average. The paper's
     /// default and the metric used for every reported experiment.
+    #[default]
     AdjustedCosine,
     /// Plain cosine over raw rating vectors.
     Cosine,
@@ -33,23 +34,22 @@ pub enum SimilarityMetric {
     Pearson,
 }
 
-impl Default for SimilarityMetric {
-    fn default() -> Self {
-        SimilarityMetric::AdjustedCosine
-    }
-}
-
 /// Full pairwise statistics for an item pair `(i, j)`.
+///
+/// The counters are `u32` rather than `usize`: a pair can never have more
+/// co-raters than there are users (ids are `u32`), and the narrower layout
+/// keeps the record at 24 bytes so the similarity-graph arena that stores one
+/// record per undirected edge stays compact.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimilarityStats {
     /// The similarity value under the chosen metric, in `[-1, 1]` (0 if undefined).
     pub similarity: f64,
     /// Number of users who rated both items.
-    pub co_raters: usize,
+    pub co_raters: u32,
     /// Weighted significance `S_{i,j}` (Definition 2): mutual likes + mutual dislikes.
-    pub significance: usize,
+    pub significance: u32,
     /// Size of the union `|Y_i ∪ Y_j|`.
-    pub union_size: usize,
+    pub union_size: u32,
 }
 
 impl SimilarityStats {
@@ -86,7 +86,7 @@ pub fn item_similarity_stats(
     let yj = matrix.item_profile(j);
     if yi.is_empty() || yj.is_empty() {
         return SimilarityStats {
-            union_size: yi.len() + yj.len(),
+            union_size: (yi.len() + yj.len()) as u32,
             ..SimilarityStats::NONE
         };
     }
@@ -97,8 +97,8 @@ pub fn item_similarity_stats(
     // Accumulators for the different metrics over co-rating users.
     let mut dot = 0.0f64;
     let mut num = 0.0f64;
-    let mut co_raters = 0usize;
-    let mut significance = 0usize;
+    let mut co_raters = 0u32;
+    let mut significance = 0u32;
     let mut co_i = Vec::new();
     let mut co_j = Vec::new();
 
@@ -139,7 +139,7 @@ pub fn item_similarity_stats(
         }
     }
 
-    let union_size = yi.len() + yj.len() - co_raters;
+    let union_size = (yi.len() + yj.len()) as u32 - co_raters;
     if co_raters == 0 {
         return SimilarityStats {
             similarity: 0.0,
@@ -203,7 +203,12 @@ pub fn item_similarity_stats(
 }
 
 /// Item–item similarity only (convenience wrapper around [`item_similarity_stats`]).
-pub fn item_similarity(matrix: &RatingMatrix, i: ItemId, j: ItemId, metric: SimilarityMetric) -> f64 {
+pub fn item_similarity(
+    matrix: &RatingMatrix,
+    i: ItemId,
+    j: ItemId,
+    metric: SimilarityMetric,
+) -> f64 {
     item_similarity_stats(matrix, i, j, metric).similarity
 }
 
@@ -309,7 +314,12 @@ mod tests {
     #[test]
     fn no_common_raters_gives_zero_similarity() {
         let (m, interstellar, _inception, forever_war) = fig1a();
-        let stats = item_similarity_stats(&m, interstellar, forever_war, SimilarityMetric::AdjustedCosine);
+        let stats = item_similarity_stats(
+            &m,
+            interstellar,
+            forever_war,
+            SimilarityMetric::AdjustedCosine,
+        );
         assert_eq!(stats.similarity, 0.0);
         assert_eq!(stats.co_raters, 0);
         assert_eq!(stats.significance, 0);
@@ -318,8 +328,14 @@ mod tests {
     #[test]
     fn bridge_item_has_nonzero_similarity_with_both_endpoints() {
         let (m, interstellar, inception, forever_war) = fig1a();
-        let s1 = item_similarity_stats(&m, interstellar, inception, SimilarityMetric::AdjustedCosine);
-        let s2 = item_similarity_stats(&m, inception, forever_war, SimilarityMetric::AdjustedCosine);
+        let s1 = item_similarity_stats(
+            &m,
+            interstellar,
+            inception,
+            SimilarityMetric::AdjustedCosine,
+        );
+        let s2 =
+            item_similarity_stats(&m, inception, forever_war, SimilarityMetric::AdjustedCosine);
         assert!(s1.co_raters >= 1);
         assert!(s2.co_raters >= 1);
         // Significance counts mutual like/dislike; Bob likes both Interstellar and Inception.
@@ -371,8 +387,14 @@ mod tests {
         let m = b.build().unwrap();
         let s01 = item_similarity(&m, ItemId(0), ItemId(1), SimilarityMetric::AdjustedCosine);
         let s02 = item_similarity(&m, ItemId(0), ItemId(2), SimilarityMetric::AdjustedCosine);
-        assert!(s01 > 0.0, "mutually liked items should be positively similar, got {s01}");
-        assert!(s02 < 0.0, "liked vs disliked items should be negatively similar, got {s02}");
+        assert!(
+            s01 > 0.0,
+            "mutually liked items should be positively similar, got {s01}"
+        );
+        assert!(
+            s02 < 0.0,
+            "liked vs disliked items should be negatively similar, got {s02}"
+        );
         assert!(s01 > s02);
     }
 
@@ -381,15 +403,24 @@ mod tests {
         let mut b = RatingMatrixBuilder::new();
         // users 0 and 1 agree, user 2 disagrees
         for item in 0..4u32 {
-            b.push_parts(0, item, if item % 2 == 0 { 5.0 } else { 1.0 }).unwrap();
-            b.push_parts(1, item, if item % 2 == 0 { 4.0 } else { 2.0 }).unwrap();
-            b.push_parts(2, item, if item % 2 == 0 { 1.0 } else { 5.0 }).unwrap();
+            b.push_parts(0, item, if item % 2 == 0 { 5.0 } else { 1.0 })
+                .unwrap();
+            b.push_parts(1, item, if item % 2 == 0 { 4.0 } else { 2.0 })
+                .unwrap();
+            b.push_parts(2, item, if item % 2 == 0 { 1.0 } else { 5.0 })
+                .unwrap();
         }
         let m = b.build().unwrap();
         let agree = user_similarity(&m, UserId(0), UserId(1));
         let disagree = user_similarity(&m, UserId(0), UserId(2));
-        assert!(agree > 0.5, "agreeing users should have high similarity, got {agree}");
-        assert!(disagree < -0.5, "disagreeing users should have negative similarity, got {disagree}");
+        assert!(
+            agree > 0.5,
+            "agreeing users should have high similarity, got {agree}"
+        );
+        assert!(
+            disagree < -0.5,
+            "disagreeing users should have negative similarity, got {disagree}"
+        );
         assert_eq!(co_rated_items(&m, UserId(0), UserId(1)), 4);
     }
 
@@ -415,7 +446,10 @@ mod tests {
 
     #[test]
     fn default_metric_is_adjusted_cosine() {
-        assert_eq!(SimilarityMetric::default(), SimilarityMetric::AdjustedCosine);
+        assert_eq!(
+            SimilarityMetric::default(),
+            SimilarityMetric::AdjustedCosine
+        );
     }
 
     proptest! {

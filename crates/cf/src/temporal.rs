@@ -42,7 +42,10 @@ pub struct AlphaSweep {
 
 impl AlphaSweep {
     /// Runs a sweep by calling `evaluate(α) -> MAE` for each candidate.
-    pub fn run(alphas: impl IntoIterator<Item = f64>, mut evaluate: impl FnMut(f64) -> f64) -> Self {
+    pub fn run(
+        alphas: impl IntoIterator<Item = f64>,
+        mut evaluate: impl FnMut(f64) -> f64,
+    ) -> Self {
         let points = alphas
             .into_iter()
             .map(|alpha| AlphaPoint {
@@ -60,7 +63,11 @@ impl AlphaSweep {
             .iter()
             .filter(|p| p.mae.is_finite())
             .copied()
-            .min_by(|a, b| a.mae.partial_cmp(&b.mae).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.mae
+                    .partial_cmp(&b.mae)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// The canonical grid used by Figure 5: α ∈ {0, 0.01, …, 0.2}.

@@ -102,6 +102,11 @@ pub struct XMapConfig {
     pub seed: u64,
     /// Number of worker threads for the parallel stages.
     pub workers: usize,
+    /// Number of dataflow partitions the parallel stages split their work into. The
+    /// partition count fixes the unit of work (and the per-partition task costs fed to
+    /// the cluster simulator); `workers` only decides how many execute concurrently, so
+    /// results are identical for any worker count.
+    pub partitions: usize,
 }
 
 impl Default for XMapConfig {
@@ -117,6 +122,7 @@ impl Default for XMapConfig {
             privacy: PrivacyConfig::default(),
             seed: 42,
             workers: 1,
+            partitions: 16,
         }
     }
 }
@@ -128,7 +134,10 @@ impl XMapConfig {
             return Err("k must be at least 1".to_string());
         }
         if self.temporal_alpha < 0.0 || !self.temporal_alpha.is_finite() {
-            return Err(format!("temporal_alpha must be finite and >= 0, got {}", self.temporal_alpha));
+            return Err(format!(
+                "temporal_alpha must be finite and >= 0, got {}",
+                self.temporal_alpha
+            ));
         }
         if self.metapath.per_layer_top_k == 0 {
             return Err("metapath.per_layer_top_k must be at least 1".to_string());
@@ -138,7 +147,10 @@ impl XMapConfig {
         }
         if self.mode.is_private() {
             if !(self.privacy.epsilon.is_finite() && self.privacy.epsilon > 0.0) {
-                return Err(format!("privacy.epsilon must be positive, got {}", self.privacy.epsilon));
+                return Err(format!(
+                    "privacy.epsilon must be positive, got {}",
+                    self.privacy.epsilon
+                ));
             }
             if !(self.privacy.epsilon_prime.is_finite() && self.privacy.epsilon_prime > 0.0) {
                 return Err(format!(
@@ -147,11 +159,17 @@ impl XMapConfig {
                 ));
             }
             if !(0.0 < self.privacy.rho && self.privacy.rho < 1.0) {
-                return Err(format!("privacy.rho must be in (0, 1), got {}", self.privacy.rho));
+                return Err(format!(
+                    "privacy.rho must be in (0, 1), got {}",
+                    self.privacy.rho
+                ));
             }
         }
         if self.workers == 0 {
             return Err("workers must be at least 1".to_string());
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be at least 1".to_string());
         }
         Ok(())
     }
@@ -185,17 +203,29 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_reported() {
-        let mut c = XMapConfig::default();
-        c.k = 0;
+        let c = XMapConfig {
+            k: 0,
+            ..Default::default()
+        };
         assert!(c.validate().unwrap_err().contains("k"));
 
-        let mut c = XMapConfig::default();
-        c.temporal_alpha = -1.0;
+        let c = XMapConfig {
+            temporal_alpha: -1.0,
+            ..Default::default()
+        };
         assert!(c.validate().unwrap_err().contains("temporal_alpha"));
 
-        let mut c = XMapConfig::default();
-        c.workers = 0;
+        let c = XMapConfig {
+            workers: 0,
+            ..Default::default()
+        };
         assert!(c.validate().unwrap_err().contains("workers"));
+
+        let c = XMapConfig {
+            partitions: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().unwrap_err().contains("partitions"));
 
         let mut c = XMapConfig {
             mode: XMapMode::XMapItemBased,
@@ -223,7 +253,10 @@ mod tests {
     fn privacy_epsilon_ignored_for_non_private_modes() {
         let mut c = XMapConfig::default(); // non-private
         c.privacy.epsilon = -1.0;
-        assert!(c.validate().is_ok(), "non-private modes do not consult privacy parameters");
+        assert!(
+            c.validate().is_ok(),
+            "non-private modes do not consult privacy parameters"
+        );
     }
 
     #[test]

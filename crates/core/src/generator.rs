@@ -24,7 +24,7 @@ use xmap_privacy::{exponential_mechanism, Sensitivity};
 
 /// How a source-domain rating value is carried onto its replacement item when building an
 /// AlterEgo profile.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum RatingTransfer {
     /// Carry the rating value verbatim — exactly the item-replacement step the paper
     /// describes (§4.3, Figure 3).
@@ -33,13 +33,8 @@ pub enum RatingTransfer {
     /// replacement item's mean. An implementation refinement (ablatable, see DESIGN.md):
     /// it prevents popularity differences between the two items from being misread as a
     /// like/dislike signal by the mean-centred CF predictors downstream.
+    #[default]
     MeanAdjusted,
-}
-
-impl Default for RatingTransfer {
-    fn default() -> Self {
-        RatingTransfer::MeanAdjusted
-    }
 }
 
 /// A user's artificial profile in the target domain.
@@ -104,7 +99,13 @@ impl ReplacementTable {
         source_domain: DomainId,
         target_domain: DomainId,
     ) -> AlterEgo {
-        self.map_profile_with(matrix, user, source_domain, target_domain, RatingTransfer::Raw)
+        self.map_profile_with(
+            matrix,
+            user,
+            source_domain,
+            target_domain,
+            RatingTransfer::Raw,
+        )
     }
 
     /// Like [`ReplacementTable::map_profile`] but with an explicit rating-transfer rule.
@@ -222,7 +223,9 @@ impl<'a> AlterEgoGenerator<'a> {
                 // certainty-weighted X-Sim as the score (still bounded in [-1, 1], so the
                 // global sensitivity of 2 is unchanged).
                 let scores: Vec<f64> = candidates.iter().map(|c| c.weighted_similarity()).collect();
-                let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(item.0) + 1)));
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(item.0) + 1)),
+                );
                 let idx = exponential_mechanism(
                     &mut rng,
                     &scores,
@@ -301,7 +304,13 @@ mod tests {
 
     fn setup(mode: XMapMode, epsilon: f64) -> (ToyScenario, XSimTable, XMapConfig) {
         let toy = ToyScenario::build();
-        let graph = SimilarityGraph::build(&toy.matrix, GraphConfig { top_k: None, ..Default::default() });
+        let graph = SimilarityGraph::build(
+            &toy.matrix,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         let (_, partition) = LayerPartition::from_graph(&graph);
         let table = XSimTable::compute(
             &graph,
@@ -325,7 +334,13 @@ mod tests {
     #[test]
     fn non_private_replacement_is_the_best_xsim_match() {
         let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         assert!(!gen.is_private());
         for (item, replacement) in gen.replacements().iter() {
             assert_eq!(Some(replacement), table.best_match(item).map(|e| e.item));
@@ -336,9 +351,18 @@ mod tests {
     #[test]
     fn alice_gets_a_book_alterego_despite_never_rating_books() {
         let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         let alter = gen.generate(users::ALICE);
-        assert!(!alter.is_empty(), "Alice's AlterEgo must contain mapped book ratings");
+        assert!(
+            !alter.is_empty(),
+            "Alice's AlterEgo must contain mapped book ratings"
+        );
         assert_eq!(alter.n_mapped, alter.profile.len());
         for &(item, value, _) in &alter.profile {
             assert_eq!(toy.matrix.item_domain(item), DomainId::TARGET);
@@ -349,7 +373,13 @@ mod tests {
     #[test]
     fn mapped_profile_preserves_rating_values_and_timesteps() {
         let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         let alter = gen.generate(users::ALICE);
         // Alice rated Interstellar 5.0 at t=0; its replacement entry must carry 5.0.
         let interstellar_replacement = gen.replacements().replacement(items::INTERSTELLAR);
@@ -366,7 +396,13 @@ mod tests {
     #[test]
     fn own_target_ratings_are_appended_and_override_mapped_ones() {
         let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         // Cecilia has genuinely rated The Forever War (5.0) and Dune (4.0): those real
         // ratings must appear exactly once each, overriding any mapped entry.
         let alter = gen.generate(users::CECILIA);
@@ -390,18 +426,33 @@ mod tests {
     #[test]
     fn user_with_no_source_profile_gets_only_their_target_ratings() {
         let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         // Eve rated only books.
         let alter = gen.generate(users::EVE);
         assert_eq!(alter.n_mapped, 0);
         assert_eq!(alter.profile.len(), 3);
-        assert!(alter.profile.iter().any(|&(i, _, _)| i == items::ENDERS_GAME));
+        assert!(alter
+            .profile
+            .iter()
+            .any(|&(i, _, _)| i == items::ENDERS_GAME));
     }
 
     #[test]
     fn private_replacements_stay_within_candidate_sets() {
         let (toy, table, config) = setup(XMapMode::XMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         assert!(gen.is_private());
         for (item, replacement) in gen.replacements().iter() {
             assert!(
@@ -414,8 +465,20 @@ mod tests {
     #[test]
     fn private_generation_is_deterministic_per_seed() {
         let (toy, table, config) = setup(XMapMode::XMapItemBased, 0.5);
-        let a = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
-        let b = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let a = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
+        let b = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         let pa: Vec<_> = a.replacements().iter().collect();
         let pb: Vec<_> = b.replacements().iter().collect();
         let mut pa = pa;
@@ -432,8 +495,20 @@ mod tests {
         // (the paper notes X-Map "inherently transforms to NX-Map" as ε grows, §6.3).
         let (toy, table, cfg_private) = setup(XMapMode::XMapItemBased, 100.0);
         let (_, _, cfg_plain) = setup(XMapMode::NxMapItemBased, 0.3);
-        let private = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, cfg_private);
-        let plain = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, cfg_plain);
+        let private = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            cfg_private,
+        );
+        let plain = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            cfg_plain,
+        );
         let mut agree = 0;
         let mut total = 0;
         for (item, rep) in plain.replacements().iter() {
@@ -443,13 +518,22 @@ mod tests {
             }
         }
         assert!(total > 0);
-        assert!(agree * 2 >= total, "with ε=100 most replacements should agree ({agree}/{total})");
+        assert!(
+            agree * 2 >= total,
+            "with ε=100 most replacements should agree ({agree}/{total})"
+        );
     }
 
     #[test]
     fn batch_generation_matches_individual_generation() {
         let (toy, table, config) = setup(XMapMode::NxMapItemBased, 0.3);
-        let gen = AlterEgoGenerator::new(&toy.matrix, &table, DomainId::SOURCE, DomainId::TARGET, config);
+        let gen = AlterEgoGenerator::new(
+            &toy.matrix,
+            &table,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config,
+        );
         let batch = gen.generate_batch(&[users::ALICE, users::BOB]);
         assert_eq!(batch.len(), 2);
         assert_eq!(batch[0], gen.generate(users::ALICE));

@@ -1,12 +1,14 @@
 //! The end-to-end X-Map pipeline (Figure 4): baseliner → extender → generator →
 //! recommender.
 //!
-//! [`XMapPipeline::fit`] runs the four offline components over an aggregated two-domain
-//! rating matrix and produces an [`XMapModel`] that can answer online queries: the
-//! AlterEgo of a user, predicted ratings for target-domain items, and top-N
-//! recommendations. Per-stage wall-clock durations and per-item work estimates are
-//! captured in [`PipelineStats`] — the scalability experiment (Figure 11) feeds the work
-//! estimates into the cluster simulator.
+//! Each component is a [`Stage`] executed by the `xmap-engine` [`Dataflow`] runner,
+//! which owns partitioning, pool execution and per-stage accounting (see `DESIGN.md`).
+//! [`XMapPipeline::fit`] chains the four stages over an aggregated two-domain rating
+//! matrix and produces an [`XMapModel`] that can answer online queries: the AlterEgo of
+//! a user, predicted ratings for target-domain items, and top-N recommendations.
+//! Per-stage wall-clock durations and the extender's per-partition task costs are
+//! captured in [`PipelineStats`] — the scalability experiment (Figure 11) replays those
+//! task costs on the cluster simulator.
 
 use crate::config::{XMapConfig, XMapMode};
 use crate::generator::{AlterEgo, AlterEgoGenerator, ReplacementTable};
@@ -17,8 +19,10 @@ use crate::recommend::{
 use crate::xsim::XSimTable;
 use crate::{Result, XMapError};
 use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
-use xmap_engine::{StageReport, StageTimer, WorkerPool};
-use xmap_graph::{BridgeIndex, GraphConfig, Layer, LayerPartition, SimilarityGraph};
+use xmap_engine::{Dataflow, Stage, StageContext, StageReport};
+use xmap_graph::{
+    BridgeIndex, GraphConfig, Layer, LayerPartition, MetaPathConfig, SimilarityGraph,
+};
 
 /// Summary statistics of a fitted pipeline.
 #[derive(Clone, Debug)]
@@ -35,8 +39,9 @@ pub struct PipelineStats {
     pub layer_counts: Vec<(DomainId, Layer, usize)>,
     /// Wall-clock duration of each pipeline stage.
     pub stage_durations: Vec<StageReport>,
-    /// Per-source-item work estimates (candidate counts) for the extension stage; the
-    /// scalability benchmark schedules these onto simulated machines.
+    /// Per-partition work estimates of the extension stage, recorded by the `Dataflow`
+    /// runner (one task per dataflow partition; data-derived, so identical for any
+    /// worker count). The scalability benchmark schedules these onto simulated machines.
     pub extension_task_costs: Vec<f64>,
     /// Number of ratings in the target-domain training matrix.
     pub n_target_ratings: usize,
@@ -120,6 +125,121 @@ impl XMapModel {
     }
 }
 
+/// Stage 1 — baseliner: builds the baseline similarity graph over the aggregated
+/// domains.
+struct BaselinerStage<'m> {
+    matrix: &'m RatingMatrix,
+    graph_config: GraphConfig,
+}
+
+impl Stage<()> for BaselinerStage<'_> {
+    type Out = SimilarityGraph;
+
+    fn name(&self) -> &'static str {
+        "baseliner"
+    }
+
+    fn run(&self, _input: (), _cx: &mut StageContext<'_>) -> SimilarityGraph {
+        SimilarityGraph::build(self.matrix, self.graph_config)
+    }
+}
+
+/// Stage 2 — extender: bridge detection, layer partition and the partition-batched
+/// cross-domain X-Sim table. This is the stage whose per-partition task costs drive the
+/// Figure 11 scalability simulation.
+struct ExtenderStage {
+    source: DomainId,
+    metapath: MetaPathConfig,
+}
+
+impl<'g> Stage<&'g SimilarityGraph> for ExtenderStage {
+    type Out = (BridgeIndex, LayerPartition, XSimTable);
+
+    fn name(&self) -> &'static str {
+        "extender"
+    }
+
+    fn run(
+        &self,
+        graph: &'g SimilarityGraph,
+        cx: &mut StageContext<'_>,
+    ) -> (BridgeIndex, LayerPartition, XSimTable) {
+        let bridges = BridgeIndex::from_graph(graph);
+        let partition = LayerPartition::compute(graph, &bridges);
+        let xsim = XSimTable::compute_batched(graph, &partition, self.source, self.metapath, cx);
+        (bridges, partition, xsim)
+    }
+}
+
+/// Stage 3 — generator: item replacements (PRS for the private modes).
+struct GeneratorStage<'m> {
+    matrix: &'m RatingMatrix,
+    source: DomainId,
+    target: DomainId,
+    config: XMapConfig,
+}
+
+impl<'x> Stage<&'x XSimTable> for GeneratorStage<'_> {
+    type Out = ReplacementTable;
+
+    fn name(&self) -> &'static str {
+        "generator"
+    }
+
+    fn run(&self, xsim: &'x XSimTable, _cx: &mut StageContext<'_>) -> ReplacementTable {
+        AlterEgoGenerator::new(self.matrix, xsim, self.source, self.target, self.config)
+            .replacements()
+            .clone()
+    }
+}
+
+/// Stage 4 — recommender: fits the target-domain CF model consuming AlterEgos.
+struct RecommenderStage {
+    config: XMapConfig,
+}
+
+impl Stage<RatingMatrix> for RecommenderStage {
+    type Out = Result<Box<dyn ProfileRecommender + Send + Sync>>;
+
+    fn name(&self) -> &'static str {
+        "recommender"
+    }
+
+    fn run(
+        &self,
+        target_matrix: RatingMatrix,
+        _cx: &mut StageContext<'_>,
+    ) -> Result<Box<dyn ProfileRecommender + Send + Sync>> {
+        let config = &self.config;
+        Ok(match config.mode {
+            XMapMode::NxMapItemBased => Box::new(ItemBasedRecommender::fit(
+                target_matrix,
+                config.k,
+                config.temporal_alpha,
+            )?)
+                as Box<dyn ProfileRecommender + Send + Sync>,
+            XMapMode::NxMapUserBased => {
+                Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
+            }
+            XMapMode::XMapItemBased => Box::new(PrivateItemBasedRecommender::fit(
+                target_matrix,
+                config.k,
+                config.privacy.epsilon_prime,
+                config.privacy.rho,
+                config.temporal_alpha,
+                config.seed,
+            )?),
+            XMapMode::XMapUserBased => Box::new(PrivateUserBasedRecommender::fit(
+                target_matrix,
+                config.k,
+                config.privacy.epsilon_prime,
+                config.privacy.rho,
+                config.seed,
+            )?),
+        })
+    }
+}
+
 /// Entry point for fitting X-Map models.
 pub struct XMapPipeline;
 
@@ -148,37 +268,38 @@ impl XMapPipeline {
             )));
         }
 
-        let timer = StageTimer::new();
-        let pool = WorkerPool::new(config.workers);
+        let flow = Dataflow::new(config.workers, config.partitions);
 
-        // --- Baseliner: the baseline similarity graph over the aggregated domains. ---
-        let graph = timer.run_stage("baseliner", || {
-            SimilarityGraph::build(
+        let graph = flow.run(
+            &BaselinerStage {
                 matrix,
-                GraphConfig {
+                graph_config: GraphConfig {
                     metric: config.metric,
                     top_k: Some(config.k),
                     min_similarity: 0.0,
                 },
-            )
-        });
+            },
+            (),
+        );
 
-        // --- Extender: bridges, layers and the cross-domain X-Sim table. ---
-        let (bridges, partition, xsim) = timer.run_stage("extender", || {
-            let bridges = BridgeIndex::from_graph(&graph);
-            let partition = LayerPartition::compute(&graph, &bridges);
-            let xsim = XSimTable::compute(&graph, &partition, source, config.metapath, &pool);
-            (bridges, partition, xsim)
-        });
+        let (bridges, partition, xsim) = flow.run(
+            &ExtenderStage {
+                source,
+                metapath: config.metapath,
+            },
+            &graph,
+        );
 
-        // --- Generator: item replacements (PRS for the private modes). ---
-        let replacements = timer.run_stage("generator", || {
-            AlterEgoGenerator::new(matrix, &xsim, source, target, config)
-                .replacements()
-                .clone()
-        });
+        let replacements = flow.run(
+            &GeneratorStage {
+                matrix,
+                source,
+                target,
+                config,
+            },
+            &xsim,
+        );
 
-        // --- Recommender: fit the target-domain CF model consuming AlterEgos. ---
         let target_matrix = matrix
             .filter(|r| matrix.item_domain(r.item) == target)
             .map_err(|_| XMapError::Data("target domain has no ratings".to_string()))?;
@@ -186,50 +307,18 @@ impl XMapPipeline {
         if n_target_ratings == 0 {
             return Err(XMapError::Data("target domain has no ratings".to_string()));
         }
-        let recommender: Box<dyn ProfileRecommender + Send + Sync> =
-            timer.run_stage("recommender", || -> Result<_> {
-                Ok(match config.mode {
-                    XMapMode::NxMapItemBased => Box::new(ItemBasedRecommender::fit(
-                        target_matrix,
-                        config.k,
-                        config.temporal_alpha,
-                    )?)
-                        as Box<dyn ProfileRecommender + Send + Sync>,
-                    XMapMode::NxMapUserBased => {
-                        Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
-                    }
-                    XMapMode::XMapItemBased => Box::new(PrivateItemBasedRecommender::fit(
-                        target_matrix,
-                        config.k,
-                        config.privacy.epsilon_prime,
-                        config.privacy.rho,
-                        config.temporal_alpha,
-                        config.seed,
-                    )?),
-                    XMapMode::XMapUserBased => Box::new(PrivateUserBasedRecommender::fit(
-                        target_matrix,
-                        config.k,
-                        config.privacy.epsilon_prime,
-                        config.privacy.rho,
-                        config.seed,
-                    )?),
-                })
-            })?;
+        let recommender = flow.run(&RecommenderStage { config }, target_matrix)?;
 
-        // Per-item work estimates for the scalability simulation: candidate fan-out of
-        // each source item during the extension stage.
-        let extension_task_costs: Vec<f64> = graph
-            .items()
-            .filter(|&i| graph.item_domain(i) == source)
-            .map(|i| 1.0 + graph.edges(i).len() as f64 + xsim.candidates(i).len() as f64)
-            .collect();
+        // The extender's per-partition task bag, recorded by the Dataflow runner — the
+        // scalability simulation replays exactly these tasks.
+        let extension_task_costs = flow.stage_costs("extender").unwrap_or_default();
 
         let stats = PipelineStats {
             n_standard_hetero_pairs: graph.n_heterogeneous_pairs(),
             n_xsim_hetero_pairs: xsim.n_heterogeneous_pairs(),
             n_bridge_items: bridges.n_bridges(),
             layer_counts: partition.cell_counts(),
-            stage_durations: timer.reports(),
+            stage_durations: flow.reports(),
             extension_task_costs,
             n_target_ratings,
         };
@@ -304,10 +393,20 @@ mod tests {
         )
         .unwrap();
         let stats = model.stats();
-        let stage_names: Vec<&str> = stats.stage_durations.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(stage_names, vec!["baseliner", "extender", "generator", "recommender"]);
+        let stage_names: Vec<&str> = stats
+            .stage_durations
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        assert_eq!(
+            stage_names,
+            vec!["baseliner", "extender", "generator", "recommender"]
+        );
         assert!(stats.n_xsim_hetero_pairs >= stats.n_standard_hetero_pairs);
-        assert!(stats.n_bridge_items >= 2, "Inception and at least one book are bridges");
+        assert!(
+            stats.n_bridge_items >= 2,
+            "Inception and at least one book are bridges"
+        );
         assert!(!stats.extension_task_costs.is_empty());
         assert!(stats.n_target_ratings > 0);
         let total_layer_items: usize = stats.layer_counts.iter().map(|(_, _, c)| c).sum();
@@ -338,7 +437,10 @@ mod tests {
             let user = ds.overlap_users[0];
             let item = ds.target_items()[0];
             let pred = model.predict(user, item);
-            assert!((1.0..=5.0).contains(&pred), "{mode:?} produced out-of-scale prediction {pred}");
+            assert!(
+                (1.0..=5.0).contains(&pred),
+                "{mode:?} produced out-of-scale prediction {pred}"
+            );
             let recs = model.recommend(user, 5);
             for (i, _) in recs {
                 assert_eq!(ds.matrix.item_domain(i), DomainId::TARGET);
@@ -370,12 +472,22 @@ mod tests {
         let toy = ToyScenario::build();
         // same source and target
         assert!(matches!(
-            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::SOURCE, XMapConfig::default()),
+            XMapPipeline::fit(
+                &toy.matrix,
+                DomainId::SOURCE,
+                DomainId::SOURCE,
+                XMapConfig::default()
+            ),
             Err(XMapError::InvalidConfig(_))
         ));
         // missing domain
         assert!(matches!(
-            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId(7), XMapConfig::default()),
+            XMapPipeline::fit(
+                &toy.matrix,
+                DomainId::SOURCE,
+                DomainId(7),
+                XMapConfig::default()
+            ),
             Err(XMapError::Data(_))
         ));
         // invalid configuration
@@ -407,11 +519,22 @@ mod tests {
         .unwrap();
         let user = ds.source_only_users[0];
         let alter = model.alterego(user);
-        assert!(!alter.is_empty(), "source-only user should still get an AlterEgo");
-        let preds: Vec<f64> = ds.target_items().iter().take(20).map(|&i| model.predict(user, i)).collect();
+        assert!(
+            !alter.is_empty(),
+            "source-only user should still get an AlterEgo"
+        );
+        let preds: Vec<f64> = ds
+            .target_items()
+            .iter()
+            .take(20)
+            .map(|&i| model.predict(user, i))
+            .collect();
         let min = preds.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = preds.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 1e-6, "predictions should differ across items (got constant {min})");
+        assert!(
+            max - min > 1e-6,
+            "predictions should differ across items (got constant {min})"
+        );
     }
 
     #[test]

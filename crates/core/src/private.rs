@@ -13,8 +13,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use xmap_cf::{ItemId, RatingMatrix};
-use xmap_privacy::{laplace_noise, similarity_sensitivity, truncated_similarity};
 use xmap_privacy::sensitivity::truncation_width;
+use xmap_privacy::{laplace_noise, similarity_sensitivity, truncated_similarity};
 
 /// A candidate neighbour of some target item.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -95,7 +95,14 @@ pub fn private_neighbor_selection<R: Rng + ?Sized>(
         .map(|c| c.sensitivity)
         .fold(0.0f64, f64::max)
         .max(1e-6);
-    let w = truncation_width(sim_k, k, epsilon_prime, max_sensitivity, vector_len.max(k + 1), rho);
+    let w = truncation_width(
+        sim_k,
+        k,
+        epsilon_prime,
+        max_sensitivity,
+        vector_len.max(k + 1),
+        rho,
+    );
 
     // Per-candidate exponents of the exponential mechanism, numerically stabilised by
     // subtracting the maximum exponent before exponentiation.
@@ -115,7 +122,10 @@ pub fn private_neighbor_selection<R: Rng + ?Sized>(
             .iter()
             .map(|&i| exponents[i])
             .fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = remaining.iter().map(|&i| (exponents[i] - max_e).exp()).collect();
+        let weights: Vec<f64> = remaining
+            .iter()
+            .map(|&i| (exponents[i] - max_e).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut u: f64 = rng.gen_range(0.0..total);
         let mut picked_pos = remaining.len() - 1;
@@ -172,7 +182,10 @@ mod tests {
         items.dedup();
         assert_eq!(items.len(), 4);
         for p in &picked {
-            assert!(cands.contains(p), "selected candidate must come from the input");
+            assert!(
+                cands.contains(p),
+                "selected candidate must come from the input"
+            );
         }
     }
 
@@ -249,10 +262,16 @@ mod tests {
         };
         let small = avg_noise(0.01, 0.8, &mut rng);
         let large = avg_noise(0.5, 0.8, &mut rng);
-        assert!(large > 10.0 * small, "noise must grow with sensitivity: {large} vs {small}");
+        assert!(
+            large > 10.0 * small,
+            "noise must grow with sensitivity: {large} vs {small}"
+        );
         let strict = avg_noise(0.1, 0.1, &mut rng);
         let loose = avg_noise(0.1, 2.0, &mut rng);
-        assert!(strict > 5.0 * loose, "noise must grow as ε′ shrinks: {strict} vs {loose}");
+        assert!(
+            strict > 5.0 * loose,
+            "noise must grow as ε′ shrinks: {strict} vs {loose}"
+        );
     }
 
     #[test]

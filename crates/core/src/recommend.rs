@@ -13,7 +13,9 @@
 //! * [`PrivateUserBasedRecommender`] — X-Map-ub: the user-based variant with the same
 //!   mechanisms adapted to user–user similarities (global sensitivity 2, see DESIGN.md).
 
-use crate::private::{pncf_noisy_similarity, private_neighbor_selection, pair_sensitivity, ScoredCandidate};
+use crate::private::{
+    pair_sensitivity, pncf_noisy_similarity, private_neighbor_selection, ScoredCandidate,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -103,7 +105,12 @@ impl ProfileRecommender for ItemBasedRecommender {
     }
 
     fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
-        recommend_from_neighbors(profile, n, |i| self.neighbors(i), |p, i| self.predict_impl(p, i))
+        recommend_from_neighbors(
+            profile,
+            n,
+            |i| self.neighbors(i),
+            |p, i| self.predict_impl(p, i),
+        )
     }
 
     fn label(&self) -> &'static str {
@@ -125,7 +132,9 @@ impl UserBasedRecommender {
     /// Creates the recommender over the target-domain training matrix.
     pub fn fit(target: RatingMatrix, k: usize) -> crate::Result<Self> {
         if k == 0 {
-            return Err(crate::XMapError::InvalidConfig("k must be at least 1".into()));
+            return Err(crate::XMapError::InvalidConfig(
+                "k must be at least 1".into(),
+            ));
         }
         Ok(UserBasedRecommender { target, k })
     }
@@ -242,7 +251,9 @@ impl PrivateItemBasedRecommender {
     fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
         // Deterministic per (seed, item): repeated queries for the same item release the
         // same randomised output rather than averaging the noise away.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (0x5851_f42d_4c95_7f2du64.wrapping_mul(u64::from(item.0) + 1)));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (0x5851_f42d_4c95_7f2du64.wrapping_mul(u64::from(item.0) + 1)),
+        );
         let selected = private_neighbor_selection(
             &mut rng,
             self.candidates(item),
@@ -257,8 +268,13 @@ impl PrivateItemBasedRecommender {
                 // Clamping the noisy similarity back into the metric's public range is
                 // post-processing and therefore privacy-free; it bounds the damage of
                 // large Laplace draws on sparsely supported pairs.
-                let noisy = pncf_noisy_similarity(&mut rng, c.similarity, c.sensitivity, self.epsilon_prime)
-                    .clamp(-1.0, 1.0);
+                let noisy = pncf_noisy_similarity(
+                    &mut rng,
+                    c.similarity,
+                    c.sensitivity,
+                    self.epsilon_prime,
+                )
+                .clamp(-1.0, 1.0);
                 (c.item, noisy)
             })
             .collect();
@@ -319,9 +335,17 @@ pub struct PrivateUserBasedRecommender {
 
 impl PrivateUserBasedRecommender {
     /// Creates the recommender.
-    pub fn fit(target: RatingMatrix, k: usize, epsilon_prime: f64, rho: f64, seed: u64) -> crate::Result<Self> {
+    pub fn fit(
+        target: RatingMatrix,
+        k: usize,
+        epsilon_prime: f64,
+        rho: f64,
+        seed: u64,
+    ) -> crate::Result<Self> {
         if k == 0 {
-            return Err(crate::XMapError::InvalidConfig("k must be at least 1".into()));
+            return Err(crate::XMapError::InvalidConfig(
+                "k must be at least 1".into(),
+            ));
         }
         Ok(PrivateUserBasedRecommender {
             target,
@@ -443,7 +467,11 @@ fn predict_item_based(
     transform: impl Fn(ItemId, f64) -> f64,
 ) -> f64 {
     let item_avg = target.item_average(item);
-    let now: Timestep = profile.iter().map(|&(_, _, t)| t).max().unwrap_or(Timestep(0));
+    let now: Timestep = profile
+        .iter()
+        .map(|&(_, _, t)| t)
+        .max()
+        .unwrap_or(Timestep(0));
     let ratings: HashMap<ItemId, (f64, Timestep)> =
         profile.iter().map(|&(i, v, t)| (i, (v, t))).collect();
     let mut num = 0.0;
@@ -460,7 +488,11 @@ fn predict_item_based(
             den += s.abs() * weight;
         }
     }
-    let raw = if den < 1e-12 { item_avg } else { item_avg + num / den };
+    let raw = if den < 1e-12 {
+        item_avg
+    } else {
+        item_avg + num / den
+    };
     target.scale().clamp(raw)
 }
 
@@ -591,12 +623,18 @@ mod tests {
         let p = cluster_profile();
         let a = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 7).unwrap();
         let b = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 7).unwrap();
-        assert_eq!(a.predict_for_profile(&p, ItemId(2)), b.predict_for_profile(&p, ItemId(2)));
+        assert_eq!(
+            a.predict_for_profile(&p, ItemId(2)),
+            b.predict_for_profile(&p, ItemId(2))
+        );
         let c = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 1234).unwrap();
         // different seeds usually give different noise; check over several items
         let differs = (0..6u32)
             .any(|i| a.predict_for_profile(&p, ItemId(i)) != c.predict_for_profile(&p, ItemId(i)));
-        assert!(differs, "different seeds should perturb at least one prediction");
+        assert!(
+            differs,
+            "different seeds should perturb at least one prediction"
+        );
     }
 
     #[test]
@@ -606,7 +644,8 @@ mod tests {
         // ground truth: item 2 should be ~5, item 4 should be ~1
         let truth = [(ItemId(2), 5.0), (ItemId(4), 1.0)];
         let error_for = |eps: f64, seed: u64| {
-            let rec = PrivateItemBasedRecommender::fit(target.clone(), 3, eps, 0.05, 0.0, seed).unwrap();
+            let rec =
+                PrivateItemBasedRecommender::fit(target.clone(), 3, eps, 0.05, 0.0, seed).unwrap();
             truth
                 .iter()
                 .map(|&(i, t)| (rec.predict_for_profile(&p, i) - t).abs())
@@ -648,10 +687,16 @@ mod tests {
         let flat = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
         let decayed = ItemBasedRecommender::fit(target_matrix(), 5, 0.3).unwrap();
         // profile: old high rating on item 0, recent low rating on item 1
-        let profile: Profile = vec![(ItemId(0), 5.0, Timestep(0)), (ItemId(1), 1.0, Timestep(50))];
+        let profile: Profile = vec![
+            (ItemId(0), 5.0, Timestep(0)),
+            (ItemId(1), 1.0, Timestep(50)),
+        ];
         let p_flat = flat.predict_for_profile(&profile, ItemId(2));
         let p_decay = decayed.predict_for_profile(&profile, ItemId(2));
-        assert!(p_decay <= p_flat + 1e-9, "decay must favour the recent low rating: {p_decay} vs {p_flat}");
+        assert!(
+            p_decay <= p_flat + 1e-9,
+            "decay must favour the recent low rating: {p_decay} vs {p_flat}"
+        );
     }
 
     #[test]

@@ -14,12 +14,27 @@
 //!
 //! The [`XSimTable`] holds, for every source-domain item, its reachable target-domain
 //! items with X-Sim values — exactly what the extender hands to the generator (§5.2).
+//!
+//! Two computation paths produce identical tables:
+//!
+//! * [`XSimTable::compute`] — the reference per-pair path: meta-paths are materialised
+//!   by `xmap-graph` and every hop's statistics are re-resolved through
+//!   [`SimilarityGraph::edge_between`]. This is the historical implementation, kept as
+//!   the equivalence oracle and microbench baseline.
+//! * [`XSimTable::compute_batched`] — the production path: source items are processed in
+//!   dataflow partitions, each partition walking a **frontier expansion** directly over
+//!   the CSR arena. The walk carries the running path-similarity numerator/denominator
+//!   and certainty product along the DFS, accumulating per-destination sums in scratch
+//!   buffers reused across the partition's source items — no path materialisation and no
+//!   per-hop edge re-resolution.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use xmap_cf::{DomainId, ItemId};
-use xmap_engine::WorkerPool;
-use xmap_graph::{enumerate_cross_domain_paths, LayerPartition, MetaPath, MetaPathConfig, SimilarityGraph};
+use xmap_engine::{StageContext, WorkerPool};
+use xmap_graph::{
+    enumerate_cross_domain_paths, LayerPartition, MetaPath, MetaPathConfig, SimilarityGraph,
+};
 
 /// One heterogeneous similarity entry: a target-domain item with its X-Sim value.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -53,8 +68,8 @@ pub fn path_similarity(graph: &SimilarityGraph, path: &MetaPath) -> Option<f64> 
     let mut num = 0.0;
     let mut den = 0.0;
     for (a, b) in path.hops() {
-        let edge = graph.edge_between(a, b).or_else(|| graph.edge_between(b, a))?;
-        let s = edge.stats.significance as f64;
+        let edge = graph.edge_between(a, b)?;
+        let s = f64::from(edge.stats.significance);
         num += s * edge.stats.similarity;
         den += s;
     }
@@ -69,7 +84,7 @@ pub fn path_similarity(graph: &SimilarityGraph, path: &MetaPath) -> Option<f64> 
 pub fn path_certainty(graph: &SimilarityGraph, path: &MetaPath) -> f64 {
     let mut certainty = 1.0;
     for (a, b) in path.hops() {
-        let edge = match graph.edge_between(a, b).or_else(|| graph.edge_between(b, a)) {
+        let edge = match graph.edge_between(a, b) {
             Some(e) => e,
             None => return 0.0,
         };
@@ -107,9 +122,135 @@ pub struct XSimTable {
     source_domain: Option<DomainId>,
 }
 
+/// Per-partition scratch for the batched frontier expansion: per-destination
+/// accumulators indexed by dense item id, reset in `O(touched)` between source items.
+struct FrontierScratch {
+    /// Σ certainty · path-similarity over valid paths, per destination.
+    acc_num: Vec<f64>,
+    /// Σ certainty over valid paths (the Definition 6 denominator), per destination.
+    acc_den: Vec<f64>,
+    /// Σ certainty over *all* paths (the entry's certainty before the cap), per destination.
+    acc_certainty: Vec<f64>,
+    /// Number of paths reaching each destination (valid or not).
+    acc_paths: Vec<u32>,
+    /// Destinations touched by the current source item.
+    touched: Vec<ItemId>,
+    /// The current DFS path (at most one item per layer, so at most 6 entries).
+    visited: Vec<ItemId>,
+    /// Paths recorded so far for the current source item (the `max_paths` budget).
+    recorded: usize,
+}
+
+impl FrontierScratch {
+    fn new(n_items: usize) -> Self {
+        FrontierScratch {
+            acc_num: vec![0.0; n_items],
+            acc_den: vec![0.0; n_items],
+            acc_certainty: vec![0.0; n_items],
+            acc_paths: vec![0; n_items],
+            touched: Vec::new(),
+            visited: Vec::with_capacity(6),
+            recorded: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        for dest in self.touched.drain(..) {
+            let ix = dest.index();
+            self.acc_num[ix] = 0.0;
+            self.acc_den[ix] = 0.0;
+            self.acc_certainty[ix] = 0.0;
+            self.acc_paths[ix] = 0;
+        }
+        self.visited.clear();
+        self.recorded = 0;
+    }
+
+    fn record_path(&mut self, dest: ItemId, num: f64, den: f64, certainty: f64) {
+        let ix = dest.index();
+        if self.acc_paths[ix] == 0 {
+            self.touched.push(dest);
+        }
+        self.acc_paths[ix] += 1;
+        self.acc_certainty[ix] += certainty;
+        if certainty > 0.0 && den > 0.0 {
+            self.acc_num[ix] += certainty * (num / den);
+            self.acc_den[ix] += certainty;
+        }
+        self.recorded += 1;
+    }
+}
+
+/// DFS over the CSR arena mirroring the pruned meta-path enumeration of
+/// `xmap-graph`, but carrying the running path aggregates instead of materialising
+/// paths: `num`/`den` are the significance-weighted similarity sums along the current
+/// path (Definition 3) and `certainty` the product of normalised significances
+/// (Definition 5). Every hop reads its statistics once from the edge it traverses —
+/// no `edge_between` re-resolution.
+#[allow(clippy::too_many_arguments)]
+fn frontier_dfs(
+    graph: &SimilarityGraph,
+    partition: &LayerPartition,
+    source_domain: DomainId,
+    config: MetaPathConfig,
+    here: ItemId,
+    num: f64,
+    den: f64,
+    certainty: f64,
+    scratch: &mut FrontierScratch,
+) {
+    if scratch.recorded >= config.max_paths {
+        return;
+    }
+    let here_rank = partition.path_rank(here, source_domain);
+    if here_rank >= 5 {
+        return; // the far NN layer is terminal
+    }
+
+    let mut taken = 0usize;
+    for edge in graph.neighbors(here).by_similarity() {
+        if taken >= config.per_layer_top_k || scratch.recorded >= config.max_paths {
+            break;
+        }
+        let next = edge.to;
+        if scratch.visited.contains(&next) {
+            continue;
+        }
+        if partition.path_rank(next, source_domain) != here_rank + 1 {
+            continue;
+        }
+        taken += 1;
+        let s = f64::from(edge.stats.significance);
+        let next_num = num + s * edge.stats.similarity;
+        let next_den = den + s;
+        let next_certainty = certainty * edge.normalized_significance();
+        scratch.visited.push(next);
+        if partition.domain(next) != source_domain {
+            scratch.record_path(next, next_num, next_den, next_certainty);
+        }
+        frontier_dfs(
+            graph,
+            partition,
+            source_domain,
+            config,
+            next,
+            next_num,
+            next_den,
+            next_certainty,
+            scratch,
+        );
+        scratch.visited.pop();
+    }
+}
+
 impl XSimTable {
-    /// Computes the table for every item of `source_domain` (the extender's cross-domain
-    /// step). The per-item work is independent, so it is distributed over `pool`.
+    /// Computes the table for every item of `source_domain` through the reference
+    /// per-pair path: meta-paths are materialised and re-aggregated per destination.
+    /// The per-item work is independent, so it is distributed over `pool`.
+    ///
+    /// [`XSimTable::compute_batched`] produces the identical table via frontier
+    /// expansion and is what the pipeline's extender stage runs; this entry point is
+    /// the equivalence oracle and the microbench baseline.
     pub fn compute(
         graph: &SimilarityGraph,
         partition: &LayerPartition,
@@ -123,13 +264,136 @@ impl XSimTable {
             .collect();
 
         let per_item: Vec<(ItemId, Vec<XSimEntry>)> = pool.parallel_map(&source_items, |&item| {
-            (item, Self::entries_for_item(graph, partition, item, source_domain, metapath))
+            (
+                item,
+                Self::entries_for_item(graph, partition, item, source_domain, metapath),
+            )
         });
 
         XSimTable {
-            entries: per_item.into_iter().filter(|(_, v)| !v.is_empty()).collect(),
+            entries: per_item
+                .into_iter()
+                .filter(|(_, v)| !v.is_empty())
+                .collect(),
             source_domain: Some(source_domain),
         }
+    }
+
+    /// Computes the table through partition-batched frontier expansion over the CSR
+    /// arena — the production extender.
+    ///
+    /// Source items are split into the dataflow's partitions; each partition is one
+    /// pool task that reuses a [`FrontierScratch`] across its items. The recorded
+    /// per-partition task cost is the same work estimate the historical pipeline
+    /// attributed to each source item (`1 + degree + candidates`), summed over the
+    /// partition, so the cluster simulator replays exactly this stage's task bag.
+    pub fn compute_batched(
+        graph: &SimilarityGraph,
+        partition: &LayerPartition,
+        source_domain: DomainId,
+        metapath: MetaPathConfig,
+        cx: &mut StageContext<'_>,
+    ) -> Self {
+        let source_items: Vec<ItemId> = graph
+            .items()
+            .filter(|&i| graph.item_domain(i) == source_domain)
+            .collect();
+
+        let per_partition = cx.map_partitions(
+            source_items,
+            |item| item.0,
+            |_ix, items| {
+                // Partitions can outnumber source items; empty ones must not pay the
+                // O(n_items) scratch initialisation.
+                if items.is_empty() {
+                    return (Vec::new(), 0.0);
+                }
+                let mut scratch = FrontierScratch::new(graph.n_items());
+                let mut out: Vec<(ItemId, Vec<XSimEntry>)> = Vec::new();
+                let mut cost = 0.0f64;
+                for &item in items {
+                    let entries = Self::batched_entries_for_item(
+                        graph,
+                        partition,
+                        item,
+                        source_domain,
+                        metapath,
+                        &mut scratch,
+                    );
+                    cost += 1.0 + graph.degree(item) as f64 + entries.len() as f64;
+                    if !entries.is_empty() {
+                        out.push((item, entries));
+                    }
+                }
+                (out, cost)
+            },
+        );
+
+        XSimTable {
+            entries: per_partition.into_iter().flatten().collect(),
+            source_domain: Some(source_domain),
+        }
+    }
+
+    /// One source item of the batched path: frontier expansion into `scratch`, then
+    /// entry emission. Produces exactly the entries of [`XSimTable::entries_for_item`].
+    fn batched_entries_for_item(
+        graph: &SimilarityGraph,
+        partition: &LayerPartition,
+        item: ItemId,
+        source_domain: DomainId,
+        metapath: MetaPathConfig,
+        scratch: &mut FrontierScratch,
+    ) -> Vec<XSimEntry> {
+        scratch.reset();
+        scratch.visited.push(item);
+        frontier_dfs(
+            graph,
+            partition,
+            source_domain,
+            metapath,
+            item,
+            0.0,
+            0.0,
+            1.0,
+            scratch,
+        );
+        scratch.visited.pop();
+
+        // Direct heterogeneous edges keep their baseline similarity (the meta-path
+        // accumulators only fill in pairs without a direct edge, §3.3).
+        let mut entries: Vec<XSimEntry> = Vec::new();
+        for e in graph.neighbors(item).iter() {
+            if graph.item_domain(e.to) != source_domain {
+                entries.push(XSimEntry {
+                    item: e.to,
+                    similarity: e.stats.similarity,
+                    certainty: e.normalized_significance(),
+                    n_paths: 1,
+                });
+            }
+        }
+        for &dest in &scratch.touched {
+            if graph.edge_between(item, dest).is_some() {
+                continue; // direct pairs already emitted
+            }
+            let ix = dest.index();
+            if scratch.acc_den[ix] > 0.0 {
+                entries.push(XSimEntry {
+                    item: dest,
+                    similarity: (scratch.acc_num[ix] / scratch.acc_den[ix]).clamp(-1.0, 1.0),
+                    certainty: scratch.acc_certainty[ix].min(1.0),
+                    n_paths: scratch.acc_paths[ix] as usize,
+                });
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.weighted_similarity()
+                .partial_cmp(&a.weighted_similarity())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        entries
     }
 
     fn entries_for_item(
@@ -142,7 +406,7 @@ impl XSimTable {
         // Direct heterogeneous edges keep their baseline similarity, with the edge's
         // normalised weighted significance as the certainty.
         let mut direct: HashMap<ItemId, (f64, f64)> = HashMap::new();
-        for e in graph.edges(item) {
+        for e in graph.neighbors(item).iter() {
             if graph.item_domain(e.to) != source_domain {
                 direct.insert(e.to, (e.stats.similarity, e.normalized_significance()));
             }
@@ -232,7 +496,13 @@ mod tests {
 
     fn toy_graph() -> (SimilarityGraph, LayerPartition) {
         let toy = ToyScenario::build();
-        let graph = SimilarityGraph::build(&toy.matrix, GraphConfig { top_k: None, ..Default::default() });
+        let graph = SimilarityGraph::build(
+            &toy.matrix,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         let (_, partition) = LayerPartition::from_graph(&graph);
         (graph, partition)
     }
@@ -319,7 +589,10 @@ mod tests {
                 assert!(e.n_paths >= 1);
             }
         }
-        assert!(table.n_connected_items() <= 3, "only source items can be table keys");
+        assert!(
+            table.n_connected_items() <= 3,
+            "only source items can be table keys"
+        );
     }
 
     #[test]
@@ -350,7 +623,11 @@ mod tests {
     fn path_similarity_is_weighted_mean_of_hop_similarities() {
         let (graph, _) = toy_graph();
         let path = MetaPath {
-            items: vec![items::INTERSTELLAR, items::INCEPTION, items::THE_FOREVER_WAR],
+            items: vec![
+                items::INTERSTELLAR,
+                items::INCEPTION,
+                items::THE_FOREVER_WAR,
+            ],
         };
         if let Some(sp) = path_similarity(&graph, &path) {
             let s1 = graph
@@ -363,7 +640,12 @@ mod tests {
                 .unwrap()
                 .stats
                 .similarity;
-            assert!(sp >= s1.min(s2) - 1e-9 && sp <= s1.max(s2) + 1e-9, "sp {sp} outside [{}, {}]", s1.min(s2), s1.max(s2));
+            assert!(
+                sp >= s1.min(s2) - 1e-9 && sp <= s1.max(s2) + 1e-9,
+                "sp {sp} outside [{}, {}]",
+                s1.min(s2),
+                s1.max(s2)
+            );
         }
     }
 
@@ -374,7 +656,10 @@ mod tests {
         let bogus = MetaPath {
             items: vec![items::INTERSTELLAR, items::ENDERS_GAME],
         };
-        if graph.edge_between(items::INTERSTELLAR, items::ENDERS_GAME).is_none() {
+        if graph
+            .edge_between(items::INTERSTELLAR, items::ENDERS_GAME)
+            .is_none()
+        {
             assert_eq!(path_certainty(&graph, &bogus), 0.0);
             assert!(path_similarity(&graph, &bogus).is_none());
             assert!(aggregate_paths(&graph, &[&bogus]).is_none());
@@ -384,18 +669,126 @@ mod tests {
     #[test]
     fn parallel_and_sequential_tables_agree() {
         let (graph, partition) = toy_graph();
-        let seq = XSimTable::compute(&graph, &partition, DomainId::SOURCE, MetaPathConfig::default(), &WorkerPool::new(1));
-        let par = XSimTable::compute(&graph, &partition, DomainId::SOURCE, MetaPathConfig::default(), &WorkerPool::new(4));
+        let seq = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
+        let par = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(4),
+        );
         assert_eq!(seq.n_heterogeneous_pairs(), par.n_heterogeneous_pairs());
         for (item, cands) in seq.iter() {
             assert_eq!(par.candidates(item), cands);
         }
     }
 
+    fn batched_table(
+        graph: &SimilarityGraph,
+        partition: &LayerPartition,
+        metapath: MetaPathConfig,
+        workers: usize,
+        partitions: usize,
+    ) -> XSimTable {
+        let flow = xmap_engine::Dataflow::new(workers, partitions);
+        flow.run(
+            &xmap_engine::fn_stage(
+                "extender",
+                |g: &SimilarityGraph, cx: &mut StageContext<'_>| {
+                    XSimTable::compute_batched(g, partition, DomainId::SOURCE, metapath, cx)
+                },
+            ),
+            graph,
+        )
+    }
+
+    #[test]
+    fn batched_frontier_matches_reference_on_toy_graph() {
+        let (graph, partition) = toy_graph();
+        let reference = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
+        for (workers, partitions) in [(1, 1), (1, 4), (4, 8)] {
+            let batched = batched_table(
+                &graph,
+                &partition,
+                MetaPathConfig::default(),
+                workers,
+                partitions,
+            );
+            assert_eq!(batched.n_connected_items(), reference.n_connected_items());
+            assert_eq!(
+                batched.n_heterogeneous_pairs(),
+                reference.n_heterogeneous_pairs()
+            );
+            for (item, cands) in reference.iter() {
+                assert_eq!(
+                    batched.candidates(item),
+                    cands,
+                    "batched extender diverged for {item} ({workers} workers, {partitions} partitions)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_frontier_matches_reference_on_synthetic_data() {
+        use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+        use xmap_graph::SimilarityGraph;
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let graph = SimilarityGraph::build(
+            &ds.matrix,
+            GraphConfig {
+                top_k: Some(10),
+                ..Default::default()
+            },
+        );
+        let (_, partition) = LayerPartition::from_graph(&graph);
+        for metapath in [
+            MetaPathConfig::default(),
+            MetaPathConfig {
+                per_layer_top_k: 3,
+                max_paths: 50,
+            },
+        ] {
+            let reference = XSimTable::compute(
+                &graph,
+                &partition,
+                DomainId::SOURCE,
+                metapath,
+                &WorkerPool::new(1),
+            );
+            let batched = batched_table(&graph, &partition, metapath, 2, 16);
+            assert_eq!(
+                batched.n_heterogeneous_pairs(),
+                reference.n_heterogeneous_pairs()
+            );
+            for (item, cands) in reference.iter() {
+                assert_eq!(batched.candidates(item), cands, "diverged for {item}");
+            }
+        }
+    }
+
     #[test]
     fn unknown_item_has_no_candidates() {
         let (graph, partition) = toy_graph();
-        let table = XSimTable::compute(&graph, &partition, DomainId::SOURCE, MetaPathConfig::default(), &WorkerPool::new(1));
+        let table = XSimTable::compute(
+            &graph,
+            &partition,
+            DomainId::SOURCE,
+            MetaPathConfig::default(),
+            &WorkerPool::new(1),
+        );
         assert!(table.candidates(ItemId(999)).is_empty());
         assert!(table.best_match(ItemId(999)).is_none());
     }

@@ -85,8 +85,14 @@ impl GenreTaggedDataset {
     /// correlated within genres (the structure that makes the genre partition a
     /// meaningful two-domain problem).
     pub fn generate(config: GenreDatasetConfig) -> Self {
-        assert!(config.n_items > 0 && config.n_users > 0, "dataset must be non-empty");
-        assert!(config.max_genres_per_item >= 1, "items need at least one genre");
+        assert!(
+            config.n_items > 0 && config.n_users > 0,
+            "dataset must be non-empty"
+        );
+        assert!(
+            config.max_genres_per_item >= 1,
+            "items need at least one genre"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = RatingScale::FIVE_STAR;
         let n_genres = MOVIELENS_GENRES.len();
@@ -122,7 +128,7 @@ impl GenreTaggedDataset {
 
         let mut builder =
             RatingMatrixBuilder::with_scale(scale).with_dimensions(config.n_users, config.n_items);
-        for u in 0..config.n_users {
+        for (u, prefs) in user_prefs.iter().enumerate() {
             let mut rated = std::collections::HashSet::new();
             for t in 0..config.ratings_per_user.min(config.n_items) {
                 let mut item = rng.gen_range(0..config.n_items);
@@ -137,7 +143,7 @@ impl GenreTaggedDataset {
                 rated.insert(item);
                 let genres = &item_genres[item];
                 let affinity: f64 =
-                    genres.iter().map(|&g| user_prefs[u][g]).sum::<f64>() / genres.len() as f64;
+                    genres.iter().map(|&g| prefs[g]).sum::<f64>() / genres.len() as f64;
                 let noise: f64 = rng.gen_range(-config.noise..config.noise);
                 let value = scale.clamp((3.0 + 2.0 * affinity + noise).round());
                 builder
@@ -312,7 +318,9 @@ mod tests {
                 counts[g] += 1;
             }
         }
-        let top_genre = (0..counts.len()).max_by_key(|&g| (counts[g], usize::MAX - g)).unwrap();
+        let top_genre = (0..counts.len())
+            .max_by_key(|&g| (counts[g], usize::MAX - g))
+            .unwrap();
         assert!(partition.d1_genres.contains(&top_genre));
         // the two genre sets are disjoint and together cover all genres
         for g in &partition.d1_genres {
@@ -329,8 +337,14 @@ mod tests {
         let ds = GenreTaggedDataset::generate(GenreDatasetConfig::default());
         let partition = GenrePartition::compute(&ds.item_genres);
         for (item, genres) in ds.item_genres.iter().enumerate() {
-            let o1 = genres.iter().filter(|g| partition.d1_genres.contains(g)).count();
-            let o2 = genres.iter().filter(|g| partition.d2_genres.contains(g)).count();
+            let o1 = genres
+                .iter()
+                .filter(|g| partition.d1_genres.contains(g))
+                .count();
+            let o2 = genres
+                .iter()
+                .filter(|g| partition.d2_genres.contains(g))
+                .count();
             match partition.item_domain[item] {
                 DomainId::SOURCE => assert!(o1 >= o2),
                 DomainId::TARGET => assert!(o2 > o1),
@@ -348,7 +362,10 @@ mod tests {
         let (matrix, partition) = ds.partition();
         let (d1, d2) = partition.domain_sizes();
         assert_eq!(d1 + d2, 80);
-        assert!(d1 > 0 && d2 > 0, "both sub-domains should be populated (got {d1}/{d2})");
+        assert!(
+            d1 > 0 && d2 > 0,
+            "both sub-domains should be populated (got {d1}/{d2})"
+        );
         assert_eq!(matrix.items_in_domain(DomainId::SOURCE).len(), d1);
         assert_eq!(matrix.items_in_domain(DomainId::TARGET).len(), d2);
         assert_eq!(matrix.n_ratings(), ds.matrix.n_ratings());

@@ -91,7 +91,12 @@ pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
             domains.push((ItemId(item), DomainId(domain)));
         }
         builder
-            .push(Rating::at(UserId(user), ItemId(item), value, Timestep(timestep)))
+            .push(Rating::at(
+                UserId(user),
+                ItemId(item),
+                value,
+                Timestep(timestep),
+            ))
             .map_err(IoError::Build)?;
     }
     for (item, domain) in domains {

@@ -141,7 +141,10 @@ pub fn random_holdout(
     test_fraction: f64,
     seed: u64,
 ) -> (RatingMatrix, Vec<Rating>) {
-    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut test = Vec::new();
     let mut decisions: std::collections::HashMap<(UserId, xmap_cf::ItemId), bool> =
@@ -176,8 +179,14 @@ mod tests {
         assert!(!split.test.is_empty());
         for &u in &split.test_users {
             let (target, source) = split.train.profile_by_domain(u, DomainId::TARGET);
-            assert!(target.is_empty(), "cold-start test user {u} still has target ratings in training");
-            assert!(!source.is_empty(), "test user {u} must keep their source profile");
+            assert!(
+                target.is_empty(),
+                "cold-start test user {u} still has target ratings in training"
+            );
+            assert!(
+                !source.is_empty(),
+                "test user {u} must keep their source profile"
+            );
         }
         // every test rating is a target-domain rating of a test user with the true value
         for r in &split.test {
@@ -287,7 +296,10 @@ mod tests {
             assert_eq!(ds.matrix.rating(r.user, r.item), Some(r.value));
         }
         let frac = test.len() as f64 / ds.matrix.n_ratings() as f64;
-        assert!((frac - 0.25).abs() < 0.1, "holdout fraction {frac} too far from 0.25");
+        assert!(
+            (frac - 0.25).abs() < 0.1,
+            "holdout fraction {frac} too far from 0.25"
+        );
     }
 
     #[test]

@@ -108,7 +108,10 @@ pub struct CrossDomainDataset {
 impl CrossDomainDataset {
     /// Generates a dataset from the configuration.
     pub fn generate(config: CrossDomainConfig) -> Self {
-        assert!(config.n_source_items > 0 && config.n_target_items > 0, "domains must be non-empty");
+        assert!(
+            config.n_source_items > 0 && config.n_target_items > 0,
+            "domains must be non-empty"
+        );
         assert!(config.latent_dim > 0, "latent dimension must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = RatingScale::FIVE_STAR;
@@ -129,21 +132,22 @@ impl CrossDomainDataset {
             ..(config.n_source_only_users + config.n_target_only_users) as u32)
             .map(UserId)
             .collect();
-        let overlap_users: Vec<UserId> = ((config.n_source_only_users + config.n_target_only_users) as u32
-            ..n_users as u32)
+        let overlap_users: Vec<UserId> = ((config.n_source_only_users + config.n_target_only_users)
+            as u32..n_users as u32)
             .map(UserId)
             .collect();
 
         let mut builder = RatingMatrixBuilder::with_scale(scale).with_dimensions(n_users, n_items);
         let source_items: Vec<ItemId> = (0..config.n_source_items as u32).map(ItemId).collect();
-        let target_items: Vec<ItemId> =
-            (config.n_source_items as u32..n_items as u32).map(ItemId).collect();
+        let target_items: Vec<ItemId> = (config.n_source_items as u32..n_items as u32)
+            .map(ItemId)
+            .collect();
 
         let emit = |builder: &mut RatingMatrixBuilder,
-                        rng: &mut StdRng,
-                        user: UserId,
-                        items: &[ItemId],
-                        timestep_base: u32| {
+                    rng: &mut StdRng,
+                    user: UserId,
+                    items: &[ItemId],
+                    timestep_base: u32| {
             let mut chosen = sample_without_replacement(rng, items, config.ratings_per_user);
             chosen.sort_unstable();
             for (ord, item) in chosen.into_iter().enumerate() {
@@ -172,7 +176,13 @@ impl CrossDomainDataset {
             // straddlers first rate the source domain, later the target domain, giving
             // them a meaningful temporal ordering across domains
             emit(&mut builder, &mut rng, u, &source_items, 0);
-            emit(&mut builder, &mut rng, u, &target_items, config.ratings_per_user as u32);
+            emit(
+                &mut builder,
+                &mut rng,
+                u,
+                &target_items,
+                config.ratings_per_user as u32,
+            );
         }
 
         for &i in &source_items {
@@ -197,7 +207,10 @@ impl CrossDomainDataset {
     /// The noiseless ground-truth affinity of a user for an item, mapped to the rating
     /// scale. Used by tests and by sanity checks in the benches.
     pub fn true_rating(&self, user: UserId, item: ItemId) -> f64 {
-        let affinity = dot(&self.user_factors[user.index()], &self.item_factors[item.index()]);
+        let affinity = dot(
+            &self.user_factors[user.index()],
+            &self.item_factors[item.index()],
+        );
         RatingScale::FIVE_STAR.clamp(3.0 + 2.0 * affinity)
     }
 
@@ -284,7 +297,9 @@ mod tests {
     #[test]
     fn overlap_users_match_matrix_overlap_detection() {
         let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
-        let detected = ds.matrix.overlapping_users(&[DomainId::SOURCE, DomainId::TARGET]);
+        let detected = ds
+            .matrix
+            .overlapping_users(&[DomainId::SOURCE, DomainId::TARGET]);
         assert_eq!(detected, ds.overlap_users);
     }
 
@@ -302,8 +317,14 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_traces() {
-        let a = CrossDomainDataset::generate(CrossDomainConfig { seed: 1, ..CrossDomainConfig::small() });
-        let b = CrossDomainDataset::generate(CrossDomainConfig { seed: 2, ..CrossDomainConfig::small() });
+        let a = CrossDomainDataset::generate(CrossDomainConfig {
+            seed: 1,
+            ..CrossDomainConfig::small()
+        });
+        let b = CrossDomainDataset::generate(CrossDomainConfig {
+            seed: 2,
+            ..CrossDomainConfig::small()
+        });
         let differing = a
             .matrix
             .iter()
@@ -324,7 +345,10 @@ mod tests {
             err_const += (r.value - 3.0).abs();
             n += 1.0;
         }
-        assert!(err_truth / n < err_const / n, "ground truth must explain the ratings better than a constant");
+        assert!(
+            err_truth / n < err_const / n,
+            "ground truth must explain the ratings better than a constant"
+        );
     }
 
     #[test]
@@ -334,7 +358,10 @@ mod tests {
         let (src, tgt) = ds.matrix.profile_by_domain(u, DomainId::SOURCE);
         let max_src = src.iter().map(|e| e.timestep).max().unwrap();
         let min_tgt = tgt.iter().map(|e| e.timestep).min().unwrap();
-        assert!(min_tgt >= max_src, "target ratings happen after source ratings for straddlers");
+        assert!(
+            min_tgt >= max_src,
+            "target ratings happen after source ratings for straddlers"
+        );
     }
 
     proptest! {

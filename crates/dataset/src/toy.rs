@@ -61,22 +61,34 @@ impl ToyScenario {
     pub fn build() -> Self {
         let mut b = RatingMatrixBuilder::new();
         // Alice loves the sci-fi movies but has never rated a book.
-        b.push_timed(users::ALICE.0, items::INTERSTELLAR.0, 5.0, 0).unwrap();
-        b.push_timed(users::ALICE.0, items::THE_MARTIAN.0, 4.0, 1).unwrap();
+        b.push_timed(users::ALICE.0, items::INTERSTELLAR.0, 5.0, 0)
+            .unwrap();
+        b.push_timed(users::ALICE.0, items::THE_MARTIAN.0, 4.0, 1)
+            .unwrap();
         // Bob connects Interstellar and Inception (movies only).
-        b.push_timed(users::BOB.0, items::INTERSTELLAR.0, 5.0, 0).unwrap();
-        b.push_timed(users::BOB.0, items::INCEPTION.0, 5.0, 1).unwrap();
-        b.push_timed(users::BOB.0, items::THE_MARTIAN.0, 2.0, 2).unwrap();
+        b.push_timed(users::BOB.0, items::INTERSTELLAR.0, 5.0, 0)
+            .unwrap();
+        b.push_timed(users::BOB.0, items::INCEPTION.0, 5.0, 1)
+            .unwrap();
+        b.push_timed(users::BOB.0, items::THE_MARTIAN.0, 2.0, 2)
+            .unwrap();
         // Cecilia is the straddler: she connects Inception with The Forever War and Dune.
-        b.push_timed(users::CECILIA.0, items::INCEPTION.0, 5.0, 0).unwrap();
-        b.push_timed(users::CECILIA.0, items::THE_MARTIAN.0, 1.0, 1).unwrap();
-        b.push_timed(users::CECILIA.0, items::THE_FOREVER_WAR.0, 5.0, 2).unwrap();
-        b.push_timed(users::CECILIA.0, items::DUNE.0, 4.0, 3).unwrap();
+        b.push_timed(users::CECILIA.0, items::INCEPTION.0, 5.0, 0)
+            .unwrap();
+        b.push_timed(users::CECILIA.0, items::THE_MARTIAN.0, 1.0, 1)
+            .unwrap();
+        b.push_timed(users::CECILIA.0, items::THE_FOREVER_WAR.0, 5.0, 2)
+            .unwrap();
+        b.push_timed(users::CECILIA.0, items::DUNE.0, 4.0, 3)
+            .unwrap();
         // Dave adds another movie rating.
-        b.push_timed(users::DAVE.0, items::THE_MARTIAN.0, 2.0, 0).unwrap();
+        b.push_timed(users::DAVE.0, items::THE_MARTIAN.0, 2.0, 0)
+            .unwrap();
         // Eve rates books only; she connects The Forever War with Ender's Game.
-        b.push_timed(users::EVE.0, items::THE_FOREVER_WAR.0, 5.0, 0).unwrap();
-        b.push_timed(users::EVE.0, items::ENDERS_GAME.0, 4.0, 1).unwrap();
+        b.push_timed(users::EVE.0, items::THE_FOREVER_WAR.0, 5.0, 0)
+            .unwrap();
+        b.push_timed(users::EVE.0, items::ENDERS_GAME.0, 4.0, 1)
+            .unwrap();
         b.push_timed(users::EVE.0, items::DUNE.0, 2.0, 2).unwrap();
 
         for movie in [items::INTERSTELLAR, items::INCEPTION, items::THE_MARTIAN] {
@@ -102,12 +114,18 @@ impl ToyScenario {
 
     /// Name of a user.
     pub fn user_name(&self, user: UserId) -> &str {
-        self.user_names.get(user.index()).copied().unwrap_or("<unknown>")
+        self.user_names
+            .get(user.index())
+            .copied()
+            .unwrap_or("<unknown>")
     }
 
     /// Name of an item.
     pub fn item_name(&self, item: ItemId) -> &str {
-        self.item_names.get(item.index()).copied().unwrap_or("<unknown>")
+        self.item_names
+            .get(item.index())
+            .copied()
+            .unwrap_or("<unknown>")
     }
 }
 
@@ -139,13 +157,18 @@ mod tests {
             items::THE_FOREVER_WAR,
             SimilarityMetric::AdjustedCosine,
         );
-        assert_eq!(s, 0.0, "the paper's motivating example requires a zero direct similarity");
+        assert_eq!(
+            s, 0.0,
+            "the paper's motivating example requires a zero direct similarity"
+        );
     }
 
     #[test]
     fn cecilia_is_the_only_straddler() {
         let toy = ToyScenario::build();
-        let overlap = toy.matrix.overlapping_users(&[DomainId::SOURCE, DomainId::TARGET]);
+        let overlap = toy
+            .matrix
+            .overlapping_users(&[DomainId::SOURCE, DomainId::TARGET]);
         assert_eq!(overlap, vec![users::CECILIA]);
     }
 
@@ -180,6 +203,9 @@ mod tests {
         assert_eq!(toy.item_name(items::DUNE), "Dune");
         assert_eq!(toy.user_name(UserId(99)), "<unknown>");
         assert_eq!(toy.item_name(ItemId(99)), "<unknown>");
-        assert_eq!(ToyScenario::default().matrix.n_ratings(), toy.matrix.n_ratings());
+        assert_eq!(
+            ToyScenario::default().matrix.n_ratings(),
+            toy.matrix.n_ratings()
+        );
     }
 }

@@ -139,7 +139,11 @@ impl ClusterSim {
     }
 
     /// The full speedup curve for a list of machine counts.
-    pub fn speedup_curve(&self, machine_counts: &[usize], baseline_machines: usize) -> Vec<SpeedupPoint> {
+    pub fn speedup_curve(
+        &self,
+        machine_counts: &[usize],
+        baseline_machines: usize,
+    ) -> Vec<SpeedupPoint> {
         machine_counts
             .iter()
             .map(|&m| SpeedupPoint {
@@ -166,7 +170,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         for m in [1usize, 2, 4, 8, 16] {
             let t = sim.makespan(m);
-            assert!(t < prev, "makespan should shrink: {t} on {m} machines (prev {prev})");
+            assert!(
+                t < prev,
+                "makespan should shrink: {t} on {m} machines (prev {prev})"
+            );
             prev = t;
         }
     }

@@ -1,0 +1,296 @@
+//! The unified `Stage` / `Dataflow` execution substrate.
+//!
+//! The paper's implementation runs the four X-Map components as Spark jobs: each
+//! component is a keyed transformation whose work is split into partitions, scheduled
+//! onto executors, and timed by the driver. This module is the local equivalent, and the
+//! single place where partitioning, parallel execution and accounting live:
+//!
+//! * a [`Stage`] is one named transformation (`baseliner`, `extender`, …);
+//! * the [`Dataflow`] runner owns the [`WorkerPool`], the [`Partitioner`] and a
+//!   [`StageTimer`]; [`Dataflow::run`] executes a stage, times it, and collects the
+//!   stage's per-partition task costs;
+//! * inside a stage, [`StageContext::map_partitions`] splits the input by key into the
+//!   dataflow's partitions, processes every partition as one pool task (so per-partition
+//!   scratch state is reused across the items of a partition), and records one
+//!   *data-derived* cost per partition.
+//!
+//! Costs are work estimates computed from the data (e.g. candidate counts), **not**
+//! wall-clock samples, so they are identical no matter how many workers execute the
+//! stage. That is what lets the [`ClusterSim`](crate::cluster::ClusterSim) replay the
+//! exact same task bag on a simulated cluster (Figure 11) while the real pool executes
+//! it on local threads: both consume the same per-partition costs via
+//! [`Dataflow::stage_costs`] / [`Dataflow::cluster_sim`].
+
+use crate::cluster::{ClusterCostModel, ClusterSim};
+use crate::partition::Partitioner;
+use crate::pool::WorkerPool;
+use crate::stage::{StageReport, StageTimer};
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// One named transformation of the dataflow.
+///
+/// Stages are generic over their input `In` (typically a reference to the previous
+/// stage's output) and declare their output as an associated type, so a pipeline is a
+/// plain sequence of `dataflow.run(&stage, input)` calls with full type inference
+/// between consecutive stages.
+pub trait Stage<In> {
+    /// The stage's output.
+    type Out;
+
+    /// Stable stage name used for timing reports and task-cost accounting.
+    fn name(&self) -> &'static str;
+
+    /// Executes the stage. Parallel work should go through the [`StageContext`].
+    fn run(&self, input: In, cx: &mut StageContext<'_>) -> Self::Out;
+}
+
+/// A [`Stage`] built from a name and a closure, for ad-hoc stages in tests and
+/// benches (library pipelines define named stage types instead).
+pub struct FnStage<F> {
+    name: &'static str,
+    f: F,
+}
+
+/// Builds an ad-hoc stage from a name and a closure.
+pub fn fn_stage<In, Out, F>(name: &'static str, f: F) -> FnStage<F>
+where
+    F: Fn(In, &mut StageContext<'_>) -> Out,
+{
+    FnStage { name, f }
+}
+
+impl<In, Out, F> Stage<In> for FnStage<F>
+where
+    F: Fn(In, &mut StageContext<'_>) -> Out,
+{
+    type Out = Out;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, input: In, cx: &mut StageContext<'_>) -> Out {
+        (self.f)(input, cx)
+    }
+}
+
+/// Execution handle passed to a running [`Stage`].
+pub struct StageContext<'a> {
+    pool: &'a WorkerPool,
+    partitioner: Partitioner,
+    costs: Vec<f64>,
+}
+
+impl StageContext<'_> {
+    /// The worker pool executing this stage.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool
+    }
+
+    /// The dataflow's partitioner.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Records an explicit per-partition task cost (for stages that partition work
+    /// themselves rather than through [`StageContext::map_partitions`]).
+    pub fn record_task_cost(&mut self, cost: f64) {
+        self.costs.push(cost);
+    }
+
+    /// Partitions `items` by `key`, processes every partition as one pool task, and
+    /// returns the per-partition outputs in partition order.
+    ///
+    /// `f` receives the partition index and the partition's items, and returns the
+    /// partition's output together with its *data-derived* task cost; the costs are
+    /// recorded on the context (one per partition, in partition order) and surface
+    /// through [`Dataflow::stage_costs`]. Because partition assignment depends only on
+    /// the partitioner and the costs only on the data, both the outputs and the recorded
+    /// costs are identical for any worker count.
+    pub fn map_partitions<T, K, R, F>(
+        &mut self,
+        items: Vec<T>,
+        key: impl Fn(&T) -> K,
+        f: F,
+    ) -> Vec<R>
+    where
+        T: Send + Sync,
+        K: Hash,
+        R: Send,
+        F: Fn(usize, &[T]) -> (R, f64) + Sync,
+    {
+        let parts = self.partitioner.split_by_key(items, key);
+        let outputs = self
+            .pool
+            .parallel_map_indexed(&parts, |ix, part| f(ix, part.as_slice()));
+        let mut results = Vec::with_capacity(outputs.len());
+        for (out, cost) in outputs {
+            self.costs.push(cost);
+            results.push(out);
+        }
+        results
+    }
+}
+
+/// The dataflow runner: executes [`Stage`]s on a pool, times them, and accumulates
+/// their per-partition task costs for the cluster simulator.
+#[derive(Debug)]
+pub struct Dataflow {
+    pool: WorkerPool,
+    partitioner: Partitioner,
+    timer: StageTimer,
+    stage_costs: Mutex<Vec<(String, Vec<f64>)>>,
+}
+
+impl Dataflow {
+    /// Creates a runner with `workers` pool threads and `partitions` dataflow
+    /// partitions. The two are independent: partitions fix the unit of work (and hence
+    /// the recorded task costs), workers only decide how many execute concurrently.
+    pub fn new(workers: usize, partitions: usize) -> Self {
+        Dataflow {
+            pool: WorkerPool::new(workers),
+            partitioner: Partitioner::new(partitions),
+            timer: StageTimer::new(),
+            stage_costs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The pool stages execute on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The dataflow's partitioner.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Runs a stage: times it under its name and collects the per-partition task costs
+    /// it recorded.
+    pub fn run<In, S: Stage<In>>(&self, stage: &S, input: In) -> S::Out {
+        let mut cx = StageContext {
+            pool: &self.pool,
+            partitioner: self.partitioner,
+            costs: Vec::new(),
+        };
+        let out = self
+            .timer
+            .run_stage(stage.name(), || stage.run(input, &mut cx));
+        if !cx.costs.is_empty() {
+            self.stage_costs
+                .lock()
+                .expect("dataflow cost mutex poisoned")
+                .push((stage.name().to_string(), cx.costs));
+        }
+        out
+    }
+
+    /// Wall-clock reports of every stage run so far, in execution order.
+    pub fn reports(&self) -> Vec<StageReport> {
+        self.timer.reports()
+    }
+
+    /// The per-partition task costs recorded by the most recent run of the named stage.
+    pub fn stage_costs(&self, stage: &str) -> Option<Vec<f64>> {
+        self.stage_costs
+            .lock()
+            .expect("dataflow cost mutex poisoned")
+            .iter()
+            .rev()
+            .find(|(name, _)| name == stage)
+            .map(|(_, costs)| costs.clone())
+    }
+
+    /// Builds a cluster simulator over the named stage's task bag — the simulated
+    /// cluster replays exactly the work units the real pool executed.
+    pub fn cluster_sim(&self, stage: &str, model: ClusterCostModel) -> Option<ClusterSim> {
+        self.stage_costs(stage)
+            .map(|costs| ClusterSim::new(costs, model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SquareStage;
+
+    impl Stage<Vec<u64>> for SquareStage {
+        type Out = Vec<u64>;
+
+        fn name(&self) -> &'static str {
+            "square"
+        }
+
+        fn run(&self, input: Vec<u64>, cx: &mut StageContext<'_>) -> Vec<u64> {
+            let per_partition = cx.map_partitions(
+                input,
+                |x| *x,
+                |_ix, part| {
+                    let out: Vec<u64> = part.iter().map(|x| x * x).collect();
+                    let cost = part.len() as f64;
+                    (out, cost)
+                },
+            );
+            per_partition.into_iter().flatten().collect()
+        }
+    }
+
+    #[test]
+    fn stage_outputs_and_costs_are_recorded() {
+        let flow = Dataflow::new(4, 8);
+        let out = flow.run(&SquareStage, (0..100).collect());
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        let mut expect: Vec<u64> = (0..100u64).map(|x| x * x).collect();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+
+        let costs = flow.stage_costs("square").expect("costs recorded");
+        assert_eq!(costs.len(), 8, "one task cost per partition");
+        assert_eq!(costs.iter().sum::<f64>(), 100.0, "costs cover every item");
+        assert_eq!(flow.reports().len(), 1);
+        assert_eq!(flow.reports()[0].name, "square");
+    }
+
+    #[test]
+    fn cluster_sim_consumes_stage_costs() {
+        let flow = Dataflow::new(2, 16);
+        let _ = flow.run(&SquareStage, (0..500).collect());
+        let sim = flow
+            .cluster_sim("square", ClusterCostModel::xmap_like())
+            .expect("stage ran");
+        assert_eq!(sim.n_tasks(), 16);
+        assert!((sim.total_work() - 500.0).abs() < 1e-9);
+        assert!(sim.speedup(10, 5) >= 1.0);
+    }
+
+    #[test]
+    fn unknown_stage_has_no_costs() {
+        let flow = Dataflow::new(1, 4);
+        assert!(flow.stage_costs("nope").is_none());
+        assert!(flow
+            .cluster_sim("nope", ClusterCostModel::xmap_like())
+            .is_none());
+    }
+
+    #[test]
+    fn results_and_costs_are_identical_for_1_2_and_8_workers() {
+        // The Dataflow determinism contract: partition assignment and task costs depend
+        // only on the partitioner, never on the worker count executing the partitions.
+        let reference_flow = Dataflow::new(1, 8);
+        let reference = reference_flow.run(&SquareStage, (0..1000).collect());
+        let reference_costs = reference_flow.stage_costs("square").unwrap();
+        for workers in [2usize, 8] {
+            let flow = Dataflow::new(workers, 8);
+            let out = flow.run(&SquareStage, (0..1000).collect());
+            assert_eq!(out, reference, "{workers} workers changed stage output");
+            assert_eq!(
+                flow.stage_costs("square").unwrap(),
+                reference_costs,
+                "{workers} workers changed task costs"
+            );
+        }
+    }
+}

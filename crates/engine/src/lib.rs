@@ -1,32 +1,41 @@
 //! # xmap-engine — parallel dataflow substrate and cluster simulator
 //!
 //! The paper implements X-Map on Apache Spark and evaluates scalability on a 20-machine
-//! cluster (Figure 11). This crate is the stand-in substrate documented in `DESIGN.md`:
+//! cluster (Figure 11). This crate is the stand-in substrate documented in `DESIGN.md`
+//! (repository root):
 //!
-//! * [`pool::WorkerPool`] — a small work-stealing thread pool (crossbeam scoped threads
-//!   over an atomic work index) that parallelises the per-item / per-user stages of the
+//! * [`dataflow::Stage`] / [`dataflow::Dataflow`] — the unified execution layer. A
+//!   pipeline is a sequence of named stages; the `Dataflow` runner owns partitioning,
+//!   pool execution and timing, and records each stage's **per-partition task costs** so
+//!   that the real worker pool and the cluster simulator consume the *same* task bag.
+//!   See `DESIGN.md` for the full `Stage`/`Dataflow` contract.
+//! * [`pool::WorkerPool`] — a small thread pool (`std::thread::scope` workers over an
+//!   atomic work index) that parallelises the per-partition / per-item stages of the
 //!   X-Map pipeline on the local machine, mirroring how Spark parallelises the same
 //!   stages across executor cores.
 //! * [`partition::Partitioner`] — deterministic hash partitioning of keys into `p`
 //!   partitions, the unit of work distribution (Spark's `partitionBy`).
 //! * [`stage::StageTimer`] — named-stage wall-clock accounting so experiments can report
 //!   per-component times (baseliner / extender / generator / recommender, Figure 4).
-//! * [`cluster::ClusterSim`] — a deterministic cluster *simulator*: given measured or
-//!   modelled per-partition task costs, it computes the makespan of an LPT (longest
-//!   processing time first) schedule on `m` machines plus a configurable per-stage
-//!   coordination/shuffle overhead, and from that the speedup curve of Figure 11. This
-//!   is the faithful substitute for the physical cluster, which a single evaluation
-//!   machine (possibly with a single core, as in CI) cannot reproduce with real threads.
+//! * [`cluster::ClusterSim`] — a deterministic cluster *simulator*: given the
+//!   per-partition task costs recorded by a `Dataflow` stage (or any modelled task bag),
+//!   it computes the makespan of an LPT (longest processing time first) schedule on `m`
+//!   machines plus a configurable per-stage coordination/shuffle overhead, and from that
+//!   the speedup curve of Figure 11. This is the faithful substitute for the physical
+//!   cluster, which a single evaluation machine (possibly with a single core, as in CI)
+//!   cannot reproduce with real threads.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod dataflow;
 pub mod partition;
 pub mod pool;
 pub mod stage;
 
 pub use cluster::{ClusterCostModel, ClusterSim, SpeedupPoint};
+pub use dataflow::{fn_stage, Dataflow, FnStage, Stage, StageContext};
 pub use partition::Partitioner;
 pub use pool::WorkerPool;
 pub use stage::{StageReport, StageTimer};

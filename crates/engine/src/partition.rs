@@ -41,7 +41,11 @@ impl Partitioner {
     }
 
     /// Groups items into their partitions, returning `partitions` vectors of items.
-    pub fn split_by_key<T, K: Hash>(&self, items: impl IntoIterator<Item = T>, key: impl Fn(&T) -> K) -> Vec<Vec<T>> {
+    pub fn split_by_key<T, K: Hash>(
+        &self,
+        items: impl IntoIterator<Item = T>,
+        key: impl Fn(&T) -> K,
+    ) -> Vec<Vec<T>> {
         let mut out: Vec<Vec<T>> = (0..self.partitions).map(|_| Vec::new()).collect();
         for item in items {
             let p = self.partition_of(&key(&item));

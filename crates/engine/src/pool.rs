@@ -3,9 +3,9 @@
 //! Every computationally heavy phase of X-Map (baseline similarity computation, layer
 //! extension, AlterEgo generation, per-user recommendation) is a pure function applied
 //! independently to each element of a collection. [`WorkerPool::parallel_map`] runs such
-//! a function across `workers` scoped threads that pull indices from a shared atomic
-//! counter — the simplest form of dynamic load balancing, adequate because individual
-//! tasks are small and numerous.
+//! a function across `workers` scoped threads (`std::thread::scope`) that pull indices
+//! from a shared atomic counter — the simplest form of dynamic load balancing, adequate
+//! because individual tasks are small and numerous.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -71,12 +71,11 @@ impl WorkerPool {
         results.resize_with(n, || None);
         let results_ptr = SendPtr(results.as_mut_ptr());
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.workers.min(n) {
                 let cursor = &cursor;
                 let f = &f;
-                let results_ptr = results_ptr;
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= n {
                         break;
@@ -90,8 +89,7 @@ impl WorkerPool {
                     }
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
 
         results
             .into_iter()

@@ -5,7 +5,7 @@
 //! experiments can report per-component costs and the cluster simulator can be fed with
 //! realistic stage weights.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One recorded stage.
@@ -39,26 +39,38 @@ impl StageTimer {
 
     /// Records an externally measured duration for a named stage.
     pub fn record(&self, name: &str, duration: Duration) {
-        self.reports.lock().push(StageReport {
-            name: name.to_string(),
-            duration,
-        });
+        self.reports
+            .lock()
+            .expect("stage timer mutex poisoned")
+            .push(StageReport {
+                name: name.to_string(),
+                duration,
+            });
     }
 
     /// All recorded stages in recording order.
     pub fn reports(&self) -> Vec<StageReport> {
-        self.reports.lock().clone()
+        self.reports
+            .lock()
+            .expect("stage timer mutex poisoned")
+            .clone()
     }
 
     /// Total duration across all recorded stages.
     pub fn total(&self) -> Duration {
-        self.reports.lock().iter().map(|r| r.duration).sum()
+        self.reports
+            .lock()
+            .expect("stage timer mutex poisoned")
+            .iter()
+            .map(|r| r.duration)
+            .sum()
     }
 
     /// The duration of the most recent stage with the given name, if any.
     pub fn last(&self, name: &str) -> Option<Duration> {
         self.reports
             .lock()
+            .expect("stage timer mutex poisoned")
             .iter()
             .rev()
             .find(|r| r.name == name)
@@ -67,7 +79,10 @@ impl StageTimer {
 
     /// Clears all recorded stages.
     pub fn reset(&self) {
-        self.reports.lock().clear();
+        self.reports
+            .lock()
+            .expect("stage timer mutex poisoned")
+            .clear();
     }
 }
 
@@ -113,7 +128,10 @@ mod tests {
             timer.run_stage(name, || std::thread::sleep(Duration::from_micros(10)));
         }
         let names: Vec<String> = timer.reports().into_iter().map(|r| r.name).collect();
-        assert_eq!(names, vec!["baseliner", "extender", "generator", "recommender"]);
+        assert_eq!(
+            names,
+            vec!["baseliner", "extender", "generator", "recommender"]
+        );
         assert!(timer.total() >= Duration::from_micros(40));
     }
 }

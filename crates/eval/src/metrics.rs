@@ -12,7 +12,9 @@ pub fn mae(pairs: &[(f64, f64)]) -> f64 {
     let span = pairs
         .iter()
         .map(|&(_, truth)| truth)
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
     let worst = (span.1 - span.0).abs().max(1.0);
     let total: f64 = pairs
         .iter()
@@ -48,7 +50,10 @@ pub fn precision_at_n<T: PartialEq>(recommended: &[T], relevant: &[T], n: usize)
     if n == 0 {
         return 0.0;
     }
-    let hits = recommended[..n].iter().filter(|r| relevant.contains(r)).count();
+    let hits = recommended[..n]
+        .iter()
+        .filter(|r| relevant.contains(r))
+        .count();
     hits as f64 / n as f64
 }
 
@@ -78,7 +83,10 @@ pub fn recall_at_n<T: PartialEq>(recommended: &[T], relevant: &[T], n: usize) ->
 
 /// Catalogue coverage: the fraction of `catalogue_size` distinct items that appear in at
 /// least one recommendation list.
-pub fn coverage<T: PartialEq + Clone>(recommendation_lists: &[Vec<T>], catalogue_size: usize) -> f64 {
+pub fn coverage<T: PartialEq + Clone>(
+    recommendation_lists: &[Vec<T>],
+    catalogue_size: usize,
+) -> f64 {
     if catalogue_size == 0 {
         return 0.0;
     }

@@ -109,7 +109,10 @@ mod tests {
         assert!(outcome.rmse >= outcome.mae);
         // a perfect predictor
         let perfect = evaluate_predictions(&test, |u, i| {
-            test.iter().find(|r| r.user == u && r.item == i).unwrap().value
+            test.iter()
+                .find(|r| r.user == u && r.item == i)
+                .unwrap()
+                .value
         });
         assert_eq!(perfect.mae, 0.0);
     }

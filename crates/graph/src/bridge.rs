@@ -22,13 +22,11 @@ impl BridgeIndex {
         let mut is_bridge = vec![false; graph.n_items()];
         for i in graph.items() {
             let di = graph.item_domain(i);
-            for e in graph.edges(i) {
-                if graph.item_domain(e.to) != di {
+            for &to in graph.neighbors(i).ids() {
+                if graph.item_domain(to) != di {
+                    // both endpoints of a cross-domain pair are bridges by definition
                     is_bridge[i.index()] = true;
-                    // the reverse edge may have been pruned away on the other side, but
-                    // the *other endpoint* of a cross-domain pair is a bridge by
-                    // definition, so mark it too.
-                    is_bridge[e.to.index()] = true;
+                    is_bridge[to.index()] = true;
                 }
             }
         }
@@ -89,24 +87,45 @@ mod tests {
             b.set_item_domain(ItemId(i), DomainId::TARGET);
         }
         let m = b.build().unwrap();
-        SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() })
+        SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
     fn straddler_items_are_bridges() {
         let g = two_domain_fixture();
         let idx = BridgeIndex::from_graph(&g);
-        assert!(idx.is_bridge(ItemId(1)), "movie co-rated with a book must be a bridge");
-        assert!(idx.is_bridge(ItemId(3)), "book co-rated with a movie must be a bridge");
+        assert!(
+            idx.is_bridge(ItemId(1)),
+            "movie co-rated with a book must be a bridge"
+        );
+        assert!(
+            idx.is_bridge(ItemId(3)),
+            "book co-rated with a movie must be a bridge"
+        );
     }
 
     #[test]
     fn isolated_and_intra_domain_items_are_not_bridges() {
         let g = two_domain_fixture();
         let idx = BridgeIndex::from_graph(&g);
-        assert!(!idx.is_bridge(ItemId(2)), "item with a single rater is not a bridge");
-        assert!(!idx.is_bridge(ItemId(5)), "item only co-rated within its domain is not a bridge");
-        assert!(!idx.is_bridge(ItemId(0)), "item 0 is only connected to item 1 (same domain)");
+        assert!(
+            !idx.is_bridge(ItemId(2)),
+            "item with a single rater is not a bridge"
+        );
+        assert!(
+            !idx.is_bridge(ItemId(5)),
+            "item only co-rated within its domain is not a bridge"
+        );
+        assert!(
+            !idx.is_bridge(ItemId(0)),
+            "item 0 is only connected to item 1 (same domain)"
+        );
         assert!(!idx.is_bridge(ItemId(99)), "unknown items are non-bridge");
     }
 
@@ -131,7 +150,13 @@ mod tests {
         b.push_parts(1, 0, 3.0).unwrap();
         b.push_parts(1, 1, 4.0).unwrap();
         let m = b.build().unwrap();
-        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         let idx = BridgeIndex::from_graph(&g);
         assert_eq!(idx.n_bridges(), 0);
     }

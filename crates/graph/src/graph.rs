@@ -1,4 +1,4 @@
-//! The baseline similarity graph `G_ac` (§3.1 of the paper).
+//! The baseline similarity graph `G_ac` (§3.1 of the paper), stored as a CSR arena.
 //!
 //! Vertices are items (from every domain, treated as one aggregated item set); an edge
 //! `(i, j)` exists when the two items have at least one common rater and a non-zero
@@ -6,10 +6,32 @@
 //! (similarity, co-rater count, weighted significance, union size) so that X-Sim's path
 //! similarity and path certainty can be computed without going back to the rating matrix.
 //!
-//! The graph is stored as per-item adjacency lists sorted by descending similarity and
-//! optionally pruned to the top-k strongest edges per item — never as a dense m × m
-//! matrix, which would be intractable at the paper's scale (§3.1 discusses exactly this
-//! O(m²) blow-up).
+//! ## Storage layout
+//!
+//! The graph is a compressed-sparse-row (CSR) arena rather than per-item `Vec`s:
+//!
+//! * `offsets[i]..offsets[i + 1]` delimits item `i`'s adjacency slots,
+//! * `neighbors` holds the neighbour ids of every item, **sorted ascending** per item so
+//!   that [`SimilarityGraph::edge_between`] is an `O(log d)` binary search instead of a
+//!   linear scan,
+//! * `edge_ix` maps each adjacency slot to a record in `edge_stats`, the pool that stores
+//!   every **undirected edge exactly once** in canonical `(min, max)` orientation — both
+//!   endpoints' slots share the record, so a symmetric lookup never needs the historical
+//!   `edge_between(a, b).or_else(edge_between(b, a))` double probe,
+//! * `sim_rank` stores, per item, the local slot order by **descending similarity**, which
+//!   is what meta-path enumeration's per-layer top-k pruning walks.
+//!
+//! Pruning keeps an undirected edge when it ranks within the `top_k` strongest edges of
+//! *either* endpoint (union semantics). This is a deliberate change from the historical
+//! per-item lists, which traversed only edges surviving the *from* side's pruning and
+//! consulted the reverse orientation solely when scoring already-enumerated paths: with
+//! undirected storage the traversable and scorable edge sets are necessarily the same,
+//! and the union is the choice consistent with the old scoring fallback. Consequently
+//! item degrees are no longer bounded by `top_k` (a hub every neighbour ranks highly
+//! keeps all those edges) and graphs are somewhat denser than the seed's, which shifts
+//! absolute pair counts in the figures while preserving their shape. The graph is never
+//! stored as a dense m × m matrix, which would be intractable at the paper's scale
+//! (§3.1 discusses exactly this O(m²) blow-up).
 
 use serde::{Deserialize, Serialize};
 use xmap_cf::similarity::{item_similarity_stats, SimilarityStats};
@@ -20,7 +42,8 @@ use xmap_cf::{DomainId, ItemId, RatingMatrix, SimilarityMetric};
 pub struct GraphConfig {
     /// Similarity metric for edge weights (the paper uses adjusted cosine).
     pub metric: SimilarityMetric,
-    /// Keep only the `top_k` strongest edges (by similarity) per item; `None` keeps all.
+    /// Keep an undirected edge only if it is among the `top_k` strongest (by similarity)
+    /// of at least one endpoint; `None` keeps all.
     pub top_k: Option<usize>,
     /// Drop edges whose |similarity| is below this threshold.
     pub min_similarity: f64,
@@ -36,16 +59,17 @@ impl Default for GraphConfig {
     }
 }
 
-/// A weighted edge of the similarity graph.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct Edge {
+/// A borrowed view of one edge of the graph: the neighbour plus the shared
+/// per-undirected-edge statistics record.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRef<'a> {
     /// The neighbouring item.
     pub to: ItemId,
-    /// Pairwise statistics between the owning item and `to`.
-    pub stats: SimilarityStats,
+    /// Pairwise statistics of the undirected edge (stored once per edge).
+    pub stats: &'a SimilarityStats,
 }
 
-impl Edge {
+impl EdgeRef<'_> {
     /// Similarity weight of the edge.
     pub fn similarity(&self) -> f64 {
         self.stats.similarity
@@ -57,10 +81,75 @@ impl Edge {
     }
 }
 
-/// The baseline similarity graph with per-item adjacency lists.
+/// The adjacency of one item: a slice view into the CSR arena.
+///
+/// Neighbour ids are sorted ascending (so membership tests are binary searches), and
+/// [`NeighborView::by_similarity`] walks the same slots strongest-first for top-k
+/// fan-out pruning.
+#[derive(Clone, Copy)]
+pub struct NeighborView<'a> {
+    ids: &'a [ItemId],
+    edge_ix: &'a [u32],
+    sim_rank: &'a [u32],
+    edge_stats: &'a [SimilarityStats],
+}
+
+impl<'a> NeighborView<'a> {
+    /// Number of neighbours.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the item has no neighbours.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The neighbour ids, sorted ascending.
+    pub fn ids(&self) -> &'a [ItemId] {
+        self.ids
+    }
+
+    /// The edge at a local slot (slots follow ascending neighbour id).
+    pub fn get(&self, slot: usize) -> EdgeRef<'a> {
+        EdgeRef {
+            to: self.ids[slot],
+            stats: &self.edge_stats[self.edge_ix[slot] as usize],
+        }
+    }
+
+    /// Iterates the edges in ascending neighbour-id order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeRef<'a>> + '_ {
+        (0..self.ids.len()).map(move |slot| self.get(slot))
+    }
+
+    /// Iterates the edges strongest-first (descending similarity, ties by ascending id).
+    pub fn by_similarity(&self) -> impl Iterator<Item = EdgeRef<'a>> + '_ {
+        self.sim_rank
+            .iter()
+            .map(move |&slot| self.get(slot as usize))
+    }
+
+    /// Binary-searches the adjacency for a specific neighbour.
+    pub fn find(&self, to: ItemId) -> Option<EdgeRef<'a>> {
+        self.ids.binary_search(&to).ok().map(|slot| self.get(slot))
+    }
+}
+
+/// The baseline similarity graph, stored as a CSR arena over a shared pool of
+/// per-undirected-edge statistics (see the module docs for the layout).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimilarityGraph {
-    adjacency: Vec<Vec<Edge>>,
+    /// CSR row offsets; `len == n_items + 1`, monotone non-decreasing.
+    offsets: Vec<u32>,
+    /// Neighbour ids per item, ascending within each item's slice.
+    neighbors: Vec<ItemId>,
+    /// Per-slot index into `edge_stats` (two slots — one per endpoint — share a record).
+    edge_ix: Vec<u32>,
+    /// Per-item local slot order by descending similarity (ties: ascending id).
+    sim_rank: Vec<u32>,
+    /// One record per undirected edge, canonical `(min, max)` orientation.
+    edge_stats: Vec<SimilarityStats>,
     item_domain: Vec<DomainId>,
     config: GraphConfig,
 }
@@ -69,52 +158,132 @@ impl SimilarityGraph {
     /// Builds the graph from a rating matrix containing the aggregated domains.
     ///
     /// Candidate item pairs are generated through co-rating users, so items with no
-    /// common rater never pay a similarity computation.
+    /// common rater never pay a similarity computation, and each unordered pair pays it
+    /// exactly once (the historical per-item adjacency computed every pair twice).
     pub fn build(matrix: &RatingMatrix, config: GraphConfig) -> Self {
         let n_items = matrix.n_items();
-        let mut candidate_sets: Vec<Vec<ItemId>> = vec![Vec::new(); n_items];
+
+        // --- 1. Candidate pairs through co-rating users, canonical (min, max). ---
+        let mut pair_keys: Vec<u64> = Vec::new();
         for u in matrix.users() {
             let profile = matrix.user_profile(u);
             for a in 0..profile.len() {
-                for b in 0..profile.len() {
-                    if a != b {
-                        candidate_sets[profile[a].item.index()].push(profile[b].item);
-                    }
+                for b in (a + 1)..profile.len() {
+                    let (i, j) = (profile[a].item, profile[b].item);
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    pair_keys.push((u64::from(lo.0) << 32) | u64::from(hi.0));
                 }
             }
         }
+        pair_keys.sort_unstable();
+        pair_keys.dedup();
 
-        let mut adjacency = Vec::with_capacity(n_items);
-        for i in 0..n_items {
-            let mut cands = std::mem::take(&mut candidate_sets[i]);
-            cands.sort_unstable();
-            cands.dedup();
-            let mut edges: Vec<Edge> = cands
-                .into_iter()
-                .map(|j| Edge {
-                    to: j,
-                    stats: item_similarity_stats(matrix, ItemId(i as u32), j, config.metric),
-                })
-                .filter(|e| {
-                    e.stats.similarity != 0.0 && e.stats.similarity.abs() >= config.min_similarity
-                })
-                .collect();
-            edges.sort_by(|a, b| {
-                b.stats
-                    .similarity
-                    .partial_cmp(&a.stats.similarity)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            if let Some(k) = config.top_k {
-                edges.truncate(k);
+        // --- 2. One similarity computation per unordered pair. ---
+        let mut pairs: Vec<(ItemId, ItemId, SimilarityStats)> = pair_keys
+            .into_iter()
+            .filter_map(|key| {
+                let lo = ItemId((key >> 32) as u32);
+                let hi = ItemId(key as u32);
+                let stats = item_similarity_stats(matrix, lo, hi, config.metric);
+                if stats.similarity != 0.0 && stats.similarity.abs() >= config.min_similarity {
+                    Some((lo, hi, stats))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // --- 3. Union top-k pruning: keep a pair ranked top-k by either endpoint. ---
+        if let Some(k) = config.top_k {
+            let mut ranked: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n_items];
+            for (ix, &(lo, hi, ref stats)) in pairs.iter().enumerate() {
+                ranked[lo.index()].push((stats.similarity, ix));
+                ranked[hi.index()].push((stats.similarity, ix));
             }
-            adjacency.push(edges);
+            let mut keep = vec![false; pairs.len()];
+            for list in &mut ranked {
+                list.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
+                });
+                for &(_, ix) in list.iter().take(k) {
+                    keep[ix] = true;
+                }
+            }
+            let mut kept = Vec::with_capacity(pairs.len());
+            for (ix, pair) in pairs.into_iter().enumerate() {
+                if keep[ix] {
+                    kept.push(pair);
+                }
+            }
+            pairs = kept;
         }
 
-        let item_domain = (0..n_items as u32).map(|i| matrix.item_domain(ItemId(i))).collect();
+        // --- 4. CSR assembly: degrees → offsets → slot fill → per-item ordering. ---
+        let mut degree = vec![0u32; n_items];
+        for &(lo, hi, _) in &pairs {
+            degree[lo.index()] += 1;
+            degree[hi.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n_items + 1);
+        offsets.push(0u32);
+        for i in 0..n_items {
+            offsets.push(offsets[i] + degree[i]);
+        }
+
+        let total_slots = offsets[n_items] as usize;
+        let mut neighbors = vec![ItemId(0); total_slots];
+        let mut edge_ix = vec![0u32; total_slots];
+        let mut cursor: Vec<u32> = offsets[..n_items].to_vec();
+        let mut edge_stats = Vec::with_capacity(pairs.len());
+        for (pair_ix, &(lo, hi, stats)) in pairs.iter().enumerate() {
+            edge_stats.push(stats);
+            for (from, to) in [(lo, hi), (hi, lo)] {
+                let slot = cursor[from.index()] as usize;
+                neighbors[slot] = to;
+                edge_ix[slot] = pair_ix as u32;
+                cursor[from.index()] += 1;
+            }
+        }
+
+        // Pair keys were processed in ascending (lo, hi) order, but an item appears as
+        // both `lo` and `hi`, so its slice is not sorted yet — sort each row by id and
+        // derive the descending-similarity slot permutation.
+        let mut sim_rank = vec![0u32; total_slots];
+        for i in 0..n_items {
+            let (start, end) = (offsets[i] as usize, offsets[i + 1] as usize);
+            let mut row: Vec<(ItemId, u32)> = neighbors[start..end]
+                .iter()
+                .copied()
+                .zip(edge_ix[start..end].iter().copied())
+                .collect();
+            row.sort_unstable_by_key(|&(id, _)| id);
+            for (slot, &(id, ix)) in row.iter().enumerate() {
+                neighbors[start + slot] = id;
+                edge_ix[start + slot] = ix;
+            }
+            let mut order: Vec<u32> = (0..(end - start) as u32).collect();
+            order.sort_by(|&a, &b| {
+                let sa = edge_stats[edge_ix[start + a as usize] as usize].similarity;
+                let sb = edge_stats[edge_ix[start + b as usize] as usize].similarity;
+                sb.partial_cmp(&sa)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            sim_rank[start..end].copy_from_slice(&order);
+        }
+
+        let item_domain = (0..n_items as u32)
+            .map(|i| matrix.item_domain(ItemId(i)))
+            .collect();
 
         SimilarityGraph {
-            adjacency,
+            offsets,
+            neighbors,
+            edge_ix,
+            sim_rank,
+            edge_stats,
             item_domain,
             config,
         }
@@ -127,21 +296,43 @@ impl SimilarityGraph {
 
     /// Number of items (vertices), rated or not.
     pub fn n_items(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len().saturating_sub(1)
     }
 
-    /// Total number of directed edges stored (an undirected edge that survives pruning on
-    /// both endpoints is counted twice).
+    /// Number of undirected edges stored in the arena (each stored once).
+    pub fn n_undirected_edges(&self) -> usize {
+        self.edge_stats.len()
+    }
+
+    /// Total number of adjacency slots (every undirected edge occupies one slot on each
+    /// endpoint, so this is `2 * n_undirected_edges`).
     pub fn n_directed_edges(&self) -> usize {
-        self.adjacency.iter().map(|a| a.len()).sum()
+        self.neighbors.len()
     }
 
-    /// The outgoing edges of an item, sorted by descending similarity.
-    pub fn edges(&self, item: ItemId) -> &[Edge] {
-        self.adjacency
-            .get(item.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    /// Degree of an item (number of neighbours).
+    pub fn degree(&self, item: ItemId) -> usize {
+        let i = item.index();
+        if i + 1 >= self.offsets.len() {
+            return 0;
+        }
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The adjacency view of an item. Out-of-range items have an empty view.
+    pub fn neighbors(&self, item: ItemId) -> NeighborView<'_> {
+        let i = item.index();
+        let (start, end) = if i + 1 < self.offsets.len() {
+            (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+        } else {
+            (0, 0)
+        };
+        NeighborView {
+            ids: &self.neighbors[start..end],
+            edge_ix: &self.edge_ix[start..end],
+            sim_rank: &self.sim_rank[start..end],
+            edge_stats: &self.edge_stats,
+        }
     }
 
     /// The domain of an item.
@@ -157,15 +348,30 @@ impl SimilarityGraph {
         (0..self.n_items() as u32).map(ItemId)
     }
 
-    /// The edge between two specific items, if it survived pruning on `from`'s side.
-    pub fn edge_between(&self, from: ItemId, to: ItemId) -> Option<&Edge> {
-        self.edges(from).iter().find(|e| e.to == to)
+    /// The edge between two items, accepting the endpoints in either order.
+    ///
+    /// The lookup binary-searches the lower-degree endpoint's sorted adjacency, so the
+    /// cost is `O(log min(d_a, d_b))`; undirected storage makes the result identical for
+    /// `(a, b)` and `(b, a)`.
+    pub fn edge_between(&self, a: ItemId, b: ItemId) -> Option<EdgeRef<'_>> {
+        let (probe, key) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(probe).find(key).map(|e| EdgeRef {
+            to: if probe == a { e.to } else { probe },
+            stats: e.stats,
+        })
     }
 
     /// Whether the item has at least one edge to an item of a *different* domain.
     pub fn has_cross_domain_edge(&self, item: ItemId) -> bool {
         let d = self.item_domain(item);
-        self.edges(item).iter().any(|e| self.item_domain(e.to) != d)
+        self.neighbors(item)
+            .ids()
+            .iter()
+            .any(|&to| self.item_domain(to) != d)
     }
 
     /// Number of item pairs `(i, j)` with `i` and `j` in different domains connected by a
@@ -175,8 +381,8 @@ impl SimilarityGraph {
         let mut count = 0usize;
         for i in self.items() {
             let di = self.item_domain(i);
-            for e in self.edges(i) {
-                if self.item_domain(e.to) != di && i < e.to {
+            for &to in self.neighbors(i).ids() {
+                if i < to && self.item_domain(to) != di {
                     count += 1;
                 }
             }
@@ -188,6 +394,8 @@ impl SimilarityGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
     use xmap_cf::RatingMatrixBuilder;
 
     /// Two domains; user 2 straddles them.
@@ -220,25 +428,63 @@ mod tests {
         // items 0 and 2 share no rater
         assert!(g.edge_between(ItemId(0), ItemId(2)).is_none());
         // items 0 and 1 share user 0
-        assert!(g.edge_between(ItemId(0), ItemId(1)).is_some() || g.edge_between(ItemId(1), ItemId(0)).is_some());
+        assert!(g.edge_between(ItemId(0), ItemId(1)).is_some());
         // cross-domain edge through the straddler (user 2): item 1 and item 3
         assert!(g.has_cross_domain_edge(ItemId(1)) || g.has_cross_domain_edge(ItemId(3)));
     }
 
     #[test]
-    fn adjacency_sorted_by_descending_similarity() {
+    fn edge_between_is_order_insensitive() {
         let m = fixture();
-        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         for i in g.items() {
-            let edges = g.edges(i);
-            for w in edges.windows(2) {
-                assert!(w[0].similarity() >= w[1].similarity());
+            for j in g.items() {
+                let ab = g.edge_between(i, j).map(|e| (e.to, *e.stats));
+                let ba = g.edge_between(j, i).map(|e| (e.to, *e.stats));
+                match (ab, ba) {
+                    (None, None) => {}
+                    (Some((to_ab, s_ab)), Some((to_ba, s_ba))) => {
+                        assert_eq!(s_ab, s_ba, "stats must be shared for ({i}, {j})");
+                        assert_eq!(to_ab, j);
+                        assert_eq!(to_ba, i);
+                    }
+                    other => panic!("asymmetric lookup for ({i}, {j}): {other:?}"),
+                }
             }
         }
     }
 
     #[test]
-    fn top_k_pruning_limits_degree() {
+    fn adjacency_sorted_by_id_and_similarity_views_agree() {
+        let m = fixture();
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        for i in g.items() {
+            let view = g.neighbors(i);
+            for w in view.ids().windows(2) {
+                assert!(w[0] < w[1], "neighbour ids must be strictly ascending");
+            }
+            let strongest: Vec<f64> = view.by_similarity().map(|e| e.similarity()).collect();
+            for w in strongest.windows(2) {
+                assert!(w[0] >= w[1], "by_similarity must be descending");
+            }
+            assert_eq!(strongest.len(), view.len());
+        }
+    }
+
+    #[test]
+    fn top_k_pruning_limits_stored_edges() {
         let mut b = RatingMatrixBuilder::new();
         // star pattern: one user rates everything -> item 0 is connected to all others
         for i in 0..20u32 {
@@ -246,18 +492,43 @@ mod tests {
             b.push_parts(1 + i, i, 3.0).unwrap(); // extra raters to vary averages
         }
         let m = b.build().unwrap();
-        let g = SimilarityGraph::build(
+        let pruned = SimilarityGraph::build(
             &m,
             GraphConfig {
                 top_k: Some(5),
                 ..Default::default()
             },
         );
-        for i in g.items() {
-            assert!(g.edges(i).len() <= 5, "item {i} has degree {}", g.edges(i).len());
+        let unpruned = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        assert!(pruned.n_undirected_edges() <= unpruned.n_undirected_edges());
+        // every kept edge must be in the top-5 of at least one endpoint
+        for i in pruned.items() {
+            for e in pruned.neighbors(i).iter() {
+                if i < e.to {
+                    let rank_i = pruned
+                        .neighbors(i)
+                        .by_similarity()
+                        .position(|x| x.to == e.to)
+                        .unwrap();
+                    let rank_j = pruned
+                        .neighbors(e.to)
+                        .by_similarity()
+                        .position(|x| x.to == i)
+                        .unwrap();
+                    assert!(
+                        rank_i < 5 || rank_j < 5,
+                        "edge ({i}, {}) is outside both endpoints' top-5",
+                        e.to
+                    );
+                }
+            }
         }
-        let unpruned = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
-        assert!(unpruned.n_directed_edges() >= g.n_directed_edges());
     }
 
     #[test]
@@ -271,10 +542,17 @@ mod tests {
                 ..Default::default()
             },
         );
-        let loose = SimilarityGraph::build(&m, GraphConfig { top_k: None, min_similarity: 0.0, ..Default::default() });
-        assert!(strict.n_directed_edges() <= loose.n_directed_edges());
+        let loose = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                min_similarity: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(strict.n_undirected_edges() <= loose.n_undirected_edges());
         for i in strict.items() {
-            for e in strict.edges(i) {
+            for e in strict.neighbors(i).iter() {
                 assert!(e.similarity().abs() >= 0.99);
             }
         }
@@ -283,26 +561,164 @@ mod tests {
     #[test]
     fn heterogeneous_pair_count_is_symmetric_and_small_here() {
         let m = fixture();
-        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         // only the straddler (user 2) creates cross-domain pairs: (1,3), (1,4)
         let n = g.n_heterogeneous_pairs();
-        assert!(n >= 1 && n <= 3, "unexpected heterogeneous pair count {n}");
+        assert!(
+            (1..=3).contains(&n),
+            "unexpected heterogeneous pair count {n}"
+        );
     }
 
     #[test]
     fn out_of_range_item_has_no_edges_and_default_domain() {
         let m = fixture();
         let g = SimilarityGraph::build(&m, GraphConfig::default());
-        assert!(g.edges(ItemId(99)).is_empty());
+        assert!(g.neighbors(ItemId(99)).is_empty());
+        assert_eq!(g.degree(ItemId(99)), 0);
         assert_eq!(g.item_domain(ItemId(99)), DomainId::SOURCE);
+        assert!(g.edge_between(ItemId(99), ItemId(0)).is_none());
     }
 
     #[test]
     fn edge_accessors_expose_stats() {
         let m = fixture();
-        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
-        let e = g.edges(ItemId(0)).first().copied().unwrap();
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
+        let view = g.neighbors(ItemId(0));
+        let e = view.iter().next().unwrap();
         assert!(e.similarity().abs() <= 1.0);
         assert!(e.normalized_significance() >= 0.0 && e.normalized_significance() <= 1.0);
+    }
+
+    /// Reference adjacency built the naive way: all unordered co-rated pairs into a
+    /// `HashMap`, no pruning. The CSR arena must agree exactly when pruning is off.
+    fn naive_reference(
+        m: &RatingMatrix,
+        config: GraphConfig,
+    ) -> HashMap<(ItemId, ItemId), SimilarityStats> {
+        let mut pairs = HashMap::new();
+        for u in m.users() {
+            let profile = m.user_profile(u);
+            for a in 0..profile.len() {
+                for b in (a + 1)..profile.len() {
+                    let (i, j) = (profile[a].item, profile[b].item);
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    pairs
+                        .entry((lo, hi))
+                        .or_insert_with(|| item_similarity_stats(m, lo, hi, config.metric));
+                }
+            }
+        }
+        pairs.retain(|_, s| s.similarity != 0.0 && s.similarity.abs() >= config.min_similarity);
+        pairs
+    }
+
+    fn random_matrix(ratings: &[(u32, u32, u32)], n_domains: u16) -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        let mut max_item = 0;
+        for &(u, i, v) in ratings {
+            b.push_parts(u, i, v as f64).unwrap();
+            max_item = max_item.max(i);
+        }
+        for i in 0..=max_item {
+            b.set_item_domain(ItemId(i), DomainId((i % u32::from(n_domains)) as u16));
+        }
+        b.build().unwrap()
+    }
+
+    proptest! {
+        /// CSR structural invariants on random graphs: offsets monotone, neighbour ids
+        /// sorted and deduplicated, every slot's edge record within bounds, and the
+        /// similarity permutation is a permutation.
+        #[test]
+        fn csr_invariants(
+            ratings in proptest::collection::vec((0u32..12, 0u32..16, 1u32..=5), 1..200),
+            top_k in 1usize..8,
+        ) {
+            let m = random_matrix(&ratings, 2);
+            for top_k in [None, Some(top_k)] {
+                let g = SimilarityGraph::build(&m, GraphConfig { top_k, ..Default::default() });
+                prop_assert_eq!(g.offsets.len(), g.n_items() + 1);
+                for w in g.offsets.windows(2) {
+                    prop_assert!(w[0] <= w[1], "offsets must be monotone");
+                }
+                prop_assert_eq!(*g.offsets.last().unwrap() as usize, g.neighbors.len());
+                prop_assert_eq!(g.neighbors.len(), g.edge_ix.len());
+                prop_assert_eq!(g.neighbors.len(), g.sim_rank.len());
+                prop_assert_eq!(g.neighbors.len(), 2 * g.n_undirected_edges());
+                for i in g.items() {
+                    let view = g.neighbors(i);
+                    for w in view.ids().windows(2) {
+                        prop_assert!(w[0] < w[1], "ids must be sorted and deduped");
+                    }
+                    let mut slots: Vec<u32> = view.sim_rank.to_vec();
+                    slots.sort_unstable();
+                    let expect: Vec<u32> = (0..view.len() as u32).collect();
+                    prop_assert_eq!(slots, expect, "sim_rank must be a permutation");
+                    for e in view.iter() {
+                        prop_assert!(e.to != i, "no self-loops");
+                    }
+                }
+            }
+        }
+
+        /// With pruning off, the arena stores exactly the naive reference's pairs, and
+        /// the symmetric lookup agrees with the reference in both argument orders.
+        #[test]
+        fn lookup_agrees_with_naive_reference(
+            ratings in proptest::collection::vec((0u32..10, 0u32..14, 1u32..=5), 1..150),
+        ) {
+            let m = random_matrix(&ratings, 2);
+            let config = GraphConfig { top_k: None, ..Default::default() };
+            let g = SimilarityGraph::build(&m, config);
+            let reference = naive_reference(&m, config);
+            prop_assert_eq!(g.n_undirected_edges(), reference.len());
+            for (&(lo, hi), stats) in &reference {
+                let via_lo = g.edge_between(lo, hi);
+                let via_hi = g.edge_between(hi, lo);
+                prop_assert!(via_lo.is_some() && via_hi.is_some());
+                prop_assert_eq!(*via_lo.unwrap().stats, *stats);
+                prop_assert_eq!(*via_hi.unwrap().stats, *stats);
+            }
+            // and nothing beyond the reference
+            for i in g.items() {
+                for e in g.neighbors(i).iter() {
+                    let key = if i < e.to { (i, e.to) } else { (e.to, i) };
+                    prop_assert!(reference.contains_key(&key), "extra edge {key:?}");
+                }
+            }
+        }
+
+        /// Union pruning keeps an edge iff it ranks top-k on at least one endpoint.
+        #[test]
+        fn union_pruning_semantics(
+            ratings in proptest::collection::vec((0u32..10, 0u32..12, 1u32..=5), 1..150),
+            k in 1usize..6,
+        ) {
+            let m = random_matrix(&ratings, 2);
+            let pruned = SimilarityGraph::build(&m, GraphConfig { top_k: Some(k), ..Default::default() });
+            let full = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+            prop_assert!(pruned.n_undirected_edges() <= full.n_undirected_edges());
+            for i in pruned.items() {
+                for e in pruned.neighbors(i).iter() {
+                    prop_assert!(
+                        full.edge_between(i, e.to).is_some(),
+                        "pruning must not invent edges"
+                    );
+                }
+            }
+        }
     }
 }

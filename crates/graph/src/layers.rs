@@ -63,9 +63,11 @@ impl LayerPartition {
             let layer = if bridges.is_bridge(i) {
                 Layer::BridgeBridge
             } else {
-                let touches_bridge = graph.edges(i).iter().any(|e| {
-                    bridges.is_bridge(e.to) && graph.item_domain(e.to) == domain
-                });
+                let touches_bridge = graph
+                    .neighbors(i)
+                    .ids()
+                    .iter()
+                    .any(|&to| bridges.is_bridge(to) && graph.item_domain(to) == domain);
                 if touches_bridge {
                     Layer::NonBridgeBridge
                 } else {
@@ -138,7 +140,11 @@ impl LayerPartition {
         domains.dedup();
         let mut rows = Vec::new();
         for d in domains {
-            for layer in [Layer::BridgeBridge, Layer::NonBridgeBridge, Layer::NonBridgeNonBridge] {
+            for layer in [
+                Layer::BridgeBridge,
+                Layer::NonBridgeBridge,
+                Layer::NonBridgeNonBridge,
+            ] {
                 let count = self
                     .assignments
                     .iter()
@@ -209,7 +215,13 @@ mod tests {
             b.set_item_domain(ItemId(i), DomainId::TARGET);
         }
         let m = b.build().unwrap();
-        SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() })
+        SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -234,7 +246,11 @@ mod tests {
         let total: usize = partition.cell_counts().iter().map(|(_, _, c)| c).sum();
         assert_eq!(total, g.n_items());
         for d in [DomainId::SOURCE, DomainId::TARGET] {
-            for layer in [Layer::BridgeBridge, Layer::NonBridgeBridge, Layer::NonBridgeNonBridge] {
+            for layer in [
+                Layer::BridgeBridge,
+                Layer::NonBridgeBridge,
+                Layer::NonBridgeNonBridge,
+            ] {
                 for item in partition.items_in(d, layer) {
                     assert_eq!(partition.layer(item), layer);
                     assert_eq!(partition.domain(item), d);
@@ -253,7 +269,7 @@ mod tests {
         assert_eq!(partition.path_rank(ItemId(2), src), 2); // BB source
         assert_eq!(partition.path_rank(ItemId(3), src), 3); // BB target
         assert_eq!(partition.path_rank(ItemId(4), src), 4); // NB target
-        // viewed from the other direction the ranks mirror
+                                                            // viewed from the other direction the ranks mirror
         let tgt = DomainId::TARGET;
         assert_eq!(partition.path_rank(ItemId(3), tgt), 2);
         assert_eq!(partition.path_rank(ItemId(2), tgt), 3);

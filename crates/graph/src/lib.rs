@@ -25,6 +25,6 @@ pub mod layers;
 pub mod metapath;
 
 pub use bridge::BridgeIndex;
-pub use graph::{Edge, GraphConfig, SimilarityGraph};
+pub use graph::{EdgeRef, GraphConfig, NeighborView, SimilarityGraph};
 pub use layers::{Layer, LayerAssignment, LayerPartition};
 pub use metapath::{enumerate_cross_domain_paths, enumerate_meta_paths, MetaPath, MetaPathConfig};

@@ -129,10 +129,10 @@ fn dfs(
         return; // the far NN layer is terminal
     }
 
-    // Candidate hops: edges into the next layer rank, strongest first (the adjacency is
-    // already sorted by descending similarity), limited to the per-layer top-k.
+    // Candidate hops: edges into the next layer rank, strongest first (the CSR arena's
+    // per-item similarity ranking), limited to the per-layer top-k.
     let mut taken = 0usize;
-    for edge in graph.edges(here) {
+    for edge in graph.neighbors(here).by_similarity() {
         if taken >= config.per_layer_top_k || paths.len() >= config.max_paths {
             break;
         }
@@ -150,7 +150,15 @@ fn dfs(
                 items: current.clone(),
             });
         }
-        dfs(graph, partition, source_domain, config, current, paths, accept);
+        dfs(
+            graph,
+            partition,
+            source_domain,
+            config,
+            current,
+            paths,
+            accept,
+        );
         current.pop();
     }
 }
@@ -183,7 +191,13 @@ mod tests {
             b.set_item_domain(ItemId(i), xmap_cf::DomainId::TARGET);
         }
         let m = b.build().unwrap();
-        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         let (_, p) = LayerPartition::from_graph(&g);
         (g, p)
     }
@@ -201,7 +215,17 @@ mod tests {
         assert!(!paths.is_empty());
         // the longest path reaches the far NN item 5 through every layer once
         let longest = paths.iter().max_by_key(|p| p.n_hops()).unwrap();
-        assert_eq!(longest.items, vec![ItemId(0), ItemId(1), ItemId(2), ItemId(3), ItemId(4), ItemId(5)]);
+        assert_eq!(
+            longest.items,
+            vec![
+                ItemId(0),
+                ItemId(1),
+                ItemId(2),
+                ItemId(3),
+                ItemId(4),
+                ItemId(5)
+            ]
+        );
         assert_eq!(longest.n_hops(), 5);
         // every reported path ends in the target domain
         for path in &paths {
@@ -244,7 +268,9 @@ mod tests {
             xmap_cf::DomainId::SOURCE,
             MetaPathConfig::default(),
         );
-        assert!(paths.iter().any(|pth| pth.items == vec![ItemId(2), ItemId(3)]));
+        assert!(paths
+            .iter()
+            .any(|pth| pth.items == vec![ItemId(2), ItemId(3)]));
     }
 
     #[test]
@@ -288,7 +314,13 @@ mod tests {
             b.set_item_domain(ItemId(1 + t), xmap_cf::DomainId::TARGET);
         }
         let m = b.build().unwrap();
-        let g = SimilarityGraph::build(&m, GraphConfig { top_k: None, ..Default::default() });
+        let g = SimilarityGraph::build(
+            &m,
+            GraphConfig {
+                top_k: None,
+                ..Default::default()
+            },
+        );
         let (_, p) = LayerPartition::from_graph(&g);
         let narrow = enumerate_cross_domain_paths(
             &g,
@@ -310,7 +342,11 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(narrow.len() <= 3 + 3 * 3, "narrow fanout produced {} paths", narrow.len());
+        assert!(
+            narrow.len() <= 3 + 3 * 3,
+            "narrow fanout produced {} paths",
+            narrow.len()
+        );
         assert!(wide.len() >= narrow.len());
     }
 

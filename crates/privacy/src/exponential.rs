@@ -26,12 +26,18 @@ pub enum ExponentialError {
 impl fmt::Display for ExponentialError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExponentialError::NoCandidates => write!(f, "exponential mechanism needs at least one candidate"),
-            ExponentialError::InvalidEpsilon(e) => write!(f, "epsilon must be positive and finite, got {e}"),
+            ExponentialError::NoCandidates => {
+                write!(f, "exponential mechanism needs at least one candidate")
+            }
+            ExponentialError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
             ExponentialError::InvalidSensitivity(s) => {
                 write!(f, "sensitivity must be positive and finite, got {s}")
             }
-            ExponentialError::InvalidScore(s) => write!(f, "candidate score must be finite, got {s}"),
+            ExponentialError::InvalidScore(s) => {
+                write!(f, "candidate score must be finite, got {s}")
+            }
         }
     }
 }
@@ -176,7 +182,10 @@ mod tests {
         let scores = [1.0, 0.0];
         let low = exponential_weights(&scores, 0.1, 2.0).unwrap();
         let high = exponential_weights(&scores, 8.0, 2.0).unwrap();
-        assert!(high[0] > low[0], "higher ε should favour the best item more strongly");
+        assert!(
+            high[0] > low[0],
+            "higher ε should favour the best item more strongly"
+        );
         assert!(high[0] > 0.85);
         assert!(low[0] < 0.55);
     }
@@ -195,7 +204,11 @@ mod tests {
         }
         for i in 0..3 {
             let freq = counts[i] as f64 / n as f64;
-            assert!((freq - w[i]).abs() < 0.01, "candidate {i}: freq {freq} vs weight {}", w[i]);
+            assert!(
+                (freq - w[i]).abs() < 0.01,
+                "candidate {i}: freq {freq} vs weight {}",
+                w[i]
+            );
         }
     }
 
@@ -203,7 +216,8 @@ mod tests {
     fn without_replacement_returns_distinct_indices() {
         let scores = [0.2, 0.9, 0.1, 0.7, 0.5];
         let mut rng = StdRng::seed_from_u64(5);
-        let sel = exponential_mechanism_without_replacement(&mut rng, &scores, 1.0, 2.0, 3).unwrap();
+        let sel =
+            exponential_mechanism_without_replacement(&mut rng, &scores, 1.0, 2.0, 3).unwrap();
         assert_eq!(sel.len(), 3);
         let mut sorted = sel.clone();
         sorted.sort_unstable();
@@ -215,7 +229,8 @@ mod tests {
     fn without_replacement_caps_at_candidate_count() {
         let scores = [0.1, 0.2];
         let mut rng = StdRng::seed_from_u64(5);
-        let sel = exponential_mechanism_without_replacement(&mut rng, &scores, 1.0, 2.0, 10).unwrap();
+        let sel =
+            exponential_mechanism_without_replacement(&mut rng, &scores, 1.0, 2.0, 10).unwrap();
         assert_eq!(sel.len(), 2);
     }
 

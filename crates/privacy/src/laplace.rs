@@ -108,7 +108,10 @@ mod tests {
         let weak = LaplaceMechanism::new(10.0);
         let n = 20_000;
         let avg_abs = |mech: &LaplaceMechanism, rng: &mut StdRng| {
-            (0..n).map(|_| (mech.perturb(rng, 0.0, 1.0)).abs()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| (mech.perturb(rng, 0.0, 1.0)).abs())
+                .sum::<f64>()
+                / n as f64
         };
         let noisy = avg_abs(&strong, &mut rng);
         let quiet = avg_abs(&weak, &mut rng);
@@ -123,7 +126,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mech = LaplaceMechanism::new(1.0);
         let n = 50_000;
-        let mean = (0..n).map(|_| mech.perturb(&mut rng, 42.0, 0.5)).sum::<f64>() / n as f64;
+        let mean = (0..n)
+            .map(|_| mech.perturb(&mut rng, 42.0, 0.5))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 42.0).abs() < 0.05, "mean {mean}");
         assert_eq!(mech.epsilon(), 1.0);
     }
@@ -137,8 +143,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let n = 400_000;
         let bucket = |x: f64| (x.round() as i64).clamp(0, 21);
-        let mut h1 = vec![0f64; 22];
-        let mut h2 = vec![0f64; 22];
+        let mut h1 = [0f64; 22];
+        let mut h2 = [0f64; 22];
         for _ in 0..n {
             h1[bucket(mech.perturb(&mut rng, 10.0, 1.0)) as usize] += 1.0;
             h2[bucket(mech.perturb(&mut rng, 11.0, 1.0)) as usize] += 1.0;

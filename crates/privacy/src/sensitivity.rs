@@ -67,11 +67,7 @@ pub fn similarity_sensitivity(
         return FLOOR;
     }
 
-    let dot: f64 = ratings_i
-        .iter()
-        .zip(ratings_j)
-        .map(|(a, b)| a * b)
-        .sum();
+    let dot: f64 = ratings_i.iter().zip(ratings_j).map(|(a, b)| a * b).sum();
     let full_sim = dot / (norm_i * norm_j);
 
     let mut max_term: f64 = 0.0;

@@ -56,7 +56,11 @@ fn main() {
     let alterego = model.alterego(users::ALICE);
     println!("\nAlice's AlterEgo in the book domain:");
     for (item, rating, _) in &alterego.profile {
-        println!("  {:<16} {:.1} (mapped from her movie ratings)", toy.item_name(*item), rating);
+        println!(
+            "  {:<16} {:.1} (mapped from her movie ratings)",
+            toy.item_name(*item),
+            rating
+        );
     }
 
     println!("\nbook recommendations for Alice:");

@@ -18,8 +18,14 @@ fn main() {
     let (matrix, partition) = dataset.partition();
     let (d1, d2) = partition.domain_sizes();
     println!("genre partition: D1 = {d1} movies, D2 = {d2} movies");
-    println!("D1 genres (by count): {}", genre_names(&partition.d1_genres));
-    println!("D2 genres (by count): {}", genre_names(&partition.d2_genres));
+    println!(
+        "D1 genres (by count): {}",
+        genre_names(&partition.d1_genres)
+    );
+    println!(
+        "D2 genres (by count): {}",
+        genre_names(&partition.d2_genres)
+    );
 
     // 2. Hide 20% of the ratings; keep only the hidden D2 ratings as the test set.
     let (train, test_all) = random_holdout(&matrix, 0.2, 11);

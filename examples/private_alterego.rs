@@ -45,7 +45,11 @@ fn main() {
             ..XMapConfig::default()
         };
         let mae = fit_and_score(&split, config);
-        println!("{:<28} MAE {:.4}", format!("X-Map-ib (ε={eps}, ε'={eps_prime})"), mae);
+        println!(
+            "{:<28} MAE {:.4}",
+            format!("X-Map-ib (ε={eps}, ε'={eps_prime})"),
+            mae
+        );
     }
 
     println!("\nsmaller ε / ε' = stronger privacy = noisier AlterEgos and predictions;");

@@ -17,7 +17,9 @@ pub use xmap_privacy as privacy;
 
 /// The most commonly used types, re-exported for examples and integration tests.
 pub mod prelude {
-    pub use xmap_cf::{DomainId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timestep, UserId};
+    pub use xmap_cf::{
+        DomainId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timestep, UserId,
+    };
     pub use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapModel, XMapPipeline};
     pub use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
     pub use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
@@ -35,7 +37,8 @@ mod tests {
             k: 2,
             ..XMapConfig::default()
         };
-        let model = XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
+        let model =
+            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
         assert_eq!(model.label(), "NX-MAP-IB");
     }
 }

@@ -48,7 +48,10 @@ fn cold_start_pipeline_beats_item_average_and_produces_valid_output() {
     let item_avg = evaluate_predictions(&split.test, |u, i| baseline.predict(u, i));
 
     assert!(xmap.mae.is_finite());
-    assert!(xmap.mae > 0.0 && xmap.mae < 4.0, "MAE must stay within the rating span");
+    assert!(
+        xmap.mae > 0.0 && xmap.mae < 4.0,
+        "MAE must stay within the rating span"
+    );
     assert!(
         xmap.mae <= item_avg.mae + 0.05,
         "NX-Map ({:.3}) should be at least competitive with ItemAverage ({:.3})",
@@ -90,7 +93,10 @@ fn all_four_variants_and_remoteuser_are_evaluated_on_the_same_split() {
         )
         .unwrap();
         let outcome = evaluate_predictions(&split.test, |u, i| model.predict(u, i));
-        assert!(outcome.mae.is_finite(), "{mode:?} produced a non-finite MAE");
+        assert!(
+            outcome.mae.is_finite(),
+            "{mode:?} produced a non-finite MAE"
+        );
         results.push((mode.label(), outcome.mae));
     }
     let remote = RemoteUser::new(&split.train, DomainId::SOURCE, UserKnnConfig::default()).unwrap();
@@ -99,7 +105,10 @@ fn all_four_variants_and_remoteuser_are_evaluated_on_the_same_split() {
 
     // the non-private item-based variant should be the best or near-best of the group
     let nx_ib = results.iter().find(|(l, _)| *l == "NX-MAP-IB").unwrap().1;
-    let best = results.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+    let best = results
+        .iter()
+        .map(|(_, m)| *m)
+        .fold(f64::INFINITY, f64::min);
     assert!(
         nx_ib <= best + 0.1,
         "NX-Map-ib should be within 0.1 MAE of the best system: {results:?}"
@@ -121,7 +130,10 @@ fn alterego_profiles_live_entirely_in_the_target_domain() {
     .unwrap();
     for &user in ds.source_only_users.iter().take(10) {
         let alter = model.alterego(user);
-        assert!(!alter.is_empty(), "user {user} should receive a non-empty AlterEgo");
+        assert!(
+            !alter.is_empty(),
+            "user {user} should receive a non-empty AlterEgo"
+        );
         for &(item, value, _) in &alter.profile {
             assert_eq!(ds.matrix.item_domain(item), DomainId::TARGET);
             assert!((1.0..=5.0).contains(&value));
