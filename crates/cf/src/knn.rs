@@ -74,6 +74,11 @@ impl<'a> UserKnn<'a> {
         self.matrix
     }
 
+    /// The configuration the recommender was created with.
+    pub fn config(&self) -> UserKnnConfig {
+        self.config
+    }
+
     /// Phase 1: the k most similar users to `user` (Equation 1), sorted by descending
     /// similarity. The user themself is never included.
     pub fn neighbors(&self, user: UserId) -> Vec<(UserId, f64)> {
@@ -337,6 +342,15 @@ impl<'a> ItemKnn<'a> {
             .get(item.index())
             .map(|v| v.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Consumes the model and returns the fitted per-item neighbour pools
+    /// (`pools[i]` = top-k similar items of item `i`, sorted by descending similarity).
+    ///
+    /// Owning models (the X-Map recommenders) fit an `ItemKnn`, keep the pools and drop
+    /// the borrowing wrapper; this hands the pools over without re-collecting them.
+    pub fn into_neighbors(self) -> Vec<Vec<ItemNeighbor>> {
+        self.neighbors
     }
 
     /// Phase 2, Equation 4: predicted rating of `item` for a stored user.
@@ -653,6 +667,39 @@ mod tests {
             p_decay <= p_flat + 1e-9,
             "temporal weighting should favour the recent low rating: {p_decay} vs {p_flat}"
         );
+    }
+
+    #[test]
+    fn item_knn_into_neighbors_hands_over_the_fitted_pools() {
+        let m = clustered();
+        let knn = ItemKnn::fit(
+            &m,
+            ItemKnnConfig {
+                k: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let expect: Vec<Vec<ItemNeighbor>> = (0..m.n_items() as u32)
+            .map(|i| knn.neighbors(ItemId(i)).to_vec())
+            .collect();
+        let pools = knn.into_neighbors();
+        assert_eq!(pools, expect);
+    }
+
+    #[test]
+    fn user_knn_exposes_its_config() {
+        let m = clustered();
+        let knn = UserKnn::new(
+            &m,
+            UserKnnConfig {
+                k: 7,
+                min_similarity: 0.1,
+            },
+        )
+        .unwrap();
+        assert_eq!(knn.config().k, 7);
+        assert_eq!(knn.config().min_similarity, 0.1);
     }
 
     #[test]

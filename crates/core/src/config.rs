@@ -71,6 +71,15 @@ impl PrivacyConfig {
             rho: 0.05,
         }
     }
+
+    /// The total differential-privacy guarantee of one fit: ε (PRS) + ε′ (PNSA + PNCF)
+    /// by sequential composition (§4.4). The pipeline sizes its [`PrivacyBudget`]
+    /// accountant to exactly this, so no mechanism can spend more than the model claims.
+    ///
+    /// [`PrivacyBudget`]: xmap_privacy::PrivacyBudget
+    pub fn total(&self) -> f64 {
+        self.epsilon + self.epsilon_prime
+    }
 }
 
 /// Full configuration of an X-Map run.

@@ -44,11 +44,14 @@ pub mod generator;
 pub mod pipeline;
 pub mod private;
 pub mod recommend;
+pub mod serve;
 pub mod xsim;
 
 pub use config::{PrivacyConfig, XMapConfig, XMapMode};
 pub use generator::{AlterEgo, AlterEgoGenerator, RatingTransfer, ReplacementTable};
 pub use pipeline::{PipelineStats, XMapModel, XMapPipeline};
+pub use recommend::ProfileRecommender;
+pub use serve::{RecommendStage, ServeBatch};
 pub use xsim::{XSimEntry, XSimTable};
 
 /// Errors produced by the X-Map pipeline.
@@ -60,6 +63,8 @@ pub enum XMapError {
     Cf(xmap_cf::CfError),
     /// The training data does not contain the requested domains or users.
     Data(String),
+    /// A differentially private mechanism asked for more ε than the budget has left.
+    Privacy(xmap_privacy::BudgetError),
 }
 
 impl std::fmt::Display for XMapError {
@@ -68,6 +73,7 @@ impl std::fmt::Display for XMapError {
             XMapError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             XMapError::Cf(e) => write!(f, "collaborative filtering error: {e}"),
             XMapError::Data(msg) => write!(f, "data error: {msg}"),
+            XMapError::Privacy(e) => write!(f, "privacy budget exhausted: {e}"),
         }
     }
 }
@@ -77,6 +83,12 @@ impl std::error::Error for XMapError {}
 impl From<xmap_cf::CfError> for XMapError {
     fn from(e: xmap_cf::CfError) -> Self {
         XMapError::Cf(e)
+    }
+}
+
+impl From<xmap_privacy::BudgetError> for XMapError {
+    fn from(e: xmap_privacy::BudgetError) -> Self {
+        XMapError::Privacy(e)
     }
 }
 

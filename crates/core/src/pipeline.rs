@@ -16,13 +16,17 @@ use crate::recommend::{
     ItemBasedRecommender, PrivateItemBasedRecommender, PrivateUserBasedRecommender,
     ProfileRecommender, UserBasedRecommender,
 };
+use crate::serve::{RecommendStage, ServeBatch, RECOMMEND_STAGE_NAME};
 use crate::xsim::XSimTable;
 use crate::{Result, XMapError};
+use std::sync::Mutex;
+use xmap_cf::knn::Profile;
 use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
 use xmap_engine::{Dataflow, Stage, StageContext, StageReport};
 use xmap_graph::{
     BridgeIndex, GraphConfig, Layer, LayerPartition, MetaPathConfig, SimilarityGraph,
 };
+use xmap_privacy::PrivacyBudget;
 
 /// Summary statistics of a fitted pipeline.
 #[derive(Clone, Debug)]
@@ -57,6 +61,11 @@ pub struct XMapModel {
     xsim: XSimTable,
     recommender: Box<dyn ProfileRecommender + Send + Sync>,
     stats: PipelineStats,
+    /// The dataflow runner the model was fitted on, kept for batched serving so that
+    /// serving task costs land in the same ledger as the fit stages.
+    flow: Dataflow,
+    /// The privacy accountant of the fit (private modes only): PRS plus PNSA/PNCF.
+    budget: Option<PrivacyBudget>,
 }
 
 impl XMapModel {
@@ -120,8 +129,50 @@ impl XMapModel {
     }
 
     /// Predicted rating for an explicit (possibly artificial) target-domain profile.
-    pub fn predict_for_profile(&self, profile: &xmap_cf::knn::Profile, item: ItemId) -> f64 {
+    pub fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
         self.recommender.predict_for_profile(profile, item)
+    }
+
+    /// Serves a batch of explicit profiles through the batched [`RecommendStage`]:
+    /// top-N per profile, in request order, with per-partition task costs recorded in
+    /// the dataflow ledger (see [`XMapModel::serving_task_costs`]).
+    ///
+    /// Output is bit-identical to calling [`XMapModel::predict_for_profile`]'s sibling
+    /// [`ProfileRecommender::recommend_for_profile`] once per profile, at any worker
+    /// count. The *recommendations* are safe to compute from any number of threads
+    /// sharing the model; the cost ledger, however, holds one slot per stage name, so
+    /// concurrent batches overwrite each other's `recommend` entry (last writer wins —
+    /// see [`XMapModel::serving_task_costs`]).
+    pub fn serve_profiles(&self, profiles: Vec<Profile>, n: usize) -> Vec<Vec<(ItemId, f64)>> {
+        self.flow.run(
+            &RecommendStage::new(self.recommender.as_ref()),
+            ServeBatch::new(profiles, n),
+        )
+    }
+
+    /// Top-N recommendations for a batch of users, one result per user in input order:
+    /// AlterEgo generation followed by batched serving on the dataflow engine.
+    pub fn recommend_batch(&self, users: &[UserId], n: usize) -> Vec<Vec<(ItemId, f64)>> {
+        let profiles: Vec<Profile> = users.iter().map(|&u| self.alterego(u).profile).collect();
+        self.serve_profiles(profiles, n)
+    }
+
+    /// Per-partition task costs of the most recent serving batch (the `recommend`
+    /// stage's ledger entry), for the cluster simulator — the serving analogue of
+    /// [`PipelineStats::extension_task_costs`].
+    ///
+    /// "Most recent" is global to the model: the ledger keeps one slot per stage name,
+    /// so when several threads serve batches concurrently this returns whichever batch
+    /// wrote last. To attribute costs to a specific batch for replay, serve it from a
+    /// single thread and read this immediately after [`XMapModel::serve_profiles`].
+    pub fn serving_task_costs(&self) -> Option<Vec<f64>> {
+        self.flow.stage_costs(RECOMMEND_STAGE_NAME)
+    }
+
+    /// The privacy accountant of the fit: `Some` for the private modes (with PRS, PNSA
+    /// and PNCF ledger entries), `None` for the non-private ones.
+    pub fn privacy_budget(&self) -> Option<&PrivacyBudget> {
+        self.budget.as_ref()
     }
 }
 
@@ -193,12 +244,14 @@ impl<'x> Stage<&'x XSimTable> for GeneratorStage<'_> {
     }
 }
 
-/// Stage 4 — recommender: fits the target-domain CF model consuming AlterEgos.
-struct RecommenderStage {
+/// Stage 4 — recommender: fits the target-domain CF model consuming AlterEgos. The
+/// private modes debit ε′ (PNSA + PNCF) from the pipeline's privacy budget here.
+struct RecommenderStage<'b> {
     config: XMapConfig,
+    budget: Option<&'b Mutex<PrivacyBudget>>,
 }
 
-impl Stage<RatingMatrix> for RecommenderStage {
+impl Stage<RatingMatrix> for RecommenderStage<'_> {
     type Out = Result<Box<dyn ProfileRecommender + Send + Sync>>;
 
     fn name(&self) -> &'static str {
@@ -211,6 +264,9 @@ impl Stage<RatingMatrix> for RecommenderStage {
         _cx: &mut StageContext<'_>,
     ) -> Result<Box<dyn ProfileRecommender + Send + Sync>> {
         let config = &self.config;
+        let mut budget_guard = self
+            .budget
+            .map(|m| m.lock().expect("privacy budget mutex poisoned"));
         Ok(match config.mode {
             XMapMode::NxMapItemBased => Box::new(ItemBasedRecommender::fit(
                 target_matrix,
@@ -228,6 +284,9 @@ impl Stage<RatingMatrix> for RecommenderStage {
                 config.privacy.rho,
                 config.temporal_alpha,
                 config.seed,
+                budget_guard
+                    .as_deref_mut()
+                    .expect("private modes carry a privacy budget"),
             )?),
             XMapMode::XMapUserBased => Box::new(PrivateUserBasedRecommender::fit(
                 target_matrix,
@@ -235,6 +294,9 @@ impl Stage<RatingMatrix> for RecommenderStage {
                 config.privacy.epsilon_prime,
                 config.privacy.rho,
                 config.seed,
+                budget_guard
+                    .as_deref_mut()
+                    .expect("private modes carry a privacy budget"),
             )?),
         })
     }
@@ -270,6 +332,15 @@ impl XMapPipeline {
 
         let flow = Dataflow::new(config.workers, config.partitions);
 
+        // The privacy accountant of this fit: the paper's total guarantee is
+        // ε (PRS, AlterEgo generation) + ε′ (PNSA + PNCF, recommendation) by sequential
+        // composition, so the budget is sized to exactly that and every mechanism must
+        // debit it before releasing anything.
+        let budget = config
+            .mode
+            .is_private()
+            .then(|| Mutex::new(PrivacyBudget::new(config.privacy.total())));
+
         let graph = flow.run(
             &BaselinerStage {
                 matrix,
@@ -290,6 +361,14 @@ impl XMapPipeline {
             &graph,
         );
 
+        // The generator's PRS mechanism (one exponential-mechanism draw per item, reused
+        // for every user) spends the generation-phase ε; debit it before the draws run.
+        if let Some(b) = &budget {
+            b.lock()
+                .expect("privacy budget mutex poisoned")
+                .spend("PRS", config.privacy.epsilon)
+                .map_err(XMapError::Privacy)?;
+        }
         let replacements = flow.run(
             &GeneratorStage {
                 matrix,
@@ -307,7 +386,13 @@ impl XMapPipeline {
         if n_target_ratings == 0 {
             return Err(XMapError::Data("target domain has no ratings".to_string()));
         }
-        let recommender = flow.run(&RecommenderStage { config }, target_matrix)?;
+        let recommender = flow.run(
+            &RecommenderStage {
+                config,
+                budget: budget.as_ref(),
+            },
+            target_matrix,
+        )?;
 
         // The extender's per-partition task bag, recorded by the Dataflow runner — the
         // scalability simulation replays exactly these tasks.
@@ -332,6 +417,8 @@ impl XMapPipeline {
             xsim,
             recommender,
             stats,
+            flow,
+            budget: budget.map(|m| m.into_inner().expect("privacy budget mutex poisoned")),
         })
     }
 }
@@ -535,6 +622,94 @@ mod tests {
             max - min > 1e-6,
             "predictions should differ across items (got constant {min})"
         );
+    }
+
+    #[test]
+    fn batched_serving_is_bit_identical_to_per_user_calls_at_1_2_and_8_workers() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let users: Vec<_> = ds.overlap_users.iter().copied().take(12).collect();
+        // The fixed quadratic path (X-Map-ub) is the interesting mode; serve it at
+        // several worker counts and hold every output against the per-user reference.
+        let mut reference: Option<Vec<Vec<(ItemId, f64)>>> = None;
+        let mut reference_costs: Option<Vec<f64>> = None;
+        for workers in [1usize, 2, 8] {
+            let model = XMapPipeline::fit(
+                &ds.matrix,
+                DomainId::SOURCE,
+                DomainId::TARGET,
+                XMapConfig {
+                    mode: XMapMode::XMapUserBased,
+                    k: 8,
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let per_user: Vec<Vec<(ItemId, f64)>> =
+                users.iter().map(|&u| model.recommend(u, 5)).collect();
+            let batched = model.recommend_batch(&users, 5);
+            assert_eq!(batched, per_user, "{workers} workers: batch diverged");
+            let costs = model
+                .serving_task_costs()
+                .expect("serving records task costs");
+            match (&reference, &reference_costs) {
+                (None, _) => {
+                    reference = Some(batched);
+                    reference_costs = Some(costs);
+                }
+                (Some(expected), Some(expected_costs)) => {
+                    assert_eq!(&batched, expected, "{workers} workers changed outputs");
+                    assert_eq!(&costs, expected_costs, "{workers} workers changed costs");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn private_fit_records_the_full_privacy_ledger() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let cfg = XMapConfig {
+            mode: XMapMode::XMapItemBased,
+            k: 8,
+            ..Default::default()
+        };
+        let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let budget = model
+            .privacy_budget()
+            .expect("private modes carry a budget");
+        let mechanisms: Vec<&str> = budget
+            .ledger()
+            .iter()
+            .map(|e| e.mechanism.as_str())
+            .collect();
+        assert_eq!(mechanisms, vec!["PRS", "PNSA", "PNCF"]);
+        assert!(
+            (budget.spent() - cfg.privacy.total()).abs() < 1e-12,
+            "the fit must spend exactly ε + ε′"
+        );
+        assert!(budget.remaining() < 1e-12);
+    }
+
+    #[test]
+    fn non_private_fit_has_no_privacy_budget_and_serving_costs_appear_on_demand() {
+        let toy = ToyScenario::build();
+        let model = XMapPipeline::fit(
+            &toy.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            toy_config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert!(model.privacy_budget().is_none());
+        assert!(
+            model.serving_task_costs().is_none(),
+            "no serving ran yet, so no recommend-stage ledger entry"
+        );
+        let out = model.serve_profiles(vec![model.alterego(users::ALICE).profile], 2);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].is_empty());
+        assert!(model.serving_task_costs().is_some());
     }
 
     #[test]

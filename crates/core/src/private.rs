@@ -86,10 +86,19 @@ pub fn private_neighbor_selection<R: Rng + ?Sized>(
         return candidates.to_vec();
     }
 
-    // Sim_k(t_i): the k-th largest similarity among the candidates.
-    let mut sims: Vec<f64> = candidates.iter().map(|c| c.similarity).collect();
+    // Sim_k(t_i): the k-th largest similarity among the candidates. NaN similarities
+    // carry no ranking signal and would make the truncation bound (and with it every
+    // exponent) undefined, so they are excluded from the threshold computation.
+    let mut sims: Vec<f64> = candidates
+        .iter()
+        .map(|c| c.similarity)
+        .filter(|s| !s.is_nan())
+        .collect();
     sims.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    let sim_k = sims[k - 1];
+    let sim_k = match sims.get(k - 1).or_else(|| sims.last()) {
+        Some(&s) => s,
+        None => 0.0, // every similarity is NaN; the draw degrades to uniform below
+    };
     let max_sensitivity = candidates
         .iter()
         .map(|c| c.sensitivity)
@@ -111,7 +120,17 @@ pub fn private_neighbor_selection<R: Rng + ?Sized>(
         .iter()
         .map(|c| {
             let truncated = truncated_similarity(c.similarity, sim_k, w);
-            per_pick_epsilon * truncated / (2.0 * c.sensitivity.max(1e-6))
+            let e = per_pick_epsilon * truncated / (2.0 * c.sensitivity.max(1e-6));
+            // NaN similarities are already mapped to the truncation floor above
+            // (`f64::max` ignores NaN), so a NaN exponent should be unreachable; this
+            // is defence in depth. An undefined score carries no usable signal, and
+            // -inf gives the candidate weight 0 — only ever drawn through the uniform
+            // fallback — instead of letting one NaN poison the summed total for all.
+            if e.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                e
+            }
         })
         .collect();
 
@@ -127,15 +146,26 @@ pub fn private_neighbor_selection<R: Rng + ?Sized>(
             .map(|&i| (exponents[i] - max_e).exp())
             .collect();
         let total: f64 = weights.iter().sum();
-        let mut u: f64 = rng.gen_range(0.0..total);
-        let mut picked_pos = remaining.len() - 1;
-        for (pos, weight) in weights.iter().enumerate() {
-            if u < *weight {
-                picked_pos = pos;
-                break;
+        // When every remaining exponent is -inf (all scores NaN-sanitised or -inf),
+        // `max_e` is -inf and every weight becomes `(-inf - -inf).exp()` = NaN, so the
+        // total is NaN and `gen_range` would panic. The exponential mechanism over a
+        // constant score vector *is* the uniform distribution, and uniform is also the
+        // only non-informative (hence privacy-safe) answer for undefined scores, so
+        // degenerate weight vectors fall back to a uniform draw over the remainder.
+        let picked_pos = if total.is_finite() && total > 0.0 {
+            let mut u: f64 = rng.gen_range(0.0..total);
+            let mut picked = remaining.len() - 1;
+            for (pos, weight) in weights.iter().enumerate() {
+                if u < *weight {
+                    picked = pos;
+                    break;
+                }
+                u -= weight;
             }
-            u -= weight;
-        }
+            picked
+        } else {
+            rng.gen_range(0..remaining.len())
+        };
         let idx = remaining.remove(picked_pos);
         selected.push(candidates[idx]);
     }
@@ -296,6 +326,72 @@ mod tests {
         // disconnected pair falls back to the floor value
         let disconnected = pair_sensitivity(&m, ItemId(1), ItemId(2));
         assert!(disconnected > 0.0);
+    }
+
+    #[test]
+    fn a_single_nan_similarity_neither_panics_nor_derails_the_mechanism() {
+        // A NaN similarity is excluded from the Sim_k threshold and truncated to the
+        // bound's floor (`f64::max` ignores NaN), so it competes like a worst-scored
+        // candidate instead of poisoning the draw. With a strongly concentrating ε′
+        // the best finite candidates must keep winning.
+        let mut cands = candidates(10);
+        cands[3].similarity = f64::NAN;
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 50;
+        let mut nan_picks = 0usize;
+        for _ in 0..trials {
+            let picked = private_neighbor_selection(&mut rng, &cands, 4, 50.0, 0.05, 100);
+            assert_eq!(picked.len(), 4);
+            let mut items: Vec<ItemId> = picked.iter().map(|c| c.item).collect();
+            items.sort_unstable();
+            items.dedup();
+            assert_eq!(items.len(), 4, "selection must not repeat candidates");
+            assert!(
+                picked.iter().any(|c| c.item == ItemId(0)),
+                "the best finite candidate must keep winning"
+            );
+            nan_picks += usize::from(picked.iter().any(|c| c.item == ItemId(3)));
+        }
+        assert!(
+            nan_picks < trials / 2,
+            "the NaN candidate must not dominate the draw ({nan_picks}/{trials})"
+        );
+    }
+
+    #[test]
+    fn neg_infinite_similarities_do_not_panic() {
+        // All-(-inf) exponents make every weight NaN (−inf − −inf); the uniform fallback
+        // must still return k distinct candidates.
+        let cands: Vec<ScoredCandidate> = (0..8)
+            .map(|i| ScoredCandidate {
+                item: ItemId(i as u32),
+                similarity: f64::NEG_INFINITY,
+                sensitivity: 0.05,
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(21);
+        let picked = private_neighbor_selection(&mut rng, &cands, 3, 0.8, 0.05, 100);
+        assert_eq!(picked.len(), 3);
+        let mut items: Vec<ItemId> = picked.iter().map(|c| c.item).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn uniform_fallback_visits_every_candidate_eventually() {
+        let mut cands = candidates(6);
+        for c in &mut cands {
+            c.similarity = f64::NAN;
+        }
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            for c in private_neighbor_selection(&mut rng, &cands, 2, 0.8, 0.05, 100) {
+                seen.insert(c.item);
+            }
+        }
+        assert_eq!(seen.len(), 6, "uniform fallback must spread over the pool");
     }
 
     #[test]

@@ -18,10 +18,12 @@ use crate::private::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use xmap_cf::knn::{profile_average, Profile};
+use xmap_cf::knn::{profile_average, ItemNeighbor, Profile};
 use xmap_cf::topk::top_k;
-use xmap_cf::{ItemId, ItemKnn, ItemKnnConfig, RatingMatrix, Timestep, UserKnn, UserKnnConfig};
+use xmap_cf::{
+    ItemId, ItemKnn, ItemKnnConfig, RatingMatrix, Timestep, UserId, UserKnn, UserKnnConfig,
+};
+use xmap_privacy::PrivacyBudget;
 
 /// Common interface of the four target-domain recommenders.
 pub trait ProfileRecommender {
@@ -31,8 +33,111 @@ pub trait ProfileRecommender {
     /// Top-N recommendations for the profile, excluding the profile's own items.
     fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)>;
 
+    /// Top-N recommendations for a batch of profiles, one result per profile in input
+    /// order. Takes profile references so serving partitions can hand their requests
+    /// over without copying profile contents.
+    ///
+    /// The contract is **bit-identity** with [`ProfileRecommender::recommend_for_profile`]
+    /// called once per profile — overrides exist purely to reuse per-profile scratch
+    /// (dense rating buffers, neighbour pools) across the batch, never to change
+    /// results. The batched serving stage relies on this to stay equivalent to the
+    /// per-profile reference at any worker count.
+    fn recommend_batch(&self, profiles: &[&Profile], n: usize) -> Vec<Vec<(ItemId, f64)>> {
+        profiles
+            .iter()
+            .map(|p| self.recommend_for_profile(p, n))
+            .collect()
+    }
+
     /// Label matching the paper's figure legends.
     fn label(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Dense profile scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable dense profile lookup, replacing the per-prediction `HashMap` of the
+/// item-based hot path.
+///
+/// Entries are keyed by item *index* and invalidated wholesale by bumping an epoch
+/// counter, so loading a profile is `O(|profile|)` regardless of how many profiles the
+/// buffer served before. One scratch is reused across all candidate predictions of a
+/// profile, and — in the batched serving path — across all profiles of a partition.
+#[derive(Debug, Default)]
+struct ProfileScratch {
+    /// Epoch marker per item slot; a slot is live iff its marker equals `current`.
+    epoch: Vec<u32>,
+    value: Vec<f64>,
+    time: Vec<Timestep>,
+    current: u32,
+    /// The loaded profile's most recent timestep (the temporal "now" of Equation 7).
+    now: Timestep,
+}
+
+impl ProfileScratch {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a profile, invalidating whatever was loaded before. Later duplicate items
+    /// overwrite earlier ones, matching `HashMap::from_iter` semantics.
+    ///
+    /// `n_items` bounds the dense buffers to the recommender's catalogue: profile
+    /// entries with out-of-catalogue ids are skipped — they can never match a neighbour
+    /// (neighbour pools only hold catalogue items), and sizing buffers by a raw,
+    /// possibly corrupted id would allocate unboundedly. `now` still considers the full
+    /// profile, matching the previous `HashMap` path bit for bit.
+    fn load(&mut self, profile: &Profile, n_items: usize) {
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // epoch counter wrapped: clear the markers so stale slots cannot alias
+            self.epoch.iter_mut().for_each(|e| *e = 0);
+            self.current = 1;
+        }
+        self.now = profile
+            .iter()
+            .map(|&(_, _, t)| t)
+            .max()
+            .unwrap_or(Timestep(0));
+        for &(i, v, t) in profile {
+            let ix = i.index();
+            if ix >= n_items {
+                continue;
+            }
+            if ix >= self.epoch.len() {
+                self.epoch.resize(ix + 1, 0);
+                self.value.resize(ix + 1, 0.0);
+                self.time.resize(ix + 1, Timestep(0));
+            }
+            self.epoch[ix] = self.current;
+            self.value[ix] = v;
+            self.time[ix] = t;
+        }
+    }
+
+    /// The loaded profile's rating of `item`, if any.
+    fn get(&self, item: ItemId) -> Option<(f64, Timestep)> {
+        let ix = item.index();
+        if ix < self.epoch.len() && self.epoch[ix] == self.current {
+            Some((self.value[ix], self.time[ix]))
+        } else {
+            None
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the single-call entry points, so evaluation loops
+    /// that predict one rating at a time amortise the dense buffers exactly like the
+    /// batched path does. Epoch invalidation makes reuse across unrelated profiles safe.
+    static THREAD_SCRATCH: std::cell::RefCell<ProfileScratch> =
+        std::cell::RefCell::new(ProfileScratch::new());
+}
+
+/// Runs `f` with the calling thread's reusable [`ProfileScratch`].
+fn with_thread_scratch<R>(f: impl FnOnce(&mut ProfileScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 // ---------------------------------------------------------------------------
@@ -42,31 +147,24 @@ pub trait ProfileRecommender {
 /// Item-based CF over the target domain, owned (no borrows into the training matrix).
 pub struct ItemBasedRecommender {
     target: RatingMatrix,
-    /// Top-k similar target items per item, indexed by item id.
-    neighbors: Vec<Vec<(ItemId, f64)>>,
+    /// Top-k similar target items per item, indexed by item id — the fitted `ItemKnn`
+    /// pools, handed over without copying.
+    neighbors: Vec<Vec<ItemNeighbor>>,
     temporal_alpha: f64,
 }
 
 impl ItemBasedRecommender {
     /// Fits the recommender on the target-domain training matrix.
     pub fn fit(target: RatingMatrix, k: usize, temporal_alpha: f64) -> crate::Result<Self> {
-        let knn = ItemKnn::fit(
+        let neighbors = ItemKnn::fit(
             &target,
             ItemKnnConfig {
                 k,
                 temporal_alpha,
                 ..Default::default()
             },
-        )?;
-        let neighbors: Vec<Vec<(ItemId, f64)>> = (0..target.n_items() as u32)
-            .map(|i| {
-                knn.neighbors(ItemId(i))
-                    .iter()
-                    .map(|n| (n.item, n.similarity))
-                    .collect()
-            })
-            .collect();
-        drop(knn);
+        )?
+        .into_neighbors();
         Ok(ItemBasedRecommender {
             target,
             neighbors,
@@ -80,37 +178,58 @@ impl ItemBasedRecommender {
     }
 
     /// The precomputed neighbours of an item.
-    pub fn neighbors(&self, item: ItemId) -> &[(ItemId, f64)] {
+    pub fn neighbors(&self, item: ItemId) -> &[ItemNeighbor] {
         self.neighbors
             .get(item.index())
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
 
-    fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
+    fn predict_with_scratch(&self, scratch: &ProfileScratch, item: ItemId) -> f64 {
         predict_item_based(
             &self.target,
             self.neighbors(item),
-            profile,
+            scratch,
             item,
             self.temporal_alpha,
-            |_, s| s,
+        )
+    }
+
+    fn recommend_with_scratch(
+        &self,
+        scratch: &mut ProfileScratch,
+        profile: &Profile,
+        n: usize,
+    ) -> Vec<(ItemId, f64)> {
+        scratch.load(profile, self.target.n_items());
+        recommend_from_neighbors(
+            profile,
+            n,
+            |i| self.neighbors(i),
+            |i| self.predict_with_scratch(scratch, i),
         )
     }
 }
 
 impl ProfileRecommender for ItemBasedRecommender {
     fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
-        self.predict_impl(profile, item)
+        with_thread_scratch(|scratch| {
+            scratch.load(profile, self.target.n_items());
+            self.predict_with_scratch(scratch, item)
+        })
     }
 
     fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
-        recommend_from_neighbors(
-            profile,
-            n,
-            |i| self.neighbors(i),
-            |p, i| self.predict_impl(p, i),
-        )
+        with_thread_scratch(|scratch| self.recommend_with_scratch(scratch, profile, n))
+    }
+
+    fn recommend_batch(&self, profiles: &[&Profile], n: usize) -> Vec<Vec<(ItemId, f64)>> {
+        with_thread_scratch(|scratch| {
+            profiles
+                .iter()
+                .map(|p| self.recommend_with_scratch(scratch, p, n))
+                .collect()
+        })
     }
 
     fn label(&self) -> &'static str {
@@ -191,9 +310,15 @@ impl PrivateItemBasedRecommender {
     /// Fits the recommender: the candidate pool per item is the `k + k/4` most similar
     /// items (so the exponential mechanism can also pick sub-optimal neighbours, which is
     /// where the selection privacy comes from), each annotated with its similarity-based
-    /// sensitivity. The pool is kept close to `k` because on small catalogues a very wide
-    /// pool makes the ε′-constrained selection close to uniform over the catalogue — a
-    /// scale artefact the paper's 400K-item catalogue does not exhibit (see DESIGN.md).
+    /// sensitivity — the `pair_sensitivity` table is precomputed here, next to the pools,
+    /// so no prediction ever touches the rating matrix for sensitivities. The pool is
+    /// kept close to `k` because on small catalogues a very wide pool makes the
+    /// ε′-constrained selection close to uniform over the catalogue — a scale artefact
+    /// the paper's 400K-item catalogue does not exhibit (see DESIGN.md).
+    ///
+    /// The fit debits the recommendation-phase budget: ε′/2 for PNSA and ε′/2 for PNCF
+    /// (sequential composition, §4.4), atomically — an exhausted `budget` fails the fit
+    /// instead of silently releasing noised answers that no accountant vouches for.
     pub fn fit(
         target: RatingMatrix,
         k: usize,
@@ -201,29 +326,33 @@ impl PrivateItemBasedRecommender {
         rho: f64,
         temporal_alpha: f64,
         seed: u64,
+        budget: &mut PrivacyBudget,
     ) -> crate::Result<Self> {
+        let half = epsilon_prime / 2.0;
+        budget.spend_all(&[("PNSA", half), ("PNCF", half)])?;
         let pool_size = (k + k / 4).max(4);
-        let knn = ItemKnn::fit(
+        let pools = ItemKnn::fit(
             &target,
             ItemKnnConfig {
                 k: pool_size,
                 temporal_alpha,
                 ..Default::default()
             },
-        )?;
-        let candidates: Vec<Vec<ScoredCandidate>> = (0..target.n_items() as u32)
-            .map(|i| {
-                knn.neighbors(ItemId(i))
-                    .iter()
+        )?
+        .into_neighbors();
+        let candidates: Vec<Vec<ScoredCandidate>> = pools
+            .into_iter()
+            .enumerate()
+            .map(|(i, pool)| {
+                pool.into_iter()
                     .map(|n| ScoredCandidate {
                         item: n.item,
                         similarity: n.similarity,
-                        sensitivity: pair_sensitivity(&target, ItemId(i), n.item),
+                        sensitivity: pair_sensitivity(&target, ItemId(i as u32), n.item),
                     })
                     .collect()
             })
             .collect();
-        drop(knn);
         Ok(PrivateItemBasedRecommender {
             target,
             candidates,
@@ -248,7 +377,7 @@ impl PrivateItemBasedRecommender {
             .unwrap_or(&[])
     }
 
-    fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
+    fn predict_with_scratch(&self, scratch: &ProfileScratch, item: ItemId) -> f64 {
         // Deterministic per (seed, item): repeated queries for the same item release the
         // same randomised output rather than averaging the noise away.
         let mut rng = StdRng::seed_from_u64(
@@ -281,34 +410,49 @@ impl PrivateItemBasedRecommender {
         predict_item_based(
             &self.target,
             &neighbor_sims,
-            profile,
+            scratch,
             item,
             self.temporal_alpha,
-            |_, s| s,
+        )
+    }
+
+    fn recommend_with_scratch(
+        &self,
+        scratch: &mut ProfileScratch,
+        profile: &Profile,
+        n: usize,
+    ) -> Vec<(ItemId, f64)> {
+        scratch.load(profile, self.target.n_items());
+        // candidate pools drive the candidate generation; private selection happens
+        // inside the prediction of each candidate item
+        recommend_from_neighbors(
+            profile,
+            n,
+            |i| self.candidates(i),
+            |i| self.predict_with_scratch(scratch, i),
         )
     }
 }
 
 impl ProfileRecommender for PrivateItemBasedRecommender {
     fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
-        self.predict_impl(profile, item)
+        with_thread_scratch(|scratch| {
+            scratch.load(profile, self.target.n_items());
+            self.predict_with_scratch(scratch, item)
+        })
     }
 
     fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
-        recommend_from_neighbors(
-            profile,
-            n,
-            |i| {
-                // candidate pools drive the candidate generation; selection happens inside
-                // the prediction for each candidate item
-                self.candidates
-                    .get(i.index())
-                    .map(|v| v.as_slice())
-                    .unwrap_or(&[]);
-                self.candidates(i)
-            },
-            |p, i| self.predict_impl(p, i),
-        )
+        with_thread_scratch(|scratch| self.recommend_with_scratch(scratch, profile, n))
+    }
+
+    fn recommend_batch(&self, profiles: &[&Profile], n: usize) -> Vec<Vec<(ItemId, f64)>> {
+        with_thread_scratch(|scratch| {
+            profiles
+                .iter()
+                .map(|p| self.recommend_with_scratch(scratch, p, n))
+                .collect()
+        })
     }
 
     fn label(&self) -> &'static str {
@@ -327,6 +471,10 @@ impl ProfileRecommender for PrivateItemBasedRecommender {
 /// (range `[-1, 1]`, so `GS = 2`) — see the substitution notes in DESIGN.md.
 pub struct PrivateUserBasedRecommender {
     target: RatingMatrix,
+    /// Neighbour-pool configuration, fixed at fit time: the pool is slightly larger than
+    /// `k` so the exponential mechanism has room without collapsing to a uniform choice
+    /// over the whole user base.
+    pool_config: UserKnnConfig,
     k: usize,
     epsilon_prime: f64,
     rho: f64,
@@ -334,21 +482,32 @@ pub struct PrivateUserBasedRecommender {
 }
 
 impl PrivateUserBasedRecommender {
-    /// Creates the recommender.
+    /// Creates the recommender, fixing the neighbour-pool configuration once.
+    ///
+    /// The fit debits the recommendation-phase budget: ε′/2 for PNSA and ε′/2 for PNCF
+    /// (sequential composition, §4.4), atomically — an exhausted `budget` fails the fit
+    /// instead of silently releasing noised answers that no accountant vouches for.
     pub fn fit(
         target: RatingMatrix,
         k: usize,
         epsilon_prime: f64,
         rho: f64,
         seed: u64,
+        budget: &mut PrivacyBudget,
     ) -> crate::Result<Self> {
         if k == 0 {
             return Err(crate::XMapError::InvalidConfig(
                 "k must be at least 1".into(),
             ));
         }
+        let half = epsilon_prime / 2.0;
+        budget.spend_all(&[("PNSA", half), ("PNCF", half)])?;
         Ok(PrivateUserBasedRecommender {
             target,
+            pool_config: UserKnnConfig {
+                k: (k + k / 4).max(4),
+                min_similarity: 0.0,
+            },
             k,
             epsilon_prime,
             rho,
@@ -361,19 +520,23 @@ impl PrivateUserBasedRecommender {
         &self.target
     }
 
-    fn private_neighbors(&self, profile: &Profile, salt: u64) -> Vec<(xmap_cf::UserId, f64)> {
+    fn knn(&self) -> UserKnn<'_> {
+        UserKnn::new(&self.target, self.pool_config).expect("pool k validated at construction")
+    }
+
+    /// The (non-private) candidate neighbour pool of a profile: one full scan of the
+    /// training matrix. This is the expensive step that used to run once *per
+    /// prediction*; it depends only on the profile, so the serving paths compute it once
+    /// per profile and reuse it across every candidate item.
+    fn neighbor_pool(&self, profile: &Profile) -> Vec<(UserId, f64)> {
+        self.knn().neighbors_of_profile(profile)
+    }
+
+    /// PNSA selection + PNCF noise over a precomputed pool. The RNG is seeded from
+    /// `(seed, salt)` only, so for a fixed profile the released neighbourhood of a given
+    /// salt is identical whether the pool was rebuilt or reused.
+    fn private_neighbors_from_pool(&self, pool: &[(UserId, f64)], salt: u64) -> Vec<(UserId, f64)> {
         const USER_SIM_GLOBAL_SENSITIVITY: f64 = 2.0;
-        let knn = UserKnn::new(
-            &self.target,
-            UserKnnConfig {
-                // gather a slightly larger pool than k so the exponential mechanism has
-                // room without collapsing to a uniform choice over the whole user base
-                k: (self.k + self.k / 4).max(4),
-                min_similarity: 0.0,
-            },
-        )
-        .expect("k validated at construction");
-        let pool = knn.neighbors_of_profile(profile);
         let candidates: Vec<ScoredCandidate> = pool
             .iter()
             .enumerate()
@@ -405,9 +568,9 @@ impl PrivateUserBasedRecommender {
             .collect()
     }
 
-    fn predict_impl(&self, profile: &Profile, item: ItemId) -> f64 {
-        let neighbors = self.private_neighbors(profile, 0x9e37_79b9u64 ^ u64::from(item.0));
-        let avg = profile_average(profile).unwrap_or_else(|| self.target.global_average());
+    /// Equation 2 over a privately selected neighbourhood of the given pool.
+    fn predict_from_pool(&self, pool: &[(UserId, f64)], profile_avg: f64, item: ItemId) -> f64 {
+        let neighbors = self.private_neighbors_from_pool(pool, 0x9e37_79b9u64 ^ u64::from(item.0));
         let mut num = 0.0;
         let mut den = 0.0;
         for &(b, sim) in &neighbors {
@@ -416,32 +579,82 @@ impl PrivateUserBasedRecommender {
                 den += sim.abs();
             }
         }
-        let raw = if den < 1e-12 { avg } else { avg + num / den };
+        let raw = if den < 1e-12 {
+            profile_avg
+        } else {
+            profile_avg + num / den
+        };
         self.target.scale().clamp(raw)
     }
-}
 
-impl ProfileRecommender for PrivateUserBasedRecommender {
-    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
-        self.predict_impl(profile, item)
+    fn profile_avg(&self, profile: &Profile) -> f64 {
+        profile_average(profile).unwrap_or_else(|| self.target.global_average())
     }
 
-    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
-        // candidate items: anything rated by the (private) neighbourhood of the profile
-        let neighbors = self.private_neighbors(profile, 0xfeed_beefu64);
+    /// Candidate items of a recommendation request: everything rated by the (private)
+    /// neighbourhood, minus the profile's own items. Shared by the pooled path and the
+    /// rescan oracle so the two can only diverge in *how* candidates are scored.
+    fn candidate_items(&self, profile: &Profile, neighbors: &[(UserId, f64)]) -> Vec<ItemId> {
         let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
         let mut candidates: Vec<ItemId> = Vec::new();
-        for &(u, _) in &neighbors {
+        for &(u, _) in neighbors {
             for e in self.target.user_profile(u) {
                 candidates.push(e.item);
             }
         }
         candidates.sort_unstable();
         candidates.dedup();
-        let scored = candidates
+        candidates.retain(|i| !owned.contains(i));
+        candidates
+    }
+
+    /// The historical per-call path, kept as the equivalence oracle and throughput-bench
+    /// baseline: every prediction rebuilds the neighbour pool with a full matrix scan,
+    /// making top-N serving quadratic in the candidate count. Release outputs are
+    /// bit-identical to [`ProfileRecommender::recommend_for_profile`], just slower.
+    #[doc(hidden)]
+    pub fn recommend_for_profile_rescan(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        let neighbors =
+            self.private_neighbors_from_pool(&self.neighbor_pool(profile), 0xfeed_beefu64);
+        let scored = self
+            .candidate_items(profile, &neighbors)
             .into_iter()
-            .filter(|i| !owned.contains(i))
-            .map(|i| (self.predict_impl(profile, i), i));
+            // the quadratic defect: a fresh `neighbor_pool` scan for every candidate
+            .map(|i| {
+                (
+                    self.predict_from_pool(
+                        &self.neighbor_pool(profile),
+                        self.profile_avg(profile),
+                        i,
+                    ),
+                    i,
+                )
+            });
+        top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
+    }
+}
+
+impl ProfileRecommender for PrivateUserBasedRecommender {
+    fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        // a single prediction needs the pool exactly once — nothing to reuse here
+        self.predict_from_pool(
+            &self.neighbor_pool(profile),
+            self.profile_avg(profile),
+            item,
+        )
+    }
+
+    fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        // The pool depends only on the profile: compute it once and reuse it for the
+        // candidate generation *and* every candidate prediction (the per-item PNSA/PNCF
+        // draws stay per-item-seeded, so outputs match the rescan path bit for bit).
+        let pool = self.neighbor_pool(profile);
+        let profile_avg = self.profile_avg(profile);
+        let neighbors = self.private_neighbors_from_pool(&pool, 0xfeed_beefu64);
+        let scored = self
+            .candidate_items(profile, &neighbors)
+            .into_iter()
+            .map(|i| (self.predict_from_pool(&pool, profile_avg, i), i));
         top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
     }
 
@@ -455,37 +668,30 @@ impl ProfileRecommender for PrivateUserBasedRecommender {
 // ---------------------------------------------------------------------------
 
 /// Equation 4 / 7 prediction shared by the item-based recommenders: given neighbour
-/// `(item, similarity)` pairs of `item`, combine the profile's ratings of those
-/// neighbours. `transform` lets callers post-process each similarity (identity for the
-/// non-private path; PNCF noise is already applied by the caller in the private path).
-fn predict_item_based(
+/// `(item, similarity)` pairs of `item`, combine the loaded profile's ratings of those
+/// neighbours. The profile is consulted through a pre-loaded [`ProfileScratch`] so
+/// batched serving pays the profile indexing once per profile, not once per prediction.
+fn predict_item_based<N: NeighborLike>(
     target: &RatingMatrix,
-    neighbor_sims: &[(ItemId, f64)],
-    profile: &Profile,
+    neighbor_sims: &[N],
+    scratch: &ProfileScratch,
     item: ItemId,
     temporal_alpha: f64,
-    transform: impl Fn(ItemId, f64) -> f64,
 ) -> f64 {
     let item_avg = target.item_average(item);
-    let now: Timestep = profile
-        .iter()
-        .map(|&(_, _, t)| t)
-        .max()
-        .unwrap_or(Timestep(0));
-    let ratings: HashMap<ItemId, (f64, Timestep)> =
-        profile.iter().map(|&(i, v, t)| (i, (v, t))).collect();
+    let now = scratch.now;
     let mut num = 0.0;
     let mut den = 0.0;
-    for &(j, sim) in neighbor_sims {
-        if let Some(&(r, t)) = ratings.get(&j) {
+    for neighbor in neighbor_sims {
+        let (j, sim) = (neighbor.item_id(), neighbor.similarity());
+        if let Some((r, t)) = scratch.get(j) {
             let weight = if temporal_alpha > 0.0 {
                 (-temporal_alpha * now.elapsed_since(t) as f64).exp()
             } else {
                 1.0
             };
-            let s = transform(j, sim);
-            num += s * (r - target.item_average(j)) * weight;
-            den += s.abs() * weight;
+            num += sim * (r - target.item_average(j)) * weight;
+            den += sim.abs() * weight;
         }
     }
     let raw = if den < 1e-12 {
@@ -501,7 +707,7 @@ fn recommend_from_neighbors<'a, C: 'a + NeighborLike>(
     profile: &Profile,
     n: usize,
     neighbors_of: impl Fn(ItemId) -> &'a [C],
-    predict: impl Fn(&Profile, ItemId) -> f64,
+    predict: impl Fn(ItemId) -> f64,
 ) -> Vec<(ItemId, f64)> {
     let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
     let mut candidates: Vec<ItemId> = Vec::new();
@@ -515,24 +721,43 @@ fn recommend_from_neighbors<'a, C: 'a + NeighborLike>(
     let scored = candidates
         .into_iter()
         .filter(|i| !owned.contains(i))
-        .map(|i| (predict(profile, i), i));
+        .map(|i| (predict(i), i));
     top_k(n, scored).into_iter().map(|(s, i)| (i, s)).collect()
 }
 
-/// Anything that names a neighbouring item.
+/// Anything that names a neighbouring item with a similarity.
 trait NeighborLike {
     fn item_id(&self) -> ItemId;
+    fn similarity(&self) -> f64;
 }
 
 impl NeighborLike for (ItemId, f64) {
     fn item_id(&self) -> ItemId {
         self.0
     }
+
+    fn similarity(&self) -> f64 {
+        self.1
+    }
+}
+
+impl NeighborLike for ItemNeighbor {
+    fn item_id(&self) -> ItemId {
+        self.item
+    }
+
+    fn similarity(&self) -> f64 {
+        self.similarity
+    }
 }
 
 impl NeighborLike for ScoredCandidate {
     fn item_id(&self) -> ItemId {
         self.item
+    }
+
+    fn similarity(&self) -> f64 {
+        self.similarity
     }
 }
 
@@ -600,9 +825,23 @@ mod tests {
         assert!(UserBasedRecommender::fit(target_matrix(), 0).is_err());
     }
 
+    /// A recommendation-phase budget that exactly covers one ε′ expenditure.
+    fn budget_for(epsilon_prime: f64) -> PrivacyBudget {
+        PrivacyBudget::new(epsilon_prime)
+    }
+
     #[test]
     fn private_item_based_is_noisier_but_still_directionally_correct() {
-        let rec = PrivateItemBasedRecommender::fit(target_matrix(), 3, 5.0, 0.05, 0.0, 7).unwrap();
+        let rec = PrivateItemBasedRecommender::fit(
+            target_matrix(),
+            3,
+            5.0,
+            0.05,
+            0.0,
+            7,
+            &mut budget_for(5.0),
+        )
+        .unwrap();
         let p = cluster_profile();
         let liked = rec.predict_for_profile(&p, ItemId(2));
         let disliked = rec.predict_for_profile(&p, ItemId(4));
@@ -621,13 +860,40 @@ mod tests {
     #[test]
     fn private_predictions_are_deterministic_per_seed_and_vary_across_seeds() {
         let p = cluster_profile();
-        let a = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 7).unwrap();
-        let b = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 7).unwrap();
+        let a = PrivateItemBasedRecommender::fit(
+            target_matrix(),
+            3,
+            0.5,
+            0.05,
+            0.0,
+            7,
+            &mut budget_for(0.5),
+        )
+        .unwrap();
+        let b = PrivateItemBasedRecommender::fit(
+            target_matrix(),
+            3,
+            0.5,
+            0.05,
+            0.0,
+            7,
+            &mut budget_for(0.5),
+        )
+        .unwrap();
         assert_eq!(
             a.predict_for_profile(&p, ItemId(2)),
             b.predict_for_profile(&p, ItemId(2))
         );
-        let c = PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.5, 0.05, 0.0, 1234).unwrap();
+        let c = PrivateItemBasedRecommender::fit(
+            target_matrix(),
+            3,
+            0.5,
+            0.05,
+            0.0,
+            1234,
+            &mut budget_for(0.5),
+        )
+        .unwrap();
         // different seeds usually give different noise; check over several items
         let differs = (0..6u32)
             .any(|i| a.predict_for_profile(&p, ItemId(i)) != c.predict_for_profile(&p, ItemId(i)));
@@ -644,8 +910,16 @@ mod tests {
         // ground truth: item 2 should be ~5, item 4 should be ~1
         let truth = [(ItemId(2), 5.0), (ItemId(4), 1.0)];
         let error_for = |eps: f64, seed: u64| {
-            let rec =
-                PrivateItemBasedRecommender::fit(target.clone(), 3, eps, 0.05, 0.0, seed).unwrap();
+            let rec = PrivateItemBasedRecommender::fit(
+                target.clone(),
+                3,
+                eps,
+                0.05,
+                0.0,
+                seed,
+                &mut budget_for(eps),
+            )
+            .unwrap();
             truth
                 .iter()
                 .map(|&(i, t)| (rec.predict_for_profile(&p, i) - t).abs())
@@ -666,7 +940,15 @@ mod tests {
 
     #[test]
     fn private_user_based_runs_and_respects_scale() {
-        let rec = PrivateUserBasedRecommender::fit(target_matrix(), 3, 2.0, 0.05, 11).unwrap();
+        let rec = PrivateUserBasedRecommender::fit(
+            target_matrix(),
+            3,
+            2.0,
+            0.05,
+            11,
+            &mut budget_for(2.0),
+        )
+        .unwrap();
         let p = cluster_profile();
         for i in 0..6u32 {
             let v = rec.predict_for_profile(&p, ItemId(i));
@@ -679,7 +961,139 @@ mod tests {
         }
         assert_eq!(rec.label(), "X-MAP-UB");
         assert_eq!(rec.target().n_users(), 8);
-        assert!(PrivateUserBasedRecommender::fit(target_matrix(), 0, 2.0, 0.05, 1).is_err());
+        assert!(PrivateUserBasedRecommender::fit(
+            target_matrix(),
+            0,
+            2.0,
+            0.05,
+            1,
+            &mut budget_for(2.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn private_user_based_pooled_recommendations_match_the_rescan_reference() {
+        // Regression for the quadratic serving path: hoisting the neighbour-pool scan
+        // out of the per-candidate loop must not change a single released value.
+        let rec = PrivateUserBasedRecommender::fit(
+            target_matrix(),
+            3,
+            2.0,
+            0.05,
+            11,
+            &mut budget_for(2.0),
+        )
+        .unwrap();
+        for profile in [
+            cluster_profile(),
+            profile_from_pairs([(ItemId(3), 5.0), (ItemId(4), 4.0)]),
+            profile_from_pairs([(ItemId(0), 2.0)]),
+            Vec::new(),
+        ] {
+            assert_eq!(
+                rec.recommend_for_profile(&profile, 4),
+                rec.recommend_for_profile_rescan(&profile, 4),
+                "pooled and rescan paths diverged for {profile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recommend_batch_is_bit_identical_to_per_profile_calls() {
+        let profiles: Vec<Profile> = vec![
+            cluster_profile(),
+            profile_from_pairs([(ItemId(3), 5.0), (ItemId(4), 4.0)]),
+            profile_from_pairs([(ItemId(0), 1.0), (ItemId(5), 5.0)]),
+            Vec::new(),
+            profile_from_pairs([(ItemId(2), 3.0)]),
+        ];
+        let recommenders: Vec<Box<dyn ProfileRecommender>> = vec![
+            Box::new(ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap()),
+            Box::new(ItemBasedRecommender::fit(target_matrix(), 5, 0.3).unwrap()),
+            Box::new(UserBasedRecommender::fit(target_matrix(), 3).unwrap()),
+            Box::new(
+                PrivateItemBasedRecommender::fit(
+                    target_matrix(),
+                    3,
+                    5.0,
+                    0.05,
+                    0.0,
+                    7,
+                    &mut budget_for(5.0),
+                )
+                .unwrap(),
+            ),
+            Box::new(
+                PrivateUserBasedRecommender::fit(
+                    target_matrix(),
+                    3,
+                    2.0,
+                    0.05,
+                    11,
+                    &mut budget_for(2.0),
+                )
+                .unwrap(),
+            ),
+        ];
+        let profile_refs: Vec<&Profile> = profiles.iter().collect();
+        for rec in &recommenders {
+            let batched = rec.recommend_batch(&profile_refs, 4);
+            let reference: Vec<Vec<(ItemId, f64)>> = profiles
+                .iter()
+                .map(|p| rec.recommend_for_profile(p, 4))
+                .collect();
+            assert_eq!(batched, reference, "{} batch diverged", rec.label());
+        }
+    }
+
+    #[test]
+    fn private_fits_record_pnsa_and_pncf_in_the_ledger() {
+        let mut budget = PrivacyBudget::new(1.0);
+        PrivateItemBasedRecommender::fit(target_matrix(), 3, 0.8, 0.05, 0.0, 7, &mut budget)
+            .unwrap();
+        let mechanisms: Vec<&str> = budget
+            .ledger()
+            .iter()
+            .map(|e| e.mechanism.as_str())
+            .collect();
+        assert_eq!(mechanisms, vec!["PNSA", "PNCF"]);
+        assert!((budget.spent() - 0.8).abs() < 1e-12);
+        assert!((budget.ledger()[0].epsilon - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_budget_fails_the_private_fits() {
+        let mut drained = PrivacyBudget::new(0.8);
+        drained.spend("PRS", 0.7).unwrap();
+        let err = match PrivateItemBasedRecommender::fit(
+            target_matrix(),
+            3,
+            0.8,
+            0.05,
+            0.0,
+            7,
+            &mut drained,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("fit must fail on an exhausted budget"),
+        };
+        assert!(matches!(err, crate::XMapError::Privacy(_)), "{err}");
+        // the failed fit must not have recorded anything
+        assert_eq!(drained.ledger().len(), 1);
+
+        let err = match PrivateUserBasedRecommender::fit(
+            target_matrix(),
+            3,
+            0.8,
+            0.05,
+            7,
+            &mut drained,
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("fit must fail on an exhausted budget"),
+        };
+        assert!(matches!(err, crate::XMapError::Privacy(_)), "{err}");
     }
 
     #[test]
@@ -718,5 +1132,23 @@ mod tests {
         let v = rec.predict_for_profile(&p, ItemId(999));
         assert!((1.0..=5.0).contains(&v));
         assert!(rec.neighbors(ItemId(999)).is_empty());
+    }
+
+    #[test]
+    fn out_of_catalogue_profile_entries_are_skipped_not_allocated() {
+        // The dense scratch must bound its buffers to the catalogue: a corrupted or
+        // foreign-domain id like u32::MAX in the *profile* must neither abort on a
+        // gigantic allocation nor change predictions (it can never match a neighbour).
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let clean = cluster_profile();
+        let mut poisoned = clean.clone();
+        poisoned.push((ItemId(u32::MAX), 5.0, Timestep(0)));
+        assert_eq!(
+            rec.predict_for_profile(&poisoned, ItemId(2)),
+            rec.predict_for_profile(&clean, ItemId(2))
+        );
+        // the foreign id is still excluded from its own recommendations like any owned item
+        let recs = rec.recommend_for_profile(&poisoned, 3);
+        assert_eq!(recs, rec.recommend_for_profile(&clean, 3));
     }
 }

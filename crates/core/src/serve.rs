@@ -1,0 +1,176 @@
+//! Batched recommendation serving on the `Stage`/`Dataflow` engine.
+//!
+//! Online top-N serving is the recommendation phase of X-Map (PNSA/PNCF for the private
+//! modes, Algorithms 4–5) applied to a *batch* of AlterEgo profiles. [`RecommendStage`]
+//! runs one [`ServeBatch`] through the same partition-and-replay discipline the extender
+//! uses: profiles are hash-partitioned by request position, every partition is one pool
+//! task whose per-profile scratch (dense rating buffers, neighbour pools) is reused
+//! across the partition's profiles, and one *data-derived* task cost per partition is
+//! recorded in the dataflow ledger so the cluster simulator can replay the serving
+//! workload exactly like the extension workload.
+//!
+//! Determinism contract: partition assignment hashes the request position and every
+//! profile's computation is independent (private noise is seeded per `(model seed,
+//! item)`), so the stage's output is **bit-identical** to calling
+//! [`ProfileRecommender::recommend_for_profile`] once per profile, at any worker count.
+
+use crate::recommend::ProfileRecommender;
+use xmap_cf::knn::Profile;
+use xmap_cf::ItemId;
+use xmap_engine::{Stage, StageContext};
+
+/// A batch of top-N recommendation requests, one per AlterEgo profile.
+#[derive(Clone, Debug, Default)]
+pub struct ServeBatch {
+    /// The profiles to serve, in request order.
+    pub profiles: Vec<Profile>,
+    /// How many recommendations each request receives.
+    pub n: usize,
+}
+
+impl ServeBatch {
+    /// Builds a batch serving `n` recommendations per profile.
+    pub fn new(profiles: Vec<Profile>, n: usize) -> Self {
+        ServeBatch { profiles, n }
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+/// Stage name under which serving costs appear in the dataflow ledger.
+pub const RECOMMEND_STAGE_NAME: &str = "recommend";
+
+/// The batched recommendation stage: top-N for every profile of a [`ServeBatch`].
+pub struct RecommendStage<'r> {
+    recommender: &'r (dyn ProfileRecommender + Send + Sync),
+}
+
+impl<'r> RecommendStage<'r> {
+    /// Wraps a fitted recommender for batched serving.
+    pub fn new(recommender: &'r (dyn ProfileRecommender + Send + Sync)) -> Self {
+        RecommendStage { recommender }
+    }
+}
+
+impl Stage<ServeBatch> for RecommendStage<'_> {
+    type Out = Vec<Vec<(ItemId, f64)>>;
+
+    fn name(&self) -> &'static str {
+        RECOMMEND_STAGE_NAME
+    }
+
+    fn run(&self, batch: ServeBatch, cx: &mut StageContext<'_>) -> Vec<Vec<(ItemId, f64)>> {
+        let n = batch.n;
+        cx.map_items_ordered(batch.profiles, |_ix, part| {
+            // One sub-batch per partition (a hash-scattered subset of request
+            // positions): `recommend_batch` reuses the recommender's per-profile
+            // scratch across the partition's profiles and is bit-identical to
+            // per-profile calls by contract.
+            let profiles: Vec<&Profile> = part.iter().map(|(_, p)| p).collect();
+            let outs = self.recommender.recommend_batch(&profiles, n);
+            // Serving work scales with profile size (candidate generation fans out from
+            // every profile item); "+1" keeps empty profiles from being free so the
+            // simulated cluster still pays their per-request overhead.
+            let cost: f64 = profiles.iter().map(|p| 1.0 + p.len() as f64).sum();
+            (outs, cost)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recommend::ItemBasedRecommender;
+    use xmap_cf::knn::profile_from_pairs;
+    use xmap_cf::{DomainId, RatingMatrix, RatingMatrixBuilder};
+    use xmap_engine::Dataflow;
+
+    fn target_matrix() -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..4u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, 5.0).unwrap();
+            }
+            for i in 3..6u32 {
+                b.push_parts(u, i, 1.0).unwrap();
+            }
+        }
+        for u in 4..8u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, 1.0).unwrap();
+            }
+            for i in 3..6u32 {
+                b.push_parts(u, i, 5.0).unwrap();
+            }
+        }
+        for i in 0..6u32 {
+            b.set_item_domain(ItemId(i), DomainId::TARGET);
+        }
+        b.build().unwrap()
+    }
+
+    fn profiles() -> Vec<Profile> {
+        (0..20u32)
+            .map(|s| {
+                profile_from_pairs([
+                    (ItemId(s % 6), 5.0 - (s % 4) as f64),
+                    (ItemId((s + 2) % 6), 1.0 + (s % 5) as f64),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_batch_matches_per_profile_reference_at_any_worker_count() {
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let reference: Vec<Vec<(ItemId, f64)>> = profiles()
+            .iter()
+            .map(|p| rec.recommend_for_profile(p, 3))
+            .collect();
+        let mut reference_costs = None;
+        for workers in [1usize, 2, 8] {
+            let flow = Dataflow::new(workers, 8);
+            let out = flow.run(&RecommendStage::new(&rec), ServeBatch::new(profiles(), 3));
+            assert_eq!(out, reference, "{workers} workers changed served output");
+            let costs = flow
+                .stage_costs(RECOMMEND_STAGE_NAME)
+                .expect("serving records task costs");
+            assert_eq!(costs.len(), 8, "one task cost per partition");
+            match &reference_costs {
+                None => reference_costs = Some(costs),
+                Some(expected) => {
+                    assert_eq!(&costs, expected, "{workers} workers changed task costs")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_costs_cover_every_request() {
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let flow = Dataflow::new(2, 4);
+        let batch = ServeBatch::new(profiles(), 2);
+        let expected_cost: f64 = batch.profiles.iter().map(|p| 1.0 + p.len() as f64).sum();
+        assert_eq!(batch.len(), 20);
+        assert!(!batch.is_empty());
+        let _ = flow.run(&RecommendStage::new(&rec), batch);
+        let costs = flow.stage_costs(RECOMMEND_STAGE_NAME).unwrap();
+        assert!((costs.iter().sum::<f64>() - expected_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_serves_nothing() {
+        let rec = ItemBasedRecommender::fit(target_matrix(), 5, 0.0).unwrap();
+        let flow = Dataflow::new(2, 4);
+        let out = flow.run(&RecommendStage::new(&rec), ServeBatch::default());
+        assert!(out.is_empty());
+    }
+}

@@ -131,6 +131,55 @@ impl StageContext<'_> {
         }
         results
     }
+
+    /// Partitions `items` by their *input position*, processes every partition as one
+    /// pool task, and returns one output per item **in the original input order**.
+    ///
+    /// This is the serving-side counterpart of [`StageContext::map_partitions`]: batch
+    /// request processing wants per-request outputs back in request order, while still
+    /// getting partition-level scratch reuse and per-partition task-cost accounting.
+    /// `f` receives the partition index and the partition's `(input position, item)`
+    /// pairs, and must return one output per pair (in slice order) together with the
+    /// partition's data-derived task cost. Partition assignment hashes the input
+    /// position, so outputs, partition contents and recorded costs are identical for any
+    /// worker count.
+    ///
+    /// # Panics
+    /// Panics if `f` returns a different number of outputs than it received items.
+    pub fn map_items_ordered<T, R, F>(&mut self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(usize, &[(usize, T)]) -> (Vec<R>, f64) + Sync,
+    {
+        let n = items.len();
+        let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+        let per_partition = self.map_partitions(
+            indexed,
+            |&(pos, _)| pos,
+            |ix, part| {
+                let (outs, cost) = f(ix, part);
+                assert_eq!(
+                    outs.len(),
+                    part.len(),
+                    "partition {ix} returned {} outputs for {} items",
+                    outs.len(),
+                    part.len()
+                );
+                let keyed: Vec<(usize, R)> = part.iter().map(|&(pos, _)| pos).zip(outs).collect();
+                (keyed, cost)
+            },
+        );
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        for (pos, out) in per_partition.into_iter().flatten() {
+            slots[pos] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every input position produced exactly one output"))
+            .collect()
+    }
 }
 
 /// The dataflow runner: executes [`Stage`]s on a pool, times them, and accumulates
@@ -167,7 +216,9 @@ impl Dataflow {
     }
 
     /// Runs a stage: times it under its name and collects the per-partition task costs
-    /// it recorded.
+    /// it recorded. Re-running a stage *replaces* its previous timing report and cost
+    /// entry, so a long-lived runner that serves the same stage indefinitely keeps a
+    /// bounded ledger (one entry per distinct stage name).
     pub fn run<In, S: Stage<In>>(&self, stage: &S, input: In) -> S::Out {
         let mut cx = StageContext {
             pool: &self.pool,
@@ -178,15 +229,20 @@ impl Dataflow {
             .timer
             .run_stage(stage.name(), || stage.run(input, &mut cx));
         if !cx.costs.is_empty() {
-            self.stage_costs
+            let mut ledger = self
+                .stage_costs
                 .lock()
-                .expect("dataflow cost mutex poisoned")
-                .push((stage.name().to_string(), cx.costs));
+                .expect("dataflow cost mutex poisoned");
+            match ledger.iter_mut().find(|(name, _)| name == stage.name()) {
+                Some(entry) => entry.1 = cx.costs,
+                None => ledger.push((stage.name().to_string(), cx.costs)),
+            }
         }
         out
     }
 
-    /// Wall-clock reports of every stage run so far, in execution order.
+    /// Wall-clock reports of the most recent run of each stage, in first-execution
+    /// order.
     pub fn reports(&self) -> Vec<StageReport> {
         self.timer.reports()
     }
@@ -197,7 +253,6 @@ impl Dataflow {
             .lock()
             .expect("dataflow cost mutex poisoned")
             .iter()
-            .rev()
             .find(|(name, _)| name == stage)
             .map(|(_, costs)| costs.clone())
     }
@@ -267,12 +322,85 @@ mod tests {
     }
 
     #[test]
+    fn rerunning_a_stage_replaces_its_ledger_entries_instead_of_growing_them() {
+        let flow = Dataflow::new(2, 4);
+        for round in 0..50u64 {
+            let _ = flow.run(&SquareStage, (0..10 + round).collect());
+        }
+        assert_eq!(
+            flow.reports().len(),
+            1,
+            "repeated runs must keep one report per stage name"
+        );
+        let costs = flow.stage_costs("square").unwrap();
+        assert_eq!(costs.len(), 4);
+        assert_eq!(
+            costs.iter().sum::<f64>(),
+            59.0,
+            "the ledger must hold the most recent run's costs"
+        );
+    }
+
+    #[test]
     fn unknown_stage_has_no_costs() {
         let flow = Dataflow::new(1, 4);
         assert!(flow.stage_costs("nope").is_none());
         assert!(flow
             .cluster_sim("nope", ClusterCostModel::xmap_like())
             .is_none());
+    }
+
+    struct OrderedDoubleStage;
+
+    impl Stage<Vec<u64>> for OrderedDoubleStage {
+        type Out = Vec<u64>;
+
+        fn name(&self) -> &'static str {
+            "double"
+        }
+
+        fn run(&self, input: Vec<u64>, cx: &mut StageContext<'_>) -> Vec<u64> {
+            cx.map_items_ordered(input, |_ix, part| {
+                let outs: Vec<u64> = part.iter().map(|&(_, x)| x * 2).collect();
+                (outs, part.len() as f64)
+            })
+        }
+    }
+
+    #[test]
+    fn ordered_map_returns_outputs_in_input_order() {
+        let flow = Dataflow::new(4, 8);
+        let input: Vec<u64> = (0..100).rev().collect();
+        let out = flow.run(&OrderedDoubleStage, input.clone());
+        let expect: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expect, "outputs must align with the input order");
+        let costs = flow.stage_costs("double").expect("costs recorded");
+        assert_eq!(costs.len(), 8, "one task cost per partition");
+        assert_eq!(costs.iter().sum::<f64>(), 100.0);
+    }
+
+    #[test]
+    fn ordered_map_is_identical_for_1_2_and_8_workers() {
+        let reference_flow = Dataflow::new(1, 8);
+        let reference = reference_flow.run(&OrderedDoubleStage, (0..500).collect());
+        let reference_costs = reference_flow.stage_costs("double").unwrap();
+        for workers in [2usize, 8] {
+            let flow = Dataflow::new(workers, 8);
+            let out = flow.run(&OrderedDoubleStage, (0..500).collect());
+            assert_eq!(out, reference, "{workers} workers changed ordered output");
+            assert_eq!(
+                flow.stage_costs("double").unwrap(),
+                reference_costs,
+                "{workers} workers changed ordered task costs"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_map_handles_empty_input() {
+        let flow = Dataflow::new(2, 4);
+        let out = flow.run(&OrderedDoubleStage, Vec::new());
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -30,10 +30,15 @@ impl StageTimer {
     }
 
     /// Runs `f` as a named stage, recording its duration, and returns its result.
+    ///
+    /// Re-running a stage *replaces* its previous report (see
+    /// [`StageTimer::record_latest`]), so a long-lived runner re-executing the same
+    /// stage indefinitely keeps one report per distinct stage name. Use
+    /// [`StageTimer::record`] directly when append semantics are wanted.
     pub fn run_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let result = f();
-        self.record(name, start.elapsed());
+        self.record_latest(name, start.elapsed());
         result
     }
 
@@ -46,6 +51,22 @@ impl StageTimer {
                 name: name.to_string(),
                 duration,
             });
+    }
+
+    /// Records a duration for a named stage, *replacing* the most recent entry with the
+    /// same name (appending if none exists). Long-running processes that re-run the
+    /// same stage indefinitely (batched serving) stay bounded: one report per distinct
+    /// stage name, in first-execution order.
+    pub fn record_latest(&self, name: &str, duration: Duration) {
+        let mut reports = self.reports.lock().expect("stage timer mutex poisoned");
+        if let Some(r) = reports.iter_mut().rev().find(|r| r.name == name) {
+            r.duration = duration;
+        } else {
+            reports.push(StageReport {
+                name: name.to_string(),
+                duration,
+            });
+        }
     }
 
     /// All recorded stages in recording order.
@@ -110,6 +131,19 @@ mod tests {
         assert_eq!(timer.last("generator"), Some(Duration::from_millis(7)));
         assert_eq!(timer.last("missing"), None);
         assert_eq!(timer.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn record_latest_replaces_in_place() {
+        let timer = StageTimer::new();
+        timer.record_latest("recommend", Duration::from_millis(5));
+        timer.record_latest("other", Duration::from_millis(1));
+        timer.record_latest("recommend", Duration::from_millis(9));
+        let reports = timer.reports();
+        assert_eq!(reports.len(), 2, "re-recording must not grow the list");
+        assert_eq!(reports[0].name, "recommend");
+        assert_eq!(reports[0].duration, Duration::from_millis(9));
+        assert_eq!(reports[1].name, "other");
     }
 
     #[test]

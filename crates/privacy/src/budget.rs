@@ -95,6 +95,40 @@ impl PrivacyBudget {
         Ok(())
     }
 
+    /// Spends several `(mechanism, ε)` entries atomically: either the whole batch fits
+    /// in the remaining budget and every entry is recorded (in order), or nothing is.
+    ///
+    /// Mechanisms that compose sequentially *within one release* (PNSA + PNCF sharing
+    /// ε′, §4.4) must not end up half-recorded: a ledger holding the PNSA entry but not
+    /// the PNCF one would certify a guarantee the released output does not have.
+    pub fn spend_all(&mut self, entries: &[(&str, f64)]) -> Result<(), BudgetError> {
+        for &(mechanism, epsilon) in entries {
+            assert!(
+                epsilon.is_finite() && epsilon > 0.0,
+                "spent ε must be positive and finite, got {epsilon} for `{mechanism}`"
+            );
+        }
+        let requested: f64 = entries.iter().map(|&(_, e)| e).sum();
+        if requested > self.remaining() + 1e-12 {
+            return Err(BudgetError {
+                requested,
+                remaining: self.remaining(),
+                mechanism: entries
+                    .iter()
+                    .map(|&(m, _)| m)
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            });
+        }
+        for &(mechanism, epsilon) in entries {
+            self.ledger.push(Expenditure {
+                mechanism: mechanism.to_string(),
+                epsilon,
+            });
+        }
+        Ok(())
+    }
+
     /// The full expenditure ledger, in spending order.
     pub fn ledger(&self) -> &[Expenditure] {
         &self.ledger
@@ -138,6 +172,24 @@ mod tests {
         b.spend("PNCF", 0.4).unwrap();
         assert!(b.remaining() < 1e-12);
         assert!(b.spend("extra", 0.01).is_err());
+    }
+
+    #[test]
+    fn spend_all_is_atomic() {
+        let mut b = PrivacyBudget::new(0.8);
+        b.spend_all(&[("PNSA", 0.4), ("PNCF", 0.4)]).unwrap();
+        assert_eq!(b.ledger().len(), 2);
+        assert_eq!(b.ledger()[0].mechanism, "PNSA");
+        assert_eq!(b.ledger()[1].mechanism, "PNCF");
+        assert!(b.remaining() < 1e-12);
+
+        // the pair does not fit: neither half may be recorded
+        let mut b = PrivacyBudget::new(0.5);
+        let err = b.spend_all(&[("PNSA", 0.4), ("PNCF", 0.4)]).unwrap_err();
+        assert_eq!(err.mechanism, "PNSA+PNCF");
+        assert!((err.requested - 0.8).abs() < 1e-12);
+        assert!(b.ledger().is_empty(), "failed batch must record nothing");
+        assert!((b.remaining() - 0.5).abs() < 1e-12);
     }
 
     #[test]
