@@ -1,0 +1,426 @@
+//! The `experiments` harness: engine-parallel sweeps plus the CI accuracy gate.
+//!
+//! ```text
+//! cargo run --release -p xmap-bench --bin experiments -- eval-smoke
+//! cargo run --release -p xmap-bench --bin experiments -- eval-smoke --out report.json
+//! cargo run --release -p xmap-bench --bin experiments -- eval-smoke --check crates/bench/baselines/eval_smoke.json
+//! cargo run --release -p xmap-bench --bin experiments -- sweep k [quick|full]
+//! ```
+//!
+//! `eval-smoke` runs the full determinism/accuracy gate on the small fixed-seed trace:
+//! it fits the model at 1, 2 and 8 workers, asserts the engine-parallel `EvalStage`
+//! output is bit-identical to the serial `evaluate_predictions` reference at every
+//! worker count (outputs *and* task-cost ledgers), executes the k / ε′ / overlap
+//! sweeps (ε′ rather than ε — see the note in `smoke_sweeps`), and emits a
+//! machine-readable JSON report. With `--check <baseline>` the report is
+//! diffed against the committed baseline: any MAE drift beyond 1e-9 fails the run,
+//! which is what the `eval-smoke` CI job enforces on every push.
+//!
+//! `sweep <k|epsilon|epsilon_prime|alpha|overlap>` runs one sweep on the Amazon-like
+//! trace and prints both the table and the JSON series.
+
+use std::process::ExitCode;
+use xmap_bench::experiments::Direction;
+use xmap_bench::{amazon_like, amazon_like_small, Scale, SweepRunner};
+use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapPipeline};
+use xmap_eval::{
+    evaluate_batch_serial, evaluate_predictions, render_series_table, EvalReport, Json, SweepParam,
+    SweepSeries, SweepSpec,
+};
+
+/// Tolerance of the accuracy gate: committed baseline values may drift by at most this.
+const GATE_TOLERANCE: f64 = 1e-9;
+
+/// Worker counts the determinism gate exercises.
+const GATE_WORKERS: [usize; 3] = [1, 2, 8];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("eval-smoke") => eval_smoke(&args[1..]),
+        Some("sweep") => sweep_command(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: experiments eval-smoke [--out PATH] [--check BASELINE]\n\
+                        experiments sweep <k|epsilon|epsilon_prime|alpha|overlap> [quick|full]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The value following `flag`, if the flag is present. A flag with a missing value
+/// (end of args, or another `--flag` in value position) aborts with a usage error
+/// instead of silently consuming the next flag — a typo must not disable the gate.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let ix = args.iter().position(|a| a == flag)?;
+    match args.get(ix + 1).map(String::as_str) {
+        Some(value) if !value.starts_with("--") => Some(value),
+        _ => {
+            eprintln!("error: `{flag}` requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eval-smoke: the determinism + accuracy gate
+// ---------------------------------------------------------------------------
+
+fn smoke_runner(mode: XMapMode) -> SweepRunner {
+    let base = XMapConfig {
+        mode,
+        k: 8,
+        privacy: match mode {
+            XMapMode::XMapUserBased => PrivacyConfig::user_based_default(),
+            _ => PrivacyConfig::default(),
+        },
+        ..Default::default()
+    };
+    SweepRunner::new(amazon_like_small(), Direction::MovieToBook, base)
+}
+
+/// Fits the smoke configuration at every gate worker count and asserts the
+/// engine-parallel evaluation is bit-identical to the serial reference throughout.
+/// Returns the (shared) report.
+fn run_determinism_gate(runner: &SweepRunner) -> EvalReport {
+    let split = runner.split(None);
+    let batch = runner.eval_batch(&split);
+    assert!(
+        !batch.test.is_empty() && !batch.ranking.is_empty(),
+        "the smoke split must exercise both metric families"
+    );
+    let (source, target) = runner.domains();
+    let mut reference: Option<(EvalReport, Vec<f64>)> = None;
+    for workers in GATE_WORKERS {
+        let config = XMapConfig {
+            workers,
+            ..*runner.base_config()
+        };
+        let model = XMapPipeline::fit(&split.train, source, target, config)
+            .expect("smoke dataset contains both domains");
+        let report = model.evaluate_batch(batch.clone());
+        let serial = evaluate_batch_serial(&model, &batch);
+        assert!(
+            report.bits_eq(&serial),
+            "{workers} workers: EvalStage diverged from the serial reference\n  stage:  {report:?}\n  serial: {serial:?}"
+        );
+        let loop_outcome = evaluate_predictions(&batch.test, |u, i| model.predict(u, i));
+        assert_eq!(
+            report.mae.to_bits(),
+            loop_outcome.mae.to_bits(),
+            "{workers} workers: MAE diverged from evaluate_predictions"
+        );
+        let costs = model
+            .eval_task_costs()
+            .expect("evaluation records task costs");
+        match &reference {
+            None => reference = Some((report, costs)),
+            Some((expected, expected_costs)) => {
+                assert!(
+                    report.bits_eq(expected),
+                    "{workers} workers changed the evaluation report"
+                );
+                assert_eq!(
+                    &costs, expected_costs,
+                    "{workers} workers changed the eval task costs"
+                );
+            }
+        }
+    }
+    reference.expect("at least one worker count ran").0
+}
+
+fn smoke_sweeps() -> Vec<(SweepSpec, SweepSeries)> {
+    let specs = vec![
+        (
+            XMapMode::NxMapItemBased,
+            SweepSpec::new(SweepParam::K, vec![2.0, 4.0, 8.0]),
+        ),
+        // ε′ rather than ε: on the small smoke trace the PRS draw is insensitive to ε
+        // in the paper's operating range (the fixed-seed exponential mechanism picks
+        // the same replacements), while the PNSA/PNCF noise scales visibly with ε′ —
+        // a moving series makes the drift gate meaningful for the private path.
+        (
+            XMapMode::XMapItemBased,
+            SweepSpec::new(SweepParam::EpsilonPrime, vec![0.05, 0.3, 0.8]),
+        ),
+        (
+            XMapMode::NxMapItemBased,
+            SweepSpec::new(SweepParam::Overlap, vec![0.5, 1.0]),
+        ),
+    ];
+    specs
+        .into_iter()
+        .map(|(mode, spec)| {
+            let series = smoke_runner(mode).run(&spec);
+            (spec, series)
+        })
+        .collect()
+}
+
+fn report_to_json(report: &EvalReport) -> Json {
+    Json::obj([
+        ("mae", Json::Num(report.mae)),
+        ("rmse", Json::Num(report.rmse)),
+        ("n_predictions", Json::Num(report.n_predictions as f64)),
+        ("precision_at_n", Json::Num(report.precision_at_n)),
+        ("recall_at_n", Json::Num(report.recall_at_n)),
+        ("coverage", Json::Num(report.coverage)),
+        ("n_ranking_users", Json::Num(report.n_ranking_users as f64)),
+    ])
+}
+
+fn series_to_json(spec: &SweepSpec, series: &SweepSeries) -> Json {
+    Json::obj([
+        ("param", Json::str(spec.param.label())),
+        ("metric", Json::str(spec.metric.label())),
+        ("label", Json::str(series.label.clone())),
+        (
+            "points",
+            Json::Arr(
+                series
+                    .points
+                    .iter()
+                    .map(|p| Json::obj([("x", Json::Num(p.x)), ("y", Json::Num(p.y))]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn eval_smoke(args: &[String]) -> ExitCode {
+    println!("# eval-smoke: engine-parallel evaluation gate");
+    let runner = smoke_runner(XMapMode::NxMapItemBased);
+    let report = run_determinism_gate(&runner);
+    println!(
+        "determinism: EvalStage bit-identical to the serial reference at {GATE_WORKERS:?} workers"
+    );
+    println!(
+        "eval: mae {:.6}  rmse {:.6}  precision@N {:.4}  recall@N {:.4}  coverage {:.4}  ({} triples, {} ranking users)",
+        report.mae,
+        report.rmse,
+        report.precision_at_n,
+        report.recall_at_n,
+        report.coverage,
+        report.n_predictions,
+        report.n_ranking_users
+    );
+
+    let sweeps = smoke_sweeps();
+    for (spec, series) in &sweeps {
+        println!(
+            "{}",
+            render_series_table(spec.param.label(), std::slice::from_ref(series), 6)
+        );
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::Num(1.0)),
+        ("harness", Json::str("eval-smoke")),
+        ("dataset", Json::str("amazon_like_small")),
+        ("split_seed", Json::Num(99.0)),
+        (
+            "workers_checked",
+            Json::Arr(GATE_WORKERS.iter().map(|&w| Json::Num(w as f64)).collect()),
+        ),
+        ("bit_identical", Json::Bool(true)),
+        ("eval", report_to_json(&report)),
+        (
+            "sweeps",
+            Json::Arr(
+                sweeps
+                    .iter()
+                    .map(|(spec, series)| series_to_json(spec, series))
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, doc.render_pretty()).expect("failed to write the JSON report");
+        println!("report written to {path}");
+    } else {
+        println!("{}", doc.render_pretty());
+    }
+
+    if let Some(path) = flag_value(args, "--check") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e}"));
+        let drift = diff_against_baseline(&doc, &baseline);
+        if drift.is_empty() {
+            println!("gate: report matches {path} within {GATE_TOLERANCE:e}");
+        } else {
+            eprintln!("gate FAILED against {path}:");
+            for line in &drift {
+                eprintln!("  {line}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares the freshly generated report against the committed baseline. Every numeric
+/// field of `eval` and every sweep point must agree within [`GATE_TOLERANCE`]; missing
+/// or extra sweeps are also drift (the baseline must be regenerated deliberately).
+fn diff_against_baseline(current: &Json, baseline: &Json) -> Vec<String> {
+    let mut drift = Vec::new();
+    fn check(drift: &mut Vec<String>, name: String, cur: Option<f64>, base: Option<f64>) {
+        match (cur, base) {
+            // Fail closed: a NaN-regressed value (whose every `>` comparison is false)
+            // must register as drift, so non-finite deltas are rejected explicitly.
+            (Some(c), Some(b)) => {
+                let delta = (c - b).abs();
+                if !delta.is_finite() || delta > GATE_TOLERANCE {
+                    drift.push(format!("{name}: {c} vs baseline {b} (|Δ| = {delta:e})"));
+                }
+            }
+            (c, b) => drift.push(format!(
+                "{name}: missing value (current {c:?}, baseline {b:?})"
+            )),
+        }
+    }
+
+    for field in [
+        "mae",
+        "rmse",
+        "n_predictions",
+        "precision_at_n",
+        "recall_at_n",
+        "coverage",
+        "n_ranking_users",
+    ] {
+        check(
+            &mut drift,
+            format!("eval.{field}"),
+            current
+                .get("eval")
+                .and_then(|e| e.get(field))
+                .and_then(Json::as_f64),
+            baseline
+                .get("eval")
+                .and_then(|e| e.get(field))
+                .and_then(Json::as_f64),
+        );
+    }
+
+    let empty: [Json; 0] = [];
+    let current_sweeps = current
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let baseline_sweeps = baseline
+        .get("sweeps")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    if current_sweeps.len() != baseline_sweeps.len() {
+        drift.push(format!(
+            "sweep count changed: {} vs baseline {}",
+            current_sweeps.len(),
+            baseline_sweeps.len()
+        ));
+    }
+    for base_sweep in baseline_sweeps {
+        let param = base_sweep
+            .get("param")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let metric = base_sweep
+            .get("metric")
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let Some(cur_sweep) = current_sweeps.iter().find(|s| {
+            s.get("param").and_then(Json::as_str) == Some(param)
+                && s.get("metric").and_then(Json::as_str) == Some(metric)
+        }) else {
+            drift.push(format!(
+                "sweep {param}/{metric}: missing from the current report"
+            ));
+            continue;
+        };
+        let base_points = base_sweep
+            .get("points")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty);
+        let cur_points = cur_sweep
+            .get("points")
+            .and_then(Json::as_array)
+            .unwrap_or(&empty);
+        if base_points.len() != cur_points.len() {
+            drift.push(format!(
+                "sweep {param}/{metric}: {} points vs baseline {}",
+                cur_points.len(),
+                base_points.len()
+            ));
+            continue;
+        }
+        for (ix, (cur, base)) in cur_points.iter().zip(base_points).enumerate() {
+            check(
+                &mut drift,
+                format!("sweep {param}/{metric} point {ix} x"),
+                cur.get("x").and_then(Json::as_f64),
+                base.get("x").and_then(Json::as_f64),
+            );
+            check(
+                &mut drift,
+                format!("sweep {param}/{metric} point {ix} y"),
+                cur.get("y").and_then(Json::as_f64),
+                base.get("y").and_then(Json::as_f64),
+            );
+        }
+    }
+    drift
+}
+
+// ---------------------------------------------------------------------------
+// sweep: one-off sweeps on the Amazon-like trace
+// ---------------------------------------------------------------------------
+
+fn sweep_command(args: &[String]) -> ExitCode {
+    let Some(param) = args.first().and_then(|p| SweepParam::parse(p)) else {
+        eprintln!("usage: experiments sweep <k|epsilon|epsilon_prime|alpha|overlap> [quick|full]");
+        return ExitCode::from(2);
+    };
+    let scale = args
+        .get(1)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Quick);
+    let (mode, values): (XMapMode, Vec<f64>) = match param {
+        SweepParam::K => (
+            XMapMode::NxMapItemBased,
+            match scale {
+                Scale::Quick => vec![10.0, 25.0, 50.0],
+                Scale::Full => vec![10.0, 25.0, 50.0, 75.0, 100.0],
+            },
+        ),
+        SweepParam::Epsilon | SweepParam::EpsilonPrime => (
+            XMapMode::XMapItemBased,
+            match scale {
+                Scale::Quick => vec![0.2, 0.5, 0.8],
+                Scale::Full => vec![0.1, 0.3, 0.5, 0.7, 0.9],
+            },
+        ),
+        SweepParam::TemporalAlpha => (XMapMode::NxMapItemBased, vec![0.0, 0.05, 0.1, 0.15, 0.2]),
+        SweepParam::Overlap => (XMapMode::NxMapItemBased, vec![0.2, 0.4, 0.6, 0.8, 1.0]),
+    };
+    let base = XMapConfig {
+        mode,
+        k: 40,
+        privacy: match mode {
+            XMapMode::XMapUserBased => PrivacyConfig::user_based_default(),
+            _ => PrivacyConfig::default(),
+        },
+        ..Default::default()
+    };
+    let spec = SweepSpec::new(param, values);
+    println!("# sweep {} on amazon_like ({scale:?})", param.label());
+    let series = SweepRunner::new(amazon_like(scale), Direction::MovieToBook, base).run(&spec);
+    print!(
+        "{}",
+        render_series_table(param.label(), std::slice::from_ref(&series), 4)
+    );
+    println!("{}", series_to_json(&spec, &series).render_pretty());
+    ExitCode::SUCCESS
+}

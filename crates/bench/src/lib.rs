@@ -3,15 +3,20 @@
 //! Every table and figure of the paper's evaluation (§6) has a corresponding function in
 //! [`experiments`]; the `figures` binary dispatches on experiment ids (`fig1b`, `fig5`,
 //! …, `table3`, `fig11`, or `all`) and prints the regenerated rows/series, and the
-//! Criterion benches time the underlying computations. The mapping from experiment id to
-//! paper artifact is documented in `DESIGN.md` (per-experiment index) and the measured
-//! outcomes are recorded in `EXPERIMENTS.md`.
+//! Criterion benches time the underlying computations. The [`sweep`] module runs
+//! declarative parameter sweeps on the dataflow engine, and the `experiments` binary
+//! exposes them together with the `eval-smoke` determinism/accuracy gate that CI diffs
+//! against a committed JSON baseline. The mapping from experiment id to paper artifact
+//! is documented in `DESIGN.md` (per-experiment index) and the measured outcomes are
+//! recorded in `EXPERIMENTS.md`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod datasets;
 pub mod experiments;
+pub mod sweep;
 
 pub use datasets::{amazon_like, amazon_like_small, amazon_like_sparse, movielens_like, Scale};
 pub use experiments::*;
+pub use sweep::SweepRunner;

@@ -1,0 +1,233 @@
+//! The engine-parallel sweep runner: [`SweepSpec`] → fitted models → [`SweepSeries`].
+//!
+//! `XMapModel::sweep` can refit-and-evaluate every parameter that lives in the model
+//! configuration (k, ε, ε′, α). The one axis it cannot execute is the overlap fraction
+//! of Figure 9, which changes the *split* rather than the config — [`SweepRunner`] owns
+//! the dataset and split configuration, so it executes every [`SweepParam`] uniformly:
+//! each sweep point is one pipeline fit plus one `EvalStage` dataflow run, and the
+//! resulting series is deterministic for any worker count (the fit and the evaluation
+//! both carry the engine's bit-identity contract).
+
+use crate::experiments::Direction;
+use xmap_cf::DomainId;
+use xmap_core::{XMapConfig, XMapModel, XMapPipeline};
+use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
+use xmap_dataset::synthetic::CrossDomainDataset;
+use xmap_eval::{ranking_cases_from_test, EvalBatch, SweepParam, SweepSeries, SweepSpec};
+
+/// Executes parameter sweeps over one dataset/direction/configuration triple.
+pub struct SweepRunner {
+    dataset: CrossDomainDataset,
+    direction: Direction,
+    base: XMapConfig,
+    split: SplitConfig,
+    top_n: usize,
+    relevance_threshold: f64,
+}
+
+impl SweepRunner {
+    /// Creates a runner with the default split protocol (§6.1 cold-start, seed 99),
+    /// top-5 ranking lists and a relevance threshold of 4.0.
+    pub fn new(dataset: CrossDomainDataset, direction: Direction, base: XMapConfig) -> Self {
+        SweepRunner {
+            dataset,
+            direction,
+            base,
+            split: SplitConfig::default(),
+            top_n: 5,
+            relevance_threshold: 4.0,
+        }
+    }
+
+    /// Replaces the split configuration.
+    pub fn with_split(mut self, split: SplitConfig) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Replaces the ranking-list length N.
+    pub fn with_top_n(mut self, top_n: usize) -> Self {
+        self.top_n = top_n;
+        self
+    }
+
+    /// Replaces the relevance threshold used to derive ranking cases from hidden
+    /// ratings.
+    pub fn with_relevance_threshold(mut self, threshold: f64) -> Self {
+        self.relevance_threshold = threshold;
+        self
+    }
+
+    /// The base configuration sweeps start from.
+    pub fn base_config(&self) -> &XMapConfig {
+        &self.base
+    }
+
+    /// The (source, target) domains of the runner's direction.
+    pub fn domains(&self) -> (DomainId, DomainId) {
+        self.direction.domains()
+    }
+
+    /// Number of recommendable items in the target domain (the coverage catalogue).
+    pub fn catalogue_size(&self) -> usize {
+        let (_, target) = self.domains();
+        let matrix = &self.dataset.matrix;
+        matrix
+            .items()
+            .filter(|&i| matrix.item_domain(i) == target)
+            .count()
+    }
+
+    /// Builds the runner's split (optionally overriding the overlap fraction).
+    pub fn split(&self, overlap_fraction: Option<f64>) -> CrossDomainSplit {
+        let (_, target) = self.domains();
+        let config = match overlap_fraction {
+            Some(fraction) => SplitConfig {
+                overlap_fraction: fraction,
+                ..self.split
+            },
+            None => self.split,
+        };
+        CrossDomainSplit::build(&self.dataset, target, config)
+    }
+
+    /// The evaluation batch of a split: its hidden triples plus the ranking cases
+    /// derived from them.
+    pub fn eval_batch(&self, split: &CrossDomainSplit) -> EvalBatch {
+        let ranking = ranking_cases_from_test(&split.test, self.relevance_threshold);
+        EvalBatch::predictions(split.test.clone()).with_ranking(
+            ranking,
+            self.top_n,
+            self.catalogue_size(),
+        )
+    }
+
+    /// Fits the base configuration on a split's training matrix.
+    pub fn fit(&self, split: &CrossDomainSplit) -> XMapModel {
+        let (source, target) = self.domains();
+        XMapPipeline::fit(&split.train, source, target, self.base)
+            .expect("harness datasets always contain both domains")
+    }
+
+    /// Executes a sweep: one fitted pipeline plus one `EvalStage` dataflow run per
+    /// point. Config-level parameters delegate to `XMapModel::sweep`; overlap points
+    /// rebuild the split (the axis of Figure 9) and evaluate the base configuration on
+    /// each rebuilt split.
+    pub fn run(&self, spec: &SweepSpec) -> SweepSeries {
+        match spec.param {
+            SweepParam::Overlap => {
+                let mut series = SweepSeries::new(format!(
+                    "{} / {}",
+                    self.base.mode.label(),
+                    spec.param.label()
+                ));
+                for &fraction in &spec.values {
+                    let split = self.split(Some(fraction));
+                    let model = self.fit(&split);
+                    let report = model.evaluate_batch(self.eval_batch(&split));
+                    series.push(fraction, report.metric(spec.metric));
+                }
+                series
+            }
+            _ => {
+                let split = self.split(None);
+                let batch = self.eval_batch(&split);
+                self.fit(&split)
+                    .sweep(spec, &batch)
+                    .expect("config-level sweep params are handled by the model")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::amazon_like_small;
+    use crate::experiments::evaluate_xmap;
+    use xmap_core::XMapMode;
+    use xmap_eval::SweepMetric;
+
+    fn runner() -> SweepRunner {
+        let base = XMapConfig {
+            mode: XMapMode::NxMapItemBased,
+            k: 8,
+            ..Default::default()
+        };
+        SweepRunner::new(amazon_like_small(), Direction::MovieToBook, base)
+    }
+
+    #[test]
+    fn k_sweep_matches_the_serial_evaluation_protocol_bit_for_bit() {
+        let r = runner();
+        let series = r.run(&SweepSpec::new(SweepParam::K, vec![4.0, 8.0]));
+        assert_eq!(series.points.len(), 2);
+        let (source, target) = r.domains();
+        let split = r.split(None);
+        for point in &series.points {
+            let config = XMapConfig {
+                k: point.x as usize,
+                ..*r.base_config()
+            };
+            // evaluate_xmap is the historical serial loop (evaluate_predictions over
+            // model.predict); the engine-parallel sweep must agree bit for bit.
+            let expected = evaluate_xmap(&split, source, target, config);
+            assert_eq!(
+                point.y.to_bits(),
+                expected.to_bits(),
+                "k={} diverged from the serial protocol",
+                point.x
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_sweep_rebuilds_the_split_per_point() {
+        let r = runner();
+        let series = r.run(&SweepSpec::new(SweepParam::Overlap, vec![0.5, 1.0]));
+        assert_eq!(series.label, "NX-MAP-IB / overlap");
+        assert_eq!(series.points.len(), 2);
+        for point in &series.points {
+            assert!(
+                point.y.is_finite(),
+                "overlap={} produced non-finite MAE",
+                point.x
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_are_identical_for_1_2_and_8_workers() {
+        let spec = SweepSpec::new(SweepParam::K, vec![4.0, 8.0]).with_metric(SweepMetric::Rmse);
+        let mut reference: Option<SweepSeries> = None;
+        for workers in [1usize, 2, 8] {
+            let base = XMapConfig {
+                mode: XMapMode::NxMapItemBased,
+                k: 8,
+                workers,
+                ..Default::default()
+            };
+            let series =
+                SweepRunner::new(amazon_like_small(), Direction::MovieToBook, base).run(&spec);
+            match &reference {
+                None => reference = Some(series),
+                Some(expected) => {
+                    assert_eq!(&series, expected, "{workers} workers changed the sweep")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_metrics_flow_through_the_sweep() {
+        let r = runner();
+        let series =
+            r.run(&SweepSpec::new(SweepParam::K, vec![8.0]).with_metric(SweepMetric::PrecisionAtN));
+        assert_eq!(series.points.len(), 1);
+        let y = series.points[0].y;
+        assert!((0.0..=1.0).contains(&y), "precision@N out of range: {y}");
+        let batch = r.eval_batch(&r.split(None));
+        assert!(!batch.ranking.is_empty());
+        assert!(r.catalogue_size() > 0);
+    }
+}

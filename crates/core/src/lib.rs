@@ -14,7 +14,9 @@
 //!   `X-Map-ib` ([`recommend`]), and
 //! * the end-to-end four-component pipeline (baseliner → extender → generator →
 //!   recommender, Figure 4) that ties everything together and exposes the measured
-//!   per-stage costs used by the scalability experiment ([`pipeline`]).
+//!   per-stage costs used by the scalability experiment ([`pipeline`]), including the
+//!   engine-parallel evaluation entry points (`XMapModel::evaluate_batch` / `sweep`,
+//!   running `xmap-eval`'s `EvalStage` on the model's dataflow).
 //!
 //! ## Quick start
 //!

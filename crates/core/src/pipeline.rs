@@ -23,6 +23,8 @@ use std::sync::Mutex;
 use xmap_cf::knn::Profile;
 use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
 use xmap_engine::{Dataflow, Stage, StageContext, StageReport};
+use xmap_eval::EVAL_STAGE_NAME;
+use xmap_eval::{EvalBatch, EvalReport, EvalStage, EvalTarget, SweepParam, SweepSeries, SweepSpec};
 use xmap_graph::{
     BridgeIndex, GraphConfig, Layer, LayerPartition, MetaPathConfig, SimilarityGraph,
 };
@@ -173,6 +175,74 @@ impl XMapModel {
     /// and PNCF ledger entries), `None` for the non-private ones.
     pub fn privacy_budget(&self) -> Option<&PrivacyBudget> {
         self.budget.as_ref()
+    }
+
+    /// Evaluates the model over an [`EvalBatch`] on the dataflow engine: test triples
+    /// and ranking cases are partitioned via the engine's ordered map, evaluated in
+    /// parallel, and aggregated exactly like the serial reference
+    /// ([`xmap_eval::evaluate_batch_serial`]) — the report is **bit-identical** to the
+    /// serial protocol (and its `mae`/`rmse` to `evaluate_predictions`) at any worker
+    /// count. Per-partition data-derived costs land in the `eval` ledger
+    /// ([`XMapModel::eval_task_costs`]).
+    pub fn evaluate_batch(&self, batch: EvalBatch) -> EvalReport {
+        self.flow.run(&EvalStage::new(self), batch)
+    }
+
+    /// Per-partition task costs of the most recent evaluation batch (the `eval`
+    /// stage's ledger entry), for the cluster simulator — the evaluation analogue of
+    /// [`XMapModel::serving_task_costs`], with the same one-slot-per-stage-name
+    /// concurrency caveat.
+    pub fn eval_task_costs(&self) -> Option<Vec<f64>> {
+        self.flow.stage_costs(EVAL_STAGE_NAME)
+    }
+
+    /// Runs a parameter sweep: for every value of `spec`, refits this model's
+    /// configuration with the parameter applied (on the same training matrix and
+    /// domains) and evaluates `batch` through [`XMapModel::evaluate_batch`]. Each
+    /// sweep point is one independent fit with its own dataflow (and therefore its own
+    /// timing/cost ledgers, dropped with the refit model) — this model's ledgers,
+    /// including [`XMapModel::eval_task_costs`], are untouched by a sweep.
+    ///
+    /// [`SweepParam::Overlap`] cannot be swept here (it rebuilds the train/test split,
+    /// which the model does not hold) and returns `XMapError::InvalidConfig`; the
+    /// `xmap-bench` sweep runner executes overlap sweeps. Sweeping a privacy parameter
+    /// on a non-private mode refits identical models and yields a flat series.
+    pub fn sweep(&self, spec: &SweepSpec, batch: &EvalBatch) -> Result<SweepSeries> {
+        let mut series = SweepSeries::new(format!("{} / {}", self.label(), spec.param.label()));
+        for &value in &spec.values {
+            let mut config = self.config;
+            match spec.param {
+                SweepParam::K => config.k = value.round() as usize,
+                SweepParam::Epsilon => config.privacy.epsilon = value,
+                SweepParam::EpsilonPrime => config.privacy.epsilon_prime = value,
+                SweepParam::TemporalAlpha => config.temporal_alpha = value,
+                SweepParam::Overlap => {
+                    return Err(XMapError::InvalidConfig(
+                        "overlap sweeps rebuild the train/test split; run them through the \
+                         xmap-bench sweep runner"
+                            .to_string(),
+                    ))
+                }
+            }
+            let model =
+                XMapPipeline::fit(&self.full, self.source_domain, self.target_domain, config)?;
+            let report = model.evaluate_batch(batch.clone());
+            series.push(value, report.metric(spec.metric));
+        }
+        Ok(series)
+    }
+}
+
+impl EvalTarget for XMapModel {
+    fn predict(&self, user: UserId, item: ItemId) -> f64 {
+        XMapModel::predict(self, user, item)
+    }
+
+    fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
+        XMapModel::recommend(self, user, n)
+            .into_iter()
+            .map(|(item, _)| item)
+            .collect()
     }
 }
 
@@ -710,6 +780,136 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(!out[0].is_empty());
         assert!(model.serving_task_costs().is_some());
+    }
+
+    fn eval_batch_for(ds: &CrossDomainDataset) -> EvalBatch {
+        // Hide the overlap users' later target ratings as a hand-rolled test set; the
+        // real split machinery lives in xmap-dataset, but pipeline tests only need a
+        // deterministic batch over existing users.
+        let test: Vec<xmap_cf::Rating> = ds
+            .overlap_users
+            .iter()
+            .take(8)
+            .flat_map(|&u| {
+                ds.matrix
+                    .user_profile(u)
+                    .iter()
+                    .filter(|e| ds.matrix.item_domain(e.item) == DomainId::TARGET)
+                    .take(3)
+                    .map(move |e| xmap_cf::Rating {
+                        user: u,
+                        item: e.item,
+                        value: e.value,
+                        timestep: e.timestep,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let ranking = xmap_eval::ranking_cases_from_test(&test, 4.0);
+        EvalBatch::predictions(test).with_ranking(ranking, 5, ds.target_items().len())
+    }
+
+    #[test]
+    fn evaluate_batch_is_bit_identical_to_the_serial_reference_at_1_2_and_8_workers() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let batch = eval_batch_for(&ds);
+        assert!(!batch.test.is_empty() && !batch.ranking.is_empty());
+        let mut reference: Option<EvalReport> = None;
+        let mut reference_costs: Option<Vec<f64>> = None;
+        for workers in [1usize, 2, 8] {
+            let model = XMapPipeline::fit(
+                &ds.matrix,
+                DomainId::SOURCE,
+                DomainId::TARGET,
+                XMapConfig {
+                    k: 8,
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(model.eval_task_costs().is_none(), "no evaluation ran yet");
+            let report = model.evaluate_batch(batch.clone());
+            // the engine-parallel report equals the fully serial protocol, bit for bit
+            let serial = xmap_eval::evaluate_batch_serial(&model, &batch);
+            assert!(
+                report.bits_eq(&serial),
+                "{workers} workers diverged from serial"
+            );
+            let loop_outcome =
+                xmap_eval::evaluate_predictions(&batch.test, |u, i| model.predict(u, i));
+            assert_eq!(report.mae.to_bits(), loop_outcome.mae.to_bits());
+            assert_eq!(report.rmse.to_bits(), loop_outcome.rmse.to_bits());
+            assert_eq!(report.n_predictions, loop_outcome.n);
+            let costs = model.eval_task_costs().expect("evaluation records costs");
+            match (&reference, &reference_costs) {
+                (None, _) => {
+                    reference = Some(report);
+                    reference_costs = Some(costs);
+                }
+                (Some(expected), Some(expected_costs)) => {
+                    assert!(
+                        report.bits_eq(expected),
+                        "{workers} workers changed the report"
+                    );
+                    assert_eq!(&costs, expected_costs, "{workers} workers changed costs");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_refits_per_point_and_matches_independent_evaluations() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let batch = eval_batch_for(&ds);
+        let base = XMapConfig {
+            k: 8,
+            ..Default::default()
+        };
+        let model =
+            XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, base).unwrap();
+        let spec = xmap_eval::SweepSpec::new(xmap_eval::SweepParam::K, vec![2.0, 6.0]);
+        let series = model.sweep(&spec, &batch).unwrap();
+        assert_eq!(series.label, "NX-MAP-IB / k");
+        assert_eq!(series.points.len(), 2);
+        for point in &series.points {
+            let config = XMapConfig {
+                k: point.x as usize,
+                ..base
+            };
+            let refit =
+                XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
+            let expected = refit.evaluate_batch(batch.clone());
+            assert_eq!(
+                point.y.to_bits(),
+                expected.mae.to_bits(),
+                "sweep point k={} diverged from an independent fit",
+                point.x
+            );
+        }
+        // invalid point values surface as configuration errors, not panics
+        let bad = xmap_eval::SweepSpec::new(xmap_eval::SweepParam::K, vec![0.0]);
+        assert!(matches!(
+            model.sweep(&bad, &batch),
+            Err(XMapError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn overlap_sweeps_are_rejected_at_the_model_level() {
+        let toy = ToyScenario::build();
+        let model = XMapPipeline::fit(
+            &toy.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            toy_config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let spec = xmap_eval::SweepSpec::new(xmap_eval::SweepParam::Overlap, vec![0.5]);
+        let err = model.sweep(&spec, &EvalBatch::default()).unwrap_err();
+        assert!(matches!(err, XMapError::InvalidConfig(_)));
+        assert!(err.to_string().contains("sweep runner"));
     }
 
     #[test]

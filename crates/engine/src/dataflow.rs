@@ -228,11 +228,17 @@ impl Dataflow {
         let out = self
             .timer
             .run_stage(stage.name(), || stage.run(input, &mut cx));
-        if !cx.costs.is_empty() {
-            let mut ledger = self
-                .stage_costs
-                .lock()
-                .expect("dataflow cost mutex poisoned");
+        let mut ledger = self
+            .stage_costs
+            .lock()
+            .expect("dataflow cost mutex poisoned");
+        if cx.costs.is_empty() {
+            // Replacement semantics also cover the empty case: a re-run that recorded
+            // nothing (a stage that skips its partitioned maps, or one recording costs
+            // itself via `record_task_cost`) must not leave a stale task bag behind for
+            // the cluster simulator to replay.
+            ledger.retain(|(name, _)| name != stage.name());
+        } else {
             match ledger.iter_mut().find(|(name, _)| name == stage.name()) {
                 Some(entry) => entry.1 = cx.costs,
                 None => ledger.push((stage.name().to_string(), cx.costs)),
@@ -338,6 +344,29 @@ mod tests {
             costs.iter().sum::<f64>(),
             59.0,
             "the ledger must hold the most recent run's costs"
+        );
+    }
+
+    #[test]
+    fn rerun_that_records_nothing_clears_the_stale_ledger_entry() {
+        let flow = Dataflow::new(2, 4);
+        let record = fn_stage(
+            "sweep-point",
+            |items: Vec<u64>, cx: &mut StageContext<'_>| {
+                for _ in &items {
+                    cx.record_task_cost(1.0);
+                }
+                items.len()
+            },
+        );
+        assert_eq!(flow.run(&record, vec![1, 2, 3]), 3);
+        assert_eq!(flow.stage_costs("sweep-point").unwrap().len(), 3);
+        // a later run of the same stage name with no recorded costs must not leave the
+        // old task bag in place
+        assert_eq!(flow.run(&record, Vec::new()), 0);
+        assert!(
+            flow.stage_costs("sweep-point").is_none(),
+            "stale costs survived an empty re-run"
         );
     }
 

@@ -1,0 +1,460 @@
+//! A minimal JSON value: rendering and parsing.
+//!
+//! The vendored `serde` stand-in is a marker-trait stub (see the workspace
+//! `Cargo.toml`), so machine-readable reports — the sweep runner's output and the CI
+//! accuracy baseline it is diffed against — are built on this small, dependency-free
+//! JSON tree instead. Numbers render through Rust's shortest-round-trip `f64`
+//! formatting, so a value written by [`Json::render`] parses back bit-identical, which
+//! is what lets the CI gate compare MAE values at `1e-9` tolerance meaningfully.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order so rendered reports diff cleanly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also the rendering of non-finite numbers).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value with newlines and two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, inner_pad) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Rust's Display for f64 is the shortest representation that parses
+                    // back to the same bits — exactly what a diffable baseline needs.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&inner_pad);
+                    item.render_into(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&inner_pad);
+                    render_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.render_into(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Returns the value and fails on trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing characters after value"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub pos: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(pos: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected `{literal}`")))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'n') => expect_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => expect_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => expect_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected `,` or `]`")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(JsonError::at(*pos, "expected `:`"));
+                }
+                *pos += 1;
+                pairs.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected `,` or `}`")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError::at(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at(*pos, "invalid \\u escape"))?;
+                        // Surrogate halves (paired or lone) fall back to U+FFFD; the
+                        // reports this parser serves never emit astral-plane text.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // consume one UTF-8 scalar (input is a &str, so boundaries are valid)
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
+                let c = rest.chars().next().expect("non-empty checked above");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::at(start, format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_nested_documents() {
+        let doc = Json::obj([
+            ("name", Json::str("eval-smoke")),
+            ("ok", Json::Bool(true)),
+            ("n", Json::Num(42.0)),
+            (
+                "series",
+                Json::Arr(vec![
+                    Json::obj([("x", Json::Num(0.5)), ("y", Json::Num(1.25))]),
+                    Json::Null,
+                ]),
+            ),
+        ]);
+        let compact = doc.render();
+        assert_eq!(
+            compact,
+            r#"{"name":"eval-smoke","ok":true,"n":42,"series":[{"x":0.5,"y":1.25},null]}"#
+        );
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
+        // pretty rendering parses back to the same tree
+        assert_eq!(Json::parse(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            0.757_575_757_575_757_6,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.2250738585072014e-308,
+        ] {
+            let rendered = Json::Num(v).render();
+            let parsed = Json::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} did not round-trip");
+        }
+        // non-finite numbers degrade to null rather than emitting invalid JSON
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\te\u{1}f — ünïcode";
+        let rendered = Json::Str(s.to_string()).render();
+        assert_eq!(Json::parse(&rendered).unwrap().as_str().unwrap(), s);
+        assert_eq!(Json::parse(r#""Aé""#).unwrap().as_str().unwrap(), "Aé");
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let doc = Json::parse(r#"{"a": {"b": [1, 2, 3]}, "flag": false}"#).unwrap();
+        let arr = doc.get("a").and_then(|a| a.get("b")).unwrap();
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+        assert_eq!(arr.as_array().unwrap()[2].as_f64(), Some(3.0));
+        assert_eq!(doc.get("flag").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(doc.as_f64(), None);
+        assert_eq!(doc.as_str(), None);
+        assert_eq!(Json::Null.get("x"), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        for (text, what) in [
+            ("", "unexpected end"),
+            ("{\"a\" 1}", "expected `:`"),
+            ("[1, 2", "expected `,` or `]`"),
+            ("12.3.4", "invalid number"),
+            ("true false", "trailing"),
+            ("\"unterminated", "unterminated"),
+            ("nope", "expected `null`"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(
+                err.message.contains(what),
+                "`{text}` gave `{err}`, expected `{what}`"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_everywhere() {
+        let doc = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : { } , \"c\" : [ ] } ").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("b"), Some(&Json::Obj(vec![])));
+        assert_eq!(doc.get("c"), Some(&Json::Arr(vec![])));
+        assert_eq!(Json::Obj(vec![]).render(), "{}");
+        assert_eq!(Json::Arr(vec![]).render(), "[]");
+    }
+}

@@ -1,5 +1,19 @@
 //! Accuracy and ranking metrics.
 
+/// The worst-case absolute error charged for a non-finite prediction: the span of the
+/// true ratings among `pairs` (at least 1, so degenerate single-value test sets still
+/// penalise). Both [`mae`] and [`rmse`] charge this same data-derived penalty, so a
+/// poisoned predictor scores as badly as one that is maximally wrong on every pair.
+fn non_finite_penalty(pairs: &[(f64, f64)]) -> f64 {
+    let span = pairs
+        .iter()
+        .map(|&(_, truth)| truth)
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
+    (span.1 - span.0).abs().max(1.0)
+}
+
 /// Mean Absolute Error between predictions and true ratings (§6.1).
 ///
 /// Pairs with a non-finite prediction are counted with the maximum possible error of the
@@ -9,13 +23,7 @@ pub fn mae(pairs: &[(f64, f64)]) -> f64 {
     if pairs.is_empty() {
         return f64::NAN;
     }
-    let span = pairs
-        .iter()
-        .map(|&(_, truth)| truth)
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
-            (lo.min(v), hi.max(v))
-        });
-    let worst = (span.1 - span.0).abs().max(1.0);
+    let worst = non_finite_penalty(pairs);
     let total: f64 = pairs
         .iter()
         .map(|&(pred, truth)| {
@@ -30,14 +38,22 @@ pub fn mae(pairs: &[(f64, f64)]) -> f64 {
 }
 
 /// Root Mean Squared Error between predictions and true ratings.
+///
+/// Non-finite predictions are charged the same span-derived worst-case error as in
+/// [`mae`] (squared, since RMSE squares every residual).
 pub fn rmse(pairs: &[(f64, f64)]) -> f64 {
     if pairs.is_empty() {
         return f64::NAN;
     }
+    let worst = non_finite_penalty(pairs);
     let total: f64 = pairs
         .iter()
         .map(|&(pred, truth)| {
-            let d = if pred.is_finite() { pred - truth } else { 5.0 };
+            let d = if pred.is_finite() {
+                pred - truth
+            } else {
+                worst
+            };
             d * d
         })
         .sum();
@@ -135,6 +151,24 @@ mod tests {
     }
 
     #[test]
+    fn mae_and_rmse_share_the_span_derived_penalty() {
+        // True ratings span 2.0..5.0 => penalty 3.0 for the NaN prediction.
+        let pairs = vec![(f64::NAN, 2.0), (5.0, 5.0)];
+        assert!((mae(&pairs) - (3.0 + 0.0) / 2.0).abs() < 1e-12);
+        assert!((rmse(&pairs) - ((9.0 + 0.0f64) / 2.0).sqrt()).abs() < 1e-12);
+
+        // Infinities are penalised exactly like NaN.
+        let inf = vec![(f64::INFINITY, 2.0), (5.0, 5.0)];
+        assert_eq!(mae(&inf), mae(&pairs));
+        assert_eq!(rmse(&inf), rmse(&pairs));
+
+        // A degenerate span (all truths equal) still charges at least 1.0, for both.
+        let flat = vec![(f64::NAN, 3.0), (3.0, 3.0)];
+        assert!((mae(&flat) - 0.5).abs() < 1e-12);
+        assert!((rmse(&flat) - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
     fn precision_and_recall_basic_cases() {
         let recommended = vec![1, 2, 3, 4, 5];
         let relevant = vec![2, 5, 9];
@@ -153,6 +187,42 @@ mod tests {
         assert!((coverage(&lists, 8) - 0.5).abs() < 1e-12);
         assert_eq!(coverage(&Vec::<Vec<i32>>::new(), 8), 0.0);
         assert_eq!(coverage(&lists, 0), 0.0);
+    }
+
+    #[test]
+    fn precision_with_empty_relevant_set_is_zero() {
+        let recommended = vec![1, 2, 3];
+        assert_eq!(precision_at_n(&recommended, &Vec::<i32>::new(), 3), 0.0);
+        // empty recommendations against a non-empty relevant set are also zero
+        assert_eq!(precision_at_n(&Vec::<i32>::new(), &[1, 2], 3), 0.0);
+        assert_eq!(recall_at_n(&Vec::<i32>::new(), &[1, 2], 3), 0.0);
+    }
+
+    #[test]
+    fn n_larger_than_recommendation_list_uses_the_whole_list() {
+        let recommended = vec![7, 8];
+        let relevant = vec![8, 9];
+        // n = 100 clamps to the 2-element list: 1 hit of 2 shown, 1 of 2 relevant.
+        assert!((precision_at_n(&recommended, &relevant, 100) - 0.5).abs() < 1e-12);
+        assert!((recall_at_n(&recommended, &relevant, 100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_relevant_items_count_once_in_recall() {
+        let recommended = vec![1, 2, 3];
+        // item 2 is listed twice as relevant: the denominator and the hit both count it once
+        let relevant = vec![2, 2, 9];
+        assert!((recall_at_n(&recommended, &relevant, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_ignores_duplicates_within_and_across_lists() {
+        // item 2 appears twice in one list and again in another: one distinct item
+        let lists = vec![vec![2, 2, 3], vec![2], vec![3]];
+        assert!((coverage(&lists, 4) - 0.5).abs() < 1e-12);
+        // catalogue smaller than the distinct recommendation set saturates above 1.0
+        // only if callers undercount the catalogue; the metric itself just divides
+        assert!((coverage(&lists, 2) - 1.0).abs() < 1e-12);
     }
 
     proptest! {

@@ -24,7 +24,10 @@ pub mod prelude {
     pub use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
     pub use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
     pub use xmap_dataset::toy::ToyScenario;
-    pub use xmap_eval::{evaluate_predictions, mae};
+    pub use xmap_eval::{
+        evaluate_batch_serial, evaluate_predictions, mae, ranking_cases_from_test, EvalBatch,
+        EvalReport, EvalStage, SweepMetric, SweepParam, SweepSpec,
+    };
 }
 
 #[cfg(test)]
