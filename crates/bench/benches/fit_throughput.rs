@@ -1,0 +1,164 @@
+//! Throughput of the engine-parallel model fit.
+//!
+//! The headline comparison is the same `XMapPipeline::fit` executed at 1 worker (the
+//! serial reference — every stage's partitions processed one after another) and at 8
+//! workers (the engine-parallel fit of the baseliner, extender, generator and
+//! recommender stages). Both fits release **bit-identical** models by the fit
+//! determinism contract, which is asserted before anything is timed — the measured gap
+//! is pure execution cost.
+//!
+//! Because a single-core host cannot show real-thread speedups, the bench also replays
+//! the *combined fit task bag* (`XMapModel::fit_task_costs`: baseliner + extender +
+//! generator + recommender per-partition costs) on the deterministic cluster simulator,
+//! the same substitution rule Figure 11 uses. Setting `XMAP_BENCH_SMOKE=1` shrinks the
+//! workload so CI can execute the bench end to end in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use xmap_bench::{amazon_like, Scale};
+use xmap_cf::{DomainId, ItemId, UserId};
+use xmap_core::{XMapConfig, XMapMode, XMapModel, XMapPipeline};
+use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+use xmap_engine::{ClusterCostModel, ClusterSim};
+
+fn smoke() -> bool {
+    std::env::var("XMAP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The measured workload. Smoke mode reuses the Quick harness trace (seconds, CI); the
+/// real measurement wants enough co-rated pairs and items that the per-partition stage
+/// work outweighs the pool's thread-spawn overhead.
+fn workload() -> CrossDomainDataset {
+    if smoke() {
+        amazon_like(Scale::Quick)
+    } else {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 150,
+            n_target_items: 150,
+            n_source_only_users: 200,
+            n_target_only_users: 200,
+            n_overlap_users: 300,
+            ratings_per_user: 30,
+            latent_dim: 3,
+            noise: 0.25,
+            seed: 7,
+        })
+    }
+}
+
+/// The released bits of a fitted model: sorted replacement table plus probe
+/// predictions. Two fits that agree here (and on their task bags) released the same
+/// model.
+fn released_bits(model: &XMapModel, users: &[UserId], items: &[ItemId]) -> Vec<u64> {
+    let mut replacements: Vec<(ItemId, ItemId)> = model.replacements().iter().collect();
+    replacements.sort();
+    let mut bits: Vec<u64> = replacements
+        .into_iter()
+        .flat_map(|(a, b)| [u64::from(a.0), u64::from(b.0)])
+        .collect();
+    for &u in users {
+        for &i in items {
+            bits.push(model.predict(u, i).to_bits());
+        }
+    }
+    bits
+}
+
+fn bench_fit_throughput(c: &mut Criterion) {
+    let ds = workload();
+    let config = |workers: usize| XMapConfig {
+        mode: XMapMode::NxMapItemBased,
+        k: if smoke() { 10 } else { 25 },
+        workers,
+        partitions: 64,
+        ..Default::default()
+    };
+    let probe_users: Vec<UserId> = ds.overlap_users.iter().copied().take(10).collect();
+    let probe_items: Vec<ItemId> = ds.target_items().into_iter().take(10).collect();
+
+    // Every worker count must release the same bits before its speed means anything.
+    let reference = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config(1))
+        .expect("workload contains both domains");
+    let reference_bits = released_bits(&reference, &probe_users, &probe_items);
+    let reference_bag = reference.fit_task_costs();
+    assert!(
+        !reference_bag.is_empty(),
+        "the fit must record task costs for the cluster replay"
+    );
+    for workers in [2usize, 8] {
+        let staged = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(workers),
+        )
+        .expect("workload contains both domains");
+        assert_eq!(
+            released_bits(&staged, &probe_users, &probe_items),
+            reference_bits,
+            "{workers}-worker fit released different bits than the serial fit"
+        );
+        assert_eq!(
+            staged.fit_task_costs(),
+            reference_bag,
+            "{workers}-worker fit recorded a different task bag"
+        );
+    }
+
+    // Headline number for the PR: wall-clock ratio of the 1-worker fit to the 8-worker
+    // fit (the criterion groups below give stable per-path medians).
+    let time_once = |workers: usize| {
+        let start = Instant::now();
+        criterion::black_box(
+            XMapPipeline::fit(
+                &ds.matrix,
+                DomainId::SOURCE,
+                DomainId::TARGET,
+                config(workers),
+            )
+            .expect("workload contains both domains"),
+        );
+        start.elapsed()
+    };
+    let serial_time = time_once(1);
+    let staged_time = time_once(8);
+    println!(
+        "fit_throughput: fit_workers_1 {serial_time:?} vs fit_workers_8 {staged_time:?} => {:.1}x \
+         ({} ratings, {} items)",
+        serial_time.as_secs_f64() / staged_time.as_secs_f64().max(1e-12),
+        ds.matrix.n_ratings(),
+        ds.matrix.n_items()
+    );
+    // On a single-core host real threads cannot beat the serial loop; per DESIGN.md the
+    // recorded task bag is what scales, so also report the simulated cluster speedup of
+    // the combined fit bag (the same substitution rule Figure 11 uses).
+    let sim = ClusterSim::new(reference_bag, ClusterCostModel::xmap_like());
+    println!(
+        "fit_throughput: simulated cluster speedup over 1 machine: {:.1}x at 4, {:.1}x at 8 \
+         ({} tasks, total work {:.0})",
+        sim.speedup(4, 1),
+        sim.speedup(8, 1),
+        sim.n_tasks(),
+        sim.total_work()
+    );
+
+    let mut group = c.benchmark_group("fit_throughput");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for workers in [1usize, 8] {
+        group.bench_function(format!("fit_workers_{workers}"), |b| {
+            b.iter(|| {
+                XMapPipeline::fit(
+                    &ds.matrix,
+                    DomainId::SOURCE,
+                    DomainId::TARGET,
+                    config(workers),
+                )
+                .expect("workload contains both domains")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_throughput);
+criterion_main!(benches);

@@ -10,11 +10,14 @@
 //! `eval-smoke` runs the full determinism/accuracy gate on the small fixed-seed trace:
 //! it fits the model at 1, 2 and 8 workers, asserts the engine-parallel `EvalStage`
 //! output is bit-identical to the serial `evaluate_predictions` reference at every
-//! worker count (outputs *and* task-cost ledgers), executes the k / ε′ / overlap
-//! sweeps (ε′ rather than ε — see the note in `smoke_sweeps`), and emits a
-//! machine-readable JSON report. With `--check <baseline>` the report is
-//! diffed against the committed baseline: any MAE drift beyond 1e-9 fails the run,
-//! which is what the `eval-smoke` CI job enforces on every push.
+//! worker count (outputs *and* task-cost ledgers — including the fit stages'
+//! `baseliner` / `extender` / `generator` / `recommender` bags), executes the
+//! k / ε′ / overlap sweeps (ε′ rather than ε — see the note in `smoke_sweeps`), and
+//! emits a machine-readable JSON report with the eval metrics *and* the fit ledgers'
+//! task counts / total costs. With `--check <baseline>` the report is
+//! diffed against the committed baseline: any MAE drift beyond 1e-9 fails the run —
+//! and so does any fit task-cost drift — which is what the `eval-smoke` CI job
+//! enforces on every push.
 //!
 //! `sweep <k|epsilon|epsilon_prime|alpha|overlap>` runs one sweep on the Amazon-like
 //! trace and prints both the table and the JSON series.
@@ -80,10 +83,16 @@ fn smoke_runner(mode: XMapMode) -> SweepRunner {
     SweepRunner::new(amazon_like_small(), Direction::MovieToBook, base)
 }
 
+/// The fit stages' per-partition task bags, keyed by ledger name — part of the gated
+/// report so the baseline JSON also pins the fit task costs.
+type FitLedgers = Vec<(&'static str, Vec<f64>)>;
+
 /// Fits the smoke configuration at every gate worker count and asserts the
-/// engine-parallel evaluation is bit-identical to the serial reference throughout.
-/// Returns the (shared) report.
-fn run_determinism_gate(runner: &SweepRunner) -> EvalReport {
+/// engine-parallel evaluation is bit-identical to the serial reference throughout —
+/// and that the fit's own task-cost ledgers (`baseliner` / `extender` / `generator` /
+/// `recommender`) are identical at every worker count.
+/// Returns the (shared) report plus the fit ledgers.
+fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
     let split = runner.split(None);
     let batch = runner.eval_batch(&split);
     assert!(
@@ -91,7 +100,7 @@ fn run_determinism_gate(runner: &SweepRunner) -> EvalReport {
         "the smoke split must exercise both metric families"
     );
     let (source, target) = runner.domains();
-    let mut reference: Option<(EvalReport, Vec<f64>)> = None;
+    let mut reference: Option<(EvalReport, Vec<f64>, FitLedgers)> = None;
     for workers in GATE_WORKERS {
         let config = XMapConfig {
             workers,
@@ -99,6 +108,18 @@ fn run_determinism_gate(runner: &SweepRunner) -> EvalReport {
         };
         let model = XMapPipeline::fit(&split.train, source, target, config)
             .expect("smoke dataset contains both domains");
+        let fit_ledgers: FitLedgers = vec![
+            ("baseliner", model.stats().baseliner_task_costs.clone()),
+            ("extender", model.stats().extension_task_costs.clone()),
+            ("generator", model.stats().generator_task_costs.clone()),
+            ("recommender", model.stats().recommender_task_costs.clone()),
+        ];
+        for (name, bag) in &fit_ledgers {
+            assert!(
+                !bag.is_empty(),
+                "{workers} workers: the {name} stage recorded no task costs"
+            );
+        }
         let report = model.evaluate_batch(batch.clone());
         let serial = evaluate_batch_serial(&model, &batch);
         assert!(
@@ -115,8 +136,8 @@ fn run_determinism_gate(runner: &SweepRunner) -> EvalReport {
             .eval_task_costs()
             .expect("evaluation records task costs");
         match &reference {
-            None => reference = Some((report, costs)),
-            Some((expected, expected_costs)) => {
+            None => reference = Some((report, costs, fit_ledgers)),
+            Some((expected, expected_costs, expected_ledgers)) => {
                 assert!(
                     report.bits_eq(expected),
                     "{workers} workers changed the evaluation report"
@@ -125,10 +146,15 @@ fn run_determinism_gate(runner: &SweepRunner) -> EvalReport {
                     &costs, expected_costs,
                     "{workers} workers changed the eval task costs"
                 );
+                assert_eq!(
+                    &fit_ledgers, expected_ledgers,
+                    "{workers} workers changed the fit task costs"
+                );
             }
         }
     }
-    reference.expect("at least one worker count ran").0
+    let (report, _, ledgers) = reference.expect("at least one worker count ran");
+    (report, ledgers)
 }
 
 fn smoke_sweeps() -> Vec<(SweepSpec, SweepSeries)> {
@@ -171,6 +197,21 @@ fn report_to_json(report: &EvalReport) -> Json {
     ])
 }
 
+/// One JSON node per fit ledger: task count and total cost. The totals are sums of
+/// integer-valued, data-derived work estimates accumulated in a fixed order, so they
+/// are exactly reproducible and safe to gate at [`GATE_TOLERANCE`].
+fn fit_ledgers_to_json(ledgers: &FitLedgers) -> Json {
+    Json::obj(ledgers.iter().map(|(name, bag)| {
+        (
+            *name,
+            Json::obj([
+                ("n_tasks", Json::Num(bag.len() as f64)),
+                ("total_cost", Json::Num(bag.iter().sum())),
+            ]),
+        )
+    }))
+}
+
 fn series_to_json(spec: &SweepSpec, series: &SweepSeries) -> Json {
     Json::obj([
         ("param", Json::str(spec.param.label())),
@@ -192,10 +233,17 @@ fn series_to_json(spec: &SweepSpec, series: &SweepSeries) -> Json {
 fn eval_smoke(args: &[String]) -> ExitCode {
     println!("# eval-smoke: engine-parallel evaluation gate");
     let runner = smoke_runner(XMapMode::NxMapItemBased);
-    let report = run_determinism_gate(&runner);
+    let (report, fit_ledgers) = run_determinism_gate(&runner);
     println!(
         "determinism: EvalStage bit-identical to the serial reference at {GATE_WORKERS:?} workers"
     );
+    for (name, bag) in &fit_ledgers {
+        println!(
+            "fit: {name} ledger {} tasks, total cost {:.0}",
+            bag.len(),
+            bag.iter().sum::<f64>()
+        );
+    }
     println!(
         "eval: mae {:.6}  rmse {:.6}  precision@N {:.4}  recall@N {:.4}  coverage {:.4}  ({} triples, {} ranking users)",
         report.mae,
@@ -226,6 +274,7 @@ fn eval_smoke(args: &[String]) -> ExitCode {
         ),
         ("bit_identical", Json::Bool(true)),
         ("eval", report_to_json(&report)),
+        ("fit", fit_ledgers_to_json(&fit_ledgers)),
         (
             "sweeps",
             Json::Arr(
@@ -304,6 +353,27 @@ fn diff_against_baseline(current: &Json, baseline: &Json) -> Vec<String> {
                 .and_then(|e| e.get(field))
                 .and_then(Json::as_f64),
         );
+    }
+
+    // The fit task-cost ledgers: a drifting task count or total cost means the fit's
+    // partitioning or cost model changed — regenerate the baseline deliberately.
+    for stage in ["baseliner", "extender", "generator", "recommender"] {
+        for field in ["n_tasks", "total_cost"] {
+            check(
+                &mut drift,
+                format!("fit.{stage}.{field}"),
+                current
+                    .get("fit")
+                    .and_then(|f| f.get(stage))
+                    .and_then(|s| s.get(field))
+                    .and_then(Json::as_f64),
+                baseline
+                    .get("fit")
+                    .and_then(|f| f.get(stage))
+                    .and_then(|s| s.get(field))
+                    .and_then(Json::as_f64),
+            );
+        }
     }
 
     let empty: [Json; 0] = [];

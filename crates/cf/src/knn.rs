@@ -265,13 +265,8 @@ pub struct ItemKnn<'a> {
 }
 
 impl<'a> ItemKnn<'a> {
-    /// Phase 1: precomputes the k most similar items for every item.
-    ///
-    /// Candidate pairs are generated through co-rating users (two items that share no
-    /// user have zero similarity under every supported metric and are skipped), so the
-    /// cost is proportional to the sum over users of the squared profile length rather
-    /// than `O(m^2)`.
-    pub fn fit(matrix: &'a RatingMatrix, config: ItemKnnConfig) -> Result<Self> {
+    /// Validates an [`ItemKnnConfig`], shared by every fit entry point.
+    fn validate(config: &ItemKnnConfig) -> Result<()> {
         if config.k == 0 {
             return Err(CfError::invalid_parameter("k", "must be at least 1"));
         }
@@ -281,44 +276,100 @@ impl<'a> ItemKnn<'a> {
                 "must be finite and non-negative",
             ));
         }
+        Ok(())
+    }
 
+    /// The co-rating candidate set of every item: `sets[i]` holds the distinct items
+    /// sharing at least one rater with item `i`, sorted ascending.
+    ///
+    /// Candidates are deduplicated *during* collection with an epoch-marked dense seen
+    /// buffer, so a pair co-rated by many users is stored once, not once per co-rating
+    /// user — peak memory per set equals its distinct-neighbour count (plus the one
+    /// `O(n_items)` marker buffer), while the historical per-user scatter grew with the
+    /// rating count before its dedup.
+    pub fn candidate_sets(matrix: &RatingMatrix) -> Vec<Vec<ItemId>> {
         let n_items = matrix.n_items();
-        let mut candidate_sets: Vec<Vec<ItemId>> = vec![Vec::new(); n_items];
-        for u in matrix.users() {
-            let profile = matrix.user_profile(u);
-            for a in 0..profile.len() {
-                for b in 0..profile.len() {
-                    if a != b {
-                        candidate_sets[profile[a].item.index()].push(profile[b].item);
+        let mut seen = vec![0u32; n_items];
+        let mut sets = Vec::with_capacity(n_items);
+        for i in 0..n_items {
+            let epoch = i as u32 + 1;
+            let mut cands: Vec<ItemId> = Vec::new();
+            for rater in matrix.item_profile(ItemId(i as u32)) {
+                for e in matrix.user_profile(rater.user) {
+                    let ix = e.item.index();
+                    if ix != i && seen[ix] != epoch {
+                        seen[ix] = epoch;
+                        cands.push(e.item);
                     }
                 }
             }
-        }
-
-        let mut neighbors = Vec::with_capacity(n_items);
-        for (i, candidates) in candidate_sets.iter_mut().enumerate() {
-            let mut cands = std::mem::take(candidates);
             cands.sort_unstable();
-            cands.dedup();
-            let mut collector = TopK::new(config.k);
-            for j in cands {
-                let stats = item_similarity_stats(matrix, ItemId(i as u32), j, config.metric);
-                if stats.similarity != 0.0 {
-                    collector.push(stats.similarity, j);
-                }
-            }
-            neighbors.push(
-                collector
-                    .into_sorted_vec()
-                    .into_iter()
-                    .map(|(s, j)| ItemNeighbor {
-                        item: j,
-                        similarity: s,
-                    })
-                    .collect(),
-            );
+            sets.push(cands);
         }
+        sets
+    }
 
+    /// Phase 1 for one item: scores every candidate and keeps the top `config.k`, sorted
+    /// by descending similarity (ties keep candidate order — ascending item id when the
+    /// candidates come from [`ItemKnn::candidate_sets`]).
+    ///
+    /// This is the per-item unit of work the engine-parallel recommender stage
+    /// partitions; [`ItemKnn::fit`] is exactly this over every item's candidate set.
+    pub fn neighbors_from_candidates(
+        matrix: &RatingMatrix,
+        item: ItemId,
+        candidates: &[ItemId],
+        config: &ItemKnnConfig,
+    ) -> Vec<ItemNeighbor> {
+        let mut collector = TopK::new(config.k);
+        for &j in candidates {
+            let stats = item_similarity_stats(matrix, item, j, config.metric);
+            if stats.similarity != 0.0 {
+                collector.push(stats.similarity, j);
+            }
+        }
+        collector
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(s, j)| ItemNeighbor {
+                item: j,
+                similarity: s,
+            })
+            .collect()
+    }
+
+    /// Wraps externally computed neighbour pools (e.g. pools produced partition-parallel
+    /// from [`ItemKnn::candidate_sets`] + [`ItemKnn::neighbors_from_candidates`]) after
+    /// validating the configuration. `neighbors[i]` must be item `i`'s pool; missing
+    /// trailing items read as isolated.
+    pub fn from_pools(
+        matrix: &'a RatingMatrix,
+        config: ItemKnnConfig,
+        neighbors: Vec<Vec<ItemNeighbor>>,
+    ) -> Result<Self> {
+        Self::validate(&config)?;
+        Ok(ItemKnn {
+            matrix,
+            config,
+            neighbors,
+        })
+    }
+
+    /// Phase 1: precomputes the k most similar items for every item.
+    ///
+    /// Candidate pairs are generated through co-rating users (two items that share no
+    /// user have zero similarity under every supported metric and are skipped), so the
+    /// cost is proportional to the sum over users of the squared profile length rather
+    /// than `O(m^2)`.
+    pub fn fit(matrix: &'a RatingMatrix, config: ItemKnnConfig) -> Result<Self> {
+        Self::validate(&config)?;
+        let neighbors = Self::candidate_sets(matrix)
+            .iter()
+            .enumerate()
+            .map(|(i, cands)| {
+                Self::neighbors_from_candidates(matrix, ItemId(i as u32), cands, &config)
+            })
+            .collect();
         Ok(ItemKnn {
             matrix,
             config,
@@ -667,6 +718,66 @@ mod tests {
             p_decay <= p_flat + 1e-9,
             "temporal weighting should favour the recent low rating: {p_decay} vs {p_flat}"
         );
+    }
+
+    #[test]
+    fn candidate_sets_stay_at_distinct_neighbour_count_under_many_co_raters() {
+        // Regression: the fit used to push a neighbour candidate once per co-rating
+        // user, so candidate sets grew with the rating count before dedup. With 50
+        // users all rating the same three items, every candidate set must hold exactly
+        // the two distinct neighbours — never 50 copies of each.
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..50u32 {
+            for i in 0..3u32 {
+                b.push_parts(u, i, ((u + i) % 5 + 1) as f64).unwrap();
+            }
+        }
+        let m = b.build().unwrap();
+        let sets = ItemKnn::candidate_sets(&m);
+        assert_eq!(sets.len(), 3);
+        for (i, set) in sets.iter().enumerate() {
+            let distinct: Vec<ItemId> =
+                (0..3u32).filter(|&j| j as usize != i).map(ItemId).collect();
+            assert_eq!(
+                set, &distinct,
+                "candidate set of item {i} must hold exactly the distinct neighbours"
+            );
+        }
+        // and the decomposed fit path agrees with the one-shot fit
+        let config = ItemKnnConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let fitted = ItemKnn::fit(&m, config).unwrap();
+        for (i, cands) in sets.iter().enumerate() {
+            assert_eq!(
+                ItemKnn::neighbors_from_candidates(&m, ItemId(i as u32), cands, &config),
+                fitted.neighbors(ItemId(i as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn from_pools_wraps_externally_computed_pools_and_validates() {
+        let m = clustered();
+        let config = ItemKnnConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let pools = ItemKnn::fit(&m, config).unwrap().into_neighbors();
+        let wrapped = ItemKnn::from_pools(&m, config, pools.clone()).unwrap();
+        for i in 0..m.n_items() as u32 {
+            assert_eq!(wrapped.neighbors(ItemId(i)), pools[i as usize].as_slice());
+        }
+        assert!(ItemKnn::from_pools(
+            &m,
+            ItemKnnConfig {
+                k: 0,
+                ..Default::default()
+            },
+            pools
+        )
+        .is_err());
     }
 
     #[test]

@@ -3,22 +3,29 @@
 //! Every phase of the paper ("top-k neighbours", "top-k similar items per layer",
 //! "top-N recommendations") boils down to keeping the k largest-scored candidates.
 //! [`TopK`] is a small bounded min-heap keyed by an `f64` score that tolerates NaN-free
-//! floating point scores and returns its content sorted by descending score.
+//! floating point scores and returns its content sorted by descending score. All score
+//! comparisons use the total order ([`f64::total_cmp`]) with the insertion sequence as
+//! the tie-break, so the retained set and its output order are pure functions of the
+//! offered `(score, payload)` sequence — never of heap internals or of a NaN comparing
+//! `Equal` to everything.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An entry in the bounded heap: ordered by score ascending so the heap root is the
-/// current minimum and can be evicted cheaply.
+/// An entry in the bounded heap: ordered so the heap root is the current eviction
+/// candidate — the lowest score, ties resolved towards the *latest* insertion so that
+/// earlier offers survive deterministically.
 #[derive(Clone, Copy, Debug)]
 struct HeapEntry<T> {
     score: f64,
+    /// Insertion sequence number: the stable tie-break for equal scores.
+    seq: u64,
     payload: T,
 }
 
 impl<T> PartialEq for HeapEntry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl<T> Eq for HeapEntry<T> {}
@@ -29,11 +36,13 @@ impl<T> PartialOrd for HeapEntry<T> {
 }
 impl<T> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want the minimum score at the root.
+        // Reverse on the score: BinaryHeap is a max-heap, we want the minimum score at
+        // the root. Equal scores rank the later insertion closer to the root, so ties
+        // evict last-in first and the first k equal-scored offers are retained.
         other
             .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.score)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -41,6 +50,7 @@ impl<T> Ord for HeapEntry<T> {
 #[derive(Clone, Debug)]
 pub struct TopK<T> {
     k: usize,
+    next_seq: u64,
     heap: BinaryHeap<HeapEntry<T>>,
 }
 
@@ -49,21 +59,33 @@ impl<T> TopK<T> {
     pub fn new(k: usize) -> Self {
         TopK {
             k,
+            next_seq: 0,
             heap: BinaryHeap::with_capacity(k.saturating_add(1)),
         }
     }
 
-    /// Offers a candidate. Non-finite scores are ignored.
+    /// Offers a candidate. Non-finite scores are ignored. A candidate scoring equal to
+    /// the current k-th entry does not displace it (first-offered wins ties).
     pub fn push(&mut self, score: f64, payload: T) {
         if self.k == 0 || !score.is_finite() {
             return;
         }
+        let seq = self.next_seq;
+        self.next_seq += 1;
         if self.heap.len() < self.k {
-            self.heap.push(HeapEntry { score, payload });
+            self.heap.push(HeapEntry {
+                score,
+                seq,
+                payload,
+            });
         } else if let Some(min) = self.heap.peek() {
-            if score > min.score {
+            if score.total_cmp(&min.score) == Ordering::Greater {
                 self.heap.pop();
-                self.heap.push(HeapEntry { score, payload });
+                self.heap.push(HeapEntry {
+                    score,
+                    seq,
+                    payload,
+                });
             }
         }
     }
@@ -88,15 +110,17 @@ impl<T> TopK<T> {
     }
 
     /// Consumes the collector and returns `(score, payload)` pairs sorted by descending
-    /// score (ties keep an arbitrary but deterministic order).
+    /// score (ties keep their offer order), using the total order on scores — the output
+    /// never depends on the heap's internal layout or on the order equal-scored
+    /// candidates happened to be stored in.
     pub fn into_sorted_vec(self) -> Vec<(f64, T)> {
-        let mut v: Vec<(f64, T)> = self
+        let mut v: Vec<(f64, u64, T)> = self
             .heap
             .into_iter()
-            .map(|e| (e.score, e.payload))
+            .map(|e| (e.score, e.seq, e.payload))
             .collect();
-        v.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
-        v
+        v.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        v.into_iter().map(|(score, _, p)| (score, p)).collect()
     }
 }
 
@@ -157,6 +181,39 @@ mod tests {
         assert_eq!(c.threshold(), Some(1.0));
         c.push(3.0, ());
         assert_eq!(c.threshold(), Some(3.0));
+    }
+
+    #[test]
+    fn nan_poisoned_streams_keep_a_deterministic_order() {
+        // Regression: the sort used to compare with `partial_cmp(..).unwrap_or(Equal)`,
+        // under which a NaN compares Equal to everything and the output order (and thus
+        // the top-N cut) depended on where the NaN sat in the input. NaNs must be
+        // dropped and the surviving order must be a pure function of the finite offers.
+        let finite = [(2.0, "a"), (1.0, "b"), (2.0, "c"), (0.5, "d")];
+        let expected = top_k(3, finite);
+        for nan_pos in 0..=finite.len() {
+            let mut poisoned: Vec<(f64, &str)> = finite.to_vec();
+            poisoned.insert(nan_pos, (f64::NAN, "poison"));
+            let got = top_k(3, poisoned);
+            assert_eq!(
+                got, expected,
+                "NaN at position {nan_pos} changed the top-N output"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_scores_keep_first_offered_payloads_in_offer_order() {
+        // Five equal-scored offers into a k=3 collector: the first three must survive,
+        // in offer order — not whichever the heap happened to keep.
+        let got = top_k(
+            3,
+            [(1.0, "a"), (1.0, "b"), (1.0, "c"), (1.0, "d"), (1.0, "e")],
+        );
+        assert_eq!(got, vec![(1.0, "a"), (1.0, "b"), (1.0, "c")]);
+        // a strictly better late offer still displaces the weakest tie deterministically
+        let got = top_k(2, [(1.0, "a"), (1.0, "b"), (2.0, "c")]);
+        assert_eq!(got, vec![(2.0, "c"), (1.0, "a")]);
     }
 
     #[test]

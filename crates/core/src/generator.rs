@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use xmap_cf::knn::Profile;
 use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
+use xmap_engine::StageContext;
 use xmap_privacy::{exponential_mechanism, Sensitivity};
 
 /// How a source-domain rating value is carried onto its replacement item when building an
@@ -186,6 +187,105 @@ pub struct AlterEgoGenerator<'a> {
 }
 
 impl<'a> AlterEgoGenerator<'a> {
+    /// The replacement draw for one item given its X-Sim candidate list.
+    ///
+    /// Replacing an item with a *dissimilar* (negatively correlated) heterogeneous
+    /// item while keeping the original rating would inject anti-signal into the
+    /// AlterEgo, so only positively similar candidates are eligible replacements.
+    /// The candidate pool is further restricted to the top-k entries (the extender
+    /// only materialises top-k lists per layer, §5.2) so that the private
+    /// exponential mechanism — which flattens towards a uniform choice as ε
+    /// shrinks — always selects from a pool of reasonable replacements.
+    ///
+    /// The private draw's RNG stream is derived from `(config.seed, item)` alone, so
+    /// the draw is independent of *which* replacements were computed before it — the
+    /// property that lets the engine-parallel generator partition items freely while
+    /// staying bit-equal to the serial loop.
+    fn replacement_for(
+        item: ItemId,
+        all_candidates: &[crate::xsim::XSimEntry],
+        config: &XMapConfig,
+    ) -> Option<ItemId> {
+        let mut candidates: Vec<crate::xsim::XSimEntry> = all_candidates
+            .iter()
+            .filter(|c| c.similarity > 0.0)
+            .copied()
+            .collect();
+        candidates.truncate(config.replacement_pool.max(1));
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(if config.mode.is_private() {
+            // PRS: sample proportionally to exp(ε · X-Sim / (2 · GS)), with the
+            // certainty-weighted X-Sim as the score (still bounded in [-1, 1], so the
+            // global sensitivity of 2 is unchanged).
+            let scores: Vec<f64> = candidates.iter().map(|c| c.weighted_similarity()).collect();
+            let mut rng = StdRng::seed_from_u64(
+                config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(item.0) + 1)),
+            );
+            let idx = exponential_mechanism(
+                &mut rng,
+                &scores,
+                config.privacy.epsilon,
+                Sensitivity::XSIM_GLOBAL.value(),
+            )
+            .expect("candidate list is non-empty and scores are finite");
+            candidates[idx].item
+        } else {
+            candidates[0].item
+        })
+    }
+
+    /// Materialises the replacement table single-threaded: one
+    /// [`AlterEgoGenerator::replacement_for`] draw per X-Sim source item. This is the
+    /// reference the engine-parallel generator stage must match exactly.
+    pub fn compute_replacements_serial(xsim: &XSimTable, config: &XMapConfig) -> ReplacementTable {
+        let mut replacements = HashMap::new();
+        for (item, all_candidates) in xsim.iter() {
+            if let Some(replacement) = Self::replacement_for(item, all_candidates, config) {
+                replacements.insert(item, replacement);
+            }
+        }
+        ReplacementTable { replacements }
+    }
+
+    /// Materialises the replacement table partition-parallel on the dataflow engine.
+    ///
+    /// Source items are sorted (the X-Sim table iterates in hash order, which must not
+    /// leak into partition contents), split into the dataflow's partitions by item id,
+    /// and every partition draws its items' replacements as one pool task. Because each
+    /// draw's RNG stream is derived from `(seed, item)` alone, the assembled table is
+    /// **bit-equal** to [`AlterEgoGenerator::compute_replacements_serial`] at any worker
+    /// count. One data-derived cost per partition — `Σ (1 + |candidates|)` — is
+    /// recorded on the context and lands in the running stage's ledger.
+    pub fn compute_replacements_batched(
+        xsim: &XSimTable,
+        config: &XMapConfig,
+        cx: &mut StageContext<'_>,
+    ) -> ReplacementTable {
+        let mut items: Vec<ItemId> = xsim.iter().map(|(item, _)| item).collect();
+        items.sort_unstable();
+        let per_partition: Vec<Vec<(ItemId, ItemId)>> = cx.map_partitions(
+            items,
+            |item| item.0,
+            |_ix, part| {
+                let mut out: Vec<(ItemId, ItemId)> = Vec::new();
+                let mut cost = 0.0f64;
+                for &item in part {
+                    let all_candidates = xsim.candidates(item);
+                    cost += 1.0 + all_candidates.len() as f64;
+                    if let Some(replacement) = Self::replacement_for(item, all_candidates, config) {
+                        out.push((item, replacement));
+                    }
+                }
+                (out, cost)
+            },
+        );
+        ReplacementTable {
+            replacements: per_partition.into_iter().flatten().collect(),
+        }
+    }
+
     /// Builds the generator and materialises the replacement table.
     ///
     /// For the private modes every item's replacement is drawn once with the PRS
@@ -199,53 +299,34 @@ impl<'a> AlterEgoGenerator<'a> {
         target_domain: DomainId,
         config: XMapConfig,
     ) -> Self {
-        let mut replacements = HashMap::new();
-        let private = config.mode.is_private();
-        for (item, all_candidates) in xsim.iter() {
-            // Replacing an item with a *dissimilar* (negatively correlated) heterogeneous
-            // item while keeping the original rating would inject anti-signal into the
-            // AlterEgo, so only positively similar candidates are eligible replacements.
-            // The candidate pool is further restricted to the top-k entries (the extender
-            // only materialises top-k lists per layer, §5.2) so that the private
-            // exponential mechanism — which flattens towards a uniform choice as ε
-            // shrinks — always selects from a pool of reasonable replacements.
-            let mut candidates: Vec<crate::xsim::XSimEntry> = all_candidates
-                .iter()
-                .filter(|c| c.similarity > 0.0)
-                .copied()
-                .collect();
-            candidates.truncate(config.replacement_pool.max(1));
-            if candidates.is_empty() {
-                continue;
-            }
-            let replacement = if private {
-                // PRS: sample proportionally to exp(ε · X-Sim / (2 · GS)), with the
-                // certainty-weighted X-Sim as the score (still bounded in [-1, 1], so the
-                // global sensitivity of 2 is unchanged).
-                let scores: Vec<f64> = candidates.iter().map(|c| c.weighted_similarity()).collect();
-                let mut rng = StdRng::seed_from_u64(
-                    config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(item.0) + 1)),
-                );
-                let idx = exponential_mechanism(
-                    &mut rng,
-                    &scores,
-                    config.privacy.epsilon,
-                    Sensitivity::XSIM_GLOBAL.value(),
-                )
-                .expect("candidate list is non-empty and scores are finite");
-                candidates[idx].item
-            } else {
-                candidates[0].item
-            };
-            replacements.insert(item, replacement);
-        }
+        let replacements = Self::compute_replacements_serial(xsim, &config);
+        Self::with_replacements(
+            matrix,
+            xsim,
+            source_domain,
+            target_domain,
+            config,
+            replacements,
+        )
+    }
+
+    /// Wraps an externally materialised replacement table (e.g. one computed
+    /// partition-parallel by [`AlterEgoGenerator::compute_replacements_batched`]).
+    pub fn with_replacements(
+        matrix: &'a RatingMatrix,
+        xsim: &'a XSimTable,
+        source_domain: DomainId,
+        target_domain: DomainId,
+        config: XMapConfig,
+        replacements: ReplacementTable,
+    ) -> Self {
         AlterEgoGenerator {
             matrix,
             xsim,
             source_domain,
             target_domain,
             config,
-            replacements: ReplacementTable { replacements },
+            replacements,
         }
     }
 
@@ -522,6 +603,48 @@ mod tests {
             agree * 2 >= total,
             "with ε=100 most replacements should agree ({agree}/{total})"
         );
+    }
+
+    #[test]
+    fn batched_replacements_are_bit_equal_to_serial_at_1_2_and_8_workers() {
+        use xmap_engine::{fn_stage, Dataflow, StageContext};
+        // Both modes matter: the non-private path must pick identical best matches, the
+        // private path must replay identical per-item RNG streams from any partition.
+        for mode in [XMapMode::NxMapItemBased, XMapMode::XMapItemBased] {
+            let (_, table, config) = setup(mode, 0.5);
+            let serial = AlterEgoGenerator::compute_replacements_serial(&table, &config);
+            let mut reference_costs: Option<Vec<f64>> = None;
+            for workers in [1usize, 2, 8] {
+                let flow = Dataflow::new(workers, 4);
+                let batched = flow.run(
+                    &fn_stage(
+                        "generator",
+                        |xsim: &XSimTable, cx: &mut StageContext<'_>| {
+                            AlterEgoGenerator::compute_replacements_batched(xsim, &config, cx)
+                        },
+                    ),
+                    &table,
+                );
+                let mut serial_pairs: Vec<_> = serial.iter().collect();
+                let mut batched_pairs: Vec<_> = batched.iter().collect();
+                serial_pairs.sort();
+                batched_pairs.sort();
+                assert_eq!(
+                    batched_pairs, serial_pairs,
+                    "{mode:?} at {workers} workers diverged from the serial generator"
+                );
+                let costs = flow
+                    .stage_costs("generator")
+                    .expect("generator records task costs");
+                assert_eq!(costs.len(), 4, "one task cost per partition");
+                match &reference_costs {
+                    None => reference_costs = Some(costs),
+                    Some(expected) => {
+                        assert_eq!(&costs, expected, "{workers} workers changed costs")
+                    }
+                }
+            }
+        }
     }
 
     #[test]

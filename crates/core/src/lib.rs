@@ -51,7 +51,7 @@ pub mod xsim;
 
 pub use config::{PrivacyConfig, XMapConfig, XMapMode};
 pub use generator::{AlterEgo, AlterEgoGenerator, RatingTransfer, ReplacementTable};
-pub use pipeline::{PipelineStats, XMapModel, XMapPipeline};
+pub use pipeline::{BaselinerStage, PipelineStats, XMapModel, XMapPipeline};
 pub use recommend::ProfileRecommender;
 pub use serve::{RecommendStage, ServeBatch};
 pub use xsim::{XSimEntry, XSimTable};

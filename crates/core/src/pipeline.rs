@@ -6,9 +6,13 @@
 //! [`XMapPipeline::fit`] chains the four stages over an aggregated two-domain rating
 //! matrix and produces an [`XMapModel`] that can answer online queries: the AlterEgo of
 //! a user, predicted ratings for target-domain items, and top-N recommendations.
-//! Per-stage wall-clock durations and the extender's per-partition task costs are
-//! captured in [`PipelineStats`] — the scalability experiment (Figure 11) replays those
-//! task costs on the cluster simulator.
+//!
+//! All four fit stages run partition-parallel with a bit-identity contract (see the
+//! fit-stage parallelism section of `DESIGN.md`): the released model and the recorded
+//! per-partition task costs are identical at any worker count. Per-stage wall-clock
+//! durations and the `baseliner` / `extender` / `generator` / `recommender` task bags
+//! are captured in [`PipelineStats`] — the scalability experiment (Figure 11) and the
+//! `fit_throughput` bench replay those task costs on the cluster simulator.
 
 use crate::config::{XMapConfig, XMapMode};
 use crate::generator::{AlterEgo, AlterEgoGenerator, ReplacementTable};
@@ -20,8 +24,9 @@ use crate::serve::{RecommendStage, ServeBatch, RECOMMEND_STAGE_NAME};
 use crate::xsim::XSimTable;
 use crate::{Result, XMapError};
 use std::sync::Mutex;
-use xmap_cf::knn::Profile;
-use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
+use xmap_cf::knn::{ItemNeighbor, Profile};
+use xmap_cf::similarity::item_similarity_stats;
+use xmap_cf::{DomainId, ItemId, ItemKnn, ItemKnnConfig, RatingMatrix, SimilarityStats, UserId};
 use xmap_engine::{Dataflow, Stage, StageContext, StageReport};
 use xmap_eval::EVAL_STAGE_NAME;
 use xmap_eval::{EvalBatch, EvalReport, EvalStage, EvalTarget, SweepParam, SweepSeries, SweepSpec};
@@ -45,10 +50,21 @@ pub struct PipelineStats {
     pub layer_counts: Vec<(DomainId, Layer, usize)>,
     /// Wall-clock duration of each pipeline stage.
     pub stage_durations: Vec<StageReport>,
+    /// Per-partition work estimates of the baseliner stage (pair-scoring work,
+    /// `Σ (1 + deg(lo) + deg(hi))` per partition), recorded by the `Dataflow` runner.
+    /// Data-derived, so identical for any worker count.
+    pub baseliner_task_costs: Vec<f64>,
     /// Per-partition work estimates of the extension stage, recorded by the `Dataflow`
     /// runner (one task per dataflow partition; data-derived, so identical for any
     /// worker count). The scalability benchmark schedules these onto simulated machines.
     pub extension_task_costs: Vec<f64>,
+    /// Per-partition work estimates of the generator stage (`Σ (1 + |candidates|)` per
+    /// partition of replacement draws). Data-derived, so identical for any worker count.
+    pub generator_task_costs: Vec<f64>,
+    /// Per-partition work estimates of the recommender stage's item-kNN fit
+    /// (similarity-scoring work per partition of items). Empty for the user-based
+    /// modes, which precompute nothing at fit time.
+    pub recommender_task_costs: Vec<f64>,
     /// Number of ratings in the target-domain training matrix.
     pub n_target_ratings: usize,
 }
@@ -177,6 +193,24 @@ impl XMapModel {
         self.budget.as_ref()
     }
 
+    /// The combined fit task bag: every per-partition cost the four fit stages recorded
+    /// (baseliner, extender, generator, recommender — in pipeline order), for cluster
+    /// replay of the whole model fit. Data-derived, so identical at any worker count.
+    pub fn fit_task_costs(&self) -> Vec<f64> {
+        let s = &self.stats;
+        let mut bag = Vec::with_capacity(
+            s.baseliner_task_costs.len()
+                + s.extension_task_costs.len()
+                + s.generator_task_costs.len()
+                + s.recommender_task_costs.len(),
+        );
+        bag.extend_from_slice(&s.baseliner_task_costs);
+        bag.extend_from_slice(&s.extension_task_costs);
+        bag.extend_from_slice(&s.generator_task_costs);
+        bag.extend_from_slice(&s.recommender_task_costs);
+        bag
+    }
+
     /// Evaluates the model over an [`EvalBatch`] on the dataflow engine: test triples
     /// and ranking cases are partitioned via the engine's ordered map, evaluated in
     /// parallel, and aggregated exactly like the serial reference
@@ -247,10 +281,28 @@ impl EvalTarget for XMapModel {
 }
 
 /// Stage 1 — baseliner: builds the baseline similarity graph over the aggregated
-/// domains.
-struct BaselinerStage<'m> {
+/// domains, partition-parallel.
+///
+/// The canonical co-rated pair keys ([`SimilarityGraph::co_rated_pair_keys`]) are
+/// hash-partitioned by input position; every partition scores its pairs
+/// (`item_similarity_stats`) as one pool task, and the per-key statistics come back in
+/// key order, so the CSR arena assembled by [`SimilarityGraph::from_scored_pairs`] is
+/// **bit-identical** to [`SimilarityGraph::build_serial`] at any worker count. One
+/// data-derived cost per partition — `Σ (1 + deg(lo) + deg(hi))`, the profile-merge
+/// work of scoring a pair — lands in the `baseliner` ledger.
+pub struct BaselinerStage<'m> {
     matrix: &'m RatingMatrix,
     graph_config: GraphConfig,
+}
+
+impl<'m> BaselinerStage<'m> {
+    /// Creates the stage over the aggregated rating matrix.
+    pub fn new(matrix: &'m RatingMatrix, graph_config: GraphConfig) -> Self {
+        BaselinerStage {
+            matrix,
+            graph_config,
+        }
+    }
 }
 
 impl Stage<()> for BaselinerStage<'_> {
@@ -260,8 +312,30 @@ impl Stage<()> for BaselinerStage<'_> {
         "baseliner"
     }
 
-    fn run(&self, _input: (), _cx: &mut StageContext<'_>) -> SimilarityGraph {
-        SimilarityGraph::build(self.matrix, self.graph_config)
+    fn run(&self, _input: (), cx: &mut StageContext<'_>) -> SimilarityGraph {
+        let keys = SimilarityGraph::co_rated_pair_keys(self.matrix);
+        // Map over key *positions* (partitioned identically to the keys themselves,
+        // since both hash the input position) so the key vector — the largest transient
+        // buffer of the fit — is borrowed, not duplicated.
+        let positions: Vec<usize> = (0..keys.len()).collect();
+        let stats: Vec<SimilarityStats> = cx.map_items_ordered(positions, |_ix, part| {
+            let outs: Vec<SimilarityStats> = part
+                .iter()
+                .map(|&(_, key_ix)| {
+                    let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
+                    item_similarity_stats(self.matrix, lo, hi, self.graph_config.metric)
+                })
+                .collect();
+            let cost: f64 = part
+                .iter()
+                .map(|&(_, key_ix)| {
+                    let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
+                    1.0 + (self.matrix.item_degree(lo) + self.matrix.item_degree(hi)) as f64
+                })
+                .sum();
+            (outs, cost)
+        });
+        SimilarityGraph::from_scored_pairs(self.matrix, self.graph_config, &keys, stats)
     }
 }
 
@@ -292,33 +366,88 @@ impl<'g> Stage<&'g SimilarityGraph> for ExtenderStage {
     }
 }
 
-/// Stage 3 — generator: item replacements (PRS for the private modes).
-struct GeneratorStage<'m> {
-    matrix: &'m RatingMatrix,
-    source: DomainId,
-    target: DomainId,
+/// Stage 3 — generator: item replacements (PRS for the private modes),
+/// partition-parallel.
+///
+/// Replacement construction is partitioned by item
+/// ([`AlterEgoGenerator::compute_replacements_batched`]): once the pipeline has debited
+/// ε, every item's PRS draw is independent, and the private draws derive their RNG
+/// stream from `(seed, item)` alone — so the assembled table is bit-equal to the serial
+/// generator at any worker count. Per-partition costs (`Σ (1 + |candidates|)`) land in
+/// the `generator` ledger.
+struct GeneratorStage {
     config: XMapConfig,
 }
 
-impl<'x> Stage<&'x XSimTable> for GeneratorStage<'_> {
+impl<'x> Stage<&'x XSimTable> for GeneratorStage {
     type Out = ReplacementTable;
 
     fn name(&self) -> &'static str {
         "generator"
     }
 
-    fn run(&self, xsim: &'x XSimTable, _cx: &mut StageContext<'_>) -> ReplacementTable {
-        AlterEgoGenerator::new(self.matrix, xsim, self.source, self.target, self.config)
-            .replacements()
-            .clone()
+    fn run(&self, xsim: &'x XSimTable, cx: &mut StageContext<'_>) -> ReplacementTable {
+        AlterEgoGenerator::compute_replacements_batched(xsim, &self.config, cx)
     }
 }
 
-/// Stage 4 — recommender: fits the target-domain CF model consuming AlterEgos. The
-/// private modes debit ε′ (PNSA + PNCF) from the pipeline's privacy budget here.
+/// Stage 4 — recommender: fits the target-domain CF model consuming AlterEgos,
+/// partition-parallel for the item-based modes. The private modes debit ε′
+/// (PNSA + PNCF) from the pipeline's privacy budget here.
+///
+/// The item-based kNN fit — the expensive half — is partitioned by item: candidate
+/// sets ([`ItemKnn::candidate_sets`]) are hash-partitioned by item id (their input
+/// position), every partition scores its items' candidates and selects their top-k
+/// as one pool task, and the pools come back in item order before the recommender
+/// wraps them — bit-identical to the serial `ItemKnn::fit` at any worker count.
+/// Per-partition costs (`Σ over items (1 + Σ over candidates (deg(i) + deg(j)))`,
+/// the profile-merge work of the similarity scoring) land in the `recommender`
+/// ledger. The user-based modes precompute nothing at fit time, so they record no
+/// recommender task bag.
 struct RecommenderStage<'b> {
     config: XMapConfig,
     budget: Option<&'b Mutex<PrivacyBudget>>,
+}
+
+/// The partition-parallel item-kNN pool fit shared by the item-based modes: one
+/// ordered map over the per-item candidate sets, recording the similarity-scoring
+/// work as the partition cost.
+fn fit_item_pools(
+    matrix: &RatingMatrix,
+    pool_k: usize,
+    temporal_alpha: f64,
+    cx: &mut StageContext<'_>,
+) -> Vec<Vec<ItemNeighbor>> {
+    let knn_config = ItemKnnConfig {
+        k: pool_k,
+        temporal_alpha,
+        ..Default::default()
+    };
+    let sets = ItemKnn::candidate_sets(matrix);
+    cx.map_items_ordered(sets, |_ix, part| {
+        let outs: Vec<Vec<ItemNeighbor>> = part
+            .iter()
+            .map(|&(item_ix, ref cands)| {
+                ItemKnn::neighbors_from_candidates(
+                    matrix,
+                    ItemId(item_ix as u32),
+                    cands,
+                    &knn_config,
+                )
+            })
+            .collect();
+        let cost: f64 = part
+            .iter()
+            .map(|&(item_ix, ref cands)| {
+                let deg_i = matrix.item_degree(ItemId(item_ix as u32)) as f64;
+                1.0 + cands
+                    .iter()
+                    .map(|&j| deg_i + matrix.item_degree(j) as f64)
+                    .sum::<f64>()
+            })
+            .sum();
+        (outs, cost)
+    })
 }
 
 impl Stage<RatingMatrix> for RecommenderStage<'_> {
@@ -331,33 +460,51 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
     fn run(
         &self,
         target_matrix: RatingMatrix,
-        _cx: &mut StageContext<'_>,
+        cx: &mut StageContext<'_>,
     ) -> Result<Box<dyn ProfileRecommender + Send + Sync>> {
         let config = &self.config;
         let mut budget_guard = self
             .budget
             .map(|m| m.lock().expect("privacy budget mutex poisoned"));
         Ok(match config.mode {
-            XMapMode::NxMapItemBased => Box::new(ItemBasedRecommender::fit(
-                target_matrix,
-                config.k,
-                config.temporal_alpha,
-            )?)
-                as Box<dyn ProfileRecommender + Send + Sync>,
+            XMapMode::NxMapItemBased => {
+                let pools = fit_item_pools(&target_matrix, config.k, config.temporal_alpha, cx);
+                Box::new(ItemBasedRecommender::from_pools(
+                    target_matrix,
+                    config.k,
+                    config.temporal_alpha,
+                    pools,
+                )?) as Box<dyn ProfileRecommender + Send + Sync>
+            }
             XMapMode::NxMapUserBased => {
                 Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
             }
-            XMapMode::XMapItemBased => Box::new(PrivateItemBasedRecommender::fit(
-                target_matrix,
-                config.k,
-                config.privacy.epsilon_prime,
-                config.privacy.rho,
-                config.temporal_alpha,
-                config.seed,
-                budget_guard
-                    .as_deref_mut()
-                    .expect("private modes carry a privacy budget"),
-            )?),
+            XMapMode::XMapItemBased => {
+                // Debit before the pool fit, mirroring the serial
+                // `PrivateItemBasedRecommender::fit`: an exhausted budget fails the
+                // stage without paying for the kNN fit.
+                PrivateItemBasedRecommender::debit_budget(
+                    config.privacy.epsilon_prime,
+                    budget_guard
+                        .as_deref_mut()
+                        .expect("private modes carry a privacy budget"),
+                )?;
+                let pools = fit_item_pools(
+                    &target_matrix,
+                    PrivateItemBasedRecommender::pool_size(config.k),
+                    config.temporal_alpha,
+                    cx,
+                );
+                Box::new(PrivateItemBasedRecommender::from_pools(
+                    target_matrix,
+                    config.k,
+                    config.privacy.epsilon_prime,
+                    config.privacy.rho,
+                    config.temporal_alpha,
+                    config.seed,
+                    pools,
+                )?)
+            }
             XMapMode::XMapUserBased => Box::new(PrivateUserBasedRecommender::fit(
                 target_matrix,
                 config.k,
@@ -412,14 +559,14 @@ impl XMapPipeline {
             .then(|| Mutex::new(PrivacyBudget::new(config.privacy.total())));
 
         let graph = flow.run(
-            &BaselinerStage {
+            &BaselinerStage::new(
                 matrix,
-                graph_config: GraphConfig {
+                GraphConfig {
                     metric: config.metric,
                     top_k: Some(config.k),
                     min_similarity: 0.0,
                 },
-            },
+            ),
             (),
         );
 
@@ -439,15 +586,7 @@ impl XMapPipeline {
                 .spend("PRS", config.privacy.epsilon)
                 .map_err(XMapError::Privacy)?;
         }
-        let replacements = flow.run(
-            &GeneratorStage {
-                matrix,
-                source,
-                target,
-                config,
-            },
-            &xsim,
-        );
+        let replacements = flow.run(&GeneratorStage { config }, &xsim);
 
         let target_matrix = matrix
             .filter(|r| matrix.item_domain(r.item) == target)
@@ -464,17 +603,19 @@ impl XMapPipeline {
             target_matrix,
         )?;
 
-        // The extender's per-partition task bag, recorded by the Dataflow runner — the
-        // scalability simulation replays exactly these tasks.
-        let extension_task_costs = flow.stage_costs("extender").unwrap_or_default();
-
+        // The per-stage task bags of the fit, recorded by the Dataflow runner — the
+        // scalability simulation replays exactly these tasks. The recommender ledger is
+        // empty for the user-based modes (no fit-time precomputation to partition).
         let stats = PipelineStats {
             n_standard_hetero_pairs: graph.n_heterogeneous_pairs(),
             n_xsim_hetero_pairs: xsim.n_heterogeneous_pairs(),
             n_bridge_items: bridges.n_bridges(),
             layer_counts: partition.cell_counts(),
             stage_durations: flow.reports(),
-            extension_task_costs,
+            baseliner_task_costs: flow.stage_costs("baseliner").unwrap_or_default(),
+            extension_task_costs: flow.stage_costs("extender").unwrap_or_default(),
+            generator_task_costs: flow.stage_costs("generator").unwrap_or_default(),
+            recommender_task_costs: flow.stage_costs("recommender").unwrap_or_default(),
             n_target_ratings,
         };
 
@@ -565,9 +706,81 @@ mod tests {
             "Inception and at least one book are bridges"
         );
         assert!(!stats.extension_task_costs.is_empty());
+        assert!(
+            !stats.baseliner_task_costs.is_empty(),
+            "the baseliner must record its pair-scoring task bag"
+        );
+        assert!(
+            !stats.generator_task_costs.is_empty(),
+            "the generator must record its replacement-draw task bag"
+        );
+        assert!(
+            !stats.recommender_task_costs.is_empty(),
+            "the item-based recommender must record its kNN-fit task bag"
+        );
+        let combined = model.fit_task_costs();
+        assert_eq!(
+            combined.len(),
+            stats.baseliner_task_costs.len()
+                + stats.extension_task_costs.len()
+                + stats.generator_task_costs.len()
+                + stats.recommender_task_costs.len()
+        );
+        assert!(combined.iter().all(|&c| c.is_finite() && c >= 0.0));
         assert!(stats.n_target_ratings > 0);
         let total_layer_items: usize = stats.layer_counts.iter().map(|(_, _, c)| c).sum();
         assert_eq!(total_layer_items, toy.matrix.n_items());
+    }
+
+    #[test]
+    fn user_based_fits_record_no_recommender_task_bag() {
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            XMapConfig {
+                mode: XMapMode::NxMapUserBased,
+                k: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // user-based CF precomputes nothing at fit time — no task bag to replay
+        assert!(model.stats().recommender_task_costs.is_empty());
+        assert!(!model.stats().baseliner_task_costs.is_empty());
+        assert!(!model.stats().generator_task_costs.is_empty());
+    }
+
+    #[test]
+    fn staged_baseliner_is_bit_identical_to_build_serial_at_1_2_and_8_workers() {
+        use xmap_engine::Dataflow;
+        use xmap_graph::SimilarityGraph;
+        let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let graph_config = GraphConfig {
+            top_k: Some(8),
+            ..Default::default()
+        };
+        let reference = SimilarityGraph::build_serial(&ds.matrix, graph_config);
+        let mut reference_costs: Option<Vec<f64>> = None;
+        for workers in [1usize, 2, 8] {
+            let flow = Dataflow::new(workers, 16);
+            let staged = flow.run(&BaselinerStage::new(&ds.matrix, graph_config), ());
+            assert_eq!(
+                staged, reference,
+                "{workers} workers: staged baseliner diverged from build_serial"
+            );
+            let costs = flow
+                .stage_costs("baseliner")
+                .expect("baseliner records task costs");
+            assert_eq!(costs.len(), 16, "one task cost per partition");
+            match &reference_costs {
+                None => reference_costs = Some(costs),
+                Some(expected) => {
+                    assert_eq!(&costs, expected, "{workers} workers changed costs")
+                }
+            }
+        }
     }
 
     #[test]

@@ -165,6 +165,35 @@ impl ItemBasedRecommender {
             },
         )?
         .into_neighbors();
+        Self::from_pools(target, k, temporal_alpha, neighbors)
+    }
+
+    /// Builds the recommender from externally fitted neighbour pools — pools the
+    /// engine-parallel recommender stage computed partition-parallel via
+    /// [`ItemKnn::candidate_sets`] + [`ItemKnn::neighbors_from_candidates`]. Equivalent
+    /// to [`ItemBasedRecommender::fit`] when the pools are `ItemKnn::fit`'s (which the
+    /// parallel build guarantees bit for bit).
+    ///
+    /// [`ItemKnn::candidate_sets`]: xmap_cf::ItemKnn::candidate_sets
+    /// [`ItemKnn::neighbors_from_candidates`]: xmap_cf::ItemKnn::neighbors_from_candidates
+    pub fn from_pools(
+        target: RatingMatrix,
+        k: usize,
+        temporal_alpha: f64,
+        pools: Vec<Vec<ItemNeighbor>>,
+    ) -> crate::Result<Self> {
+        // `ItemKnn::from_pools` validates the (k, α) configuration and hands the pools
+        // back untouched.
+        let neighbors = ItemKnn::from_pools(
+            &target,
+            ItemKnnConfig {
+                k,
+                temporal_alpha,
+                ..Default::default()
+            },
+            pools,
+        )?
+        .into_neighbors();
         Ok(ItemBasedRecommender {
             target,
             neighbors,
@@ -328,16 +357,68 @@ impl PrivateItemBasedRecommender {
         seed: u64,
         budget: &mut PrivacyBudget,
     ) -> crate::Result<Self> {
-        let half = epsilon_prime / 2.0;
-        budget.spend_all(&[("PNSA", half), ("PNCF", half)])?;
-        let pool_size = (k + k / 4).max(4);
+        Self::debit_budget(epsilon_prime, budget)?;
         let pools = ItemKnn::fit(
             &target,
             ItemKnnConfig {
-                k: pool_size,
+                k: Self::pool_size(k),
                 temporal_alpha,
                 ..Default::default()
             },
+        )?
+        .into_neighbors();
+        Self::from_pools(target, k, epsilon_prime, rho, temporal_alpha, seed, pools)
+    }
+
+    /// The recommendation-phase budget debit: ε′/2 for PNSA and ε′/2 for PNCF
+    /// (sequential composition, §4.4), atomically. The single place the split and the
+    /// ledger labels live — both [`fit`] and the engine-parallel recommender stage
+    /// debit through here.
+    ///
+    /// [`fit`]: PrivateItemBasedRecommender::fit
+    pub(crate) fn debit_budget(
+        epsilon_prime: f64,
+        budget: &mut PrivacyBudget,
+    ) -> crate::Result<()> {
+        let half = epsilon_prime / 2.0;
+        budget.spend_all(&[("PNSA", half), ("PNCF", half)])?;
+        Ok(())
+    }
+
+    /// The candidate-pool width PNSA selects from for a given `k` (slightly wider than
+    /// `k`, see [`PrivateItemBasedRecommender::fit`]). The engine-parallel recommender
+    /// stage fits its pools at exactly this width before handing them to
+    /// `from_pools`.
+    pub fn pool_size(k: usize) -> usize {
+        (k + k / 4).max(4)
+    }
+
+    /// Builds the recommender from externally fitted neighbour pools of width
+    /// [`PrivateItemBasedRecommender::pool_size`], annotating each candidate with its
+    /// similarity-based sensitivity. Crate-private because it performs no budget
+    /// debit itself: the engine-parallel recommender stage debits once through
+    /// [`PrivateItemBasedRecommender::debit_budget`] *before* fanning the pool fit
+    /// out, exactly like [`fit`] — a public no-debit constructor would let callers
+    /// bypass the ε′ accounting.
+    ///
+    /// [`fit`]: PrivateItemBasedRecommender::fit
+    pub(crate) fn from_pools(
+        target: RatingMatrix,
+        k: usize,
+        epsilon_prime: f64,
+        rho: f64,
+        temporal_alpha: f64,
+        seed: u64,
+        pools: Vec<Vec<ItemNeighbor>>,
+    ) -> crate::Result<Self> {
+        let pools = ItemKnn::from_pools(
+            &target,
+            ItemKnnConfig {
+                k: Self::pool_size(k),
+                temporal_alpha,
+                ..Default::default()
+            },
+            pools,
         )?
         .into_neighbors();
         let candidates: Vec<Vec<ScoredCandidate>> = pools

@@ -38,7 +38,7 @@ use xmap_cf::similarity::{item_similarity_stats, SimilarityStats};
 use xmap_cf::{DomainId, ItemId, RatingMatrix, SimilarityMetric};
 
 /// Configuration for building the baseline similarity graph.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GraphConfig {
     /// Similarity metric for edge weights (the paper uses adjusted cosine).
     pub metric: SimilarityMetric,
@@ -138,7 +138,11 @@ impl<'a> NeighborView<'a> {
 
 /// The baseline similarity graph, stored as a CSR arena over a shared pool of
 /// per-undirected-edge statistics (see the module docs for the layout).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full arena bit for bit (offsets, neighbour slots, edge
+/// statistics, domains and configuration) — it is what the engine-parallel baseliner's
+/// bit-identity tests assert against [`SimilarityGraph::build_serial`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimilarityGraph {
     /// CSR row offsets; `len == n_items + 1`, monotone non-decreasing.
     offsets: Vec<u32>,
@@ -154,37 +158,110 @@ pub struct SimilarityGraph {
     config: GraphConfig,
 }
 
-impl SimilarityGraph {
-    /// Builds the graph from a rating matrix containing the aggregated domains.
-    ///
-    /// Candidate item pairs are generated through co-rating users, so items with no
-    /// common rater never pay a similarity computation, and each unordered pair pays it
-    /// exactly once (the historical per-item adjacency computed every pair twice).
-    pub fn build(matrix: &RatingMatrix, config: GraphConfig) -> Self {
-        let n_items = matrix.n_items();
+/// Flush threshold floor for the chunked pair-key dedup: below this many pending keys a
+/// merge is not worth its copy.
+const PAIR_KEY_MIN_CHUNK: usize = 1 << 12;
 
-        // --- 1. Candidate pairs through co-rating users, canonical (min, max). ---
-        let mut pair_keys: Vec<u64> = Vec::new();
+impl SimilarityGraph {
+    /// The canonical key of an unordered item pair: `(min << 32) | max`.
+    pub fn pair_key(i: ItemId, j: ItemId) -> u64 {
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        (u64::from(lo.0) << 32) | u64::from(hi.0)
+    }
+
+    /// Decodes a canonical pair key back into its `(lo, hi)` items.
+    pub fn pair_of_key(key: u64) -> (ItemId, ItemId) {
+        (ItemId((key >> 32) as u32), ItemId(key as u32))
+    }
+
+    /// All co-rated unordered item pairs of the matrix as sorted, deduplicated
+    /// canonical keys — the candidate set every graph build scores.
+    ///
+    /// Peak memory is bounded by the *deduplicated* pair count (plus a constant-size
+    /// chunk), not by the raw `Σ_u d_u²` pair emissions: users' pair streams are
+    /// accumulated into a bounded pending chunk that is sorted, deduplicated and merged
+    /// into the running sorted set whenever it would outgrow that set. A single heavy
+    /// user's pairs are mutually distinct (profiles hold each item once), so even the
+    /// largest one-user burst stays within the bound.
+    pub fn co_rated_pair_keys(matrix: &RatingMatrix) -> Vec<u64> {
+        fn flush(merged: &mut Vec<u64>, pending: &mut Vec<u64>) {
+            if pending.is_empty() {
+                return;
+            }
+            pending.sort_unstable();
+            pending.dedup();
+            let mut out = Vec::with_capacity(merged.len() + pending.len());
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < merged.len() && b < pending.len() {
+                match merged[a].cmp(&pending[b]) {
+                    std::cmp::Ordering::Less => {
+                        out.push(merged[a]);
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push(pending[b]);
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push(merged[a]);
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+            out.extend_from_slice(&merged[a..]);
+            out.extend_from_slice(&pending[b..]);
+            *merged = out;
+            pending.clear();
+        }
+
+        let mut merged: Vec<u64> = Vec::new();
+        let mut pending: Vec<u64> = Vec::new();
         for u in matrix.users() {
             let profile = matrix.user_profile(u);
             for a in 0..profile.len() {
                 for b in (a + 1)..profile.len() {
-                    let (i, j) = (profile[a].item, profile[b].item);
-                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                    pair_keys.push((u64::from(lo.0) << 32) | u64::from(hi.0));
+                    pending.push(Self::pair_key(profile[a].item, profile[b].item));
                 }
             }
+            if pending.len() >= PAIR_KEY_MIN_CHUNK.max(merged.len()) {
+                flush(&mut merged, &mut pending);
+            }
         }
-        pair_keys.sort_unstable();
-        pair_keys.dedup();
+        flush(&mut merged, &mut pending);
+        merged
+    }
 
-        // --- 2. One similarity computation per unordered pair. ---
-        let mut pairs: Vec<(ItemId, ItemId, SimilarityStats)> = pair_keys
-            .into_iter()
-            .filter_map(|key| {
-                let lo = ItemId((key >> 32) as u32);
-                let hi = ItemId(key as u32);
-                let stats = item_similarity_stats(matrix, lo, hi, config.metric);
+    /// Assembles the CSR arena from every candidate pair key and its similarity
+    /// statistics (`stats[ix]` belongs to `keys[ix]`; keys sorted ascending as
+    /// [`SimilarityGraph::co_rated_pair_keys`] produces them).
+    ///
+    /// This is the shared back half of every build path: the weak-edge filter, the
+    /// union top-k pruning and the arena assembly. The engine-parallel baseliner scores
+    /// the keys partition-parallel and feeds the reassembled in-key-order stats here,
+    /// which is what makes it bit-identical to [`SimilarityGraph::build_serial`].
+    ///
+    /// # Panics
+    /// Panics if `keys` and `stats` have different lengths.
+    pub fn from_scored_pairs(
+        matrix: &RatingMatrix,
+        config: GraphConfig,
+        keys: &[u64],
+        stats: Vec<SimilarityStats>,
+    ) -> Self {
+        assert_eq!(
+            keys.len(),
+            stats.len(),
+            "every pair key needs exactly one statistics record"
+        );
+        let n_items = matrix.n_items();
+
+        // --- 2. Weak-edge filter over the scored pairs. ---
+        let mut pairs: Vec<(ItemId, ItemId, SimilarityStats)> = keys
+            .iter()
+            .zip(stats)
+            .filter_map(|(&key, stats)| {
+                let (lo, hi) = Self::pair_of_key(key);
                 if stats.similarity != 0.0 && stats.similarity.abs() >= config.min_similarity {
                     Some((lo, hi, stats))
                 } else {
@@ -287,6 +364,31 @@ impl SimilarityGraph {
             item_domain,
             config,
         }
+    }
+
+    /// Builds the graph single-threaded: scores every co-rated pair key in ascending
+    /// key order and assembles the arena. This is the reference the engine-parallel
+    /// baseliner stage must match bit for bit at any worker count.
+    ///
+    /// Candidate item pairs are generated through co-rating users, so items with no
+    /// common rater never pay a similarity computation, and each unordered pair pays it
+    /// exactly once (the historical per-item adjacency computed every pair twice).
+    pub fn build_serial(matrix: &RatingMatrix, config: GraphConfig) -> Self {
+        let keys = Self::co_rated_pair_keys(matrix);
+        let stats: Vec<SimilarityStats> = keys
+            .iter()
+            .map(|&key| {
+                let (lo, hi) = Self::pair_of_key(key);
+                item_similarity_stats(matrix, lo, hi, config.metric)
+            })
+            .collect();
+        Self::from_scored_pairs(matrix, config, &keys, stats)
+    }
+
+    /// Builds the graph from a rating matrix containing the aggregated domains
+    /// (the serial path; see [`SimilarityGraph::build_serial`]).
+    pub fn build(matrix: &RatingMatrix, config: GraphConfig) -> Self {
+        Self::build_serial(matrix, config)
     }
 
     /// The configuration the graph was built with.
@@ -602,6 +704,45 @@ mod tests {
         assert!(e.normalized_significance() >= 0.0 && e.normalized_significance() <= 1.0);
     }
 
+    #[test]
+    fn pair_key_collection_flushes_chunks_on_heavy_traces() {
+        // 40 users × 40-item profiles emit 31,200 raw pairs — several times the flush
+        // threshold — so this exercises the chunk-sort-merge path the proptest corpus
+        // is too small to reach. The result must still be the exact naive key set.
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..40u32 {
+            for x in 0..40u32 {
+                let i = (u * 7 + x * 11) % 120;
+                b.push_parts(u, i, ((x % 5) + 1) as f64).unwrap();
+            }
+        }
+        let m = b.build().unwrap();
+        let raw: usize = m
+            .users()
+            .map(|u| {
+                let d = m.user_profile(u).len();
+                d * (d - 1) / 2
+            })
+            .sum();
+        assert!(
+            raw > 4 * super::PAIR_KEY_MIN_CHUNK,
+            "trace too small to exercise the flush path ({raw} raw pairs)"
+        );
+        let mut naive: Vec<u64> = Vec::new();
+        for u in m.users() {
+            let profile = m.user_profile(u);
+            for a in 0..profile.len() {
+                for b in (a + 1)..profile.len() {
+                    naive.push(SimilarityGraph::pair_key(profile[a].item, profile[b].item));
+                }
+            }
+        }
+        naive.sort_unstable();
+        naive.dedup();
+        assert!(naive.len() < raw, "dedup must actually collapse duplicates");
+        assert_eq!(SimilarityGraph::co_rated_pair_keys(&m), naive);
+    }
+
     /// Reference adjacency built the naive way: all unordered co-rated pairs into a
     /// `HashMap`, no pruning. The CSR arena must agree exactly when pruning is off.
     fn naive_reference(
@@ -698,6 +839,34 @@ mod tests {
                     let key = if i < e.to { (i, e.to) } else { (e.to, i) };
                     prop_assert!(reference.contains_key(&key), "extra edge {key:?}");
                 }
+            }
+        }
+
+        /// The chunk-sort-merge pair-key collection produces exactly the naive
+        /// collect-everything-then-dedup key set (the memory fix must not change a key),
+        /// and decoding round-trips.
+        #[test]
+        fn bounded_pair_key_collection_matches_naive_dedup(
+            ratings in proptest::collection::vec((0u32..12, 0u32..16, 1u32..=5), 1..250),
+        ) {
+            let m = random_matrix(&ratings, 2);
+            let mut naive: Vec<u64> = Vec::new();
+            for u in m.users() {
+                let profile = m.user_profile(u);
+                for a in 0..profile.len() {
+                    for b in (a + 1)..profile.len() {
+                        naive.push(SimilarityGraph::pair_key(profile[a].item, profile[b].item));
+                    }
+                }
+            }
+            naive.sort_unstable();
+            naive.dedup();
+            let bounded = SimilarityGraph::co_rated_pair_keys(&m);
+            prop_assert_eq!(&bounded, &naive);
+            for &key in &bounded {
+                let (lo, hi) = SimilarityGraph::pair_of_key(key);
+                prop_assert!(lo < hi, "canonical keys must be (min, max)");
+                prop_assert_eq!(SimilarityGraph::pair_key(hi, lo), key);
             }
         }
 
