@@ -1,0 +1,270 @@
+//! Throughput of incremental model maintenance (`XMapModel::apply_delta`).
+//!
+//! The claim under test is the delta-fit contract: absorbing a rating delta costs work
+//! proportional to the **delta's co-rating neighbourhood**, not to the trace, while
+//! releasing bits identical to a full refit on the updated matrix.
+//!
+//! Three deterministic checks run before anything is timed:
+//!
+//! 1. **bit-identity** — the delta-fitted model's graph, X-Sim table and probe
+//!    predictions equal a full refit's (the `tests/incremental_equivalence.rs` gate,
+//!    re-asserted here on the bench workload);
+//! 2. **delta-size scaling** — the `"delta"` ledger's total data-derived cost is
+//!    non-decreasing in the delta size and strictly below the full refit's combined
+//!    fit bag (`XMapModel::fit_task_costs`) — the incremental work is a strict subset;
+//! 3. **trace-size scaling** — for a fixed-shape delta, the delta-to-refit cost ratio
+//!    shrinks as the trace grows: update cost tracks the delta, refit cost the trace.
+//!
+//! The wall-clock comparison (apply_delta vs full refit) and a `ClusterSim` replay of
+//! the delta bag follow. `XMAP_BENCH_SMOKE=1` shrinks everything so CI runs the bench
+//! end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
+use xmap_core::{RatingDelta, XMapConfig, XMapMode, XMapModel, XMapPipeline};
+use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+use xmap_engine::{ClusterCostModel, ClusterSim};
+
+fn smoke() -> bool {
+    std::env::var("XMAP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The measured workload: deliberately **sparse** (few ratings per user over a wide
+/// catalogue), like the real traces of the paper — the incremental advantage is a
+/// locality property, and a tiny dense trace where every item co-rates with every
+/// other would make any delta's neighbourhood the whole graph.
+fn workload() -> CrossDomainDataset {
+    if smoke() {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 80,
+            n_target_items: 80,
+            n_source_only_users: 60,
+            n_target_only_users: 60,
+            n_overlap_users: 40,
+            ratings_per_user: 6,
+            latent_dim: 2,
+            noise: 0.3,
+            seed: 7,
+        })
+    } else {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 250,
+            n_target_items: 250,
+            n_source_only_users: 300,
+            n_target_only_users: 300,
+            n_overlap_users: 200,
+            ratings_per_user: 10,
+            latent_dim: 3,
+            noise: 0.25,
+            seed: 7,
+        })
+    }
+}
+
+/// A larger trace with the *same* item catalogue shape, for the trace-size scaling
+/// check: the fixed delta below touches the same users/items in both.
+fn larger_workload() -> CrossDomainDataset {
+    let base = workload().config;
+    CrossDomainDataset::generate(CrossDomainConfig {
+        n_source_only_users: base.n_source_only_users * 3,
+        n_target_only_users: base.n_target_only_users * 3,
+        n_overlap_users: base.n_overlap_users * 3,
+        ..base
+    })
+}
+
+fn config() -> XMapConfig {
+    XMapConfig {
+        mode: XMapMode::NxMapItemBased,
+        k: if smoke() { 8 } else { 20 },
+        workers: 1,
+        partitions: 64,
+        ..Default::default()
+    }
+}
+
+/// A deterministic delta of `size` rating events over existing overlap users and
+/// target items (round-robin), all with fresh timesteps.
+fn delta_of_size(ds: &CrossDomainDataset, size: usize) -> RatingDelta {
+    let users = &ds.overlap_users;
+    let items = ds.target_items();
+    let mut delta = RatingDelta::new();
+    for ix in 0..size {
+        let u = users[ix % users.len()];
+        let i = items[(ix * 7) % items.len()];
+        delta.push_timed(u.0, i.0, ((ix % 5) + 1) as f64, 1000 + ix as u32);
+    }
+    delta
+}
+
+fn fit(matrix: &RatingMatrix) -> XMapModel {
+    XMapPipeline::fit(matrix, DomainId::SOURCE, DomainId::TARGET, config())
+        .expect("bench workloads contain both domains")
+}
+
+fn probe_bits(model: &XMapModel, users: &[UserId], items: &[ItemId]) -> Vec<u64> {
+    users
+        .iter()
+        .flat_map(|&u| items.iter().map(move |&i| (u, i)).collect::<Vec<_>>())
+        .map(|(u, i)| model.predict(u, i).to_bits())
+        .collect()
+}
+
+fn bench_update_throughput(c: &mut Criterion) {
+    let ds = workload();
+    let delta_sizes: &[usize] = if smoke() {
+        &[1, 8, 32]
+    } else {
+        &[1, 8, 64, 256]
+    };
+    let probe_users: Vec<UserId> = ds.overlap_users.iter().copied().take(8).collect();
+    let probe_items: Vec<ItemId> = ds.target_items().into_iter().take(8).collect();
+
+    // --- 1 + 2: bit-identity and delta-size scaling of the data-derived cost. ---
+    let mut previous_cost = 0.0f64;
+    for &size in delta_sizes {
+        let delta = delta_of_size(&ds, size);
+        let mut model = fit(&ds.matrix);
+        let report = model.apply_delta(&delta).expect("delta applies cleanly");
+        assert_eq!(report.n_delta_ratings, size);
+        let delta_cost: f64 = model
+            .delta_task_costs()
+            .expect("apply_delta records its task bag")
+            .iter()
+            .sum();
+        let updated = ds
+            .matrix
+            .apply_delta(delta.ratings(), delta.item_domains())
+            .unwrap();
+        let refit = fit(&updated);
+        assert_eq!(
+            model.graph(),
+            refit.graph(),
+            "delta size {size}: graph diverged from the full refit"
+        );
+        assert_eq!(
+            model.xsim(),
+            refit.xsim(),
+            "delta size {size}: X-Sim diverged"
+        );
+        assert_eq!(
+            probe_bits(&model, &probe_users, &probe_items),
+            probe_bits(&refit, &probe_users, &probe_items),
+            "delta size {size}: predictions diverged"
+        );
+        let refit_cost: f64 = refit.fit_task_costs().iter().sum();
+        assert!(
+            delta_cost >= previous_cost,
+            "delta cost must not shrink as the delta grows \
+             ({size} events: {delta_cost:.0} after {previous_cost:.0})"
+        );
+        assert!(
+            delta_cost < refit_cost,
+            "incremental work ({delta_cost:.0}) must stay below the full refit bag \
+             ({refit_cost:.0})"
+        );
+        println!(
+            "update_throughput: delta of {size:>4} ratings -> rescored {} pairs, {} xsim rows, \
+             {} pools; delta cost {delta_cost:.0} vs refit bag {refit_cost:.0} ({:.1}%)",
+            report.n_rescored_pairs,
+            report.n_xsim_rows,
+            report.n_pool_refits,
+            100.0 * delta_cost / refit_cost
+        );
+        previous_cost = delta_cost;
+    }
+
+    // --- 3: trace-size scaling — the same-shape delta on a 3x trace claims a smaller
+    // share of the refit work: update cost tracks the delta neighbourhood, refit cost
+    // the trace. ---
+    let fixed = delta_sizes[1];
+    let share = |ds: &CrossDomainDataset| -> (f64, f64) {
+        let delta = delta_of_size(ds, fixed);
+        let mut model = fit(&ds.matrix);
+        model.apply_delta(&delta).expect("delta applies cleanly");
+        let delta_cost: f64 = model.delta_task_costs().unwrap().iter().sum();
+        let updated = ds
+            .matrix
+            .apply_delta(delta.ratings(), delta.item_domains())
+            .unwrap();
+        let refit_cost: f64 = fit(&updated).fit_task_costs().iter().sum();
+        (delta_cost, refit_cost)
+    };
+    let (small_delta, small_refit) = share(&ds);
+    let big = larger_workload();
+    let (big_delta, big_refit) = share(&big);
+    println!(
+        "update_throughput: fixed {fixed}-rating delta share: {:.2}% of refit on {} ratings, \
+         {:.2}% on {} ratings",
+        100.0 * small_delta / small_refit,
+        ds.matrix.n_ratings(),
+        100.0 * big_delta / big_refit,
+        big.matrix.n_ratings()
+    );
+    assert!(
+        big_delta / big_refit < small_delta / small_refit,
+        "the incremental advantage must grow with the trace: \
+         {big_delta:.0}/{big_refit:.0} vs {small_delta:.0}/{small_refit:.0}"
+    );
+
+    // --- Wall clock + cluster replay of the delta bag. ---
+    let delta = delta_of_size(&ds, fixed);
+    let mut model = fit(&ds.matrix);
+    let start = Instant::now();
+    model.apply_delta(&delta).expect("delta applies cleanly");
+    let apply_time = start.elapsed();
+    let updated = ds
+        .matrix
+        .apply_delta(delta.ratings(), delta.item_domains())
+        .unwrap();
+    let start = Instant::now();
+    criterion::black_box(fit(&updated));
+    let refit_time = start.elapsed();
+    println!(
+        "update_throughput: apply_delta({fixed}) {apply_time:?} vs full refit {refit_time:?} \
+         => {:.1}x",
+        refit_time.as_secs_f64() / apply_time.as_secs_f64().max(1e-12)
+    );
+    let bag = model.delta_task_costs().unwrap();
+    let sim = ClusterSim::new(bag, ClusterCostModel::xmap_like());
+    println!(
+        "update_throughput: simulated cluster replay of the delta bag: {:.1}x at 4, {:.1}x at 8 \
+         machines ({} tasks, total work {:.0})",
+        sim.speedup(4, 1),
+        sim.speedup(8, 1),
+        sim.n_tasks(),
+        sim.total_work()
+    );
+
+    let mut group = c.benchmark_group("update_throughput");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for &size in delta_sizes {
+        let delta = delta_of_size(&ds, size);
+        // Each measured iteration re-applies the same delta to a freshly fitted model;
+        // criterion cannot exclude the fit, so the full-refit group below is the
+        // baseline to compare slopes against, not absolute numbers.
+        group.bench_function(format!("fit_plus_delta_{size}"), |b| {
+            b.iter(|| {
+                let mut model = fit(&ds.matrix);
+                model.apply_delta(&delta).expect("delta applies cleanly");
+                model
+            })
+        });
+    }
+    group.bench_function("fit_plus_refit", |b| {
+        let delta = delta_of_size(&ds, delta_sizes[delta_sizes.len() - 1]);
+        let updated = ds
+            .matrix
+            .apply_delta(delta.ratings(), delta.item_domains())
+            .unwrap();
+        b.iter(|| {
+            criterion::black_box(fit(&ds.matrix));
+            fit(&updated)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_throughput);
+criterion_main!(benches);

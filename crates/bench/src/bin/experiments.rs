@@ -11,7 +11,8 @@
 //! it fits the model at 1, 2 and 8 workers, asserts the engine-parallel `EvalStage`
 //! output is bit-identical to the serial `evaluate_predictions` reference at every
 //! worker count (outputs *and* task-cost ledgers — including the fit stages'
-//! `baseliner` / `extender` / `generator` / `recommender` bags), executes the
+//! `baseliner` / `extender` / `generator` / `recommender` bags and the incremental
+//! fit's `delta` bag, captured by applying a pinned one-rating delta), executes the
 //! k / ε′ / overlap sweeps (ε′ rather than ε — see the note in `smoke_sweeps`), and
 //! emits a machine-readable JSON report with the eval metrics *and* the fit ledgers'
 //! task counts / total costs. With `--check <baseline>` the report is
@@ -106,9 +107,9 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
             workers,
             ..*runner.base_config()
         };
-        let model = XMapPipeline::fit(&split.train, source, target, config)
+        let mut model = XMapPipeline::fit(&split.train, source, target, config)
             .expect("smoke dataset contains both domains");
-        let fit_ledgers: FitLedgers = vec![
+        let mut fit_ledgers: FitLedgers = vec![
             ("baseliner", model.stats().baseliner_task_costs.clone()),
             ("extender", model.stats().extension_task_costs.clone()),
             ("generator", model.stats().generator_task_costs.clone()),
@@ -135,6 +136,31 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
         let costs = model
             .eval_task_costs()
             .expect("evaluation records task costs");
+        // After everything is evaluated, apply the pinned smoke delta (the first test
+        // triple fed back as a fresh rating) and capture the `delta` ledger: the
+        // incremental fit's task bag is gated against the baseline — and against the
+        // other worker counts — exactly like the fit stages'.
+        let mut delta = xmap_core::RatingDelta::new();
+        let probe = &batch.test[0];
+        delta.push(xmap_cf::Rating::at(
+            probe.user,
+            probe.item,
+            probe.value,
+            xmap_cf::Timestep(10_000),
+        ));
+        let delta_report = model.apply_delta(&delta).expect("the smoke delta applies");
+        assert!(
+            delta_report.n_rescored_pairs > 0,
+            "{workers} workers: the smoke delta must re-score at least one pair"
+        );
+        let delta_bag = model
+            .delta_task_costs()
+            .expect("apply_delta records its task bag");
+        assert!(
+            !delta_bag.is_empty(),
+            "{workers} workers: the delta stage recorded no task costs"
+        );
+        fit_ledgers.push(("delta", delta_bag));
         match &reference {
             None => reference = Some((report, costs, fit_ledgers)),
             Some((expected, expected_costs, expected_ledgers)) => {
@@ -355,9 +381,10 @@ fn diff_against_baseline(current: &Json, baseline: &Json) -> Vec<String> {
         );
     }
 
-    // The fit task-cost ledgers: a drifting task count or total cost means the fit's
-    // partitioning or cost model changed — regenerate the baseline deliberately.
-    for stage in ["baseliner", "extender", "generator", "recommender"] {
+    // The fit task-cost ledgers (plus the incremental fit's `delta` bag): a drifting
+    // task count or total cost means the fit's partitioning or cost model changed —
+    // regenerate the baseline deliberately.
+    for stage in ["baseliner", "extender", "generator", "recommender", "delta"] {
         for field in ["n_tasks", "total_cost"] {
             check(
                 &mut drift,

@@ -255,6 +255,51 @@ pub struct ItemNeighbor {
     pub similarity: f64,
 }
 
+/// Reusable scratch for collecting per-item co-rating candidate sets: the epoch-marked
+/// dense seen buffer that deduplicates candidates *during* collection, so a pair
+/// co-rated by many users is stored once, not once per co-rating user. One instance
+/// serves any number of items ([`ItemKnn::candidate_sets`] uses it across the whole
+/// catalogue; the delta-fit pool splice reuses it across a partition's items).
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    seen: Vec<u32>,
+    epoch: u32,
+}
+
+impl CandidateScratch {
+    /// Creates an empty scratch (the seen buffer grows to the matrix size on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The co-rating candidate set of `item`: the distinct items sharing at least one
+    /// rater with it, sorted ascending — exactly one row of
+    /// [`ItemKnn::candidate_sets`].
+    pub fn candidate_set(&mut self, matrix: &RatingMatrix, item: ItemId) -> Vec<ItemId> {
+        if self.seen.len() < matrix.n_items() {
+            self.seen.resize(matrix.n_items(), 0);
+        }
+        if self.epoch == u32::MAX {
+            self.seen.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut cands: Vec<ItemId> = Vec::new();
+        for rater in matrix.item_profile(item) {
+            for e in matrix.user_profile(rater.user) {
+                let ix = e.item.index();
+                if e.item != item && self.seen[ix] != epoch {
+                    self.seen[ix] = epoch;
+                    cands.push(e.item);
+                }
+            }
+        }
+        cands.sort_unstable();
+        cands
+    }
+}
+
 /// Item-based k-nearest-neighbour collaborative filtering (Algorithm 2) with optional
 /// temporal weighting (Equation 7).
 pub struct ItemKnn<'a> {
@@ -288,25 +333,10 @@ impl<'a> ItemKnn<'a> {
     /// `O(n_items)` marker buffer), while the historical per-user scatter grew with the
     /// rating count before its dedup.
     pub fn candidate_sets(matrix: &RatingMatrix) -> Vec<Vec<ItemId>> {
-        let n_items = matrix.n_items();
-        let mut seen = vec![0u32; n_items];
-        let mut sets = Vec::with_capacity(n_items);
-        for i in 0..n_items {
-            let epoch = i as u32 + 1;
-            let mut cands: Vec<ItemId> = Vec::new();
-            for rater in matrix.item_profile(ItemId(i as u32)) {
-                for e in matrix.user_profile(rater.user) {
-                    let ix = e.item.index();
-                    if ix != i && seen[ix] != epoch {
-                        seen[ix] = epoch;
-                        cands.push(e.item);
-                    }
-                }
-            }
-            cands.sort_unstable();
-            sets.push(cands);
-        }
-        sets
+        let mut scratch = CandidateScratch::new();
+        (0..matrix.n_items())
+            .map(|i| scratch.candidate_set(matrix, ItemId(i as u32)))
+            .collect()
     }
 
     /// Phase 1 for one item: scores every candidate and keeps the top `config.k`, sorted
@@ -755,6 +785,26 @@ mod tests {
                 fitted.neighbors(ItemId(i as u32))
             );
         }
+    }
+
+    #[test]
+    fn candidate_scratch_matches_candidate_sets_row_for_row() {
+        let m = clustered();
+        let sets = ItemKnn::candidate_sets(&m);
+        let mut scratch = CandidateScratch::new();
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(&scratch.candidate_set(&m, ItemId(i as u32)), set);
+        }
+        // reuse across matrices of different sizes is safe
+        let mut b = RatingMatrixBuilder::new();
+        b.push_parts(0, 0, 4.0).unwrap();
+        b.push_parts(0, 9, 5.0).unwrap();
+        let wide = b.build().unwrap();
+        assert_eq!(
+            scratch.candidate_set(&wide, ItemId(0)),
+            vec![ItemId(9)],
+            "the seen buffer must grow with the matrix"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod topk;
 
 pub use error::{CfError, Result};
 pub use ids::{DomainId, ItemId, UserId};
-pub use knn::{ItemKnn, ItemKnnConfig, UserKnn, UserKnnConfig};
+pub use knn::{CandidateScratch, ItemKnn, ItemKnnConfig, UserKnn, UserKnnConfig};
 pub use matrix::{RatingMatrix, RatingMatrixBuilder};
 pub use rating::{Rating, Timestep};
 pub use similarity::{SimilarityMetric, SimilarityStats};

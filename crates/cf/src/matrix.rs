@@ -251,7 +251,11 @@ impl RatingMatrixBuilder {
 }
 
 /// Immutable sparse rating matrix with dual user-major / item-major views.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every stored field (both CSR views, the average caches, domains
+/// and scale) — it is what the incremental builder path
+/// ([`RatingMatrix::apply_delta`]) is tested bit-identical to a full rebuild against.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RatingMatrix {
     n_users: usize,
     n_items: usize,
@@ -457,6 +461,220 @@ impl RatingMatrix {
         b.build()
     }
 
+    /// Applies a batch of new/updated ratings (plus item-domain declarations for new
+    /// items) through an incremental merge — the builder path of the delta-fit
+    /// subsystem.
+    ///
+    /// The result is **bit-identical** to pushing `self.iter()` followed by `delta`
+    /// (in order) through a [`RatingMatrixBuilder`] carrying this matrix's scale,
+    /// dimensions and domains: duplicate `(user, item)` pairs keep the latest rating by
+    /// timestep, ties won by the delta (it is "pushed later"), and every average is
+    /// recomputed with the builder's exact summation order. Only the rows of users
+    /// appearing in `delta` are merged; everything else is copied, so the merge costs
+    /// `O(n_ratings)` in memcpy-style passes plus `O(|delta| log |delta|)` — no global
+    /// re-sort of the trace.
+    ///
+    /// Domain declarations follow builder semantics (last declaration wins), which lets
+    /// new items be declared; redeclaring an existing item to a *different* domain is
+    /// the caller's responsibility to reject (the model-level delta path does).
+    pub fn apply_delta(
+        &self,
+        delta: &[Rating],
+        new_domains: &[(ItemId, DomainId)],
+    ) -> Result<RatingMatrix> {
+        for r in delta {
+            if !r.value.is_finite() {
+                return Err(CfError::InvalidRating {
+                    value: r.value,
+                    context: "RatingMatrix::apply_delta",
+                });
+            }
+        }
+
+        let mut n_users = self.n_users;
+        let mut n_items = self.n_items;
+        for r in delta {
+            n_users = n_users.max(r.user.index() + 1);
+            n_items = n_items.max(r.item.index() + 1);
+        }
+        for (item, _) in new_domains {
+            n_items = n_items.max(item.index() + 1);
+        }
+
+        // The delta's own winner per (user, item): latest timestep, ties by push order —
+        // exactly what the builder's stable sort + keep-last dedup produces.
+        let mut winners: Vec<Rating> = delta.to_vec();
+        winners.sort_by_key(|r| (r.user, r.item, r.timestep));
+        let mut deduped: Vec<Rating> = Vec::with_capacity(winners.len());
+        for r in winners {
+            match deduped.last_mut() {
+                Some(last) if last.user == r.user && last.item == r.item => *last = r,
+                _ => deduped.push(r),
+            }
+        }
+        let winners = deduped;
+
+        // Users whose rows must be merged, with their slice of `winners`.
+        let mut delta_rows: Vec<(UserId, std::ops::Range<usize>)> = Vec::new();
+        let mut start = 0usize;
+        for ix in 0..winners.len() {
+            if ix + 1 == winners.len() || winners[ix + 1].user != winners[ix].user {
+                delta_rows.push((winners[ix].user, start..ix + 1));
+                start = ix + 1;
+            }
+        }
+
+        // --- User-major view: copy unchanged rows, merge the delta users' rows. ---
+        let mut user_offsets = Vec::with_capacity(n_users + 1);
+        user_offsets.push(0usize);
+        let mut user_entries: Vec<UserEntry> = Vec::with_capacity(self.n_ratings() + winners.len());
+        let mut next_delta_row = 0usize;
+        for u in 0..n_users {
+            let user = UserId(u as u32);
+            let old_row = self.user_profile(user);
+            match delta_rows.get(next_delta_row) {
+                Some(&(delta_user, ref range)) if delta_user == user => {
+                    next_delta_row += 1;
+                    let fresh = &winners[range.clone()];
+                    let (mut a, mut b) = (0usize, 0usize);
+                    while a < old_row.len() || b < fresh.len() {
+                        let take_fresh = match (old_row.get(a), fresh.get(b)) {
+                            (Some(o), Some(f)) => match o.item.cmp(&f.item) {
+                                std::cmp::Ordering::Less => {
+                                    user_entries.push(*o);
+                                    a += 1;
+                                    continue;
+                                }
+                                std::cmp::Ordering::Greater => true,
+                                std::cmp::Ordering::Equal => {
+                                    // Builder dedup: the delta entry was pushed later,
+                                    // so it wins unless the stored timestep is newer.
+                                    if f.timestep >= o.timestep {
+                                        a += 1;
+                                        true
+                                    } else {
+                                        user_entries.push(*o);
+                                        a += 1;
+                                        b += 1;
+                                        continue;
+                                    }
+                                }
+                            },
+                            (Some(o), None) => {
+                                user_entries.push(*o);
+                                a += 1;
+                                continue;
+                            }
+                            (None, Some(_)) => true,
+                            (None, None) => unreachable!("loop condition"),
+                        };
+                        if take_fresh {
+                            let f = fresh[b];
+                            user_entries.push(UserEntry {
+                                item: f.item,
+                                value: f.value,
+                                timestep: f.timestep,
+                            });
+                            b += 1;
+                        }
+                    }
+                }
+                _ => user_entries.extend_from_slice(old_row),
+            }
+            user_offsets.push(user_entries.len());
+        }
+        debug_assert_eq!(next_delta_row, delta_rows.len());
+
+        if user_entries.is_empty() && n_users == 0 && n_items == 0 {
+            return Err(CfError::EmptyMatrix);
+        }
+
+        // --- Item-major mirror: scatter the merged entries in user-major order, the
+        // builder's exact fill order (user-sorted columns). ---
+        let mut item_offsets = vec![0usize; n_items + 1];
+        for e in &user_entries {
+            item_offsets[e.item.index() + 1] += 1;
+        }
+        for i in 0..n_items {
+            item_offsets[i + 1] += item_offsets[i];
+        }
+        let mut item_entries = vec![
+            ItemEntry {
+                user: UserId(0),
+                value: 0.0,
+                timestep: Timestep(0)
+            };
+            user_entries.len()
+        ];
+        {
+            let mut cursor = item_offsets.clone();
+            for u in 0..n_users {
+                for e in &user_entries[user_offsets[u]..user_offsets[u + 1]] {
+                    let pos = cursor[e.item.index()];
+                    item_entries[pos] = ItemEntry {
+                        user: UserId(u as u32),
+                        value: e.value,
+                        timestep: e.timestep,
+                    };
+                    cursor[e.item.index()] += 1;
+                }
+            }
+        }
+
+        // --- Averages: copy the untouched ones, recompute the touched ones with the
+        // builder's summation order (row/column order), never by adjusting sums. ---
+        let mut user_avg = vec![0.0f64; n_users];
+        user_avg[..self.n_users].copy_from_slice(&self.user_avg);
+        for &(user, _) in &delta_rows {
+            let u = user.index();
+            let row = &user_entries[user_offsets[u]..user_offsets[u + 1]];
+            user_avg[u] = if row.is_empty() {
+                0.0
+            } else {
+                row.iter().map(|e| e.value).sum::<f64>() / row.len() as f64
+            };
+        }
+        let mut touched_items: Vec<usize> = winners.iter().map(|r| r.item.index()).collect();
+        touched_items.sort_unstable();
+        touched_items.dedup();
+        let mut item_avg = vec![0.0f64; n_items];
+        item_avg[..self.n_items].copy_from_slice(&self.item_avg);
+        for &i in &touched_items {
+            let col = &item_entries[item_offsets[i]..item_offsets[i + 1]];
+            item_avg[i] = if col.is_empty() {
+                0.0
+            } else {
+                col.iter().map(|e| e.value).sum::<f64>() / col.len() as f64
+            };
+        }
+        let global_avg = if user_entries.is_empty() {
+            self.scale.midpoint()
+        } else {
+            // One linear pass in (user, item) order — the builder's `deduped` order.
+            user_entries.iter().map(|e| e.value).sum::<f64>() / user_entries.len() as f64
+        };
+
+        let mut item_domain = vec![DomainId::SOURCE; n_items];
+        item_domain[..self.n_items].copy_from_slice(&self.item_domain);
+        for &(item, domain) in new_domains {
+            item_domain[item.index()] = domain;
+        }
+
+        Ok(RatingMatrix {
+            n_users,
+            n_items,
+            user_offsets,
+            user_entries,
+            item_offsets,
+            item_entries,
+            user_avg,
+            item_avg,
+            global_avg,
+            item_domain,
+            scale: self.scale,
+        })
+    }
+
     /// Splits the matrix view of a user's profile by domain: `(in_domain, out_of_domain)`.
     pub fn profile_by_domain(
         &self,
@@ -606,6 +824,102 @@ mod tests {
         assert_eq!(inside[0].item, ItemId(2));
     }
 
+    /// The delta oracle: the full rebuild `apply_delta` must match bit for bit — the
+    /// old matrix's ratings pushed first (in iteration order), then the delta events.
+    fn rebuild_with_delta(
+        base: &RatingMatrix,
+        delta: &[Rating],
+        new_domains: &[(ItemId, DomainId)],
+    ) -> RatingMatrix {
+        let mut b = RatingMatrixBuilder::with_scale(base.scale())
+            .with_dimensions(base.n_users(), base.n_items());
+        for r in base.iter() {
+            b.push(r).unwrap();
+        }
+        for &r in delta {
+            b.push(r).unwrap();
+        }
+        for i in base.items() {
+            b.set_item_domain(i, base.item_domain(i));
+        }
+        for &(i, d) in new_domains {
+            b.set_item_domain(i, d);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild_on_update_insert_and_growth() {
+        let base = small();
+        // an update of an existing rating (newer timestep), a brand-new (user, item)
+        // cell, a new user and a new item in one batch
+        let delta = vec![
+            Rating::at(UserId(0), ItemId(0), 2.0, Timestep(5)),
+            Rating::at(UserId(2), ItemId(0), 4.0, Timestep(1)),
+            Rating::at(UserId(7), ItemId(1), 5.0, Timestep(2)),
+            Rating::at(UserId(1), ItemId(9), 3.0, Timestep(3)),
+        ];
+        let domains = vec![(ItemId(9), DomainId::TARGET)];
+        let updated = base.apply_delta(&delta, &domains).unwrap();
+        assert_eq!(updated, rebuild_with_delta(&base, &delta, &domains));
+        assert_eq!(updated.n_users(), 8);
+        assert_eq!(updated.n_items(), 10);
+        assert_eq!(updated.rating(UserId(0), ItemId(0)), Some(2.0));
+        assert_eq!(updated.item_domain(ItemId(9)), DomainId::TARGET);
+        // untouched cells keep their exact bits
+        assert_eq!(
+            updated.rating(UserId(0), ItemId(1)).map(f64::to_bits),
+            base.rating(UserId(0), ItemId(1)).map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn apply_delta_empty_delta_is_identity() {
+        let base = small();
+        let updated = base.apply_delta(&[], &[]).unwrap();
+        assert_eq!(updated, base);
+    }
+
+    #[test]
+    fn apply_delta_keeps_stored_rating_when_it_is_newer() {
+        let mut b = RatingMatrixBuilder::new();
+        b.push_timed(0, 0, 5.0, 9).unwrap();
+        let base = b.build().unwrap();
+        // older delta timestep loses; equal timestep wins (delta is "pushed later")
+        let older = base
+            .apply_delta(&[Rating::at(UserId(0), ItemId(0), 1.0, Timestep(3))], &[])
+            .unwrap();
+        assert_eq!(older.rating(UserId(0), ItemId(0)), Some(5.0));
+        let tied = base
+            .apply_delta(&[Rating::at(UserId(0), ItemId(0), 1.0, Timestep(9))], &[])
+            .unwrap();
+        assert_eq!(tied.rating(UserId(0), ItemId(0)), Some(1.0));
+    }
+
+    #[test]
+    fn apply_delta_repeated_updates_to_one_cell_keep_the_last_winner() {
+        let base = small();
+        let delta = vec![
+            Rating::at(UserId(0), ItemId(0), 1.0, Timestep(4)),
+            Rating::at(UserId(0), ItemId(0), 2.0, Timestep(4)),
+            Rating::at(UserId(0), ItemId(0), 3.0, Timestep(2)),
+        ];
+        let updated = base.apply_delta(&delta, &[]).unwrap();
+        assert_eq!(updated, rebuild_with_delta(&base, &delta, &[]));
+        // timestep 4 wins over 2; among the two t=4 pushes the later one wins
+        assert_eq!(updated.rating(UserId(0), ItemId(0)), Some(2.0));
+        assert_eq!(updated.n_ratings(), base.n_ratings());
+    }
+
+    #[test]
+    fn apply_delta_rejects_non_finite_values() {
+        let base = small();
+        let err = base
+            .apply_delta(&[Rating::new(UserId(0), ItemId(0), f64::NAN)], &[])
+            .unwrap_err();
+        assert!(matches!(err, CfError::InvalidRating { .. }));
+    }
+
     #[test]
     fn iter_round_trips_through_from_ratings() {
         let m = small();
@@ -614,6 +928,69 @@ mod tests {
         assert_eq!(m2.n_ratings(), m.n_ratings());
         for r in m.iter() {
             assert_eq!(m2.rating(r.user, r.item), Some(r.value));
+        }
+    }
+
+    mod delta_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn matrix_from(ratings: &[(u32, u32, u32, u32)]) -> Option<RatingMatrix> {
+            if ratings.is_empty() {
+                return None;
+            }
+            let mut b = RatingMatrixBuilder::new();
+            for &(u, i, v, t) in ratings {
+                b.push_timed(u, i, v as f64, t).unwrap();
+            }
+            for i in 0..=ratings.iter().map(|r| r.1).max().unwrap() {
+                b.set_item_domain(ItemId(i), DomainId((i % 2) as u16));
+            }
+            Some(b.build().unwrap())
+        }
+
+        proptest! {
+            /// The incremental merge is bit-identical to the full rebuild for random
+            /// bases and random deltas (updates, inserts, duplicate delta keys, new
+            /// users and new items all drawn from overlapping id ranges).
+            #[test]
+            fn apply_delta_is_bit_identical_to_full_rebuild(
+                base in proptest::collection::vec((0u32..8, 0u32..10, 1u32..=5, 0u32..6), 1..120),
+                delta in proptest::collection::vec((0u32..12, 0u32..14, 1u32..=5, 0u32..8), 0..40),
+            ) {
+                let base = matrix_from(&base).unwrap();
+                let delta: Vec<Rating> = delta
+                    .into_iter()
+                    .map(|(u, i, v, t)| Rating::at(UserId(u), ItemId(i), v as f64, Timestep(t)))
+                    .collect();
+                // declare a domain for every genuinely new item, like a real delta would
+                let new_domains: Vec<(ItemId, DomainId)> = delta
+                    .iter()
+                    .map(|r| r.item)
+                    .filter(|i| i.index() >= base.n_items())
+                    .map(|i| (i, DomainId((i.0 % 2) as u16)))
+                    .collect();
+                let incremental = base.apply_delta(&delta, &new_domains).unwrap();
+                let rebuilt = rebuild_with_delta(&base, &delta, &new_domains);
+                prop_assert_eq!(&incremental, &rebuilt);
+                // the averages must agree in bits, not merely within tolerance
+                for u in incremental.users() {
+                    prop_assert_eq!(
+                        incremental.user_average(u).to_bits(),
+                        rebuilt.user_average(u).to_bits()
+                    );
+                }
+                for i in incremental.items() {
+                    prop_assert_eq!(
+                        incremental.item_average(i).to_bits(),
+                        rebuilt.item_average(i).to_bits()
+                    );
+                }
+                prop_assert_eq!(
+                    incremental.global_average().to_bits(),
+                    rebuilt.global_average().to_bits()
+                );
+            }
         }
     }
 }

@@ -1,0 +1,716 @@
+//! Incremental model maintenance (delta fit) on the Dataflow engine.
+//!
+//! A deployed X-Map model keeps absorbing new ratings; refitting on the full trace for
+//! every batch would make update cost scale with history rather than with the update.
+//! [`XMapModel::apply_delta`] instead re-derives **only the state a delta actually
+//! affects**, and proves the shortcut exact: the resulting model is **bit-identical to
+//! a full refit on the updated matrix** (enforced by `tests/incremental_equivalence.rs`
+//! in all four modes at 1/2/8 workers).
+//!
+//! The recompute-not-accumulate rule (see DESIGN.md) governs every layer:
+//!
+//! 1. the [`RatingMatrix`] absorbs the delta through the incremental builder path
+//!    (`RatingMatrix::apply_delta` — row merges and copied averages, no re-sort);
+//! 2. the similarity graph re-*scores* exactly the affected co-rated pairs (every pair
+//!    touching an item a delta user rated — adjusted cosine reads all raters' user
+//!    averages) and merges them with the cached statistics of every other pair
+//!    (`SimilarityGraph::apply_updates`);
+//! 3. the X-Sim table recomputes only the source rows whose meta-path neighbourhood
+//!    (≤ 5 hops) touches a changed graph row or layer rank;
+//! 4. the generator re-draws replacements only for those rows (per-item RNG streams
+//!    make the unchanged draws bit-equal by construction), and
+//! 5. the item-based kNN pools are re-scored only for target items with an affected
+//!    target-domain pair.
+//!
+//! All partitioned work runs as one [`DeltaStage`] on the model's own dataflow, so the
+//! per-partition data-derived costs land in a `"delta"` ledger
+//! ([`XMapModel::delta_task_costs`]) the `update_throughput` bench replays on the
+//! cluster simulator — identical at any worker count, and scaling with the delta's
+//! co-rating neighbourhood rather than the trace.
+
+use crate::config::XMapMode;
+use crate::generator::AlterEgoGenerator;
+use crate::pipeline::{recommender_from_pools, XMapModel};
+use crate::recommend::{
+    PrivateItemBasedRecommender, PrivateUserBasedRecommender, UserBasedRecommender,
+};
+use crate::{Result, XMapError};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use xmap_cf::knn::{CandidateScratch, ItemKnn, ItemKnnConfig, ItemNeighbor};
+use xmap_cf::similarity::item_similarity_stats;
+use xmap_cf::{DomainId, ItemId, Rating, RatingMatrix, SimilarityStats, Timestep, UserId};
+use xmap_engine::{Stage, StageContext};
+use xmap_graph::{BridgeIndex, LayerPartition, SimilarityGraph};
+use xmap_privacy::PrivacyBudget;
+
+/// Ledger key of the delta stage.
+pub const DELTA_STAGE_NAME: &str = "delta";
+
+/// A batch of rating-trace updates: new or updated ratings (possibly introducing new
+/// users) plus domain declarations for new items.
+#[derive(Clone, Debug, Default)]
+pub struct RatingDelta {
+    ratings: Vec<Rating>,
+    item_domains: Vec<(ItemId, DomainId)>,
+}
+
+impl RatingDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rating event (a new cell, an update of an existing one, or a rating by a
+    /// brand-new user). Duplicate `(user, item)` events follow the rating matrix's
+    /// semantics: the latest timestep wins, ties won by the later push.
+    pub fn push(&mut self, rating: Rating) -> &mut Self {
+        self.ratings.push(rating);
+        self
+    }
+
+    /// Adds a rating by raw ids with an explicit timestep.
+    pub fn push_timed(&mut self, user: u32, item: u32, value: f64, t: u32) -> &mut Self {
+        self.push(Rating::at(UserId(user), ItemId(item), value, Timestep(t)))
+    }
+
+    /// Declares the domain of a (typically new) item. Redeclaring an existing item with
+    /// its current domain is a no-op; declaring a *different* domain is rejected by
+    /// [`XMapModel::apply_delta`] — domain migration is not an incremental operation.
+    pub fn declare_item(&mut self, item: ItemId, domain: DomainId) -> &mut Self {
+        self.item_domains.push((item, domain));
+        self
+    }
+
+    /// The rating events of the delta, in push order.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// The item-domain declarations of the delta, in push order.
+    pub fn item_domains(&self) -> &[(ItemId, DomainId)] {
+        &self.item_domains
+    }
+
+    /// Number of rating events.
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Whether the delta carries no rating events.
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+
+    /// The distinct users touched by the delta, sorted ascending.
+    pub fn affected_users(&self) -> Vec<UserId> {
+        let mut users: Vec<UserId> = self.ratings.iter().map(|r| r.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        users
+    }
+}
+
+/// What a delta fit recomputed — the shape of the incremental work, for reporting and
+/// for the `update_throughput` bench's cost-scaling assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Rating events applied.
+    pub n_delta_ratings: usize,
+    /// Distinct users touched by the delta.
+    pub n_affected_users: usize,
+    /// Items whose similarity statistics could have moved (the delta users' profiles).
+    pub n_dirty_items: usize,
+    /// Co-rated pairs re-scored for the similarity graph.
+    pub n_rescored_pairs: usize,
+    /// X-Sim source rows recomputed.
+    pub n_xsim_rows: usize,
+    /// Replacement draws re-run.
+    pub n_replacement_draws: usize,
+    /// Item-kNN pools re-fitted (0 for the user-based modes).
+    pub n_pool_refits: usize,
+}
+
+/// Source-domain items whose X-Sim row could differ between the old and updated graph:
+/// every source item within 5 hops (the maximum meta-path length — layer ranks run
+/// 0..=5) of an item whose adjacency row, layer rank or domain changed, measured over
+/// the *union* of the old and new adjacencies (a delta can remove paths as well as add
+/// them). Conservative supersets are fine — recomputation is exact — but anything
+/// smaller than the true dependency set would break bit-identity with a full refit.
+fn affected_xsim_rows(
+    old_graph: &SimilarityGraph,
+    old_partition: &LayerPartition,
+    new_graph: &SimilarityGraph,
+    new_partition: &LayerPartition,
+    source: DomainId,
+) -> Vec<ItemId> {
+    let n_items = old_graph.n_items().max(new_graph.n_items());
+    let mut distance = vec![u8::MAX; n_items];
+    let mut queue: VecDeque<ItemId> = VecDeque::new();
+    for (ix, slot) in distance.iter_mut().enumerate() {
+        let item = ItemId(ix as u32);
+        let old_row = old_graph.neighbors(item);
+        let new_row = new_graph.neighbors(item);
+        let row_changed = old_row.len() != new_row.len()
+            || old_row.ids() != new_row.ids()
+            || (0..old_row.len()).any(|s| old_row.get(s).stats != new_row.get(s).stats);
+        let rank_changed = old_partition.path_rank(item, source)
+            != new_partition.path_rank(item, source)
+            || old_partition.domain(item) != new_partition.domain(item);
+        if row_changed || rank_changed {
+            *slot = 0;
+            queue.push_back(item);
+        }
+    }
+    const MAX_HOPS: u8 = 5;
+    while let Some(item) = queue.pop_front() {
+        let d = distance[item.index()];
+        if d == MAX_HOPS {
+            continue;
+        }
+        for &to in old_graph
+            .neighbors(item)
+            .ids()
+            .iter()
+            .chain(new_graph.neighbors(item).ids())
+        {
+            if distance[to.index()] > d + 1 {
+                distance[to.index()] = d + 1;
+                queue.push_back(to);
+            }
+        }
+    }
+    (0..n_items)
+        .filter(|&ix| distance[ix] <= MAX_HOPS)
+        .map(|ix| ItemId(ix as u32))
+        .filter(|&i| new_graph.item_domain(i) == source)
+        .collect()
+}
+
+/// Target items whose kNN pool must be re-scored: the endpoints of every affected
+/// co-rated pair *within the target-domain matrix*. An item with no affected pair
+/// keeps its pool bit for bit (candidate set, candidate statistics and its raters'
+/// averages are all untouched).
+fn affected_pool_items(target_matrix: &RatingMatrix, affected_users: &[UserId]) -> Vec<ItemId> {
+    let dirty = SimilarityGraph::dirty_items(target_matrix, affected_users);
+    let keys = SimilarityGraph::affected_pair_keys(target_matrix, &dirty);
+    let mut items: Vec<ItemId> = Vec::with_capacity(keys.len() * 2);
+    for &key in &keys {
+        let (lo, hi) = SimilarityGraph::pair_of_key(key);
+        items.push(lo);
+        items.push(hi);
+    }
+    items.sort_unstable();
+    items.dedup();
+    items
+}
+
+/// Everything a delta fit rebuilds, handed back to [`XMapModel::apply_delta`].
+struct DeltaParts {
+    graph: SimilarityGraph,
+    bridges: BridgeIndex,
+    partition: LayerPartition,
+    xsim: crate::xsim::XSimTable,
+    replacements: crate::generator::ReplacementTable,
+    recommender: Box<dyn crate::recommend::ProfileRecommender + Send + Sync>,
+    item_pools: Option<Vec<Vec<ItemNeighbor>>>,
+    n_target_ratings: usize,
+    report: DeltaReport,
+}
+
+/// The delta stage: all affected-item work of an incremental fit, run as one stage so
+/// every partitioned map's data-derived costs accumulate in the `"delta"` ledger.
+struct DeltaStage<'a> {
+    model: &'a XMapModel,
+    updated: &'a RatingMatrix,
+    affected_users: &'a [UserId],
+    budget: Option<&'a Mutex<PrivacyBudget>>,
+}
+
+impl Stage<()> for DeltaStage<'_> {
+    type Out = Result<DeltaParts>;
+
+    fn name(&self) -> &'static str {
+        DELTA_STAGE_NAME
+    }
+
+    fn run(&self, _input: (), cx: &mut StageContext<'_>) -> Result<DeltaParts> {
+        let model = self.model;
+        let updated = self.updated;
+        let config = model.config;
+        let mut report = DeltaReport {
+            n_affected_users: self.affected_users.len(),
+            ..DeltaReport::default()
+        };
+
+        // --- 1. Similarity graph: re-score exactly the affected pair keys,
+        // partition-parallel (the baseliner's partitioning and cost model), then merge
+        // with the cached statistics of every unaffected stored pair. ---
+        let dirty = SimilarityGraph::dirty_items(updated, self.affected_users);
+        let keys = SimilarityGraph::affected_pair_keys(updated, &dirty);
+        report.n_dirty_items = dirty.len();
+        report.n_rescored_pairs = keys.len();
+        let graph_config = model.graph.config();
+        let positions: Vec<usize> = (0..keys.len()).collect();
+        let fresh: Vec<SimilarityStats> = cx.map_items_ordered(positions, |_ix, part| {
+            let outs: Vec<SimilarityStats> = part
+                .iter()
+                .map(|&(_, key_ix)| {
+                    let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
+                    item_similarity_stats(updated, lo, hi, graph_config.metric)
+                })
+                .collect();
+            let cost: f64 = part
+                .iter()
+                .map(|&(_, key_ix)| {
+                    let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
+                    1.0 + (updated.item_degree(lo) + updated.item_degree(hi)) as f64
+                })
+                .sum();
+            (outs, cost)
+        });
+        let graph = model.graph.apply_updates(updated, &keys, fresh);
+
+        // --- 2. Bridges and layers: cheap linear recomputes over the new arena; the
+        // old partition is retained on the model, so rank changes are a comparison,
+        // not a rebuild. ---
+        let bridges = BridgeIndex::from_graph(&graph);
+        let partition = LayerPartition::compute(&graph, &bridges);
+
+        // --- 3. X-Sim: recompute only the source rows within meta-path reach of a
+        // change, partition-parallel with the extender's scratch reuse and cost model. ---
+        let rows = affected_xsim_rows(
+            &model.graph,
+            &model.partition,
+            &graph,
+            &partition,
+            model.source_domain,
+        );
+        report.n_xsim_rows = rows.len();
+        let xsim = model.xsim.with_recomputed_rows(
+            &graph,
+            &partition,
+            model.source_domain,
+            config.metapath,
+            rows.clone(),
+            cx,
+        );
+
+        // --- 4. Generator: PRS debit, then re-draw replacements for the recomputed
+        // rows only (per-item RNG streams keep unchanged rows bit-equal). ---
+        if let Some(b) = self.budget {
+            b.lock()
+                .expect("privacy budget mutex poisoned")
+                .spend("PRS", config.privacy.epsilon)
+                .map_err(XMapError::Privacy)?;
+        }
+        report.n_replacement_draws = rows.len();
+        let replacements = AlterEgoGenerator::recompute_replacements_batched(
+            &xsim,
+            &config,
+            rows,
+            &model.replacements,
+            cx,
+        );
+
+        // --- 5. Recommender: splice the item-kNN pools (item-based modes) or refit the
+        // stateless user-based recommender on the new target matrix. ---
+        let target_matrix = updated
+            .filter(|r| updated.item_domain(r.item) == model.target_domain)
+            .map_err(|_| XMapError::Data("target domain has no ratings".to_string()))?;
+        let n_target_ratings = target_matrix.n_ratings();
+        if n_target_ratings == 0 {
+            return Err(XMapError::Data("target domain has no ratings".to_string()));
+        }
+        let (recommender, item_pools) = match config.mode {
+            XMapMode::NxMapItemBased | XMapMode::XMapItemBased => {
+                if config.mode == XMapMode::XMapItemBased {
+                    // The delta re-releases the recommendation artifacts, so the fresh
+                    // accountant debits ε′ exactly like a refit — before the pool work.
+                    PrivateItemBasedRecommender::debit_budget(
+                        config.privacy.epsilon_prime,
+                        &mut self
+                            .budget
+                            .expect("private modes carry a privacy budget")
+                            .lock()
+                            .expect("privacy budget mutex poisoned"),
+                    )?;
+                }
+                let pool_k = match config.mode {
+                    XMapMode::XMapItemBased => PrivateItemBasedRecommender::pool_size(config.k),
+                    _ => config.k,
+                };
+                let knn_config = ItemKnnConfig {
+                    k: pool_k,
+                    temporal_alpha: config.temporal_alpha,
+                    ..Default::default()
+                };
+                let pool_items = affected_pool_items(&target_matrix, self.affected_users);
+                report.n_pool_refits = pool_items.len();
+                let fresh_pools: Vec<(ItemId, Vec<ItemNeighbor>)> =
+                    cx.map_items_ordered(pool_items, |_ix, part| {
+                        // One epoch-marked seen buffer per partition, reused across its
+                        // items — the same dedup-during-collection discipline as
+                        // `ItemKnn::candidate_sets`.
+                        let mut scratch = CandidateScratch::new();
+                        let mut outs = Vec::with_capacity(part.len());
+                        let mut cost = 0.0f64;
+                        for &(_, item) in part {
+                            let cands = scratch.candidate_set(&target_matrix, item);
+                            let deg_i = target_matrix.item_degree(item) as f64;
+                            cost += 1.0
+                                + cands
+                                    .iter()
+                                    .map(|&j| deg_i + target_matrix.item_degree(j) as f64)
+                                    .sum::<f64>();
+                            let pool = ItemKnn::neighbors_from_candidates(
+                                &target_matrix,
+                                item,
+                                &cands,
+                                &knn_config,
+                            );
+                            outs.push((item, pool));
+                        }
+                        (outs, cost)
+                    });
+                let mut pools = model
+                    .item_pools
+                    .clone()
+                    .expect("item-based models retain their kNN pools");
+                pools.resize(target_matrix.n_items(), Vec::new());
+                for (item, pool) in fresh_pools {
+                    pools[item.index()] = pool;
+                }
+                recommender_from_pools(&config, target_matrix, pools)?
+            }
+            XMapMode::NxMapUserBased => (
+                Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
+                    as Box<dyn crate::recommend::ProfileRecommender + Send + Sync>,
+                None,
+            ),
+            XMapMode::XMapUserBased => (
+                Box::new(PrivateUserBasedRecommender::fit(
+                    target_matrix,
+                    config.k,
+                    config.privacy.epsilon_prime,
+                    config.privacy.rho,
+                    config.seed,
+                    &mut self
+                        .budget
+                        .expect("private modes carry a privacy budget")
+                        .lock()
+                        .expect("privacy budget mutex poisoned"),
+                )?) as Box<dyn crate::recommend::ProfileRecommender + Send + Sync>,
+                None,
+            ),
+        };
+
+        Ok(DeltaParts {
+            graph,
+            bridges,
+            partition,
+            xsim,
+            replacements,
+            recommender,
+            item_pools,
+            n_target_ratings,
+            report,
+        })
+    }
+}
+
+impl XMapModel {
+    /// Absorbs a batch of new/updated ratings into the fitted model **incrementally**:
+    /// only the state the delta affects is recomputed (see the module docs for the
+    /// five layers), yet the resulting model — graph bits, replacement table, kNN
+    /// pools, predictions, privacy ledger — is **bit-identical to a full
+    /// [`crate::XMapPipeline::fit`] on the updated matrix**.
+    ///
+    /// The affected-item work runs as one `"delta"` stage on the model's own dataflow;
+    /// its per-partition data-derived task costs ([`XMapModel::delta_task_costs`]) are
+    /// identical at any worker count and scale with the delta's co-rating
+    /// neighbourhood, not the trace. For the private modes the delta re-releases every
+    /// artifact, so a **fresh** privacy accountant is charged exactly like a refit
+    /// (ε for PRS, ε′ for PNSA + PNCF) and replaces the previous ledger.
+    ///
+    /// Errors leave the model untouched: domain redeclarations of existing items are
+    /// rejected (`XMapError::Data`), non-finite ratings propagate from the matrix
+    /// layer, and an exhausted privacy budget aborts before anything is released.
+    pub fn apply_delta(&mut self, delta: &RatingDelta) -> Result<DeltaReport> {
+        for &(item, domain) in delta.item_domains() {
+            if item.index() < self.full.n_items() && self.full.item_domain(item) != domain {
+                return Err(XMapError::Data(format!(
+                    "delta redeclares item {item} from {:?} to {domain:?}; domain migration \
+                     requires a full refit",
+                    self.full.item_domain(item)
+                )));
+            }
+        }
+        let updated = self
+            .full
+            .apply_delta(delta.ratings(), delta.item_domains())?;
+        let affected_users = delta.affected_users();
+
+        // A fresh accountant for the re-released artifacts, sized exactly like a refit.
+        let budget = self
+            .config
+            .mode
+            .is_private()
+            .then(|| Mutex::new(PrivacyBudget::new(self.config.privacy.total())));
+
+        let parts = self.flow.run(
+            &DeltaStage {
+                model: self,
+                updated: &updated,
+                affected_users: &affected_users,
+                budget: budget.as_ref(),
+            },
+            (),
+        )?;
+        let mut report = parts.report;
+        report.n_delta_ratings = delta.len();
+
+        self.full = updated;
+        self.graph = parts.graph;
+        self.xsim = parts.xsim;
+        self.replacements = parts.replacements;
+        self.recommender = parts.recommender;
+        self.item_pools = parts.item_pools;
+        self.budget = budget.map(|m| m.into_inner().expect("privacy budget mutex poisoned"));
+        // Refresh the model-shape statistics; the fit-stage task bags keep describing
+        // the original fit (the delta's own bag lives in the `delta` ledger).
+        self.stats.n_standard_hetero_pairs = self.graph.n_heterogeneous_pairs();
+        self.stats.n_xsim_hetero_pairs = self.xsim.n_heterogeneous_pairs();
+        self.stats.n_bridge_items = parts.bridges.n_bridges();
+        self.stats.layer_counts = parts.partition.cell_counts();
+        self.partition = parts.partition;
+        self.stats.stage_durations = self.flow.reports();
+        self.stats.n_target_ratings = parts.n_target_ratings;
+        Ok(report)
+    }
+
+    /// Per-partition task costs of the most recent [`XMapModel::apply_delta`] (the
+    /// `delta` stage's ledger entry) — the incremental-fit analogue of
+    /// [`XMapModel::fit_task_costs`], for the cluster simulator. Data-derived, so
+    /// identical at any worker count; grows with the delta's affected neighbourhood,
+    /// not the trace.
+    pub fn delta_task_costs(&self) -> Option<Vec<f64>> {
+        self.flow.stage_costs(DELTA_STAGE_NAME)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XMapConfig;
+    use crate::pipeline::XMapPipeline;
+    use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+
+    fn dataset() -> CrossDomainDataset {
+        CrossDomainDataset::generate(CrossDomainConfig::small())
+    }
+
+    fn config(mode: XMapMode) -> XMapConfig {
+        XMapConfig {
+            mode,
+            k: 8,
+            ..Default::default()
+        }
+    }
+
+    /// The delta model must hold the same released artifacts as a full refit on the
+    /// updated matrix: matrix bits, graph bits, X-Sim rows, replacement table and
+    /// probe predictions. (The 1/2/8-worker, all-modes version of this lives in
+    /// `tests/incremental_equivalence.rs`.)
+    fn assert_matches_refit(model: &XMapModel, refit: &XMapModel, ds: &CrossDomainDataset) {
+        assert_eq!(model.full, refit.full, "updated matrices diverged");
+        assert_eq!(model.graph, refit.graph, "graph arenas diverged");
+        assert_eq!(model.xsim, refit.xsim, "X-Sim tables diverged");
+        assert_eq!(
+            model.replacements, refit.replacements,
+            "replacement tables diverged"
+        );
+        assert_eq!(model.item_pools, refit.item_pools, "kNN pools diverged");
+        for &u in ds.overlap_users.iter().take(5) {
+            for &i in ds.target_items().iter().take(8) {
+                assert_eq!(
+                    model.predict(u, i).to_bits(),
+                    refit.predict(u, i).to_bits(),
+                    "prediction diverged for {u}/{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_equals_a_refit_on_the_same_matrix() {
+        let ds = dataset();
+        let mut model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let report = model.apply_delta(&RatingDelta::new()).unwrap();
+        assert_eq!(report.n_delta_ratings, 0);
+        assert_eq!(report.n_rescored_pairs, 0);
+        assert_eq!(report.n_xsim_rows, 0);
+        assert_eq!(report.n_pool_refits, 0);
+        let refit = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert_matches_refit(&model, &refit, &ds);
+        assert!(model.delta_task_costs().is_some());
+    }
+
+    #[test]
+    fn delta_with_a_brand_new_user_and_item_equals_a_refit() {
+        let ds = dataset();
+        let mut model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let new_user = ds.matrix.n_users() as u32;
+        let new_item = ds.matrix.n_items() as u32;
+        let existing_source = ds.source_items()[0];
+        let existing_target = ds.target_items()[0];
+        let mut delta = RatingDelta::new();
+        delta
+            .declare_item(ItemId(new_item), DomainId::TARGET)
+            .push_timed(new_user, existing_source.0, 5.0, 50)
+            .push_timed(new_user, existing_target.0, 4.0, 51)
+            .push_timed(new_user, new_item, 3.0, 52)
+            .push_timed(ds.overlap_users[0].0, new_item, 5.0, 53);
+        let report = model.apply_delta(&delta).unwrap();
+        assert_eq!(report.n_delta_ratings, 4);
+        assert_eq!(report.n_affected_users, 2);
+        assert!(report.n_rescored_pairs > 0);
+        let updated = ds
+            .matrix
+            .apply_delta(delta.ratings(), delta.item_domains())
+            .unwrap();
+        let refit = XMapPipeline::fit(
+            &updated,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert_matches_refit(&model, &refit, &ds);
+        // the new user must be servable straight away
+        let pred = model.predict(UserId(new_user), existing_target);
+        assert_eq!(
+            pred.to_bits(),
+            refit.predict(UserId(new_user), existing_target).to_bits()
+        );
+    }
+
+    #[test]
+    fn repeated_deltas_to_the_same_cell_equal_a_refit() {
+        let ds = dataset();
+        let mut model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let user = ds.overlap_users[0];
+        let item = ds.target_items()[0];
+        // one batch carrying several updates of the same cell...
+        let mut delta = RatingDelta::new();
+        delta
+            .push_timed(user.0, item.0, 1.0, 90)
+            .push_timed(user.0, item.0, 2.0, 91)
+            .push_timed(user.0, item.0, 5.0, 91);
+        model.apply_delta(&delta).unwrap();
+        // ... followed by a second incremental batch touching it again
+        let mut second = RatingDelta::new();
+        second.push_timed(user.0, item.0, 3.0, 92);
+        model.apply_delta(&second).unwrap();
+        assert_eq!(model.full.rating(user, item), Some(3.0));
+        let updated = ds
+            .matrix
+            .apply_delta(delta.ratings(), &[])
+            .unwrap()
+            .apply_delta(second.ratings(), &[])
+            .unwrap();
+        let refit = XMapPipeline::fit(
+            &updated,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert_matches_refit(&model, &refit, &ds);
+    }
+
+    #[test]
+    fn domain_redeclaration_of_an_existing_item_is_rejected_without_side_effects() {
+        let ds = dataset();
+        let mut model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let n_before = model.full.n_ratings();
+        let source_item = ds.source_items()[0];
+        let mut delta = RatingDelta::new();
+        delta
+            .declare_item(source_item, DomainId::TARGET)
+            .push_timed(0, source_item.0, 5.0, 99);
+        let err = model.apply_delta(&delta).unwrap_err();
+        assert!(matches!(err, XMapError::Data(_)));
+        assert!(err.to_string().contains("full refit"));
+        assert_eq!(model.full.n_ratings(), n_before, "model must be untouched");
+        // redeclaring with the *current* domain is a no-op and succeeds
+        let mut ok = RatingDelta::new();
+        ok.declare_item(source_item, DomainId::SOURCE);
+        assert!(model.apply_delta(&ok).is_ok());
+    }
+
+    #[test]
+    fn private_delta_recharges_a_fresh_budget_like_a_refit() {
+        let ds = dataset();
+        let cfg = config(XMapMode::XMapItemBased);
+        let mut model =
+            XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let mut delta = RatingDelta::new();
+        delta.push_timed(ds.overlap_users[0].0, ds.target_items()[0].0, 5.0, 77);
+        model.apply_delta(&delta).unwrap();
+        let budget = model
+            .privacy_budget()
+            .expect("private modes carry a budget");
+        let mechanisms: Vec<&str> = budget
+            .ledger()
+            .iter()
+            .map(|e| e.mechanism.as_str())
+            .collect();
+        assert_eq!(mechanisms, vec!["PRS", "PNSA", "PNCF"]);
+        assert!((budget.spent() - cfg.privacy.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rating_delta_accessors() {
+        let mut d = RatingDelta::new();
+        assert!(d.is_empty());
+        d.push_timed(3, 1, 4.0, 2).push_timed(1, 2, 5.0, 3);
+        d.push_timed(3, 4, 2.0, 4);
+        d.declare_item(ItemId(9), DomainId::TARGET);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.affected_users(), vec![UserId(1), UserId(3)]);
+        assert_eq!(d.ratings().len(), 3);
+        assert_eq!(d.item_domains(), &[(ItemId(9), DomainId::TARGET)]);
+    }
+}

@@ -60,7 +60,11 @@ impl AlterEgo {
 }
 
 /// The item-to-item replacement table produced by the mapping step.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full mapping — it is what the delta-fit equivalence gate
+/// holds a spliced table ([`AlterEgoGenerator::recompute_replacements_batched`])
+/// against a freshly generated one.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ReplacementTable {
     replacements: HashMap<ItemId, ItemId>,
 }
@@ -284,6 +288,53 @@ impl<'a> AlterEgoGenerator<'a> {
         ReplacementTable {
             replacements: per_partition.into_iter().flatten().collect(),
         }
+    }
+
+    /// Recomputes the replacement draws of `items` against an (updated) X-Sim table
+    /// and splices them into a copy of `previous` — the delta-fit path of the
+    /// generator. Items whose fresh candidate list yields no eligible replacement are
+    /// *removed* (a full generation never stores them).
+    ///
+    /// Because every draw's RNG stream derives from `(config.seed, item)` alone, a
+    /// recomputed draw over an unchanged candidate list reproduces the previous
+    /// replacement bit for bit — so when `items` covers every source item whose X-Sim
+    /// row the delta touched, the spliced table equals
+    /// [`AlterEgoGenerator::compute_replacements_serial`] over the whole updated
+    /// table. Per-partition costs (`Σ (1 + |candidates|)`, the generator's cost model)
+    /// land on the running stage's ledger.
+    pub fn recompute_replacements_batched(
+        xsim: &XSimTable,
+        config: &XMapConfig,
+        items: Vec<ItemId>,
+        previous: &ReplacementTable,
+        cx: &mut StageContext<'_>,
+    ) -> ReplacementTable {
+        let per_partition: Vec<Vec<(ItemId, Option<ItemId>)>> = cx.map_partitions(
+            items,
+            |item| item.0,
+            |_ix, part| {
+                let mut out: Vec<(ItemId, Option<ItemId>)> = Vec::new();
+                let mut cost = 0.0f64;
+                for &item in part {
+                    let all_candidates = xsim.candidates(item);
+                    cost += 1.0 + all_candidates.len() as f64;
+                    out.push((item, Self::replacement_for(item, all_candidates, config)));
+                }
+                (out, cost)
+            },
+        );
+        let mut replacements = previous.replacements.clone();
+        for (item, replacement) in per_partition.into_iter().flatten() {
+            match replacement {
+                Some(r) => {
+                    replacements.insert(item, r);
+                }
+                None => {
+                    replacements.remove(&item);
+                }
+            }
+        }
+        ReplacementTable { replacements }
     }
 
     /// Builds the generator and materialises the replacement table.

@@ -42,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod delta;
 pub mod generator;
 pub mod pipeline;
 pub mod private;
@@ -50,6 +51,7 @@ pub mod serve;
 pub mod xsim;
 
 pub use config::{PrivacyConfig, XMapConfig, XMapMode};
+pub use delta::{DeltaReport, RatingDelta, DELTA_STAGE_NAME};
 pub use generator::{AlterEgo, AlterEgoGenerator, RatingTransfer, ReplacementTable};
 pub use pipeline::{BaselinerStage, PipelineStats, XMapModel, XMapPipeline};
 pub use recommend::ProfileRecommender;

@@ -70,20 +70,36 @@ pub struct PipelineStats {
 }
 
 /// A fitted X-Map model.
+///
+/// Fields are crate-visible because the delta-fit subsystem (`crate::delta`) rebuilds
+/// them surgically in place; external callers go through the accessors.
 pub struct XMapModel {
-    config: XMapConfig,
-    source_domain: DomainId,
-    target_domain: DomainId,
-    full: RatingMatrix,
-    replacements: ReplacementTable,
-    xsim: XSimTable,
-    recommender: Box<dyn ProfileRecommender + Send + Sync>,
-    stats: PipelineStats,
+    pub(crate) config: XMapConfig,
+    pub(crate) source_domain: DomainId,
+    pub(crate) target_domain: DomainId,
+    pub(crate) full: RatingMatrix,
+    /// The baseline similarity graph of the fit — retained (it is the arena the
+    /// delta-fit surgically updates, and the artifact the equivalence gate compares).
+    pub(crate) graph: SimilarityGraph,
+    /// The layer partition of `graph` — retained so a delta fit can detect rank
+    /// changes by comparison instead of recomputing the old partition per update.
+    pub(crate) partition: LayerPartition,
+    pub(crate) replacements: ReplacementTable,
+    pub(crate) xsim: XSimTable,
+    pub(crate) recommender: Box<dyn ProfileRecommender + Send + Sync>,
+    /// The raw item-kNN pools of the item-based modes (pre privacy annotation), kept so
+    /// a delta fit can re-score only the affected items' pools. `None` for the
+    /// user-based modes, which precompute nothing at fit time. This deliberately
+    /// duplicates the recommender's internal copy (the private mode transforms its
+    /// pools into annotated candidates and cannot hand the raw ones back): one
+    /// `O(n_items · k)` buffer, small next to the graph's scored-pair cache.
+    pub(crate) item_pools: Option<Vec<Vec<ItemNeighbor>>>,
+    pub(crate) stats: PipelineStats,
     /// The dataflow runner the model was fitted on, kept for batched serving so that
     /// serving task costs land in the same ledger as the fit stages.
-    flow: Dataflow,
+    pub(crate) flow: Dataflow,
     /// The privacy accountant of the fit (private modes only): PRS plus PNSA/PNCF.
-    budget: Option<PrivacyBudget>,
+    pub(crate) budget: Option<PrivacyBudget>,
 }
 
 impl XMapModel {
@@ -105,6 +121,11 @@ impl XMapModel {
     /// The item-to-item replacement table (the released artifact of the generator).
     pub fn replacements(&self) -> &ReplacementTable {
         &self.replacements
+    }
+
+    /// The baseline similarity graph the model was fitted (or delta-fitted) on.
+    pub fn graph(&self) -> &SimilarityGraph {
+        &self.graph
     }
 
     /// The heterogeneous X-Sim table computed by the extender.
@@ -450,8 +471,45 @@ fn fit_item_pools(
     })
 }
 
+/// What the recommender stage hands back: the fitted recommender plus, for the
+/// item-based modes, the raw kNN pools (pre privacy annotation) the model retains for
+/// delta fits.
+type FittedRecommender = (
+    Box<dyn ProfileRecommender + Send + Sync>,
+    Option<Vec<Vec<ItemNeighbor>>>,
+);
+
+/// Wraps freshly fitted (or delta-spliced) item pools into the mode's recommender —
+/// the single place the pool → recommender construction lives, shared by the fit and
+/// delta stages. The ε′ debit for the private mode must already have happened.
+pub(crate) fn recommender_from_pools(
+    config: &XMapConfig,
+    target_matrix: RatingMatrix,
+    pools: Vec<Vec<ItemNeighbor>>,
+) -> Result<FittedRecommender> {
+    let recommender: Box<dyn ProfileRecommender + Send + Sync> = match config.mode {
+        XMapMode::NxMapItemBased => Box::new(ItemBasedRecommender::from_pools(
+            target_matrix,
+            config.k,
+            config.temporal_alpha,
+            pools.clone(),
+        )?),
+        XMapMode::XMapItemBased => Box::new(PrivateItemBasedRecommender::from_pools(
+            target_matrix,
+            config.k,
+            config.privacy.epsilon_prime,
+            config.privacy.rho,
+            config.temporal_alpha,
+            config.seed,
+            pools.clone(),
+        )?),
+        _ => unreachable!("only the item-based modes carry kNN pools"),
+    };
+    Ok((recommender, Some(pools)))
+}
+
 impl Stage<RatingMatrix> for RecommenderStage<'_> {
-    type Out = Result<Box<dyn ProfileRecommender + Send + Sync>>;
+    type Out = Result<FittedRecommender>;
 
     fn name(&self) -> &'static str {
         "recommender"
@@ -461,24 +519,20 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
         &self,
         target_matrix: RatingMatrix,
         cx: &mut StageContext<'_>,
-    ) -> Result<Box<dyn ProfileRecommender + Send + Sync>> {
+    ) -> Result<FittedRecommender> {
         let config = &self.config;
         let mut budget_guard = self
             .budget
             .map(|m| m.lock().expect("privacy budget mutex poisoned"));
-        Ok(match config.mode {
+        match config.mode {
             XMapMode::NxMapItemBased => {
                 let pools = fit_item_pools(&target_matrix, config.k, config.temporal_alpha, cx);
-                Box::new(ItemBasedRecommender::from_pools(
-                    target_matrix,
-                    config.k,
-                    config.temporal_alpha,
-                    pools,
-                )?) as Box<dyn ProfileRecommender + Send + Sync>
+                recommender_from_pools(config, target_matrix, pools)
             }
-            XMapMode::NxMapUserBased => {
-                Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
-            }
+            XMapMode::NxMapUserBased => Ok((
+                Box::new(UserBasedRecommender::fit(target_matrix, config.k)?),
+                None,
+            )),
             XMapMode::XMapItemBased => {
                 // Debit before the pool fit, mirroring the serial
                 // `PrivateItemBasedRecommender::fit`: an exhausted budget fails the
@@ -495,27 +549,22 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
                     config.temporal_alpha,
                     cx,
                 );
-                Box::new(PrivateItemBasedRecommender::from_pools(
+                recommender_from_pools(config, target_matrix, pools)
+            }
+            XMapMode::XMapUserBased => Ok((
+                Box::new(PrivateUserBasedRecommender::fit(
                     target_matrix,
                     config.k,
                     config.privacy.epsilon_prime,
                     config.privacy.rho,
-                    config.temporal_alpha,
                     config.seed,
-                    pools,
-                )?)
-            }
-            XMapMode::XMapUserBased => Box::new(PrivateUserBasedRecommender::fit(
-                target_matrix,
-                config.k,
-                config.privacy.epsilon_prime,
-                config.privacy.rho,
-                config.seed,
-                budget_guard
-                    .as_deref_mut()
-                    .expect("private modes carry a privacy budget"),
-            )?),
-        })
+                    budget_guard
+                        .as_deref_mut()
+                        .expect("private modes carry a privacy budget"),
+                )?),
+                None,
+            )),
+        }
     }
 }
 
@@ -595,7 +644,7 @@ impl XMapPipeline {
         if n_target_ratings == 0 {
             return Err(XMapError::Data("target domain has no ratings".to_string()));
         }
-        let recommender = flow.run(
+        let (recommender, item_pools) = flow.run(
             &RecommenderStage {
                 config,
                 budget: budget.as_ref(),
@@ -624,9 +673,12 @@ impl XMapPipeline {
             source_domain: source,
             target_domain: target,
             full: matrix.clone(),
+            graph,
+            partition,
             replacements,
             xsim,
             recommender,
+            item_pools,
             stats,
             flow,
             budget: budget.map(|m| m.into_inner().expect("privacy budget mutex poisoned")),

@@ -116,7 +116,11 @@ pub fn aggregate_paths(graph: &SimilarityGraph, paths: &[&MetaPath]) -> Option<f
 }
 
 /// The cross-domain X-Sim table: for every source item, its reachable target items.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every row exactly — it is what the delta-fit equivalence gate
+/// holds a spliced table ([`XSimTable::with_recomputed_rows`]) against a freshly
+/// computed one.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct XSimTable {
     entries: HashMap<ItemId, Vec<XSimEntry>>,
     source_domain: Option<DomainId>,
@@ -331,6 +335,67 @@ impl XSimTable {
 
         XSimTable {
             entries: per_partition.into_iter().flatten().collect(),
+            source_domain: Some(source_domain),
+        }
+    }
+
+    /// Recomputes the given source-item `rows` on the (updated) graph and partition and
+    /// splices them into a copy of this table; every other row is carried over
+    /// untouched — the delta-fit path of the extender.
+    ///
+    /// Each recomputed row runs the exact frontier expansion of
+    /// [`XSimTable::compute_batched`] (partition-parallel, scratch reused per
+    /// partition, same per-item cost recorded on the running stage's ledger), so when
+    /// `rows` covers every source item whose meta-path neighbourhood the delta touched,
+    /// the result is **bit-identical** to recomputing the whole table on the updated
+    /// graph. Rows that come back empty are *removed* (a full computation never stores
+    /// empty rows).
+    pub fn with_recomputed_rows(
+        &self,
+        graph: &SimilarityGraph,
+        partition: &LayerPartition,
+        source_domain: DomainId,
+        metapath: MetaPathConfig,
+        rows: Vec<ItemId>,
+        cx: &mut StageContext<'_>,
+    ) -> Self {
+        let per_partition = cx.map_partitions(
+            rows,
+            |item| item.0,
+            |_ix, items| {
+                if items.is_empty() {
+                    return (Vec::new(), 0.0);
+                }
+                let mut scratch = FrontierScratch::new(graph.n_items());
+                let mut out: Vec<(ItemId, Vec<XSimEntry>)> = Vec::new();
+                let mut cost = 0.0f64;
+                for &item in items {
+                    let entries = Self::batched_entries_for_item(
+                        graph,
+                        partition,
+                        item,
+                        source_domain,
+                        metapath,
+                        &mut scratch,
+                    );
+                    cost += 1.0 + graph.degree(item) as f64 + entries.len() as f64;
+                    // Keep empty rows here: they erase a stale row during the splice.
+                    out.push((item, entries));
+                }
+                (out, cost)
+            },
+        );
+
+        let mut entries = self.entries.clone();
+        for (item, fresh) in per_partition.into_iter().flatten() {
+            if fresh.is_empty() {
+                entries.remove(&item);
+            } else {
+                entries.insert(item, fresh);
+            }
+        }
+        XSimTable {
+            entries,
             source_domain: Some(source_domain),
         }
     }

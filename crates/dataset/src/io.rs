@@ -49,6 +49,10 @@ pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
     let reader = BufReader::new(reader);
     let mut builder = RatingMatrixBuilder::new();
     let mut domains: Vec<(ItemId, DomainId)> = Vec::new();
+    // First declaration per item, for conflict reporting: a re-declaration with a
+    // *different* domain must fail loudly instead of silently last-winning.
+    let mut declared: std::collections::HashMap<ItemId, (DomainId, usize)> =
+        std::collections::HashMap::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let line_no = idx + 1;
@@ -75,6 +79,14 @@ pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
             line: line_no,
             message: format!("bad rating `{}`: {e}", fields[2]),
         })?;
+        // `NaN`/`inf`/`-inf` parse as valid f64 but would poison every similarity
+        // statistic downstream; reject them here with the offending line.
+        if !value.is_finite() {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("non-finite rating `{}`", fields[2]),
+            });
+        }
         let timestep: u32 = if fields.len() > 3 && !fields[3].is_empty() {
             fields[3].parse().map_err(|e| IoError::Parse {
                 line: line_no,
@@ -88,7 +100,25 @@ pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
                 line: line_no,
                 message: format!("bad domain `{}`: {e}", fields[4]),
             })?;
-            domains.push((ItemId(item), DomainId(domain)));
+            let domain = DomainId(domain);
+            match declared.get(&ItemId(item)) {
+                Some(&(previous, previous_line)) => {
+                    if previous != domain {
+                        return Err(IoError::Parse {
+                            line: line_no,
+                            message: format!(
+                                "conflicting domain `{}` for item {item}: declared as `{}` on \
+                                 line {previous_line}",
+                                domain.0, previous.0
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    declared.insert(ItemId(item), (domain, line_no));
+                    domains.push((ItemId(item), domain));
+                }
+            }
         }
         builder
             .push(Rating::at(
@@ -174,6 +204,44 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_ratings_are_rejected_with_line_numbers() {
+        for bad in ["NaN", "inf", "-inf", "Infinity"] {
+            let csv = format!("0,0,5,0,0\n1,1,{bad},0,0\n");
+            let err = read_ratings_csv(csv.as_bytes()).unwrap_err();
+            match err {
+                IoError::Parse { line, message } => {
+                    assert_eq!(line, 2, "`{bad}` must be attributed to its line");
+                    assert!(
+                        message.contains("non-finite") && message.contains(bad),
+                        "unhelpful message for `{bad}`: {message}"
+                    );
+                }
+                other => panic!("expected a parse error for `{bad}`, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_domain_declarations_are_rejected_with_the_conflict_line() {
+        // item 1 is declared TARGET on line 2, then SOURCE on line 4
+        let csv = "0,0,5,0,0\n0,1,3,0,1\n1,0,4,0,0\n1,1,2,0,0\n";
+        let err = read_ratings_csv(csv.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 4, "the conflicting (not the first) line is at fault");
+                assert!(
+                    message.contains("conflicting domain") && message.contains("line 2"),
+                    "message must name both declarations: {message}"
+                );
+            }
+            other => panic!("expected a parse error, got {other}"),
+        }
+        // re-declaring the *same* domain is fine (the writer emits one per row)
+        let ok = read_ratings_csv("0,1,3,0,1\n1,1,2,0,1\n".as_bytes()).unwrap();
+        assert_eq!(ok.item_domain(ItemId(1)), DomainId(1));
+    }
+
+    #[test]
     fn round_trip_preserves_ratings_and_domains() {
         let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
         let mut buffer = Vec::new();
@@ -204,5 +272,55 @@ mod tests {
         let err = read_ratings_file("/nonexistent/path/to/ratings.csv").unwrap_err();
         assert!(matches!(err, IoError::Io(_)));
         assert!(err.to_string().contains("io error"));
+    }
+
+    mod round_trip_props {
+        use super::*;
+        use proptest::prelude::*;
+        use xmap_cf::Rating;
+
+        proptest! {
+            /// Arbitrary finite rating values, timesteps and domains survive the CSV
+            /// round trip exactly: every f64 bit, every timestep and every rated
+            /// item's domain — and the restored matrix equals the original in full
+            /// (the writer's `{}` formatting is shortest-round-trip).
+            #[test]
+            fn csv_round_trip_is_exact(
+                ratings in proptest::collection::vec(
+                    (0u32..12, 0u32..16, -1.0e6f64..1.0e6, 0u32..1000),
+                    1..80,
+                ),
+            ) {
+                let mut b = RatingMatrixBuilder::new();
+                let mut rated: Vec<u32> = Vec::new();
+                for &(u, i, v, t) in &ratings {
+                    b.push(Rating::at(UserId(u), ItemId(i), v, Timestep(t))).unwrap();
+                    rated.push(i);
+                }
+                rated.sort_unstable();
+                rated.dedup();
+                // only rated items carry their domain through a CSV row, so only
+                // those are declared on the original
+                for &i in &rated {
+                    b.set_item_domain(ItemId(i), DomainId((i % 3) as u16));
+                }
+                let original = b.build().unwrap();
+
+                let mut buffer = Vec::new();
+                write_ratings_csv(&original, &mut buffer).unwrap();
+                let restored = read_ratings_csv(buffer.as_slice()).unwrap();
+
+                prop_assert_eq!(&restored, &original);
+                for r in original.iter() {
+                    prop_assert_eq!(
+                        restored.rating(r.user, r.item).map(f64::to_bits),
+                        Some(r.value.to_bits()),
+                        "value bits changed for {}/{}", r.user, r.item
+                    );
+                    prop_assert_eq!(restored.rating_timestep(r.user, r.item), Some(r.timestep));
+                    prop_assert_eq!(restored.item_domain(r.item), original.item_domain(r.item));
+                }
+            }
+        }
     }
 }

@@ -47,7 +47,11 @@ pub struct CrossDomainSplit {
     pub train: RatingMatrix,
     /// Hidden `(user, item, true rating)` triples to predict — all in the target domain.
     pub test: Vec<Rating>,
-    /// The users whose target profiles were hidden.
+    /// The users whose target profiles were (at least partly) hidden. Every listed
+    /// user contributes **at least one** test triple: a selected user whose whole
+    /// target profile fits inside the auxiliary allowance is kept fully in training
+    /// and excluded here, so coverage/recall denominators count only users that are
+    /// actually evaluated.
     pub test_users: Vec<UserId>,
     /// The non-test overlapping users retained as straddlers in training.
     pub training_overlap_users: Vec<UserId>,
@@ -87,6 +91,10 @@ impl CrossDomainSplit {
         let mut keep_in_training: std::collections::HashSet<(UserId, xmap_cf::ItemId)> =
             std::collections::HashSet::new();
         let mut test: Vec<Rating> = Vec::new();
+        // Selected users whose target profile fits entirely inside the auxiliary
+        // allowance contribute zero test triples; they keep their ratings and are
+        // *not* test users (they would skew coverage/recall denominators otherwise).
+        let mut contributing: Vec<UserId> = Vec::new();
         for &u in &test_users {
             let mut target_profile: Vec<_> = matrix
                 .user_profile(u)
@@ -97,6 +105,7 @@ impl CrossDomainSplit {
             // keep the earliest-rated auxiliary items (they would realistically be known
             // first), hide the rest
             target_profile.sort_by_key(|e| e.timestep);
+            let mut hidden = 0usize;
             for (idx, e) in target_profile.into_iter().enumerate() {
                 if idx < config.auxiliary_profile_size {
                     keep_in_training.insert((u, e.item));
@@ -107,9 +116,14 @@ impl CrossDomainSplit {
                         value: e.value,
                         timestep: e.timestep,
                     });
+                    hidden += 1;
                 }
             }
+            if hidden > 0 {
+                contributing.push(u);
+            }
         }
+        let test_users = contributing;
 
         let dropped: std::collections::HashSet<UserId> = dropped_overlap.into_iter().collect();
         let test_user_set: std::collections::HashSet<UserId> = test_users.iter().copied().collect();
@@ -250,6 +264,58 @@ mod tests {
         assert!(half.train.n_ratings() < full.train.n_ratings());
         // test users are identical because the seed and test fraction are identical
         assert_eq!(half.test_users, full.test_users);
+    }
+
+    #[test]
+    fn every_test_user_contributes_at_least_one_test_triple() {
+        let ds = dataset();
+        let max_target_profile = ds
+            .overlap_users
+            .iter()
+            .map(|&u| {
+                ds.matrix
+                    .user_profile(u)
+                    .iter()
+                    .filter(|e| ds.matrix.item_domain(e.item) == DomainId::TARGET)
+                    .count()
+            })
+            .max()
+            .unwrap();
+        // With the auxiliary allowance covering everyone's full target profile, no
+        // selected user has anything to predict — the regression is a non-empty
+        // `test_users` paired with an empty `test`, which skews coverage/recall
+        // denominators downstream.
+        let saturated = CrossDomainSplit::build(
+            &ds,
+            DomainId::TARGET,
+            SplitConfig {
+                auxiliary_profile_size: max_target_profile,
+                ..Default::default()
+            },
+        );
+        assert!(saturated.test.is_empty());
+        assert!(
+            saturated.test_users.is_empty(),
+            "users with zero hidden ratings must not count as test users"
+        );
+        // And at every auxiliary size, the test-user list is exactly the set of users
+        // appearing in the test triples.
+        for aux in 0..=max_target_profile {
+            let split = CrossDomainSplit::build(
+                &ds,
+                DomainId::TARGET,
+                SplitConfig {
+                    auxiliary_profile_size: aux,
+                    ..Default::default()
+                },
+            );
+            let mut users_in_test: Vec<UserId> = split.test.iter().map(|r| r.user).collect();
+            users_in_test.sort_unstable();
+            users_in_test.dedup();
+            let mut listed = split.test_users.clone();
+            listed.sort_unstable();
+            assert_eq!(listed, users_in_test, "aux={aux}");
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 use serde::{Deserialize, Serialize};
 use xmap_cf::similarity::{item_similarity_stats, SimilarityStats};
-use xmap_cf::{DomainId, ItemId, RatingMatrix, SimilarityMetric};
+use xmap_cf::{DomainId, ItemId, RatingMatrix, SimilarityMetric, UserId};
 
 /// Configuration for building the baseline similarity graph.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -154,6 +154,16 @@ pub struct SimilarityGraph {
     sim_rank: Vec<u32>,
     /// One record per undirected edge, canonical `(min, max)` orientation.
     edge_stats: Vec<SimilarityStats>,
+    /// The **delta-fit cache**: every filter-surviving scored pair (ascending canonical
+    /// keys), *before* top-k pruning. Pruning is a global property of this set — a
+    /// delta that weakens one edge can pull a previously pruned pair back into an
+    /// endpoint's top-k — so an exact incremental rebuild must rank over all scored
+    /// pairs, not just the stored arena. The weak-edge *filter*, by contrast, is
+    /// per-pair, so pairs it dropped stay dropped while their inputs are unchanged and
+    /// need no cache.
+    scored_keys: Vec<u64>,
+    /// Statistics of `scored_keys` (parallel array).
+    scored_stats: Vec<SimilarityStats>,
     item_domain: Vec<DomainId>,
     config: GraphConfig,
 }
@@ -161,6 +171,38 @@ pub struct SimilarityGraph {
 /// Flush threshold floor for the chunked pair-key dedup: below this many pending keys a
 /// merge is not worth its copy.
 const PAIR_KEY_MIN_CHUNK: usize = 1 << 12;
+
+/// Sorts + dedups `pending` and merges it into the sorted, deduplicated `merged`.
+fn merge_pair_chunk(merged: &mut Vec<u64>, pending: &mut Vec<u64>) {
+    if pending.is_empty() {
+        return;
+    }
+    pending.sort_unstable();
+    pending.dedup();
+    let mut out = Vec::with_capacity(merged.len() + pending.len());
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < merged.len() && b < pending.len() {
+        match merged[a].cmp(&pending[b]) {
+            std::cmp::Ordering::Less => {
+                out.push(merged[a]);
+                a += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(pending[b]);
+                b += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(merged[a]);
+                a += 1;
+                b += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&merged[a..]);
+    out.extend_from_slice(&pending[b..]);
+    *merged = out;
+    pending.clear();
+}
 
 impl SimilarityGraph {
     /// The canonical key of an unordered item pair: `(min << 32) | max`.
@@ -184,37 +226,6 @@ impl SimilarityGraph {
     /// user's pairs are mutually distinct (profiles hold each item once), so even the
     /// largest one-user burst stays within the bound.
     pub fn co_rated_pair_keys(matrix: &RatingMatrix) -> Vec<u64> {
-        fn flush(merged: &mut Vec<u64>, pending: &mut Vec<u64>) {
-            if pending.is_empty() {
-                return;
-            }
-            pending.sort_unstable();
-            pending.dedup();
-            let mut out = Vec::with_capacity(merged.len() + pending.len());
-            let (mut a, mut b) = (0usize, 0usize);
-            while a < merged.len() && b < pending.len() {
-                match merged[a].cmp(&pending[b]) {
-                    std::cmp::Ordering::Less => {
-                        out.push(merged[a]);
-                        a += 1;
-                    }
-                    std::cmp::Ordering::Greater => {
-                        out.push(pending[b]);
-                        b += 1;
-                    }
-                    std::cmp::Ordering::Equal => {
-                        out.push(merged[a]);
-                        a += 1;
-                        b += 1;
-                    }
-                }
-            }
-            out.extend_from_slice(&merged[a..]);
-            out.extend_from_slice(&pending[b..]);
-            *merged = out;
-            pending.clear();
-        }
-
         let mut merged: Vec<u64> = Vec::new();
         let mut pending: Vec<u64> = Vec::new();
         for u in matrix.users() {
@@ -225,11 +236,168 @@ impl SimilarityGraph {
                 }
             }
             if pending.len() >= PAIR_KEY_MIN_CHUNK.max(merged.len()) {
-                flush(&mut merged, &mut pending);
+                merge_pair_chunk(&mut merged, &mut pending);
             }
         }
-        flush(&mut merged, &mut pending);
+        merge_pair_chunk(&mut merged, &mut pending);
         merged
+    }
+
+    /// The items whose pairwise similarity statistics may differ after the profiles of
+    /// `affected_users` changed: every item in an affected user's (updated) profile,
+    /// sorted and deduplicated.
+    ///
+    /// This is the exact dependency footprint of [`item_similarity_stats`] under a
+    /// rating delta that only *adds or updates* ratings: a pair's statistics read the
+    /// two item profiles, the two item averages and the user average of **every rater
+    /// of either item** (the adjusted-cosine denominators of Equation 6 run over all
+    /// raters, not just co-raters). All three inputs change only through an affected
+    /// user's profile, and every item an affected user touches — including the items
+    /// they rated before the delta, whose columns gain nothing but whose raters'
+    /// averages move — is in that user's updated profile.
+    pub fn dirty_items(matrix: &RatingMatrix, affected_users: &[UserId]) -> Vec<ItemId> {
+        let mut items: Vec<ItemId> = affected_users
+            .iter()
+            .flat_map(|&u| matrix.user_profile(u).iter().map(|e| e.item))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+
+    /// Every co-rated unordered pair of `matrix` with at least one endpoint in
+    /// `dirty` — the exact set of pair keys a delta fit must re-score (sorted,
+    /// deduplicated canonical keys, like [`SimilarityGraph::co_rated_pair_keys`]).
+    ///
+    /// Pairs with *no* dirty endpoint keep their statistics bit for bit: both profiles,
+    /// both item averages and all their raters' user averages are untouched by the
+    /// delta (see [`SimilarityGraph::dirty_items`]). Enumeration walks each dirty
+    /// item's raters' profiles, so the cost is proportional to the delta's two-hop
+    /// co-rating neighbourhood, not to the trace.
+    pub fn affected_pair_keys(matrix: &RatingMatrix, dirty: &[ItemId]) -> Vec<u64> {
+        let mut merged: Vec<u64> = Vec::new();
+        let mut pending: Vec<u64> = Vec::new();
+        for &it in dirty {
+            for rater in matrix.item_profile(it) {
+                for e in matrix.user_profile(rater.user) {
+                    if e.item != it {
+                        pending.push(Self::pair_key(it, e.item));
+                    }
+                }
+            }
+            if pending.len() >= PAIR_KEY_MIN_CHUNK.max(merged.len()) {
+                merge_pair_chunk(&mut merged, &mut pending);
+            }
+        }
+        merge_pair_chunk(&mut merged, &mut pending);
+        merged
+    }
+
+    /// Rebuilds the graph after a rating delta: the `affected_keys` (sorted canonical
+    /// keys, with `fresh_stats[ix]` the **freshly recomputed** statistics of
+    /// `affected_keys[ix]` on the updated matrix) replace or extend this graph's
+    /// scored-pair cache; every other scored pair keeps its cached statistics. The
+    /// merged key/stat sequence then runs through the shared
+    /// [`SimilarityGraph::from_scored_pairs`] back half (filter → union top-k pruning →
+    /// arena assembly).
+    ///
+    /// The merge runs over the **pre-pruning** scored-pair cache, not the stored
+    /// arena: top-k pruning is a global ranking over all scored pairs, so a delta that
+    /// *weakens* an edge can promote a previously pruned, unaffected pair back into an
+    /// endpoint's top-k — only the cache still knows that pair's statistics.
+    ///
+    /// **Recompute, never accumulate:** affected pairs are re-scored from scratch on
+    /// the updated matrix — no float deltas are added to cached similarities — so when
+    /// `affected_keys` covers every pair whose inputs changed (see
+    /// [`SimilarityGraph::affected_pair_keys`]), the result is **bit-identical to a
+    /// full [`SimilarityGraph::build`] on the updated matrix**. Pruning and pool
+    /// ordering are global properties of the surviving pair set, which is why the
+    /// assembly is a linear merge over all pairs (cheap copies) while the similarity
+    /// *scoring* — the dominant cost — is confined to the affected keys.
+    ///
+    /// # Panics
+    /// Panics if the key/stat lengths differ or `affected_keys` is not strictly
+    /// ascending.
+    pub fn apply_updates(
+        &self,
+        updated: &RatingMatrix,
+        affected_keys: &[u64],
+        fresh_stats: Vec<SimilarityStats>,
+    ) -> SimilarityGraph {
+        assert_eq!(
+            affected_keys.len(),
+            fresh_stats.len(),
+            "every affected key needs exactly one fresh statistics record"
+        );
+        assert!(
+            affected_keys.windows(2).all(|w| w[0] < w[1]),
+            "affected keys must be strictly ascending"
+        );
+
+        let mut keys: Vec<u64> = Vec::with_capacity(self.scored_keys.len() + affected_keys.len());
+        let mut stats: Vec<SimilarityStats> = Vec::with_capacity(keys.capacity());
+        let (mut cached, mut af) = (0usize, 0usize);
+        while cached < self.scored_keys.len() && af < affected_keys.len() {
+            match self.scored_keys[cached].cmp(&affected_keys[af]) {
+                std::cmp::Ordering::Less => {
+                    keys.push(self.scored_keys[cached]);
+                    stats.push(self.scored_stats[cached]);
+                    cached += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    keys.push(affected_keys[af]);
+                    stats.push(fresh_stats[af]);
+                    af += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    keys.push(affected_keys[af]);
+                    stats.push(fresh_stats[af]);
+                    cached += 1;
+                    af += 1;
+                }
+            }
+        }
+        while cached < self.scored_keys.len() {
+            keys.push(self.scored_keys[cached]);
+            stats.push(self.scored_stats[cached]);
+            cached += 1;
+        }
+        while af < affected_keys.len() {
+            keys.push(affected_keys[af]);
+            stats.push(fresh_stats[af]);
+            af += 1;
+        }
+
+        Self::from_scored_pairs(updated, self.config, &keys, stats)
+    }
+
+    /// Number of entries in the scored-pair cache (filter-surviving pairs before
+    /// pruning) — the memory the delta-fit path pays for exact incremental pruning.
+    pub fn n_scored_pairs(&self) -> usize {
+        self.scored_keys.len()
+    }
+
+    /// Single-threaded delta rebuild: derives the dirty items and affected pair keys
+    /// from `affected_users`, re-scores the affected keys on the updated matrix and
+    /// merges them through [`SimilarityGraph::apply_updates`]. This is the reference
+    /// the engine-parallel delta stage must match bit for bit at any worker count —
+    /// and, by the recompute-exactly rule, it equals a full
+    /// [`SimilarityGraph::build`] on the updated matrix (property-tested below).
+    pub fn apply_updates_serial(
+        &self,
+        updated: &RatingMatrix,
+        affected_users: &[UserId],
+    ) -> SimilarityGraph {
+        let dirty = Self::dirty_items(updated, affected_users);
+        let keys = Self::affected_pair_keys(updated, &dirty);
+        let stats: Vec<SimilarityStats> = keys
+            .iter()
+            .map(|&key| {
+                let (lo, hi) = Self::pair_of_key(key);
+                item_similarity_stats(updated, lo, hi, self.config.metric)
+            })
+            .collect();
+        self.apply_updates(updated, &keys, stats)
     }
 
     /// Assembles the CSR arena from every candidate pair key and its similarity
@@ -269,6 +437,14 @@ impl SimilarityGraph {
                 }
             })
             .collect();
+
+        // The filter-surviving scored pairs are the delta-fit cache (see the field
+        // docs): captured before pruning, in ascending key order.
+        let scored_keys: Vec<u64> = pairs
+            .iter()
+            .map(|&(lo, hi, _)| Self::pair_key(lo, hi))
+            .collect();
+        let scored_stats: Vec<SimilarityStats> = pairs.iter().map(|&(_, _, s)| s).collect();
 
         // --- 3. Union top-k pruning: keep a pair ranked top-k by either endpoint. ---
         if let Some(k) = config.top_k {
@@ -361,6 +537,8 @@ impl SimilarityGraph {
             edge_ix,
             sim_rank,
             edge_stats,
+            scored_keys,
+            scored_stats,
             item_domain,
             config,
         }
@@ -743,6 +921,135 @@ mod tests {
         assert_eq!(SimilarityGraph::co_rated_pair_keys(&m), naive);
     }
 
+    #[test]
+    fn dirty_items_are_the_affected_users_profiles() {
+        let m = fixture();
+        let dirty = SimilarityGraph::dirty_items(&m, &[UserId(2)]);
+        assert_eq!(dirty, vec![ItemId(1), ItemId(3), ItemId(4)]);
+        assert!(SimilarityGraph::dirty_items(&m, &[]).is_empty());
+        // unknown users have empty profiles
+        assert!(SimilarityGraph::dirty_items(&m, &[UserId(99)]).is_empty());
+    }
+
+    #[test]
+    fn affected_pair_keys_cover_every_pair_touching_a_dirty_item() {
+        let m = fixture();
+        let dirty = vec![ItemId(1)];
+        let keys = SimilarityGraph::affected_pair_keys(&m, &dirty);
+        let all = SimilarityGraph::co_rated_pair_keys(&m);
+        // exactly the co-rated pairs with item 1 as an endpoint
+        let expect: Vec<u64> = all
+            .iter()
+            .copied()
+            .filter(|&k| {
+                let (lo, hi) = SimilarityGraph::pair_of_key(k);
+                lo == ItemId(1) || hi == ItemId(1)
+            })
+            .collect();
+        assert_eq!(keys, expect);
+        assert!(!keys.is_empty());
+    }
+
+    #[test]
+    fn apply_updates_with_no_affected_keys_reproduces_the_graph() {
+        let m = fixture();
+        for top_k in [None, Some(2)] {
+            let config = GraphConfig {
+                top_k,
+                ..Default::default()
+            };
+            let g = SimilarityGraph::build(&m, config);
+            assert_eq!(g.apply_updates(&m, &[], Vec::new()), g);
+            assert_eq!(g.apply_updates_serial(&m, &[]), g);
+        }
+    }
+
+    #[test]
+    fn apply_updates_serial_equals_full_build_after_a_delta() {
+        let m = fixture();
+        let config = GraphConfig {
+            top_k: Some(3),
+            ..Default::default()
+        };
+        let g = SimilarityGraph::build(&m, config);
+        // user 0 updates a rating and rates a brand-new item; user 4 is brand new
+        let delta = vec![
+            xmap_cf::Rating::at(UserId(0), ItemId(1), 1.0, xmap_cf::Timestep(7)),
+            xmap_cf::Rating::at(UserId(0), ItemId(5), 5.0, xmap_cf::Timestep(8)),
+            xmap_cf::Rating::at(UserId(4), ItemId(0), 2.0, xmap_cf::Timestep(1)),
+            xmap_cf::Rating::at(UserId(4), ItemId(5), 4.0, xmap_cf::Timestep(2)),
+        ];
+        let updated = m
+            .apply_delta(&delta, &[(ItemId(5), DomainId::TARGET)])
+            .unwrap();
+        let incremental = g.apply_updates_serial(&updated, &[UserId(0), UserId(4)]);
+        let full = SimilarityGraph::build(&updated, config);
+        assert_eq!(incremental, full);
+        assert!(incremental
+            .edge_between(ItemId(0), ItemId(5))
+            .is_some_and(|e| e.stats.co_raters >= 2));
+    }
+
+    #[test]
+    fn weakened_edges_resurrect_previously_pruned_pairs_exactly() {
+        // Regression: top-k pruning ranks over *all* scored pairs, so a delta that
+        // weakens an edge can promote a previously pruned, unaffected pair back into
+        // an endpoint's top-k. The merge must therefore run over the pre-pruning
+        // scored-pair cache — merging over the stored arena loses those pairs and
+        // diverges from the full rebuild.
+        let mut b = RatingMatrixBuilder::new();
+        for u in 0..16u32 {
+            for x in 0..8u32 {
+                let i = (u * 3 + x * 7) % 12;
+                b.push_parts(u, i, ((u * 2 + x * 3) % 5 + 1) as f64)
+                    .unwrap();
+            }
+        }
+        let m = b.build().unwrap();
+        let config = GraphConfig {
+            top_k: Some(1),
+            ..Default::default()
+        };
+        let g = SimilarityGraph::build(&m, config);
+        assert!(
+            g.n_scored_pairs() > g.n_undirected_edges(),
+            "pruning must actually drop pairs for this regression to bite"
+        );
+        // user 0 flips every one of their ratings to the opposite end of the scale,
+        // weakening (and sign-flipping) many similarities at once
+        let delta: Vec<xmap_cf::Rating> = m
+            .user_profile(UserId(0))
+            .iter()
+            .enumerate()
+            .map(|(ix, e)| {
+                xmap_cf::Rating::at(
+                    UserId(0),
+                    e.item,
+                    6.0 - e.value,
+                    xmap_cf::Timestep(100 + ix as u32),
+                )
+            })
+            .collect();
+        let updated = m.apply_delta(&delta, &[]).unwrap();
+        let incremental = g.apply_updates_serial(&updated, &[UserId(0)]);
+        let full = SimilarityGraph::build(&updated, config);
+        assert_eq!(incremental, full);
+        assert_ne!(g, full, "the delta must actually move the arena");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn apply_updates_rejects_unsorted_keys() {
+        let m = fixture();
+        let g = SimilarityGraph::build(&m, GraphConfig::default());
+        let keys = vec![
+            SimilarityGraph::pair_key(ItemId(1), ItemId(0)),
+            SimilarityGraph::pair_key(ItemId(0), ItemId(1)),
+        ];
+        let stats = vec![SimilarityStats::NONE; 2];
+        let _ = g.apply_updates(&m, &keys, stats);
+    }
+
     /// Reference adjacency built the naive way: all unordered co-rated pairs into a
     /// `HashMap`, no pruning. The CSR arena must agree exactly when pruning is off.
     fn naive_reference(
@@ -867,6 +1174,49 @@ mod tests {
                 let (lo, hi) = SimilarityGraph::pair_of_key(key);
                 prop_assert!(lo < hi, "canonical keys must be (min, max)");
                 prop_assert_eq!(SimilarityGraph::pair_key(hi, lo), key);
+            }
+        }
+
+        /// The delta-fit contract: `apply_updates_serial` on the updated matrix is
+        /// bit-identical to a full `build` of the updated matrix, with and without
+        /// pruning — i.e. the affected-key set derived from the delta users is a
+        /// sufficient recompute set, and no cached statistic that should have moved
+        /// survives the merge.
+        #[test]
+        fn apply_updates_serial_is_bit_identical_to_full_build(
+            base in proptest::collection::vec((0u32..10, 0u32..14, 1u32..=5), 1..150),
+            delta in proptest::collection::vec((0u32..14, 0u32..18, 1u32..=5), 1..30),
+            k in 1usize..6,
+        ) {
+            let m = random_matrix(&base, 2);
+            let delta_ratings: Vec<xmap_cf::Rating> = delta
+                .iter()
+                .enumerate()
+                .map(|(ix, &(u, i, v))| {
+                    xmap_cf::Rating::at(
+                        UserId(u),
+                        ItemId(i),
+                        v as f64,
+                        xmap_cf::Timestep(10 + ix as u32),
+                    )
+                })
+                .collect();
+            let new_domains: Vec<(ItemId, DomainId)> = delta_ratings
+                .iter()
+                .map(|r| r.item)
+                .filter(|i| i.index() >= m.n_items())
+                .map(|i| (i, DomainId((i.0 % 2) as u16)))
+                .collect();
+            let updated = m.apply_delta(&delta_ratings, &new_domains).unwrap();
+            let mut affected: Vec<UserId> = delta_ratings.iter().map(|r| r.user).collect();
+            affected.sort_unstable();
+            affected.dedup();
+            for top_k in [None, Some(k)] {
+                let config = GraphConfig { top_k, ..Default::default() };
+                let g = SimilarityGraph::build(&m, config);
+                let incremental = g.apply_updates_serial(&updated, &affected);
+                let full = SimilarityGraph::build(&updated, config);
+                prop_assert_eq!(incremental, full, "delta rebuild diverged (top_k {:?})", top_k);
             }
         }
 

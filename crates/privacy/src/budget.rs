@@ -75,16 +75,27 @@ impl PrivacyBudget {
         (self.total - self.spent()).max(0.0)
     }
 
+    /// The accountant's floating-point slack: one fixed tolerance on the *total*
+    /// consumption, relative to the budget size. The historical per-call tolerance
+    /// (`ε ≤ remaining + 1e-12` on every spend) compounded: a drip of sub-tolerance
+    /// spends could push total consumption arbitrarily far past the nominal ε. Bounding
+    /// `spent + ε ≤ total + tolerance` instead caps the cumulative overspend at a
+    /// single tolerance no matter how many spends compose.
+    fn tolerance(&self) -> f64 {
+        1e-12 * self.total.max(1.0)
+    }
+
     /// Attempts to consume `epsilon` on behalf of `mechanism`. Fails without side effects
-    /// if the remaining budget is insufficient (a small tolerance absorbs floating-point
-    /// drift from repeated equal splits).
+    /// if the spend would push total consumption past the budget (a single fixed
+    /// tolerance on the *total* absorbs floating-point drift from repeated equal
+    /// splits — see [`PrivacyBudget::tolerance`]).
     pub fn spend(&mut self, mechanism: impl Into<String>, epsilon: f64) -> Result<(), BudgetError> {
         let mechanism = mechanism.into();
         assert!(
             epsilon.is_finite() && epsilon > 0.0,
             "spent ε must be positive and finite, got {epsilon}"
         );
-        if epsilon > self.remaining() + 1e-12 {
+        if self.spent() + epsilon > self.total + self.tolerance() {
             return Err(BudgetError {
                 requested: epsilon,
                 remaining: self.remaining(),
@@ -109,7 +120,7 @@ impl PrivacyBudget {
             );
         }
         let requested: f64 = entries.iter().map(|&(_, e)| e).sum();
-        if requested > self.remaining() + 1e-12 {
+        if self.spent() + requested > self.total + self.tolerance() {
             return Err(BudgetError {
                 requested,
                 remaining: self.remaining(),
@@ -190,6 +201,36 @@ mod tests {
         assert!((err.requested - 0.8).abs() < 1e-12);
         assert!(b.ledger().is_empty(), "failed batch must record nothing");
         assert!((b.remaining() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_tiny_spends_cannot_drip_past_the_total() {
+        // Regression: the per-call tolerance (`ε ≤ remaining + 1e-12`) let an
+        // unbounded drip of sub-tolerance spends push total consumption past ε — each
+        // call saw remaining = 0 and still granted another 1e-12. The bound is now on
+        // the cumulative total.
+        let mut b = PrivacyBudget::new(1.0);
+        b.spend("PNSA", 0.5).unwrap();
+        b.spend("PNCF", 0.5).unwrap();
+        let mut rejected_at = None;
+        for i in 0..10_000 {
+            if b.spend(format!("drip{i}"), 1e-13).is_err() {
+                rejected_at = Some(i);
+                break;
+            }
+        }
+        let rejected_at = rejected_at.expect("the drip must eventually be refused");
+        assert!(
+            rejected_at <= 11,
+            "cumulative overspend must stay within one tolerance (drip ran {rejected_at} times)"
+        );
+        assert!(
+            b.spent() <= b.total() + 2e-12,
+            "total consumption {} exceeded ε plus a single tolerance",
+            b.spent()
+        );
+        // a failed drip leaves the ledger untouched
+        assert_eq!(b.ledger().len(), 2 + rejected_at);
     }
 
     #[test]

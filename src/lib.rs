@@ -20,7 +20,9 @@ pub mod prelude {
     pub use xmap_cf::{
         DomainId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timestep, UserId,
     };
-    pub use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapModel, XMapPipeline};
+    pub use xmap_core::{
+        DeltaReport, PrivacyConfig, RatingDelta, XMapConfig, XMapMode, XMapModel, XMapPipeline,
+    };
     pub use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
     pub use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
     pub use xmap_dataset::toy::ToyScenario;

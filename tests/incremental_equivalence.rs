@@ -1,0 +1,222 @@
+//! The incremental-equivalence gate: `XMapModel::apply_delta` must release exactly the
+//! model a full `XMapPipeline::fit` on the updated matrix releases — **bit-identical**
+//! graph arena, X-Sim table, replacement table, kNN pools, probe predictions,
+//! recommendations and privacy ledger — in all four modes, at 1, 2 and 8 workers.
+//!
+//! The delta stage's own task bag (the `"delta"` ledger) is additionally asserted
+//! identical across worker counts: its costs are data-derived, so the worker count
+//! must never leak into the recorded incremental work.
+//!
+//! This is the end-to-end counterpart of the layer-local contracts:
+//! `RatingMatrix::apply_delta` vs the full rebuild (xmap-cf property test),
+//! `SimilarityGraph::apply_updates_serial` vs `build` (xmap-graph property test), and
+//! the delta edge-case tests in `xmap_core::delta`.
+
+use xmap_suite::prelude::*;
+
+const GATE_WORKERS: [usize; 3] = [1, 2, 8];
+
+fn dataset() -> CrossDomainDataset {
+    CrossDomainDataset::generate(CrossDomainConfig::small())
+}
+
+fn config(mode: XMapMode, workers: usize) -> XMapConfig {
+    XMapConfig {
+        mode,
+        k: 8,
+        workers,
+        ..Default::default()
+    }
+}
+
+/// A delta exercising every edge shape at once: an update of an existing cell, a new
+/// cell for an existing user, a brand-new user straddling both domains, and a
+/// brand-new target item rated by old and new users.
+fn gate_delta(ds: &CrossDomainDataset) -> RatingDelta {
+    let new_user = ds.matrix.n_users() as u32;
+    let new_item = ds.matrix.n_items() as u32;
+    let source_item = ds.source_items()[0];
+    let target_item = ds.target_items()[0];
+    let updating_user = ds.overlap_users[0];
+    let mut delta = RatingDelta::new();
+    delta
+        .declare_item(ItemId(new_item), DomainId::TARGET)
+        .push_timed(updating_user.0, target_item.0, 1.0, 200)
+        .push_timed(ds.overlap_users[1].0, source_item.0, 5.0, 201)
+        .push_timed(new_user, source_item.0, 4.0, 202)
+        .push_timed(new_user, target_item.0, 2.0, 203)
+        .push_timed(new_user, new_item, 5.0, 204)
+        .push_timed(updating_user.0, new_item, 3.0, 205);
+    delta
+}
+
+/// Everything the gate compares between a delta-fitted and a freshly fitted model.
+#[derive(Debug, PartialEq)]
+struct ReleasedBits {
+    replacements: Vec<(ItemId, ItemId)>,
+    prediction_bits: Vec<u64>,
+    recommendations: Vec<Vec<(ItemId, u64)>>,
+    privacy_ledger: Vec<(String, u64)>,
+}
+
+fn released_bits(model: &XMapModel, users: &[UserId], items: &[ItemId]) -> ReleasedBits {
+    let mut replacements: Vec<(ItemId, ItemId)> = model.replacements().iter().collect();
+    replacements.sort();
+    ReleasedBits {
+        replacements,
+        prediction_bits: users
+            .iter()
+            .flat_map(|&u| items.iter().map(move |&i| (u, i)).collect::<Vec<_>>())
+            .map(|(u, i)| model.predict(u, i).to_bits())
+            .collect(),
+        recommendations: users
+            .iter()
+            .map(|&u| {
+                model
+                    .recommend(u, 5)
+                    .into_iter()
+                    .map(|(i, s)| (i, s.to_bits()))
+                    .collect()
+            })
+            .collect(),
+        privacy_ledger: model
+            .privacy_budget()
+            .map(|b| {
+                b.ledger()
+                    .iter()
+                    .map(|e| (e.mechanism.clone(), e.epsilon.to_bits()))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+#[test]
+fn delta_fit_equals_full_refit_in_all_four_modes_at_1_2_and_8_workers() {
+    let ds = dataset();
+    let delta = gate_delta(&ds);
+    let updated = ds
+        .matrix
+        .apply_delta(delta.ratings(), delta.item_domains())
+        .unwrap();
+    let new_user = UserId(ds.matrix.n_users() as u32);
+    let probe_users: Vec<UserId> = ds
+        .overlap_users
+        .iter()
+        .copied()
+        .take(5)
+        .chain(ds.source_only_users.iter().copied().take(3))
+        .chain([new_user])
+        .collect();
+    let probe_items: Vec<ItemId> = updated
+        .items_in_domain(DomainId::TARGET)
+        .into_iter()
+        .take(12)
+        .collect();
+
+    for mode in [
+        XMapMode::NxMapItemBased,
+        XMapMode::NxMapUserBased,
+        XMapMode::XMapItemBased,
+        XMapMode::XMapUserBased,
+    ] {
+        let mut reference_costs: Option<Vec<f64>> = None;
+        for workers in GATE_WORKERS {
+            let mut incremental = XMapPipeline::fit(
+                &ds.matrix,
+                DomainId::SOURCE,
+                DomainId::TARGET,
+                config(mode, workers),
+            )
+            .unwrap();
+            let report = incremental.apply_delta(&delta).unwrap();
+            assert_eq!(report.n_delta_ratings, 6, "{mode:?}");
+            assert!(report.n_rescored_pairs > 0, "{mode:?}");
+            let refit = XMapPipeline::fit(
+                &updated,
+                DomainId::SOURCE,
+                DomainId::TARGET,
+                config(mode, workers),
+            )
+            .unwrap();
+
+            // the internal artifacts, bit for bit
+            assert_eq!(
+                incremental.graph(),
+                refit.graph(),
+                "{mode:?}/{workers}w: graph arenas diverged"
+            );
+            assert_eq!(
+                incremental.xsim(),
+                refit.xsim(),
+                "{mode:?}/{workers}w: X-Sim tables diverged"
+            );
+            // ... and the released surface
+            let inc_bits = released_bits(&incremental, &probe_users, &probe_items);
+            let ref_bits = released_bits(&refit, &probe_users, &probe_items);
+            assert_eq!(
+                inc_bits, ref_bits,
+                "{mode:?}/{workers}w: released bits diverged"
+            );
+
+            // the delta ledger is data-derived: identical at every worker count
+            let costs = incremental
+                .delta_task_costs()
+                .expect("apply_delta records its task bag");
+            assert!(costs.iter().all(|&c| c.is_finite() && c >= 0.0));
+            match &reference_costs {
+                None => reference_costs = Some(costs),
+                Some(expected) => {
+                    assert_eq!(
+                        &costs, expected,
+                        "{mode:?}: {workers} workers changed the delta ledger"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_deltas_compose_to_the_same_model_as_one_refit() {
+    // Two consecutive incremental batches must land on the same bits as a single
+    // refit on the final matrix — state carried between deltas (the scored-pair
+    // cache, spliced X-Sim rows, spliced pools) must not go stale.
+    let ds = dataset();
+    let mut model = XMapPipeline::fit(
+        &ds.matrix,
+        DomainId::SOURCE,
+        DomainId::TARGET,
+        config(XMapMode::NxMapItemBased, 2),
+    )
+    .unwrap();
+    let first = gate_delta(&ds);
+    model.apply_delta(&first).unwrap();
+    let mut second = RatingDelta::new();
+    second
+        .push_timed(ds.overlap_users[2].0, ds.target_items()[1].0, 4.0, 300)
+        .push_timed(ds.overlap_users[0].0, ds.target_items()[0].0, 5.0, 301);
+    model.apply_delta(&second).unwrap();
+
+    let updated = ds
+        .matrix
+        .apply_delta(first.ratings(), first.item_domains())
+        .unwrap()
+        .apply_delta(second.ratings(), second.item_domains())
+        .unwrap();
+    let refit = XMapPipeline::fit(
+        &updated,
+        DomainId::SOURCE,
+        DomainId::TARGET,
+        config(XMapMode::NxMapItemBased, 2),
+    )
+    .unwrap();
+    assert_eq!(model.graph(), refit.graph());
+    assert_eq!(model.xsim(), refit.xsim());
+    let probe_users: Vec<UserId> = ds.overlap_users.iter().copied().take(6).collect();
+    let probe_items: Vec<ItemId> = ds.target_items().into_iter().take(10).collect();
+    assert_eq!(
+        released_bits(&model, &probe_users, &probe_items),
+        released_bits(&refit, &probe_users, &probe_items)
+    );
+}
