@@ -1,0 +1,282 @@
+//! Serve-while-updating: readers against epoch-published snapshots during ingestion.
+//!
+//! The claim under test is the epoch-publication contract: a model absorbing rating
+//! deltas keeps answering top-N queries from wait-free snapshot readers, and the
+//! interleaving changes *which* epoch a read observes — never the bits an epoch answers
+//! with. Two deterministic gates run before anything is timed, in **all four modes** at
+//! **1, 2 and 8 readers**:
+//!
+//! 1. **bit-identity at epoch boundaries** — every interleaved read is bit-equal to the
+//!    same read against the serialized schedule (a fresh fit plus the same deltas
+//!    applied one at a time) at the read's observed epoch; the published epoch sequence
+//!    itself must be exactly `fit, +1, +1, ...`.
+//! 2. **wait-free readers** — reader p99 latency *during* ingestion stays within 2x of
+//!    idle-model serving at the same reader count (best-of-3 trials and a small
+//!    absolute floor absorb scheduler noise on micro-latency reads; the contract being
+//!    guarded is "readers never block on the writer", not a micro-benchmark).
+//!
+//! The criterion group then times the interleaved driver idle vs during ingestion.
+//! `XMAP_BENCH_SMOKE=1` shrinks the read volume so CI runs the bench end to end (the
+//! `concurrent-smoke` job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xmap_cf::knn::Profile;
+use xmap_cf::{DomainId, ItemId};
+use xmap_core::{PrivacyConfig, RatingDelta, XMapConfig, XMapMode, XMapModel, XMapPipeline};
+use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+
+const TOP_N: usize = 5;
+const READER_COUNTS: [usize; 3] = [1, 2, 8];
+/// Noise guard for the p99 gate: micro-latency reads on a shared CI core can be
+/// descheduled for longer than an entire idle batch takes; latencies below the floor
+/// are treated as "instant" rather than gated on their exact ratio.
+const P99_FLOOR: Duration = Duration::from_micros(200);
+
+fn smoke() -> bool {
+    std::env::var("XMAP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn workload() -> CrossDomainDataset {
+    CrossDomainDataset::generate(CrossDomainConfig {
+        n_source_items: 60,
+        n_target_items: 60,
+        n_source_only_users: 50,
+        n_target_only_users: 50,
+        n_overlap_users: 30,
+        ratings_per_user: 8,
+        latent_dim: 3,
+        noise: 0.3,
+        seed: 11,
+    })
+}
+
+fn config(mode: XMapMode) -> XMapConfig {
+    XMapConfig {
+        mode,
+        k: 8,
+        privacy: match mode {
+            XMapMode::XMapUserBased => PrivacyConfig::user_based_default(),
+            _ => PrivacyConfig::default(),
+        },
+        ..Default::default()
+    }
+}
+
+fn fit(ds: &CrossDomainDataset, mode: XMapMode) -> XMapModel {
+    XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config(mode))
+        .expect("the bench workload contains both domains")
+}
+
+/// Three deterministic ingest batches over existing overlap users and target items —
+/// each publishes one epoch during the interleaved run.
+fn deltas(ds: &CrossDomainDataset) -> Vec<RatingDelta> {
+    let users = &ds.overlap_users;
+    let items = ds.target_items();
+    (0..3usize)
+        .map(|batch| {
+            let mut delta = RatingDelta::new();
+            for ev in 0..4usize {
+                let ix = batch * 4 + ev;
+                let u = users[ix % users.len()];
+                let i = items[(ix * 5) % items.len()];
+                delta.push_timed(u.0, i.0, ((ix % 5) + 1) as f64, 2000 + ix as u32);
+            }
+            delta
+        })
+        .collect()
+}
+
+/// The served request set: AlterEgo profiles of source-side users, tiled to
+/// `total_reads` requests so the reader pool stays busy across every ingest.
+fn queries(model: &XMapModel, ds: &CrossDomainDataset, total_reads: usize) -> Vec<Profile> {
+    let seeds: Vec<Profile> = ds
+        .overlap_users
+        .iter()
+        .chain(ds.source_only_users.iter())
+        .take(8)
+        .map(|&u| model.alterego(u).profile)
+        .collect();
+    (0..total_reads)
+        .map(|ix| seeds[ix % seeds.len()].clone())
+        .collect()
+}
+
+type AnswerBits = Vec<(ItemId, u64)>;
+
+fn bits(answer: &[(ItemId, f64)]) -> AnswerBits {
+    answer.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+/// The serialized-schedule reference: a fresh fit, then the same deltas applied one at
+/// a time, capturing every query's answer at every epoch boundary. `tables[e - 1][q]`
+/// is query `q`'s bit-exact answer at epoch `e`.
+fn reference_tables(
+    ds: &CrossDomainDataset,
+    mode: XMapMode,
+    updates: &[RatingDelta],
+    requests: &[Profile],
+) -> Vec<Vec<AnswerBits>> {
+    let model = fit(ds, mode);
+    let answers = |m: &XMapModel| -> Vec<AnswerBits> {
+        let (_, snap) = m.snapshot();
+        requests
+            .iter()
+            .map(|p| bits(&snap.recommend_for_profile(p, TOP_N)))
+            .collect()
+    };
+    let mut tables = vec![answers(&model)];
+    for delta in updates {
+        model
+            .apply_delta(delta)
+            .expect("the serialized reference applies every delta");
+        tables.push(answers(&model));
+    }
+    tables
+}
+
+/// p99 of one interleaved run; `best_of` trials keep transient scheduler stalls out of
+/// the gate (the same model is reused — re-applying an identical delta is idempotent on
+/// the matrix and still exercises the full publish path).
+fn p99_of(
+    model: &XMapModel,
+    requests: &[Profile],
+    readers: usize,
+    updates: &[RatingDelta],
+    best_of: usize,
+) -> Duration {
+    (0..best_of)
+        .map(|_| {
+            let (_, report) = model
+                .serve_concurrent(requests, TOP_N, readers, updates)
+                .expect("bench deltas apply cleanly");
+            report.read_p99()
+        })
+        .min()
+        .expect("at least one trial runs")
+}
+
+fn interleave_gate() {
+    let ds = workload();
+    let updates = deltas(&ds);
+    // Enough reads that OS scheduler-quantum stragglers (a read descheduled while the
+    // ingest thread holds a timeslice on a shared core — CPU contention, not a lock)
+    // stay below the 1% the p99 discards. The gate targets what the design controls:
+    // readers never wait for a *delta* to complete, only for a core.
+    let total_reads = if smoke() { 1500 } else { 3000 };
+    for mode in [
+        XMapMode::NxMapItemBased,
+        XMapMode::NxMapUserBased,
+        XMapMode::XMapItemBased,
+        XMapMode::XMapUserBased,
+    ] {
+        let probe = fit(&ds, mode);
+        let requests = queries(&probe, &ds, total_reads);
+        let tables = reference_tables(&ds, mode, &updates, &requests);
+        for readers in READER_COUNTS {
+            let model = fit(&ds, mode);
+            let (reads, report) = model
+                .serve_concurrent(&requests, TOP_N, readers, &updates)
+                .expect("the interleaved run applies every delta");
+            assert_eq!(
+                reads.len(),
+                requests.len(),
+                "{mode:?}/{readers}r: lost reads"
+            );
+            assert_eq!(
+                model.epoch(),
+                1 + updates.len() as u64,
+                "{mode:?}/{readers}r: every delta must publish exactly one epoch"
+            );
+            // 1. bit-identity at the observed epoch boundary, for every read
+            for (q, read) in reads.iter().enumerate() {
+                assert!(
+                    (1..=1 + updates.len() as u64).contains(&read.epoch),
+                    "{mode:?}/{readers}r: read {q} observed unpublished epoch {}",
+                    read.epoch
+                );
+                assert_eq!(
+                    bits(&read.recommendations),
+                    tables[(read.epoch - 1) as usize][q],
+                    "{mode:?}/{readers}r: read {q} diverged from the serialized \
+                     schedule at epoch {}",
+                    read.epoch
+                );
+            }
+            // the ingest worker's published epochs are the serialized sequence
+            let published: Vec<u64> = report.ingests.iter().map(|i| i.epoch).collect();
+            assert_eq!(
+                published,
+                (2..=1 + updates.len() as u64).collect::<Vec<_>>(),
+                "{mode:?}/{readers}r: published epochs out of sequence"
+            );
+            // both sides of the interleave landed in ledgers
+            assert_eq!(
+                model
+                    .concurrent_read_task_costs()
+                    .expect("reads record task costs")
+                    .len(),
+                requests.len()
+            );
+            assert_eq!(
+                model
+                    .concurrent_ingest_task_costs()
+                    .expect("ingests record task costs")
+                    .len(),
+                updates.len()
+            );
+
+            // 2. wait-free readers: p99 during ingestion within 2x of idle serving
+            let idle = p99_of(&model, &requests, readers, &[], 5);
+            let during = p99_of(&model, &requests, readers, &updates, 5);
+            let observed: Vec<u64> = report.reads.iter().map(|r| r.epoch).collect();
+            let span = (
+                observed.iter().min().copied().unwrap_or(0),
+                observed.iter().max().copied().unwrap_or(0),
+            );
+            println!(
+                "concurrent_serve[{} @ {readers}r, epoch {}]: idle p99 {idle:?} vs during-ingest \
+                 p99 {during:?}; reads observed epochs {}..={}",
+                probe.label(),
+                model.epoch(),
+                span.0,
+                span.1
+            );
+            assert!(
+                during <= (idle.max(P99_FLOOR)) * 2,
+                "{mode:?}/{readers}r: ingestion stalled readers: p99 {during:?} vs idle {idle:?}"
+            );
+        }
+    }
+}
+
+fn bench_concurrent_serve(c: &mut Criterion) {
+    interleave_gate();
+
+    let ds = workload();
+    let updates = deltas(&ds);
+    let model = fit(&ds, XMapMode::NxMapItemBased);
+    let requests = queries(&model, &ds, if smoke() { 300 } else { 1000 });
+    let mut group = c.benchmark_group("concurrent_serve");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for readers in [1usize, 4] {
+        group.bench_function(format!("idle_readers_{readers}"), |b| {
+            b.iter(|| {
+                model
+                    .serve_concurrent(&requests, TOP_N, readers, &[])
+                    .expect("idle serving cannot fail")
+            })
+        });
+        group.bench_function(format!("during_ingest_readers_{readers}"), |b| {
+            b.iter(|| {
+                model
+                    .serve_concurrent(&requests, TOP_N, readers, &updates)
+                    .expect("bench deltas apply cleanly")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_serve);
+criterion_main!(benches);

@@ -26,7 +26,7 @@ use xmap_cf::{DomainId, ItemId, RatingMatrix};
 use xmap_core::recommend::{
     PrivateItemBasedRecommender, PrivateUserBasedRecommender, ProfileRecommender,
 };
-use xmap_core::{RecommendStage, ServeBatch};
+use xmap_core::{RecommendStage, ScratchPool, ServeBatch};
 use xmap_engine::Dataflow;
 use xmap_privacy::PrivacyBudget;
 
@@ -86,10 +86,11 @@ fn bench_user_based_serving(c: &mut Criterion) {
         &rescan_sample[..],
         "rescan oracle diverged"
     );
+    let pool = ScratchPool::new();
     let flow = Dataflow::new(1, 16);
     let batched = flow.run(
-        &RecommendStage::new(&rec),
-        ServeBatch::new(batch.clone(), TOP_N),
+        &RecommendStage::new(&rec, &pool),
+        ServeBatch::new(&batch, TOP_N),
     );
     assert_eq!(batched, reference, "batched stage diverged");
 
@@ -103,8 +104,8 @@ fn bench_user_based_serving(c: &mut Criterion) {
     let rescan_time = start.elapsed();
     let start = Instant::now();
     criterion::black_box(flow.run(
-        &RecommendStage::new(&rec),
-        ServeBatch::new(batch.clone(), TOP_N),
+        &RecommendStage::new(&rec, &pool),
+        ServeBatch::new(&batch, TOP_N),
     ));
     let batched_time = start.elapsed();
     println!(
@@ -134,10 +135,11 @@ fn bench_user_based_serving(c: &mut Criterion) {
     for workers in [1usize, 4] {
         group.bench_function(format!("batched_stage_workers_{workers}"), |b| {
             let flow = Dataflow::new(workers, 16);
+            let pool = ScratchPool::new();
             b.iter(|| {
                 flow.run(
-                    &RecommendStage::new(&rec),
-                    ServeBatch::new(batch.clone(), TOP_N),
+                    &RecommendStage::new(&rec, &pool),
+                    ServeBatch::new(&batch, TOP_N),
                 )
             })
         });

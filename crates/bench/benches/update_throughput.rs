@@ -125,7 +125,7 @@ fn bench_update_throughput(c: &mut Criterion) {
     let mut previous_cost = 0.0f64;
     for &size in delta_sizes {
         let delta = delta_of_size(&ds, size);
-        let mut model = fit(&ds.matrix);
+        let model = fit(&ds.matrix);
         let report = model.apply_delta(&delta).expect("delta applies cleanly");
         assert_eq!(report.n_delta_ratings, size);
         let delta_cost: f64 = model
@@ -181,7 +181,7 @@ fn bench_update_throughput(c: &mut Criterion) {
     let fixed = delta_sizes[1];
     let share = |ds: &CrossDomainDataset| -> (f64, f64) {
         let delta = delta_of_size(ds, fixed);
-        let mut model = fit(&ds.matrix);
+        let model = fit(&ds.matrix);
         model.apply_delta(&delta).expect("delta applies cleanly");
         let delta_cost: f64 = model.delta_task_costs().unwrap().iter().sum();
         let updated = ds
@@ -210,7 +210,7 @@ fn bench_update_throughput(c: &mut Criterion) {
 
     // --- Wall clock + cluster replay of the delta bag. ---
     let delta = delta_of_size(&ds, fixed);
-    let mut model = fit(&ds.matrix);
+    let model = fit(&ds.matrix);
     let start = Instant::now();
     model.apply_delta(&delta).expect("delta applies cleanly");
     let apply_time = start.elapsed();
@@ -246,7 +246,7 @@ fn bench_update_throughput(c: &mut Criterion) {
         // baseline to compare slopes against, not absolute numbers.
         group.bench_function(format!("fit_plus_delta_{size}"), |b| {
             b.iter(|| {
-                let mut model = fit(&ds.matrix);
+                let model = fit(&ds.matrix);
                 model.apply_delta(&delta).expect("delta applies cleanly");
                 model
             })

@@ -92,8 +92,10 @@ type FitLedgers = Vec<(&'static str, Vec<f64>)>;
 /// engine-parallel evaluation is bit-identical to the serial reference throughout —
 /// and that the fit's own task-cost ledgers (`baseliner` / `extender` / `generator` /
 /// `recommender`) are identical at every worker count.
-/// Returns the (shared) report plus the fit ledgers.
-fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
+/// Returns the (shared) report, the fit ledgers, and the model epoch the gated ledgers
+/// describe (fit = epoch 1, plus one pinned delta = epoch 2) — stamped into the JSON
+/// report so bench output is attributable to a model version.
+fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers, u64) {
     let split = runner.split(None);
     let batch = runner.eval_batch(&split);
     assert!(
@@ -107,13 +109,19 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
             workers,
             ..*runner.base_config()
         };
-        let mut model = XMapPipeline::fit(&split.train, source, target, config)
+        let model = XMapPipeline::fit(&split.train, source, target, config)
             .expect("smoke dataset contains both domains");
+        assert_eq!(
+            model.epoch(),
+            1,
+            "{workers} workers: a fresh fit is epoch 1"
+        );
+        let stats = model.stats();
         let mut fit_ledgers: FitLedgers = vec![
-            ("baseliner", model.stats().baseliner_task_costs.clone()),
-            ("extender", model.stats().extension_task_costs.clone()),
-            ("generator", model.stats().generator_task_costs.clone()),
-            ("recommender", model.stats().recommender_task_costs.clone()),
+            ("baseliner", stats.baseliner_task_costs.clone()),
+            ("extender", stats.extension_task_costs.clone()),
+            ("generator", stats.generator_task_costs.clone()),
+            ("recommender", stats.recommender_task_costs.clone()),
         ];
         for (name, bag) in &fit_ledgers {
             assert!(
@@ -153,6 +161,11 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
             delta_report.n_rescored_pairs > 0,
             "{workers} workers: the smoke delta must re-score at least one pair"
         );
+        assert_eq!(
+            (delta_report.epoch, model.epoch()),
+            (2, 2),
+            "{workers} workers: the smoke delta must publish epoch 2"
+        );
         let delta_bag = model
             .delta_task_costs()
             .expect("apply_delta records its task bag");
@@ -180,7 +193,7 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers) {
         }
     }
     let (report, _, ledgers) = reference.expect("at least one worker count ran");
-    (report, ledgers)
+    (report, ledgers, 2)
 }
 
 fn smoke_sweeps() -> Vec<(SweepSpec, SweepSeries)> {
@@ -259,9 +272,10 @@ fn series_to_json(spec: &SweepSpec, series: &SweepSeries) -> Json {
 fn eval_smoke(args: &[String]) -> ExitCode {
     println!("# eval-smoke: engine-parallel evaluation gate");
     let runner = smoke_runner(XMapMode::NxMapItemBased);
-    let (report, fit_ledgers) = run_determinism_gate(&runner);
+    let (report, fit_ledgers, model_epoch) = run_determinism_gate(&runner);
     println!(
-        "determinism: EvalStage bit-identical to the serial reference at {GATE_WORKERS:?} workers"
+        "determinism: EvalStage bit-identical to the serial reference at {GATE_WORKERS:?} workers \
+         (ledgers describe model epoch {model_epoch})"
     );
     for (name, bag) in &fit_ledgers {
         println!(
@@ -299,6 +313,7 @@ fn eval_smoke(args: &[String]) -> ExitCode {
             Json::Arr(GATE_WORKERS.iter().map(|&w| Json::Num(w as f64)).collect()),
         ),
         ("bit_identical", Json::Bool(true)),
+        ("model_epoch", Json::Num(model_epoch as f64)),
         ("eval", report_to_json(&report)),
         ("fit", fit_ledgers_to_json(&fit_ledgers)),
         (
@@ -357,6 +372,15 @@ fn diff_against_baseline(current: &Json, baseline: &Json) -> Vec<String> {
             )),
         }
     }
+
+    // The epoch the gated ledgers describe: fit (1) plus the pinned smoke delta (2).
+    // A drift here means the gate's fit/delta sequence itself changed.
+    check(
+        &mut drift,
+        "model_epoch".to_string(),
+        current.get("model_epoch").and_then(Json::as_f64),
+        baseline.get("model_epoch").and_then(Json::as_f64),
+    );
 
     for field in [
         "mae",

@@ -26,6 +26,7 @@ pub mod error;
 pub mod ids;
 pub mod knn;
 pub mod matrix;
+pub mod mrv;
 pub mod rating;
 pub mod similarity;
 pub mod temporal;
@@ -35,5 +36,6 @@ pub use error::{CfError, Result};
 pub use ids::{DomainId, ItemId, UserId};
 pub use knn::{CandidateScratch, ItemKnn, ItemKnnConfig, UserKnn, UserKnnConfig};
 pub use matrix::{RatingMatrix, RatingMatrixBuilder};
+pub use mrv::{MrvCell, MrvCounterSplit, MrvShard, MrvSplit};
 pub use rating::{Rating, Timestep};
 pub use similarity::{SimilarityMetric, SimilarityStats};

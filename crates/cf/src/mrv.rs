@@ -1,0 +1,443 @@
+//! MRV-split accumulators: deterministic sharding of write-side hotspots.
+//!
+//! When many rating deltas touch the same hot key — a prolific user whose average is
+//! being maintained, or a head-of-power-law item whose similarity statistics absorb
+//! most co-rating updates — a single accumulator cell serializes every update. The
+//! *Multi-Record Values* technique (Faria & Pereira, SIGMOD 2023) splits one logical
+//! value into `n_shards` physical records so commutative updates land on different
+//! shards and proceed in parallel; reading the value merges the shards.
+//!
+//! Floating-point addition is **not** associative, so a naive MRV split would let the
+//! merged bits depend on which thread got which update. This module therefore makes
+//! both the routing and the merge *data-derived and deterministic*:
+//!
+//! * an update's shard is a pure function of its **occurrence position** in the event
+//!   sequence (`position % n_shards`), never of the executing thread;
+//! * each shard folds its sub-sequence in position order;
+//! * [`MrvSplit::merge`] folds the shard partials in shard-index order.
+//!
+//! The *serial reference* of an MRV accumulator is this exact routed fold executed on
+//! one thread ([`MrvSplit::serial`]). Any parallel execution that assigns whole shards
+//! to tasks reproduces the reference bit-for-bit, because every shard sees the same
+//! sub-sequence in the same order and the merge order is fixed. Integer counters
+//! ([`MrvCounterSplit`]) are exactly commutative, but they go through the same routed
+//! discipline so both accumulator families share one contract.
+//!
+//! [`route_events`] / [`merge_cells`] extend the split from one hot key to a batch of
+//! keyed events (per-user rating sums, per-item touch counts): events are routed to
+//! `(key, shard)` cells by their per-key occurrence index, cells can be folded
+//! independently (one task per cell), and the merge recombines cells in `(key, shard)`
+//! order.
+
+use serde::{Deserialize, Serialize};
+
+/// One shard of a floating-point sum/count accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MrvShard {
+    /// Sum of the values routed to this shard, folded in position order.
+    pub sum: f64,
+    /// Number of values routed to this shard.
+    pub count: u64,
+}
+
+impl MrvShard {
+    /// The empty shard (identity of the merge).
+    pub fn empty() -> Self {
+        MrvShard::default()
+    }
+
+    /// Folds one value into the shard.
+    pub fn record(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Folds another shard partial into this one (used by the in-order merge).
+    pub fn absorb(&mut self, other: &MrvShard) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// The mean of the accumulated values, or `None` if the shard is empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// One logical floating-point accumulator split into position-routed shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrvSplit {
+    shards: Vec<MrvShard>,
+}
+
+impl MrvSplit {
+    /// Creates a split with `n_shards` empty shards (clamped to at least one).
+    pub fn new(n_shards: usize) -> Self {
+        MrvSplit {
+            shards: vec![MrvShard::empty(); n_shards.max(1)],
+        }
+    }
+
+    /// Assembles a split from externally folded shard partials (the parallel path:
+    /// one task folds each shard's sub-sequence, then hands the partials back here).
+    pub fn from_shards(shards: Vec<MrvShard>) -> Self {
+        assert!(!shards.is_empty(), "an MRV split needs at least one shard");
+        MrvSplit { shards }
+    }
+
+    /// The serial reference: routes every value by its position and folds the shards
+    /// on the calling thread. Parallel executions must be bit-equal to this.
+    pub fn serial(values: &[f64], n_shards: usize) -> Self {
+        let mut split = MrvSplit::new(n_shards);
+        for (position, &value) in values.iter().enumerate() {
+            split.record(position, value);
+        }
+        split
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an update at `position` is routed to. Pure function of the data's
+    /// position in the event sequence — never of the executing thread.
+    pub fn shard_of(&self, position: usize) -> usize {
+        position % self.shards.len()
+    }
+
+    /// Routes `value` (the `position`-th event of the sequence) to its shard.
+    pub fn record(&mut self, position: usize, value: f64) {
+        let shard = self.shard_of(position);
+        self.shards[shard].record(value);
+    }
+
+    /// The shard partials, in shard-index order.
+    pub fn shards(&self) -> &[MrvShard] {
+        &self.shards
+    }
+
+    /// Merges the shard partials in shard-index order. This order is part of the
+    /// contract: it is what makes the merged bits independent of which thread folded
+    /// which shard.
+    pub fn merge(&self) -> MrvShard {
+        let mut total = MrvShard::empty();
+        for shard in &self.shards {
+            total.absorb(shard);
+        }
+        total
+    }
+}
+
+/// One logical integer counter split into position-routed shards. Integer addition is
+/// exactly commutative, but the counter goes through the same routing discipline as
+/// [`MrvSplit`] so both accumulator families verify against one serial reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrvCounterSplit {
+    shards: Vec<u64>,
+}
+
+impl MrvCounterSplit {
+    /// Creates a split with `n_shards` zeroed shards (clamped to at least one).
+    pub fn new(n_shards: usize) -> Self {
+        MrvCounterSplit {
+            shards: vec![0; n_shards.max(1)],
+        }
+    }
+
+    /// Assembles a split from externally folded shard partials.
+    pub fn from_shards(shards: Vec<u64>) -> Self {
+        assert!(!shards.is_empty(), "an MRV split needs at least one shard");
+        MrvCounterSplit { shards }
+    }
+
+    /// The shard an update at `position` is routed to.
+    pub fn shard_of(&self, position: usize) -> usize {
+        position % self.shards.len()
+    }
+
+    /// Adds `amount` to the shard owning `position`.
+    pub fn add(&mut self, position: usize, amount: u64) {
+        let shard = self.shard_of(position);
+        self.shards[shard] += amount;
+    }
+
+    /// The shard partials, in shard-index order.
+    pub fn shards(&self) -> &[u64] {
+        &self.shards
+    }
+
+    /// Merges the shard partials in shard-index order.
+    pub fn merge(&self) -> u64 {
+        self.shards.iter().sum()
+    }
+}
+
+/// One `(key, shard)` cell of a keyed MRV accumulation: the sub-sequence of values a
+/// single fold task will consume, in position order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrvCell<K> {
+    /// The hot key this cell contributes to.
+    pub key: K,
+    /// Which of the key's shards this cell is.
+    pub shard: usize,
+    /// The values routed here, in the order they occurred in the event stream.
+    pub values: Vec<f64>,
+}
+
+impl<K> MrvCell<K> {
+    /// Folds this cell's values in order — the unit of parallel work.
+    pub fn fold(&self) -> MrvShard {
+        let mut shard = MrvShard::empty();
+        for &value in &self.values {
+            shard.record(value);
+        }
+        shard
+    }
+}
+
+/// Routes a stream of keyed events into `(key, shard)` cells.
+///
+/// An event's shard is its **per-key occurrence index** modulo `n_shards`, so routing
+/// depends only on the data. The returned cells are sorted by `(key, shard)` — the
+/// deterministic merge order — and each cell's values appear in stream order. Cells
+/// can then be folded independently ([`MrvCell::fold`], one task per cell) and the
+/// partials recombined with [`merge_cells`].
+pub fn route_events<K, I>(events: I, n_shards: usize) -> Vec<MrvCell<K>>
+where
+    K: Copy + Ord,
+    I: IntoIterator<Item = (K, f64)>,
+{
+    let n_shards = n_shards.max(1);
+    // Tag each event with its per-key occurrence index, then group by (key, shard).
+    let mut tagged: Vec<(K, usize, usize, f64)> = Vec::new();
+    let mut seen: Vec<(K, usize)> = Vec::new();
+    for (position, (key, value)) in events.into_iter().enumerate() {
+        let occurrence = match seen.binary_search_by(|probe| probe.0.cmp(&key)) {
+            Ok(ix) => {
+                let occ = seen[ix].1;
+                seen[ix].1 += 1;
+                occ
+            }
+            Err(ix) => {
+                seen.insert(ix, (key, 1));
+                0
+            }
+        };
+        tagged.push((key, occurrence % n_shards, position, value));
+    }
+    tagged.sort_by_key(|t| (t.0, t.1, t.2));
+
+    let mut cells: Vec<MrvCell<K>> = Vec::new();
+    for (key, shard, _, value) in tagged {
+        match cells.last_mut() {
+            Some(cell) if cell.key == key && cell.shard == shard => cell.values.push(value),
+            _ => cells.push(MrvCell {
+                key,
+                shard,
+                values: vec![value],
+            }),
+        }
+    }
+    cells
+}
+
+/// Merges folded cell partials back into one accumulator value per key.
+///
+/// `folded` must pair each cell key of a [`route_events`] result with its fold, in
+/// the same (already deterministic) `(key, shard)` order. Returns `(key, merged)`
+/// pairs sorted by key.
+pub fn merge_cells<K, I>(folded: I) -> Vec<(K, MrvShard)>
+where
+    K: Copy + Ord,
+    I: IntoIterator<Item = (K, MrvShard)>,
+{
+    let mut merged: Vec<(K, MrvShard)> = Vec::new();
+    for (key, partial) in folded {
+        match merged.last_mut() {
+            Some((last, total)) if *last == key => total.absorb(&partial),
+            _ => merged.push((key, partial)),
+        }
+    }
+    merged
+}
+
+/// The serial reference of a keyed MRV accumulation: route, fold and merge on the
+/// calling thread. Parallel executions over the same routed cells are bit-equal.
+pub fn serial_keyed_reference<K, I>(events: I, n_shards: usize) -> Vec<(K, MrvShard)>
+where
+    K: Copy + Ord,
+    I: IntoIterator<Item = (K, f64)>,
+{
+    let cells = route_events(events, n_shards);
+    merge_cells(cells.into_iter().map(|c| (c.key, c.fold())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn threaded_split(values: &[f64], n_shards: usize) -> MrvSplit {
+        // One thread per shard, each folding its own routed sub-sequence.
+        let n_shards = n_shards.max(1);
+        let shards: Vec<MrvShard> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_shards)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut partial = MrvShard::empty();
+                        for (position, &value) in values.iter().enumerate() {
+                            if position % n_shards == shard {
+                                partial.record(value);
+                            }
+                        }
+                        partial
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        MrvSplit::from_shards(shards)
+    }
+
+    #[test]
+    fn empty_split_merges_to_identity() {
+        let split = MrvSplit::new(4);
+        assert_eq!(split.merge(), MrvShard::empty());
+        assert_eq!(split.merge().mean(), None);
+        assert_eq!(MrvCounterSplit::new(3).merge(), 0);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_a_plain_fold() {
+        let values = [1.5, 2.25, -0.75, 4.0];
+        let split = MrvSplit::serial(&values, 1);
+        let plain: f64 = values.iter().fold(0.0, |acc, v| acc + v);
+        assert_eq!(split.merge().sum.to_bits(), plain.to_bits());
+        assert_eq!(split.merge().count, 4);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        assert_eq!(MrvSplit::new(0).n_shards(), 1);
+        assert_eq!(MrvCounterSplit::new(0).shards().len(), 1);
+    }
+
+    #[test]
+    fn threaded_shard_folds_match_the_serial_reference_bits() {
+        // Values chosen to expose non-associativity if the routing or merge order
+        // ever differed between the serial and threaded paths.
+        let values: Vec<f64> = (0..257)
+            .map(|i| (i as f64 * 0.1).sin() * 10f64.powi((i % 7) - 3))
+            .collect();
+        for n_shards in [1, 2, 3, 8, 16] {
+            let serial = MrvSplit::serial(&values, n_shards);
+            let threaded = threaded_split(&values, n_shards);
+            assert_eq!(serial.shards(), threaded.shards());
+            assert_eq!(
+                serial.merge().sum.to_bits(),
+                threaded.merge().sum.to_bits(),
+                "merge bits diverged at {n_shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_split_is_exact() {
+        let mut counter = MrvCounterSplit::new(4);
+        for position in 0..100 {
+            counter.add(position, (position % 3) as u64);
+        }
+        let expected: u64 = (0..100u64).map(|p| p % 3).sum();
+        assert_eq!(counter.merge(), expected);
+        // Shard partials partition the total.
+        assert_eq!(counter.shards().iter().sum::<u64>(), expected);
+    }
+
+    #[test]
+    fn keyed_routing_orders_cells_and_preserves_stream_order() {
+        let events = [(2u32, 1.0), (1, 2.0), (2, 3.0), (2, 4.0), (1, 5.0)];
+        let cells = route_events(events, 2);
+        // key 1: occurrences 0,1 → shards 0,1; key 2: occurrences 0,1,2 → shards 0,1,0
+        let shape: Vec<(u32, usize, &[f64])> = cells
+            .iter()
+            .map(|c| (c.key, c.shard, c.values.as_slice()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (1, 0, &[2.0][..]),
+                (1, 1, &[5.0][..]),
+                (2, 0, &[1.0, 4.0][..]),
+                (2, 1, &[3.0][..]),
+            ]
+        );
+        let merged = serial_keyed_reference(events, 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].0, 1);
+        assert_eq!(merged[0].1.count, 2);
+        assert_eq!(merged[1].0, 2);
+        assert_eq!(merged[1].1.count, 3);
+    }
+
+    #[test]
+    fn keyed_cells_folded_on_threads_match_the_serial_reference() {
+        let events: Vec<(u32, f64)> = (0..300)
+            .map(|i| ((i * 7 % 13) as u32, (i as f64 * 0.3).cos() * 3.7))
+            .collect();
+        for n_shards in [1, 2, 4, 8] {
+            let reference = serial_keyed_reference(events.iter().copied(), n_shards);
+            let cells = route_events(events.iter().copied(), n_shards);
+            let folds: Vec<MrvShard> = std::thread::scope(|scope| {
+                let handles: Vec<_> = cells
+                    .iter()
+                    .map(|cell| scope.spawn(move || cell.fold()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let merged = merge_cells(cells.into_iter().map(|c| c.key).zip(folds));
+            assert_eq!(merged.len(), reference.len());
+            for ((k1, s1), (k2, s2)) in merged.iter().zip(&reference) {
+                assert_eq!(k1, k2);
+                assert_eq!(s1.count, s2.count);
+                assert_eq!(s1.sum.to_bits(), s2.sum.to_bits(), "key {k1} diverged");
+            }
+        }
+    }
+
+    proptest! {
+        /// Shard-parallel folds are bit-equal to the serial reference for arbitrary
+        /// value streams and shard counts.
+        #[test]
+        fn split_matches_reference(
+            values in proptest::collection::vec(-1e6f64..1e6, 0..200),
+            n_shards in 1usize..12,
+        ) {
+            let serial = MrvSplit::serial(&values, n_shards);
+            let threaded = threaded_split(&values, n_shards);
+            prop_assert_eq!(serial.shards(), threaded.shards());
+            prop_assert_eq!(
+                serial.merge().sum.to_bits(),
+                threaded.merge().sum.to_bits()
+            );
+            prop_assert_eq!(serial.merge().count, values.len() as u64);
+        }
+
+        /// Keyed routing covers every event exactly once and merge counts add up.
+        #[test]
+        fn keyed_routing_partitions_events(
+            events in proptest::collection::vec((0u32..20, -1e3f64..1e3), 0..150),
+            n_shards in 1usize..8,
+        ) {
+            let cells = route_events(events.iter().copied(), n_shards);
+            let routed: usize = cells.iter().map(|c| c.values.len()).sum();
+            prop_assert_eq!(routed, events.len());
+            for w in cells.windows(2) {
+                prop_assert!((w[0].key, w[0].shard) < (w[1].key, w[1].shard));
+            }
+            let merged = merge_cells(cells.into_iter().map(|c| (c.key, c.fold())));
+            let total: u64 = merged.iter().map(|(_, s)| s.count).sum();
+            prop_assert_eq!(total, events.len() as u64);
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Incremental model maintenance (delta fit) on the Dataflow engine.
+//! Incremental model maintenance (delta fit) on the Dataflow engine, with
+//! build-aside-then-publish epoch semantics.
 //!
 //! A deployed X-Map model keeps absorbing new ratings; refitting on the full trace for
 //! every batch would make update cost scale with history rather than with the update.
@@ -22,6 +23,30 @@
 //! 5. the item-based kNN pools are re-scored only for target items with an affected
 //!    target-domain pair.
 //!
+//! ## Build aside, swap, drain, retire
+//!
+//! `apply_delta` is `&self`: it never mutates the served model in place. It takes an
+//! epoch snapshot as its base, constructs every updated piece *aside*, wraps them into
+//! the next [`ModelEpoch`] — pieces the delta did not touch are **shared** with the
+//! base epoch through their `Arc`s (the whole graph arena when no pair was re-scored,
+//! the X-Sim/replacement tables when no row was within meta-path reach, the recommender
+//! when the target-domain training matrix is unchanged) — and publishes the epoch with
+//! one pointer swap on the model's `EpochHandle`. Readers serving from the previous
+//! epoch finish undisturbed; the old epoch is retired once its last snapshot drops.
+//! Writers serialize on the model's ingest lock.
+//!
+//! ## MRV-split ingest accumulators
+//!
+//! The write-side hotspot accumulators of an ingest — per-user rating sums (a prolific
+//! user's average) and per-item touch counts (a head-of-power-law item absorbing most
+//! co-rating updates) — are maintained MRV-style (`xmap_cf::mrv`): each hot key's
+//! updates are routed to [`INGEST_MRV_SHARDS`] position-routed shards, the `(key,
+//! shard)` cells fold partition-parallel on the dataflow, and the partials merge in
+//! `(key, shard)` order — so commutative updates don't serialize on one cell, yet the
+//! published bits equal the serial routed fold exactly. The merged per-user keys *are*
+//! the delta's affected-user set, and the merged statistics are published as
+//! [`IngestAccumulators`].
+//!
 //! All partitioned work runs as one [`DeltaStage`] on the model's own dataflow, so the
 //! per-partition data-derived costs land in a `"delta"` ledger
 //! ([`XMapModel::delta_task_costs`]) the `update_throughput` bench replays on the
@@ -30,22 +55,32 @@
 
 use crate::config::XMapMode;
 use crate::generator::AlterEgoGenerator;
-use crate::pipeline::{recommender_from_pools, XMapModel};
+use crate::pipeline::{recommender_from_pools, ModelEpoch, XMapModel};
 use crate::recommend::{
-    PrivateItemBasedRecommender, PrivateUserBasedRecommender, UserBasedRecommender,
+    PrivateItemBasedRecommender, PrivateUserBasedRecommender, ProfileRecommender,
+    UserBasedRecommender,
 };
 use crate::{Result, XMapError};
 use std::collections::VecDeque;
-use std::sync::Mutex;
-use xmap_cf::knn::{CandidateScratch, ItemKnn, ItemKnnConfig, ItemNeighbor};
+use std::sync::{Arc, Mutex};
+use xmap_cf::knn::{CandidateScratch, ItemKnn, ItemKnnConfig, ItemNeighbor, Profile};
+use xmap_cf::mrv::{self, MrvCell, MrvShard};
 use xmap_cf::similarity::item_similarity_stats;
 use xmap_cf::{DomainId, ItemId, Rating, RatingMatrix, SimilarityStats, Timestep, UserId};
-use xmap_engine::{Stage, StageContext};
+use xmap_engine::{
+    ConcurrentIngest, ConcurrentRead, ConcurrentReport, ConcurrentStage, Stage, StageContext,
+    CONCURRENT_INGEST_STAGE, CONCURRENT_READ_STAGE,
+};
 use xmap_graph::{BridgeIndex, LayerPartition, SimilarityGraph};
 use xmap_privacy::PrivacyBudget;
 
 /// Ledger key of the delta stage.
 pub const DELTA_STAGE_NAME: &str = "delta";
+
+/// Shard fan-out of the ingest-side MRV accumulators: each hot key's updates are split
+/// across this many position-routed shards (see `xmap_cf::mrv`). The fan-out is part of
+/// the routing function, so it must stay fixed for the accumulators to be reproducible.
+pub const INGEST_MRV_SHARDS: usize = 8;
 
 /// A batch of rating-trace updates: new or updated ratings (possibly introducing new
 /// users) plus domain declarations for new items.
@@ -115,6 +150,8 @@ impl RatingDelta {
 /// for the `update_throughput` bench's cost-scaling assertions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DeltaReport {
+    /// The epoch this delta published (monotonic; the fit itself is epoch 1).
+    pub epoch: u64,
     /// Rating events applied.
     pub n_delta_ratings: usize,
     /// Distinct users touched by the delta.
@@ -129,6 +166,34 @@ pub struct DeltaReport {
     pub n_replacement_draws: usize,
     /// Item-kNN pools re-fitted (0 for the user-based modes).
     pub n_pool_refits: usize,
+}
+
+/// The MRV-merged write-side accumulators of one delta ingest, published alongside the
+/// epoch (see [`XMapModel::ingest_accumulators`]).
+///
+/// Both vectors come out of the deterministic `(key, shard)` merge of `xmap_cf::mrv`,
+/// so they are bit-equal to `mrv::serial_keyed_reference` over the delta's event stream
+/// at any worker count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestAccumulators {
+    /// How many position-routed shards each hot key's updates were split across.
+    pub n_shards: usize,
+    /// Per-user `(sum, count)` of the delta's rating values, sorted by user. The keys
+    /// of this vector are the delta's affected-user set.
+    pub user_stats: Vec<(UserId, MrvShard)>,
+    /// Per-item update counts of the delta, sorted by item.
+    pub item_touches: Vec<(ItemId, u64)>,
+}
+
+/// One read answered by [`XMapModel::serve_concurrent`]: the recommendations plus the
+/// epoch of the snapshot that produced them — the boundary against which the serialized
+/// reference must be bit-equal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServedRead {
+    /// The epoch the read's snapshot observed.
+    pub epoch: u64,
+    /// The top-N recommendations served from that epoch.
+    pub recommendations: Vec<(ItemId, f64)>,
 }
 
 /// Source-domain items whose X-Sim row could differ between the old and updated graph:
@@ -205,25 +270,55 @@ fn affected_pool_items(target_matrix: &RatingMatrix, affected_users: &[UserId]) 
     items
 }
 
-/// Everything a delta fit rebuilds, handed back to [`XMapModel::apply_delta`].
+/// Folds the routed `(key, shard)` cells of one MRV accumulation partition-parallel
+/// (one data-derived cost per partition: `Σ |values|` — a fold's work is the values it
+/// folds) and merges the partials in the deterministic `(key, shard)` order. Bit-equal
+/// to `mrv::serial_keyed_reference` at any worker count because the outputs come back
+/// in routing order.
+fn fold_routed_cells<K>(cells: Vec<MrvCell<K>>, cx: &mut StageContext<'_>) -> Vec<(K, MrvShard)>
+where
+    K: Copy + Ord + Send + Sync,
+{
+    let folded: Vec<(K, MrvShard)> = cx.map_items_ordered(cells, |_ix, part| {
+        let outs: Vec<(K, MrvShard)> = part.iter().map(|(_, c)| (c.key, c.fold())).collect();
+        let cost: f64 = part.iter().map(|(_, c)| c.values.len() as f64).sum();
+        (outs, cost)
+    });
+    mrv::merge_cells(folded)
+}
+
+/// Everything a delta fit rebuilds, handed back to [`XMapModel::apply_delta`]. Each
+/// A refitted recommender plus, for the item-based modes, its freshly spliced kNN
+/// pools (`None` for the user-based modes, which keep no pools).
+type RecommenderRefit = (
+    Box<dyn ProfileRecommender + Send + Sync>,
+    Option<Vec<Vec<ItemNeighbor>>>,
+);
+
+/// `None` means "bit-identical to the base epoch — share its `Arc`, don't copy".
 struct DeltaParts {
-    graph: SimilarityGraph,
-    bridges: BridgeIndex,
-    partition: LayerPartition,
-    xsim: crate::xsim::XSimTable,
-    replacements: crate::generator::ReplacementTable,
-    recommender: Box<dyn crate::recommend::ProfileRecommender + Send + Sync>,
-    item_pools: Option<Vec<Vec<ItemNeighbor>>>,
-    n_target_ratings: usize,
+    /// The re-scored graph with its bridges and layer partition; `None` when no pair
+    /// was re-scored and no item was added.
+    graph: Option<(SimilarityGraph, BridgeIndex, LayerPartition)>,
+    /// `None` when no source row was within meta-path reach of a change.
+    xsim: Option<crate::xsim::XSimTable>,
+    /// `None` exactly when `xsim` is (replacements re-draw per recomputed row).
+    replacements: Option<crate::generator::ReplacementTable>,
+    /// The refitted recommender and (item-based modes) spliced pools; `None` when the
+    /// target-domain training matrix is unchanged by the delta.
+    recommender: Option<RecommenderRefit>,
+    /// `None` when the target matrix (and so its rating count) is unchanged.
+    n_target_ratings: Option<usize>,
+    accumulators: IngestAccumulators,
     report: DeltaReport,
 }
 
 /// The delta stage: all affected-item work of an incremental fit, run as one stage so
 /// every partitioned map's data-derived costs accumulate in the `"delta"` ledger.
 struct DeltaStage<'a> {
-    model: &'a XMapModel,
+    base: &'a ModelEpoch,
     updated: &'a RatingMatrix,
-    affected_users: &'a [UserId],
+    delta: &'a RatingDelta,
     budget: Option<&'a Mutex<PrivacyBudget>>,
 }
 
@@ -235,69 +330,112 @@ impl Stage<()> for DeltaStage<'_> {
     }
 
     fn run(&self, _input: (), cx: &mut StageContext<'_>) -> Result<DeltaParts> {
-        let model = self.model;
+        let base = self.base;
         let updated = self.updated;
-        let config = model.config;
-        let mut report = DeltaReport {
-            n_affected_users: self.affected_users.len(),
-            ..DeltaReport::default()
+        let delta = self.delta;
+        let config = base.config;
+        let mut report = DeltaReport::default();
+
+        // --- 0. MRV ingest accumulators: route the delta's rating events to
+        // (key, shard) cells by per-key occurrence position, fold the cells
+        // partition-parallel, merge in (key, shard) order. The merged user keys are
+        // the affected-user set every later step consumes. ---
+        let user_cells = mrv::route_events(
+            delta.ratings().iter().map(|r| (r.user, r.value)),
+            INGEST_MRV_SHARDS,
+        );
+        let item_cells = mrv::route_events(
+            delta.ratings().iter().map(|r| (r.item, 1.0)),
+            INGEST_MRV_SHARDS,
+        );
+        let user_stats = fold_routed_cells(user_cells, cx);
+        let item_stats = fold_routed_cells(item_cells, cx);
+        let affected_users: Vec<UserId> = user_stats.iter().map(|&(u, _)| u).collect();
+        report.n_affected_users = affected_users.len();
+        let accumulators = IngestAccumulators {
+            n_shards: INGEST_MRV_SHARDS,
+            user_stats,
+            item_touches: item_stats.iter().map(|&(i, s)| (i, s.count)).collect(),
         };
 
         // --- 1. Similarity graph: re-score exactly the affected pair keys,
         // partition-parallel (the baseliner's partitioning and cost model), then merge
-        // with the cached statistics of every unaffected stored pair. ---
-        let dirty = SimilarityGraph::dirty_items(updated, self.affected_users);
+        // with the cached statistics of every unaffected stored pair. If nothing is
+        // affected and no item was added, the whole arena is shared with the base
+        // epoch instead of copied. ---
+        let dirty = SimilarityGraph::dirty_items(updated, &affected_users);
         let keys = SimilarityGraph::affected_pair_keys(updated, &dirty);
         report.n_dirty_items = dirty.len();
         report.n_rescored_pairs = keys.len();
-        let graph_config = model.graph.config();
-        let positions: Vec<usize> = (0..keys.len()).collect();
-        let fresh: Vec<SimilarityStats> = cx.map_items_ordered(positions, |_ix, part| {
-            let outs: Vec<SimilarityStats> = part
-                .iter()
-                .map(|&(_, key_ix)| {
-                    let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
-                    item_similarity_stats(updated, lo, hi, graph_config.metric)
-                })
-                .collect();
-            let cost: f64 = part
-                .iter()
-                .map(|&(_, key_ix)| {
-                    let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
-                    1.0 + (updated.item_degree(lo) + updated.item_degree(hi)) as f64
-                })
-                .sum();
-            (outs, cost)
-        });
-        let graph = model.graph.apply_updates(updated, &keys, fresh);
+        let share_graph = keys.is_empty() && updated.n_items() == base.full.n_items();
+        let rebuilt_graph: Option<(SimilarityGraph, BridgeIndex, LayerPartition)> = if share_graph {
+            None
+        } else {
+            let graph_config = base.graph.config();
+            let positions: Vec<usize> = (0..keys.len()).collect();
+            let fresh: Vec<SimilarityStats> = cx.map_items_ordered(positions, |_ix, part| {
+                let outs: Vec<SimilarityStats> = part
+                    .iter()
+                    .map(|&(_, key_ix)| {
+                        let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
+                        item_similarity_stats(updated, lo, hi, graph_config.metric)
+                    })
+                    .collect();
+                let cost: f64 = part
+                    .iter()
+                    .map(|&(_, key_ix)| {
+                        let (lo, hi) = SimilarityGraph::pair_of_key(keys[key_ix]);
+                        1.0 + (updated.item_degree(lo) + updated.item_degree(hi)) as f64
+                    })
+                    .sum();
+                (outs, cost)
+            });
+            let graph = base.graph.apply_updates(updated, &keys, fresh);
+            // Bridges and layers: cheap linear recomputes over the new arena; the old
+            // partition is retained on the epoch, so rank changes are a comparison,
+            // not a rebuild.
+            let bridges = BridgeIndex::from_graph(&graph);
+            let partition = LayerPartition::compute(&graph, &bridges);
+            Some((graph, bridges, partition))
+        };
+        let (new_graph, new_partition): (&SimilarityGraph, &LayerPartition) = match &rebuilt_graph {
+            Some((g, _, p)) => (g, p),
+            None => (&base.graph, &base.partition),
+        };
 
-        // --- 2. Bridges and layers: cheap linear recomputes over the new arena; the
-        // old partition is retained on the model, so rank changes are a comparison,
-        // not a rebuild. ---
-        let bridges = BridgeIndex::from_graph(&graph);
-        let partition = LayerPartition::compute(&graph, &bridges);
-
-        // --- 3. X-Sim: recompute only the source rows within meta-path reach of a
-        // change, partition-parallel with the extender's scratch reuse and cost model. ---
-        let rows = affected_xsim_rows(
-            &model.graph,
-            &model.partition,
-            &graph,
-            &partition,
-            model.source_domain,
-        );
+        // --- 2. X-Sim: recompute only the source rows within meta-path reach of a
+        // change, partition-parallel with the extender's scratch reuse and cost model.
+        // An untouched graph reaches nothing, so the table is shared outright. ---
+        let rows = if share_graph {
+            Vec::new()
+        } else {
+            affected_xsim_rows(
+                &base.graph,
+                &base.partition,
+                new_graph,
+                new_partition,
+                base.source_domain,
+            )
+        };
         report.n_xsim_rows = rows.len();
-        let xsim = model.xsim.with_recomputed_rows(
-            &graph,
-            &partition,
-            model.source_domain,
-            config.metapath,
-            rows.clone(),
-            cx,
-        );
+        let rebuilt_xsim = if rows.is_empty() {
+            None
+        } else {
+            Some(base.xsim.with_recomputed_rows(
+                new_graph,
+                new_partition,
+                base.source_domain,
+                config.metapath,
+                rows.clone(),
+                cx,
+            ))
+        };
+        let new_xsim = rebuilt_xsim.as_ref().unwrap_or(&base.xsim);
 
-        // --- 4. Generator: PRS debit, then re-draw replacements for the recomputed
-        // rows only (per-item RNG streams keep unchanged rows bit-equal). ---
+        // --- 3. Generator: PRS debit, then re-draw replacements for the recomputed
+        // rows only (per-item RNG streams keep unchanged rows bit-equal — with no
+        // recomputed row the old table already *is* the refit table, so it is shared).
+        // The ε debit is unconditional: the delta re-releases the table either way. ---
         if let Some(b) = self.budget {
             b.lock()
                 .expect("privacy budget mutex poisoned")
@@ -305,126 +443,165 @@ impl Stage<()> for DeltaStage<'_> {
                 .map_err(XMapError::Privacy)?;
         }
         report.n_replacement_draws = rows.len();
-        let replacements = AlterEgoGenerator::recompute_replacements_batched(
-            &xsim,
-            &config,
-            rows,
-            &model.replacements,
-            cx,
-        );
+        let rebuilt_replacements = if rows.is_empty() {
+            None
+        } else {
+            Some(AlterEgoGenerator::recompute_replacements_batched(
+                new_xsim,
+                &config,
+                rows,
+                &base.replacements,
+                cx,
+            ))
+        };
 
-        // --- 5. Recommender: splice the item-kNN pools (item-based modes) or refit the
-        // stateless user-based recommender on the new target matrix. ---
-        let target_matrix = updated
-            .filter(|r| updated.item_domain(r.item) == model.target_domain)
-            .map_err(|_| XMapError::Data("target domain has no ratings".to_string()))?;
-        let n_target_ratings = target_matrix.n_ratings();
-        if n_target_ratings == 0 {
-            return Err(XMapError::Data("target domain has no ratings".to_string()));
-        }
-        let (recommender, item_pools) = match config.mode {
-            XMapMode::NxMapItemBased | XMapMode::XMapItemBased => {
-                if config.mode == XMapMode::XMapItemBased {
-                    // The delta re-releases the recommendation artifacts, so the fresh
-                    // accountant debits ε′ exactly like a refit — before the pool work.
-                    PrivateItemBasedRecommender::debit_budget(
-                        config.privacy.epsilon_prime,
-                        &mut self
-                            .budget
-                            .expect("private modes carry a privacy budget")
-                            .lock()
-                            .expect("privacy budget mutex poisoned"),
-                    )?;
-                }
-                let pool_k = match config.mode {
-                    XMapMode::XMapItemBased => PrivateItemBasedRecommender::pool_size(config.k),
-                    _ => config.k,
-                };
-                let knn_config = ItemKnnConfig {
-                    k: pool_k,
-                    temporal_alpha: config.temporal_alpha,
-                    ..Default::default()
-                };
-                let pool_items = affected_pool_items(&target_matrix, self.affected_users);
-                report.n_pool_refits = pool_items.len();
-                let fresh_pools: Vec<(ItemId, Vec<ItemNeighbor>)> =
-                    cx.map_items_ordered(pool_items, |_ix, part| {
-                        // One epoch-marked seen buffer per partition, reused across its
-                        // items — the same dedup-during-collection discipline as
-                        // `ItemKnn::candidate_sets`.
-                        let mut scratch = CandidateScratch::new();
-                        let mut outs = Vec::with_capacity(part.len());
-                        let mut cost = 0.0f64;
-                        for &(_, item) in part {
-                            let cands = scratch.candidate_set(&target_matrix, item);
-                            let deg_i = target_matrix.item_degree(item) as f64;
-                            cost += 1.0
-                                + cands
-                                    .iter()
-                                    .map(|&j| deg_i + target_matrix.item_degree(j) as f64)
-                                    .sum::<f64>();
-                            let pool = ItemKnn::neighbors_from_candidates(
-                                &target_matrix,
-                                item,
-                                &cands,
-                                &knn_config,
-                            );
-                            outs.push((item, pool));
-                        }
-                        (outs, cost)
-                    });
-                let mut pools = model
-                    .item_pools
-                    .clone()
-                    .expect("item-based models retain their kNN pools");
-                pools.resize(target_matrix.n_items(), Vec::new());
-                for (item, pool) in fresh_pools {
-                    pools[item.index()] = pool;
-                }
-                recommender_from_pools(&config, target_matrix, pools)?
-            }
-            XMapMode::NxMapUserBased => (
-                Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
-                    as Box<dyn crate::recommend::ProfileRecommender + Send + Sync>,
-                None,
-            ),
-            XMapMode::XMapUserBased => (
-                Box::new(PrivateUserBasedRecommender::fit(
-                    target_matrix,
-                    config.k,
+        // --- 4. Recommender: when the delta leaves the target-domain training matrix
+        // untouched (no target rating events, no new users or items) the fitted
+        // recommender and its pools are bit-equal to a refit's, so both are shared.
+        // Otherwise splice the item-kNN pools (item-based modes) or refit the
+        // stateless user-based recommender on the new target matrix. The ε′ debit is
+        // unconditional for the private modes — shared artifacts are still re-released
+        // under the fresh accountant. ---
+        let share_recommender = updated.n_users() == base.full.n_users()
+            && updated.n_items() == base.full.n_items()
+            && delta
+                .ratings()
+                .iter()
+                .all(|r| updated.item_domain(r.item) != base.target_domain);
+        let (rebuilt_recommender, n_target_ratings) = if share_recommender {
+            if config.mode.is_private() {
+                // Same ledger entries as the fit paths: ε′/2 for PNSA, ε′/2 for PNCF.
+                PrivateItemBasedRecommender::debit_budget(
                     config.privacy.epsilon_prime,
-                    config.privacy.rho,
-                    config.seed,
                     &mut self
                         .budget
                         .expect("private modes carry a privacy budget")
                         .lock()
                         .expect("privacy budget mutex poisoned"),
-                )?) as Box<dyn crate::recommend::ProfileRecommender + Send + Sync>,
-                None,
-            ),
+                )?;
+            }
+            (None, None)
+        } else {
+            let target_matrix = updated
+                .filter(|r| updated.item_domain(r.item) == base.target_domain)
+                .map_err(|_| XMapError::Data("target domain has no ratings".to_string()))?;
+            let n_target_ratings = target_matrix.n_ratings();
+            if n_target_ratings == 0 {
+                return Err(XMapError::Data("target domain has no ratings".to_string()));
+            }
+            let fitted = match config.mode {
+                XMapMode::NxMapItemBased | XMapMode::XMapItemBased => {
+                    if config.mode == XMapMode::XMapItemBased {
+                        // The delta re-releases the recommendation artifacts, so the
+                        // fresh accountant debits ε′ exactly like a refit — before the
+                        // pool work.
+                        PrivateItemBasedRecommender::debit_budget(
+                            config.privacy.epsilon_prime,
+                            &mut self
+                                .budget
+                                .expect("private modes carry a privacy budget")
+                                .lock()
+                                .expect("privacy budget mutex poisoned"),
+                        )?;
+                    }
+                    let pool_k = match config.mode {
+                        XMapMode::XMapItemBased => PrivateItemBasedRecommender::pool_size(config.k),
+                        _ => config.k,
+                    };
+                    let knn_config = ItemKnnConfig {
+                        k: pool_k,
+                        temporal_alpha: config.temporal_alpha,
+                        ..Default::default()
+                    };
+                    let pool_items = affected_pool_items(&target_matrix, &affected_users);
+                    report.n_pool_refits = pool_items.len();
+                    let fresh_pools: Vec<(ItemId, Vec<ItemNeighbor>)> =
+                        cx.map_items_ordered(pool_items, |_ix, part| {
+                            // One epoch-marked seen buffer per partition, reused across
+                            // its items — the same dedup-during-collection discipline as
+                            // `ItemKnn::candidate_sets`.
+                            let mut scratch = CandidateScratch::new();
+                            let mut outs = Vec::with_capacity(part.len());
+                            let mut cost = 0.0f64;
+                            for &(_, item) in part {
+                                let cands = scratch.candidate_set(&target_matrix, item);
+                                let deg_i = target_matrix.item_degree(item) as f64;
+                                cost += 1.0
+                                    + cands
+                                        .iter()
+                                        .map(|&j| deg_i + target_matrix.item_degree(j) as f64)
+                                        .sum::<f64>();
+                                let pool = ItemKnn::neighbors_from_candidates(
+                                    &target_matrix,
+                                    item,
+                                    &cands,
+                                    &knn_config,
+                                );
+                                outs.push((item, pool));
+                            }
+                            (outs, cost)
+                        });
+                    let mut pools = base
+                        .item_pools
+                        .as_ref()
+                        .expect("item-based models retain their kNN pools")
+                        .as_ref()
+                        .clone();
+                    pools.resize(target_matrix.n_items(), Vec::new());
+                    for (item, pool) in fresh_pools {
+                        pools[item.index()] = pool;
+                    }
+                    recommender_from_pools(&config, target_matrix, pools)?
+                }
+                XMapMode::NxMapUserBased => (
+                    Box::new(UserBasedRecommender::fit(target_matrix, config.k)?)
+                        as Box<dyn ProfileRecommender + Send + Sync>,
+                    None,
+                ),
+                XMapMode::XMapUserBased => (
+                    Box::new(PrivateUserBasedRecommender::fit(
+                        target_matrix,
+                        config.k,
+                        config.privacy.epsilon_prime,
+                        config.privacy.rho,
+                        config.seed,
+                        &mut self
+                            .budget
+                            .expect("private modes carry a privacy budget")
+                            .lock()
+                            .expect("privacy budget mutex poisoned"),
+                    )?) as Box<dyn ProfileRecommender + Send + Sync>,
+                    None,
+                ),
+            };
+            (Some(fitted), Some(n_target_ratings))
         };
 
         Ok(DeltaParts {
-            graph,
-            bridges,
-            partition,
-            xsim,
-            replacements,
-            recommender,
-            item_pools,
+            graph: rebuilt_graph,
+            xsim: rebuilt_xsim,
+            replacements: rebuilt_replacements,
+            recommender: rebuilt_recommender,
             n_target_ratings,
+            accumulators,
             report,
         })
     }
 }
 
 impl XMapModel {
-    /// Absorbs a batch of new/updated ratings into the fitted model **incrementally**:
-    /// only the state the delta affects is recomputed (see the module docs for the
-    /// five layers), yet the resulting model — graph bits, replacement table, kNN
-    /// pools, predictions, privacy ledger — is **bit-identical to a full
-    /// [`crate::XMapPipeline::fit`] on the updated matrix**.
+    /// Absorbs a batch of new/updated ratings into the fitted model **incrementally**
+    /// and **without blocking readers**: only the state the delta affects is recomputed
+    /// (see the module docs for the layers), the next [`ModelEpoch`] is built aside —
+    /// sharing every untouched piece with the base epoch — and published with a single
+    /// pointer swap. The resulting model — graph bits, replacement table, kNN pools,
+    /// predictions, privacy ledger — is **bit-identical to a full
+    /// [`crate::XMapPipeline::fit`] on the updated matrix**. The published epoch is
+    /// stamped into [`DeltaReport::epoch`].
+    ///
+    /// Readers that snapshotted the previous epoch keep serving it undisturbed; the old
+    /// epoch is retired once its last snapshot drops. Concurrent `apply_delta` calls
+    /// serialize on the model's ingest lock.
     ///
     /// The affected-item work runs as one `"delta"` stage on the model's own dataflow;
     /// its per-partition data-derived task costs ([`XMapModel::delta_task_costs`]) are
@@ -433,23 +610,26 @@ impl XMapModel {
     /// artifact, so a **fresh** privacy accountant is charged exactly like a refit
     /// (ε for PRS, ε′ for PNSA + PNCF) and replaces the previous ledger.
     ///
-    /// Errors leave the model untouched: domain redeclarations of existing items are
-    /// rejected (`XMapError::Data`), non-finite ratings propagate from the matrix
-    /// layer, and an exhausted privacy budget aborts before anything is released.
-    pub fn apply_delta(&mut self, delta: &RatingDelta) -> Result<DeltaReport> {
+    /// Errors leave the model untouched (no epoch is published): domain redeclarations
+    /// of existing items are rejected (`XMapError::Data`), non-finite ratings propagate
+    /// from the matrix layer, and an exhausted privacy budget aborts before anything is
+    /// released.
+    pub fn apply_delta(&self, delta: &RatingDelta) -> Result<DeltaReport> {
+        let _ingest = self.ingest_lock.lock().expect("ingest lock poisoned");
+        let (_, base) = self.handle.load();
         for &(item, domain) in delta.item_domains() {
-            if item.index() < self.full.n_items() && self.full.item_domain(item) != domain {
+            if item.index() < base.full.n_items() && base.full.item_domain(item) != domain {
                 return Err(XMapError::Data(format!(
                     "delta redeclares item {item} from {:?} to {domain:?}; domain migration \
                      requires a full refit",
-                    self.full.item_domain(item)
+                    base.full.item_domain(item)
                 )));
             }
         }
-        let updated = self
-            .full
-            .apply_delta(delta.ratings(), delta.item_domains())?;
-        let affected_users = delta.affected_users();
+        let updated = Arc::new(
+            base.full
+                .apply_delta(delta.ratings(), delta.item_domains())?,
+        );
 
         // A fresh accountant for the re-released artifacts, sized exactly like a refit.
         let budget = self
@@ -460,32 +640,91 @@ impl XMapModel {
 
         let parts = self.flow.run(
             &DeltaStage {
-                model: self,
+                base: &base,
                 updated: &updated,
-                affected_users: &affected_users,
+                delta,
                 budget: budget.as_ref(),
             },
             (),
         )?;
-        let mut report = parts.report;
+        let DeltaParts {
+            graph: rebuilt_graph,
+            xsim: rebuilt_xsim,
+            replacements: rebuilt_replacements,
+            recommender: rebuilt_recommender,
+            n_target_ratings,
+            accumulators,
+            report: stage_report,
+        } = parts;
+        let mut report = stage_report;
         report.n_delta_ratings = delta.len();
 
-        self.full = updated;
-        self.graph = parts.graph;
-        self.xsim = parts.xsim;
-        self.replacements = parts.replacements;
-        self.recommender = parts.recommender;
-        self.item_pools = parts.item_pools;
-        self.budget = budget.map(|m| m.into_inner().expect("privacy budget mutex poisoned"));
-        // Refresh the model-shape statistics; the fit-stage task bags keep describing
-        // the original fit (the delta's own bag lives in the `delta` ledger).
-        self.stats.n_standard_hetero_pairs = self.graph.n_heterogeneous_pairs();
-        self.stats.n_xsim_hetero_pairs = self.xsim.n_heterogeneous_pairs();
-        self.stats.n_bridge_items = parts.bridges.n_bridges();
-        self.stats.layer_counts = parts.partition.cell_counts();
-        self.partition = parts.partition;
-        self.stats.stage_durations = self.flow.reports();
-        self.stats.n_target_ratings = parts.n_target_ratings;
+        // Model-shape statistics of the rebuilt pieces, captured before the pieces move
+        // into the next epoch (shared pieces leave the stats untouched — they are the
+        // base epoch's, unchanged by construction).
+        let graph_shape = rebuilt_graph
+            .as_ref()
+            .map(|(g, b, p)| (g.n_heterogeneous_pairs(), b.n_bridges(), p.cell_counts()));
+        let xsim_pairs = rebuilt_xsim.as_ref().map(|x| x.n_heterogeneous_pairs());
+
+        // --- Build the next epoch aside: every piece the delta rebuilt gets a fresh
+        // Arc; every untouched piece shares the base epoch's. ---
+        let (graph, partition) = match rebuilt_graph {
+            Some((g, _bridges, p)) => (Arc::new(g), Arc::new(p)),
+            None => (Arc::clone(&base.graph), Arc::clone(&base.partition)),
+        };
+        let (recommender, item_pools) = match rebuilt_recommender {
+            Some((rec, pools)) => (
+                Arc::from(rec) as Arc<dyn ProfileRecommender + Send + Sync>,
+                pools.map(Arc::new),
+            ),
+            None => (Arc::clone(&base.recommender), base.item_pools.clone()),
+        };
+        let next = ModelEpoch {
+            config: self.config,
+            source_domain: self.source_domain,
+            target_domain: self.target_domain,
+            full: Arc::clone(&updated),
+            graph,
+            partition,
+            replacements: rebuilt_replacements
+                .map(Arc::new)
+                .unwrap_or_else(|| Arc::clone(&base.replacements)),
+            xsim: rebuilt_xsim
+                .map(Arc::new)
+                .unwrap_or_else(|| Arc::clone(&base.xsim)),
+            recommender,
+            item_pools,
+            budget: budget
+                .map(|m| Arc::new(m.into_inner().expect("privacy budget mutex poisoned"))),
+        };
+
+        // --- Publish: one pointer swap; readers on the base epoch drain and the base
+        // retires with its last snapshot. ---
+        report.epoch = self.handle.publish(Arc::new(next));
+
+        // Refresh the mutable-side bookkeeping (still under the ingest lock). The
+        // fit-stage task bags keep describing the original fit — the delta's own bag
+        // lives in the `delta` ledger.
+        {
+            let mut stats = self.stats.lock().expect("stats mutex poisoned");
+            if let Some((n_standard, n_bridges, layer_counts)) = graph_shape {
+                stats.n_standard_hetero_pairs = n_standard;
+                stats.n_bridge_items = n_bridges;
+                stats.layer_counts = layer_counts;
+            }
+            if let Some(n_pairs) = xsim_pairs {
+                stats.n_xsim_hetero_pairs = n_pairs;
+            }
+            if let Some(n) = n_target_ratings {
+                stats.n_target_ratings = n;
+            }
+            stats.stage_durations = self.flow.reports();
+        }
+        *self
+            .ingest_stats
+            .lock()
+            .expect("ingest stats mutex poisoned") = Some(accumulators);
         Ok(report)
     }
 
@@ -496,6 +735,84 @@ impl XMapModel {
     /// not the trace.
     pub fn delta_task_costs(&self) -> Option<Vec<f64>> {
         self.flow.stage_costs(DELTA_STAGE_NAME)
+    }
+
+    /// Per-read data-derived costs of the most recent
+    /// [`XMapModel::serve_concurrent`] (the `concurrent-read` ledger), for replaying
+    /// the serving side of an interleaved schedule on the cluster simulator.
+    pub fn concurrent_read_task_costs(&self) -> Option<Vec<f64>> {
+        self.flow.stage_costs(CONCURRENT_READ_STAGE)
+    }
+
+    /// Per-delta data-derived costs of the most recent
+    /// [`XMapModel::serve_concurrent`]'s ingest worker (the `concurrent-ingest`
+    /// ledger). `None` when the last run carried no deltas.
+    pub fn concurrent_ingest_task_costs(&self) -> Option<Vec<f64>> {
+        self.flow.stage_costs(CONCURRENT_INGEST_STAGE)
+    }
+
+    /// Serves `profiles` from a pool of `readers` snapshot readers **while** applying
+    /// `deltas` one after another from an ingest worker — the serve-while-updating
+    /// driver ([`ConcurrentStage`]).
+    ///
+    /// Every read takes a wait-free epoch snapshot, answers entirely from it, and
+    /// reports which epoch it observed ([`ServedRead::epoch`]); the report records
+    /// per-read and per-ingest latencies plus the epoch sequence. The contract (gated
+    /// by `tests/concurrent_serve.rs` and the `concurrent_serve` bench): each read is
+    /// **bit-identical** to serving the same profile against the serialized schedule at
+    /// its observed epoch boundary — interleaving changes *which* epoch a read sees,
+    /// never the bits an epoch answers with.
+    ///
+    /// Read/ingest cost bags land in the `concurrent-read` / `concurrent-ingest`
+    /// ledgers of the model's dataflow. The first ingest error aborts with that error
+    /// after the stage drains (reads are not lost; remaining deltas are still
+    /// attempted).
+    pub fn serve_concurrent(
+        &self,
+        profiles: &[Profile],
+        n: usize,
+        readers: usize,
+        deltas: &[RatingDelta],
+    ) -> Result<(Vec<ServedRead>, ConcurrentReport)> {
+        let error: Mutex<Option<XMapError>> = Mutex::new(None);
+        let stage = ConcurrentStage::new(readers);
+        let (reads, report) = stage.run(
+            &self.flow,
+            profiles,
+            |_ix, profile: &Profile| {
+                let (epoch, snap) = self.snapshot();
+                let recommendations = snap.recommend_for_profile(profile, n);
+                ConcurrentRead {
+                    epoch,
+                    output: ServedRead {
+                        epoch,
+                        recommendations,
+                    },
+                    cost: 1.0 + profile.len() as f64,
+                }
+            },
+            deltas.len(),
+            |ix| match self.apply_delta(&deltas[ix]) {
+                Ok(delta_report) => ConcurrentIngest {
+                    epoch: delta_report.epoch,
+                    cost: 1.0 + deltas[ix].len() as f64,
+                },
+                Err(e) => {
+                    let mut slot = error.lock().expect("ingest error slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    ConcurrentIngest {
+                        epoch: self.epoch(),
+                        cost: 1.0,
+                    }
+                }
+            },
+        );
+        if let Some(e) = error.into_inner().expect("ingest error slot poisoned") {
+            return Err(e);
+        }
+        Ok((reads, report))
     }
 }
 
@@ -523,14 +840,16 @@ mod tests {
     /// probe predictions. (The 1/2/8-worker, all-modes version of this lives in
     /// `tests/incremental_equivalence.rs`.)
     fn assert_matches_refit(model: &XMapModel, refit: &XMapModel, ds: &CrossDomainDataset) {
-        assert_eq!(model.full, refit.full, "updated matrices diverged");
-        assert_eq!(model.graph, refit.graph, "graph arenas diverged");
-        assert_eq!(model.xsim, refit.xsim, "X-Sim tables diverged");
+        let (_, m) = model.snapshot();
+        let (_, r) = refit.snapshot();
+        assert_eq!(m.full, r.full, "updated matrices diverged");
+        assert_eq!(m.graph, r.graph, "graph arenas diverged");
+        assert_eq!(m.xsim, r.xsim, "X-Sim tables diverged");
         assert_eq!(
-            model.replacements, refit.replacements,
+            m.replacements, r.replacements,
             "replacement tables diverged"
         );
-        assert_eq!(model.item_pools, refit.item_pools, "kNN pools diverged");
+        assert_eq!(m.item_pools, r.item_pools, "kNN pools diverged");
         for &u in ds.overlap_users.iter().take(5) {
             for &i in ds.target_items().iter().take(8) {
                 assert_eq!(
@@ -545,18 +864,20 @@ mod tests {
     #[test]
     fn empty_delta_equals_a_refit_on_the_same_matrix() {
         let ds = dataset();
-        let mut model = XMapPipeline::fit(
+        let model = XMapPipeline::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
             config(XMapMode::NxMapItemBased),
         )
         .unwrap();
+        let (_, base) = model.snapshot();
         let report = model.apply_delta(&RatingDelta::new()).unwrap();
         assert_eq!(report.n_delta_ratings, 0);
         assert_eq!(report.n_rescored_pairs, 0);
         assert_eq!(report.n_xsim_rows, 0);
         assert_eq!(report.n_pool_refits, 0);
+        assert_eq!(report.epoch, 2, "the delta must publish the next epoch");
         let refit = XMapPipeline::fit(
             &ds.matrix,
             DomainId::SOURCE,
@@ -566,12 +887,28 @@ mod tests {
         .unwrap();
         assert_matches_refit(&model, &refit, &ds);
         assert!(model.delta_task_costs().is_some());
+        // An untouched delta shares every piece with the base epoch — pointers, not
+        // copies.
+        let (_, next) = model.snapshot();
+        assert!(
+            Arc::ptr_eq(&base.graph, &next.graph),
+            "graph must be shared"
+        );
+        assert!(Arc::ptr_eq(&base.xsim, &next.xsim), "xsim must be shared");
+        assert!(
+            Arc::ptr_eq(&base.replacements, &next.replacements),
+            "replacements must be shared"
+        );
+        assert!(
+            Arc::ptr_eq(&base.recommender, &next.recommender),
+            "recommender must be shared"
+        );
     }
 
     #[test]
     fn delta_with_a_brand_new_user_and_item_equals_a_refit() {
         let ds = dataset();
-        let mut model = XMapPipeline::fit(
+        let model = XMapPipeline::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -593,6 +930,7 @@ mod tests {
         assert_eq!(report.n_delta_ratings, 4);
         assert_eq!(report.n_affected_users, 2);
         assert!(report.n_rescored_pairs > 0);
+        assert_eq!(report.epoch, model.epoch());
         let updated = ds
             .matrix
             .apply_delta(delta.ratings(), delta.item_domains())
@@ -616,7 +954,7 @@ mod tests {
     #[test]
     fn repeated_deltas_to_the_same_cell_equal_a_refit() {
         let ds = dataset();
-        let mut model = XMapPipeline::fit(
+        let model = XMapPipeline::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -636,7 +974,7 @@ mod tests {
         let mut second = RatingDelta::new();
         second.push_timed(user.0, item.0, 3.0, 92);
         model.apply_delta(&second).unwrap();
-        assert_eq!(model.full.rating(user, item), Some(3.0));
+        assert_eq!(model.matrix().rating(user, item), Some(3.0));
         let updated = ds
             .matrix
             .apply_delta(delta.ratings(), &[])
@@ -654,16 +992,141 @@ mod tests {
     }
 
     #[test]
-    fn domain_redeclaration_of_an_existing_item_is_rejected_without_side_effects() {
+    fn sequential_deltas_bump_the_epoch_monotonically() {
         let ds = dataset();
-        let mut model = XMapPipeline::fit(
+        let model = XMapPipeline::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
             config(XMapMode::NxMapItemBased),
         )
         .unwrap();
-        let n_before = model.full.n_ratings();
+        assert_eq!(model.epoch(), 1);
+        let user = ds.overlap_users[0];
+        let item = ds.target_items()[0];
+        let (_, epoch_one) = model.snapshot();
+        let before = epoch_one.recommend(user, 3);
+        for step in 0..3u32 {
+            let mut delta = RatingDelta::new();
+            delta.push_timed(user.0, item.0, 1.0 + step as f64, 100 + step);
+            let report = model.apply_delta(&delta).unwrap();
+            assert_eq!(report.epoch, 2 + step as u64);
+            assert_eq!(model.epoch(), report.epoch);
+        }
+        // The pre-delta snapshot still answers from its own epoch, bit for bit —
+        // publication never mutates a live snapshot.
+        assert_eq!(epoch_one.recommend(user, 3), before);
+    }
+
+    #[test]
+    fn source_only_delta_shares_the_recommender_but_rebuilds_the_graph() {
+        let ds = dataset();
+        let model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let (_, base) = model.snapshot();
+        let user = ds.overlap_users[0];
+        let source_item = ds.source_items()[0];
+        let mut delta = RatingDelta::new();
+        delta.push_timed(user.0, source_item.0, 2.0, 80);
+        let report = model.apply_delta(&delta).unwrap();
+        assert!(report.n_rescored_pairs > 0, "source pairs must re-score");
+        assert_eq!(report.n_pool_refits, 0, "no target pool may be touched");
+        let (_, next) = model.snapshot();
+        assert!(
+            Arc::ptr_eq(&base.recommender, &next.recommender),
+            "a source-only delta leaves the target recommender shared"
+        );
+        assert!(
+            !Arc::ptr_eq(&base.graph, &next.graph),
+            "the graph must be rebuilt"
+        );
+        // ... and sharing is still bit-identical to a refit.
+        let updated = ds.matrix.apply_delta(delta.ratings(), &[]).unwrap();
+        let refit = XMapPipeline::fit(
+            &updated,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert_matches_refit(&model, &refit, &ds);
+    }
+
+    #[test]
+    fn ingest_accumulators_match_the_serial_mrv_reference() {
+        let ds = dataset();
+        let model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert!(model.ingest_accumulators().is_none(), "no ingest ran yet");
+        let hot_user = ds.overlap_users[0];
+        let other_user = ds.overlap_users[1];
+        let hot_item = ds.target_items()[0];
+        let mut delta = RatingDelta::new();
+        // A hot user and a hot item absorbing several updates each, to exercise the
+        // multi-shard path.
+        for step in 0..12u32 {
+            delta.push_timed(
+                hot_user.0,
+                ds.target_items()[(step % 3) as usize].0,
+                1.0 + (step % 5) as f64,
+                200 + step,
+            );
+            delta.push_timed(
+                other_user.0,
+                hot_item.0,
+                5.0 - (step % 4) as f64,
+                200 + step,
+            );
+        }
+        model.apply_delta(&delta).unwrap();
+        let acc = model
+            .ingest_accumulators()
+            .expect("delta publishes accumulators");
+        assert_eq!(acc.n_shards, INGEST_MRV_SHARDS);
+        let user_reference = mrv::serial_keyed_reference(
+            delta.ratings().iter().map(|r| (r.user, r.value)),
+            INGEST_MRV_SHARDS,
+        );
+        assert_eq!(acc.user_stats.len(), user_reference.len());
+        for ((user, stat), (ref_user, ref_stat)) in acc.user_stats.iter().zip(&user_reference) {
+            assert_eq!(user, ref_user);
+            assert_eq!(stat.count, ref_stat.count);
+            assert_eq!(
+                stat.sum.to_bits(),
+                ref_stat.sum.to_bits(),
+                "user {user} accumulator diverged from the serial MRV reference"
+            );
+        }
+        // The accumulator keys are the affected-user set.
+        let users: Vec<UserId> = acc.user_stats.iter().map(|&(u, _)| u).collect();
+        assert_eq!(users, delta.affected_users());
+        // Item touch counts partition the event count.
+        let touches: u64 = acc.item_touches.iter().map(|&(_, c)| c).sum();
+        assert_eq!(touches, delta.len() as u64);
+    }
+
+    #[test]
+    fn domain_redeclaration_of_an_existing_item_is_rejected_without_side_effects() {
+        let ds = dataset();
+        let model = XMapPipeline::fit(
+            &ds.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        let n_before = model.matrix().n_ratings();
+        let epoch_before = model.epoch();
         let source_item = ds.source_items()[0];
         let mut delta = RatingDelta::new();
         delta
@@ -672,25 +1135,57 @@ mod tests {
         let err = model.apply_delta(&delta).unwrap_err();
         assert!(matches!(err, XMapError::Data(_)));
         assert!(err.to_string().contains("full refit"));
-        assert_eq!(model.full.n_ratings(), n_before, "model must be untouched");
+        assert_eq!(
+            model.matrix().n_ratings(),
+            n_before,
+            "model must be untouched"
+        );
+        assert_eq!(model.epoch(), epoch_before, "no epoch may publish on error");
         // redeclaring with the *current* domain is a no-op and succeeds
         let mut ok = RatingDelta::new();
         ok.declare_item(source_item, DomainId::SOURCE);
         assert!(model.apply_delta(&ok).is_ok());
+        assert_eq!(model.epoch(), epoch_before + 1);
     }
 
     #[test]
     fn private_delta_recharges_a_fresh_budget_like_a_refit() {
         let ds = dataset();
         let cfg = config(XMapMode::XMapItemBased);
-        let mut model =
-            XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
         let mut delta = RatingDelta::new();
         delta.push_timed(ds.overlap_users[0].0, ds.target_items()[0].0, 5.0, 77);
         model.apply_delta(&delta).unwrap();
         let budget = model
             .privacy_budget()
             .expect("private modes carry a budget");
+        let mechanisms: Vec<&str> = budget
+            .ledger()
+            .iter()
+            .map(|e| e.mechanism.as_str())
+            .collect();
+        assert_eq!(mechanisms, vec!["PRS", "PNSA", "PNCF"]);
+        assert!((budget.spent() - cfg.privacy.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn private_delta_sharing_the_recommender_still_debits_the_full_ledger() {
+        let ds = dataset();
+        let cfg = config(XMapMode::XMapItemBased);
+        let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let (_, base) = model.snapshot();
+        // Source-only delta: the recommender is shared, but the re-release must charge
+        // the fresh accountant exactly like a refit.
+        let mut delta = RatingDelta::new();
+        delta.push_timed(ds.overlap_users[0].0, ds.source_items()[0].0, 4.0, 60);
+        model.apply_delta(&delta).unwrap();
+        let (_, next) = model.snapshot();
+        assert!(Arc::ptr_eq(&base.recommender, &next.recommender));
+        assert!(
+            !Arc::ptr_eq(base.budget.as_ref().unwrap(), next.budget.as_ref().unwrap()),
+            "the accountant itself is fresh per epoch"
+        );
+        let budget = model.privacy_budget().unwrap();
         let mechanisms: Vec<&str> = budget
             .ledger()
             .iter()

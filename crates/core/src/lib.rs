@@ -51,10 +51,12 @@ pub mod serve;
 pub mod xsim;
 
 pub use config::{PrivacyConfig, XMapConfig, XMapMode};
-pub use delta::{DeltaReport, RatingDelta, DELTA_STAGE_NAME};
+pub use delta::{
+    DeltaReport, IngestAccumulators, RatingDelta, ServedRead, DELTA_STAGE_NAME, INGEST_MRV_SHARDS,
+};
 pub use generator::{AlterEgo, AlterEgoGenerator, RatingTransfer, ReplacementTable};
-pub use pipeline::{BaselinerStage, PipelineStats, XMapModel, XMapPipeline};
-pub use recommend::ProfileRecommender;
+pub use pipeline::{BaselinerStage, ModelEpoch, PipelineStats, XMapModel, XMapPipeline};
+pub use recommend::{ProfileRecommender, ProfileScratch, ScratchPool};
 pub use serve::{RecommendStage, ServeBatch};
 pub use xsim::{XSimEntry, XSimTable};
 

@@ -13,21 +13,34 @@
 //! durations and the `baseliner` / `extender` / `generator` / `recommender` task bags
 //! are captured in [`PipelineStats`] — the scalability experiment (Figure 11) and the
 //! `fit_throughput` bench replay those task costs on the cluster simulator.
+//!
+//! ## Serve-while-updating: epoch-published snapshots
+//!
+//! The released artifacts of a fit live in an immutable [`ModelEpoch`] behind an
+//! atomically swappable [`EpochHandle`]. Readers ([`XMapModel::recommend`],
+//! [`XMapModel::serve_profiles`], …) take a wait-free reference-counted snapshot and
+//! answer entirely from it; the delta-fit subsystem (`crate::delta`) builds the next
+//! epoch *aside* — sharing every unchanged piece with the previous epoch through its
+//! per-piece `Arc`s — and publishes it with a single pointer swap. A reader therefore
+//! always sees one self-consistent model version, never a half-updated one, and
+//! ingestion never blocks serving. See the epoch-publication section of `DESIGN.md`.
 
 use crate::config::{XMapConfig, XMapMode};
+use crate::delta::IngestAccumulators;
 use crate::generator::{AlterEgo, AlterEgoGenerator, ReplacementTable};
 use crate::recommend::{
     ItemBasedRecommender, PrivateItemBasedRecommender, PrivateUserBasedRecommender,
-    ProfileRecommender, UserBasedRecommender,
+    ProfileRecommender, ScratchPool, UserBasedRecommender,
 };
 use crate::serve::{RecommendStage, ServeBatch, RECOMMEND_STAGE_NAME};
 use crate::xsim::XSimTable;
 use crate::{Result, XMapError};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use xmap_cf::knn::{ItemNeighbor, Profile};
 use xmap_cf::similarity::item_similarity_stats;
 use xmap_cf::{DomainId, ItemId, ItemKnn, ItemKnnConfig, RatingMatrix, SimilarityStats, UserId};
-use xmap_engine::{Dataflow, Stage, StageContext, StageReport};
+use xmap_engine::{Dataflow, EpochHandle, Stage, StageContext, StageReport};
 use xmap_eval::EVAL_STAGE_NAME;
 use xmap_eval::{EvalBatch, EvalReport, EvalStage, EvalTarget, SweepParam, SweepSeries, SweepSpec};
 use xmap_graph::{
@@ -69,40 +82,42 @@ pub struct PipelineStats {
     pub n_target_ratings: usize,
 }
 
-/// A fitted X-Map model.
+/// One immutable, self-consistent version of a fitted X-Map model.
 ///
-/// Fields are crate-visible because the delta-fit subsystem (`crate::delta`) rebuilds
-/// them surgically in place; external callers go through the accessors.
-pub struct XMapModel {
+/// Every released artifact of the fit — the aggregated matrix, the baseline graph and
+/// its layer partition, the X-Sim table, the replacement table, the recommender and its
+/// raw kNN pools, the privacy accountant — is held behind its own `Arc` so that a delta
+/// fit can build the *next* epoch by sharing every piece it did not touch (structural
+/// sharing: unchanged arenas are pointed at, not copied). Readers obtain an epoch via
+/// [`XMapModel::snapshot`] and answer queries entirely from it; an epoch never mutates
+/// after publication, so a snapshot is always self-consistent regardless of concurrent
+/// ingestion.
+pub struct ModelEpoch {
     pub(crate) config: XMapConfig,
     pub(crate) source_domain: DomainId,
     pub(crate) target_domain: DomainId,
-    pub(crate) full: RatingMatrix,
+    pub(crate) full: Arc<RatingMatrix>,
     /// The baseline similarity graph of the fit — retained (it is the arena the
     /// delta-fit surgically updates, and the artifact the equivalence gate compares).
-    pub(crate) graph: SimilarityGraph,
+    pub(crate) graph: Arc<SimilarityGraph>,
     /// The layer partition of `graph` — retained so a delta fit can detect rank
     /// changes by comparison instead of recomputing the old partition per update.
-    pub(crate) partition: LayerPartition,
-    pub(crate) replacements: ReplacementTable,
-    pub(crate) xsim: XSimTable,
-    pub(crate) recommender: Box<dyn ProfileRecommender + Send + Sync>,
+    pub(crate) partition: Arc<LayerPartition>,
+    pub(crate) replacements: Arc<ReplacementTable>,
+    pub(crate) xsim: Arc<XSimTable>,
+    pub(crate) recommender: Arc<dyn ProfileRecommender + Send + Sync>,
     /// The raw item-kNN pools of the item-based modes (pre privacy annotation), kept so
     /// a delta fit can re-score only the affected items' pools. `None` for the
     /// user-based modes, which precompute nothing at fit time. This deliberately
     /// duplicates the recommender's internal copy (the private mode transforms its
     /// pools into annotated candidates and cannot hand the raw ones back): one
     /// `O(n_items · k)` buffer, small next to the graph's scored-pair cache.
-    pub(crate) item_pools: Option<Vec<Vec<ItemNeighbor>>>,
-    pub(crate) stats: PipelineStats,
-    /// The dataflow runner the model was fitted on, kept for batched serving so that
-    /// serving task costs land in the same ledger as the fit stages.
-    pub(crate) flow: Dataflow,
-    /// The privacy accountant of the fit (private modes only): PRS plus PNSA/PNCF.
-    pub(crate) budget: Option<PrivacyBudget>,
+    pub(crate) item_pools: Option<Arc<Vec<Vec<ItemNeighbor>>>>,
+    /// The privacy accountant of this epoch (private modes only): PRS plus PNSA/PNCF.
+    pub(crate) budget: Option<Arc<PrivacyBudget>>,
 }
 
-impl XMapModel {
+impl ModelEpoch {
     /// The configuration the model was fitted with.
     pub fn config(&self) -> &XMapConfig {
         &self.config
@@ -118,24 +133,29 @@ impl XMapModel {
         self.target_domain
     }
 
-    /// The item-to-item replacement table (the released artifact of the generator).
-    pub fn replacements(&self) -> &ReplacementTable {
-        &self.replacements
+    /// The aggregated two-domain rating matrix this epoch was fitted (or delta-fitted) on.
+    pub fn matrix(&self) -> &RatingMatrix {
+        &self.full
     }
 
-    /// The baseline similarity graph the model was fitted (or delta-fitted) on.
+    /// The baseline similarity graph of this epoch.
     pub fn graph(&self) -> &SimilarityGraph {
         &self.graph
     }
 
-    /// The heterogeneous X-Sim table computed by the extender.
+    /// The heterogeneous X-Sim table of this epoch.
     pub fn xsim(&self) -> &XSimTable {
         &self.xsim
     }
 
-    /// Pipeline statistics (stage timings, pair counts, layer sizes).
-    pub fn stats(&self) -> &PipelineStats {
-        &self.stats
+    /// The item-to-item replacement table of this epoch.
+    pub fn replacements(&self) -> &ReplacementTable {
+        &self.replacements
+    }
+
+    /// The privacy accountant of this epoch: `Some` for the private modes, else `None`.
+    pub fn privacy_budget(&self) -> Option<&PrivacyBudget> {
+        self.budget.as_deref()
     }
 
     /// Display label of the active recommender variant.
@@ -160,8 +180,8 @@ impl XMapModel {
         self.recommender.predict_for_profile(&alter.profile, item)
     }
 
-    /// Top-N target-domain recommendations for a user, excluding items already present in
-    /// their AlterEgo profile (mapped or genuinely rated).
+    /// Top-N target-domain recommendations for a user, excluding items already present
+    /// in their AlterEgo profile (mapped or genuinely rated).
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
         let alter = self.alterego(user);
         self.recommender.recommend_for_profile(&alter.profile, n)
@@ -172,28 +192,183 @@ impl XMapModel {
         self.recommender.predict_for_profile(profile, item)
     }
 
+    /// Top-N recommendations for an explicit target-domain profile.
+    pub fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Vec<(ItemId, f64)> {
+        self.recommender.recommend_for_profile(profile, n)
+    }
+}
+
+impl EvalTarget for ModelEpoch {
+    fn predict(&self, user: UserId, item: ItemId) -> f64 {
+        ModelEpoch::predict(self, user, item)
+    }
+
+    fn recommend(&self, user: UserId, n: usize) -> Vec<ItemId> {
+        ModelEpoch::recommend(self, user, n)
+            .into_iter()
+            .map(|(item, _)| item)
+            .collect()
+    }
+}
+
+/// A fitted X-Map model: an epoch-published immutable snapshot ([`ModelEpoch`]) behind
+/// an atomically swappable handle, plus the mutable ingest side (the dataflow runner,
+/// the serving scratch pool, the stats and the ingest accumulators).
+///
+/// All query methods are `&self` and answer from a wait-free snapshot of the current
+/// epoch; [`crate::delta`]'s `apply_delta` is *also* `&self` — it builds the next epoch
+/// aside and publishes it with one pointer swap, so serving continues (on the previous
+/// epoch) while an update is in flight. Concurrent `apply_delta` calls serialize on an
+/// internal ingest lock.
+pub struct XMapModel {
+    pub(crate) config: XMapConfig,
+    pub(crate) source_domain: DomainId,
+    pub(crate) target_domain: DomainId,
+    /// The epoch-publication handle: readers snapshot, the delta fit publishes.
+    pub(crate) handle: EpochHandle<ModelEpoch>,
+    /// Stats of the most recent fit or delta fit, refreshed under the ingest lock.
+    pub(crate) stats: Mutex<PipelineStats>,
+    /// The dataflow runner the model was fitted on, kept for batched serving so that
+    /// serving task costs land in the same ledger as the fit stages.
+    pub(crate) flow: Dataflow,
+    /// Warm per-partition serving scratch, reused across batches (and across epochs —
+    /// scratch invalidates itself on every load).
+    pub(crate) scratch: ScratchPool,
+    /// Serializes writers: `apply_delta` holds this for its whole build-aside phase.
+    pub(crate) ingest_lock: Mutex<()>,
+    /// Epoch stamp of the most recent serving batch (0 = nothing served yet).
+    serve_epoch: AtomicU64,
+    /// MRV-merged per-user/per-item accumulators of the most recent delta ingest.
+    pub(crate) ingest_stats: Mutex<Option<IngestAccumulators>>,
+}
+
+impl XMapModel {
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &XMapConfig {
+        &self.config
+    }
+
+    /// The source domain (where users are assumed to have history).
+    pub fn source_domain(&self) -> DomainId {
+        self.source_domain
+    }
+
+    /// The target domain (where recommendations are produced).
+    pub fn target_domain(&self) -> DomainId {
+        self.target_domain
+    }
+
+    /// The current model epoch: 1 after a fresh fit, bumped by one on every published
+    /// delta fit. Monotonically increasing for the lifetime of the model.
+    pub fn epoch(&self) -> u64 {
+        self.handle.epoch()
+    }
+
+    /// A wait-free snapshot of the current model version: `(epoch, Arc<ModelEpoch>)`.
+    ///
+    /// The returned epoch is immutable and self-consistent; it stays fully readable
+    /// even if any number of delta fits publish after the snapshot is taken (the old
+    /// epoch is retired only after its last snapshot is dropped).
+    pub fn snapshot(&self) -> (u64, Arc<ModelEpoch>) {
+        self.handle.load()
+    }
+
+    /// The current epoch's snapshot, when the caller does not need the epoch number.
+    fn snap(&self) -> Arc<ModelEpoch> {
+        self.handle.load().1
+    }
+
+    /// The item-to-item replacement table (the released artifact of the generator) of
+    /// the current epoch.
+    pub fn replacements(&self) -> Arc<ReplacementTable> {
+        self.snap().replacements.clone()
+    }
+
+    /// The baseline similarity graph of the current epoch.
+    pub fn graph(&self) -> Arc<SimilarityGraph> {
+        self.snap().graph.clone()
+    }
+
+    /// The heterogeneous X-Sim table of the current epoch.
+    pub fn xsim(&self) -> Arc<XSimTable> {
+        self.snap().xsim.clone()
+    }
+
+    /// The aggregated two-domain rating matrix of the current epoch.
+    pub fn matrix(&self) -> Arc<RatingMatrix> {
+        self.snap().full.clone()
+    }
+
+    /// Pipeline statistics (stage timings, pair counts, layer sizes) of the most recent
+    /// fit or delta fit, as an owned copy — the live stats refresh under the ingest
+    /// lock when a delta publishes.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats.lock().expect("stats mutex poisoned").clone()
+    }
+
+    /// Display label of the active recommender variant.
+    pub fn label(&self) -> &'static str {
+        self.snap().label()
+    }
+
+    /// The AlterEgo profile of a user in the target domain (current epoch).
+    pub fn alterego(&self, user: UserId) -> AlterEgo {
+        self.snap().alterego(user)
+    }
+
+    /// Predicted rating of a target-domain item for a user, driven by their AlterEgo
+    /// (current epoch).
+    pub fn predict(&self, user: UserId, item: ItemId) -> f64 {
+        self.snap().predict(user, item)
+    }
+
+    /// Top-N target-domain recommendations for a user, excluding items already present in
+    /// their AlterEgo profile (mapped or genuinely rated). Answers from the current epoch.
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f64)> {
+        self.snap().recommend(user, n)
+    }
+
+    /// Predicted rating for an explicit (possibly artificial) target-domain profile
+    /// (current epoch).
+    pub fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> f64 {
+        self.snap().predict_for_profile(profile, item)
+    }
+
     /// Serves a batch of explicit profiles through the batched [`RecommendStage`]:
     /// top-N per profile, in request order, with per-partition task costs recorded in
     /// the dataflow ledger (see [`XMapModel::serving_task_costs`]).
     ///
-    /// Output is bit-identical to calling [`XMapModel::predict_for_profile`]'s sibling
-    /// [`ProfileRecommender::recommend_for_profile`] once per profile, at any worker
-    /// count. The *recommendations* are safe to compute from any number of threads
-    /// sharing the model; the cost ledger, however, holds one slot per stage name, so
-    /// concurrent batches overwrite each other's `recommend` entry (last writer wins —
-    /// see [`XMapModel::serving_task_costs`]).
-    pub fn serve_profiles(&self, profiles: Vec<Profile>, n: usize) -> Vec<Vec<(ItemId, f64)>> {
-        self.flow.run(
-            &RecommendStage::new(self.recommender.as_ref()),
+    /// The whole batch answers from **one** epoch snapshot taken at entry (stamped into
+    /// [`XMapModel::served_epoch`]), and the per-partition scratch comes from the
+    /// model's shared pool, so dense buffers persist across batches. Output is
+    /// bit-identical to calling [`ProfileRecommender::recommend_for_profile`] once per
+    /// profile against that snapshot, at any worker count. The *recommendations* are
+    /// safe to compute from any number of threads sharing the model; the cost ledger,
+    /// however, holds one slot per stage name, so concurrent batches overwrite each
+    /// other's `recommend` entry (last writer wins — see
+    /// [`XMapModel::serving_task_costs`]).
+    pub fn serve_profiles(&self, profiles: &[Profile], n: usize) -> Vec<Vec<(ItemId, f64)>> {
+        let (epoch, snap) = self.handle.load();
+        let out = self.flow.run(
+            &RecommendStage::new(snap.recommender.as_ref(), &self.scratch),
             ServeBatch::new(profiles, n),
-        )
+        );
+        self.serve_epoch.store(epoch, Ordering::Relaxed);
+        out
     }
 
     /// Top-N recommendations for a batch of users, one result per user in input order:
-    /// AlterEgo generation followed by batched serving on the dataflow engine.
+    /// AlterEgo generation followed by batched serving on the dataflow engine, all
+    /// against one epoch snapshot.
     pub fn recommend_batch(&self, users: &[UserId], n: usize) -> Vec<Vec<(ItemId, f64)>> {
-        let profiles: Vec<Profile> = users.iter().map(|&u| self.alterego(u).profile).collect();
-        self.serve_profiles(profiles, n)
+        let (epoch, snap) = self.handle.load();
+        let profiles: Vec<Profile> = users.iter().map(|&u| snap.alterego(u).profile).collect();
+        let out = self.flow.run(
+            &RecommendStage::new(snap.recommender.as_ref(), &self.scratch),
+            ServeBatch::new(&profiles, n),
+        );
+        self.serve_epoch.store(epoch, Ordering::Relaxed);
+        out
     }
 
     /// Per-partition task costs of the most recent serving batch (the `recommend`
@@ -208,17 +383,38 @@ impl XMapModel {
         self.flow.stage_costs(RECOMMEND_STAGE_NAME)
     }
 
-    /// The privacy accountant of the fit: `Some` for the private modes (with PRS, PNSA
-    /// and PNCF ledger entries), `None` for the non-private ones.
-    pub fn privacy_budget(&self) -> Option<&PrivacyBudget> {
-        self.budget.as_ref()
+    /// The epoch the most recent serving batch answered from, or `None` if nothing has
+    /// been served yet — the epoch stamp of the `recommend` cost ledger, with the same
+    /// last-writer-wins caveat as [`XMapModel::serving_task_costs`].
+    pub fn served_epoch(&self) -> Option<u64> {
+        match self.serve_epoch.load(Ordering::Relaxed) {
+            0 => None,
+            e => Some(e),
+        }
+    }
+
+    /// The privacy accountant of the current epoch: `Some` for the private modes (with
+    /// PRS, PNSA and PNCF ledger entries), `None` for the non-private ones.
+    pub fn privacy_budget(&self) -> Option<Arc<PrivacyBudget>> {
+        self.snap().budget.clone()
+    }
+
+    /// The MRV-merged ingest accumulators of the most recent delta fit (per-user rating
+    /// sums/counts and per-item touch counts of the delta stream), or `None` before the
+    /// first `apply_delta`. Deterministically merged in `(key, shard)` order — see the
+    /// MRV section of `DESIGN.md`.
+    pub fn ingest_accumulators(&self) -> Option<IngestAccumulators> {
+        self.ingest_stats
+            .lock()
+            .expect("ingest stats mutex poisoned")
+            .clone()
     }
 
     /// The combined fit task bag: every per-partition cost the four fit stages recorded
     /// (baseliner, extender, generator, recommender — in pipeline order), for cluster
     /// replay of the whole model fit. Data-derived, so identical at any worker count.
     pub fn fit_task_costs(&self) -> Vec<f64> {
-        let s = &self.stats;
+        let s = self.stats.lock().expect("stats mutex poisoned");
         let mut bag = Vec::with_capacity(
             s.baseliner_task_costs.len()
                 + s.extension_task_costs.len()
@@ -234,13 +430,14 @@ impl XMapModel {
 
     /// Evaluates the model over an [`EvalBatch`] on the dataflow engine: test triples
     /// and ranking cases are partitioned via the engine's ordered map, evaluated in
-    /// parallel, and aggregated exactly like the serial reference
-    /// ([`xmap_eval::evaluate_batch_serial`]) — the report is **bit-identical** to the
-    /// serial protocol (and its `mae`/`rmse` to `evaluate_predictions`) at any worker
-    /// count. Per-partition data-derived costs land in the `eval` ledger
+    /// parallel (against one epoch snapshot), and aggregated exactly like the serial
+    /// reference ([`xmap_eval::evaluate_batch_serial`]) — the report is **bit-identical**
+    /// to the serial protocol (and its `mae`/`rmse` to `evaluate_predictions`) at any
+    /// worker count. Per-partition data-derived costs land in the `eval` ledger
     /// ([`XMapModel::eval_task_costs`]).
     pub fn evaluate_batch(&self, batch: EvalBatch) -> EvalReport {
-        self.flow.run(&EvalStage::new(self), batch)
+        let snap = self.snap();
+        self.flow.run(&EvalStage::new(snap.as_ref()), batch)
     }
 
     /// Per-partition task costs of the most recent evaluation batch (the `eval`
@@ -263,6 +460,7 @@ impl XMapModel {
     /// `xmap-bench` sweep runner executes overlap sweeps. Sweeping a privacy parameter
     /// on a non-private mode refits identical models and yields a flat series.
     pub fn sweep(&self, spec: &SweepSpec, batch: &EvalBatch) -> Result<SweepSeries> {
+        let snap = self.snap();
         let mut series = SweepSeries::new(format!("{} / {}", self.label(), spec.param.label()));
         for &value in &spec.values {
             let mut config = self.config;
@@ -280,7 +478,7 @@ impl XMapModel {
                 }
             }
             let model =
-                XMapPipeline::fit(&self.full, self.source_domain, self.target_domain, config)?;
+                XMapPipeline::fit(&snap.full, self.source_domain, self.target_domain, config)?;
             let report = model.evaluate_batch(batch.clone());
             series.push(value, report.metric(spec.metric));
         }
@@ -576,7 +774,7 @@ impl XMapPipeline {
     ///
     /// `source` is the domain users are assumed to have rated in; `target` is the domain
     /// recommendations are produced for. The two must be distinct and both present in the
-    /// matrix.
+    /// matrix. The fitted model starts at epoch 1.
     pub fn fit(
         matrix: &RatingMatrix,
         source: DomainId,
@@ -668,20 +866,32 @@ impl XMapPipeline {
             n_target_ratings,
         };
 
+        let epoch = ModelEpoch {
+            config,
+            source_domain: source,
+            target_domain: target,
+            full: Arc::new(matrix.clone()),
+            graph: Arc::new(graph),
+            partition: Arc::new(partition),
+            replacements: Arc::new(replacements),
+            xsim: Arc::new(xsim),
+            recommender: Arc::from(recommender),
+            item_pools: item_pools.map(Arc::new),
+            budget: budget
+                .map(|m| Arc::new(m.into_inner().expect("privacy budget mutex poisoned"))),
+        };
+
         Ok(XMapModel {
             config,
             source_domain: source,
             target_domain: target,
-            full: matrix.clone(),
-            graph,
-            partition,
-            replacements,
-            xsim,
-            recommender,
-            item_pools,
-            stats,
+            handle: EpochHandle::new(Arc::new(epoch), 1),
+            stats: Mutex::new(stats),
             flow,
-            budget: budget.map(|m| m.into_inner().expect("privacy budget mutex poisoned")),
+            scratch: ScratchPool::new(),
+            ingest_lock: Mutex::new(()),
+            serve_epoch: AtomicU64::new(0),
+            ingest_stats: Mutex::new(None),
         })
     }
 }
@@ -730,6 +940,30 @@ mod tests {
         }
         let pred = model.predict(users::ALICE, items::THE_FOREVER_WAR);
         assert!((1.0..=5.0).contains(&pred));
+    }
+
+    #[test]
+    fn fresh_fit_starts_at_epoch_one_and_snapshots_are_self_consistent() {
+        let toy = ToyScenario::build();
+        let model = XMapPipeline::fit(
+            &toy.matrix,
+            DomainId::SOURCE,
+            DomainId::TARGET,
+            toy_config(XMapMode::NxMapItemBased),
+        )
+        .unwrap();
+        assert_eq!(model.epoch(), 1, "fresh fits publish epoch 1");
+        assert_eq!(model.served_epoch(), None, "nothing served yet");
+        let (epoch, snap) = model.snapshot();
+        assert_eq!(epoch, 1);
+        // The snapshot answers exactly like the model (both read epoch 1).
+        let via_model = model.recommend(users::ALICE, 2);
+        let via_snap = snap.recommend(users::ALICE, 2);
+        assert_eq!(via_model, via_snap);
+        assert_eq!(snap.label(), model.label());
+        // Serving stamps the epoch it answered from.
+        let _ = model.serve_profiles(&[model.alterego(users::ALICE).profile], 2);
+        assert_eq!(model.served_epoch(), Some(1));
     }
 
     #[test]
@@ -1041,7 +1275,7 @@ mod tests {
             model.serving_task_costs().is_none(),
             "no serving ran yet, so no recommend-stage ledger entry"
         );
-        let out = model.serve_profiles(vec![model.alterego(users::ALICE).profile], 2);
+        let out = model.serve_profiles(&[model.alterego(users::ALICE).profile], 2);
         assert_eq!(out.len(), 1);
         assert!(!out[0].is_empty());
         assert!(model.serving_task_costs().is_some());

@@ -49,6 +49,24 @@ pub trait ProfileRecommender {
             .collect()
     }
 
+    /// Like [`ProfileRecommender::recommend_batch`], but folding the batch through a
+    /// caller-owned [`ProfileScratch`] instead of the implicit thread-local one.
+    ///
+    /// The serving stage checks scratch out of the model's [`ScratchPool`] so the
+    /// dense buffers survive *across* batches (worker threads are scoped per batch,
+    /// which kills thread-local scratch with them). Same bit-identity contract as
+    /// `recommend_batch`: epoch invalidation in [`ProfileScratch`] makes buffer reuse
+    /// invisible in the outputs. The default ignores the scratch — recommenders that
+    /// keep no dense per-profile state have nothing to reuse.
+    fn recommend_batch_with_scratch(
+        &self,
+        profiles: &[&Profile],
+        n: usize,
+        _scratch: &mut ProfileScratch,
+    ) -> Vec<Vec<(ItemId, f64)>> {
+        self.recommend_batch(profiles, n)
+    }
+
     /// Label matching the paper's figure legends.
     fn label(&self) -> &'static str;
 }
@@ -65,7 +83,7 @@ pub trait ProfileRecommender {
 /// buffer served before. One scratch is reused across all candidate predictions of a
 /// profile, and — in the batched serving path — across all profiles of a partition.
 #[derive(Debug, Default)]
-struct ProfileScratch {
+pub struct ProfileScratch {
     /// Epoch marker per item slot; a slot is live iff its marker equals `current`.
     epoch: Vec<u32>,
     value: Vec<f64>,
@@ -76,7 +94,8 @@ struct ProfileScratch {
 }
 
 impl ProfileScratch {
-    fn new() -> Self {
+    /// An empty scratch; buffers grow on first load.
+    pub fn new() -> Self {
         Self::default()
     }
 
@@ -138,6 +157,48 @@ thread_local! {
 /// Runs `f` with the calling thread's reusable [`ProfileScratch`].
 fn with_thread_scratch<R>(f: impl FnOnce(&mut ProfileScratch) -> R) -> R {
     THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// A model-owned pool of [`ProfileScratch`] buffers for batched serving.
+///
+/// The worker pool scopes its threads to each batch, so thread-local scratch dies
+/// when a batch completes; this pool keeps the warmed dense buffers alive *across*
+/// batches instead. Serving partitions check a scratch out, fold their profiles
+/// through it ([`ProfileRecommender::recommend_batch_with_scratch`]) and hand it
+/// back. Reuse is bit-invisible: [`ProfileScratch`] invalidates by epoch bump on
+/// every load, so a recycled buffer answers exactly like a fresh one.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: std::sync::Mutex<Vec<ProfileScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; scratches are created on demand and retained on give-back.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a scratch out of the pool, creating a fresh one if none is available.
+    pub fn checkout(&self) -> ProfileScratch {
+        self.pool
+            .lock()
+            .expect("scratch pool mutex poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to the pool for the next batch to reuse.
+    pub fn give_back(&self, scratch: ProfileScratch) {
+        self.pool
+            .lock()
+            .expect("scratch pool mutex poisoned")
+            .push(scratch);
+    }
+
+    /// How many warmed scratches are currently parked in the pool.
+    pub fn available(&self) -> usize {
+        self.pool.lock().expect("scratch pool mutex poisoned").len()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -253,12 +314,19 @@ impl ProfileRecommender for ItemBasedRecommender {
     }
 
     fn recommend_batch(&self, profiles: &[&Profile], n: usize) -> Vec<Vec<(ItemId, f64)>> {
-        with_thread_scratch(|scratch| {
-            profiles
-                .iter()
-                .map(|p| self.recommend_with_scratch(scratch, p, n))
-                .collect()
-        })
+        with_thread_scratch(|scratch| self.recommend_batch_with_scratch(profiles, n, scratch))
+    }
+
+    fn recommend_batch_with_scratch(
+        &self,
+        profiles: &[&Profile],
+        n: usize,
+        scratch: &mut ProfileScratch,
+    ) -> Vec<Vec<(ItemId, f64)>> {
+        profiles
+            .iter()
+            .map(|p| self.recommend_with_scratch(scratch, p, n))
+            .collect()
     }
 
     fn label(&self) -> &'static str {
@@ -528,12 +596,19 @@ impl ProfileRecommender for PrivateItemBasedRecommender {
     }
 
     fn recommend_batch(&self, profiles: &[&Profile], n: usize) -> Vec<Vec<(ItemId, f64)>> {
-        with_thread_scratch(|scratch| {
-            profiles
-                .iter()
-                .map(|p| self.recommend_with_scratch(scratch, p, n))
-                .collect()
-        })
+        with_thread_scratch(|scratch| self.recommend_batch_with_scratch(profiles, n, scratch))
+    }
+
+    fn recommend_batch_with_scratch(
+        &self,
+        profiles: &[&Profile],
+        n: usize,
+        scratch: &mut ProfileScratch,
+    ) -> Vec<Vec<(ItemId, f64)>> {
+        profiles
+            .iter()
+            .map(|p| self.recommend_with_scratch(scratch, p, n))
+            .collect()
     }
 
     fn label(&self) -> &'static str {

@@ -228,23 +228,41 @@ impl Dataflow {
         let out = self
             .timer
             .run_stage(stage.name(), || stage.run(input, &mut cx));
+        self.replace_costs(stage.name(), cx.costs);
+        out
+    }
+
+    /// Records a stage that executed *outside* [`Dataflow::run`] — e.g. the
+    /// [`ConcurrentStage`](crate::concurrent::ConcurrentStage) driver, whose reader
+    /// pool and ingest worker interleave on their own threads. The measured duration
+    /// and per-task cost bag enter the timer and cost ledger with the same
+    /// replace-latest semantics as [`Dataflow::run`], so external stages surface
+    /// through [`Dataflow::reports`], [`Dataflow::stage_costs`] and
+    /// [`Dataflow::cluster_sim`] exactly like pool-executed ones.
+    pub fn record_external(&self, name: &str, duration: std::time::Duration, costs: Vec<f64>) {
+        self.timer.record_latest(name, duration);
+        self.replace_costs(name, costs);
+    }
+
+    /// Replace-latest ledger update shared by [`Dataflow::run`] and
+    /// [`Dataflow::record_external`].
+    fn replace_costs(&self, name: &str, costs: Vec<f64>) {
         let mut ledger = self
             .stage_costs
             .lock()
             .expect("dataflow cost mutex poisoned");
-        if cx.costs.is_empty() {
+        if costs.is_empty() {
             // Replacement semantics also cover the empty case: a re-run that recorded
             // nothing (a stage that skips its partitioned maps, or one recording costs
             // itself via `record_task_cost`) must not leave a stale task bag behind for
             // the cluster simulator to replay.
-            ledger.retain(|(name, _)| name != stage.name());
+            ledger.retain(|(entry, _)| entry != name);
         } else {
-            match ledger.iter_mut().find(|(name, _)| name == stage.name()) {
-                Some(entry) => entry.1 = cx.costs,
-                None => ledger.push((stage.name().to_string(), cx.costs)),
+            match ledger.iter_mut().find(|(entry, _)| entry == name) {
+                Some(entry) => entry.1 = costs,
+                None => ledger.push((name.to_string(), costs)),
             }
         }
-        out
     }
 
     /// Wall-clock reports of the most recent run of each stage, in first-execution

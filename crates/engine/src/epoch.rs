@@ -1,0 +1,256 @@
+//! Epoch-published snapshots with wait-free readers.
+//!
+//! Serving a model while absorbing rating deltas needs a publication discipline:
+//! readers must always see a *complete, internally consistent* model version (an
+//! **epoch**), never a half-applied update, and they must never block on the writer.
+//! [`EpochHandle`] provides exactly that primitive:
+//!
+//! * the writer builds the next snapshot entirely off to the side, then publishes it
+//!   with a single atomic pointer swing ([`EpochHandle::publish`]);
+//! * readers ([`EpochHandle::load`]) take a reference-counted handle to the current
+//!   snapshot without ever taking a lock — the fast path is two atomic RMWs and an
+//!   `Arc` clone, and a retry only happens if a publish lands inside that window;
+//! * the previous epoch is **retired** (its `Arc` dropped by the handle) as soon as
+//!   the readers that were in flight at publication time drain, so at most two epochs
+//!   are ever kept alive by the handle itself. Readers that cloned the old `Arc` keep
+//!   their snapshot alive until they drop it — retirement never invalidates a read.
+//!
+//! The implementation is a double-buffered slot pair plus a packed
+//! `AtomicU64` of `(epoch << 1) | slot`. Publication alternates slots; the
+//! reader-count on each slot is the drain barrier. All cross-thread handshakes use
+//! `SeqCst` because the reader's `increment readers → re-check current` and the
+//! writer's `swing current → wait for readers` form a store/load (Dekker-style)
+//! pattern that weaker orderings do not make safe.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One snapshot slot: a reader count guarding an optional published value.
+struct Slot<T> {
+    readers: AtomicUsize,
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Slot {
+            readers: AtomicUsize::new(0),
+            value: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// An atomically swappable, epoch-counted snapshot handle.
+///
+/// See the [module docs](self) for the publication contract. `T` is the immutable
+/// snapshot type (e.g. a model epoch); the handle stores `Arc<T>` so readers share
+/// the snapshot structurally.
+pub struct EpochHandle<T> {
+    slots: [Slot<T>; 2],
+    /// `(epoch << 1) | slot_index` — one load gives readers both the version number
+    /// and where to find it.
+    current: AtomicU64,
+    /// Serializes publishers. Readers never touch this.
+    publish_lock: Mutex<()>,
+}
+
+// SAFETY: the only interior mutability is the per-slot `Option<Arc<T>>`, which is
+// written exclusively by the publisher *after* the slot's reader count has drained to
+// zero and *before* `current` points at the slot (SeqCst handshake below), and read
+// only by readers that successfully validated `current` while holding a nonzero
+// reader count. `T` itself is only shared, never mutated, hence the `Sync` bound.
+unsafe impl<T: Send + Sync> Send for EpochHandle<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochHandle<T> {}
+
+impl<T> EpochHandle<T> {
+    /// Creates a handle publishing `value` as the given initial epoch.
+    pub fn new(value: Arc<T>, epoch: u64) -> Self {
+        let handle = EpochHandle {
+            slots: [Slot::empty(), Slot::empty()],
+            current: AtomicU64::new(epoch << 1),
+            publish_lock: Mutex::new(()),
+        };
+        // No readers can exist yet; slot 0 is the initial current slot.
+        unsafe { *handle.slots[0].value.get() = Some(value) };
+        handle
+    }
+
+    /// The current epoch number. Monotonically increasing across publishes.
+    pub fn epoch(&self) -> u64 {
+        self.current.load(Ordering::SeqCst) >> 1
+    }
+
+    /// Takes a wait-free snapshot: returns the current epoch number and a shared
+    /// handle to its value. Never blocks on a publisher; a retry loop iteration only
+    /// occurs if a publish lands between the epoch load and the validation re-load,
+    /// and each retry observes a strictly newer epoch.
+    pub fn load(&self) -> (u64, Arc<T>) {
+        loop {
+            let packed = self.current.load(Ordering::SeqCst);
+            let slot = &self.slots[(packed & 1) as usize];
+            slot.readers.fetch_add(1, Ordering::SeqCst);
+            // Re-validate: if `current` still names this slot, the publisher's drain
+            // loop is now obliged to wait for us (it re-reads the count after swinging
+            // `current`), so the value cannot be retired under our feet.
+            if self.current.load(Ordering::SeqCst) == packed {
+                // SAFETY: validation succeeded while our reader count pins the slot,
+                // so the publisher cannot overwrite or retire it until we decrement.
+                let value = unsafe { (*slot.value.get()).clone() }
+                    .expect("current slot always holds a published value");
+                slot.readers.fetch_sub(1, Ordering::Release);
+                return (packed >> 1, value);
+            }
+            slot.readers.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Publishes `value` as the next epoch and returns its epoch number.
+    ///
+    /// Build-aside → swap → drain → retire: the caller constructs `value` entirely
+    /// before this call; the swap is one atomic store; the previous epoch's slot is
+    /// drained of in-flight readers and its `Arc` dropped before returning, so the
+    /// handle itself keeps only the new epoch alive. Publishers are serialized by an
+    /// internal lock; readers are never blocked.
+    pub fn publish(&self, value: Arc<T>) -> u64 {
+        let _guard = self
+            .publish_lock
+            .lock()
+            .expect("epoch publish lock poisoned");
+        let packed = self.current.load(Ordering::SeqCst);
+        let old_ix = (packed & 1) as usize;
+        let new_ix = old_ix ^ 1;
+        let new_epoch = (packed >> 1) + 1;
+
+        // The target slot was retired by the previous publish; any count here is a
+        // reader that raced `load` and is about to fail validation and retry.
+        self.drain(new_ix);
+        // SAFETY: the slot is not current (readers validating `current` land on the
+        // other slot) and its stragglers have drained, so we have exclusive access.
+        unsafe { *self.slots[new_ix].value.get() = Some(value) };
+
+        self.current
+            .store((new_epoch << 1) | new_ix as u64, Ordering::SeqCst);
+
+        // Retire the previous epoch: wait for readers that validated against it to
+        // finish cloning, then drop the handle's reference. Readers holding clones
+        // keep the snapshot alive independently.
+        self.drain(old_ix);
+        // SAFETY: `current` no longer names this slot and its readers have drained.
+        unsafe { *self.slots[old_ix].value.get() = None };
+
+        new_epoch
+    }
+
+    /// Spins until the slot's reader count reaches zero. Reader critical sections are
+    /// a handful of instructions (validate + `Arc` clone), so this is short.
+    fn drain(&self, slot: usize) {
+        let mut spins = 0u32;
+        while self.slots[slot].readers.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for EpochHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochHandle")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_initial_epoch_and_value() {
+        let handle = EpochHandle::new(Arc::new(41u64), 1);
+        assert_eq!(handle.epoch(), 1);
+        let (epoch, value) = handle.load();
+        assert_eq!(epoch, 1);
+        assert_eq!(*value, 41);
+    }
+
+    #[test]
+    fn publish_advances_epoch_and_readers_see_latest() {
+        let handle = EpochHandle::new(Arc::new(0u64), 0);
+        for i in 1..=10u64 {
+            let epoch = handle.publish(Arc::new(i));
+            assert_eq!(epoch, i);
+            let (e, v) = handle.load();
+            assert_eq!(e, i);
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn old_epoch_is_retired_once_published_over() {
+        let initial = Arc::new(7u64);
+        let handle = EpochHandle::new(Arc::clone(&initial), 0);
+        let (_, held) = handle.load();
+        assert_eq!(Arc::strong_count(&initial), 3, "ours + handle + reader");
+        handle.publish(Arc::new(8));
+        // The handle dropped its reference at publish time; only our two clones
+        // keep epoch 0 alive now.
+        assert_eq!(Arc::strong_count(&initial), 2, "handle retired its copy");
+        drop(held);
+        assert_eq!(Arc::strong_count(&initial), 1);
+        let (_, v) = handle.load();
+        assert_eq!(*v, 8);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_or_stale_pairs() {
+        // The value encodes its own epoch; any read where they disagree would mean a
+        // torn or misattributed snapshot.
+        let handle = Arc::new(EpochHandle::new(Arc::new(0u64), 0));
+        let publishes = 500u64;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = Arc::clone(&handle);
+                scope.spawn(move || {
+                    let mut last_epoch = 0;
+                    loop {
+                        let (epoch, value) = handle.load();
+                        assert_eq!(epoch, *value, "epoch/value pair torn");
+                        assert!(epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = epoch;
+                        if epoch == publishes {
+                            break;
+                        }
+                    }
+                });
+            }
+            for i in 1..=publishes {
+                handle.publish(Arc::new(i));
+            }
+        });
+        assert_eq!(handle.epoch(), publishes);
+    }
+
+    #[test]
+    fn epochs_are_monotonic_under_serialized_publishers() {
+        let handle = Arc::new(EpochHandle::new(Arc::new(0u64), 0));
+        let per_thread = 100u64;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = Arc::clone(&handle);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        let before = handle.epoch();
+                        let published = handle.publish(Arc::new(0));
+                        assert!(published > before);
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.epoch(), 4 * per_thread);
+    }
+}

@@ -17,6 +17,13 @@
 //!   partitions, the unit of work distribution (Spark's `partitionBy`).
 //! * [`stage::StageTimer`] — named-stage wall-clock accounting so experiments can report
 //!   per-component times (baseliner / extender / generator / recommender, Figure 4).
+//! * [`epoch::EpochHandle`] — an atomically swappable, epoch-counted snapshot handle:
+//!   writers build the next model version aside and publish it with one pointer swing;
+//!   readers take wait-free reference-counted snapshots and never observe a torn or
+//!   retired epoch. This is the publication primitive behind serve-while-updating.
+//! * [`concurrent::ConcurrentStage`] — a driver that interleaves a reader pool with an
+//!   ingest worker over epoch-published state, recording both sides (latencies and
+//!   data-derived task costs) in the dataflow's ledgers.
 //! * [`cluster::ClusterSim`] — a deterministic cluster *simulator*: given the
 //!   per-partition task costs recorded by a `Dataflow` stage (or any modelled task bag),
 //!   it computes the makespan of an LPT (longest processing time first) schedule on `m`
@@ -29,13 +36,20 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod concurrent;
 pub mod dataflow;
+pub mod epoch;
 pub mod partition;
 pub mod pool;
 pub mod stage;
 
 pub use cluster::{ClusterCostModel, ClusterSim, SpeedupPoint};
+pub use concurrent::{
+    ConcurrentIngest, ConcurrentRead, ConcurrentReport, ConcurrentStage, IngestRecord, ReadRecord,
+    CONCURRENT_INGEST_STAGE, CONCURRENT_READ_STAGE,
+};
 pub use dataflow::{fn_stage, Dataflow, FnStage, Stage, StageContext};
+pub use epoch::EpochHandle;
 pub use partition::Partitioner;
 pub use pool::WorkerPool;
 pub use stage::{StageReport, StageTimer};

@@ -21,7 +21,8 @@ pub mod prelude {
         DomainId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timestep, UserId,
     };
     pub use xmap_core::{
-        DeltaReport, PrivacyConfig, RatingDelta, XMapConfig, XMapMode, XMapModel, XMapPipeline,
+        DeltaReport, IngestAccumulators, ModelEpoch, PrivacyConfig, RatingDelta, ServedRead,
+        XMapConfig, XMapMode, XMapModel, XMapPipeline,
     };
     pub use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
     pub use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};

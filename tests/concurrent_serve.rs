@@ -1,0 +1,209 @@
+//! The serve-while-updating gate: wait-free snapshot readers against epoch-published
+//! models during delta ingestion.
+//!
+//! Two contracts from the epoch-publication design (DESIGN.md):
+//!
+//! * **Interleave-transparency** — for *any* randomized schedule (random delta
+//!   contents, random split into ingest batches, 1/2/8 readers), every interleaved
+//!   read is bit-equal to the same read against the serialized schedule (a fresh fit
+//!   plus the same deltas applied one at a time) at the read's observed epoch.
+//!   Interleaving may change *which* epoch a read sees, never the bits an epoch
+//!   answers with — no read ever observes a torn (half-applied) state.
+//! * **Retirement** — a published epoch stays alive exactly as long as a reader holds
+//!   it: snapshots taken before a delta keep answering their own epoch's bits
+//!   undisturbed, and the epoch's memory is released once the last snapshot drops.
+//!
+//! The wall-clock side of the contract (reader p99 during ingestion vs idle) is gated
+//! in `crates/bench/benches/concurrent_serve.rs`.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xmap_suite::prelude::*;
+
+const READER_COUNTS: [usize; 3] = [1, 2, 8];
+const TOP_N: usize = 3;
+
+fn dataset() -> CrossDomainDataset {
+    CrossDomainDataset::generate(CrossDomainConfig::small())
+}
+
+fn config() -> XMapConfig {
+    XMapConfig {
+        mode: XMapMode::NxMapItemBased,
+        k: 8,
+        ..Default::default()
+    }
+}
+
+fn fit(ds: &CrossDomainDataset) -> XMapModel {
+    XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config())
+        .expect("the small trace contains both domains")
+}
+
+type AnswerBits = Vec<(ItemId, u64)>;
+
+fn bits(answer: &[(ItemId, f64)]) -> AnswerBits {
+    answer.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+/// `tables[e - 1][q]`: query `q`'s bit-exact answer at epoch `e` under the serialized
+/// schedule — fresh fit (epoch 1), then one `apply_delta` per batch.
+fn serialized_reference(
+    ds: &CrossDomainDataset,
+    updates: &[RatingDelta],
+    requests: &[xmap_suite::cf::knn::Profile],
+) -> Vec<Vec<AnswerBits>> {
+    let model = fit(ds);
+    let answers = |m: &XMapModel| -> Vec<AnswerBits> {
+        let (_, snap) = m.snapshot();
+        requests
+            .iter()
+            .map(|p| bits(&snap.recommend_for_profile(p, TOP_N)))
+            .collect()
+    };
+    let mut tables = vec![answers(&model)];
+    for delta in updates {
+        model
+            .apply_delta(delta)
+            .expect("the serialized reference applies every delta");
+        tables.push(answers(&model));
+    }
+    tables
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized schedules: arbitrary rating events over the existing catalogue,
+    /// arbitrarily split into 1–3 ingest batches, served at 1/2/8 readers.
+    #[test]
+    fn randomized_interleave_reads_match_the_serialized_schedule_at_their_epoch(
+        raw_events in collection::vec(
+            (0usize..70, 0usize..90, 1u32..=5),
+            1..12,
+        ),
+        n_deltas in 1usize..=3,
+    ) {
+        let ds = dataset();
+        let n_users = ds.matrix.n_users();
+        let n_items = ds.matrix.n_items();
+        // Split the generated events round-robin into the ingest batches, with
+        // strictly increasing fresh timesteps so the serialized ordering is unique.
+        let mut updates = vec![RatingDelta::new(); n_deltas];
+        for (ix, &(u, i, v)) in raw_events.iter().enumerate() {
+            updates[ix % n_deltas].push_timed(
+                (u % n_users) as u32,
+                (i % n_items) as u32,
+                v as f64,
+                5000 + ix as u32,
+            );
+        }
+
+        let probe = fit(&ds);
+        let requests: Vec<_> = ds
+            .overlap_users
+            .iter()
+            .chain(ds.source_only_users.iter())
+            .take(6)
+            .map(|&u| probe.alterego(u).profile)
+            .cycle()
+            .take(24)
+            .collect();
+        let tables = serialized_reference(&ds, &updates, &requests);
+
+        for readers in READER_COUNTS {
+            let model = fit(&ds);
+            let (reads, report) = model
+                .serve_concurrent(&requests, TOP_N, readers, &updates)
+                .expect("randomized deltas apply cleanly");
+            prop_assert_eq!(reads.len(), requests.len());
+            prop_assert_eq!(model.epoch(), 1 + n_deltas as u64);
+            for (q, read) in reads.iter().enumerate() {
+                prop_assert!(
+                    (1..=1 + n_deltas as u64).contains(&read.epoch),
+                    "{readers}r: read {} observed unpublished epoch {}", q, read.epoch
+                );
+                prop_assert_eq!(
+                    bits(&read.recommendations),
+                    tables[(read.epoch - 1) as usize][q].clone(),
+                    "{}r: read {} tore away from its epoch {}", readers, q, read.epoch
+                );
+            }
+            // The ingest worker published the serialized epoch sequence, in order.
+            let published: Vec<u64> = report.ingests.iter().map(|i| i.epoch).collect();
+            prop_assert_eq!(
+                published,
+                (2..=1 + n_deltas as u64).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshots_survive_publication_and_epochs_retire_with_their_last_reader() {
+    let ds = dataset();
+    let model = fit(&ds);
+    let (first_epoch, snap) = model.snapshot();
+    assert_eq!(first_epoch, 1);
+    let user = ds.overlap_users[0];
+    let baseline = bits(&snap.recommend(user, TOP_N));
+    let retired_probe = Arc::downgrade(&snap);
+
+    // Publish three epochs while the old snapshot is live.
+    for step in 0..3u32 {
+        let mut delta = RatingDelta::new();
+        delta.push_timed(
+            user.0,
+            ds.target_items()[step as usize].0,
+            1.0 + step as f64,
+            7000 + step,
+        );
+        let report = model.apply_delta(&delta).unwrap();
+        assert_eq!(report.epoch, 2 + step as u64);
+        // The live snapshot keeps answering epoch 1's bits — publication never
+        // mutates or tears a held epoch.
+        assert_eq!(bits(&snap.recommend(user, TOP_N)), baseline);
+    }
+    assert_eq!(model.epoch(), 4);
+    assert!(
+        retired_probe.upgrade().is_some(),
+        "a held epoch must stay alive"
+    );
+
+    // Once the last reader lets go, the epoch is actually retired (its memory
+    // released), while new snapshots serve the newest epoch.
+    drop(snap);
+    assert!(
+        retired_probe.upgrade().is_none(),
+        "epoch 1 must be retired once its last snapshot drops"
+    );
+    let (epoch, fresh) = model.snapshot();
+    assert_eq!(epoch, 4);
+    assert_eq!(
+        bits(&fresh.recommend(user, TOP_N)),
+        bits(&model.recommend(user, TOP_N)),
+        "the fresh snapshot and the model must answer from the same epoch"
+    );
+}
+
+#[test]
+fn concurrent_serve_with_no_deltas_equals_plain_batch_serving() {
+    let ds = dataset();
+    let model = fit(&ds);
+    let requests: Vec<_> = ds
+        .overlap_users
+        .iter()
+        .take(8)
+        .map(|&u| model.alterego(u).profile)
+        .collect();
+    let (reads, report) = model.serve_concurrent(&requests, TOP_N, 2, &[]).unwrap();
+    assert!(report.ingests.is_empty());
+    let (_, snap) = model.snapshot();
+    for (read, profile) in reads.iter().zip(&requests) {
+        assert_eq!(read.epoch, 1);
+        assert_eq!(
+            bits(&read.recommendations),
+            bits(&snap.recommend_for_profile(profile, TOP_N))
+        );
+    }
+}

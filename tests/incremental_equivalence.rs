@@ -122,7 +122,7 @@ fn delta_fit_equals_full_refit_in_all_four_modes_at_1_2_and_8_workers() {
     ] {
         let mut reference_costs: Option<Vec<f64>> = None;
         for workers in GATE_WORKERS {
-            let mut incremental = XMapPipeline::fit(
+            let incremental = XMapPipeline::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -183,7 +183,7 @@ fn sequential_deltas_compose_to_the_same_model_as_one_refit() {
     // refit on the final matrix — state carried between deltas (the scored-pair
     // cache, spliced X-Sim rows, spliced pools) must not go stale.
     let ds = dataset();
-    let mut model = XMapPipeline::fit(
+    let model = XMapPipeline::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,

@@ -60,8 +60,8 @@ fn pipeline_stage_accounting_covers_all_four_components() {
         ..XMapConfig::default()
     };
     let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
-    let names: Vec<&str> = model
-        .stats()
+    let stats = model.stats();
+    let names: Vec<&str> = stats
         .stage_durations
         .iter()
         .map(|r| r.name.as_str())
