@@ -106,7 +106,7 @@ impl SweepRunner {
     pub fn fit(&self, split: &CrossDomainSplit) -> XMapModel {
         let (source, target) = self.domains();
         XMapPipeline::fit(&split.train, source, target, self.base)
-            .expect("harness datasets always contain both domains")
+            .expect("harness datasets always contain both domains") // lint: panic — reviewed invariant
     }
 
     /// Executes a sweep: one fitted pipeline plus one `EvalStage` dataflow run per
@@ -134,6 +134,7 @@ impl SweepRunner {
                 let batch = self.eval_batch(&split);
                 self.fit(&split)
                     .sweep(spec, &batch)
+                    // lint: panic — reviewed invariant
                     .expect("config-level sweep params are handled by the model")
             }
         }

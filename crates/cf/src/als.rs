@@ -240,6 +240,7 @@ fn solve_linear_system(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
         }
         for row in (col + 1)..n {
             let factor = a[row * n + col] / diag;
+            // lint: float-eq — exact-zero elimination skip; any nonzero factor must run.
             if factor == 0.0 {
                 continue;
             }

@@ -196,6 +196,7 @@ impl<'a> RemoteUser<'a> {
                 continue;
             }
             let sim = user_similarity(&self.source_only, user, other);
+            // lint: float-eq — exact zero is the "no overlap" sentinel from user_similarity.
             if sim != 0.0 && sim.abs() > self.config.min_similarity {
                 collector.push(sim, other);
             }

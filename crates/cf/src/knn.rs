@@ -88,6 +88,7 @@ impl<'a> UserKnn<'a> {
                 continue;
             }
             let sim = user_similarity(self.matrix, user, other);
+            // lint: float-eq — exact zero is the "no overlap" sentinel from user_similarity.
             if sim.abs() > self.config.min_similarity && sim != 0.0 {
                 collector.push(sim, other);
             }
@@ -105,6 +106,7 @@ impl<'a> UserKnn<'a> {
         let mut collector = TopK::new(self.config.k);
         for other in self.matrix.users() {
             let sim = self.profile_user_similarity(&profile_map, other);
+            // lint: float-eq — exact zero is the "no overlap" sentinel, as in nearest().
             if sim.abs() > self.config.min_similarity && sim != 0.0 {
                 collector.push(sim, other);
             }
@@ -354,6 +356,7 @@ impl<'a> ItemKnn<'a> {
         let mut collector = TopK::new(config.k);
         for &j in candidates {
             let stats = item_similarity_stats(matrix, item, j, config.metric);
+            // lint: float-eq — exact zero is the "no co-rater" sentinel from the stats.
             if stats.similarity != 0.0 {
                 collector.push(stats.similarity, j);
             }

@@ -273,6 +273,105 @@ where
     merge_cells(cells.into_iter().map(|c| (c.key, c.fold())))
 }
 
+/// Folds routed cells on facade threads — one thread per cell — and merges the
+/// partials in the cells' (already deterministic) `(key, shard)` order.
+///
+/// Bit-equal to [`serial_keyed_reference`] over the same events by construction:
+/// each thread folds exactly one cell's sub-sequence in position order, joins hand
+/// the partials back in cell order, and [`merge_cells`] recombines them in that
+/// order. Running on `xmap_engine::sync::thread` (plain `std` threads outside a
+/// model run) lets `xmap-check` explore the fold's schedules exhaustively.
+pub fn fold_cells_parallel<K>(cells: &[MrvCell<K>]) -> Vec<(K, MrvShard)>
+where
+    K: Copy + Ord + Send + 'static,
+{
+    let handles: Vec<_> = cells
+        .iter()
+        .map(|cell| {
+            let cell = cell.clone();
+            xmap_engine::sync::thread::spawn(move || (cell.key, cell.fold()))
+        })
+        .collect();
+    merge_cells(handles.into_iter().map(|h| {
+        h.join().expect("a cell fold is pure and cannot panic") // lint: panic — reviewed invariant
+    }))
+}
+
+/// The shared-memory form of [`MrvSplit`] for concurrent writers: each shard lives
+/// in its own facade `UnsafeCell`, so threads that own **disjoint** shards update
+/// them in parallel with no synchronization — that disjointness is exactly the MRV
+/// contention-splitting idea, and under `xmap-check` it is *verified*: two threads
+/// touching the same shard without ordering is reported as a data race.
+///
+/// # Safety contract
+/// At most one thread may write a given shard at a time, and [`Self::merge`] /
+/// [`Self::snapshot`] may only run once every writer has been joined (the join
+/// edge is what makes the reads race-free).
+#[derive(Debug, Default)]
+pub struct ConcurrentMrvSplit {
+    shards: Vec<xmap_engine::sync::UnsafeCell<MrvShard>>,
+}
+
+// SAFETY: all shared access goes through the facade `UnsafeCell`, whose contract
+// (single writer per shard, reads only after joining writers) callers must uphold;
+// the model checker enforces it with the happens-before race detector.
+unsafe impl Send for ConcurrentMrvSplit {}
+unsafe impl Sync for ConcurrentMrvSplit {}
+
+impl ConcurrentMrvSplit {
+    /// Creates a split with `n_shards` empty shards (clamped to at least one).
+    pub fn new(n_shards: usize) -> Self {
+        ConcurrentMrvSplit {
+            shards: (0..n_shards.max(1))
+                .map(|_| xmap_engine::sync::UnsafeCell::new(MrvShard::empty()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an update at `position` is routed to (same routing as
+    /// [`MrvSplit::shard_of`]).
+    pub fn shard_of(&self, position: usize) -> usize {
+        position % self.shards.len()
+    }
+
+    /// Folds `value` into `shard`. Caller contract: no other thread accesses this
+    /// shard concurrently (see the type-level safety contract).
+    pub fn record(&self, shard: usize, value: f64) {
+        self.shards[shard].with_mut(|p| {
+            // SAFETY: shard ownership is the caller's contract; the facade cell
+            // reports a violation as a data race under the model checker.
+            unsafe { (*p).record(value) }
+        });
+    }
+
+    /// Merges the shard partials in shard-index order. Caller contract: every
+    /// writer has been joined.
+    pub fn merge(&self) -> MrvShard {
+        let mut total = MrvShard::empty();
+        for cell in &self.shards {
+            // SAFETY: writers are joined per the caller contract, so this read
+            // happens-after every write.
+            cell.with(|p| total.absorb(unsafe { &*p }));
+        }
+        total
+    }
+
+    /// The shard partials, in shard-index order (same caller contract as
+    /// [`Self::merge`]).
+    pub fn snapshot(&self) -> Vec<MrvShard> {
+        self.shards
+            .iter()
+            // SAFETY: writers are joined per the caller contract.
+            .map(|cell| cell.with(|p| unsafe { *p }))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +502,82 @@ mod tests {
                 assert_eq!(s1.sum.to_bits(), s2.sum.to_bits(), "key {k1} diverged");
             }
         }
+    }
+
+    #[test]
+    fn zero_shard_routing_is_clamped_and_bit_equal_to_the_reference() {
+        // n_shards = 0 must behave exactly like a single shard everywhere: the
+        // split, the keyed router and the parallel fold all clamp the same way.
+        let events = [(3u32, 0.1), (1, -2.5), (3, 7.75), (1, 0.3)];
+        let clamped = serial_keyed_reference(events, 0);
+        let one = serial_keyed_reference(events, 1);
+        assert_eq!(clamped, one);
+        for cell in route_events(events, 0) {
+            assert_eq!(cell.shard, 0);
+        }
+        let parallel = fold_cells_parallel(&route_events(events, 0));
+        for ((k1, s1), (k2, s2)) in parallel.iter().zip(&clamped) {
+            assert_eq!(k1, k2);
+            assert_eq!(s1.sum.to_bits(), s2.sum.to_bits());
+        }
+        assert_eq!(ConcurrentMrvSplit::new(0).n_shards(), 1);
+    }
+
+    #[test]
+    fn single_hot_key_spreads_across_all_shards_and_stays_bit_equal() {
+        // The motivating hotspot: every event hits ONE key, so the split is the
+        // only thing standing between the writers and full serialization. Each
+        // occurrence must land on occurrence % n_shards, every shard must be hit,
+        // and the contended parallel fold must reproduce the serial bits.
+        let events: Vec<(u32, f64)> = (0..64)
+            .map(|i| (42u32, (i as f64 * 0.7).sin() * 10f64.powi((i % 5) - 2)))
+            .collect();
+        let n_shards = 4;
+        let cells = route_events(events.iter().copied(), n_shards);
+        assert_eq!(cells.len(), n_shards, "one cell per shard of the hot key");
+        for (shard, cell) in cells.iter().enumerate() {
+            assert_eq!((cell.key, cell.shard), (42, shard));
+            assert_eq!(cell.values.len(), 64 / n_shards);
+        }
+        let reference = serial_keyed_reference(events.iter().copied(), n_shards);
+        let parallel = fold_cells_parallel(&cells);
+        assert_eq!(parallel.len(), 1);
+        assert_eq!(parallel[0].0, 42);
+        assert_eq!(parallel[0].1.sum.to_bits(), reference[0].1.sum.to_bits());
+        assert_eq!(parallel[0].1.count, 64);
+
+        // Same stream through the shared-memory split, one writer thread per shard.
+        let split = ConcurrentMrvSplit::new(n_shards);
+        std::thread::scope(|scope| {
+            for shard in 0..n_shards {
+                let split = &split;
+                let events = &events;
+                scope.spawn(move || {
+                    for (position, &(_, value)) in events.iter().enumerate() {
+                        if split.shard_of(position) == shard {
+                            split.record(shard, value);
+                        }
+                    }
+                });
+            }
+        });
+        let values: Vec<f64> = events.iter().map(|&(_, v)| v).collect();
+        let serial = MrvSplit::serial(&values, n_shards);
+        assert_eq!(split.snapshot(), serial.shards());
+        assert_eq!(split.merge().sum.to_bits(), serial.merge().sum.to_bits());
+    }
+
+    #[test]
+    fn empty_accumulator_merges_are_the_identity_everywhere() {
+        let no_events: [(u32, f64); 0] = [];
+        assert!(serial_keyed_reference(no_events, 3).is_empty());
+        assert!(route_events(no_events, 3).is_empty());
+        assert!(fold_cells_parallel(&route_events(no_events, 3)).is_empty());
+        assert!(merge_cells(std::iter::empty::<(u32, MrvShard)>()).is_empty());
+        let split = ConcurrentMrvSplit::new(5);
+        assert_eq!(split.merge(), MrvShard::empty());
+        assert_eq!(split.merge().mean(), None);
+        assert_eq!(split.snapshot(), vec![MrvShard::empty(); 5]);
     }
 
     proptest! {

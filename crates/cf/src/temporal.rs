@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 #[inline]
 pub fn decay_weight(alpha: f64, now: Timestep, rated_at: Timestep) -> f64 {
     debug_assert!(alpha >= 0.0, "negative decay rates are not meaningful");
+    // lint: float-eq — alpha == 0.0 exactly means "decay disabled", weight 1 for all ages.
     if alpha == 0.0 {
         1.0
     } else {

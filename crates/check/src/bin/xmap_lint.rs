@@ -1,0 +1,52 @@
+//! Workspace linter entry point: `cargo xmap-lint` (alias in `.cargo/config.toml`).
+//!
+//! Walks every first-party `src/` tree from the workspace root, applies the house
+//! rules in [`xmap_check::lint`], prints findings in `file:line: [rule] message`
+//! form and exits non-zero if any were found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xmap_check::lint::{run_workspace, Config};
+
+/// Workspace root: walk up from `CARGO_MANIFEST_DIR` (set under `cargo run`) or
+/// the current directory until a directory containing both `Cargo.toml` and
+/// `crates/` appears.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match workspace_root() {
+            Some(root) => root,
+            None => {
+                eprintln!(
+                    "xmap-lint: could not locate the workspace root (pass it as the first argument)"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let findings = run_workspace(&root, &Config::default());
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("xmap-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xmap-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

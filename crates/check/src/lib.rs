@@ -1,0 +1,15 @@
+//! # xmap-check — correctness tooling for the X-Map workspace
+//!
+//! Two engines, both required CI gates:
+//!
+//! * the **model-check harness**: re-exports of `xmap_engine::sync::model` plus
+//!   the protocol models under `tests/` that exhaustively explore the
+//!   epoch-publication and MRV merge protocols (see `DESIGN.md`, "Checked
+//!   concurrency");
+//! * the **`xmap-lint` binary** ([`lint`]): a hand-rolled lexer-based linter
+//!   enforcing the house concurrency/panic/float rules across workspace sources.
+
+pub mod lint;
+
+pub use xmap_engine::sync::model::{CheckFailure, Checker, Failure, Report};
+pub use xmap_engine::sync::seeded::Mutation;

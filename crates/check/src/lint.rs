@@ -1,0 +1,924 @@
+//! `xmap-lint`: the workspace's house-rule linter.
+//!
+//! A small hand-rolled Rust lexer (the vendor tree's `syn` stand-in is a stub, so
+//! no real parser is available offline) drives five token-level rules over every
+//! `src/` tree in the workspace:
+//!
+//! * **ordering** — `Ordering::Relaxed` and `Ordering::SeqCst` are forbidden
+//!   outside the audited concurrency files ([`Config::ordering_allowlist`]); any
+//!   other use must carry a `// lint: ordering` tag on the same or previous line
+//!   justifying why the extreme ordering is correct there.
+//! * **panic** — `.unwrap()` / `.expect(...)` are forbidden in non-test library
+//!   code (binaries, `tests/`, `benches/`, `examples/` and `#[cfg(test)]` items are
+//!   exempt); a justified invariant panic carries `// lint: panic`.
+//! * **float-eq** — `==` / `!=` against a float literal is forbidden (the
+//!   house discipline compares through explicit helpers or exact-sentinel checks
+//!   tagged `// lint: float-eq`).
+//! * **atomic-facade** — naming `std::sync::atomic` / `core::sync::atomic`
+//!   anywhere outside `xmap-engine`'s `sync` facade bypasses the model checker's
+//!   instrumentation and is forbidden, with no tag escape.
+//! * **surface-doc** — every `pub fn` in the serve/epoch/concurrent read-surface
+//!   files must be mentioned by name in `DESIGN.md`.
+//!
+//! The linter is intentionally lexical: it sees tokens, comments and lines, not
+//! types. The rules are phrased so that token evidence is sufficient — e.g. the
+//! float-eq rule fires only when one comparand is literally a float literal.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which rule a [`Violation`] belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rule {
+    /// Extreme memory ordering outside the allowlist without a justification tag.
+    Ordering,
+    /// `.unwrap()` / `.expect()` in non-test library code.
+    Panic,
+    /// `==` / `!=` against a float literal.
+    FloatEq,
+    /// `std::sync::atomic` named outside the facade.
+    AtomicFacade,
+    /// A read-surface `pub fn` missing from `DESIGN.md`.
+    SurfaceDoc,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rule::Ordering => "ordering",
+            Rule::Panic => "panic",
+            Rule::FloatEq => "float-eq",
+            Rule::AtomicFacade => "atomic-facade",
+            Rule::SurfaceDoc => "surface-doc",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One finding: file, line and a human-readable message.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What was found and how to fix or justify it.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Linter configuration: the allowlists and surface files, workspace-relative.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Files (or directory prefixes, ending in `/`) where `Ordering::Relaxed` /
+    /// `Ordering::SeqCst` are allowed without a tag: the audited concurrency core.
+    pub ordering_allowlist: Vec<String>,
+    /// Directory prefix where `std::sync::atomic` may be named: the facade itself.
+    pub atomic_allowlist: Vec<String>,
+    /// Files whose `pub fn`s must each be mentioned in `DESIGN.md`.
+    pub surface_files: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ordering_allowlist: vec![
+                "crates/engine/src/epoch.rs".into(),
+                "crates/engine/src/concurrent.rs".into(),
+                "crates/cf/src/mrv.rs".into(),
+                // The facade interprets orderings rather than using them; its
+                // internals (shims, vector-clock runtime, seeded hooks) name every
+                // ordering by construction.
+                "crates/engine/src/sync/".into(),
+            ],
+            atomic_allowlist: vec!["crates/engine/src/sync/".into()],
+            surface_files: vec![
+                "crates/engine/src/epoch.rs".into(),
+                "crates/engine/src/concurrent.rs".into(),
+                "crates/core/src/serve.rs".into(),
+                "crates/core/src/delta.rs".into(),
+            ],
+        }
+    }
+}
+
+fn path_matches(path: &str, entry: &str) -> bool {
+    if let Some(dir) = entry.strip_suffix('/') {
+        path.starts_with(dir) && path[dir.len()..].starts_with('/')
+    } else {
+        path == entry
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    /// A punctuation cluster the rules care about (`::`, `==`, `!=`) or a single
+    /// punctuation character.
+    Punct(String),
+    Float,
+    Int,
+    Str,
+    Char,
+}
+
+#[derive(Clone, Debug)]
+struct Token {
+    tok: Tok,
+    line: u32,
+}
+
+/// Lex `src` into rule-relevant tokens plus the `// lint: <tag>` escape tags.
+/// A tag comment applies to its own line and the following line, so it can sit
+/// either at the end of the offending line or on its own line above it.
+fn lex(src: &str) -> (Vec<Token>, HashMap<u32, HashSet<String>>) {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut tags: HashMap<u32, HashSet<String>> = HashMap::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                let comment = src[start..j].trim();
+                if let Some(rest) = comment.strip_prefix("lint:") {
+                    // Each comma segment is `<tag> [free-form justification]`.
+                    for segment in rest.split(',') {
+                        if let Some(tag) = segment.split_whitespace().next() {
+                            tags.entry(line).or_default().insert(tag.to_string());
+                            tags.entry(line + 1).or_default().insert(tag.to_string());
+                        }
+                    }
+                }
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (j, newlines) = scan_string(bytes, i + 1);
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+                line += newlines;
+                i = j;
+            }
+            'r' | 'b' if is_raw_string_start(bytes, i) => {
+                let (j, newlines) = scan_raw_string(bytes, i);
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+                line += newlines;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` ident not followed by
+                // a closing quote.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if (n as char).is_alphabetic() || n == b'_')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    // Char literal: handle escapes, find closing quote.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&b'\\') {
+                        j += 2;
+                        // Consume the rest of longer escapes (\u{..}, \x..)
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                    } else {
+                        // One (possibly multi-byte) character.
+                        j += 1;
+                        while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+                            j += 1;
+                        }
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let (j, is_float) = scan_number(bytes, i);
+                tokens.push(Token {
+                    tok: if is_float { Tok::Float } else { Tok::Int },
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap_or(' ');
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("::".into()),
+                    line,
+                });
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("==".into()),
+                    line,
+                });
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("!=".into()),
+                    line,
+                });
+                i += 2;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                tokens.push(Token {
+                    tok: Tok::Punct(c.to_string()),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    (tokens, tags)
+}
+
+/// Scan past a `"..."` string body starting just after the opening quote; returns
+/// (index after closing quote, newlines crossed).
+fn scan_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // r"..." | r#"..."# | br"..." | b"..." handled by '"' arm (b is lexed as an
+    // ident; the quote follows). Here: r or br raw strings only.
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn scan_raw_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut newlines = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (j, newlines);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (i, newlines)
+}
+
+/// Scan a numeric literal; returns (end index, is_float). Floats are `1.5`,
+/// `1.5e3`, `1e3`, `1.` (when not a range/method like `1..` or `1.max`), and any
+/// literal with an `f32`/`f64` suffix.
+fn scan_number(bytes: &[u8], mut i: usize) -> (usize, bool) {
+    let mut is_float = false;
+    // Hex/octal/binary literals are never floats.
+    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        i += 2;
+        while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, false);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'.') {
+        let after = bytes.get(i + 1).copied();
+        let fractional = matches!(after, Some(d) if d.is_ascii_digit());
+        // `1.` with nothing ident-like after is also a float (e.g. `1. + x`);
+        // `1..` is a range and `1.max` a method call on an integer.
+        let bare_dot =
+            !matches!(after, Some(d) if d == b'.' || (d as char).is_alphabetic() || d == b'_');
+        if fractional || bare_dot {
+            is_float = true;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        if matches!(bytes.get(j), Some(d) if d.is_ascii_digit()) {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix: f32/f64 force float; u*/i* stay int.
+    let suffix_start = i;
+    while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if bytes[suffix_start..i].starts_with(b"f3") || bytes[suffix_start..i].starts_with(b"f6") {
+        is_float = true;
+    }
+    (i, is_float)
+}
+
+// ---------------------------------------------------------------------------
+// Test-region masking
+// ---------------------------------------------------------------------------
+
+fn is_punct(tokens: &[Token], i: usize, p: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Punct(s), .. }) if s == p)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Scan an outer attribute `#[...]` starting at `i` (which must point at `#`).
+/// Returns (index after the closing `]`, attribute marks a test item).
+fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 2; // past '#' '['
+    let mut depth = 1;
+    let mut has_test = false;
+    let mut has_not = false;
+    while j < tokens.len() && depth > 0 {
+        if is_punct(tokens, j, "[") {
+            depth += 1;
+        } else if is_punct(tokens, j, "]") {
+            depth -= 1;
+        } else if let Some(name) = ident_at(tokens, j) {
+            if name == "test" {
+                has_test = true;
+            }
+            if name == "not" {
+                has_not = true;
+            }
+        }
+        j += 1;
+    }
+    (j, has_test && !has_not)
+}
+
+/// Index just past the item that starts at `i`: the matching `}` of its first
+/// top-level brace block, or a `;` before any brace (for `use` etc.).
+fn scan_item_end(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut saw_brace = false;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "{") {
+            depth += 1;
+            saw_brace = true;
+        } else if is_punct(tokens, i, "}") {
+            depth = depth.saturating_sub(1);
+            if saw_brace && depth == 0 {
+                return i + 1;
+            }
+        } else if is_punct(tokens, i, ";") && !saw_brace {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-guarded item.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            let (mut j, is_test) = scan_attr(tokens, i);
+            if is_test {
+                // Skip the rest of the attribute stack, then the item itself.
+                while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
+                    j = scan_attr(tokens, j).0;
+                }
+                let end = scan_item_end(tokens, j);
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+            } else {
+                i = j;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn has_tag(tags: &HashMap<u32, HashSet<String>>, line: u32, tag: &str) -> bool {
+    tags.get(&line).is_some_and(|s| s.contains(tag))
+}
+
+/// Whether the panic rule applies to this workspace-relative path: library source
+/// trees only — binaries and out-of-tree test/bench/example code are exempt.
+fn panic_rule_applies(path: &str) -> bool {
+    let in_src = path.contains("/src/") || path.starts_with("src/");
+    let exempt = path.contains("/bin/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/");
+    in_src && !exempt
+}
+
+/// Lint one source file (workspace-relative `path`, contents `src`).
+/// `design` is `DESIGN.md`'s contents, used by the surface-doc rule.
+pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<Violation> {
+    let (tokens, tags) = lex(src);
+    let mask = test_mask(&tokens);
+    let mut out = Vec::new();
+
+    let ordering_allowed = config
+        .ordering_allowlist
+        .iter()
+        .any(|e| path_matches(path, e));
+    let atomic_allowed = config
+        .atomic_allowlist
+        .iter()
+        .any(|e| path_matches(path, e));
+    let is_surface = config.surface_files.iter().any(|e| path_matches(path, e));
+    let panic_applies = panic_rule_applies(path);
+
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let line = tokens[i].line;
+
+        // ordering: `Ordering` `::` `Relaxed|SeqCst`
+        if !ordering_allowed
+            && ident_at(&tokens, i) == Some("Ordering")
+            && is_punct(&tokens, i + 1, "::")
+        {
+            if let Some(which @ ("Relaxed" | "SeqCst")) = ident_at(&tokens, i + 2) {
+                let line = tokens[i + 2].line;
+                if !has_tag(&tags, line, "ordering") {
+                    out.push(Violation {
+                        file: path.to_string(),
+                        line,
+                        rule: Rule::Ordering,
+                        message: format!(
+                            "Ordering::{which} outside the audited concurrency files; \
+                             justify with `// lint: ordering` or move the code into the facade"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // panic: `.` `unwrap|expect` `(`
+        if panic_applies && is_punct(&tokens, i, ".") {
+            if let Some(name @ ("unwrap" | "expect")) = ident_at(&tokens, i + 1) {
+                if is_punct(&tokens, i + 2, "(") {
+                    let line = tokens[i + 1].line;
+                    if !has_tag(&tags, line, "panic") {
+                        out.push(Violation {
+                            file: path.to_string(),
+                            line,
+                            rule: Rule::Panic,
+                            message: format!(
+                                ".{name}() in library code; return an error, use \
+                                 unwrap_or_else, or justify an invariant with `// lint: panic`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // float-eq: float literal adjacent to == / !=
+        if matches!(tokens[i].tok, Tok::Punct(ref p) if p == "==" || p == "!=") {
+            let float_beside = matches!(
+                tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                Some(Tok::Float)
+            ) || matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Float));
+            if float_beside && !has_tag(&tags, line, "float-eq") {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::FloatEq,
+                    message: "exact float comparison; use an epsilon/total_cmp helper or tag an \
+                              exact-sentinel check with `// lint: float-eq`"
+                        .to_string(),
+                });
+            }
+        }
+
+        // atomic-facade: `std|core` `::` `sync` `::` `atomic`
+        if !atomic_allowed
+            && matches!(ident_at(&tokens, i), Some("std") | Some("core"))
+            && is_punct(&tokens, i + 1, "::")
+            && ident_at(&tokens, i + 2) == Some("sync")
+            && is_punct(&tokens, i + 3, "::")
+            && ident_at(&tokens, i + 4) == Some("atomic")
+        {
+            out.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: Rule::AtomicFacade,
+                message: "std::sync::atomic bypasses the model-check facade; import from \
+                          xmap_engine::sync (crate::sync inside xmap-engine) instead"
+                    .to_string(),
+            });
+        }
+    }
+
+    // surface-doc: every `pub fn` in a read-surface file must appear in DESIGN.md.
+    if is_surface {
+        for i in 0..tokens.len() {
+            if mask[i] {
+                continue;
+            }
+            if ident_at(&tokens, i) == Some("pub") && ident_at(&tokens, i + 1) == Some("fn") {
+                if let Some(name) = ident_at(&tokens, i + 2) {
+                    if !mentions_word(design, name) {
+                        out.push(Violation {
+                            file: path.to_string(),
+                            line: tokens[i + 2].line,
+                            rule: Rule::SurfaceDoc,
+                            message: format!(
+                                "pub fn `{name}` on the serve/epoch read surface is not \
+                                 mentioned in DESIGN.md"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Word-boundary containment: `name` appears in `text` not embedded in a longer
+/// identifier.
+fn mentions_word(text: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(name) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !text[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + name.len();
+        let after_ok = after >= text.len()
+            || !text[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + name.len().max(1);
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The `src/` trees the linter walks, workspace-relative: every first-party crate
+/// plus the workspace facade. The vendor stand-ins are exempt (they mimic external
+/// crates' APIs, panics and all).
+fn lintable_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        roots.push(facade_src);
+    }
+    roots
+}
+
+/// Lints the whole workspace rooted at `root`. Returns all findings, ordered by
+/// file then line. Missing `DESIGN.md` makes every surface `pub fn` a finding
+/// rather than silently passing.
+pub fn run_workspace(root: &Path, config: &Config) -> Vec<Violation> {
+    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    let mut files = Vec::new();
+    for src_root in lintable_roots(root) {
+        collect_rs_files(&src_root, &mut files);
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        out.extend(lint_source(&rel, &source, &design, config));
+    }
+    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(path: &str, src: &str) -> Vec<Violation> {
+        lint_source(
+            path,
+            src,
+            "DESIGN: mentions serve_fn here.",
+            &Config::default(),
+        )
+    }
+
+    #[test]
+    fn relaxed_outside_allowlist_is_flagged() {
+        let src = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }";
+        let v = lint_str("crates/core/src/pipeline.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Ordering);
+    }
+
+    #[test]
+    fn relaxed_with_tag_passes() {
+        let src = "fn f(a: &AtomicU64) -> u64 {\n    // lint: ordering — monotone counter, no payload\n    a.load(Ordering::Relaxed)\n}";
+        let v = lint_str("crates/core/src/pipeline.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn relaxed_in_allowlisted_file_passes() {
+        let src = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::SeqCst) }";
+        let v = lint_str("crates/engine/src/epoch.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_confused_with_atomic_ordering() {
+        let src = "fn f() -> std::cmp::Ordering { std::cmp::Ordering::Less }";
+        let v = lint_str("crates/core/src/pipeline.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_in_library_is_flagged_and_tag_escapes() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let v = lint_str("crates/cf/src/matrix.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::Panic);
+
+        let tagged = "fn f(x: Option<u8>) -> u8 { x.expect(\"invariant\") } // lint: panic";
+        assert!(lint_str("crates/cf/src/matrix.rs", tagged).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_tests_benches_and_cfg_test_is_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(lint_str("crates/cf/tests/matrix.rs", src).is_empty());
+        assert!(lint_str("crates/cf/benches/matrix.rs", src).is_empty());
+        assert!(lint_str("crates/bench/src/bin/experiments.rs", src).is_empty());
+
+        let cfg_test = "#[cfg(test)]\nmod tests {\n    fn g(x: Option<u8>) -> u8 { x.unwrap() }\n}\nfn keep() {}";
+        assert!(lint_str("crates/cf/src/matrix.rs", cfg_test).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner) }";
+        let v = lint_str("crates/cf/src/matrix.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_is_flagged_and_tag_escapes() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        let v = lint_str("crates/cf/src/matrix.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FloatEq);
+
+        let tagged = "fn f(x: f64) -> bool { x == 0.0 } // lint: float-eq exact zero sentinel";
+        assert!(lint_str("crates/cf/src/matrix.rs", tagged).is_empty());
+
+        let int_cmp = "fn f(x: u64) -> bool { x == 0 }";
+        assert!(lint_str("crates/cf/src/matrix.rs", int_cmp).is_empty());
+    }
+
+    #[test]
+    fn std_sync_atomic_outside_facade_is_flagged() {
+        let src = "use std::sync::atomic::AtomicU64;";
+        let v = lint_str("crates/cf/src/matrix.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AtomicFacade);
+
+        assert!(lint_str("crates/engine/src/sync/shim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn surface_pub_fn_must_be_in_design_md() {
+        let src = "pub fn serve_fn() {}\npub fn undocumented_fn() {}";
+        let v = lint_str("crates/core/src/serve.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::SurfaceDoc);
+        assert!(v[0].message.contains("undocumented_fn"));
+
+        // Non-surface files are not held to the rule.
+        assert!(lint_str("crates/cf/src/matrix.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_do_not_confuse_the_lexer() {
+        let src = r##"
+fn f<'a>(x: &'a str) -> bool {
+    let _s = "Ordering::Relaxed .unwrap() 1.0 == 2.0";
+    let _r = r#"x.unwrap()"#;
+    let _c = '=';
+    /* Ordering::SeqCst in a /* nested */ block comment */
+    // Ordering::Relaxed in a line comment
+    x.len() == 3
+}
+"##;
+        let v = lint_str("crates/cf/src/matrix.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn range_and_method_calls_on_ints_are_not_floats() {
+        let src = "fn f() -> bool { let v: Vec<u8> = (1..5).collect(); v.len() != 0 }";
+        assert!(lint_str("crates/cf/src/matrix.rs", src).is_empty());
+    }
+
+    #[test]
+    fn planted_fixture_is_rejected() {
+        // The acceptance-criteria fixture: one file violating several rules at
+        // once must produce a finding per rule.
+        let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn planted(flag: &AtomicU64, x: Option<f64>) -> bool {
+    let v = x.unwrap();
+    flag.store(1, Ordering::Relaxed);
+    v == 1.5
+}
+"#;
+        let v = lint_str("crates/cf/src/planted.rs", src);
+        let rules: Vec<Rule> = v.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::AtomicFacade), "{v:?}");
+        assert!(rules.contains(&Rule::Panic), "{v:?}");
+        assert!(rules.contains(&Rule::Ordering), "{v:?}");
+        assert!(rules.contains(&Rule::FloatEq), "{v:?}");
+    }
+}

@@ -1,0 +1,64 @@
+//! The workspace must lint clean — this is the same gate the `lint` CI job runs
+//! via `cargo xmap-lint`, kept as a test so `cargo test` catches regressions
+//! without the alias.
+
+use std::path::Path;
+
+use xmap_check::lint::{lint_source, run_workspace, Config, Rule};
+
+fn workspace_root() -> &'static Path {
+    // crates/check → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels below the workspace root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let findings = run_workspace(workspace_root(), &Config::default());
+    assert!(
+        findings.is_empty(),
+        "xmap-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn a_planted_violation_is_rejected_against_the_real_design_md() {
+    // End-to-end fixture: a source file violating four rules at once, linted with
+    // the real DESIGN.md, must produce a finding per rule — proving the CI gate
+    // would reject it, not just the unit-test stub config.
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md"))
+        .expect("DESIGN.md exists at the workspace root");
+    let planted = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+pub fn planted(flag: &AtomicU64, x: Option<f64>) -> bool {
+    let v = x.unwrap();
+    flag.store(1, Ordering::Relaxed);
+    v == 1.5
+}
+"#;
+    let findings = lint_source(
+        "crates/cf/src/planted.rs",
+        planted,
+        &design,
+        &Config::default(),
+    );
+    for rule in [
+        Rule::AtomicFacade,
+        Rule::Panic,
+        Rule::Ordering,
+        Rule::FloatEq,
+    ] {
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "planted {rule} violation was not rejected; findings: {findings:?}"
+        );
+    }
+}

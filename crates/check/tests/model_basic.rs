@@ -1,0 +1,167 @@
+//! Sanity gates for the model checker itself: the scheduler must explore real
+//! interleavings, the vector-clock tracker must flag textbook races, and correct
+//! synchronization idioms must pass.
+
+use xmap_check::Checker;
+use xmap_engine::sync::{thread, Arc, AtomicU64, AtomicUsize, Mutex, Ordering, UnsafeCell};
+
+struct RacyCell(UnsafeCell<u64>);
+// SAFETY: deliberately unsound sharing — the point of these tests is that the
+// checker proves it so.
+unsafe impl Sync for RacyCell {}
+unsafe impl Send for RacyCell {}
+
+#[test]
+fn counter_increments_explore_multiple_schedules_and_pass() {
+    let report = Checker::new()
+        .check(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        })
+        .expect("two atomic increments are race-free");
+    assert!(
+        report.schedules > 1,
+        "two-thread model must explore more than one schedule, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn unsynchronized_cell_write_is_reported_as_race() {
+    let failure = Checker::new()
+        .check(|| {
+            let cell = Arc::new(RacyCell(UnsafeCell::new(0)));
+            let writer = {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || cell.0.with_mut(|p| unsafe { *p = 1 }))
+            };
+            // Main-thread read unordered with the child's write.
+            cell.0.with(|p| unsafe { *p });
+            writer.join().expect("model thread");
+        })
+        .expect_err("unsynchronized write/read must be reported");
+    assert!(
+        failure.is_data_race(),
+        "expected a data race, got: {failure}"
+    );
+}
+
+#[test]
+fn release_acquire_handoff_passes() {
+    Checker::new()
+        .check(|| {
+            let cell = Arc::new(RacyCell(UnsafeCell::new(0)));
+            let flag = Arc::new(AtomicU64::new(0));
+            let producer = {
+                let cell = Arc::clone(&cell);
+                let flag = Arc::clone(&flag);
+                thread::spawn(move || {
+                    cell.0.with_mut(|p| unsafe { *p = 42 });
+                    flag.store(1, Ordering::Release);
+                })
+            };
+            if flag.load(Ordering::Acquire) == 1 {
+                let v = cell.0.with(|p| unsafe { *p });
+                assert_eq!(v, 42, "acquire read must see the released write");
+            }
+            producer.join().expect("model thread");
+        })
+        .expect("release/acquire handoff is race-free");
+}
+
+#[test]
+fn relaxed_handoff_is_reported_as_race() {
+    let failure = Checker::new()
+        .check(|| {
+            let cell = Arc::new(RacyCell(UnsafeCell::new(0)));
+            let flag = Arc::new(AtomicU64::new(0));
+            let producer = {
+                let cell = Arc::clone(&cell);
+                let flag = Arc::clone(&flag);
+                thread::spawn(move || {
+                    cell.0.with_mut(|p| unsafe { *p = 42 });
+                    flag.store(1, Ordering::Relaxed);
+                })
+            };
+            if flag.load(Ordering::Relaxed) == 1 {
+                cell.0.with(|p| unsafe { *p });
+            }
+            producer.join().expect("model thread");
+        })
+        .expect_err("relaxed handoff must be reported");
+    assert!(
+        failure.is_data_race(),
+        "expected a data race, got: {failure}"
+    );
+}
+
+#[test]
+fn mutex_protected_cell_passes() {
+    Checker::new()
+        .check(|| {
+            let shared = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || {
+                        let mut g = shared.lock().expect("model mutex");
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            assert_eq!(*shared.lock().expect("model mutex"), 2);
+        })
+        .expect("mutex-serialized increments are race-free");
+}
+
+#[test]
+fn assertion_failures_surface_as_panics_with_schedule_trace() {
+    let failure = Checker::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let setter = {
+                let flag = Arc::clone(&flag);
+                thread::spawn(move || flag.store(1, Ordering::Release))
+            };
+            // Fails on the schedule where the setter runs first.
+            assert_eq!(flag.load(Ordering::Acquire), 0, "setter ran first");
+            setter.join().expect("model thread");
+        })
+        .expect_err("some schedule must trip the assertion");
+    assert!(
+        failure.is_panic_containing("setter ran first"),
+        "expected the assertion panic, got: {failure}"
+    );
+    assert!(!failure.trace.is_empty(), "failure must carry a trace");
+}
+
+#[test]
+fn spin_loop_wakeups_terminate() {
+    Checker::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let setter = {
+                let flag = Arc::clone(&flag);
+                thread::spawn(move || flag.store(1, Ordering::Release))
+            };
+            while flag.load(Ordering::Acquire) != 1 {
+                xmap_engine::sync::hint::spin_loop();
+            }
+            setter.join().expect("model thread");
+        })
+        .expect("spin on a flag another thread sets must terminate");
+}

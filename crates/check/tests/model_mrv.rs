@@ -1,0 +1,97 @@
+//! Model-checks the MRV accumulator discipline (`xmap_cf::mrv`).
+//!
+//! The MRV contract has two concurrency claims: writers that own disjoint shards
+//! need no synchronization at all (that is the point of splitting a hotspot), and
+//! the deterministic `(key, shard)` merge makes any parallel fold bit-equal to the
+//! serial reference. The checker verifies the first claim's happens-before
+//! structure exhaustively and demonstrates the detector catches its violation.
+
+use xmap_cf::mrv::{
+    fold_cells_parallel, route_events, serial_keyed_reference, ConcurrentMrvSplit, MrvShard,
+    MrvSplit,
+};
+use xmap_check::Checker;
+use xmap_engine::sync::{thread, Arc};
+
+#[test]
+fn disjoint_shard_writers_are_race_free_and_bit_equal() {
+    let report = Checker::new()
+        .check(|| {
+            let split = Arc::new(ConcurrentMrvSplit::new(2));
+            let writers: Vec<_> = (0..2)
+                .map(|shard| {
+                    let split = Arc::clone(&split);
+                    thread::spawn(move || {
+                        split.record(shard, 1.5 + shard as f64);
+                        split.record(shard, -0.25);
+                    })
+                })
+                .collect();
+            for w in writers {
+                w.join().expect("shard writer");
+            }
+            // The join edges make the merge race-free; the shard partials must be
+            // exactly the per-shard serial folds regardless of the schedule.
+            let mut s0 = MrvShard::empty();
+            s0.record(1.5);
+            s0.record(-0.25);
+            let mut s1 = MrvShard::empty();
+            s1.record(2.5);
+            s1.record(-0.25);
+            let expected = MrvSplit::from_shards(vec![s0, s1]);
+            assert_eq!(split.snapshot(), expected.shards());
+            assert_eq!(split.merge().sum.to_bits(), expected.merge().sum.to_bits());
+        })
+        .expect("disjoint shard writers are race-free");
+    println!(
+        "mrv 2 disjoint shard writers: {} schedules explored exhaustively",
+        report.schedules
+    );
+    assert!(
+        report.schedules > 1,
+        "expected schedule choice, not a straight line"
+    );
+}
+
+#[test]
+fn same_shard_concurrent_writers_are_reported_as_a_race() {
+    let failure = Checker::new()
+        .check(|| {
+            let split = Arc::new(ConcurrentMrvSplit::new(2));
+            let contender = Arc::clone(&split);
+            let t = thread::spawn(move || contender.record(0, 1.0));
+            // Violates the single-writer-per-shard contract: same shard, no ordering.
+            split.record(0, 2.0);
+            t.join().expect("shard writer");
+        })
+        .expect_err("two unsynchronized writers on one shard must race");
+    assert!(
+        failure.is_data_race(),
+        "expected a data race, got: {failure}"
+    );
+    println!("same-shard contention detected as: {failure}");
+}
+
+#[test]
+fn parallel_cell_fold_matches_the_serial_reference_in_every_schedule() {
+    // One hot key routed across two shards — the contended fold the module exists
+    // for. Every interleaving of the two fold threads must produce the reference
+    // bits, because each cell's sub-sequence and the merge order are data-derived.
+    let events = [(7u32, 0.5), (7, 1.25), (7, -2.0), (7, 4.5)];
+    let reference = serial_keyed_reference(events, 2);
+    let report = Checker::new()
+        .check(move || {
+            let parallel = fold_cells_parallel(&route_events(events, 2));
+            assert_eq!(parallel.len(), reference.len());
+            for ((pk, ps), (rk, rs)) in parallel.iter().zip(&reference) {
+                assert_eq!(pk, rk);
+                assert_eq!(ps.count, rs.count);
+                assert_eq!(ps.sum.to_bits(), rs.sum.to_bits());
+            }
+        })
+        .expect("the routed fold is schedule-independent");
+    println!(
+        "mrv parallel cell fold: {} schedules explored exhaustively",
+        report.schedules
+    );
+}

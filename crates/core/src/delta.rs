@@ -438,7 +438,7 @@ impl Stage<()> for DeltaStage<'_> {
         // The ε debit is unconditional: the delta re-releases the table either way. ---
         if let Some(b) = self.budget {
             b.lock()
-                .expect("privacy budget mutex poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .spend("PRS", config.privacy.epsilon)
                 .map_err(XMapError::Privacy)?;
         }
@@ -475,9 +475,9 @@ impl Stage<()> for DeltaStage<'_> {
                     config.privacy.epsilon_prime,
                     &mut self
                         .budget
-                        .expect("private modes carry a privacy budget")
+                        .expect("private modes carry a privacy budget") // lint: panic — reviewed invariant
                         .lock()
-                        .expect("privacy budget mutex poisoned"),
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
                 )?;
             }
             (None, None)
@@ -499,9 +499,9 @@ impl Stage<()> for DeltaStage<'_> {
                             config.privacy.epsilon_prime,
                             &mut self
                                 .budget
-                                .expect("private modes carry a privacy budget")
+                                .expect("private modes carry a privacy budget") // lint: panic — reviewed invariant
                                 .lock()
-                                .expect("privacy budget mutex poisoned"),
+                                .unwrap_or_else(std::sync::PoisonError::into_inner),
                         )?;
                     }
                     let pool_k = match config.mode {
@@ -544,7 +544,7 @@ impl Stage<()> for DeltaStage<'_> {
                     let mut pools = base
                         .item_pools
                         .as_ref()
-                        .expect("item-based models retain their kNN pools")
+                        .expect("item-based models retain their kNN pools") // lint: panic — reviewed invariant
                         .as_ref()
                         .clone();
                     pools.resize(target_matrix.n_items(), Vec::new());
@@ -567,9 +567,9 @@ impl Stage<()> for DeltaStage<'_> {
                         config.seed,
                         &mut self
                             .budget
-                            .expect("private modes carry a privacy budget")
+                            .expect("private modes carry a privacy budget") // lint: panic — reviewed invariant
                             .lock()
-                            .expect("privacy budget mutex poisoned"),
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
                     )?) as Box<dyn ProfileRecommender + Send + Sync>,
                     None,
                 ),
@@ -615,7 +615,10 @@ impl XMapModel {
     /// from the matrix layer, and an exhausted privacy budget aborts before anything is
     /// released.
     pub fn apply_delta(&self, delta: &RatingDelta) -> Result<DeltaReport> {
-        let _ingest = self.ingest_lock.lock().expect("ingest lock poisoned");
+        let _ingest = self
+            .ingest_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (_, base) = self.handle.load();
         for &(item, domain) in delta.item_domains() {
             if item.index() < base.full.n_items() && base.full.item_domain(item) != domain {
@@ -695,8 +698,12 @@ impl XMapModel {
                 .unwrap_or_else(|| Arc::clone(&base.xsim)),
             recommender,
             item_pools,
-            budget: budget
-                .map(|m| Arc::new(m.into_inner().expect("privacy budget mutex poisoned"))),
+            budget: budget.map(|m| {
+                Arc::new(
+                    m.into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                )
+            }),
         };
 
         // --- Publish: one pointer swap; readers on the base epoch drain and the base
@@ -707,7 +714,10 @@ impl XMapModel {
         // fit-stage task bags keep describing the original fit — the delta's own bag
         // lives in the `delta` ledger.
         {
-            let mut stats = self.stats.lock().expect("stats mutex poisoned");
+            let mut stats = self
+                .stats
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some((n_standard, n_bridges, layer_counts)) = graph_shape {
                 stats.n_standard_hetero_pairs = n_standard;
                 stats.n_bridge_items = n_bridges;
@@ -724,7 +734,7 @@ impl XMapModel {
         *self
             .ingest_stats
             .lock()
-            .expect("ingest stats mutex poisoned") = Some(accumulators);
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(accumulators);
         Ok(report)
     }
 
@@ -798,7 +808,9 @@ impl XMapModel {
                     cost: 1.0 + deltas[ix].len() as f64,
                 },
                 Err(e) => {
-                    let mut slot = error.lock().expect("ingest error slot poisoned");
+                    let mut slot = error
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if slot.is_none() {
                         *slot = Some(e);
                     }
@@ -809,7 +821,10 @@ impl XMapModel {
                 }
             },
         );
-        if let Some(e) = error.into_inner().expect("ingest error slot poisoned") {
+        if let Some(e) = error
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             return Err(e);
         }
         Ok((reads, report))

@@ -233,7 +233,7 @@ impl<'a> AlterEgoGenerator<'a> {
                 config.privacy.epsilon,
                 Sensitivity::XSIM_GLOBAL.value(),
             )
-            .expect("candidate list is non-empty and scores are finite");
+            .expect("candidate list is non-empty and scores are finite"); // lint: panic — reviewed invariant
             candidates[idx].item
         } else {
             candidates[0].item

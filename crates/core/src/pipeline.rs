@@ -35,11 +35,11 @@ use crate::recommend::{
 use crate::serve::{RecommendStage, ServeBatch, RECOMMEND_STAGE_NAME};
 use crate::xsim::XSimTable;
 use crate::{Result, XMapError};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use xmap_cf::knn::{ItemNeighbor, Profile};
 use xmap_cf::similarity::item_similarity_stats;
 use xmap_cf::{DomainId, ItemId, ItemKnn, ItemKnnConfig, RatingMatrix, SimilarityStats, UserId};
+use xmap_engine::sync::{AtomicU64, Ordering};
 use xmap_engine::{Dataflow, EpochHandle, Stage, StageContext, StageReport};
 use xmap_eval::EVAL_STAGE_NAME;
 use xmap_eval::{EvalBatch, EvalReport, EvalStage, EvalTarget, SweepParam, SweepSeries, SweepSpec};
@@ -303,7 +303,10 @@ impl XMapModel {
     /// fit or delta fit, as an owned copy — the live stats refresh under the ingest
     /// lock when a delta publishes.
     pub fn stats(&self) -> PipelineStats {
-        self.stats.lock().expect("stats mutex poisoned").clone()
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Display label of the active recommender variant.
@@ -353,6 +356,9 @@ impl XMapModel {
             &RecommendStage::new(snap.recommender.as_ref(), &self.scratch),
             ServeBatch::new(profiles, n),
         );
+        // Observability stamp only; the snapshot itself came from the epoch
+        // handle's acquire load, nothing synchronizes through this cell.
+        // lint: ordering
         self.serve_epoch.store(epoch, Ordering::Relaxed);
         out
     }
@@ -367,6 +373,7 @@ impl XMapModel {
             &RecommendStage::new(snap.recommender.as_ref(), &self.scratch),
             ServeBatch::new(&profiles, n),
         );
+        // lint: ordering — same observability-only stamp as in serve_profiles.
         self.serve_epoch.store(epoch, Ordering::Relaxed);
         out
     }
@@ -387,6 +394,7 @@ impl XMapModel {
     /// been served yet — the epoch stamp of the `recommend` cost ledger, with the same
     /// last-writer-wins caveat as [`XMapModel::serving_task_costs`].
     pub fn served_epoch(&self) -> Option<u64> {
+        // lint: ordering — reads the observability stamp; last-writer-wins by design.
         match self.serve_epoch.load(Ordering::Relaxed) {
             0 => None,
             e => Some(e),
@@ -406,7 +414,7 @@ impl XMapModel {
     pub fn ingest_accumulators(&self) -> Option<IngestAccumulators> {
         self.ingest_stats
             .lock()
-            .expect("ingest stats mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 
@@ -414,7 +422,10 @@ impl XMapModel {
     /// (baseliner, extender, generator, recommender — in pipeline order), for cluster
     /// replay of the whole model fit. Data-derived, so identical at any worker count.
     pub fn fit_task_costs(&self) -> Vec<f64> {
-        let s = self.stats.lock().expect("stats mutex poisoned");
+        let s = self
+            .stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut bag = Vec::with_capacity(
             s.baseliner_task_costs.len()
                 + s.extension_task_costs.len()
@@ -721,7 +732,7 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
         let config = &self.config;
         let mut budget_guard = self
             .budget
-            .map(|m| m.lock().expect("privacy budget mutex poisoned"));
+            .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
         match config.mode {
             XMapMode::NxMapItemBased => {
                 let pools = fit_item_pools(&target_matrix, config.k, config.temporal_alpha, cx);
@@ -738,7 +749,7 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
                 PrivateItemBasedRecommender::debit_budget(
                     config.privacy.epsilon_prime,
                     budget_guard
-                        .as_deref_mut()
+                        .as_deref_mut() // lint: panic — reviewed invariant
                         .expect("private modes carry a privacy budget"),
                 )?;
                 let pools = fit_item_pools(
@@ -757,7 +768,7 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
                     config.privacy.rho,
                     config.seed,
                     budget_guard
-                        .as_deref_mut()
+                        .as_deref_mut() // lint: panic — reviewed invariant
                         .expect("private modes carry a privacy budget"),
                 )?),
                 None,
@@ -829,7 +840,7 @@ impl XMapPipeline {
         // for every user) spends the generation-phase ε; debit it before the draws run.
         if let Some(b) = &budget {
             b.lock()
-                .expect("privacy budget mutex poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .spend("PRS", config.privacy.epsilon)
                 .map_err(XMapError::Privacy)?;
         }
@@ -877,8 +888,12 @@ impl XMapPipeline {
             xsim: Arc::new(xsim),
             recommender: Arc::from(recommender),
             item_pools: item_pools.map(Arc::new),
-            budget: budget
-                .map(|m| Arc::new(m.into_inner().expect("privacy budget mutex poisoned"))),
+            budget: budget.map(|m| {
+                Arc::new(
+                    m.into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                )
+            }),
         };
 
         Ok(XMapModel {

@@ -182,7 +182,7 @@ impl ScratchPool {
     pub fn checkout(&self) -> ProfileScratch {
         self.pool
             .lock()
-            .expect("scratch pool mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop()
             .unwrap_or_default()
     }
@@ -191,13 +191,16 @@ impl ScratchPool {
     pub fn give_back(&self, scratch: ProfileScratch) {
         self.pool
             .lock()
-            .expect("scratch pool mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(scratch);
     }
 
     /// How many warmed scratches are currently parked in the pool.
     pub fn available(&self) -> usize {
-        self.pool.lock().expect("scratch pool mutex poisoned").len()
+        self.pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -368,7 +371,7 @@ impl UserBasedRecommender {
                 min_similarity: 0.0,
             },
         )
-        .expect("k validated at construction")
+        .expect("k validated at construction") // lint: panic — reviewed invariant
     }
 }
 
@@ -677,6 +680,7 @@ impl PrivateUserBasedRecommender {
     }
 
     fn knn(&self) -> UserKnn<'_> {
+        // lint: panic — reviewed invariant
         UserKnn::new(&self.target, self.pool_config).expect("pool k validated at construction")
     }
 

@@ -153,12 +153,12 @@ impl GenreTaggedDataset {
                         value,
                         xmap_cf::Timestep(t as u32),
                     ))
-                    .expect("generated ratings are finite");
+                    .expect("generated ratings are finite"); // lint: panic — reviewed invariant
             }
         }
 
         GenreTaggedDataset {
-            matrix: builder.build().expect("non-empty by construction"),
+            matrix: builder.build().expect("non-empty by construction"), // lint: panic — reviewed invariant
             item_genres,
             config,
         }
@@ -171,13 +171,13 @@ impl GenreTaggedDataset {
         let mut builder = RatingMatrixBuilder::with_scale(self.matrix.scale())
             .with_dimensions(self.matrix.n_users(), self.matrix.n_items());
         for r in self.matrix.iter() {
-            builder.push(r).expect("copying finite ratings");
+            builder.push(r).expect("copying finite ratings"); // lint: panic — reviewed invariant
         }
         for (item, &d) in partition.item_domain.iter().enumerate() {
             builder.set_item_domain(ItemId(item as u32), d);
         }
         (
-            builder.build().expect("non-empty by construction"),
+            builder.build().expect("non-empty by construction"), // lint: panic — reviewed invariant
             partition,
         )
     }

@@ -137,7 +137,7 @@ impl CrossDomainSplit {
                 }
                 true
             })
-            .expect("training split is never empty for non-degenerate datasets");
+            .expect("training split is never empty for non-degenerate datasets"); // lint: panic — reviewed invariant
 
         CrossDomainSplit {
             train,
@@ -172,7 +172,7 @@ pub fn random_holdout(
     }
     let train = matrix
         .filter(|r| !decisions.get(&(r.user, r.item)).copied().unwrap_or(false))
-        .expect("training split is never empty for non-degenerate inputs");
+        .expect("training split is never empty for non-degenerate inputs"); // lint: panic — reviewed invariant
     (train, test)
 }
 

@@ -162,7 +162,7 @@ impl CrossDomainDataset {
                         value,
                         xmap_cf::Timestep(timestep_base + ord as u32),
                     ))
-                    .expect("generated ratings are always finite");
+                    .expect("generated ratings are always finite"); // lint: panic — reviewed invariant
             }
         };
 
@@ -192,7 +192,7 @@ impl CrossDomainDataset {
             builder.set_item_domain(i, DomainId::TARGET);
         }
 
-        let matrix = builder.build().expect("generated dataset is never empty");
+        let matrix = builder.build().expect("generated dataset is never empty"); // lint: panic — reviewed invariant
         CrossDomainDataset {
             matrix,
             source_only_users,

@@ -60,36 +60,31 @@ impl ToyScenario {
     /// Builds the scenario.
     pub fn build() -> Self {
         let mut b = RatingMatrixBuilder::new();
-        // Alice loves the sci-fi movies but has never rated a book.
-        b.push_timed(users::ALICE.0, items::INTERSTELLAR.0, 5.0, 0)
-            .unwrap();
-        b.push_timed(users::ALICE.0, items::THE_MARTIAN.0, 4.0, 1)
-            .unwrap();
-        // Bob connects Interstellar and Inception (movies only).
-        b.push_timed(users::BOB.0, items::INTERSTELLAR.0, 5.0, 0)
-            .unwrap();
-        b.push_timed(users::BOB.0, items::INCEPTION.0, 5.0, 1)
-            .unwrap();
-        b.push_timed(users::BOB.0, items::THE_MARTIAN.0, 2.0, 2)
-            .unwrap();
-        // Cecilia is the straddler: she connects Inception with The Forever War and Dune.
-        b.push_timed(users::CECILIA.0, items::INCEPTION.0, 5.0, 0)
-            .unwrap();
-        b.push_timed(users::CECILIA.0, items::THE_MARTIAN.0, 1.0, 1)
-            .unwrap();
-        b.push_timed(users::CECILIA.0, items::THE_FOREVER_WAR.0, 5.0, 2)
-            .unwrap();
-        b.push_timed(users::CECILIA.0, items::DUNE.0, 4.0, 3)
-            .unwrap();
-        // Dave adds another movie rating.
-        b.push_timed(users::DAVE.0, items::THE_MARTIAN.0, 2.0, 0)
-            .unwrap();
-        // Eve rates books only; she connects The Forever War with Ender's Game.
-        b.push_timed(users::EVE.0, items::THE_FOREVER_WAR.0, 5.0, 0)
-            .unwrap();
-        b.push_timed(users::EVE.0, items::ENDERS_GAME.0, 4.0, 1)
-            .unwrap();
-        b.push_timed(users::EVE.0, items::DUNE.0, 2.0, 2).unwrap();
+        let ratings: [(UserId, ItemId, f64, u32); 13] = [
+            // Alice loves the sci-fi movies but has never rated a book.
+            (users::ALICE, items::INTERSTELLAR, 5.0, 0),
+            (users::ALICE, items::THE_MARTIAN, 4.0, 1),
+            // Bob connects Interstellar and Inception (movies only).
+            (users::BOB, items::INTERSTELLAR, 5.0, 0),
+            (users::BOB, items::INCEPTION, 5.0, 1),
+            (users::BOB, items::THE_MARTIAN, 2.0, 2),
+            // Cecilia is the straddler: she connects Inception with The Forever War and Dune.
+            (users::CECILIA, items::INCEPTION, 5.0, 0),
+            (users::CECILIA, items::THE_MARTIAN, 1.0, 1),
+            (users::CECILIA, items::THE_FOREVER_WAR, 5.0, 2),
+            (users::CECILIA, items::DUNE, 4.0, 3),
+            // Dave adds another movie rating.
+            (users::DAVE, items::THE_MARTIAN, 2.0, 0),
+            // Eve rates books only; she connects The Forever War with Ender's Game.
+            (users::EVE, items::THE_FOREVER_WAR, 5.0, 0),
+            (users::EVE, items::ENDERS_GAME, 4.0, 1),
+            (users::EVE, items::DUNE, 2.0, 2),
+        ];
+        for (user, item, value, t) in ratings {
+            b.push_timed(user.0, item.0, value, t)
+                // lint: panic — the table above is literal finite ratings.
+                .expect("toy ratings are finite");
+        }
 
         for movie in [items::INTERSTELLAR, items::INCEPTION, items::THE_MARTIAN] {
             b.set_item_domain(movie, DomainId::SOURCE);
@@ -99,7 +94,7 @@ impl ToyScenario {
         }
 
         ToyScenario {
-            matrix: b.build().expect("toy scenario is non-empty"),
+            matrix: b.build().expect("toy scenario is non-empty"), // lint: panic — reviewed invariant
             user_names: vec!["Alice", "Bob", "Cecilia", "Dave", "Eve"],
             item_names: vec![
                 "Interstellar",

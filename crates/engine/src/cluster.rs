@@ -114,7 +114,7 @@ impl ClusterSim {
                 .iter()
                 .enumerate()
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .expect("at least one machine");
+                .expect("at least one machine"); // lint: panic — reviewed invariant
             loads[idx] += cost;
         }
         let parallel_part = loads.iter().cloned().fold(0.0, f64::max);

@@ -23,7 +23,7 @@
 
 use crate::dataflow::Dataflow;
 use crate::pool::SendPtr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -198,7 +198,9 @@ impl ConcurrentStage {
                         }
                     }
                     let elapsed = start.elapsed();
-                    let mut max = read_elapsed.lock().expect("read elapsed poisoned");
+                    let mut max = read_elapsed
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if elapsed > *max {
                         *max = elapsed;
                     }
@@ -220,20 +222,22 @@ impl ConcurrentStage {
             ingest_elapsed = ingest_start.elapsed();
         });
 
-        let read_duration = *read_elapsed.lock().expect("read elapsed poisoned");
+        let read_duration = *read_elapsed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         flow.record_external(CONCURRENT_READ_STAGE, read_duration, costs);
         flow.record_external(CONCURRENT_INGEST_STAGE, ingest_elapsed, ingest_costs);
 
         let report = ConcurrentReport {
             reads: records
                 .into_iter()
-                .map(|r| r.expect("every query index produced a record"))
+                .map(|r| r.expect("every query index produced a record")) // lint: panic — reviewed invariant
                 .collect(),
             ingests,
         };
         let outputs = outputs
             .into_iter()
-            .map(|o| o.expect("every query index produced an output"))
+            .map(|o| o.expect("every query index produced an output")) // lint: panic — reviewed invariant
             .collect();
         (outputs, report)
     }

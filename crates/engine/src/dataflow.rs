@@ -177,7 +177,7 @@ impl StageContext<'_> {
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every input position produced exactly one output"))
+            .map(|s| s.expect("every input position produced exactly one output")) // lint: panic — reviewed invariant
             .collect()
     }
 }
@@ -250,7 +250,7 @@ impl Dataflow {
         let mut ledger = self
             .stage_costs
             .lock()
-            .expect("dataflow cost mutex poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if costs.is_empty() {
             // Replacement semantics also cover the empty case: a re-run that recorded
             // nothing (a stage that skips its partitioned maps, or one recording costs
@@ -275,7 +275,7 @@ impl Dataflow {
     pub fn stage_costs(&self, stage: &str) -> Option<Vec<f64>> {
         self.stage_costs
             .lock()
-            .expect("dataflow cost mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .find(|(name, _)| name == stage)
             .map(|(_, costs)| costs.clone())

@@ -21,10 +21,81 @@
 //! `SeqCst` because the reader's `increment readers → re-check current` and the
 //! writer's `swing current → wait for readers` form a store/load (Dekker-style)
 //! pattern that weaker orderings do not make safe.
+//!
+//! The protocol is written against the [`crate::sync`] facade, so the xmap-check
+//! model checker can exhaustively explore its interleavings; the load-bearing
+//! orderings route through [`crate::sync::seeded`] hooks in checked builds so the
+//! mutation-gate tests can prove each one necessary (see `DESIGN.md`, "Checked
+//! concurrency").
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::PoisonError;
+
+use crate::sync::{hint, thread, Arc, AtomicU64, AtomicUsize, Mutex, Ordering, UnsafeCell};
+
+#[cfg(any(xmap_check, feature = "model-check"))]
+use crate::sync::seeded::{self, Site};
+
+/// Ordering of the publisher's `current` swing. `Release` is the minimum the
+/// protocol needs (the swing publishes the slot's value); `SeqCst` additionally
+/// closes the Dekker window against the reader's pin. Seeded mutation:
+/// [`crate::sync::seeded::Mutation::PublishStoreRelaxed`].
+#[inline]
+fn publish_store_ordering() -> Ordering {
+    #[cfg(any(xmap_check, feature = "model-check"))]
+    {
+        seeded::ordering(Site::PublishStore, Ordering::SeqCst)
+    }
+    #[cfg(not(any(xmap_check, feature = "model-check")))]
+    {
+        Ordering::SeqCst
+    }
+}
+
+/// Ordering of the reader's pin-path loads of `current` (both the initial load and
+/// the revalidation). `Acquire` is the minimum (synchronizes with the publish
+/// swing); `SeqCst` closes the Dekker window. Seeded mutation:
+/// [`crate::sync::seeded::Mutation::PinLoadRelaxed`].
+#[inline]
+fn pin_load_ordering() -> Ordering {
+    #[cfg(any(xmap_check, feature = "model-check"))]
+    {
+        seeded::ordering(Site::PinLoad, Ordering::SeqCst)
+    }
+    #[cfg(not(any(xmap_check, feature = "model-check")))]
+    {
+        Ordering::SeqCst
+    }
+}
+
+/// Ordering of the publisher's drain load of a slot's reader count. `Acquire` is
+/// load-bearing: it synchronizes with the last reader's `Release` unpin, ordering
+/// that reader's value clone before the publisher's retire write. Seeded mutation:
+/// [`crate::sync::seeded::Mutation::DrainLoadRelaxed`].
+#[inline]
+fn drain_load_ordering() -> Ordering {
+    #[cfg(any(xmap_check, feature = "model-check"))]
+    {
+        seeded::ordering(Site::DrainLoad, Ordering::SeqCst)
+    }
+    #[cfg(not(any(xmap_check, feature = "model-check")))]
+    {
+        Ordering::SeqCst
+    }
+}
+
+/// Whether the reader revalidates `current` after pinning (always, outside the
+/// [`crate::sync::seeded::Mutation::SkipRevalidate`] mutant).
+#[inline]
+fn revalidate_enabled() -> bool {
+    #[cfg(any(xmap_check, feature = "model-check"))]
+    {
+        !seeded::skip_revalidate()
+    }
+    #[cfg(not(any(xmap_check, feature = "model-check")))]
+    {
+        true
+    }
+}
 
 /// One snapshot slot: a reader count guarding an optional published value.
 struct Slot<T> {
@@ -72,7 +143,9 @@ impl<T> EpochHandle<T> {
             publish_lock: Mutex::new(()),
         };
         // No readers can exist yet; slot 0 is the initial current slot.
-        unsafe { *handle.slots[0].value.get() = Some(value) };
+        handle.slots[0]
+            .value
+            .with_mut(|p| unsafe { *p = Some(value) });
         handle
     }
 
@@ -87,17 +160,19 @@ impl<T> EpochHandle<T> {
     /// and each retry observes a strictly newer epoch.
     pub fn load(&self) -> (u64, Arc<T>) {
         loop {
-            let packed = self.current.load(Ordering::SeqCst);
+            let packed = self.current.load(pin_load_ordering());
             let slot = &self.slots[(packed & 1) as usize];
             slot.readers.fetch_add(1, Ordering::SeqCst);
             // Re-validate: if `current` still names this slot, the publisher's drain
             // loop is now obliged to wait for us (it re-reads the count after swinging
             // `current`), so the value cannot be retired under our feet.
-            if self.current.load(Ordering::SeqCst) == packed {
+            if !revalidate_enabled() || self.current.load(pin_load_ordering()) == packed {
                 // SAFETY: validation succeeded while our reader count pins the slot,
                 // so the publisher cannot overwrite or retire it until we decrement.
-                let value = unsafe { (*slot.value.get()).clone() }
-                    .expect("current slot always holds a published value");
+                let value = slot
+                    .value
+                    .with(|p| unsafe { (*p).clone() })
+                    .expect("current slot always holds a published value"); // lint: panic
                 slot.readers.fetch_sub(1, Ordering::Release);
                 return (packed >> 1, value);
             }
@@ -116,7 +191,7 @@ impl<T> EpochHandle<T> {
         let _guard = self
             .publish_lock
             .lock()
-            .expect("epoch publish lock poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         let packed = self.current.load(Ordering::SeqCst);
         let old_ix = (packed & 1) as usize;
         let new_ix = old_ix ^ 1;
@@ -127,31 +202,34 @@ impl<T> EpochHandle<T> {
         self.drain(new_ix);
         // SAFETY: the slot is not current (readers validating `current` land on the
         // other slot) and its stragglers have drained, so we have exclusive access.
-        unsafe { *self.slots[new_ix].value.get() = Some(value) };
+        self.slots[new_ix]
+            .value
+            .with_mut(|p| unsafe { *p = Some(value) });
 
         self.current
-            .store((new_epoch << 1) | new_ix as u64, Ordering::SeqCst);
+            .store((new_epoch << 1) | new_ix as u64, publish_store_ordering());
 
         // Retire the previous epoch: wait for readers that validated against it to
         // finish cloning, then drop the handle's reference. Readers holding clones
         // keep the snapshot alive independently.
         self.drain(old_ix);
         // SAFETY: `current` no longer names this slot and its readers have drained.
-        unsafe { *self.slots[old_ix].value.get() = None };
+        self.slots[old_ix].value.with_mut(|p| unsafe { *p = None });
 
         new_epoch
     }
 
     /// Spins until the slot's reader count reaches zero. Reader critical sections are
-    /// a handful of instructions (validate + `Arc` clone), so this is short.
+    /// a handful of instructions (validate + `Arc` clone), so this is short. Under
+    /// the model checker the spin hints park the publisher until a reader writes.
     fn drain(&self, slot: usize) {
         let mut spins = 0u32;
-        while self.slots[slot].readers.load(Ordering::SeqCst) != 0 {
+        while self.slots[slot].readers.load(drain_load_ordering()) != 0 {
             spins += 1;
             if spins > 64 {
-                std::thread::yield_now();
+                thread::yield_now();
             } else {
-                std::hint::spin_loop();
+                hint::spin_loop();
             }
         }
     }

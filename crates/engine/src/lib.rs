@@ -42,6 +42,7 @@ pub mod epoch;
 pub mod partition;
 pub mod pool;
 pub mod stage;
+pub mod sync;
 
 pub use cluster::{ClusterCostModel, ClusterSim, SpeedupPoint};
 pub use concurrent::{

@@ -46,7 +46,7 @@ impl StageTimer {
     pub fn record(&self, name: &str, duration: Duration) {
         self.reports
             .lock()
-            .expect("stage timer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(StageReport {
                 name: name.to_string(),
                 duration,
@@ -58,7 +58,10 @@ impl StageTimer {
     /// same stage indefinitely (batched serving) stay bounded: one report per distinct
     /// stage name, in first-execution order.
     pub fn record_latest(&self, name: &str, duration: Duration) {
-        let mut reports = self.reports.lock().expect("stage timer mutex poisoned");
+        let mut reports = self
+            .reports
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(r) = reports.iter_mut().rev().find(|r| r.name == name) {
             r.duration = duration;
         } else {
@@ -73,7 +76,7 @@ impl StageTimer {
     pub fn reports(&self) -> Vec<StageReport> {
         self.reports
             .lock()
-            .expect("stage timer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 
@@ -81,7 +84,7 @@ impl StageTimer {
     pub fn total(&self) -> Duration {
         self.reports
             .lock()
-            .expect("stage timer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|r| r.duration)
             .sum()
@@ -91,7 +94,7 @@ impl StageTimer {
     pub fn last(&self, name: &str) -> Option<Duration> {
         self.reports
             .lock()
-            .expect("stage timer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .rev()
             .find(|r| r.name == name)
@@ -102,7 +105,7 @@ impl StageTimer {
     pub fn reset(&self) {
         self.reports
             .lock()
-            .expect("stage timer mutex poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
     }
 }

@@ -1,0 +1,106 @@
+//! The workspace's concurrency facade: `std::sync` normally, instrumented shims
+//! under the model checker.
+//!
+//! Every crate in the workspace that needs atomics, locks or shared cells on a
+//! concurrency-critical path imports them from here instead of `std::sync` (the
+//! `xmap-lint` `atomic-facade` rule enforces this). The facade has two personalities,
+//! selected at compile time:
+//!
+//! * **Normal builds** (`cargo build` / `cargo test` without the `model-check`
+//!   feature): every name is a zero-cost re-export of the `std` type. The only
+//!   exception is [`UnsafeCell`], a `#[repr(transparent)]` newtype whose
+//!   [`UnsafeCell::with`] / [`UnsafeCell::with_mut`] closures compile to the raw
+//!   pointer access they wrap — the closure API exists so the checked build can
+//!   observe the access.
+//! * **Checked builds** (`--cfg xmap_check` or the `model-check` cargo feature):
+//!   the same names resolve to shims in [`shim`] that, *when executing inside a
+//!   [`model`] run*, yield to a cooperative deterministic scheduler before every
+//!   shared-memory operation and feed per-location vector clocks so the checker can
+//!   exhaustively explore thread interleavings and report data races. Outside a
+//!   model run the shims fall back to plain `std` behaviour, so a unified build
+//!   (`cargo test --workspace` with `crates/check` in the graph) runs production
+//!   code unchanged.
+//!
+//! The contract for code written against the facade:
+//!
+//! 1. import `AtomicU64` / `AtomicUsize` / `Mutex` / `UnsafeCell` / `Ordering` /
+//!    `Arc` from `crate::sync` (or `xmap_engine::sync` from other crates);
+//! 2. busy-wait loops must call [`hint::spin_loop`] or [`thread::yield_now`] each
+//!    iteration — the model maps both to "block until another thread writes", which
+//!    is what makes spin loops finite under exhaustive exploration;
+//! 3. cross-thread data handoff through raw memory goes through [`UnsafeCell`]'s
+//!    closures so the checker's race detector sees the access.
+//!
+//! See `DESIGN.md` ("Checked concurrency") for the full model and its exploration
+//! bounds, and [`seeded`] for the mutation hooks that prove the checker sharp.
+
+/// Memory-ordering tokens are shared with `std`; the checked build interprets them
+/// for its happens-before tracking instead of handing them to the hardware.
+pub use std::sync::atomic::Ordering;
+/// `Arc` is never instrumented: the checker trusts `Arc`'s own synchronization and
+/// verifies the protocols *around* it (a retired-but-pinned epoch shows up as a race
+/// on the slot cell or as an invariant panic, not as an `Arc` misuse).
+pub use std::sync::Arc;
+
+#[cfg(any(xmap_check, feature = "model-check"))]
+pub mod model;
+#[cfg(any(xmap_check, feature = "model-check"))]
+mod rt;
+#[cfg(any(xmap_check, feature = "model-check"))]
+pub mod seeded;
+#[cfg(any(xmap_check, feature = "model-check"))]
+mod shim;
+
+#[cfg(any(xmap_check, feature = "model-check"))]
+pub use shim::{hint, thread, AtomicU64, AtomicUsize, Mutex, MutexGuard, UnsafeCell};
+
+#[cfg(not(any(xmap_check, feature = "model-check")))]
+mod facade_std {
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize};
+    pub use std::sync::{Mutex, MutexGuard};
+
+    /// Thread entry points of the facade. Plain `std::thread` in normal builds.
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, JoinHandle};
+    }
+
+    /// Spin-wait hints of the facade. Plain `std::hint` in normal builds.
+    pub mod hint {
+        pub use std::hint::spin_loop;
+    }
+
+    /// A `std::cell::UnsafeCell` with the closure-based access API the checked build
+    /// instruments. In normal builds both accessors are a raw pointer handed straight
+    /// to the closure.
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// Wraps `value`.
+        pub const fn new(value: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Calls `f` with a shared raw pointer to the contents.
+        ///
+        /// # Safety contract
+        /// As with `std::cell::UnsafeCell::get`, the caller must guarantee the
+        /// protocol makes the access race-free; the checked build verifies exactly
+        /// that guarantee.
+        #[inline]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Calls `f` with an exclusive raw pointer to the contents (same safety
+        /// contract as [`UnsafeCell::with`], for writes).
+        #[inline]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+#[cfg(not(any(xmap_check, feature = "model-check")))]
+pub use facade_std::{hint, thread, AtomicU64, AtomicUsize, Mutex, MutexGuard, UnsafeCell};

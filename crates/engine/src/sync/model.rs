@@ -1,0 +1,273 @@
+//! The schedule explorer: exhaustive DFS over the scheduler's decision points.
+//!
+//! A [`Checker`] runs a closure-defined multi-threaded test repeatedly, one
+//! deterministic interleaving per run. Each run records the scheduling decisions it
+//! took ([`super::rt::DecisionRecord`]); backtracking takes the deepest decision
+//! with an untried alternative and replays the prefix up to it, which enumerates
+//! every schedule exactly once. An optional *preemption bound* prunes the space to
+//! schedules with at most N involuntary context switches — most concurrency bugs
+//! need very few preemptions (the literature's rule of thumb is two), so a small
+//! bound keeps larger models affordable while still falsifying broken protocols.
+//!
+//! Failures (data races from the vector-clock tracker, panics from protocol
+//! assertions, deadlocks, budget blow-outs) abort the run and are returned as a
+//! [`CheckFailure`] carrying the event trace of the failing schedule.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, Once, PoisonError};
+
+use super::rt::{self, DecisionRecord, RunState, TraceEvent};
+use super::seeded::{self, Mutation};
+
+pub use super::rt::Failure;
+
+/// One explored run can visit this many yield points before the checker calls it a
+/// livelock ([`Failure::StepLimit`]).
+const DEFAULT_MAX_STEPS: usize = 20_000;
+
+/// Default budget on the number of schedules per exploration.
+const DEFAULT_MAX_SCHEDULES: u64 = 5_000_000;
+
+/// Explorations are process-global (thread-local contexts, the seeded-mutation
+/// switch, the panic hook): serialize them so `cargo test`'s threaded runner cannot
+/// interleave two checkers.
+static CHECK_LOCK: Mutex<()> = Mutex::new(());
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Installs a process-wide panic hook that silences panics on threads currently
+/// inside a model run (every failing schedule unwinds its threads by panic; the
+/// default hook would print a backtrace per abandoned schedule). Panics outside
+/// model runs are forwarded to the previously installed hook.
+fn install_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if rt::in_model() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Summary of a completed (all schedules passed) exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of distinct schedules explored.
+    pub schedules: u64,
+    /// Deepest decision stack seen across all schedules.
+    pub max_depth: usize,
+    /// The preemption bound the exploration ran under (`None` = unbounded, i.e.
+    /// fully exhaustive over all interleavings).
+    pub preemption_bound: Option<usize>,
+}
+
+/// A failed exploration: the first failing schedule, with enough detail to
+/// understand and replay it.
+#[derive(Clone, Debug)]
+pub struct CheckFailure {
+    /// What went wrong.
+    pub failure: Failure,
+    /// Schedules fully explored before the failing one.
+    pub schedules_explored: u64,
+    /// The decision prefix that reproduces the failing schedule.
+    pub prefix: Vec<usize>,
+    /// Bounded event trace of the failing schedule: `(thread, operation)`.
+    pub trace: Vec<(usize, &'static str)>,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model check failed after {} passing schedule(s): {}",
+            self.schedules_explored, self.failure
+        )?;
+        writeln!(f, "replay prefix: {:?}", self.prefix)?;
+        writeln!(f, "failing schedule trace (thread, op):")?;
+        for (thread, op) in &self.trace {
+            writeln!(f, "  [{thread}] {op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+impl CheckFailure {
+    /// True when the failure is a data race report (as opposed to a panic,
+    /// deadlock or budget blow-out).
+    pub fn is_data_race(&self) -> bool {
+        matches!(self.failure, Failure::DataRace { .. })
+    }
+
+    /// True when the failure is a panic whose message contains `needle`.
+    pub fn is_panic_containing(&self, needle: &str) -> bool {
+        matches!(&self.failure, Failure::Panic { message, .. } if message.contains(needle))
+    }
+}
+
+/// Deterministic model checker: exhaustive DFS over schedules, optionally bounded
+/// by preemption count and schedule budget.
+#[derive(Clone, Debug)]
+pub struct Checker {
+    preemption_bound: Option<usize>,
+    max_schedules: u64,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: None,
+            max_schedules: DEFAULT_MAX_SCHEDULES,
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+}
+
+impl Checker {
+    /// A fully exhaustive checker (no preemption bound).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits exploration to schedules with at most `bound` preemptions (context
+    /// switches away from a still-runnable thread). Voluntary switches — blocking
+    /// on a contended lock, spinning on a condition, finishing — are always free.
+    pub fn with_preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Caps the number of schedules explored; exceeding the cap fails the check
+    /// with [`Failure::ScheduleLimit`] rather than silently passing.
+    pub fn with_max_schedules(mut self, max: u64) -> Self {
+        self.max_schedules = max;
+        self
+    }
+
+    /// Caps the yield points a single schedule may visit (livelock guard).
+    pub fn with_max_steps(mut self, max: usize) -> Self {
+        self.max_steps = max;
+        self
+    }
+
+    /// Explores every schedule of `f` (under the configured bounds). Returns the
+    /// exploration summary if all schedules pass, or the first failure.
+    ///
+    /// `f` runs once per schedule on the calling thread (as model thread 0) and
+    /// spawns further model threads through [`super::thread::spawn`]; all shared
+    /// state must go through the facade types for the checker to see it.
+    pub fn check<F: Fn()>(&self, f: F) -> Result<Report, CheckFailure> {
+        let _guard = CHECK_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        self.explore(&f)
+    }
+
+    /// Like [`Checker::check`], but with the seeded bug `mutation` armed for the
+    /// duration of the exploration. Used by the mutation-gate tests that prove the
+    /// checker catches weakened orderings.
+    pub fn check_with_mutation<F: Fn()>(
+        &self,
+        mutation: Mutation,
+        f: F,
+    ) -> Result<Report, CheckFailure> {
+        let _guard = CHECK_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        seeded::arm(Some(mutation));
+        let result = self.explore(&f);
+        seeded::arm(None);
+        result
+    }
+
+    fn explore<F: Fn()>(&self, f: &F) -> Result<Report, CheckFailure> {
+        install_panic_hook();
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules: u64 = 0;
+        let mut max_depth = 0;
+        loop {
+            if schedules >= self.max_schedules {
+                return Err(CheckFailure {
+                    failure: Failure::ScheduleLimit(self.max_schedules),
+                    schedules_explored: schedules,
+                    prefix,
+                    trace: Vec::new(),
+                });
+            }
+            let outcome = self.run_once(prefix.clone(), f);
+            max_depth = max_depth.max(outcome.decisions.len());
+            if let Some(failure) = outcome.failure {
+                return Err(CheckFailure {
+                    failure,
+                    schedules_explored: schedules,
+                    prefix,
+                    trace: outcome
+                        .trace
+                        .iter()
+                        .map(|e: &TraceEvent| (e.thread, e.op))
+                        .collect(),
+                });
+            }
+            schedules += 1;
+            match advance(&outcome.decisions, self.preemption_bound) {
+                Some(next) => prefix = next,
+                None => {
+                    return Ok(Report {
+                        schedules,
+                        max_depth,
+                        preemption_bound: self.preemption_bound,
+                    })
+                }
+            }
+        }
+    }
+
+    fn run_once<F: Fn()>(&self, prefix: Vec<usize>, f: &F) -> RunOutcome {
+        let run = Arc::new(RunState::new(prefix, self.max_steps));
+        rt::install(Arc::clone(&run), 0);
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        let failure = match result {
+            Ok(()) => None,
+            Err(payload) => rt::classify_panic(0, payload),
+        };
+        rt::thread_finished(&run, 0, failure);
+        rt::wait_done(&run);
+        rt::uninstall();
+        let s = run.lock();
+        RunOutcome {
+            decisions: s.decisions.clone(),
+            failure: s.failure.clone(),
+            trace: s.trace.clone(),
+        }
+    }
+}
+
+struct RunOutcome {
+    decisions: Vec<DecisionRecord>,
+    failure: Option<Failure>,
+    trace: Vec<TraceEvent>,
+}
+
+/// DFS backtracking: the next replay prefix, or `None` when the space (under the
+/// preemption bound) is exhausted. Takes the deepest decision with an untried
+/// alternative; an alternative that would preempt a runnable thread is skipped
+/// once the path has already spent its preemption budget.
+fn advance(decisions: &[DecisionRecord], bound: Option<usize>) -> Option<Vec<usize>> {
+    let mut i = decisions.len();
+    while i > 0 {
+        i -= 1;
+        let d = &decisions[i];
+        let mut next = d.taken + 1;
+        while next < d.alternatives.len() {
+            let preemptive = d.current_runnable && d.alternatives[next] != d.current;
+            if preemptive && bound.is_some_and(|b| d.preemptions_before >= b) {
+                next += 1;
+                continue;
+            }
+            let mut p: Vec<usize> = decisions[..i].iter().map(|r| r.taken).collect();
+            p.push(next);
+            return Some(p);
+        }
+    }
+    None
+}

@@ -1,0 +1,803 @@
+//! Cooperative deterministic scheduler and happens-before tracker — the runtime the
+//! instrumented [`super::shim`] types call into while a [`super::model`] run is
+//! active.
+//!
+//! One execution of a model closure is serialized: exactly one model thread runs at
+//! a time, and a thread hands control back to the scheduler at every *yield point*
+//! (each atomic op, mutex op, spawn, join, or spin hint). At a yield point where
+//! more than one thread is runnable the scheduler consults a replay prefix supplied
+//! by the DFS explorer ([`super::model::Checker`]) and records the decision, which
+//! is what makes exhaustive exploration and failure replay possible.
+//!
+//! The memory model explored is sequential consistency over the *values* (each
+//! execution is one interleaving) plus a happens-before race detector over the
+//! *orderings*: release stores / acquire loads / RMW release-sequences / mutex and
+//! spawn/join edges build per-thread vector clocks, and every [`super::UnsafeCell`]
+//! access is checked against them. A protocol whose safety leans on an `Acquire` or
+//! `Release` that was weakened to `Relaxed` therefore fails with a reported data
+//! race even though the serialized execution still read "correct" values — exactly
+//! the class of bug `cargo test` cannot see. Spin loops must route through
+//! [`super::hint::spin_loop`] / [`super::thread::yield_now`], which the model treats
+//! as "blocked until some other thread performs a write", keeping executions finite.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Hard cap on model threads per run (vector clocks are fixed-size arrays).
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock, one component per possible model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    fn get(&self, tid: usize) -> u32 {
+        self.0[tid]
+    }
+
+    fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockOn {
+    /// Waiting for a model mutex to be unlocked.
+    Mutex(usize),
+    /// Waiting for a thread to finish.
+    Join(usize),
+    /// Spin-yielded: runnable again after any other thread performs a write.
+    Write,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// One recorded scheduling decision: the canonical list of runnable candidates and
+/// which index was taken. The explorer backtracks by bumping `taken` on the deepest
+/// record with untried alternatives.
+#[derive(Clone, Debug)]
+pub(crate) struct DecisionRecord {
+    /// Candidate threads in canonical order (the yielding thread first when it is
+    /// still runnable, then the rest ascending by id).
+    pub alternatives: Vec<usize>,
+    /// Index into `alternatives` that this execution took.
+    pub taken: usize,
+    /// The thread that yielded.
+    pub current: usize,
+    /// Whether `current` was itself still runnable (if so, choosing another thread
+    /// is a preemption and counts against the bound).
+    pub current_runnable: bool,
+    /// Preemptions consumed on the path before this decision.
+    pub preemptions_before: usize,
+}
+
+/// Why a model execution failed. Carried out of the run by
+/// [`super::model::CheckFailure`].
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// Two threads accessed a tracked cell without a happens-before edge.
+    DataRace {
+        /// Description of the second (detecting) access.
+        access: &'static str,
+        /// Thread performing the detecting access.
+        thread: usize,
+        /// Thread that performed the unordered earlier access.
+        conflicts_with: usize,
+    },
+    /// A model thread panicked (assertion failure or protocol `expect`).
+    Panic {
+        /// The panicking thread.
+        thread: usize,
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// No thread was runnable but not all had finished.
+    Deadlock {
+        /// Status of every thread at the point of deadlock, rendered to text.
+        blocked: Vec<String>,
+    },
+    /// One execution exceeded the per-execution step budget.
+    StepLimit(usize),
+    /// The model spawned more than [`MAX_THREADS`] threads.
+    ThreadLimit(usize),
+    /// The exploration exceeded its schedule budget before completing.
+    ScheduleLimit(u64),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::DataRace {
+                access,
+                thread,
+                conflicts_with,
+            } => write!(
+                f,
+                "data race: {access} by thread {thread} is unordered with an access by thread {conflicts_with}"
+            ),
+            Failure::Panic { thread, message } => {
+                write!(f, "thread {thread} panicked: {message}")
+            }
+            Failure::Deadlock { blocked } => write!(f, "deadlock: {}", blocked.join(", ")),
+            Failure::StepLimit(n) => write!(f, "execution exceeded {n} steps"),
+            Failure::ThreadLimit(n) => write!(f, "model spawned more than {n} threads"),
+            Failure::ScheduleLimit(n) => write!(f, "exploration exceeded {n} schedules"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct AtomicMeta {
+    /// The clock an acquire load of this location joins: maintained per the release
+    /// rules (release store replaces, relaxed store clears, RMWs accumulate so
+    /// release sequences survive interleaved relaxed RMWs).
+    sync: VClock,
+}
+
+#[derive(Default)]
+struct MutexMeta {
+    locked_by: Option<usize>,
+    sync: VClock,
+}
+
+#[derive(Default)]
+struct CellMeta {
+    /// Last write: (thread, its clock component at the write).
+    write: Option<(usize, u32)>,
+    /// Per-thread clock component at that thread's last read since the last write.
+    reads: [Option<u32>; MAX_THREADS],
+}
+
+/// One trace entry: (thread, op label). Kept as a bounded ring for failure reports.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceEvent {
+    pub thread: usize,
+    pub op: &'static str,
+}
+
+const TRACE_CAP: usize = 512;
+
+pub(crate) struct Sched {
+    threads: Vec<Status>,
+    clocks: [VClock; MAX_THREADS],
+    active: Option<usize>,
+    prefix: Vec<usize>,
+    depth: usize,
+    pub(crate) decisions: Vec<DecisionRecord>,
+    preemptions: usize,
+    steps: usize,
+    max_steps: usize,
+    atomics: HashMap<usize, AtomicMeta>,
+    mutexes: HashMap<usize, MutexMeta>,
+    cells: HashMap<usize, CellMeta>,
+    pub(crate) failure: Option<Failure>,
+    abort: bool,
+    done: bool,
+    pub(crate) trace: Vec<TraceEvent>,
+}
+
+impl Sched {
+    fn note_step(&mut self, tid: usize, op: &'static str) -> Result<(), ()> {
+        self.steps += 1;
+        if self.trace.len() < TRACE_CAP {
+            self.trace.push(TraceEvent { thread: tid, op });
+        }
+        if self.steps > self.max_steps {
+            return Err(());
+        }
+        Ok(())
+    }
+
+    fn runnable_others(&self, tid: usize) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| t != tid && self.threads[t] == Status::Runnable)
+            .collect()
+    }
+
+    /// Canonical candidate list at a yield of `tid`: `tid` first when runnable
+    /// (index 0 is always the non-preemptive default), then others ascending.
+    fn alternatives(&self, tid: usize, current_runnable: bool) -> Vec<usize> {
+        let mut alts = Vec::new();
+        if current_runnable {
+            alts.push(tid);
+        }
+        alts.extend(self.runnable_others(tid));
+        alts
+    }
+
+    fn decide(&mut self, current: usize, current_runnable: bool, alts: Vec<usize>) -> usize {
+        debug_assert!(!alts.is_empty());
+        if alts.len() == 1 {
+            return alts[0];
+        }
+        let taken = if self.depth < self.prefix.len() {
+            self.prefix[self.depth].min(alts.len() - 1)
+        } else {
+            0
+        };
+        let chosen = alts[taken];
+        self.decisions.push(DecisionRecord {
+            alternatives: alts,
+            taken,
+            current,
+            current_runnable,
+            preemptions_before: self.preemptions,
+        });
+        self.depth += 1;
+        if current_runnable && chosen != current {
+            self.preemptions += 1;
+        }
+        chosen
+    }
+
+    fn wake(&mut self, pred: impl Fn(BlockOn) -> bool) {
+        for t in 0..self.threads.len() {
+            if let Status::Blocked(on) = self.threads[t] {
+                if pred(on) {
+                    self.threads[t] = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, tid: usize) {
+        self.clocks[tid].tick(tid);
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| *t == Status::Finished)
+    }
+}
+
+/// Shared state of one model execution. The explorer creates a fresh one per
+/// schedule; model threads reach it through the thread-local context.
+pub(crate) struct RunState {
+    sched: Mutex<Sched>,
+    conds: [Condvar; MAX_THREADS],
+    done_cv: Condvar,
+}
+
+/// Panic payload used to unwind model threads after a failure was recorded.
+pub(crate) struct ModelAbort;
+
+fn abort_panic() -> ! {
+    panic::panic_any(ModelAbort)
+}
+
+impl RunState {
+    pub(crate) fn new(prefix: Vec<usize>, max_steps: usize) -> Self {
+        let mut threads = Vec::with_capacity(MAX_THREADS);
+        threads.push(Status::Runnable); // root thread, tid 0
+        RunState {
+            sched: Mutex::new(Sched {
+                threads,
+                clocks: [VClock::default(); MAX_THREADS],
+                active: Some(0),
+                prefix,
+                depth: 0,
+                decisions: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                max_steps,
+                atomics: HashMap::new(),
+                mutexes: HashMap::new(),
+                cells: HashMap::new(),
+                failure: None,
+                abort: false,
+                done: false,
+                trace: Vec::new(),
+            }),
+            conds: std::array::from_fn(|_| Condvar::new()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn notify_everyone(&self) {
+        for c in &self.conds {
+            c.notify_all();
+        }
+        self.done_cv.notify_all();
+    }
+
+    /// Records `failure` (first one wins), puts the run into abort mode and wakes
+    /// every thread so it can unwind at its next yield.
+    fn fail_locked(&self, s: &mut Sched, failure: Failure) {
+        if s.failure.is_none() {
+            s.failure = Some(failure);
+        }
+        s.abort = true;
+        self.notify_everyone();
+    }
+
+    /// The standard yield point: record the step, decide who runs next, and wait
+    /// until this thread is the active one again.
+    fn schedule_op(&self, tid: usize, op: &'static str) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            abort_panic();
+        }
+        if s.note_step(tid, op).is_err() {
+            let max = s.max_steps;
+            self.fail_locked(&mut s, Failure::StepLimit(max));
+            drop(s);
+            abort_panic();
+        }
+        let alts = s.alternatives(tid, true);
+        let chosen = s.decide(tid, true, alts);
+        if chosen != tid {
+            s.active = Some(chosen);
+            self.conds[chosen].notify_one();
+            self.wait_active(s, tid);
+        } else {
+            s.active = Some(tid);
+        }
+    }
+
+    fn wait_active(&self, mut s: MutexGuard<'_, Sched>, tid: usize) {
+        loop {
+            if s.abort {
+                drop(s);
+                abort_panic();
+            }
+            if s.active == Some(tid) && s.threads[tid] == Status::Runnable {
+                return;
+            }
+            s = self.conds[tid]
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks `tid` on `why`, hands control to another thread and waits until this
+    /// thread is woken *and* scheduled again.
+    fn block_until_woken(&self, tid: usize, why: BlockOn, op: &'static str) {
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            abort_panic();
+        }
+        if s.note_step(tid, op).is_err() {
+            let max = s.max_steps;
+            self.fail_locked(&mut s, Failure::StepLimit(max));
+            drop(s);
+            abort_panic();
+        }
+        s.threads[tid] = Status::Blocked(why);
+        let alts = s.alternatives(tid, false);
+        if alts.is_empty() {
+            let blocked = render_statuses(&s);
+            self.fail_locked(&mut s, Failure::Deadlock { blocked });
+            drop(s);
+            abort_panic();
+        }
+        let chosen = s.decide(tid, false, alts);
+        s.active = Some(chosen);
+        self.conds[chosen].notify_one();
+        self.wait_active(s, tid);
+    }
+}
+
+fn render_statuses(s: &Sched) -> Vec<String> {
+    s.threads
+        .iter()
+        .enumerate()
+        .map(|(t, st)| format!("thread {t}: {st:?}"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<RunState>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current model context of this OS thread, if it is executing inside a model
+/// run. The shims consult this on every operation; `None` means "fall back to std".
+#[inline]
+pub(crate) fn current() -> Option<(Arc<RunState>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Whether this OS thread is executing inside a model run. Safe to call from a
+/// panic hook (tolerates a torn-down thread-local).
+pub(crate) fn in_model() -> bool {
+    CTX.try_with(|c| c.borrow().is_some()).unwrap_or(false)
+}
+
+pub(crate) fn install(run: Arc<RunState>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((run, tid)));
+}
+
+pub(crate) fn uninstall() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Ordering predicates
+// ---------------------------------------------------------------------------
+
+fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Operation hooks (called by the shims with a live context)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn atomic_load<R>(
+    run: &RunState,
+    tid: usize,
+    addr: usize,
+    order: Ordering,
+    f: impl FnOnce() -> R,
+) -> R {
+    run.schedule_op(tid, "atomic-load");
+    let value = f();
+    let mut s = run.lock();
+    if acquires(order) {
+        let sync = s.atomics.entry(addr).or_default().sync;
+        s.clocks[tid].join(&sync);
+    }
+    s.tick(tid);
+    value
+}
+
+pub(crate) fn atomic_store<R>(
+    run: &RunState,
+    tid: usize,
+    addr: usize,
+    order: Ordering,
+    f: impl FnOnce() -> R,
+) -> R {
+    run.schedule_op(tid, "atomic-store");
+    let value = f();
+    let mut s = run.lock();
+    let clock = s.clocks[tid];
+    let meta = s.atomics.entry(addr).or_default();
+    // A plain store replaces the location's release history: later acquire loads
+    // synchronize only with this store's releaser (or with nobody, for Relaxed).
+    meta.sync = if releases(order) {
+        clock
+    } else {
+        VClock::default()
+    };
+    s.wake(|on| on == BlockOn::Write);
+    s.tick(tid);
+    value
+}
+
+pub(crate) fn atomic_rmw<R>(
+    run: &RunState,
+    tid: usize,
+    addr: usize,
+    order: Ordering,
+    f: impl FnOnce() -> R,
+) -> R {
+    run.schedule_op(tid, "atomic-rmw");
+    let value = f();
+    let mut s = run.lock();
+    if acquires(order) {
+        let sync = s.atomics.entry(addr).or_default().sync;
+        s.clocks[tid].join(&sync);
+    }
+    if releases(order) {
+        // An RMW continues the release sequence: accumulate rather than replace, so
+        // an acquire load reading the end of an RMW chain synchronizes with every
+        // releasing writer in the chain.
+        let clock = s.clocks[tid];
+        s.atomics.entry(addr).or_default().sync.join(&clock);
+    }
+    s.wake(|on| on == BlockOn::Write);
+    s.tick(tid);
+    value
+}
+
+pub(crate) fn cell_read(run: &RunState, tid: usize, addr: usize) {
+    let mut s = run.lock();
+    if s.abort {
+        drop(s);
+        abort_panic();
+    }
+    let clock = s.clocks[tid];
+    let last_write = s.cells.entry(addr).or_default().write;
+    if let Some((wt, wep)) = last_write {
+        if wt != tid && clock.get(wt) < wep {
+            self_fail_race(run, &mut s, "cell read", tid, wt);
+        }
+    }
+    let epoch = clock.get(tid);
+    s.cells.entry(addr).or_default().reads[tid] = Some(epoch);
+    s.tick(tid);
+}
+
+pub(crate) fn cell_write(run: &RunState, tid: usize, addr: usize) {
+    let mut s = run.lock();
+    if s.abort {
+        drop(s);
+        abort_panic();
+    }
+    let clock = s.clocks[tid];
+    let (last_write, last_reads) = {
+        let meta = s.cells.entry(addr).or_default();
+        (meta.write, meta.reads)
+    };
+    if let Some((wt, wep)) = last_write {
+        if wt != tid && clock.get(wt) < wep {
+            self_fail_race(run, &mut s, "cell write", tid, wt);
+        }
+    }
+    for (t, read) in last_reads.iter().enumerate() {
+        if t == tid {
+            continue;
+        }
+        if let Some(rep) = *read {
+            if clock.get(t) < rep {
+                self_fail_race(run, &mut s, "cell write", tid, t);
+            }
+        }
+    }
+    let epoch = clock.get(tid);
+    let meta = s.cells.entry(addr).or_default();
+    meta.write = Some((tid, epoch));
+    meta.reads = [None; MAX_THREADS];
+    s.tick(tid);
+}
+
+fn self_fail_race(
+    run: &RunState,
+    s: &mut Sched,
+    access: &'static str,
+    tid: usize,
+    other: usize,
+) -> ! {
+    run.fail_locked(
+        s,
+        Failure::DataRace {
+            access,
+            thread: tid,
+            conflicts_with: other,
+        },
+    );
+    abort_panic()
+}
+
+pub(crate) fn mutex_lock(run: &RunState, tid: usize, addr: usize) {
+    run.schedule_op(tid, "mutex-lock");
+    loop {
+        {
+            let mut s = run.lock();
+            if s.abort {
+                drop(s);
+                abort_panic();
+            }
+            let meta = s.mutexes.entry(addr).or_default();
+            if meta.locked_by.is_none() {
+                meta.locked_by = Some(tid);
+                let sync = meta.sync;
+                s.clocks[tid].join(&sync);
+                s.tick(tid);
+                return;
+            }
+        }
+        run.block_until_woken(tid, BlockOn::Mutex(addr), "mutex-wait");
+    }
+}
+
+pub(crate) fn mutex_unlock(run: &RunState, tid: usize, addr: usize) {
+    run.schedule_op(tid, "mutex-unlock");
+    let mut s = run.lock();
+    let clock = s.clocks[tid];
+    let meta = s.mutexes.entry(addr).or_default();
+    debug_assert_eq!(meta.locked_by, Some(tid), "unlock by non-owner");
+    meta.locked_by = None;
+    meta.sync = clock;
+    // Unlock both unblocks lock-waiters and counts as a write event for spinners.
+    s.wake(|on| on == BlockOn::Mutex(addr) || on == BlockOn::Write);
+    s.tick(tid);
+}
+
+/// Spin hint / yield inside a model: the thread parks until another thread performs
+/// a write, which keeps `while x.load() != v {}` loops finite under exploration
+/// (re-reading an unchanged location is stutter-equivalent and never explored).
+pub(crate) fn spin_yield(run: &RunState, tid: usize) {
+    run.block_until_woken(tid, BlockOn::Write, "spin-yield");
+}
+
+/// Registers a child thread: called from the parent at the spawn yield point.
+/// Returns the child's thread id.
+pub(crate) fn spawn_thread(run: &RunState, parent: usize) -> usize {
+    run.schedule_op(parent, "spawn");
+    let mut s = run.lock();
+    let tid = s.threads.len();
+    if tid >= MAX_THREADS {
+        run.fail_locked(&mut s, Failure::ThreadLimit(MAX_THREADS));
+        drop(s);
+        abort_panic();
+    }
+    s.threads.push(Status::Runnable);
+    s.clocks[tid] = s.clocks[parent];
+    s.tick(tid);
+    s.tick(parent);
+    tid
+}
+
+/// A spawned model thread's body, dispatched to a [`pool`] worker. Waits to be
+/// scheduled, runs `f`, stores the outcome in `slot` for the joining thread, and
+/// reports to the scheduler. Model runs are far more numerous than threads are
+/// long-lived, so workers persist across schedules — OS-thread spawns would
+/// otherwise dominate exploration cost several times over.
+pub(crate) fn run_model_thread<T>(
+    run: Arc<RunState>,
+    tid: usize,
+    f: impl FnOnce() -> T,
+    slot: &Mutex<Option<std::thread::Result<T>>>,
+) {
+    install(Arc::clone(&run), tid);
+    {
+        let s = run.lock();
+        // First yield: a freshly spawned thread runs only once scheduled. If the
+        // run is already aborting, wait_active panics and the thread just reports
+        // itself finished.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| run.wait_active(s, tid)));
+        if result.is_err() {
+            thread_finished(&run, tid, None);
+            uninstall();
+            return;
+        }
+    }
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => {
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+            thread_finished(&run, tid, None);
+        }
+        Err(payload) => {
+            thread_finished(&run, tid, classify_panic(tid, payload));
+        }
+    }
+    uninstall();
+}
+
+/// One persistent pool worker: executes dispatched model-thread bodies in order.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolWorker {
+    tx: mpsc::Sender<Job>,
+}
+
+static SPAWN_POOL: OnceLock<Vec<PoolWorker>> = OnceLock::new();
+
+/// Dispatches a model-thread body to the persistent worker for `tid`. Workers are
+/// created on first use and live for the process; explorations are serialized (the
+/// checker's global lock), and within one schedule each tid is used at most once,
+/// so each worker runs at most one job at a time.
+pub(crate) fn dispatch(tid: usize, job: Job) {
+    let pool = SPAWN_POOL.get_or_init(|| {
+        (1..MAX_THREADS)
+            .map(|_| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                });
+                PoolWorker { tx }
+            })
+            .collect()
+    });
+    pool[tid - 1].tx.send(job).expect("model pool worker died"); // lint: panic — reviewed invariant
+}
+
+/// Maps a caught panic payload to a recordable failure; `ModelAbort` payloads mean
+/// the failure was already recorded elsewhere.
+pub(crate) fn classify_panic(
+    tid: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Option<Failure> {
+    if payload.downcast_ref::<ModelAbort>().is_some() {
+        return None;
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    Some(Failure::Panic {
+        thread: tid,
+        message,
+    })
+}
+
+/// Cooperative join: waits (blocking this model thread) until `target` finishes,
+/// then joins its final clock into ours.
+pub(crate) fn join_thread(run: &RunState, tid: usize, target: usize) {
+    run.schedule_op(tid, "join");
+    loop {
+        {
+            let mut s = run.lock();
+            if s.abort {
+                drop(s);
+                abort_panic();
+            }
+            if s.threads[target] == Status::Finished {
+                let final_clock = s.clocks[target];
+                s.clocks[tid].join(&final_clock);
+                s.tick(tid);
+                return;
+            }
+        }
+        run.block_until_woken(tid, BlockOn::Join(target), "join-wait");
+    }
+}
+
+/// Marks `tid` finished, records `failure` if any, wakes joiners and either ends
+/// the run (all finished) or hands control to the next runnable thread.
+pub(crate) fn thread_finished(run: &RunState, tid: usize, failure: Option<Failure>) {
+    let mut s = run.lock();
+    if let Some(f) = failure {
+        run.fail_locked(&mut s, f);
+    }
+    s.threads[tid] = Status::Finished;
+    s.wake(|on| on == BlockOn::Join(tid));
+    if s.all_finished() {
+        s.done = true;
+        s.active = None;
+        run.notify_everyone();
+        return;
+    }
+    if s.abort {
+        // Unwinding: everyone has been woken by fail_locked; they exit at their
+        // next yield. No scheduling decisions are recorded past the failure.
+        run.notify_everyone();
+        return;
+    }
+    let alts = s.alternatives(tid, false);
+    if alts.is_empty() {
+        let blocked = render_statuses(&s);
+        run.fail_locked(&mut s, Failure::Deadlock { blocked });
+        return;
+    }
+    let chosen = s.decide(tid, false, alts);
+    s.active = Some(chosen);
+    run.conds[chosen].notify_one();
+}
+
+/// Blocks the calling (root) thread until every model thread has finished.
+pub(crate) fn wait_done(run: &RunState) {
+    let mut s = run.lock();
+    while !s.done {
+        s = run.done_cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+    }
+}

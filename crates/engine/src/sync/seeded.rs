@@ -1,0 +1,91 @@
+//! Seeded-bug hooks that prove the model checker sharp.
+//!
+//! The epoch-publication protocol consults these hooks (only in checked builds; the
+//! normal build compiles the literal orderings) at the handful of sites whose
+//! memory ordering is load-bearing. A mutation-gate test arms one [`Mutation`] at a
+//! time via [`super::model::Checker::check_with_mutation`] and asserts the checker
+//! *fails* — a data race or invariant panic — while the unmutated protocol passes.
+//! A checker that cannot distinguish the two would be decorative.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A deliberately seeded protocol bug. At most one is armed at a time, and only
+/// for the duration of one [`super::model::Checker`] exploration (runs are
+/// serialized on a global lock, so mutations cannot leak across tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// Weaken the publisher's slot-pointer store from `Release` to `Relaxed`: the
+    /// reader's acquire load no longer synchronizes with the value written into the
+    /// slot, racing the publisher's cell write against the reader's cell read.
+    PublishStoreRelaxed,
+    /// Weaken the reader's pin-path loads of the packed word from `Acquire`/`SeqCst`
+    /// to `Relaxed`: the acquire side of the publish edge disappears, with the same
+    /// race as [`Mutation::PublishStoreRelaxed`].
+    PinLoadRelaxed,
+    /// Skip the reader's revalidation of the packed word after pinning: a reader
+    /// that raced a publish may clone from a slot the publisher is concurrently
+    /// retiring.
+    SkipRevalidate,
+    /// Weaken the publisher's drain load of the slot reader count from `Acquire` to
+    /// `Relaxed`: draining no longer synchronizes with the last reader's unpin, so
+    /// retiring the slot value races that reader's cell access.
+    DrainLoadRelaxed,
+}
+
+/// A protocol site that consults [`ordering`]. One site may cover several textual
+/// loads (e.g. both pin-path loads of the packed word).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Site {
+    /// The publisher's store of the packed `epoch|slot` word.
+    PublishStore,
+    /// The reader's loads of the packed word on the pin path.
+    PinLoad,
+    /// The publisher's load of a slot's reader count while draining.
+    DrainLoad,
+}
+
+const NONE: u8 = 0;
+
+fn code(m: Mutation) -> u8 {
+    match m {
+        Mutation::PublishStoreRelaxed => 1,
+        Mutation::PinLoadRelaxed => 2,
+        Mutation::SkipRevalidate => 3,
+        Mutation::DrainLoadRelaxed => 4,
+    }
+}
+
+static ARMED: AtomicU8 = AtomicU8::new(NONE);
+
+/// Arms `m` (or disarms everything with `None`). Called only by the checker, which
+/// holds the global run lock, so plain `SeqCst` on a process-global is enough.
+pub(crate) fn arm(m: Option<Mutation>) {
+    ARMED.store(m.map(code).unwrap_or(NONE), Ordering::SeqCst);
+}
+
+fn armed() -> u8 {
+    ARMED.load(Ordering::SeqCst)
+}
+
+/// The ordering a protocol site should use: `default` normally, `Relaxed` when the
+/// matching weakening mutation is armed.
+#[inline]
+pub fn ordering(site: Site, default: Ordering) -> Ordering {
+    let weakened = match site {
+        Site::PublishStore => armed() == code(Mutation::PublishStoreRelaxed),
+        Site::PinLoad => armed() == code(Mutation::PinLoadRelaxed),
+        Site::DrainLoad => armed() == code(Mutation::DrainLoadRelaxed),
+    };
+    if weakened {
+        Ordering::Relaxed
+    } else {
+        default
+    }
+}
+
+/// Whether the reader's post-pin revalidation should be skipped (the
+/// [`Mutation::SkipRevalidate`] mutant).
+#[inline]
+pub fn skip_revalidate() -> bool {
+    armed() == code(Mutation::SkipRevalidate)
+}

@@ -1,0 +1,314 @@
+//! Instrumented stand-ins for the `std::sync` types the facade exports in checked
+//! builds.
+//!
+//! Every type wraps its `std` counterpart and consults [`rt::current`] on each
+//! operation: with no model context installed (a unified `cargo test` build running
+//! ordinary tests) the operation is the plain `std` one, so production behaviour is
+//! unchanged; inside a [`super::model::Checker`] run the operation first yields to
+//! the deterministic scheduler and feeds the happens-before tracker.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, LockResult, PoisonError};
+
+use super::rt;
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $raw:ty) => {
+        /// Instrumented atomic: `std` behaviour outside a model run, a scheduler
+        /// yield point plus vector-clock bookkeeping inside one.
+        #[derive(Debug, Default)]
+        #[repr(transparent)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(value: $raw) -> Self {
+                Self {
+                    inner: <$std>::new(value),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            /// Atomic load; `order` drives the model's acquire edges.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $raw {
+                match rt::current() {
+                    None => self.inner.load(order),
+                    Some((run, tid)) => rt::atomic_load(&run, tid, self.addr(), order, || {
+                        // The model serializes execution, so SeqCst here only keeps
+                        // the physical op well-defined; `order` is interpreted by
+                        // the vector clocks instead.
+                        self.inner.load(Ordering::SeqCst)
+                    }),
+                }
+            }
+
+            /// Atomic store; `order` drives the model's release edges.
+            #[inline]
+            pub fn store(&self, value: $raw, order: Ordering) {
+                match rt::current() {
+                    None => self.inner.store(value, order),
+                    Some((run, tid)) => rt::atomic_store(&run, tid, self.addr(), order, || {
+                        self.inner.store(value, Ordering::SeqCst)
+                    }),
+                }
+            }
+
+            /// Atomic add returning the previous value; an RMW continues the
+            /// location's release sequence in the model.
+            #[inline]
+            pub fn fetch_add(&self, value: $raw, order: Ordering) -> $raw {
+                match rt::current() {
+                    None => self.inner.fetch_add(value, order),
+                    Some((run, tid)) => rt::atomic_rmw(&run, tid, self.addr(), order, || {
+                        self.inner.fetch_add(value, Ordering::SeqCst)
+                    }),
+                }
+            }
+
+            /// Atomic subtract returning the previous value (RMW, like
+            /// [`Self::fetch_add`]).
+            #[inline]
+            pub fn fetch_sub(&self, value: $raw, order: Ordering) -> $raw {
+                match rt::current() {
+                    None => self.inner.fetch_sub(value, order),
+                    Some((run, tid)) => rt::atomic_rmw(&run, tid, self.addr(), order, || {
+                        self.inner.fetch_sub(value, Ordering::SeqCst)
+                    }),
+                }
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Instrumented mutex. Inside a model run the *model* arbitrates ownership (a
+/// contended lock blocks cooperatively and the unlock edge joins vector clocks);
+/// the inner `std` mutex is then always uncontended and only provides the guard.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Acquires the mutex, blocking (cooperatively, under the model) until it is
+    /// free. Mirrors `std::sync::Mutex::lock`'s poison contract.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = match rt::current() {
+            None => None,
+            Some((run, tid)) => {
+                rt::mutex_lock(&run, tid, self.addr());
+                Some((run, tid, self.addr()))
+            }
+        };
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                model,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                inner: Some(p.into_inner()),
+                model,
+            })),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releasing it performs the model's unlock edge.
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<rt::RunState>, usize, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop") // lint: panic — reviewed invariant
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop") // lint: panic — reviewed invariant
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std mutex first so the guard is gone before the model yields.
+        self.inner = None;
+        if let Some((run, tid, addr)) = self.model.take() {
+            // A panicking model thread skips the cooperative unlock: its failure is
+            // being recorded and the whole run is unwinding anyway, and scheduling
+            // from inside an unwinding Drop could panic again (a process abort).
+            if !std::thread::panicking() {
+                rt::mutex_unlock(&run, tid, addr);
+            }
+        }
+    }
+}
+
+/// `std::cell::UnsafeCell` with the closure access API; inside a model run every
+/// access is checked against the happens-before race detector.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+impl<T> UnsafeCell<T> {
+    /// Wraps `value`.
+    pub const fn new(value: T) -> Self {
+        UnsafeCell(std::cell::UnsafeCell::new(value))
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Calls `f` with a shared raw pointer to the contents.
+    ///
+    /// # Safety contract
+    /// Same as `std::cell::UnsafeCell::get`: the surrounding protocol must make the
+    /// access race-free. Inside a model run that claim is *verified* — an unordered
+    /// concurrent write fails the check with a `DataRace` report.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((run, tid)) = rt::current() {
+            rt::cell_read(&run, tid, self.addr());
+        }
+        f(self.0.get())
+    }
+
+    /// Calls `f` with an exclusive raw pointer to the contents (same safety
+    /// contract as [`UnsafeCell::with`], checked as a write).
+    #[inline]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((run, tid)) = rt::current() {
+            rt::cell_write(&run, tid, self.addr());
+        }
+        f(self.0.get())
+    }
+}
+
+/// Thread entry points of the facade: `std::thread` outside a model run, model
+/// threads (registered with the scheduler, happens-before edges at spawn and join)
+/// inside one.
+pub mod thread {
+    use std::sync::Arc;
+
+    use super::super::rt;
+
+    type ResultSlot<T> = Arc<std::sync::Mutex<Option<std::thread::Result<T>>>>;
+
+    enum Handle<T> {
+        /// A plain `std` thread (no model run active at spawn time).
+        Std(std::thread::JoinHandle<T>),
+        /// A model thread (running on a persistent pool worker); `join` waits
+        /// cooperatively under the scheduler, then takes the result from the slot.
+        Model {
+            /// Filled by the child before it reports itself finished.
+            slot: ResultSlot<T>,
+            /// Model thread id of the child.
+            tid: usize,
+            /// The run the child belongs to.
+            run: Arc<rt::RunState>,
+        },
+    }
+
+    /// Handle to a facade-spawned thread.
+    pub struct JoinHandle<T>(Handle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result, like
+        /// `std::thread::JoinHandle::join`.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Handle::Std(h) => h.join(),
+                Handle::Model { slot, tid, run } => {
+                    // lint: panic — reviewed invariant
+                    let (me_run, me) = rt::current().expect(
+                        "model thread handles must be joined from inside the same model run",
+                    );
+                    debug_assert!(Arc::ptr_eq(&me_run, &run));
+                    rt::join_thread(&run, me, tid);
+                    // join_thread returns only once the child is finished, and a
+                    // child that panicked records a failure that aborts us inside
+                    // join_thread — so the slot is filled here; the Err arm is a
+                    // defensive fallback.
+                    let result = slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take();
+                    result.unwrap_or_else(|| Err(Box::new("model thread failed")))
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread running `f`, like `std::thread::spawn`. Under a model run
+    /// the child inherits the spawner's vector clock, runs on a persistent pool
+    /// worker and waits to be scheduled.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::current() {
+            None => JoinHandle(Handle::Std(std::thread::spawn(f))),
+            Some((run, parent)) => {
+                let tid = rt::spawn_thread(&run, parent);
+                let slot: ResultSlot<T> = Arc::new(std::sync::Mutex::new(None));
+                let child_run = Arc::clone(&run);
+                let child_slot = Arc::clone(&slot);
+                rt::dispatch(
+                    tid,
+                    Box::new(move || rt::run_model_thread(child_run, tid, f, &child_slot)),
+                );
+                JoinHandle(Handle::Model { slot, tid, run })
+            }
+        }
+    }
+
+    /// Cooperative yield: `std::thread::yield_now` normally; under the model the
+    /// caller blocks until another thread performs a write (see the facade
+    /// spin-loop contract).
+    pub fn yield_now() {
+        match rt::current() {
+            None => std::thread::yield_now(),
+            Some((run, tid)) => rt::spin_yield(&run, tid),
+        }
+    }
+}
+
+/// Spin-wait hints of the facade.
+pub mod hint {
+    use super::super::rt;
+
+    /// `std::hint::spin_loop` normally; under the model, identical to
+    /// [`super::thread::yield_now`] — the spinner blocks until a write occurs, which
+    /// is what keeps busy-wait loops finite under exhaustive exploration.
+    pub fn spin_loop() {
+        match rt::current() {
+            None => std::hint::spin_loop(),
+            Some((run, tid)) => rt::spin_yield(&run, tid),
+        }
+    }
+}

@@ -336,7 +336,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // consume one UTF-8 scalar (input is a &str, so boundaries are valid)
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
-                let c = rest.chars().next().expect("non-empty checked above");
+                let c = rest.chars().next().expect("non-empty checked above"); // lint: panic — reviewed invariant
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -354,7 +354,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits"); // lint: panic — reviewed invariant
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| JsonError::at(start, format!("invalid number `{text}`")))

@@ -248,7 +248,7 @@ pub fn ranking_cases_from_test(test: &[Rating], relevance_threshold: f64) -> Vec
     order
         .into_iter()
         .map(|user| RankingCase {
-            relevant: relevant.remove(&user).expect("entry inserted above"),
+            relevant: relevant.remove(&user).expect("entry inserted above"), // lint: panic — reviewed invariant
             user,
         })
         .collect()

@@ -430,6 +430,7 @@ impl SimilarityGraph {
             .zip(stats)
             .filter_map(|(&key, stats)| {
                 let (lo, hi) = Self::pair_of_key(key);
+                // lint: float-eq — exact zero is the "no co-rater" sentinel from the stats.
                 if stats.similarity != 0.0 && stats.similarity.abs() >= config.min_similarity {
                     Some((lo, hi, stats))
                 } else {

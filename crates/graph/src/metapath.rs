@@ -53,7 +53,7 @@ impl MetaPath {
 
     /// The last item of the path.
     pub fn destination(&self) -> ItemId {
-        *self.items.last().expect("meta-paths are never empty")
+        *self.items.last().expect("meta-paths are never empty") // lint: panic — reviewed invariant
     }
 
     /// Number of hops (edges) in the path.
@@ -123,7 +123,7 @@ fn dfs(
     if paths.len() >= config.max_paths {
         return;
     }
-    let here = *current.last().expect("path is never empty");
+    let here = *current.last().expect("path is never empty"); // lint: panic — reviewed invariant
     let here_rank = partition.path_rank(here, source_domain);
     if here_rank >= 5 {
         return; // the far NN layer is terminal

@@ -17,6 +17,7 @@ pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
         scale.is_finite() && scale >= 0.0,
         "Laplace scale must be finite and non-negative, got {scale}"
     );
+    // lint: float-eq — scale == 0.0 exactly means "no noise" (infinite epsilon).
     if scale == 0.0 {
         return 0.0;
     }

@@ -112,6 +112,7 @@ pub fn truncation_width(
     v_len: usize,
     rho: f64,
 ) -> f64 {
+    // lint: float-eq — rho == 0.0 exactly is the degenerate "no smoothing" parameter.
     if k == 0 || v_len <= k || epsilon_prime <= 0.0 || !(0.0..1.0).contains(&rho) || rho == 0.0 {
         return kth_similarity;
     }
