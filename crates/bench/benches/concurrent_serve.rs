@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use xmap_cf::knn::Profile;
 use xmap_cf::{DomainId, ItemId};
-use xmap_core::{PrivacyConfig, RatingDelta, XMapConfig, XMapMode, XMapModel, XMapPipeline};
+use xmap_core::{PrivacyConfig, RatingDelta, XMapConfig, XMapMode, XMapModel};
 use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
 
 const TOP_N: usize = 5;
@@ -64,7 +64,7 @@ fn config(mode: XMapMode) -> XMapConfig {
 }
 
 fn fit(ds: &CrossDomainDataset, mode: XMapMode) -> XMapModel {
-    XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config(mode))
+    XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config(mode))
         .expect("the bench workload contains both domains")
 }
 

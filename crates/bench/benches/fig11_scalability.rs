@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use xmap_bench::{amazon_like, Scale};
 use xmap_cf::DomainId;
-use xmap_core::{XMapConfig, XMapMode, XMapPipeline};
+use xmap_core::{XMapConfig, XMapMode, XMapModel};
 use xmap_engine::{ClusterCostModel, ClusterSim};
 
 fn bench_pipeline_fit(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_pipeline_fit(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    XMapPipeline::fit(
+                    XMapModel::fit(
                         &ds.matrix,
                         DomainId::SOURCE,
                         DomainId::TARGET,
@@ -38,7 +38,7 @@ fn bench_pipeline_fit(c: &mut Criterion) {
 
 fn bench_cluster_sim(c: &mut Criterion) {
     let ds = amazon_like(Scale::Quick);
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,

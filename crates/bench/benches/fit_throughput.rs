@@ -1,6 +1,6 @@
 //! Throughput of the engine-parallel model fit.
 //!
-//! The headline comparison is the same `XMapPipeline::fit` executed at 1 worker (the
+//! The headline comparison is the same `XMapModel::fit` executed at 1 worker (the
 //! serial reference — every stage's partitions processed one after another) and at 8
 //! workers (the engine-parallel fit of the baseliner, extender, generator and
 //! recommender stages). Both fits release **bit-identical** models by the fit
@@ -17,7 +17,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use xmap_bench::{amazon_like, Scale};
 use xmap_cf::{DomainId, ItemId, UserId};
-use xmap_core::{XMapConfig, XMapMode, XMapModel, XMapPipeline};
+use xmap_core::{XMapConfig, XMapMode, XMapModel};
 use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
 use xmap_engine::{ClusterCostModel, ClusterSim};
 
@@ -77,7 +77,7 @@ fn bench_fit_throughput(c: &mut Criterion) {
     let probe_items: Vec<ItemId> = ds.target_items().into_iter().take(10).collect();
 
     // Every worker count must release the same bits before its speed means anything.
-    let reference = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config(1))
+    let reference = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config(1))
         .expect("workload contains both domains");
     let reference_bits = released_bits(&reference, &probe_users, &probe_items);
     let reference_bag = reference.fit_task_costs();
@@ -86,7 +86,7 @@ fn bench_fit_throughput(c: &mut Criterion) {
         "the fit must record task costs for the cluster replay"
     );
     for workers in [2usize, 8] {
-        let staged = XMapPipeline::fit(
+        let staged = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -110,7 +110,7 @@ fn bench_fit_throughput(c: &mut Criterion) {
     let time_once = |workers: usize| {
         let start = Instant::now();
         criterion::black_box(
-            XMapPipeline::fit(
+            XMapModel::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -147,7 +147,7 @@ fn bench_fit_throughput(c: &mut Criterion) {
     for workers in [1usize, 8] {
         group.bench_function(format!("fit_workers_{workers}"), |b| {
             b.iter(|| {
-                XMapPipeline::fit(
+                XMapModel::fit(
                     &ds.matrix,
                     DomainId::SOURCE,
                     DomainId::TARGET,

@@ -1,0 +1,217 @@
+//! Throughput of durable model state (`XMapModel::persist` / `open` / `compact`).
+//!
+//! The claim under test is the recovery contract: a model recovered from its
+//! snapshot + delta journal is **bit-identical** to the in-memory model that wrote
+//! them, and recovery cost splits into a snapshot load (proportional to the model)
+//! plus a journal replay (proportional to the journaled deltas) that compaction
+//! folds away.
+//!
+//! Deterministic checks run before anything is timed:
+//!
+//! 1. **bit-identity** — after a persist and a batch of journaled deltas, `open`
+//!    rebuilds the exact graph arena, X-Sim table and probe prediction bits;
+//! 2. **compaction win** — `compact` shrinks the journal to its bare header and the
+//!    recovered bits stay identical.
+//!
+//! The measured figures: snapshot size and write/load rate, journal replay rate
+//! (records/s through the `apply_delta` path), and recovery wall clock before vs
+//! after compaction. `XMAP_BENCH_SMOKE=1` shrinks everything so CI runs the bench
+//! end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::Instant;
+use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
+use xmap_core::{RatingDelta, XMapConfig, XMapMode, XMapModel};
+use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+
+fn smoke() -> bool {
+    std::env::var("XMAP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn workload() -> CrossDomainDataset {
+    if smoke() {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 80,
+            n_target_items: 80,
+            n_source_only_users: 60,
+            n_target_only_users: 60,
+            n_overlap_users: 40,
+            ratings_per_user: 6,
+            latent_dim: 2,
+            noise: 0.3,
+            seed: 11,
+        })
+    } else {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 250,
+            n_target_items: 250,
+            n_source_only_users: 300,
+            n_target_only_users: 300,
+            n_overlap_users: 200,
+            ratings_per_user: 10,
+            latent_dim: 3,
+            noise: 0.25,
+            seed: 11,
+        })
+    }
+}
+
+fn config() -> XMapConfig {
+    XMapConfig {
+        mode: XMapMode::NxMapItemBased,
+        k: if smoke() { 8 } else { 20 },
+        workers: 1,
+        partitions: 64,
+        ..Default::default()
+    }
+}
+
+fn fit(matrix: &RatingMatrix) -> XMapModel {
+    XMapModel::fit(matrix, DomainId::SOURCE, DomainId::TARGET, config())
+        .expect("bench workloads contain both domains")
+}
+
+fn probe_bits(model: &XMapModel, users: &[UserId], items: &[ItemId]) -> Vec<u64> {
+    users
+        .iter()
+        .flat_map(|&u| items.iter().map(move |&i| (u, i)).collect::<Vec<_>>())
+        .map(|(u, i)| model.predict(u, i).to_bits())
+        .collect()
+}
+
+/// One small deterministic delta per journal record, each touching a distinct
+/// (user, item) pair so every replayed record does real graph surgery.
+fn delta_stream(ds: &CrossDomainDataset, n: usize) -> Vec<RatingDelta> {
+    let users = &ds.overlap_users;
+    let items = ds.target_items();
+    (0..n)
+        .map(|ix| {
+            let mut delta = RatingDelta::new();
+            delta.push_timed(
+                users[ix % users.len()].0,
+                items[(ix * 7) % items.len()].0,
+                ((ix % 5) + 1) as f64,
+                1000 + ix as u32,
+            );
+            delta
+        })
+        .collect()
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("xmap_recovery_bench_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_recovery_throughput(c: &mut Criterion) {
+    let ds = workload();
+    let n_records = if smoke() { 16 } else { 128 };
+    let probe_users: Vec<UserId> = ds.overlap_users.iter().copied().take(8).collect();
+    let probe_items: Vec<ItemId> = ds.target_items().into_iter().take(8).collect();
+
+    // --- Correctness first: persist + journal + open must round-trip the bits. ---
+    let dir = store_dir("main");
+    let model = fit(&ds.matrix);
+    let start = Instant::now();
+    model.persist(&dir).expect("persist succeeds");
+    let snapshot_write = start.elapsed();
+    let snapshot_bytes = std::fs::metadata(dir.join(xmap_core::SNAPSHOT_FILE))
+        .expect("snapshot exists")
+        .len();
+
+    for delta in &delta_stream(&ds, n_records) {
+        model.apply_delta(delta).expect("delta applies cleanly");
+    }
+    let journal_bytes = model.journal_len_bytes().expect("store attached");
+
+    let start = Instant::now();
+    let recovered = XMapModel::open(&dir).expect("recovery succeeds");
+    let recover_time = start.elapsed();
+    assert_eq!(
+        recovered.epoch(),
+        1 + n_records as u64,
+        "recovery must replay every journaled record"
+    );
+    assert_eq!(
+        recovered.graph(),
+        model.graph(),
+        "recovered graph arena diverged from the live model"
+    );
+    assert_eq!(
+        recovered.xsim(),
+        model.xsim(),
+        "recovered X-Sim table diverged from the live model"
+    );
+    assert_eq!(
+        probe_bits(&recovered, &probe_users, &probe_items),
+        probe_bits(&model, &probe_users, &probe_items),
+        "recovered predictions diverged from the live model"
+    );
+    println!(
+        "recovery_throughput: snapshot {snapshot_bytes} B over {} ratings \
+         ({:.1} B/rating), written in {snapshot_write:?}",
+        ds.matrix.n_ratings(),
+        snapshot_bytes as f64 / ds.matrix.n_ratings() as f64
+    );
+    println!(
+        "recovery_throughput: journal {journal_bytes} B / {n_records} records; \
+         snapshot + replay recovered in {recover_time:?} \
+         ({:.0} records/s through apply_delta)",
+        n_records as f64 / recover_time.as_secs_f64().max(1e-12)
+    );
+
+    // --- Compaction win: the journal folds into the snapshot, recovery gets cheap
+    // again, and the bits never move. ---
+    let before_bits = probe_bits(&model, &probe_users, &probe_items);
+    model.compact().expect("compaction succeeds");
+    let compacted_journal = model.journal_len_bytes().expect("store attached");
+    assert!(
+        compacted_journal < journal_bytes,
+        "compaction must shrink the journal ({journal_bytes} -> {compacted_journal} B)"
+    );
+    let start = Instant::now();
+    let reopened = XMapModel::open(&dir).expect("recovery after compaction succeeds");
+    let compacted_recover = start.elapsed();
+    assert_eq!(
+        probe_bits(&reopened, &probe_users, &probe_items),
+        before_bits,
+        "compaction changed the released bits"
+    );
+    println!(
+        "recovery_throughput: compaction win: journal {journal_bytes} -> {compacted_journal} B, \
+         recovery {recover_time:?} -> {compacted_recover:?}"
+    );
+
+    // --- Timed groups: snapshot write, pure-snapshot recovery, snapshot + replay. ---
+    let mut group = c.benchmark_group("recovery_throughput");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    group.bench_function("persist_snapshot", |b| {
+        let dir = store_dir("persist");
+        b.iter(|| model.persist(&dir).expect("persist succeeds"))
+    });
+    group.bench_function("open_compacted", |b| {
+        // `dir` was just compacted: this measures the snapshot-load half alone.
+        b.iter(|| XMapModel::open(&dir).expect("recovery succeeds"))
+    });
+    group.bench_function(format!("open_with_{n_records}_record_replay"), |b| {
+        let replay_dir = store_dir("replay");
+        let fresh = fit(&ds.matrix);
+        fresh.persist(&replay_dir).expect("persist succeeds");
+        for delta in &delta_stream(&ds, n_records) {
+            fresh.apply_delta(delta).expect("delta applies cleanly");
+        }
+        b.iter(|| XMapModel::open(&replay_dir).expect("recovery succeeds"))
+    });
+    group.finish();
+
+    // `store_dir` deletes before handing the path back, so this is the cleanup.
+    for tag in ["main", "persist", "replay"] {
+        let _ = store_dir(tag);
+    }
+}
+
+criterion_group!(benches, bench_recovery_throughput);
+criterion_main!(benches);

@@ -22,7 +22,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use xmap_cf::{DomainId, ItemId, RatingMatrix, UserId};
-use xmap_core::{RatingDelta, XMapConfig, XMapMode, XMapModel, XMapPipeline};
+use xmap_core::{RatingDelta, XMapConfig, XMapMode, XMapModel};
 use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
 use xmap_engine::{ClusterCostModel, ClusterSim};
 
@@ -99,7 +99,7 @@ fn delta_of_size(ds: &CrossDomainDataset, size: usize) -> RatingDelta {
 }
 
 fn fit(matrix: &RatingMatrix) -> XMapModel {
-    XMapPipeline::fit(matrix, DomainId::SOURCE, DomainId::TARGET, config())
+    XMapModel::fit(matrix, DomainId::SOURCE, DomainId::TARGET, config())
         .expect("bench workloads contain both domains")
 }
 

@@ -26,7 +26,7 @@
 use std::process::ExitCode;
 use xmap_bench::experiments::Direction;
 use xmap_bench::{amazon_like, amazon_like_small, Scale, SweepRunner};
-use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapPipeline};
+use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapModel};
 use xmap_eval::{
     evaluate_batch_serial, evaluate_predictions, render_series_table, EvalReport, Json, SweepParam,
     SweepSeries, SweepSpec,
@@ -109,7 +109,7 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers, u64) {
             workers,
             ..*runner.base_config()
         };
-        let model = XMapPipeline::fit(&split.train, source, target, config)
+        let model = XMapModel::fit(&split.train, source, target, config)
             .expect("smoke dataset contains both domains");
         assert_eq!(
             model.epoch(),

@@ -11,7 +11,7 @@ use xmap_cf::baselines::{
     ItemAverage, LinkedDomainItemKnn, RatingPredictor, RemoteUser, SingleDomainItemKnn,
 };
 use xmap_cf::{DomainId, Rating, RatingMatrix, UserKnnConfig};
-use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapPipeline};
+use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapModel};
 use xmap_dataset::split::{random_holdout, CrossDomainSplit, SplitConfig};
 use xmap_dataset::synthetic::CrossDomainDataset;
 use xmap_engine::{ClusterCostModel, ClusterSim};
@@ -81,7 +81,7 @@ pub fn evaluate_xmap(
     target: DomainId,
     config: XMapConfig,
 ) -> f64 {
-    let model = XMapPipeline::fit(&split.train, source, target, config)
+    let model = XMapModel::fit(&split.train, source, target, config)
         .expect("harness datasets always contain both domains"); // lint: panic — reviewed invariant
     evaluate_predictions(&split.test, |u, i| model.predict(u, i)).mae
 }
@@ -156,7 +156,7 @@ pub struct Fig1bResult {
 /// most cross-domain item pairs share no rater.
 pub fn fig1b(scale: Scale) -> Fig1bResult {
     let ds = crate::datasets::amazon_like_sparse(scale);
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,
@@ -463,7 +463,7 @@ pub fn table3(scale: Scale) -> Vec<(String, f64)> {
 
     let mut results = Vec::new();
     for mode in [XMapMode::NxMapItemBased, XMapMode::XMapItemBased] {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &train_all,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -502,7 +502,7 @@ pub fn table3(scale: Scale) -> Vec<(String, f64)> {
 /// work estimates; ALS's from per-user factor-solve costs (profile lengths).
 pub fn fig11(scale: Scale) -> Vec<SweepSeries> {
     let ds = amazon_like(scale);
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,

@@ -10,7 +10,7 @@
 
 use crate::experiments::Direction;
 use xmap_cf::DomainId;
-use xmap_core::{XMapConfig, XMapModel, XMapPipeline};
+use xmap_core::{XMapConfig, XMapModel};
 use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
 use xmap_dataset::synthetic::CrossDomainDataset;
 use xmap_eval::{ranking_cases_from_test, EvalBatch, SweepParam, SweepSeries, SweepSpec};
@@ -105,7 +105,7 @@ impl SweepRunner {
     /// Fits the base configuration on a split's training matrix.
     pub fn fit(&self, split: &CrossDomainSplit) -> XMapModel {
         let (source, target) = self.domains();
-        XMapPipeline::fit(&split.train, source, target, self.base)
+        XMapModel::fit(&split.train, source, target, self.base)
             .expect("harness datasets always contain both domains") // lint: panic — reviewed invariant
     }
 

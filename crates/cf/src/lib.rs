@@ -22,6 +22,7 @@
 
 pub mod als;
 pub mod baselines;
+pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod knn;

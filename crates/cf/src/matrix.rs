@@ -694,6 +694,42 @@ impl RatingMatrix {
     }
 }
 
+/// On-disk codec for the matrix: both CSR views, the average caches, domains and
+/// scale, in field order. Lives here (not in `codec.rs`) because the fields are
+/// private to this module; decode reconstructs the struct verbatim, so a decoded
+/// matrix is bit-identical (`PartialEq` over every field) to the encoded one.
+impl xmap_store::Codec for RatingMatrix {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_usize(self.n_users);
+        e.put_usize(self.n_items);
+        self.user_offsets.enc(e);
+        self.user_entries.enc(e);
+        self.item_offsets.enc(e);
+        self.item_entries.enc(e);
+        self.user_avg.enc(e);
+        self.item_avg.enc(e);
+        e.put_f64(self.global_avg);
+        self.item_domain.enc(e);
+        self.scale.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(RatingMatrix {
+            n_users: d.take_usize()?,
+            n_items: d.take_usize()?,
+            user_offsets: Vec::dec(d)?,
+            user_entries: Vec::dec(d)?,
+            item_offsets: Vec::dec(d)?,
+            item_entries: Vec::dec(d)?,
+            user_avg: Vec::dec(d)?,
+            item_avg: Vec::dec(d)?,
+            global_avg: d.take_f64()?,
+            item_domain: Vec::dec(d)?,
+            scale: RatingScale::dec(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,11 @@ impl Default for Config {
                 "crates/engine/src/concurrent.rs".into(),
                 "crates/core/src/serve.rs".into(),
                 "crates/core/src/delta.rs".into(),
+                // The durable-state surface: the model lifecycle entry points and
+                // the on-disk snapshot/journal formats they rest on.
+                "crates/core/src/persist.rs".into(),
+                "crates/store/src/snapshot.rs".into(),
+                "crates/store/src/journal.rs".into(),
             ],
         }
     }

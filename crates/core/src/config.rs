@@ -184,6 +184,79 @@ impl XMapConfig {
     }
 }
 
+impl xmap_store::Codec for XMapMode {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_u8(match self {
+            XMapMode::NxMapUserBased => 0,
+            XMapMode::NxMapItemBased => 1,
+            XMapMode::XMapUserBased => 2,
+            XMapMode::XMapItemBased => 3,
+        });
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        match d.take_u8()? {
+            0 => Ok(XMapMode::NxMapUserBased),
+            1 => Ok(XMapMode::NxMapItemBased),
+            2 => Ok(XMapMode::XMapUserBased),
+            3 => Ok(XMapMode::XMapItemBased),
+            tag => Err(d.corrupt(format!("invalid XMapMode tag {tag}"))),
+        }
+    }
+}
+
+impl xmap_store::Codec for PrivacyConfig {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_f64(self.epsilon);
+        e.put_f64(self.epsilon_prime);
+        e.put_f64(self.rho);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(PrivacyConfig {
+            epsilon: d.take_f64()?,
+            epsilon_prime: d.take_f64()?,
+            rho: d.take_f64()?,
+        })
+    }
+}
+
+/// On-disk codec for the full fit configuration, field order. Persisted inside the
+/// snapshot so that `XMapModel::open` rebuilds the model under exactly the
+/// configuration it was fitted with (worker/partition counts included — they do
+/// not affect the fitted bits, but they do size the recovered dataflow).
+impl xmap_store::Codec for XMapConfig {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        self.mode.enc(e);
+        e.put_usize(self.k);
+        self.metric.enc(e);
+        self.metapath.enc(e);
+        e.put_f64(self.temporal_alpha);
+        self.transfer.enc(e);
+        e.put_usize(self.replacement_pool);
+        self.privacy.enc(e);
+        e.put_u64(self.seed);
+        e.put_usize(self.workers);
+        e.put_usize(self.partitions);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(XMapConfig {
+            mode: XMapMode::dec(d)?,
+            k: d.take_usize()?,
+            metric: xmap_cf::SimilarityMetric::dec(d)?,
+            metapath: xmap_graph::MetaPathConfig::dec(d)?,
+            temporal_alpha: d.take_f64()?,
+            transfer: crate::generator::RatingTransfer::dec(d)?,
+            replacement_pool: d.take_usize()?,
+            privacy: PrivacyConfig::dec(d)?,
+            seed: d.take_u64()?,
+            workers: d.take_usize()?,
+            partitions: d.take_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,6 +146,23 @@ impl RatingDelta {
     }
 }
 
+/// On-disk codec for a delta — the journal's record payload: the rating events and
+/// item-domain declarations verbatim, in push order (replay must see exactly the
+/// batch `apply_delta` saw).
+impl xmap_store::Codec for RatingDelta {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        self.ratings.enc(e);
+        self.item_domains.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(RatingDelta {
+            ratings: Vec::dec(d)?,
+            item_domains: Vec::dec(d)?,
+        })
+    }
+}
+
 /// What a delta fit recomputed — the shape of the incremental work, for reporting and
 /// for the `update_throughput` bench's cost-scaling assertions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -166,6 +183,10 @@ pub struct DeltaReport {
     pub n_replacement_draws: usize,
     /// Item-kNN pools re-fitted (0 for the user-based modes).
     pub n_pool_refits: usize,
+    /// Byte offset of this delta's record in the attached journal, or `None` when
+    /// the model has no store attached. Written *before* the epoch was published
+    /// (write-ahead), so a crash after `apply_delta` returns can always replay it.
+    pub journal_offset: Option<u64>,
 }
 
 /// The MRV-merged write-side accumulators of one delta ingest, published alongside the
@@ -596,7 +617,7 @@ impl XMapModel {
     /// sharing every untouched piece with the base epoch — and published with a single
     /// pointer swap. The resulting model — graph bits, replacement table, kNN pools,
     /// predictions, privacy ledger — is **bit-identical to a full
-    /// [`crate::XMapPipeline::fit`] on the updated matrix**. The published epoch is
+    /// [`crate::XMapModel::fit`] on the updated matrix**. The published epoch is
     /// stamped into [`DeltaReport::epoch`].
     ///
     /// Readers that snapshotted the previous epoch keep serving it undisturbed; the old
@@ -706,9 +727,27 @@ impl XMapModel {
             }),
         };
 
+        // --- Write-ahead journal: with a store attached, the delta record must be
+        // durable (appended + fsynced) *before* the epoch it produces becomes
+        // visible. An append failure aborts with nothing published, so the model —
+        // in memory and on disk — is left exactly as it was. Still under the ingest
+        // lock, so journal order is publish order. ---
+        let mut journal_offset = None;
+        {
+            let mut store = self
+                .store
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(store) = store.as_mut() {
+                let next_epoch = self.handle.epoch() + 1;
+                journal_offset = Some(store.append(next_epoch, delta)?);
+            }
+        }
+
         // --- Publish: one pointer swap; readers on the base epoch drain and the base
         // retires with its last snapshot. ---
         report.epoch = self.handle.publish(Arc::new(next));
+        report.journal_offset = journal_offset;
 
         // Refresh the mutable-side bookkeeping (still under the ingest lock). The
         // fit-stage task bags keep describing the original fit — the delta's own bag
@@ -835,7 +874,6 @@ impl XMapModel {
 mod tests {
     use super::*;
     use crate::config::XMapConfig;
-    use crate::pipeline::XMapPipeline;
     use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
 
     fn dataset() -> CrossDomainDataset {
@@ -879,7 +917,7 @@ mod tests {
     #[test]
     fn empty_delta_equals_a_refit_on_the_same_matrix() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -893,7 +931,7 @@ mod tests {
         assert_eq!(report.n_xsim_rows, 0);
         assert_eq!(report.n_pool_refits, 0);
         assert_eq!(report.epoch, 2, "the delta must publish the next epoch");
-        let refit = XMapPipeline::fit(
+        let refit = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -923,7 +961,7 @@ mod tests {
     #[test]
     fn delta_with_a_brand_new_user_and_item_equals_a_refit() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -950,7 +988,7 @@ mod tests {
             .matrix
             .apply_delta(delta.ratings(), delta.item_domains())
             .unwrap();
-        let refit = XMapPipeline::fit(
+        let refit = XMapModel::fit(
             &updated,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -969,7 +1007,7 @@ mod tests {
     #[test]
     fn repeated_deltas_to_the_same_cell_equal_a_refit() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -996,7 +1034,7 @@ mod tests {
             .unwrap()
             .apply_delta(second.ratings(), &[])
             .unwrap();
-        let refit = XMapPipeline::fit(
+        let refit = XMapModel::fit(
             &updated,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1009,7 +1047,7 @@ mod tests {
     #[test]
     fn sequential_deltas_bump_the_epoch_monotonically() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1036,7 +1074,7 @@ mod tests {
     #[test]
     fn source_only_delta_shares_the_recommender_but_rebuilds_the_graph() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1062,7 +1100,7 @@ mod tests {
         );
         // ... and sharing is still bit-identical to a refit.
         let updated = ds.matrix.apply_delta(delta.ratings(), &[]).unwrap();
-        let refit = XMapPipeline::fit(
+        let refit = XMapModel::fit(
             &updated,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1075,7 +1113,7 @@ mod tests {
     #[test]
     fn ingest_accumulators_match_the_serial_mrv_reference() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1133,7 +1171,7 @@ mod tests {
     #[test]
     fn domain_redeclaration_of_an_existing_item_is_rejected_without_side_effects() {
         let ds = dataset();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1167,7 +1205,7 @@ mod tests {
     fn private_delta_recharges_a_fresh_budget_like_a_refit() {
         let ds = dataset();
         let cfg = config(XMapMode::XMapItemBased);
-        let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let model = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
         let mut delta = RatingDelta::new();
         delta.push_timed(ds.overlap_users[0].0, ds.target_items()[0].0, 5.0, 77);
         model.apply_delta(&delta).unwrap();
@@ -1187,7 +1225,7 @@ mod tests {
     fn private_delta_sharing_the_recommender_still_debits_the_full_ledger() {
         let ds = dataset();
         let cfg = config(XMapMode::XMapItemBased);
-        let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let model = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
         let (_, base) = model.snapshot();
         // Source-only delta: the recommender is shared, but the re-release must charge
         // the fresh accountant exactly like a refit.

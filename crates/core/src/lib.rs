@@ -21,7 +21,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use xmap_core::{XMapConfig, XMapMode, XMapPipeline};
+//! use xmap_core::{XMapConfig, XMapMode, XMapModel};
 //! use xmap_dataset::toy::{items, users, ToyScenario};
 //! use xmap_cf::DomainId;
 //!
@@ -31,7 +31,7 @@
 //!     k: 2,
 //!     ..XMapConfig::default()
 //! };
-//! let model = XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
+//! let model = XMapModel::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
 //! // Alice never rated a book, but her AlterEgo gives her book predictions.
 //! let recs = model.recommend(users::ALICE, 2);
 //! assert!(!recs.is_empty());
@@ -44,6 +44,7 @@
 pub mod config;
 pub mod delta;
 pub mod generator;
+pub mod persist;
 pub mod pipeline;
 pub mod private;
 pub mod recommend;
@@ -55,7 +56,8 @@ pub use delta::{
     DeltaReport, IngestAccumulators, RatingDelta, ServedRead, DELTA_STAGE_NAME, INGEST_MRV_SHARDS,
 };
 pub use generator::{AlterEgo, AlterEgoGenerator, RatingTransfer, ReplacementTable};
-pub use pipeline::{BaselinerStage, ModelEpoch, PipelineStats, XMapModel, XMapPipeline};
+pub use persist::{JOURNAL_FILE, SNAPSHOT_FILE};
+pub use pipeline::{BaselinerStage, ModelEpoch, PipelineStats, XMapModel};
 pub use recommend::{ProfileRecommender, ProfileScratch, ScratchPool};
 pub use serve::{RecommendStage, ServeBatch};
 pub use xsim::{XSimEntry, XSimTable};
@@ -71,6 +73,23 @@ pub enum XMapError {
     Data(String),
     /// A differentially private mechanism asked for more ε than the budget has left.
     Privacy(xmap_privacy::BudgetError),
+    /// An operating-system I/O failure in the persistence layer, with the path and
+    /// the operation that failed.
+    Io {
+        /// The file (or directory) the operation touched.
+        path: std::path::PathBuf,
+        /// What the store was doing when the failure happened.
+        context: String,
+    },
+    /// Bytes on disk are not a valid snapshot/journal (checksum mismatch,
+    /// truncation, unknown format version, out-of-range field) — or a replayed
+    /// journal does not line up with its snapshot.
+    Corrupt {
+        /// Byte offset of the damage within the offending file.
+        offset: u64,
+        /// What was wrong at that offset.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for XMapError {
@@ -80,6 +99,12 @@ impl std::fmt::Display for XMapError {
             XMapError::Cf(e) => write!(f, "collaborative filtering error: {e}"),
             XMapError::Data(msg) => write!(f, "data error: {msg}"),
             XMapError::Privacy(e) => write!(f, "privacy budget exhausted: {e}"),
+            XMapError::Io { path, context } => {
+                write!(f, "io error at {}: {context}", path.display())
+            }
+            XMapError::Corrupt { offset, detail } => {
+                write!(f, "corrupt store data at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -95,6 +120,24 @@ impl From<xmap_cf::CfError> for XMapError {
 impl From<xmap_privacy::BudgetError> for XMapError {
     fn from(e: xmap_privacy::BudgetError) -> Self {
         XMapError::Privacy(e)
+    }
+}
+
+impl From<xmap_store::StoreError> for XMapError {
+    fn from(e: xmap_store::StoreError) -> Self {
+        match e {
+            xmap_store::StoreError::Io {
+                path,
+                context,
+                source,
+            } => XMapError::Io {
+                path,
+                context: format!("{context}: {source}"),
+            },
+            xmap_store::StoreError::Corrupt { offset, detail } => {
+                XMapError::Corrupt { offset, detail }
+            }
+        }
     }
 }
 

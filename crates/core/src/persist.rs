@@ -1,0 +1,408 @@
+//! Durable model state: versioned snapshots plus an append-only delta journal.
+//!
+//! The persistence layer completes the model lifecycle (`fit` → [`XMapModel::persist`]
+//! → [`XMapModel::apply_delta`] → [`XMapModel::open`] / [`XMapModel::recover`]):
+//!
+//! * [`XMapModel::persist`] serializes the current [`ModelEpoch`] into an atomically
+//!   written, checksummed snapshot (`model.snap`) and opens a fresh write-ahead
+//!   journal (`deltas.journal`) based at the snapshot epoch.
+//! * With a store attached, `apply_delta` journals every [`RatingDelta`] — fsynced,
+//!   CRC-framed, epoch-stamped — *before* publishing the new epoch, so the files on
+//!   disk always describe a superset of what readers have been shown.
+//! * [`XMapModel::open`] / [`XMapModel::recover`] rebuild the model: load the
+//!   snapshot, replay every journal record past the snapshot epoch through the
+//!   ordinary `apply_delta` path (which is bit-identical to a full refit — see
+//!   `DESIGN.md`), and discard any torn tail the journal scan truncated away.
+//! * [`XMapModel::compact`] folds the journal into a new snapshot: it rewrites the
+//!   snapshot at the current epoch *first* (atomic rename), then resets the journal.
+//!   A crash between the two steps leaves stale records the next recovery skips
+//!   (their epoch stamps are ≤ the snapshot epoch), never a lost delta.
+//!
+//! What is persisted vs recomputed: the snapshot carries every artifact whose
+//! reconstruction is either expensive or non-derivable — the aggregated matrix, the
+//! similarity graph (including its scored-pair delta cache), the X-Sim table, the
+//! replacement table, the raw item-kNN pools and the privacy ledger. The bridge
+//! index, layer partition and the recommender wrapper are cheap deterministic
+//! functions of those and are recomputed on load, exactly as the fit computes them.
+
+use crate::delta::RatingDelta;
+use crate::pipeline::{recommender_from_pools, ModelEpoch, PipelineStats, XMapModel};
+use crate::recommend::{
+    PrivateUserBasedRecommender, ProfileRecommender, ScratchPool, UserBasedRecommender,
+};
+use crate::xsim::XSimTable;
+use crate::{Result, XMapError};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use xmap_cf::knn::ItemNeighbor;
+use xmap_cf::{DomainId, RatingMatrix};
+use xmap_engine::sync::AtomicU64;
+use xmap_engine::{Dataflow, EpochHandle};
+use xmap_graph::{LayerPartition, SimilarityGraph};
+use xmap_privacy::PrivacyBudget;
+use xmap_store::{Journal, Snapshot};
+
+/// File name of the model snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "model.snap";
+
+/// File name of the append-only delta journal inside a store directory.
+pub const JOURNAL_FILE: &str = "deltas.journal";
+
+/// The attached durable store of a model: the snapshot path (rewritten by
+/// [`XMapModel::compact`]) and the open write-ahead journal.
+pub(crate) struct ModelStore {
+    snapshot_path: PathBuf,
+    journal: Journal,
+}
+
+impl ModelStore {
+    /// Write-ahead append of one delta, stamped with the epoch it *will* publish.
+    /// Called by `apply_delta` under the ingest lock, before the epoch swap.
+    pub(crate) fn append(&mut self, epoch: u64, delta: &RatingDelta) -> Result<u64> {
+        Ok(self.journal.append(epoch, delta)?)
+    }
+
+    /// Current journal size in bytes (header + intact records).
+    pub(crate) fn journal_len_bytes(&self) -> u64 {
+        self.journal.len_bytes()
+    }
+}
+
+/// The on-disk image of one [`ModelEpoch`]: everything a recovery cannot (or should
+/// not) recompute. Field order is the wire order; see the "Durable state" section of
+/// `DESIGN.md` for the format contract.
+struct ModelState {
+    epoch: u64,
+    config: crate::XMapConfig,
+    source: DomainId,
+    target: DomainId,
+    full: Arc<RatingMatrix>,
+    graph: Arc<SimilarityGraph>,
+    xsim: Arc<XSimTable>,
+    replacements: Arc<crate::ReplacementTable>,
+    item_pools: Option<Arc<Vec<Vec<ItemNeighbor>>>>,
+    budget: Option<Arc<PrivacyBudget>>,
+}
+
+impl ModelState {
+    /// Captures the persistable image of a published epoch (cheap: `Arc` clones).
+    fn from_epoch(epoch_no: u64, epoch: &ModelEpoch) -> Self {
+        ModelState {
+            epoch: epoch_no,
+            config: epoch.config,
+            source: epoch.source_domain,
+            target: epoch.target_domain,
+            full: Arc::clone(&epoch.full),
+            graph: Arc::clone(&epoch.graph),
+            xsim: Arc::clone(&epoch.xsim),
+            replacements: Arc::clone(&epoch.replacements),
+            item_pools: epoch.item_pools.as_ref().map(Arc::clone),
+            budget: epoch.budget.as_ref().map(Arc::clone),
+        }
+    }
+}
+
+impl xmap_store::Codec for ModelState {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_u64(self.epoch);
+        self.config.enc(e);
+        self.source.enc(e);
+        self.target.enc(e);
+        self.full.enc(e);
+        self.graph.enc(e);
+        self.xsim.enc(e);
+        self.replacements.enc(e);
+        self.item_pools.enc(e);
+        self.budget.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        let epoch = d.take_u64()?;
+        if epoch == 0 {
+            return Err(d.corrupt("snapshot epoch must be ≥ 1".to_string()));
+        }
+        Ok(ModelState {
+            epoch,
+            config: xmap_store::Codec::dec(d)?,
+            source: xmap_store::Codec::dec(d)?,
+            target: xmap_store::Codec::dec(d)?,
+            full: xmap_store::Codec::dec(d)?,
+            graph: xmap_store::Codec::dec(d)?,
+            xsim: xmap_store::Codec::dec(d)?,
+            replacements: xmap_store::Codec::dec(d)?,
+            item_pools: xmap_store::Codec::dec(d)?,
+            budget: xmap_store::Codec::dec(d)?,
+        })
+    }
+}
+
+/// Rebuilds a live [`XMapModel`] from a decoded snapshot image: recomputes the
+/// bridge index, layer partition, fit stats and the mode's recommender (all
+/// deterministic functions of the persisted artifacts), and seeds the epoch handle
+/// at the snapshot epoch so replayed deltas publish the exact journal stamps.
+fn model_from_state(state: ModelState) -> Result<XMapModel> {
+    let ModelState {
+        epoch: epoch_no,
+        config,
+        source,
+        target,
+        full,
+        graph,
+        xsim,
+        replacements,
+        item_pools,
+        budget,
+    } = state;
+    config.validate().map_err(|m| XMapError::Corrupt {
+        offset: 0,
+        detail: format!("persisted configuration is invalid: {m}"),
+    })?;
+    if source == target {
+        return Err(XMapError::Corrupt {
+            offset: 0,
+            detail: "persisted source and target domains are equal".to_string(),
+        });
+    }
+
+    // Same calls as the fit and delta paths — the recomputed pieces are
+    // bit-identical to what the persisting process held in memory.
+    let (bridges, partition) = LayerPartition::from_graph(&graph);
+
+    let target_matrix = full
+        .filter(|r| full.item_domain(r.item) == target)
+        .map_err(|_| XMapError::Corrupt {
+            offset: 0,
+            detail: "persisted matrix has no target-domain ratings".to_string(),
+        })?;
+    let n_target_ratings = target_matrix.n_ratings();
+
+    let budget = if config.mode.is_private() {
+        Some(budget.ok_or_else(|| XMapError::Corrupt {
+            offset: 0,
+            detail: "private mode snapshot is missing its privacy ledger".to_string(),
+        })?)
+    } else {
+        None
+    };
+
+    type RebuiltRecommender = (
+        Box<dyn ProfileRecommender + Send + Sync>,
+        Option<Arc<Vec<Vec<ItemNeighbor>>>>,
+    );
+    let (recommender, item_pools): RebuiltRecommender = match config.mode {
+        crate::XMapMode::NxMapItemBased | crate::XMapMode::XMapItemBased => {
+            let pools = item_pools.ok_or_else(|| XMapError::Corrupt {
+                offset: 0,
+                detail: "item-based mode snapshot is missing its kNN pools".to_string(),
+            })?;
+            let (recommender, _) =
+                recommender_from_pools(&config, target_matrix, pools.as_ref().clone())?;
+            (recommender, Some(pools))
+        }
+        crate::XMapMode::NxMapUserBased => (
+            Box::new(UserBasedRecommender::fit(target_matrix, config.k)?),
+            None,
+        ),
+        crate::XMapMode::XMapUserBased => {
+            // The fit is deterministic in (matrix, k, ε′, ρ, seed); the scratch
+            // budget only absorbs the re-fit's ε′ debit — the *released* ledger is
+            // the persisted one, which already recorded that expenditure.
+            let mut scratch = PrivacyBudget::new(config.privacy.total());
+            (
+                Box::new(PrivateUserBasedRecommender::fit(
+                    target_matrix,
+                    config.k,
+                    config.privacy.epsilon_prime,
+                    config.privacy.rho,
+                    config.seed,
+                    &mut scratch,
+                )?),
+                None,
+            )
+        }
+    };
+
+    // The fit-shape stats are recomputed from the persisted artifacts; the wall-clock
+    // durations and per-partition task bags of the original fit are not persisted
+    // (they describe a past process, not the model) and come back empty.
+    let stats = PipelineStats {
+        n_standard_hetero_pairs: graph.n_heterogeneous_pairs(),
+        n_xsim_hetero_pairs: xsim.n_heterogeneous_pairs(),
+        n_bridge_items: bridges.n_bridges(),
+        layer_counts: partition.cell_counts(),
+        stage_durations: Vec::new(),
+        baseliner_task_costs: Vec::new(),
+        extension_task_costs: Vec::new(),
+        generator_task_costs: Vec::new(),
+        recommender_task_costs: Vec::new(),
+        n_target_ratings,
+    };
+
+    let epoch = ModelEpoch {
+        config,
+        source_domain: source,
+        target_domain: target,
+        full,
+        graph,
+        partition: Arc::new(partition),
+        replacements,
+        xsim,
+        recommender: Arc::from(recommender),
+        item_pools,
+        budget,
+    };
+
+    Ok(XMapModel {
+        config,
+        source_domain: source,
+        target_domain: target,
+        handle: EpochHandle::new(Arc::new(epoch), epoch_no),
+        stats: Mutex::new(stats),
+        flow: Dataflow::new(config.workers, config.partitions),
+        scratch: ScratchPool::new(),
+        ingest_lock: Mutex::new(()),
+        serve_epoch: AtomicU64::new(0),
+        ingest_stats: Mutex::new(None),
+        store: Mutex::new(None),
+    })
+}
+
+impl XMapModel {
+    /// Attaches a durable store to the model: writes a snapshot of the current epoch
+    /// into `dir` (atomically — temp file, fsync, rename) and opens a fresh delta
+    /// journal based at that epoch. From here on, every [`XMapModel::apply_delta`]
+    /// write-ahead journals its delta before publishing. Returns the snapshot epoch.
+    ///
+    /// Re-persisting an already-attached model rewrites the snapshot and journal in
+    /// the new directory and detaches the old ones.
+    pub fn persist(&self, dir: &Path) -> Result<u64> {
+        std::fs::create_dir_all(dir).map_err(|e| XMapError::Io {
+            path: dir.to_path_buf(),
+            context: format!("create store directory: {e}"),
+        })?;
+        // Ingest lock first, store lock second — the same order as `apply_delta`,
+        // so writers and persisters never deadlock. Holding the ingest lock pins
+        // the current epoch: no delta can publish between snapshot and journal
+        // creation, so the journal base is exactly the snapshot epoch.
+        let _ingest = self
+            .ingest_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (epoch_no, epoch) = self.handle.load();
+        let state = ModelState::from_epoch(epoch_no, &epoch);
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        Snapshot::write(&snapshot_path, &state)?;
+        let journal = Journal::create(&dir.join(JOURNAL_FILE), epoch_no)?;
+        *self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(ModelStore {
+            snapshot_path,
+            journal,
+        });
+        Ok(epoch_no)
+    }
+
+    /// Opens a persisted model from its store directory: equivalent to
+    /// [`XMapModel::recover`] with the directory's standard file names
+    /// ([`SNAPSHOT_FILE`], [`JOURNAL_FILE`]).
+    pub fn open(dir: &Path) -> Result<XMapModel> {
+        Self::recover(&dir.join(SNAPSHOT_FILE), &dir.join(JOURNAL_FILE))
+    }
+
+    /// Crash recovery: loads the snapshot, replays every journal record newer than
+    /// the snapshot epoch through the ordinary delta path, and re-attaches the store.
+    ///
+    /// The recovered model is bit-identical to the in-memory model that wrote the
+    /// files (`apply_delta` is bit-identical to a full refit, and recomputed pieces
+    /// are deterministic). A torn journal tail — a record cut short by a crash — is
+    /// truncated away and recovery succeeds with the intact prefix; any *complete*
+    /// but damaged record (bad CRC, wrong epoch stamp) fails with
+    /// [`XMapError::Corrupt`]. Records at or below the snapshot epoch (left behind
+    /// by a crash between compaction's snapshot rewrite and journal reset) are
+    /// skipped. A missing journal file is treated as empty and recreated.
+    pub fn recover(snapshot: &Path, journal: &Path) -> Result<XMapModel> {
+        let state: ModelState = Snapshot::load(snapshot)?;
+        let snapshot_epoch = state.epoch;
+        let model = model_from_state(state)?;
+        let (mut jrnl, records) = if journal.exists() {
+            Journal::open::<RatingDelta>(journal)?
+        } else {
+            (Journal::create(journal, snapshot_epoch)?, Vec::new())
+        };
+        if jrnl.base_epoch() > snapshot_epoch {
+            return Err(XMapError::Corrupt {
+                offset: 0,
+                detail: format!(
+                    "journal base epoch {} is ahead of snapshot epoch {snapshot_epoch}",
+                    jrnl.base_epoch()
+                ),
+            });
+        }
+        let mut current = snapshot_epoch;
+        for record in &records {
+            if record.epoch <= snapshot_epoch {
+                continue; // compaction crash leftovers — already folded into the snapshot
+            }
+            let report = model.apply_delta(&record.value)?;
+            if report.epoch != record.epoch {
+                return Err(XMapError::Corrupt {
+                    offset: record.offset,
+                    detail: format!(
+                        "journal record stamped epoch {} replayed as epoch {}",
+                        record.epoch, report.epoch
+                    ),
+                });
+            }
+            current = report.epoch;
+        }
+        // A stale journal (every record folded into the snapshot) ends behind the
+        // model; rebase it so the next write-ahead append is contiguous. This only
+        // discards records the snapshot already covers.
+        if jrnl.last_epoch() < current {
+            jrnl.reset(current)?;
+        }
+        *model
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(ModelStore {
+            snapshot_path: snapshot.to_path_buf(),
+            journal: jrnl,
+        });
+        Ok(model)
+    }
+
+    /// Folds the journal into a fresh snapshot: rewrites the snapshot at the current
+    /// epoch (atomic rename — the old snapshot stays valid until the new one is
+    /// durable), then resets the journal to base at that epoch. Returns the epoch
+    /// compacted to. Fails with [`XMapError::Data`] if no store is attached.
+    pub fn compact(&self) -> Result<u64> {
+        let _ingest = self
+            .ingest_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut guard = self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let store = guard.as_mut().ok_or_else(|| {
+            XMapError::Data("no durable store attached; call persist() first".to_string())
+        })?;
+        let (epoch_no, epoch) = self.handle.load();
+        let state = ModelState::from_epoch(epoch_no, &epoch);
+        Snapshot::write(&store.snapshot_path, &state)?;
+        store.journal.reset(epoch_no)?;
+        Ok(epoch_no)
+    }
+
+    /// Size in bytes of the attached delta journal (header plus intact records), or
+    /// `None` when the model has no store attached. Shrinks to the bare header on
+    /// [`XMapModel::compact`].
+    pub fn journal_len_bytes(&self) -> Option<u64> {
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_ref()
+            .map(ModelStore::journal_len_bytes)
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! Each component is a [`Stage`] executed by the `xmap-engine` [`Dataflow`] runner,
 //! which owns partitioning, pool execution and per-stage accounting (see `DESIGN.md`).
-//! [`XMapPipeline::fit`] chains the four stages over an aggregated two-domain rating
+//! [`XMapModel::fit`] chains the four stages over an aggregated two-domain rating
 //! matrix and produces an [`XMapModel`] that can answer online queries: the AlterEgo of
 //! a user, predicted ratings for target-domain items, and top-N recommendations.
 //!
@@ -237,9 +237,14 @@ pub struct XMapModel {
     /// Serializes writers: `apply_delta` holds this for its whole build-aside phase.
     pub(crate) ingest_lock: Mutex<()>,
     /// Epoch stamp of the most recent serving batch (0 = nothing served yet).
-    serve_epoch: AtomicU64,
+    pub(crate) serve_epoch: AtomicU64,
     /// MRV-merged per-user/per-item accumulators of the most recent delta ingest.
     pub(crate) ingest_stats: Mutex<Option<IngestAccumulators>>,
+    /// The attached durable store (snapshot path + open journal), `None` for a
+    /// purely in-memory model. Attached by [`XMapModel::persist`] /
+    /// [`XMapModel::open`] / [`XMapModel::recover`]; when attached, `apply_delta`
+    /// write-ahead journals every delta before publishing its epoch.
+    pub(crate) store: Mutex<Option<crate::persist::ModelStore>>,
 }
 
 impl XMapModel {
@@ -488,8 +493,7 @@ impl XMapModel {
                     ))
                 }
             }
-            let model =
-                XMapPipeline::fit(&snap.full, self.source_domain, self.target_domain, config)?;
+            let model = XMapModel::fit(&snap.full, self.source_domain, self.target_domain, config)?;
             let report = model.evaluate_batch(batch.clone());
             series.push(value, report.metric(spec.metric));
         }
@@ -777,15 +781,14 @@ impl Stage<RatingMatrix> for RecommenderStage<'_> {
     }
 }
 
-/// Entry point for fitting X-Map models.
-pub struct XMapPipeline;
-
-impl XMapPipeline {
-    /// Fits an X-Map model on an aggregated rating matrix containing both domains.
+impl XMapModel {
+    /// Fits an X-Map model on an aggregated rating matrix containing both domains —
+    /// the entry point of the model lifecycle (`fit` → [`XMapModel::persist`] →
+    /// [`XMapModel::apply_delta`] → [`XMapModel::open`] / [`XMapModel::recover`]).
     ///
     /// `source` is the domain users are assumed to have rated in; `target` is the domain
     /// recommendations are produced for. The two must be distinct and both present in the
-    /// matrix. The fitted model starts at epoch 1.
+    /// matrix. The fitted model starts at epoch 1, with no store attached.
     pub fn fit(
         matrix: &RatingMatrix,
         source: DomainId,
@@ -907,6 +910,7 @@ impl XMapPipeline {
             ingest_lock: Mutex::new(()),
             serve_epoch: AtomicU64::new(0),
             ingest_stats: Mutex::new(None),
+            store: Mutex::new(None),
         })
     }
 }
@@ -934,7 +938,7 @@ mod tests {
     #[test]
     fn toy_pipeline_recommends_books_to_alice() {
         let toy = ToyScenario::build();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &toy.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -960,7 +964,7 @@ mod tests {
     #[test]
     fn fresh_fit_starts_at_epoch_one_and_snapshots_are_self_consistent() {
         let toy = ToyScenario::build();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &toy.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -984,7 +988,7 @@ mod tests {
     #[test]
     fn pipeline_stats_capture_the_four_stages_and_pair_counts() {
         let toy = ToyScenario::build();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &toy.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1036,7 +1040,7 @@ mod tests {
     #[test]
     fn user_based_fits_record_no_recommender_task_bag() {
         let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1093,7 +1097,7 @@ mod tests {
             XMapMode::XMapItemBased,
             XMapMode::XMapUserBased,
         ] {
-            let model = XMapPipeline::fit(
+            let model = XMapModel::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -1122,7 +1126,7 @@ mod tests {
     #[test]
     fn reverse_direction_works_too() {
         let ds = CrossDomainDataset::generate(CrossDomainConfig::small());
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::TARGET,
             DomainId::SOURCE,
@@ -1143,7 +1147,7 @@ mod tests {
         let toy = ToyScenario::build();
         // same source and target
         assert!(matches!(
-            XMapPipeline::fit(
+            XMapModel::fit(
                 &toy.matrix,
                 DomainId::SOURCE,
                 DomainId::SOURCE,
@@ -1153,7 +1157,7 @@ mod tests {
         ));
         // missing domain
         assert!(matches!(
-            XMapPipeline::fit(
+            XMapModel::fit(
                 &toy.matrix,
                 DomainId::SOURCE,
                 DomainId(7),
@@ -1167,7 +1171,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, bad),
+            XMapModel::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, bad),
             Err(XMapError::InvalidConfig(_))
         ));
     }
@@ -1178,7 +1182,7 @@ mod tests {
         // different target items (i.e. not a constant fallback), because their AlterEgo
         // carries their tastes across.
         let ds = CrossDomainDataset::generate(CrossDomainConfig::default());
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1217,7 +1221,7 @@ mod tests {
         let mut reference: Option<Vec<Vec<(ItemId, f64)>>> = None;
         let mut reference_costs: Option<Vec<f64>> = None;
         for workers in [1usize, 2, 8] {
-            let model = XMapPipeline::fit(
+            let model = XMapModel::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -1258,7 +1262,7 @@ mod tests {
             k: 8,
             ..Default::default()
         };
-        let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let model = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
         let budget = model
             .privacy_budget()
             .expect("private modes carry a budget");
@@ -1278,7 +1282,7 @@ mod tests {
     #[test]
     fn non_private_fit_has_no_privacy_budget_and_serving_costs_appear_on_demand() {
         let toy = ToyScenario::build();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &toy.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1331,7 +1335,7 @@ mod tests {
         let mut reference: Option<EvalReport> = None;
         let mut reference_costs: Option<Vec<f64>> = None;
         for workers in [1usize, 2, 8] {
-            let model = XMapPipeline::fit(
+            let model = XMapModel::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -1381,8 +1385,7 @@ mod tests {
             k: 8,
             ..Default::default()
         };
-        let model =
-            XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, base).unwrap();
+        let model = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, base).unwrap();
         let spec = xmap_eval::SweepSpec::new(xmap_eval::SweepParam::K, vec![2.0, 6.0]);
         let series = model.sweep(&spec, &batch).unwrap();
         assert_eq!(series.label, "NX-MAP-IB / k");
@@ -1393,7 +1396,7 @@ mod tests {
                 ..base
             };
             let refit =
-                XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
+                XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
             let expected = refit.evaluate_batch(batch.clone());
             assert_eq!(
                 point.y.to_bits(),
@@ -1413,7 +1416,7 @@ mod tests {
     #[test]
     fn overlap_sweeps_are_rejected_at_the_model_level() {
         let toy = ToyScenario::build();
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &toy.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -1435,8 +1438,8 @@ mod tests {
             seed: 123,
             ..Default::default()
         };
-        let a = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
-        let b = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let a = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+        let b = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
         let user = ds.overlap_users[0];
         for &item in ds.target_items().iter().take(10) {
             assert_eq!(a.predict(user, item), b.predict(user, item));

@@ -553,6 +553,54 @@ impl XSimTable {
     }
 }
 
+impl xmap_store::Codec for XSimEntry {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        self.item.enc(e);
+        e.put_f64(self.similarity);
+        e.put_f64(self.certainty);
+        e.put_usize(self.n_paths);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(XSimEntry {
+            item: ItemId::dec(d)?,
+            similarity: d.take_f64()?,
+            certainty: d.take_f64()?,
+            n_paths: d.take_usize()?,
+        })
+    }
+}
+
+/// On-disk codec for the table. The hash map is encoded in **ascending source-item
+/// order** so equal tables always produce identical bytes (canonical encoding —
+/// the map's iteration order must not leak into checksums or snapshot diffs).
+impl xmap_store::Codec for XSimTable {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        let mut keys: Vec<ItemId> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        e.put_usize(keys.len());
+        for key in keys {
+            key.enc(e);
+            self.entries[&key].enc(e);
+        }
+        self.source_domain.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        let len = d.take_len(4, "xsim table")?;
+        let mut entries = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let key = ItemId::dec(d)?;
+            let row: Vec<XSimEntry> = Vec::dec(d)?;
+            entries.insert(key, row);
+        }
+        Ok(XSimTable {
+            entries,
+            source_domain: Option::dec(d)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,14 +6,28 @@
 //! datasets exportable for inspection or reuse outside this workspace.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use xmap_cf::{DomainId, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timestep, UserId};
 
-/// Errors raised by CSV import/export.
+/// The pseudo-path reported for the in-memory reader/writer entry points, which have
+/// no file behind them.
+const MEMORY_PATH: &str = "<memory>";
+
+/// Errors raised by CSV import/export. The `Io` variant carries the path and the
+/// operation that failed — the same shape as `xmap_core::XMapError::Io` and
+/// `xmap_store::StoreError::Io`, so every layer of the workspace reports I/O
+/// failures identically.
 #[derive(Debug)]
 pub enum IoError {
-    /// Underlying IO failure.
-    Io(std::io::Error),
+    /// Underlying IO failure, with the file and the operation that failed.
+    Io {
+        /// The file the operation touched (`<memory>` for the in-memory entry points).
+        path: PathBuf,
+        /// What the importer/exporter was doing when the failure happened.
+        context: String,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
     /// A line could not be parsed.
     Parse {
         /// 1-based line number.
@@ -25,37 +39,69 @@ pub enum IoError {
     Build(xmap_cf::CfError),
 }
 
+impl IoError {
+    fn io(path: &Path, context: impl Into<String>, source: std::io::Error) -> Self {
+        IoError::Io {
+            path: path.to_path_buf(),
+            context: context.into(),
+            source,
+        }
+    }
+}
+
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Io {
+                path,
+                context,
+                source,
+            } => write!(f, "io error at {}: {context}: {source}", path.display()),
             IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             IoError::Build(e) => write!(f, "could not build rating matrix: {e}"),
         }
     }
 }
 
-impl std::error::Error for IoError {}
-
-impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io { source, .. } => Some(source),
+            IoError::Parse { .. } => None,
+            IoError::Build(e) => Some(e),
+        }
     }
 }
 
 /// Reads ratings from CSV text: `user,item,rating,timestep[,domain]`, `#`-prefixed lines
 /// and blank lines are skipped. Returns the built matrix.
 pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
-    let reader = BufReader::new(reader);
+    read_ratings_from(reader, Path::new(MEMORY_PATH))
+}
+
+/// The shared reader loop: one reusable line buffer, the 1-based line counter
+/// threaded through every error, and `path` naming the source in I/O failures.
+fn read_ratings_from<R: Read>(reader: R, path: &Path) -> Result<RatingMatrix, IoError> {
+    let mut reader = BufReader::new(reader);
     let mut builder = RatingMatrixBuilder::new();
     let mut domains: Vec<(ItemId, DomainId)> = Vec::new();
     // First declaration per item, for conflict reporting: a re-declaration with a
     // *different* domain must fail loudly instead of silently last-winning.
     let mut declared: std::collections::HashMap<ItemId, (DomainId, usize)> =
         std::collections::HashMap::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line_no = idx + 1;
+    // One buffer reused across lines: `read_line` appends, so each iteration clears
+    // it instead of allocating a fresh `String` per line (as `lines()` would).
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        line_no += 1;
+        let n_read = reader
+            .read_line(&mut line)
+            .map_err(|e| IoError::io(path, format!("read line {line_no}"), e))?;
+        if n_read == 0 {
+            break;
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -137,13 +183,24 @@ pub fn read_ratings_csv<R: Read>(reader: R) -> Result<RatingMatrix, IoError> {
 
 /// Reads ratings from a CSV file on disk.
 pub fn read_ratings_file(path: impl AsRef<Path>) -> Result<RatingMatrix, IoError> {
-    let file = std::fs::File::open(path)?;
-    read_ratings_csv(file)
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| IoError::io(path, "open ratings csv", e))?;
+    read_ratings_from(file, path)
 }
 
 /// Writes a rating matrix as CSV (`user,item,rating,timestep,domain`).
-pub fn write_ratings_csv<W: Write>(matrix: &RatingMatrix, mut writer: W) -> Result<(), IoError> {
-    writeln!(writer, "# user,item,rating,timestep,domain")?;
+pub fn write_ratings_csv<W: Write>(matrix: &RatingMatrix, writer: W) -> Result<(), IoError> {
+    write_ratings_to(matrix, writer, Path::new(MEMORY_PATH))
+}
+
+/// The shared writer loop, with `path` naming the destination in I/O failures.
+fn write_ratings_to<W: Write>(
+    matrix: &RatingMatrix,
+    mut writer: W,
+    path: &Path,
+) -> Result<(), IoError> {
+    writeln!(writer, "# user,item,rating,timestep,domain")
+        .map_err(|e| IoError::io(path, "write header", e))?;
     for r in matrix.iter() {
         writeln!(
             writer,
@@ -153,15 +210,18 @@ pub fn write_ratings_csv<W: Write>(matrix: &RatingMatrix, mut writer: W) -> Resu
             r.value,
             r.timestep.0,
             matrix.item_domain(r.item).0
-        )?;
+        )
+        .map_err(|e| IoError::io(path, format!("write rating row for user {}", r.user.0), e))?;
     }
     Ok(())
 }
 
 /// Writes a rating matrix to a CSV file on disk.
 pub fn write_ratings_file(matrix: &RatingMatrix, path: impl AsRef<Path>) -> Result<(), IoError> {
-    let file = std::fs::File::create(path)?;
-    write_ratings_csv(matrix, file)
+    let path = path.as_ref();
+    let file =
+        std::fs::File::create(path).map_err(|e| IoError::io(path, "create ratings csv", e))?;
+    write_ratings_to(matrix, file, path)
 }
 
 #[cfg(test)]
@@ -270,8 +330,13 @@ mod tests {
     #[test]
     fn missing_file_is_an_io_error() {
         let err = read_ratings_file("/nonexistent/path/to/ratings.csv").unwrap_err();
-        assert!(matches!(err, IoError::Io(_)));
-        assert!(err.to_string().contains("io error"));
+        assert!(matches!(err, IoError::Io { .. }));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("io error at /nonexistent/path/to/ratings.csv")
+                && msg.contains("open ratings csv"),
+            "message must name the path and the operation: {msg}"
+        );
     }
 
     mod round_trip_props {

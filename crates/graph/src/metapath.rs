@@ -163,6 +163,22 @@ fn dfs(
     }
 }
 
+/// On-disk codec for [`MetaPathConfig`], field order. Lives in this crate because
+/// both the type and the `Codec` trait are foreign to `xmap-core`.
+impl xmap_store::Codec for MetaPathConfig {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_usize(self.per_layer_top_k);
+        e.put_usize(self.max_paths);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(MetaPathConfig {
+            per_layer_top_k: d.take_usize()?,
+            max_paths: d.take_usize()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,7 +30,7 @@ fn main() {
     );
 
     // Fit NX-Map on the toy scenario.
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &toy.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,

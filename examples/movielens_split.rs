@@ -37,7 +37,7 @@ fn main() {
 
     // 3. NX-Map and X-Map across the two sub-domains.
     for mode in [XMapMode::NxMapItemBased, XMapMode::XMapItemBased] {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &train,
             DomainId::SOURCE,
             DomainId::TARGET,

@@ -57,7 +57,7 @@ fn main() {
 }
 
 fn fit_and_score(split: &CrossDomainSplit, config: XMapConfig) -> f64 {
-    let model = XMapPipeline::fit(&split.train, DomainId::SOURCE, DomainId::TARGET, config)
+    let model = XMapModel::fit(&split.train, DomainId::SOURCE, DomainId::TARGET, config)
         .expect("training split contains both domains");
     evaluate_predictions(&split.test, |u, i| model.predict(u, i)).mae
 }

@@ -25,7 +25,7 @@ fn main() {
         k: 25,
         ..XMapConfig::default()
     };
-    let model = XMapPipeline::fit(&dataset.matrix, DomainId::SOURCE, DomainId::TARGET, config)
+    let model = XMapModel::fit(&dataset.matrix, DomainId::SOURCE, DomainId::TARGET, config)
         .expect("the synthetic trace always contains both domains");
 
     println!("fitted {}", model.label());

@@ -22,7 +22,7 @@ pub mod prelude {
     };
     pub use xmap_core::{
         DeltaReport, IngestAccumulators, ModelEpoch, PrivacyConfig, RatingDelta, ServedRead,
-        XMapConfig, XMapMode, XMapModel, XMapPipeline,
+        XMapConfig, XMapMode, XMapModel,
     };
     pub use xmap_dataset::split::{CrossDomainSplit, SplitConfig};
     pub use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
@@ -44,7 +44,7 @@ mod tests {
             ..XMapConfig::default()
         };
         let model =
-            XMapPipeline::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
+            XMapModel::fit(&toy.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap();
         assert_eq!(model.label(), "NX-MAP-IB");
     }
 }

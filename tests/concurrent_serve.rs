@@ -36,7 +36,7 @@ fn config() -> XMapConfig {
 }
 
 fn fit(ds: &CrossDomainDataset) -> XMapModel {
-    XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config())
+    XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config())
         .expect("the small trace contains both domains")
 }
 

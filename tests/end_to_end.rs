@@ -31,7 +31,7 @@ fn cold_start_pipeline_beats_item_average_and_produces_valid_output() {
     let split = cold_start_split(&ds);
     assert!(!split.test.is_empty());
 
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &split.train,
         DomainId::SOURCE,
         DomainId::TARGET,
@@ -81,7 +81,7 @@ fn all_four_variants_and_remoteuser_are_evaluated_on_the_same_split() {
         XMapMode::XMapItemBased,
         XMapMode::XMapUserBased,
     ] {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &split.train,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -118,7 +118,7 @@ fn all_four_variants_and_remoteuser_are_evaluated_on_the_same_split() {
 #[test]
 fn alterego_profiles_live_entirely_in_the_target_domain() {
     let ds = dataset();
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,
@@ -148,7 +148,7 @@ fn increasing_the_privacy_budget_recovers_non_private_quality() {
     let ds = dataset();
     let split = cold_start_split(&ds);
     let mae_for = |eps: f64, eps_prime: f64| {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &split.train,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -167,7 +167,7 @@ fn increasing_the_privacy_budget_recovers_non_private_quality() {
         evaluate_predictions(&split.test, |u, i| model.predict(u, i)).mae
     };
     let non_private = {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &split.train,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -203,7 +203,7 @@ fn csv_round_trip_feeds_the_pipeline() {
     xmap_suite::dataset::io::write_ratings_csv(&ds.matrix, &mut buffer).unwrap();
     let restored = xmap_suite::dataset::io::read_ratings_csv(buffer.as_slice()).unwrap();
     assert_eq!(restored.n_ratings(), ds.matrix.n_ratings());
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &restored,
         DomainId::SOURCE,
         DomainId::TARGET,
@@ -222,7 +222,7 @@ fn csv_round_trip_feeds_the_pipeline() {
 fn toy_scenario_reproduces_the_papers_motivating_example() {
     use xmap_suite::dataset::toy::{items, users};
     let toy = ToyScenario::build();
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &toy.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,

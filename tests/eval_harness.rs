@@ -37,7 +37,7 @@ fn eval_stage_is_bit_identical_to_the_serial_protocol_at_1_2_and_8_workers() {
 
     let mut reference: Option<(EvalReport, Vec<f64>)> = None;
     for workers in [1usize, 2, 8] {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &split.train,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -79,7 +79,7 @@ fn eval_stage_runs_on_a_standalone_dataflow_and_replaces_its_ledger() {
     let ds = dataset();
     let split = CrossDomainSplit::build(&ds, DomainId::TARGET, SplitConfig::default());
     let batch = eval_batch(&ds, &split);
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &split.train,
         DomainId::SOURCE,
         DomainId::TARGET,
@@ -125,7 +125,7 @@ fn model_sweep_visits_every_value_and_stays_deterministic() {
 
     let mut reference = None;
     for workers in [1usize, 2] {
-        let model = XMapPipeline::fit(
+        let model = XMapModel::fit(
             &split.train,
             DomainId::SOURCE,
             DomainId::TARGET,

@@ -1,4 +1,4 @@
-//! The fit determinism gate: a full `XMapPipeline::fit` must produce **bit-identical**
+//! The fit determinism gate: a full `XMapModel::fit` must produce **bit-identical**
 //! models at 1, 2 and 8 workers in all four modes — graph bits, replacement table and
 //! predictions on a probe set — with identical per-stage fit task bags
 //! (`baseliner` / `generator` / `recommender` ledgers, plus the extender's).
@@ -86,7 +86,7 @@ fn fit_is_bit_identical_at_1_2_and_8_workers_in_all_four_modes() {
     ] {
         let mut reference: Option<ModelFingerprint> = None;
         for workers in GATE_WORKERS {
-            let model = XMapPipeline::fit(
+            let model = XMapModel::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,

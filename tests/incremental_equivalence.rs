@@ -1,5 +1,5 @@
 //! The incremental-equivalence gate: `XMapModel::apply_delta` must release exactly the
-//! model a full `XMapPipeline::fit` on the updated matrix releases — **bit-identical**
+//! model a full `XMapModel::fit` on the updated matrix releases — **bit-identical**
 //! graph arena, X-Sim table, replacement table, kNN pools, probe predictions,
 //! recommendations and privacy ledger — in all four modes, at 1, 2 and 8 workers.
 //!
@@ -122,7 +122,7 @@ fn delta_fit_equals_full_refit_in_all_four_modes_at_1_2_and_8_workers() {
     ] {
         let mut reference_costs: Option<Vec<f64>> = None;
         for workers in GATE_WORKERS {
-            let incremental = XMapPipeline::fit(
+            let incremental = XMapModel::fit(
                 &ds.matrix,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -132,7 +132,7 @@ fn delta_fit_equals_full_refit_in_all_four_modes_at_1_2_and_8_workers() {
             let report = incremental.apply_delta(&delta).unwrap();
             assert_eq!(report.n_delta_ratings, 6, "{mode:?}");
             assert!(report.n_rescored_pairs > 0, "{mode:?}");
-            let refit = XMapPipeline::fit(
+            let refit = XMapModel::fit(
                 &updated,
                 DomainId::SOURCE,
                 DomainId::TARGET,
@@ -183,7 +183,7 @@ fn sequential_deltas_compose_to_the_same_model_as_one_refit() {
     // refit on the final matrix — state carried between deltas (the scored-pair
     // cache, spliced X-Sim rows, spliced pools) must not go stale.
     let ds = dataset();
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,
@@ -204,7 +204,7 @@ fn sequential_deltas_compose_to_the_same_model_as_one_refit() {
         .unwrap()
         .apply_delta(second.ratings(), second.item_domains())
         .unwrap();
-    let refit = XMapPipeline::fit(
+    let refit = XMapModel::fit(
         &updated,
         DomainId::SOURCE,
         DomainId::TARGET,

@@ -22,7 +22,7 @@ fn dataset() -> CrossDomainDataset {
 fn worker_count_does_not_change_model_outputs() {
     let ds = dataset();
     let fit = |workers: usize| {
-        XMapPipeline::fit(
+        XMapModel::fit(
             &ds.matrix,
             DomainId::SOURCE,
             DomainId::TARGET,
@@ -59,7 +59,7 @@ fn pipeline_stage_accounting_covers_all_four_components() {
         k: 15,
         ..XMapConfig::default()
     };
-    let model = XMapPipeline::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
+    let model = XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, cfg).unwrap();
     let stats = model.stats();
     let names: Vec<&str> = stats
         .stage_durations
@@ -89,7 +89,7 @@ fn figure_11_shape_xmap_scales_nearly_linearly_and_beats_als() {
     let ds = dataset();
     // Spark-style sizing: comfortably more partitions than the largest simulated
     // cluster, so the LPT schedule stays balanced across the whole 4–20 machine sweep.
-    let model = XMapPipeline::fit(
+    let model = XMapModel::fit(
         &ds.matrix,
         DomainId::SOURCE,
         DomainId::TARGET,
