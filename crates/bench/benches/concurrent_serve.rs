@@ -48,6 +48,7 @@ fn workload() -> CrossDomainDataset {
         latent_dim: 3,
         noise: 0.3,
         seed: 11,
+        popularity_skew: 0.0,
     })
 }
 

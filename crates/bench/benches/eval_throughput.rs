@@ -47,6 +47,7 @@ fn workload() -> CrossDomainDataset {
             latent_dim: 3,
             noise: 0.25,
             seed: 7,
+            popularity_skew: 0.0,
         })
     }
 }

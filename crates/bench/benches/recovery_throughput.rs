@@ -41,6 +41,7 @@ fn workload() -> CrossDomainDataset {
             latent_dim: 2,
             noise: 0.3,
             seed: 11,
+            popularity_skew: 0.0,
         })
     } else {
         CrossDomainDataset::generate(CrossDomainConfig {
@@ -53,6 +54,7 @@ fn workload() -> CrossDomainDataset {
             latent_dim: 3,
             noise: 0.25,
             seed: 11,
+            popularity_skew: 0.0,
         })
     }
 }

@@ -1,0 +1,202 @@
+//! Routed top-N throughput of the sharded model vs the single-node recommender.
+//!
+//! The claim under test is the sharding contract: routing the model across
+//! simulated nodes changes *where* work runs, never what it answers. A
+//! deterministic bit-identity gate runs before anything is timed:
+//!
+//! 1. **bit-identity** — at 1, 2, 4 and 8 nodes, with and without hot-shard
+//!    replication, every routed top-N list carries the same items and score
+//!    bits as the single-node model;
+//! 2. **ledger replay** — the route ledger recorded while serving replays on
+//!    `xmap_engine::ShardedCluster` under the paper's cost model, reporting
+//!    per-node load, makespan and imbalance (replication must not *worsen*
+//!    the imbalance of the routed reads).
+//!
+//! The measured figures: routed top-N throughput (profiles/s) per node count
+//! with and without replication, against the single-node baseline.
+//! `XMAP_BENCH_SMOKE=1` shrinks everything so CI runs the bench end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use xmap_cf::{DomainId, ItemId, UserId};
+use xmap_core::{ShardedModel, XMapConfig, XMapMode, XMapModel};
+use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+use xmap_engine::{ClusterCostModel, ShardedCluster};
+
+fn smoke() -> bool {
+    std::env::var("XMAP_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn workload() -> CrossDomainDataset {
+    if smoke() {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 80,
+            n_target_items: 80,
+            n_source_only_users: 60,
+            n_target_only_users: 60,
+            n_overlap_users: 40,
+            ratings_per_user: 6,
+            latent_dim: 2,
+            noise: 0.3,
+            seed: 19,
+            popularity_skew: 1.1,
+        })
+    } else {
+        CrossDomainDataset::generate(CrossDomainConfig {
+            n_source_items: 250,
+            n_target_items: 250,
+            n_source_only_users: 300,
+            n_target_only_users: 300,
+            n_overlap_users: 200,
+            ratings_per_user: 12,
+            latent_dim: 3,
+            noise: 0.25,
+            seed: 19,
+            popularity_skew: 1.1,
+        })
+    }
+}
+
+fn fit(ds: &CrossDomainDataset) -> XMapModel {
+    let config = XMapConfig {
+        mode: XMapMode::NxMapItemBased,
+        k: if smoke() { 8 } else { 20 },
+        workers: 1,
+        partitions: 64,
+        ..Default::default()
+    };
+    XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config)
+        .expect("bench workloads contain both domains")
+}
+
+fn shard(ds: &CrossDomainDataset, n_nodes: usize, replicate: bool) -> ShardedModel {
+    if replicate {
+        ShardedModel::with_hot_replication(fit(ds), n_nodes, 3)
+    } else {
+        ShardedModel::from_model(fit(ds), n_nodes)
+    }
+    .expect("sharding a fitted model succeeds")
+}
+
+/// The node → hosted-shards assignment of a sharded model, in the shape the
+/// engine's cluster simulator replays routed ledgers against.
+fn assignment(model: &ShardedModel) -> Vec<Vec<u64>> {
+    let map = model.shard_map();
+    (0..model.n_nodes())
+        .map(|node| {
+            (0..map.n_shards() as u32)
+                .filter(|&s| map.hosts(s, model.n_nodes()).contains(&node))
+                .map(u64::from)
+                .collect()
+        })
+        .collect()
+}
+
+fn top_n_bits(recs: &[(ItemId, f64)]) -> Vec<(u32, u64)> {
+    recs.iter().map(|&(i, s)| (i.0, s.to_bits())).collect()
+}
+
+fn bench_shard_throughput(c: &mut Criterion) {
+    let ds = workload();
+    let n = 10usize;
+    let probes: Vec<UserId> = ds
+        .overlap_users
+        .iter()
+        .copied()
+        .take(if smoke() { 12 } else { 64 })
+        .collect();
+
+    // --- Correctness first: routed answers must carry the single-node bits. ---
+    let reference = fit(&ds);
+    let baseline: Vec<Vec<(u32, u64)>> = probes
+        .iter()
+        .map(|&u| top_n_bits(&reference.recommend(u, n)))
+        .collect();
+
+    for n_nodes in [1usize, 2, 4, 8] {
+        for replicate in [false, true] {
+            let sharded = shard(&ds, n_nodes, replicate);
+            for (&u, expect) in probes.iter().zip(&baseline) {
+                let routed = sharded
+                    .recommend(u, n)
+                    .expect("every shard has a live replica");
+                assert_eq!(
+                    top_n_bits(&routed),
+                    *expect,
+                    "routed top-{n} diverged at {n_nodes} nodes (replicate={replicate}) for {u}"
+                );
+            }
+
+            // --- Ledger replay on the simulated cluster. ---
+            let cluster = ShardedCluster::new(assignment(&sharded), ClusterCostModel::xmap_like());
+            let route = cluster.replay(&sharded.route_ledger());
+            let serve = cluster.replay(&sharded.shard_serve_ledger());
+            println!(
+                "shard_throughput: {n_nodes} nodes replicate={replicate}: route {} tasks \
+                 (imbalance {:.2}), serve {} tasks / {:.0} work (makespan {:.2}, imbalance {:.2})",
+                route.n_tasks,
+                route.imbalance(),
+                serve.n_tasks,
+                serve.total_work,
+                serve.makespan,
+                serve.imbalance()
+            );
+
+            // --- Wall-clock throughput of the routed path. ---
+            let start = Instant::now();
+            for &u in &probes {
+                let _ = sharded.recommend(u, n).expect("routed serve");
+            }
+            let elapsed = start.elapsed();
+            println!(
+                "shard_throughput: {n_nodes} nodes replicate={replicate}: \
+                 {:.0} routed top-{n} profiles/s",
+                probes.len() as f64 / elapsed.as_secs_f64().max(1e-12)
+            );
+        }
+    }
+    let start = Instant::now();
+    for &u in &probes {
+        let _ = reference.recommend(u, n);
+    }
+    println!(
+        "shard_throughput: single-node baseline: {:.0} top-{n} profiles/s",
+        probes.len() as f64 / start.elapsed().as_secs_f64().max(1e-12)
+    );
+
+    // --- Timed groups. ---
+    let mut group = c.benchmark_group("shard_throughput");
+    group.sample_size(if smoke() { 10 } else { 20 });
+    group.bench_function("single_node_top_n", |b| {
+        b.iter(|| {
+            for &u in &probes {
+                criterion::black_box(reference.recommend(u, n));
+            }
+        })
+    });
+    for n_nodes in [2usize, 8] {
+        let plain = shard(&ds, n_nodes, false);
+        group.bench_function(format!("routed_top_n_{n_nodes}_nodes"), |b| {
+            b.iter(|| {
+                for &u in &probes {
+                    criterion::black_box(plain.recommend(u, n).expect("routed serve"));
+                }
+            })
+        });
+        let replicated = shard(&ds, n_nodes, true);
+        group.bench_function(
+            format!("routed_top_n_{n_nodes}_nodes_hot_replicated"),
+            |b| {
+                b.iter(|| {
+                    for &u in &probes {
+                        criterion::black_box(replicated.recommend(u, n).expect("routed serve"));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_throughput);
+criterion_main!(benches);

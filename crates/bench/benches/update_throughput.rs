@@ -46,6 +46,7 @@ fn workload() -> CrossDomainDataset {
             latent_dim: 2,
             noise: 0.3,
             seed: 7,
+            popularity_skew: 0.0,
         })
     } else {
         CrossDomainDataset::generate(CrossDomainConfig {
@@ -58,6 +59,7 @@ fn workload() -> CrossDomainDataset {
             latent_dim: 3,
             noise: 0.25,
             seed: 7,
+            popularity_skew: 0.0,
         })
     }
 }

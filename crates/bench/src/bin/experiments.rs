@@ -12,7 +12,10 @@
 //! output is bit-identical to the serial `evaluate_predictions` reference at every
 //! worker count (outputs *and* task-cost ledgers — including the fit stages'
 //! `baseliner` / `extender` / `generator` / `recommender` bags and the incremental
-//! fit's `delta` bag, captured by applying a pinned one-rating delta), executes the
+//! fit's `delta` bag, captured by applying a pinned one-rating delta), runs the
+//! sharded-routing gate (the same model routed across simulated nodes with hot-shard
+//! replication must serve and ingest the exact single-node bits, and its
+//! `route` / `shard_serve` / `shard_ingest` ledgers are pinned too), executes the
 //! k / ε′ / overlap sweeps (ε′ rather than ε — see the note in `smoke_sweeps`), and
 //! emits a machine-readable JSON report with the eval metrics *and* the fit ledgers'
 //! task counts / total costs. With `--check <baseline>` the report is
@@ -26,7 +29,7 @@
 use std::process::ExitCode;
 use xmap_bench::experiments::Direction;
 use xmap_bench::{amazon_like, amazon_like_small, Scale, SweepRunner};
-use xmap_core::{PrivacyConfig, XMapConfig, XMapMode, XMapModel};
+use xmap_core::{PrivacyConfig, ShardedModel, XMapConfig, XMapMode, XMapModel};
 use xmap_eval::{
     evaluate_batch_serial, evaluate_predictions, render_series_table, EvalReport, Json, SweepParam,
     SweepSeries, SweepSpec,
@@ -37,6 +40,12 @@ const GATE_TOLERANCE: f64 = 1e-9;
 
 /// Worker counts the determinism gate exercises.
 const GATE_WORKERS: [usize; 3] = [1, 2, 8];
+
+/// Node count of the sharded-routing gate.
+const GATE_NODES: usize = 4;
+
+/// Hot-shard replication factor of the sharded-routing gate.
+const GATE_REPLICATION: u32 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -196,6 +205,129 @@ fn run_determinism_gate(runner: &SweepRunner) -> (EvalReport, FitLedgers, u64) {
     (report, ledgers, 2)
 }
 
+/// Routes the smoke model across [`GATE_NODES`] simulated nodes with hot-shard
+/// replication (factor [`GATE_REPLICATION`]) and asserts every routed answer —
+/// predictions, top-N lists, and a routed ingest of the pinned smoke delta —
+/// carries the exact single-node bits. Returns the router's three task-cost
+/// ledgers (`route` / `shard_serve` / `shard_ingest`) in the same shape as the
+/// fit ledgers, so the baseline JSON also pins the routed work profile: a
+/// drifting task count means the router's read placement or sub-delta
+/// splitting changed — regenerate the baseline deliberately.
+fn run_sharded_gate(runner: &SweepRunner) -> FitLedgers {
+    let split = runner.split(None);
+    let batch = runner.eval_batch(&split);
+    let (source, target) = runner.domains();
+    let fit = || {
+        let config = XMapConfig {
+            workers: 1,
+            ..*runner.base_config()
+        };
+        XMapModel::fit(&split.train, source, target, config)
+            .expect("smoke dataset contains both domains")
+    };
+    let reference = fit();
+    let mut sharded = ShardedModel::with_hot_replication(fit(), GATE_NODES, GATE_REPLICATION)
+        .expect("sharding the smoke model succeeds");
+
+    let n = 5;
+    let mut users: Vec<_> = batch.test.iter().map(|t| t.user).collect();
+    users.dedup();
+    users.truncate(8);
+    for probe in batch.test.iter().take(16) {
+        assert_eq!(
+            sharded
+                .predict(probe.user, probe.item)
+                .expect("every shard has a live replica")
+                .to_bits(),
+            reference.predict(probe.user, probe.item).to_bits(),
+            "routed prediction diverged from single-node for {:?}/{:?}",
+            probe.user,
+            probe.item
+        );
+    }
+    for &user in &users {
+        let routed: Vec<(u32, u64)> = sharded
+            .recommend(user, n)
+            .expect("every shard has a live replica")
+            .into_iter()
+            .map(|(i, s)| (i.0, s.to_bits()))
+            .collect();
+        let single: Vec<(u32, u64)> = reference
+            .recommend(user, n)
+            .into_iter()
+            .map(|(i, s)| (i.0, s.to_bits()))
+            .collect();
+        assert_eq!(
+            routed, single,
+            "routed top-{n} diverged from single-node for {user:?}"
+        );
+    }
+
+    // Routed ingest of the pinned smoke delta: the router must split, journal and
+    // republish to the exact epoch and bits the single-node `apply_delta` reaches.
+    let mut delta = xmap_core::RatingDelta::new();
+    let probe = &batch.test[0];
+    delta.push(xmap_cf::Rating::at(
+        probe.user,
+        probe.item,
+        probe.value,
+        xmap_cf::Timestep(10_000),
+    ));
+    let routed_report = sharded
+        .ingest(&delta)
+        .expect("the smoke delta routes cleanly");
+    let single_report = reference
+        .apply_delta(&delta)
+        .expect("the smoke delta applies");
+    assert_eq!(
+        (routed_report.epoch, single_report.epoch),
+        (2, 2),
+        "the routed smoke delta must publish epoch 2 on both sides"
+    );
+    for probe in batch.test.iter().take(16) {
+        assert_eq!(
+            sharded
+                .predict(probe.user, probe.item)
+                .expect("every shard has a live replica")
+                .to_bits(),
+            reference.predict(probe.user, probe.item).to_bits(),
+            "routed post-ingest prediction diverged from single-node for {:?}/{:?}",
+            probe.user,
+            probe.item
+        );
+    }
+
+    let ledgers: FitLedgers = vec![
+        (
+            "route",
+            sharded.route_ledger().iter().map(|t| t.cost).collect(),
+        ),
+        (
+            "shard_serve",
+            sharded
+                .shard_serve_ledger()
+                .iter()
+                .map(|t| t.cost)
+                .collect(),
+        ),
+        (
+            "shard_ingest",
+            sharded
+                .shard_ingest_ledger()
+                .iter()
+                .map(|t| t.cost)
+                .collect(),
+        ),
+    ];
+    for (name, bag) in &ledgers {
+        assert!(
+            !bag.is_empty(),
+            "the {name} ledger recorded no routed tasks"
+        );
+    }
+    ledgers
+}
+
 fn smoke_sweeps() -> Vec<(SweepSpec, SweepSeries)> {
     let specs = vec![
         (
@@ -295,6 +427,19 @@ fn eval_smoke(args: &[String]) -> ExitCode {
         report.n_ranking_users
     );
 
+    let shard_ledgers = run_sharded_gate(&runner);
+    println!(
+        "sharded: routed serving + ingest bit-identical to single-node at {GATE_NODES} nodes \
+         (hot-shard replication factor {GATE_REPLICATION})"
+    );
+    for (name, bag) in &shard_ledgers {
+        println!(
+            "sharded: {name} ledger {} tasks, total cost {:.0}",
+            bag.len(),
+            bag.iter().sum::<f64>()
+        );
+    }
+
     let sweeps = smoke_sweeps();
     for (spec, series) in &sweeps {
         println!(
@@ -316,6 +461,14 @@ fn eval_smoke(args: &[String]) -> ExitCode {
         ("model_epoch", Json::Num(model_epoch as f64)),
         ("eval", report_to_json(&report)),
         ("fit", fit_ledgers_to_json(&fit_ledgers)),
+        (
+            "shard",
+            Json::obj([
+                ("n_nodes", Json::Num(GATE_NODES as f64)),
+                ("replication", Json::Num(GATE_REPLICATION as f64)),
+                ("ledgers", fit_ledgers_to_json(&shard_ledgers)),
+            ]),
+        ),
         (
             "sweeps",
             Json::Arr(
@@ -421,6 +574,44 @@ fn diff_against_baseline(current: &Json, baseline: &Json) -> Vec<String> {
                 baseline
                     .get("fit")
                     .and_then(|f| f.get(stage))
+                    .and_then(|s| s.get(field))
+                    .and_then(Json::as_f64),
+            );
+        }
+    }
+
+    // The sharded router's work profile: the gate's fixed node count and replication
+    // factor, plus each routed ledger's task count and total cost. A drift means the
+    // router's read placement, serving fan-out or sub-delta splitting changed.
+    for field in ["n_nodes", "replication"] {
+        check(
+            &mut drift,
+            format!("shard.{field}"),
+            current
+                .get("shard")
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_f64),
+            baseline
+                .get("shard")
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_f64),
+        );
+    }
+    for ledger in ["route", "shard_serve", "shard_ingest"] {
+        for field in ["n_tasks", "total_cost"] {
+            check(
+                &mut drift,
+                format!("shard.ledgers.{ledger}.{field}"),
+                current
+                    .get("shard")
+                    .and_then(|s| s.get("ledgers"))
+                    .and_then(|l| l.get(ledger))
+                    .and_then(|s| s.get(field))
+                    .and_then(Json::as_f64),
+                baseline
+                    .get("shard")
+                    .and_then(|s| s.get("ledgers"))
+                    .and_then(|l| l.get(ledger))
                     .and_then(|s| s.get(field))
                     .and_then(Json::as_f64),
             );

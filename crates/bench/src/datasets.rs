@@ -47,6 +47,7 @@ pub fn amazon_like(scale: Scale) -> CrossDomainDataset {
             latent_dim: 3,
             noise: 0.25,
             seed: 7,
+            popularity_skew: 0.0,
         },
         Scale::Full => CrossDomainConfig {
             n_source_items: 300,
@@ -58,6 +59,7 @@ pub fn amazon_like(scale: Scale) -> CrossDomainDataset {
             latent_dim: 4,
             noise: 0.25,
             seed: 7,
+            popularity_skew: 0.0,
         },
     };
     CrossDomainDataset::generate(config)
@@ -85,6 +87,7 @@ pub fn amazon_like_sparse(scale: Scale) -> CrossDomainDataset {
             latent_dim: 4,
             noise: 0.35,
             seed: 17,
+            popularity_skew: 0.0,
         },
         Scale::Full => CrossDomainConfig {
             n_source_items: 600,
@@ -96,6 +99,7 @@ pub fn amazon_like_sparse(scale: Scale) -> CrossDomainDataset {
             latent_dim: 6,
             noise: 0.35,
             seed: 17,
+            popularity_skew: 0.0,
         },
     };
     CrossDomainDataset::generate(config)

@@ -199,13 +199,11 @@ impl<'a> UserKnn<'a> {
         self.rank_candidates(avg, &neighbors, &rated, n)
     }
 
-    fn rank_candidates(
-        &self,
-        user_average: f64,
-        neighbors: &[(UserId, f64)],
-        exclude: &[ItemId],
-        n: usize,
-    ) -> Vec<(ItemId, f64)> {
+    /// The deduplicated, ascending-id candidate items for a neighbour set: every
+    /// item rated by at least one neighbour. This is exactly the stream
+    /// `rank_candidates` scores, exposed so a sharded router can split it into
+    /// contiguous per-shard segments and still reproduce the same top-N.
+    pub fn candidate_items(&self, neighbors: &[(UserId, f64)]) -> Vec<ItemId> {
         // Only items rated by at least one neighbour can receive a personalised score.
         let mut candidates: Vec<ItemId> = Vec::new();
         for &(b, _) in neighbors {
@@ -215,7 +213,18 @@ impl<'a> UserKnn<'a> {
         }
         candidates.sort_unstable();
         candidates.dedup();
-        let scored = candidates
+        candidates
+    }
+
+    fn rank_candidates(
+        &self,
+        user_average: f64,
+        neighbors: &[(UserId, f64)],
+        exclude: &[ItemId],
+        n: usize,
+    ) -> Vec<(ItemId, f64)> {
+        let scored = self
+            .candidate_items(neighbors)
             .into_iter()
             .filter(|i| !exclude.contains(i))
             .map(|i| (self.predict_with_neighbors(user_average, neighbors, i), i));

@@ -115,6 +115,9 @@ impl Default for Config {
                 "crates/core/src/persist.rs".into(),
                 "crates/store/src/snapshot.rs".into(),
                 "crates/store/src/journal.rs".into(),
+                // The sharded-model surface: the shard map, slice and router the
+                // simulated cluster serves from.
+                "crates/core/src/shard.rs".into(),
             ],
         }
     }

@@ -84,7 +84,7 @@ pub const INGEST_MRV_SHARDS: usize = 8;
 
 /// A batch of rating-trace updates: new or updated ratings (possibly introducing new
 /// users) plus domain declarations for new items.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RatingDelta {
     ratings: Vec<Rating>,
     item_domains: Vec<(ItemId, DomainId)>,

@@ -70,6 +70,18 @@ pub struct ReplacementTable {
 }
 
 impl ReplacementTable {
+    /// Builds a table from explicit `(source, replacement)` pairs. Used by the
+    /// sharded router to gather the sub-table owned by each shard back into one
+    /// lookup structure; `map_profile_with` only ever consults the profile's own
+    /// source items, so a gathered table reproduces the full table's AlterEgos.
+    pub(crate) fn from_pairs(
+        pairs: impl IntoIterator<Item = (ItemId, ItemId)>,
+    ) -> ReplacementTable {
+        ReplacementTable {
+            replacements: pairs.into_iter().collect(),
+        }
+    }
+
     /// The replacement of a source item, if it has one.
     pub fn replacement(&self, item: ItemId) -> Option<ItemId> {
         self.replacements.get(&item).copied()

@@ -49,6 +49,7 @@ pub mod pipeline;
 pub mod private;
 pub mod recommend;
 pub mod serve;
+pub mod shard;
 pub mod xsim;
 
 pub use config::{PrivacyConfig, XMapConfig, XMapMode};
@@ -60,6 +61,7 @@ pub use persist::{JOURNAL_FILE, SNAPSHOT_FILE};
 pub use pipeline::{BaselinerStage, ModelEpoch, PipelineStats, XMapModel};
 pub use recommend::{ProfileRecommender, ProfileScratch, ScratchPool};
 pub use serve::{RecommendStage, ServeBatch};
+pub use shard::{ShardId, ShardMap, ShardSlice, ShardedModel};
 pub use xsim::{XSimEntry, XSimTable};
 
 /// Errors produced by the X-Map pipeline.

@@ -107,7 +107,7 @@ impl ProfileScratch {
     /// (neighbour pools only hold catalogue items), and sizing buffers by a raw,
     /// possibly corrupted id would allocate unboundedly. `now` still considers the full
     /// profile, matching the previous `HashMap` path bit for bit.
-    fn load(&mut self, profile: &Profile, n_items: usize) {
+    pub(crate) fn load(&mut self, profile: &Profile, n_items: usize) {
         self.current = self.current.wrapping_add(1);
         if self.current == 0 {
             // epoch counter wrapped: clear the markers so stale slots cannot alias
@@ -278,7 +278,7 @@ impl ItemBasedRecommender {
             .unwrap_or(&[])
     }
 
-    fn predict_with_scratch(&self, scratch: &ProfileScratch, item: ItemId) -> f64 {
+    pub(crate) fn predict_with_scratch(&self, scratch: &ProfileScratch, item: ItemId) -> f64 {
         predict_item_based(
             &self.target,
             self.neighbors(item),
@@ -363,7 +363,7 @@ impl UserBasedRecommender {
         &self.target
     }
 
-    fn knn(&self) -> UserKnn<'_> {
+    pub(crate) fn knn(&self) -> UserKnn<'_> {
         UserKnn::new(
             &self.target,
             UserKnnConfig {
@@ -529,7 +529,7 @@ impl PrivateItemBasedRecommender {
             .unwrap_or(&[])
     }
 
-    fn predict_with_scratch(&self, scratch: &ProfileScratch, item: ItemId) -> f64 {
+    pub(crate) fn predict_with_scratch(&self, scratch: &ProfileScratch, item: ItemId) -> f64 {
         // Deterministic per (seed, item): repeated queries for the same item release the
         // same randomised output rather than averaging the noise away.
         let mut rng = StdRng::seed_from_u64(
@@ -679,7 +679,7 @@ impl PrivateUserBasedRecommender {
         &self.target
     }
 
-    fn knn(&self) -> UserKnn<'_> {
+    pub(crate) fn knn(&self) -> UserKnn<'_> {
         // lint: panic — reviewed invariant
         UserKnn::new(&self.target, self.pool_config).expect("pool k validated at construction")
     }
@@ -688,14 +688,18 @@ impl PrivateUserBasedRecommender {
     /// training matrix. This is the expensive step that used to run once *per
     /// prediction*; it depends only on the profile, so the serving paths compute it once
     /// per profile and reuse it across every candidate item.
-    fn neighbor_pool(&self, profile: &Profile) -> Vec<(UserId, f64)> {
+    pub(crate) fn neighbor_pool(&self, profile: &Profile) -> Vec<(UserId, f64)> {
         self.knn().neighbors_of_profile(profile)
     }
 
     /// PNSA selection + PNCF noise over a precomputed pool. The RNG is seeded from
     /// `(seed, salt)` only, so for a fixed profile the released neighbourhood of a given
     /// salt is identical whether the pool was rebuilt or reused.
-    fn private_neighbors_from_pool(&self, pool: &[(UserId, f64)], salt: u64) -> Vec<(UserId, f64)> {
+    pub(crate) fn private_neighbors_from_pool(
+        &self,
+        pool: &[(UserId, f64)],
+        salt: u64,
+    ) -> Vec<(UserId, f64)> {
         const USER_SIM_GLOBAL_SENSITIVITY: f64 = 2.0;
         let candidates: Vec<ScoredCandidate> = pool
             .iter()
@@ -729,7 +733,12 @@ impl PrivateUserBasedRecommender {
     }
 
     /// Equation 2 over a privately selected neighbourhood of the given pool.
-    fn predict_from_pool(&self, pool: &[(UserId, f64)], profile_avg: f64, item: ItemId) -> f64 {
+    pub(crate) fn predict_from_pool(
+        &self,
+        pool: &[(UserId, f64)],
+        profile_avg: f64,
+        item: ItemId,
+    ) -> f64 {
         let neighbors = self.private_neighbors_from_pool(pool, 0x9e37_79b9u64 ^ u64::from(item.0));
         let mut num = 0.0;
         let mut den = 0.0;
@@ -747,14 +756,18 @@ impl PrivateUserBasedRecommender {
         self.target.scale().clamp(raw)
     }
 
-    fn profile_avg(&self, profile: &Profile) -> f64 {
+    pub(crate) fn profile_avg(&self, profile: &Profile) -> f64 {
         profile_average(profile).unwrap_or_else(|| self.target.global_average())
     }
 
     /// Candidate items of a recommendation request: everything rated by the (private)
     /// neighbourhood, minus the profile's own items. Shared by the pooled path and the
     /// rescan oracle so the two can only diverge in *how* candidates are scored.
-    fn candidate_items(&self, profile: &Profile, neighbors: &[(UserId, f64)]) -> Vec<ItemId> {
+    pub(crate) fn candidate_items(
+        &self,
+        profile: &Profile,
+        neighbors: &[(UserId, f64)],
+    ) -> Vec<ItemId> {
         let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
         let mut candidates: Vec<ItemId> = Vec::new();
         for &(u, _) in neighbors {

@@ -1,0 +1,1417 @@
+//! The model sharded across simulated nodes: routing, hot-shard replication and
+//! journal-backed failover.
+//!
+//! The paper runs X-Map on a Spark cluster whose executors each hold a *partition*
+//! of the fitted state. This module reproduces that deployment shape on one
+//! machine, with the same bit-identity discipline as the rest of the workspace:
+//!
+//! * [`ShardMap`] — a deterministic item-range partition of the catalogue. Every
+//!   fitted per-item artifact (similarity-graph rows, X-Sim rows, replacement
+//!   pairs, item-kNN pools) of a [`ModelEpoch`] is cut into one [`ShardSlice`] per
+//!   shard. Shard `s` is owned by node `s mod n`, and *hot* shards — shards holding
+//!   an item from the popularity head — carry extra replicas on the following
+//!   nodes (clamped to the node count).
+//! * [`ShardedModel`] — the router. It owns the coordinator [`XMapModel`] (the
+//!   authoritative fit/ingest plane: adjusted-cosine similarities, X-Sim walks and
+//!   replacement draws all read *cross-shard* state, so the global recompute stays
+//!   in one place) and a set of simulated nodes, each holding epoch-published
+//!   slices of the shards it hosts plus a per-shard serving wrapper built from the
+//!   slice's own rows. Reads route to a live replica of the owning shard;
+//!   top-N requests fan out across shards and merge partial top-N lists with the
+//!   workspace [`TopK`] tie-break (descending `total_cmp`, first-offered wins) —
+//!   provably bit-identical to the single-node stream because per-shard candidate
+//!   segments are contiguous ascending item-id runs, so any candidate a local
+//!   top-N drops is dominated by ≥ n same-segment survivors that dominate it
+//!   globally too.
+//! * Durability — [`ShardedModel::persist`] writes one snapshot + write-ahead
+//!   journal pair *per hosted shard per node* (`node<i>/shard<s>.snap` /
+//!   `.journal`, reusing the `xmap-store` codec verbatim). An ingest splits the
+//!   [`RatingDelta`] into per-shard sub-deltas, applies the full delta on the
+//!   coordinator, then journals each hosted shard's row changes *before*
+//!   publishing the new slice epoch. Killing a node drops its in-memory state
+//!   (files survive); recovery loads the snapshot, replays the journal, and — if
+//!   the node was dead across ingests its journal never saw — re-replicates the
+//!   shard from the coordinator and rewrites its files.
+//!
+//! Routing, per-shard serving and per-shard ingest work are recorded as
+//! [`RoutedTask`] ledgers (`route` / `shard-serve` / `shard-ingest`) with
+//! data-derived costs, so `xmap_engine::ShardedCluster` can replay a serving
+//! trace on a simulated cluster exactly like the fit ledgers.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::delta::{DeltaReport, RatingDelta};
+use crate::generator::{AlterEgo, ReplacementTable};
+use crate::pipeline::{ModelEpoch, XMapModel};
+use crate::recommend::{
+    ItemBasedRecommender, PrivateItemBasedRecommender, PrivateUserBasedRecommender,
+    ProfileRecommender, ProfileScratch, UserBasedRecommender,
+};
+use crate::xsim::XSimEntry;
+use crate::{Result, XMapConfig, XMapError, XMapMode};
+use xmap_cf::knn::{profile_average, ItemNeighbor, Profile};
+use xmap_cf::topk::{top_k, TopK};
+use xmap_cf::{ItemId, RatingMatrix, SimilarityStats, UserId};
+use xmap_engine::{EpochHandle, RoutedTask};
+use xmap_privacy::PrivacyBudget;
+use xmap_store::{Journal, Snapshot};
+
+// ---------------------------------------------------------------------------
+// Shard map
+// ---------------------------------------------------------------------------
+
+/// Identifier of one contiguous item-range shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+/// A deterministic partition of the item catalogue into contiguous id ranges,
+/// with a per-shard replica count.
+///
+/// The map is a pure function of `(n_items, n_shards)` plus any explicit
+/// [`ShardMap::replicate_hot`] calls, so every node derives identical placement
+/// without coordination — the moral equivalent of Spark's hash partitioner, made
+/// range-based so per-shard candidate streams stay contiguous in item id (the
+/// property the partial top-N merge proof rests on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardMap {
+    n_items: u32,
+    /// `n_shards + 1` ascending bounds; shard `s` covers `bounds[s]..bounds[s+1]`.
+    bounds: Vec<u32>,
+    /// Replica count per shard, each ≥ 1 (1 = owner only).
+    replicas: Vec<u32>,
+}
+
+impl ShardMap {
+    /// An even split of `n_items` into `n_shards` contiguous ranges (the first
+    /// `n_items % n_shards` shards get one extra item). Shards beyond the
+    /// catalogue are empty — legal, they simply contribute nothing to any query.
+    pub fn uniform(n_items: u32, n_shards: usize) -> Result<ShardMap> {
+        if n_shards == 0 {
+            return Err(XMapError::InvalidConfig(
+                "shard map needs at least one shard".into(),
+            ));
+        }
+        let base = n_items / n_shards as u32;
+        let rem = (n_items % n_shards as u32) as usize;
+        let mut bounds = Vec::with_capacity(n_shards + 1);
+        let mut at = 0u32;
+        bounds.push(at);
+        for s in 0..n_shards {
+            at += base + u32::from(s < rem);
+            bounds.push(at);
+        }
+        Ok(ShardMap {
+            n_items,
+            bounds,
+            replicas: vec![1; n_shards],
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of catalogue items the map was built over.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// The shard owning an item. Ids at or beyond the catalogue clamp into the
+    /// last shard, so items that arrive in later deltas still have a home.
+    pub fn shard_of(&self, item: ItemId) -> u32 {
+        let idx = self.bounds[1..].partition_point(|&end| end <= item.0);
+        (idx as u32).min(self.n_shards() as u32 - 1)
+    }
+
+    /// The `[start, end)` item-id range of a shard as laid out at map build time.
+    pub fn range(&self, shard: u32) -> (u32, u32) {
+        (self.bounds[shard as usize], self.bounds[shard as usize + 1])
+    }
+
+    /// Like [`ShardMap::range`], but with the last shard stretched to a grown
+    /// catalogue: items appended by deltas after the map was built clamp into the
+    /// last shard (see [`ShardMap::shard_of`]), so its effective range must cover
+    /// them when slices are cut.
+    pub(crate) fn effective_range(&self, shard: u32, catalogue_items: u32) -> (u32, u32) {
+        let (start, end) = self.range(shard);
+        if shard as usize + 1 == self.n_shards() {
+            (start, end.max(catalogue_items))
+        } else {
+            (start, end)
+        }
+    }
+
+    /// The replica count of a shard (1 = owner only), before node-count clamping.
+    pub fn replication(&self, shard: u32) -> u32 {
+        self.replicas[shard as usize]
+    }
+
+    /// The node owning a shard: round-robin `shard mod n_nodes`.
+    pub fn owner(&self, shard: u32, n_nodes: usize) -> usize {
+        shard as usize % n_nodes
+    }
+
+    /// The nodes hosting a shard: the owner plus the next `replication - 1` nodes
+    /// round-robin. The count clamps to `n_nodes` — asking for more replicas than
+    /// nodes yields every node exactly once, never a duplicate host.
+    pub fn hosts(&self, shard: u32, n_nodes: usize) -> Vec<usize> {
+        let owner = self.owner(shard, n_nodes);
+        let count = (self.replication(shard) as usize).min(n_nodes).max(1);
+        (0..count).map(|i| (owner + i) % n_nodes).collect()
+    }
+
+    /// Raises the replica count of every shard holding one of the `head` most
+    /// popular items to `factor`. `popularity[i]` is the observed rating count of
+    /// item `i`; the head is taken by descending count with ascending-id
+    /// tie-break, so the hot set is deterministic.
+    pub fn replicate_hot(&mut self, popularity: &[usize], head: usize, factor: u32) {
+        let mut order: Vec<u32> = (0..popularity.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            popularity[b as usize]
+                .cmp(&popularity[a as usize])
+                .then(a.cmp(&b))
+        });
+        for &item in order.iter().take(head) {
+            let s = self.shard_of(ItemId(item)) as usize;
+            self.replicas[s] = self.replicas[s].max(factor.max(1));
+        }
+    }
+
+    /// Splits a delta into one sub-delta per shard by the rated (or declared)
+    /// item's shard, preserving push order within each shard. The coordinator
+    /// still applies the *full* delta — the split exists so per-shard ingest work
+    /// can be journaled, costed and replayed per node.
+    pub fn split_delta(&self, delta: &RatingDelta) -> Vec<RatingDelta> {
+        let mut subs: Vec<RatingDelta> = (0..self.n_shards()).map(|_| RatingDelta::new()).collect();
+        for &r in delta.ratings() {
+            subs[self.shard_of(r.item) as usize].push(r);
+        }
+        for &(item, domain) in delta.item_domains() {
+            subs[self.shard_of(item) as usize].declare_item(item, domain);
+        }
+        subs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard slices
+// ---------------------------------------------------------------------------
+
+/// Every fitted per-item artifact of one shard's item range, cut from a
+/// [`ModelEpoch`]: similarity-graph rows, X-Sim rows, replacement pairs and (for
+/// the item-based modes) the raw item-kNN pool rows. Rows are sorted ascending by
+/// item id and empty rows are omitted, so two cuts of the same epoch compare
+/// bit-for-bit with `==`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSlice {
+    shard: u32,
+    start: u32,
+    end: u32,
+    graph_rows: Vec<(ItemId, Vec<(ItemId, SimilarityStats)>)>,
+    xsim_rows: Vec<(ItemId, Vec<XSimEntry>)>,
+    replacement_pairs: Vec<(ItemId, ItemId)>,
+    pool_rows: Option<Vec<(ItemId, Vec<ItemNeighbor>)>>,
+}
+
+impl ShardSlice {
+    /// The shard this slice belongs to.
+    pub fn shard(&self) -> ShardId {
+        ShardId(self.shard)
+    }
+
+    /// The `[start, end)` item-id range the slice covers (the last shard's range
+    /// stretches over catalogue growth, see [`ShardMap::shard_of`]).
+    pub fn item_range(&self) -> (u32, u32) {
+        (self.start, self.end)
+    }
+
+    /// The shard's similarity-graph rows: `(item, [(neighbour, stats)])`,
+    /// ascending by item id, ascending neighbour id within a row.
+    pub fn graph_rows(&self) -> &[(ItemId, Vec<(ItemId, SimilarityStats)>)] {
+        &self.graph_rows
+    }
+
+    /// The shard's X-Sim rows: `(item, candidates)` ascending by item id.
+    pub fn xsim_rows(&self) -> &[(ItemId, Vec<XSimEntry>)] {
+        &self.xsim_rows
+    }
+
+    /// The shard's `(source item, replacement)` pairs, ascending by source id.
+    pub fn replacement_pairs(&self) -> &[(ItemId, ItemId)] {
+        &self.replacement_pairs
+    }
+
+    /// The shard's raw item-kNN pool rows (`None` for the user-based modes,
+    /// which precompute nothing at fit time).
+    pub fn pool_rows(&self) -> Option<&[(ItemId, Vec<ItemNeighbor>)]> {
+        self.pool_rows.as_deref()
+    }
+
+    /// Cuts the slice of `shard` out of a published epoch.
+    pub(crate) fn cut(epoch: &ModelEpoch, map: &ShardMap, shard: u32) -> ShardSlice {
+        let (start, end) = map.effective_range(shard, epoch.matrix().n_items() as u32);
+        let graph = epoch.graph();
+        let mut graph_rows = Vec::new();
+        let mut xsim_rows = Vec::new();
+        for id in start..end {
+            let item = ItemId(id);
+            if (id as usize) < graph.n_items() {
+                let view = graph.neighbors(item);
+                if !view.is_empty() {
+                    graph_rows.push((item, view.iter().map(|e| (e.to, *e.stats)).collect()));
+                }
+            }
+            let xrow = epoch.xsim().candidates(item);
+            if !xrow.is_empty() {
+                xsim_rows.push((item, xrow.to_vec()));
+            }
+        }
+        let mut replacement_pairs: Vec<(ItemId, ItemId)> = epoch
+            .replacements()
+            .iter()
+            .filter(|&(source, _)| map.shard_of(source) == shard)
+            .collect();
+        replacement_pairs.sort_unstable();
+        let pool_rows = epoch.item_pools.as_ref().map(|pools| {
+            (start..end)
+                .filter_map(|id| {
+                    pools
+                        .get(id as usize)
+                        .filter(|row| !row.is_empty())
+                        .map(|row| (ItemId(id), row.clone()))
+                })
+                .collect()
+        });
+        ShardSlice {
+            shard,
+            start,
+            end,
+            graph_rows,
+            xsim_rows,
+            replacement_pairs,
+            pool_rows,
+        }
+    }
+
+    /// The replacement of a source item owned by this shard, if any.
+    pub(crate) fn replacement_of(&self, item: ItemId) -> Option<ItemId> {
+        self.replacement_pairs
+            .binary_search_by_key(&item, |&(source, _)| source)
+            .ok()
+            .map(|ix| self.replacement_pairs[ix].1)
+    }
+
+    /// Re-assembles catalogue-length kNN pools from the slice's rows, padding
+    /// every out-of-shard (or empty) slot with an empty pool. The padded shape is
+    /// what the recommender constructors index by raw item id.
+    pub(crate) fn padded_pools(&self, n_items: usize) -> Vec<Vec<ItemNeighbor>> {
+        let mut pools = vec![Vec::new(); n_items];
+        if let Some(rows) = &self.pool_rows {
+            for (item, row) in rows {
+                if let Some(slot) = pools.get_mut(item.index()) {
+                    *slot = row.clone();
+                }
+            }
+        }
+        pools
+    }
+
+    /// The row changes taking `self` to `new`, plus the shard's sub-delta —
+    /// the write-ahead journal record of one ingest.
+    pub(crate) fn diff(&self, new: &ShardSlice, sub_delta: RatingDelta) -> SliceDelta {
+        SliceDelta {
+            sub_delta,
+            start: new.start,
+            end: new.end,
+            graph_rows: diff_rows(&self.graph_rows, &new.graph_rows),
+            xsim_rows: diff_rows(&self.xsim_rows, &new.xsim_rows),
+            pool_rows: match (&self.pool_rows, &new.pool_rows) {
+                (Some(old), Some(new_rows)) => diff_rows(old, new_rows),
+                (None, Some(new_rows)) => new_rows.clone(),
+                _ => Vec::new(),
+            },
+            replacement_pairs: (self.replacement_pairs != new.replacement_pairs)
+                .then(|| new.replacement_pairs.clone()),
+        }
+    }
+
+    /// Applies a journaled [`SliceDelta`], producing the post-ingest slice.
+    /// Inverse of [`ShardSlice::diff`]: `old.apply(&old.diff(&new, _)) == new`.
+    pub(crate) fn apply(&self, delta: &SliceDelta) -> ShardSlice {
+        ShardSlice {
+            shard: self.shard,
+            start: delta.start,
+            end: delta.end,
+            graph_rows: apply_rows(&self.graph_rows, &delta.graph_rows),
+            xsim_rows: apply_rows(&self.xsim_rows, &delta.xsim_rows),
+            replacement_pairs: delta
+                .replacement_pairs
+                .clone()
+                .unwrap_or_else(|| self.replacement_pairs.clone()),
+            pool_rows: match &self.pool_rows {
+                Some(rows) => Some(apply_rows(rows, &delta.pool_rows)),
+                None if delta.pool_rows.is_empty() => None,
+                None => Some(delta.pool_rows.clone()),
+            },
+        }
+    }
+}
+
+/// Row upserts between two sorted row lists: `(id, new_row)` for added or changed
+/// rows, `(id, [])` for removed ones. Empty rows are never *stored* (cuts skip
+/// them), so the empty row is unambiguous as a removal marker.
+fn diff_rows<T: Clone + PartialEq>(
+    old: &[(ItemId, Vec<T>)],
+    new: &[(ItemId, Vec<T>)],
+) -> Vec<(ItemId, Vec<T>)> {
+    let old_map: BTreeMap<ItemId, &Vec<T>> = old.iter().map(|(i, r)| (*i, r)).collect();
+    let mut out = Vec::new();
+    for (id, row) in new {
+        if old_map.get(id).is_none_or(|prev| *prev != row) {
+            out.push((*id, row.clone()));
+        }
+    }
+    let new_ids: std::collections::BTreeSet<ItemId> = new.iter().map(|(i, _)| *i).collect();
+    for (id, _) in old {
+        if !new_ids.contains(id) {
+            out.push((*id, Vec::new()));
+        }
+    }
+    out.sort_by_key(|&(id, _)| id);
+    out
+}
+
+/// Applies [`diff_rows`] output: upserts non-empty rows, removes rows the diff
+/// emptied, keeps everything else — result stays sorted by item id.
+fn apply_rows<T: Clone>(
+    old: &[(ItemId, Vec<T>)],
+    upserts: &[(ItemId, Vec<T>)],
+) -> Vec<(ItemId, Vec<T>)> {
+    let mut merged: BTreeMap<ItemId, Vec<T>> = old.iter().map(|(i, r)| (*i, r.clone())).collect();
+    for (id, row) in upserts {
+        if row.is_empty() {
+            merged.remove(id);
+        } else {
+            merged.insert(*id, row.clone());
+        }
+    }
+    merged.into_iter().collect()
+}
+
+/// Snapshot payload of one hosted shard: the publication epoch and the slice.
+pub(crate) struct SliceState {
+    pub(crate) epoch: u64,
+    pub(crate) slice: ShardSlice,
+}
+
+/// Journal record payload of one hosted shard's ingest: the shard's sub-delta
+/// (observability: which rating events landed here) plus the materialized row
+/// changes — recovery replays the rows, not the ratings, because slice rows are
+/// cross-shard functions of the full matrix that only the coordinator can
+/// recompute.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SliceDelta {
+    pub(crate) sub_delta: RatingDelta,
+    start: u32,
+    end: u32,
+    graph_rows: Vec<(ItemId, Vec<(ItemId, SimilarityStats)>)>,
+    xsim_rows: Vec<(ItemId, Vec<XSimEntry>)>,
+    pool_rows: Vec<(ItemId, Vec<ItemNeighbor>)>,
+    replacement_pairs: Option<Vec<(ItemId, ItemId)>>,
+}
+
+impl xmap_store::Codec for ShardSlice {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_u32(self.shard);
+        e.put_u32(self.start);
+        e.put_u32(self.end);
+        self.graph_rows.enc(e);
+        self.xsim_rows.enc(e);
+        self.replacement_pairs.enc(e);
+        self.pool_rows.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(ShardSlice {
+            shard: d.take_u32()?,
+            start: d.take_u32()?,
+            end: d.take_u32()?,
+            graph_rows: xmap_store::Codec::dec(d)?,
+            xsim_rows: xmap_store::Codec::dec(d)?,
+            replacement_pairs: xmap_store::Codec::dec(d)?,
+            pool_rows: xmap_store::Codec::dec(d)?,
+        })
+    }
+}
+
+impl xmap_store::Codec for SliceState {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        e.put_u64(self.epoch);
+        self.slice.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        let epoch = d.take_u64()?;
+        if epoch == 0 {
+            return Err(d.corrupt("slice snapshot epoch must be ≥ 1".to_string()));
+        }
+        Ok(SliceState {
+            epoch,
+            slice: xmap_store::Codec::dec(d)?,
+        })
+    }
+}
+
+impl xmap_store::Codec for SliceDelta {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        self.sub_delta.enc(e);
+        e.put_u32(self.start);
+        e.put_u32(self.end);
+        self.graph_rows.enc(e);
+        self.xsim_rows.enc(e);
+        self.pool_rows.enc(e);
+        self.replacement_pairs.enc(e);
+    }
+
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> std::result::Result<Self, xmap_store::StoreError> {
+        Ok(SliceDelta {
+            sub_delta: xmap_store::Codec::dec(d)?,
+            start: d.take_u32()?,
+            end: d.take_u32()?,
+            graph_rows: xmap_store::Codec::dec(d)?,
+            xsim_rows: xmap_store::Codec::dec(d)?,
+            pool_rows: xmap_store::Codec::dec(d)?,
+            replacement_pairs: xmap_store::Codec::dec(d)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard serving
+// ---------------------------------------------------------------------------
+
+/// The serving wrapper a node builds for one hosted shard: the mode's concrete
+/// recommender constructed from the slice's *own* pool rows (padded with empty
+/// pools outside the shard) over the epoch's target-domain matrix. The matrix is
+/// the replicated data plane every node carries (user-based prediction reads all
+/// raters' averages); the pools are the genuinely partitioned fitted state.
+#[allow(clippy::enum_variant_names)] // variants mirror the XMapMode names
+enum SliceServe {
+    ItemBased(ItemBasedRecommender),
+    PrivateItemBased(PrivateItemBasedRecommender),
+    UserBased(UserBasedRecommender),
+    PrivateUserBased(PrivateUserBasedRecommender),
+}
+
+/// The profile-level phase-1 state of a routed top-N request, computed once on
+/// the profile's home shard and shipped to every scoring shard. Item-based modes
+/// need none; the user-based modes carry the (possibly privately selected)
+/// neighbourhood and the profile average, exactly the values the single-node
+/// recommender hoists out of its per-candidate loop.
+#[allow(clippy::enum_variant_names)] // variants mirror the XMapMode names
+enum ServePlan {
+    ItemBased,
+    UserBased {
+        neighbors: Vec<(UserId, f64)>,
+        avg: f64,
+    },
+    PrivateUserBased {
+        pool: Vec<(UserId, f64)>,
+        neighbors: Vec<(UserId, f64)>,
+        avg: f64,
+    },
+}
+
+impl SliceServe {
+    fn build(config: &XMapConfig, target: RatingMatrix, slice: &ShardSlice) -> Result<SliceServe> {
+        let n_items = target.n_items();
+        Ok(match config.mode {
+            XMapMode::NxMapItemBased => SliceServe::ItemBased(ItemBasedRecommender::from_pools(
+                target,
+                config.k,
+                config.temporal_alpha,
+                slice.padded_pools(n_items),
+            )?),
+            XMapMode::XMapItemBased => {
+                SliceServe::PrivateItemBased(PrivateItemBasedRecommender::from_pools(
+                    target,
+                    config.k,
+                    config.privacy.epsilon_prime,
+                    config.privacy.rho,
+                    config.temporal_alpha,
+                    config.seed,
+                    slice.padded_pools(n_items),
+                )?)
+            }
+            XMapMode::NxMapUserBased => {
+                SliceServe::UserBased(UserBasedRecommender::fit(target, config.k)?)
+            }
+            XMapMode::XMapUserBased => {
+                // The fit is deterministic in (matrix, k, ε′, ρ, seed); the scratch
+                // budget absorbs the per-replica re-fit debit — the released ledger
+                // is the coordinator's, which recorded the expenditure once.
+                let mut scratch = PrivacyBudget::new(config.privacy.total());
+                SliceServe::PrivateUserBased(PrivateUserBasedRecommender::fit(
+                    target,
+                    config.k,
+                    config.privacy.epsilon_prime,
+                    config.privacy.rho,
+                    config.seed,
+                    &mut scratch,
+                )?)
+            }
+        })
+    }
+
+    /// Single-item prediction — same trait entry point as single-node serving,
+    /// answered from this shard's replica.
+    fn predict(&self, profile: &Profile, item: ItemId) -> f64 {
+        match self {
+            SliceServe::ItemBased(r) => r.predict_for_profile(profile, item),
+            SliceServe::PrivateItemBased(r) => r.predict_for_profile(profile, item),
+            SliceServe::UserBased(r) => r.predict_for_profile(profile, item),
+            SliceServe::PrivateUserBased(r) => r.predict_for_profile(profile, item),
+        }
+    }
+
+    /// Phase 1 of a top-N request, run on the profile's home shard. The values
+    /// (and for the private mode, the RNG salts) match the single-node
+    /// `recommend_for_profile` hoisting exactly.
+    fn plan(&self, profile: &Profile) -> ServePlan {
+        match self {
+            SliceServe::ItemBased(_) | SliceServe::PrivateItemBased(_) => ServePlan::ItemBased,
+            SliceServe::UserBased(r) => {
+                let neighbors = r.knn().neighbors_of_profile(profile);
+                let avg = profile_average(profile).unwrap_or_else(|| r.target().global_average());
+                ServePlan::UserBased { neighbors, avg }
+            }
+            SliceServe::PrivateUserBased(r) => {
+                let pool = r.neighbor_pool(profile);
+                let neighbors = r.private_neighbors_from_pool(&pool, 0xfeed_beefu64);
+                let avg = r.profile_avg(profile);
+                ServePlan::PrivateUserBased {
+                    pool,
+                    neighbors,
+                    avg,
+                }
+            }
+        }
+    }
+
+    /// Item-based candidate contribution: the pool neighbours of the given
+    /// shard-owned profile items (this shard holds exactly those pool rows).
+    fn pool_candidates(&self, items: &[ItemId]) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        for &i in items {
+            match self {
+                SliceServe::ItemBased(r) => out.extend(r.neighbors(i).iter().map(|n| n.item)),
+                SliceServe::PrivateItemBased(r) => {
+                    out.extend(r.candidates(i).iter().map(|c| c.item));
+                }
+                SliceServe::UserBased(_) | SliceServe::PrivateUserBased(_) => {}
+            }
+        }
+        out
+    }
+
+    /// User-based candidate contribution: every item in `[start, end)` rated by
+    /// at least one planned neighbour.
+    fn range_candidates(
+        &self,
+        profile: &Profile,
+        plan: &ServePlan,
+        start: u32,
+        end: u32,
+    ) -> Vec<ItemId> {
+        let mut items = match (self, plan) {
+            (SliceServe::UserBased(r), ServePlan::UserBased { neighbors, .. }) => {
+                r.knn().candidate_items(neighbors)
+            }
+            (SliceServe::PrivateUserBased(r), ServePlan::PrivateUserBased { neighbors, .. }) => {
+                r.candidate_items(profile, neighbors)
+            }
+            _ => Vec::new(),
+        };
+        items.retain(|i| (start..end).contains(&i.0));
+        items
+    }
+
+    /// Scores one contiguous ascending candidate segment, exactly as the
+    /// single-node scoring stream would score those positions.
+    fn score(&self, profile: &Profile, plan: &ServePlan, items: &[ItemId]) -> Vec<(f64, ItemId)> {
+        match (self, plan) {
+            (SliceServe::ItemBased(r), ServePlan::ItemBased) => {
+                let mut scratch = ProfileScratch::new();
+                scratch.load(profile, r.target().n_items());
+                items
+                    .iter()
+                    .map(|&i| (r.predict_with_scratch(&scratch, i), i))
+                    .collect()
+            }
+            (SliceServe::PrivateItemBased(r), ServePlan::ItemBased) => {
+                let mut scratch = ProfileScratch::new();
+                scratch.load(profile, r.target().n_items());
+                items
+                    .iter()
+                    .map(|&i| (r.predict_with_scratch(&scratch, i), i))
+                    .collect()
+            }
+            (SliceServe::UserBased(r), ServePlan::UserBased { neighbors, avg }) => {
+                let knn = r.knn();
+                items
+                    .iter()
+                    .map(|&i| (knn.predict_with_neighbors(*avg, neighbors, i), i))
+                    .collect()
+            }
+            (SliceServe::PrivateUserBased(r), ServePlan::PrivateUserBased { pool, avg, .. }) => {
+                items
+                    .iter()
+                    .map(|&i| (r.predict_from_pool(pool, *avg, i), i))
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Nodes and the sharded model
+// ---------------------------------------------------------------------------
+
+/// The durable files of one hosted shard on one node: the open write-ahead
+/// journal (the snapshot path is derived from the store directory).
+struct ShardStore {
+    journal: Journal,
+}
+
+/// One hosted shard on one node: the epoch-published slice, the serving wrapper
+/// built from it, and the shard's durable store when persisted.
+struct NodeShard {
+    handle: EpochHandle<ShardSlice>,
+    serve: SliceServe,
+    store: Option<ShardStore>,
+}
+
+/// One simulated node: alive flag plus the shards it hosts. Killing a node
+/// clears `shards` (in-memory state is lost); its files survive for recovery.
+struct ShardNode {
+    alive: bool,
+    shards: BTreeMap<u32, NodeShard>,
+}
+
+/// The three routed-work ledgers plus the read-routing rotation counter.
+#[derive(Default)]
+struct ShardLedgers {
+    route: Vec<RoutedTask>,
+    serve: Vec<RoutedTask>,
+    ingest: Vec<RoutedTask>,
+    next_read: u64,
+}
+
+/// The X-Map model sharded across simulated nodes.
+///
+/// Owns the coordinator [`XMapModel`] (authoritative fit/ingest plane) and the
+/// per-node shard replicas serving routed reads. All serving entry points are
+/// `&self` and bit-identical to the coordinator's single-node answers; ingest,
+/// persistence and failover are `&mut self` coordinator-driven operations. See
+/// the [module docs](self) for the full contract.
+pub struct ShardedModel {
+    model: XMapModel,
+    map: ShardMap,
+    n_nodes: usize,
+    nodes: Vec<ShardNode>,
+    store_dir: Option<PathBuf>,
+    ledgers: Mutex<ShardLedgers>,
+}
+
+/// The target-domain training matrix of an epoch — the replicated data plane
+/// every node-shard recommender is built over. Same filter as the fit.
+fn target_matrix_of(epoch: &ModelEpoch) -> Result<RatingMatrix> {
+    let full = epoch.matrix();
+    let target = epoch.target_domain();
+    full.filter(|r| full.item_domain(r.item) == target)
+        .map_err(|_| XMapError::Data("model epoch has no target-domain ratings".to_string()))
+}
+
+fn lock_ledgers(ledgers: &Mutex<ShardLedgers>) -> std::sync::MutexGuard<'_, ShardLedgers> {
+    ledgers.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardedModel {
+    /// Shards a fitted model across `n_nodes` simulated nodes, one shard per
+    /// node, no replication. The coordinator model moves in and keeps running
+    /// fits, ingests and the privacy ledger; the nodes get epoch-published
+    /// slices of every fitted per-item artifact.
+    pub fn from_model(model: XMapModel, n_nodes: usize) -> Result<ShardedModel> {
+        let n_items = model.snapshot().1.matrix().n_items() as u32;
+        let map = ShardMap::uniform(n_items, n_nodes)?;
+        Self::build(model, map, n_nodes)
+    }
+
+    /// Like [`ShardedModel::from_model`], but with hot-shard partial
+    /// replication: shards holding an item of the observed popularity head (the
+    /// top tenth of items by rating count, at least one) carry `factor` replicas,
+    /// clamped to the node count.
+    pub fn with_hot_replication(
+        model: XMapModel,
+        n_nodes: usize,
+        factor: u32,
+    ) -> Result<ShardedModel> {
+        let (map, n_nodes) = {
+            let (_, epoch) = model.snapshot();
+            let full = epoch.matrix();
+            let n_items = full.n_items() as u32;
+            let mut map = ShardMap::uniform(n_items, n_nodes)?;
+            let popularity: Vec<usize> =
+                (0..n_items).map(|i| full.item_degree(ItemId(i))).collect();
+            let head = (n_items as usize / 10).max(1);
+            map.replicate_hot(&popularity, head, factor);
+            (map, n_nodes)
+        };
+        Self::build(model, map, n_nodes)
+    }
+
+    fn build(model: XMapModel, map: ShardMap, n_nodes: usize) -> Result<ShardedModel> {
+        if n_nodes == 0 {
+            return Err(XMapError::InvalidConfig(
+                "sharded model needs at least one node".into(),
+            ));
+        }
+        let (epoch_no, epoch) = model.snapshot();
+        let target = target_matrix_of(&epoch)?;
+        let mut nodes: Vec<ShardNode> = (0..n_nodes)
+            .map(|_| ShardNode {
+                alive: true,
+                shards: BTreeMap::new(),
+            })
+            .collect();
+        for shard in 0..map.n_shards() as u32 {
+            let slice = ShardSlice::cut(&epoch, &map, shard);
+            for host in map.hosts(shard, n_nodes) {
+                let serve = SliceServe::build(epoch.config(), target.clone(), &slice)?;
+                nodes[host].shards.insert(
+                    shard,
+                    NodeShard {
+                        handle: EpochHandle::new(Arc::new(slice.clone()), epoch_no),
+                        serve,
+                        store: None,
+                    },
+                );
+            }
+        }
+        drop(epoch);
+        Ok(ShardedModel {
+            model,
+            map,
+            n_nodes,
+            nodes,
+            store_dir: None,
+            ledgers: Mutex::new(ShardLedgers::default()),
+        })
+    }
+
+    /// Number of simulated nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The item-range shard map the model was built with.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The coordinator model: the authoritative fit/ingest plane.
+    pub fn coordinator(&self) -> &XMapModel {
+        &self.model
+    }
+
+    /// The coordinator's current epoch (slices publish in lockstep with it).
+    pub fn epoch(&self) -> u64 {
+        self.model.epoch()
+    }
+
+    /// Whether a node is alive (serving reads and receiving ingests).
+    pub fn node_is_alive(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(|n| n.alive)
+    }
+
+    /// The published slice a node currently holds for a shard, with its epoch.
+    /// `None` if the node does not host the shard (or lost it to a kill).
+    pub fn slice(&self, node: usize, shard: u32) -> Option<(u64, Arc<ShardSlice>)> {
+        self.nodes
+            .get(node)
+            .and_then(|n| n.shards.get(&shard))
+            .map(|ns| ns.handle.load())
+    }
+
+    /// The privacy accountant of the coordinator's current epoch (private modes
+    /// only) — sharding never spends additional ε.
+    pub fn privacy_budget(&self) -> Option<Arc<PrivacyBudget>> {
+        self.model.privacy_budget()
+    }
+
+    /// Picks a live replica of a shard (rotating across replicas) and records
+    /// the routing decision in the `route` ledger. Fails when every host of the
+    /// shard is dead.
+    fn read_host(&self, shard: u32) -> Result<usize> {
+        let live: Vec<usize> = self
+            .map
+            .hosts(shard, self.n_nodes)
+            .into_iter()
+            .filter(|&h| self.nodes[h].alive && self.nodes[h].shards.contains_key(&shard))
+            .collect();
+        if live.is_empty() {
+            return Err(XMapError::Data(format!(
+                "shard {shard} has no live replica (all hosts killed)"
+            )));
+        }
+        let mut led = lock_ledgers(&self.ledgers);
+        let pick = live[(led.next_read % live.len() as u64) as usize];
+        led.next_read += 1;
+        led.route.push(RoutedTask {
+            node: pick,
+            cost: 1.0,
+        });
+        Ok(pick)
+    }
+
+    fn node_shard(&self, node: usize, shard: u32) -> Result<&NodeShard> {
+        self.nodes[node].shards.get(&shard).ok_or_else(|| {
+            XMapError::Data(format!(
+                "node {node} does not hold a replica of shard {shard}"
+            ))
+        })
+    }
+
+    fn push_serve(&self, node: usize, cost: f64) {
+        lock_ledgers(&self.ledgers)
+            .serve
+            .push(RoutedTask { node, cost });
+    }
+
+    /// The home shard of a profile: the shard of its first item (shard 0 for an
+    /// empty profile). Phase-1 neighbour selection runs on a replica of it.
+    fn home_shard(&self, profile: &Profile) -> u32 {
+        profile
+            .first()
+            .map(|&(i, _, _)| self.map.shard_of(i))
+            .unwrap_or(0)
+    }
+
+    /// The AlterEgo of a user, assembled by gathering the user's source items'
+    /// replacement pairs from their owning shards — bit-identical to the
+    /// coordinator's table because the mapping only ever consults those pairs.
+    pub fn alterego(&self, user: UserId) -> Result<AlterEgo> {
+        let (_, epoch) = self.model.snapshot();
+        let full = epoch.matrix();
+        let source = epoch.source_domain();
+        let mut by_shard: BTreeMap<u32, Vec<ItemId>> = BTreeMap::new();
+        for e in full.user_profile(user) {
+            if full.item_domain(e.item) == source {
+                by_shard
+                    .entry(self.map.shard_of(e.item))
+                    .or_default()
+                    .push(e.item);
+            }
+        }
+        let mut pairs: Vec<(ItemId, ItemId)> = Vec::new();
+        for (shard, items) in &by_shard {
+            let host = self.read_host(*shard)?;
+            let ns = self.node_shard(host, *shard)?;
+            let (_, slice) = ns.handle.load();
+            for &i in items {
+                if let Some(t) = slice.replacement_of(i) {
+                    pairs.push((i, t));
+                }
+            }
+            self.push_serve(host, 1.0 + items.len() as f64);
+        }
+        Ok(ReplacementTable::from_pairs(pairs).map_profile_with(
+            full,
+            user,
+            source,
+            epoch.target_domain(),
+            epoch.config().transfer,
+        ))
+    }
+
+    /// Routed single-item prediction for a user, driven by their gathered
+    /// AlterEgo.
+    pub fn predict(&self, user: UserId, item: ItemId) -> Result<f64> {
+        let alter = self.alterego(user)?;
+        self.predict_for_profile(&alter.profile, item)
+    }
+
+    /// Routed single-item prediction for an explicit profile: served by a live
+    /// replica of the item's owning shard.
+    pub fn predict_for_profile(&self, profile: &Profile, item: ItemId) -> Result<f64> {
+        let shard = self.map.shard_of(item);
+        let host = self.read_host(shard)?;
+        let out = self.node_shard(host, shard)?.serve.predict(profile, item);
+        self.push_serve(host, 1.0 + profile.len() as f64);
+        Ok(out)
+    }
+
+    /// Routed top-N recommendations for a user (AlterEgo gathered first).
+    pub fn recommend(&self, user: UserId, n: usize) -> Result<Vec<(ItemId, f64)>> {
+        let alter = self.alterego(user)?;
+        self.recommend_for_profile(&alter.profile, n)
+    }
+
+    /// Routed top-N recommendations for an explicit profile: phase 1 on the home
+    /// shard, candidate gathering and scoring fanned across the shards, partial
+    /// top-N lists merged in shard order under the workspace tie-break — bit-
+    /// identical to the single-node recommender (see the [module docs](self)).
+    pub fn recommend_for_profile(&self, profile: &Profile, n: usize) -> Result<Vec<(ItemId, f64)>> {
+        let plan = self.routed_plan(profile)?;
+        let candidates = self.routed_candidates(profile, &plan)?;
+        self.routed_scores(profile, &plan, &candidates, n)
+    }
+
+    /// Routed batch serving, one result per profile in input order.
+    pub fn serve_profiles(
+        &self,
+        profiles: &[Profile],
+        n: usize,
+    ) -> Result<Vec<Vec<(ItemId, f64)>>> {
+        profiles
+            .iter()
+            .map(|p| self.recommend_for_profile(p, n))
+            .collect()
+    }
+
+    fn routed_plan(&self, profile: &Profile) -> Result<ServePlan> {
+        if self.model.config().mode.is_item_based() {
+            return Ok(ServePlan::ItemBased);
+        }
+        let shard = self.home_shard(profile);
+        let host = self.read_host(shard)?;
+        let plan = self.node_shard(host, shard)?.serve.plan(profile);
+        self.push_serve(host, 1.0 + profile.len() as f64);
+        Ok(plan)
+    }
+
+    /// Gathers the candidate set across shards: item-based shards contribute the
+    /// pool neighbours of the profile items they own, user-based shards the
+    /// neighbour-rated items of their range. Merged ascending, deduplicated,
+    /// owned items removed — the exact candidate stream of the single-node path.
+    fn routed_candidates(&self, profile: &Profile, plan: &ServePlan) -> Result<Vec<ItemId>> {
+        let owned: Vec<ItemId> = profile.iter().map(|&(i, _, _)| i).collect();
+        let mut candidates: Vec<ItemId> = Vec::new();
+        match plan {
+            ServePlan::ItemBased => {
+                let mut by_shard: BTreeMap<u32, Vec<ItemId>> = BTreeMap::new();
+                for &(i, _, _) in profile {
+                    by_shard.entry(self.map.shard_of(i)).or_default().push(i);
+                }
+                for (shard, items) in &by_shard {
+                    let host = self.read_host(*shard)?;
+                    candidates.extend(self.node_shard(host, *shard)?.serve.pool_candidates(items));
+                    self.push_serve(host, 1.0 + items.len() as f64);
+                }
+            }
+            ServePlan::UserBased { neighbors, .. }
+            | ServePlan::PrivateUserBased { neighbors, .. } => {
+                for shard in 0..self.map.n_shards() as u32 {
+                    let host = self.read_host(shard)?;
+                    let ns = self.node_shard(host, shard)?;
+                    let (_, slice) = ns.handle.load();
+                    let (start, end) = slice.item_range();
+                    candidates.extend(ns.serve.range_candidates(profile, plan, start, end));
+                    self.push_serve(host, 1.0 + neighbors.len() as f64);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|i| !owned.contains(i));
+        Ok(candidates)
+    }
+
+    /// Scores the candidate stream shard by shard and merges the partial top-N
+    /// lists: each shard's segment is a contiguous ascending run, its local
+    /// top-N is re-sorted back into offer order (ascending item id) and fed to
+    /// the global [`TopK`] in shard order. Any candidate a local top-N drops has
+    /// ≥ n same-segment dominators that also dominate it globally (higher score,
+    /// or equal score and earlier offer position), so the merge is bit-identical
+    /// to ranking the undivided stream.
+    fn routed_scores(
+        &self,
+        profile: &Profile,
+        plan: &ServePlan,
+        candidates: &[ItemId],
+        n: usize,
+    ) -> Result<Vec<(ItemId, f64)>> {
+        let mut global = TopK::new(n);
+        let mut ix = 0;
+        while ix < candidates.len() {
+            let shard = self.map.shard_of(candidates[ix]);
+            let mut end = ix + 1;
+            while end < candidates.len() && self.map.shard_of(candidates[end]) == shard {
+                end += 1;
+            }
+            let segment = &candidates[ix..end];
+            let host = self.read_host(shard)?;
+            let scored = self
+                .node_shard(host, shard)?
+                .serve
+                .score(profile, plan, segment);
+            self.push_serve(host, 1.0 + segment.len() as f64);
+            let mut local = top_k(n, scored);
+            local.sort_by_key(|&(_, i)| i);
+            for (score, item) in local {
+                global.push(score, item);
+            }
+            ix = end;
+        }
+        Ok(global
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(s, i)| (i, s))
+            .collect())
+    }
+
+    /// Routed delta ingest: splits the delta into per-shard sub-deltas, applies
+    /// the **full** delta on the coordinator (slice rows are cross-shard
+    /// functions of the whole matrix), then re-cuts every shard's slice from the
+    /// new epoch, write-ahead journals each hosted replica's row changes, and
+    /// publishes the new slices. Dead nodes are skipped — their journals go
+    /// stale and [`ShardedModel::recover_node`] re-replicates instead.
+    pub fn ingest(&mut self, delta: &RatingDelta) -> Result<DeltaReport> {
+        let subs = self.map.split_delta(delta);
+        let report = self.model.apply_delta(delta)?;
+        let (epoch_no, epoch) = self.model.snapshot();
+        let target = target_matrix_of(&epoch)?;
+        for shard in 0..self.map.n_shards() as u32 {
+            let new_slice = ShardSlice::cut(&epoch, &self.map, shard);
+            let sub = &subs[shard as usize];
+            let cost = 1.0 + sub.len() as f64;
+            for host in self.map.hosts(shard, self.n_nodes) {
+                if !self.nodes[host].alive {
+                    continue;
+                }
+                let Some(ns) = self.nodes[host].shards.get_mut(&shard) else {
+                    continue;
+                };
+                let (_, old) = ns.handle.load();
+                let slice_delta = old.diff(&new_slice, sub.clone());
+                if let Some(store) = ns.store.as_mut() {
+                    store.journal.append(epoch_no, &slice_delta)?;
+                }
+                ns.handle.publish(Arc::new(new_slice.clone()));
+                ns.serve = SliceServe::build(epoch.config(), target.clone(), &new_slice)?;
+                lock_ledgers(&self.ledgers)
+                    .ingest
+                    .push(RoutedTask { node: host, cost });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Attaches a durable store: writes one snapshot and opens one fresh
+    /// write-ahead journal per hosted shard per live node, under
+    /// `dir/node<i>/shard<s>.{snap,journal}`. Returns the snapshot epoch.
+    pub fn persist(&mut self, dir: &Path) -> Result<u64> {
+        let (epoch_no, _) = self.model.snapshot();
+        for (id, node) in self.nodes.iter_mut().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            let node_dir = dir.join(format!("node{id}"));
+            std::fs::create_dir_all(&node_dir).map_err(|e| XMapError::Io {
+                path: node_dir.clone(),
+                context: format!("create node store directory: {e}"),
+            })?;
+            for (&shard, ns) in node.shards.iter_mut() {
+                let (_, slice) = ns.handle.load();
+                Snapshot::write(
+                    &node_dir.join(format!("shard{shard}.snap")),
+                    &SliceState {
+                        epoch: epoch_no,
+                        slice: (*slice).clone(),
+                    },
+                )?;
+                let journal =
+                    Journal::create(&node_dir.join(format!("shard{shard}.journal")), epoch_no)?;
+                ns.store = Some(ShardStore { journal });
+            }
+        }
+        self.store_dir = Some(dir.to_path_buf());
+        Ok(epoch_no)
+    }
+
+    /// Kills a node: marks it dead and drops its in-memory shard state. Its
+    /// snapshot and journal files survive untouched; reads of the shards it
+    /// hosted fail over to the remaining replicas (promotion is implicit in the
+    /// read routing), and shards with no other replica error until recovery.
+    pub fn kill_node(&mut self, node: usize) -> Result<()> {
+        let n = self
+            .nodes
+            .get_mut(node)
+            .ok_or_else(|| XMapError::Data(format!("no such node: {node}")))?;
+        n.alive = false;
+        n.shards.clear();
+        Ok(())
+    }
+
+    /// Recovers a killed node from its per-shard files: loads each snapshot,
+    /// replays the journal records past the snapshot epoch, and — when the
+    /// journal ends behind the coordinator (the node was dead across ingests) —
+    /// re-replicates the shard from the coordinator's current epoch, rewriting
+    /// the snapshot and resetting the journal. The node resumes serving with
+    /// slices bit-identical to the live replicas'.
+    pub fn recover_node(&mut self, node: usize) -> Result<()> {
+        if node >= self.nodes.len() {
+            return Err(XMapError::Data(format!("no such node: {node}")));
+        }
+        let dir = self.store_dir.clone().ok_or_else(|| {
+            XMapError::Data("no durable store attached; call persist() first".to_string())
+        })?;
+        let (epoch_no, epoch) = self.model.snapshot();
+        let target = target_matrix_of(&epoch)?;
+        let node_dir = dir.join(format!("node{node}"));
+        let mut rebuilt = BTreeMap::new();
+        for shard in 0..self.map.n_shards() as u32 {
+            if !self.map.hosts(shard, self.n_nodes).contains(&node) {
+                continue;
+            }
+            let snap_path = node_dir.join(format!("shard{shard}.snap"));
+            let journal_path = node_dir.join(format!("shard{shard}.journal"));
+            let state: SliceState = Snapshot::load(&snap_path)?;
+            let (mut journal, records) = Journal::open::<SliceDelta>(&journal_path)?;
+            let mut slice = state.slice;
+            let mut at = state.epoch;
+            for rec in &records {
+                if rec.epoch <= at {
+                    continue; // already folded into the snapshot
+                }
+                slice = slice.apply(&rec.value);
+                at = rec.epoch;
+            }
+            if at < epoch_no {
+                // The journal never saw the ingests that happened while the node
+                // was dead (they are only journaled on live replicas) — catch up
+                // by re-replicating from the coordinator and making it durable.
+                slice = ShardSlice::cut(&epoch, &self.map, shard);
+                Snapshot::write(
+                    &snap_path,
+                    &SliceState {
+                        epoch: epoch_no,
+                        slice: slice.clone(),
+                    },
+                )?;
+                journal.reset(epoch_no)?;
+            }
+            let serve = SliceServe::build(epoch.config(), target.clone(), &slice)?;
+            rebuilt.insert(
+                shard,
+                NodeShard {
+                    handle: EpochHandle::new(Arc::new(slice), epoch_no),
+                    serve,
+                    store: Some(ShardStore { journal }),
+                },
+            );
+        }
+        self.nodes[node].shards = rebuilt;
+        self.nodes[node].alive = true;
+        Ok(())
+    }
+
+    /// The routing ledger: one unit-cost task per routed request→shard
+    /// interaction, attributed to the serving node. Replayable by
+    /// `xmap_engine::ShardedCluster`.
+    pub fn route_ledger(&self) -> Vec<RoutedTask> {
+        lock_ledgers(&self.ledgers).route.clone()
+    }
+
+    /// The per-shard serving ledger: one task per shard-local phase of a routed
+    /// request, cost `1 + items processed`.
+    pub fn shard_serve_ledger(&self) -> Vec<RoutedTask> {
+        lock_ledgers(&self.ledgers).serve.clone()
+    }
+
+    /// The per-shard ingest ledger: one task per (shard, hosting node) of each
+    /// ingest, cost `1 + sub-delta ratings`.
+    pub fn shard_ingest_ledger(&self) -> Vec<RoutedTask> {
+        lock_ledgers(&self.ledgers).ingest.clone()
+    }
+
+    /// Clears all three routed-work ledgers (the rotation counter is kept, so
+    /// routing decisions stay on their sequence).
+    pub fn clear_ledgers(&self) {
+        let mut led = lock_ledgers(&self.ledgers);
+        led.route.clear();
+        led.serve.clear();
+        led.ingest.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmap_store::{decode_exact, encode_to_vec};
+
+    #[test]
+    fn uniform_map_covers_the_catalogue_with_contiguous_ranges() {
+        let map = ShardMap::uniform(10, 3).unwrap();
+        assert_eq!(map.n_shards(), 3);
+        assert_eq!(map.range(0), (0, 4));
+        assert_eq!(map.range(1), (4, 7));
+        assert_eq!(map.range(2), (7, 10));
+        for id in 0..10u32 {
+            let s = map.shard_of(ItemId(id));
+            let (start, end) = map.range(s);
+            assert!((start..end).contains(&id), "item {id} outside shard {s}");
+        }
+        // ids beyond the catalogue clamp into the last shard
+        assert_eq!(map.shard_of(ItemId(10)), 2);
+        assert_eq!(map.shard_of(ItemId(u32::MAX)), 2);
+        assert!(ShardMap::uniform(10, 0).is_err());
+    }
+
+    #[test]
+    fn small_catalogues_leave_trailing_shards_empty() {
+        let map = ShardMap::uniform(2, 4).unwrap();
+        assert_eq!(map.range(0), (0, 1));
+        assert_eq!(map.range(1), (1, 2));
+        assert_eq!(map.range(2), (2, 2));
+        assert_eq!(map.range(3), (2, 2));
+        assert_eq!(map.shard_of(ItemId(1)), 1);
+        // clamped ids go to the last shard even though it is empty by layout
+        assert_eq!(map.shard_of(ItemId(7)), 3);
+    }
+
+    #[test]
+    fn hosts_rotate_from_the_owner_and_clamp_to_the_node_count() {
+        let mut map = ShardMap::uniform(12, 4).unwrap();
+        assert_eq!(map.hosts(2, 3), vec![2]);
+        // replicate shard 1 three-fold on a 4-node cluster
+        map.replicate_hot(&[0, 0, 0, 9, 9, 0, 0, 0, 0, 0, 0, 0], 2, 3);
+        assert_eq!(map.replication(1), 3);
+        assert_eq!(map.hosts(1, 4), vec![1, 2, 3]);
+        // more replicas than nodes: every node once, never a duplicate
+        map.replicate_hot(&[0, 0, 0, 9, 9, 0, 0, 0, 0, 0, 0, 0], 2, 10);
+        assert_eq!(map.hosts(1, 4), vec![1, 2, 3, 0]);
+        assert_eq!(map.hosts(1, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn replicate_hot_breaks_popularity_ties_by_ascending_id() {
+        let mut map = ShardMap::uniform(4, 4).unwrap();
+        map.replicate_hot(&[5, 5, 5, 5], 1, 2);
+        assert_eq!(map.replication(0), 2);
+        assert_eq!(map.replication(1), 1);
+    }
+
+    #[test]
+    fn split_delta_routes_by_item_shard_and_preserves_order() {
+        let map = ShardMap::uniform(10, 2).unwrap();
+        let mut delta = RatingDelta::new();
+        delta
+            .push_timed(1, 0, 5.0, 1)
+            .push_timed(2, 9, 4.0, 2)
+            .push_timed(1, 1, 3.0, 3)
+            .push_timed(3, 12, 2.0, 4); // clamped into the last shard
+        let subs = map.split_delta(&delta);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].len(), 2);
+        assert_eq!(subs[0].ratings()[0].item, ItemId(0));
+        assert_eq!(subs[0].ratings()[1].item, ItemId(1));
+        assert_eq!(subs[1].len(), 2);
+        assert_eq!(subs[1].ratings()[0].item, ItemId(9));
+        assert_eq!(subs[1].ratings()[1].item, ItemId(12));
+    }
+
+    fn sample_slice() -> ShardSlice {
+        ShardSlice {
+            shard: 1,
+            start: 4,
+            end: 8,
+            graph_rows: vec![(
+                ItemId(4),
+                vec![(
+                    ItemId(9),
+                    SimilarityStats {
+                        similarity: 0.5,
+                        co_raters: 3,
+                        significance: 4,
+                        union_size: 5,
+                    },
+                )],
+            )],
+            xsim_rows: vec![(
+                ItemId(5),
+                vec![XSimEntry {
+                    item: ItemId(9),
+                    similarity: 0.25,
+                    certainty: 0.5,
+                    n_paths: 1,
+                }],
+            )],
+            replacement_pairs: vec![(ItemId(4), ItemId(9)), (ItemId(6), ItemId(8))],
+            pool_rows: Some(vec![(
+                ItemId(4),
+                vec![ItemNeighbor {
+                    item: ItemId(5),
+                    similarity: 0.75,
+                }],
+            )]),
+        }
+    }
+
+    #[test]
+    fn slice_codec_roundtrips() {
+        let slice = sample_slice();
+        let state = SliceState {
+            epoch: 3,
+            slice: slice.clone(),
+        };
+        let bytes = encode_to_vec(&state);
+        let back: SliceState = decode_exact(&bytes, 0).unwrap();
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.slice, slice);
+    }
+
+    #[test]
+    fn diff_apply_roundtrips_row_changes() {
+        let old = sample_slice();
+        let mut new = old.clone();
+        // change a row, add a row, remove a row, change the replacement table
+        new.graph_rows[0].1[0].1.similarity = 0.9;
+        new.xsim_rows.push((
+            ItemId(7),
+            vec![XSimEntry {
+                item: ItemId(8),
+                similarity: 0.1,
+                certainty: 0.2,
+                n_paths: 2,
+            }],
+        ));
+        new.pool_rows = Some(Vec::new());
+        new.replacement_pairs = vec![(ItemId(4), ItemId(8))];
+        let sub = RatingDelta::new();
+        let delta = old.diff(&new, sub);
+        assert_eq!(old.apply(&delta), new);
+
+        // identity diff carries no row changes and applies to itself
+        let idd = old.diff(&old, RatingDelta::new());
+        assert!(idd.replacement_pairs.is_none());
+        assert_eq!(old.apply(&idd), old);
+
+        // journal payload codec roundtrip
+        let bytes = encode_to_vec(&delta);
+        let back: SliceDelta = decode_exact(&bytes, 0).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn replacement_lookup_uses_the_sorted_pairs() {
+        let slice = sample_slice();
+        assert_eq!(slice.replacement_of(ItemId(4)), Some(ItemId(9)));
+        assert_eq!(slice.replacement_of(ItemId(6)), Some(ItemId(8)));
+        assert_eq!(slice.replacement_of(ItemId(5)), None);
+    }
+}

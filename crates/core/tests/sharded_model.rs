@@ -1,0 +1,386 @@
+//! Acceptance gates for the sharded model (`xmap_core::shard`).
+//!
+//! The contract under test: sharded serve / ingest is **bit-identical** to the
+//! single-node model at 1, 2 and 8 nodes in all four modes; hot-shard
+//! replication changes only *where* reads land, never what they answer; and a
+//! node killed mid-stream recovers from its per-shard snapshot + journal (or by
+//! re-replication when its journal missed ingests) to the very same bits.
+
+use xmap_cf::{DomainId, ItemId, Timestep, UserId};
+use xmap_core::{RatingDelta, ShardedModel, XMapConfig, XMapMode, XMapModel};
+use xmap_dataset::synthetic::{CrossDomainConfig, CrossDomainDataset};
+
+const ALL_MODES: [XMapMode; 4] = [
+    XMapMode::NxMapItemBased,
+    XMapMode::NxMapUserBased,
+    XMapMode::XMapItemBased,
+    XMapMode::XMapUserBased,
+];
+
+fn dataset() -> CrossDomainDataset {
+    CrossDomainDataset::generate(CrossDomainConfig::small())
+}
+
+fn fit(ds: &CrossDomainDataset, mode: XMapMode) -> XMapModel {
+    let config = XMapConfig {
+        mode,
+        k: 8,
+        ..Default::default()
+    };
+    XMapModel::fit(&ds.matrix, DomainId::SOURCE, DomainId::TARGET, config).unwrap()
+}
+
+fn probe_users(ds: &CrossDomainDataset) -> Vec<UserId> {
+    ds.overlap_users.iter().take(4).copied().collect()
+}
+
+fn assert_same_recs(a: &[(ItemId, f64)], b: &[(ItemId, f64)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length diverged");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.0, y.0, "{what}: item diverged");
+        assert_eq!(
+            x.1.to_bits(),
+            y.1.to_bits(),
+            "{what}: score bits diverged for {:?}",
+            x.0
+        );
+    }
+}
+
+/// Routed predictions and top-N answers vs the single-node model, over every
+/// mode and 1/2/8 nodes. Fitting is deterministic, so a fresh fit per node
+/// count is the same reference model.
+#[test]
+fn routed_serving_matches_single_node_in_all_modes_at_1_2_8_nodes() {
+    let ds = dataset();
+    for mode in ALL_MODES {
+        let reference = fit(&ds, mode);
+        let users = probe_users(&ds);
+        let items: Vec<ItemId> = ds.target_items().into_iter().take(8).collect();
+        for n_nodes in [1usize, 2, 8] {
+            let sharded = ShardedModel::from_model(fit(&ds, mode), n_nodes).unwrap();
+            for &u in &users {
+                for &i in &items {
+                    assert_eq!(
+                        sharded.predict(u, i).unwrap().to_bits(),
+                        reference.predict(u, i).to_bits(),
+                        "{mode:?}/{n_nodes} nodes: prediction diverged for {u}/{i}"
+                    );
+                }
+                assert_same_recs(
+                    &sharded.recommend(u, 5).unwrap(),
+                    &reference.recommend(u, 5),
+                    &format!("{mode:?}/{n_nodes} nodes: top-5 for {u}"),
+                );
+            }
+            // Sharding spends no additional privacy budget.
+            match (sharded.privacy_budget(), reference.privacy_budget()) {
+                (Some(s), Some(r)) => {
+                    assert_eq!(
+                        s.ledger().len(),
+                        r.ledger().len(),
+                        "{mode:?}: ledger length"
+                    );
+                    assert_eq!(
+                        s.spent().to_bits(),
+                        r.spent().to_bits(),
+                        "{mode:?}: spent ε diverged"
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("{mode:?}: privacy accountant presence diverged"),
+            }
+            assert!(
+                !sharded.route_ledger().is_empty(),
+                "{mode:?}: routed reads must be ledgered"
+            );
+            assert!(
+                !sharded.shard_serve_ledger().is_empty(),
+                "{mode:?}: shard serving must be ledgered"
+            );
+        }
+    }
+}
+
+/// A single shard on a single node is exactly the unsharded model: one slice
+/// covering the whole catalogue, every answer bit-identical.
+#[test]
+fn single_shard_is_the_unsharded_model() {
+    let ds = dataset();
+    let reference = fit(&ds, XMapMode::NxMapItemBased);
+    let sharded = ShardedModel::from_model(fit(&ds, XMapMode::NxMapItemBased), 1).unwrap();
+    let (_, slice) = sharded.slice(0, 0).expect("node 0 hosts the only shard");
+    assert_eq!(slice.item_range(), (0, ds.matrix.n_items() as u32));
+    for &u in &probe_users(&ds) {
+        assert_same_recs(
+            &sharded.recommend(u, 5).unwrap(),
+            &reference.recommend(u, 5),
+            "single shard top-5",
+        );
+    }
+}
+
+/// More nodes than items: trailing shards are empty yet routable, and routed
+/// answers still match the single-node model bit-for-bit.
+#[test]
+fn empty_shards_serve_nothing_and_change_no_bits() {
+    let ds = CrossDomainDataset::generate(CrossDomainConfig {
+        n_source_items: 4,
+        n_target_items: 3,
+        n_source_only_users: 8,
+        n_target_only_users: 8,
+        n_overlap_users: 8,
+        ratings_per_user: 3,
+        ..CrossDomainConfig::small()
+    });
+    let reference = fit(&ds, XMapMode::NxMapItemBased);
+    let sharded = ShardedModel::from_model(fit(&ds, XMapMode::NxMapItemBased), 8).unwrap();
+    let map = sharded.shard_map();
+    assert!(
+        (0..map.n_shards() as u32).any(|s| {
+            let (start, end) = map.range(s);
+            start == end
+        }),
+        "7 items over 8 nodes must leave an empty shard"
+    );
+    for &u in &probe_users(&ds) {
+        assert_same_recs(
+            &sharded.recommend(u, 3).unwrap(),
+            &reference.recommend(u, 3),
+            "empty-shard top-3",
+        );
+    }
+}
+
+/// Hot-shard replication keeps every answer bit-identical and rotates reads of
+/// a replicated shard across its replicas. Asking for more replicas than nodes
+/// clamps to every node exactly once.
+#[test]
+fn hot_shard_replication_preserves_bits_and_rotates_reads() {
+    let ds = dataset();
+    let reference = fit(&ds, XMapMode::NxMapItemBased);
+    let sharded =
+        ShardedModel::with_hot_replication(fit(&ds, XMapMode::NxMapItemBased), 4, 3).unwrap();
+    let map = sharded.shard_map();
+    let hot = (0..map.n_shards() as u32)
+        .find(|&s| map.replication(s) > 1)
+        .expect("the popularity head must mark at least one shard hot");
+    assert_eq!(map.hosts(hot, 4).len(), 3);
+    for &u in &probe_users(&ds) {
+        assert_same_recs(
+            &sharded.recommend(u, 5).unwrap(),
+            &reference.recommend(u, 5),
+            "replicated top-5",
+        );
+    }
+    // Two routed reads of the same hot item land on two different replicas.
+    let item = ItemId(map.range(hot).0);
+    let profile = vec![(ds.target_items()[0], 4.0, Timestep(0))];
+    sharded.clear_ledgers();
+    let a = sharded.predict_for_profile(&profile, item).unwrap();
+    let b = sharded.predict_for_profile(&profile, item).unwrap();
+    assert_eq!(a.to_bits(), b.to_bits(), "replicas must answer identically");
+    let route = sharded.route_ledger();
+    assert_eq!(route.len(), 2);
+    assert_ne!(
+        route[0].node, route[1].node,
+        "reads of a replicated shard must rotate across replicas"
+    );
+
+    // Replication beyond the node count clamps: every node hosts the hot shard.
+    let clamped =
+        ShardedModel::with_hot_replication(fit(&ds, XMapMode::NxMapItemBased), 2, 64).unwrap();
+    let cmap = clamped.shard_map();
+    let chot = (0..cmap.n_shards() as u32)
+        .find(|&s| cmap.replication(s) > 1)
+        .expect("hot shard");
+    assert_eq!(
+        cmap.hosts(chot, 2),
+        vec![cmap.owner(chot, 2), (cmap.owner(chot, 2) + 1) % 2]
+    );
+    for &u in &probe_users(&ds).into_iter().take(2).collect::<Vec<_>>() {
+        assert_same_recs(
+            &clamped.recommend(u, 5).unwrap(),
+            &reference.recommend(u, 5),
+            "clamped-replication top-5",
+        );
+    }
+}
+
+fn probe_delta(ds: &CrossDomainDataset) -> RatingDelta {
+    let new_user = ds.matrix.n_users() as u32;
+    let new_item = ds.matrix.n_items() as u32; // clamps into the last shard
+    let mut delta = RatingDelta::new();
+    delta
+        .declare_item(ItemId(new_item), DomainId::TARGET)
+        .push_timed(new_user, ds.source_items()[0].0, 5.0, 90)
+        .push_timed(new_user, ds.target_items()[0].0, 4.0, 91)
+        .push_timed(new_user, new_item, 3.0, 92)
+        .push_timed(ds.overlap_users[0].0, new_item, 5.0, 93);
+    delta
+}
+
+/// A routed ingest (split into per-shard sub-deltas, coordinator apply, slice
+/// republish) answers exactly like the single-node model after the same delta —
+/// including for the delta-introduced user and item.
+#[test]
+fn routed_ingest_matches_single_node_ingest() {
+    for mode in [XMapMode::NxMapItemBased, XMapMode::XMapUserBased] {
+        let ds = dataset();
+        let delta = probe_delta(&ds);
+        let reference = fit(&ds, mode);
+        reference.apply_delta(&delta).unwrap();
+        let mut sharded = ShardedModel::from_model(fit(&ds, mode), 4).unwrap();
+        let report = sharded.ingest(&delta).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(sharded.epoch(), 2);
+        assert!(
+            !sharded.shard_ingest_ledger().is_empty(),
+            "per-shard ingest work must be ledgered"
+        );
+        let new_user = UserId(ds.matrix.n_users() as u32);
+        let new_item = ItemId(ds.matrix.n_items() as u32);
+        let mut users = probe_users(&ds);
+        users.push(new_user);
+        for &u in &users {
+            assert_eq!(
+                sharded.predict(u, new_item).unwrap().to_bits(),
+                reference.predict(u, new_item).to_bits(),
+                "{mode:?}: post-ingest prediction diverged for {u}"
+            );
+            assert_same_recs(
+                &sharded.recommend(u, 5).unwrap(),
+                &reference.recommend(u, 5),
+                &format!("{mode:?}: post-ingest top-5 for {u}"),
+            );
+        }
+    }
+}
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xmap-shard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Kill a node after an ingest it journaled: surviving replicas keep serving
+/// the hot shard bit-identically (failover = promotion is implicit in read
+/// routing), and recovery replays the journal — no re-replication — back to
+/// slices equal to the live replicas', with full serving restored.
+#[test]
+fn killed_node_fails_over_and_recovers_from_its_journal() {
+    let ds = dataset();
+    let delta = probe_delta(&ds);
+    let reference = fit(&ds, XMapMode::XMapItemBased);
+    reference.apply_delta(&delta).unwrap();
+
+    let mut sharded =
+        ShardedModel::with_hot_replication(fit(&ds, XMapMode::XMapItemBased), 4, 2).unwrap();
+    let dir = temp_store("journal-recovery");
+    assert_eq!(sharded.persist(&dir).unwrap(), 1);
+    sharded.ingest(&delta).unwrap();
+
+    let map = sharded.shard_map().clone();
+    let hot = (0..map.n_shards() as u32)
+        .find(|&s| map.replication(s) > 1)
+        .expect("hot shard");
+    let hosts = map.hosts(hot, 4);
+    let victim = hosts[0];
+    sharded.kill_node(victim).unwrap();
+    assert!(!sharded.node_is_alive(victim));
+
+    // Failover: the surviving replica answers the hot shard, same bits.
+    let hot_item = ItemId(map.range(hot).0);
+    let profile = vec![(ds.target_items()[0], 4.0, Timestep(0))];
+    let (_, live_epoch) = (hosts[1], sharded.slice(hosts[1], hot).unwrap().0);
+    assert_eq!(live_epoch, 2, "live replica serves the post-ingest epoch");
+    sharded.clear_ledgers();
+    sharded.predict_for_profile(&profile, hot_item).unwrap();
+    assert!(
+        sharded.route_ledger().iter().all(|t| t.node != victim),
+        "no read may route to a dead node"
+    );
+
+    // A shard hosted only by the victim has no live replica until recovery.
+    if let Some(lonely) = (0..map.n_shards() as u32).find(|&s| map.hosts(s, 4) == vec![victim]) {
+        let lonely_item = ItemId(map.range(lonely).0);
+        assert!(
+            sharded.predict_for_profile(&profile, lonely_item).is_err(),
+            "a shard with every host dead must fail loudly"
+        );
+    }
+
+    sharded.recover_node(victim).unwrap();
+    assert!(sharded.node_is_alive(victim));
+    for s in 0..map.n_shards() as u32 {
+        let hosts = map.hosts(s, 4);
+        if !hosts.contains(&victim) {
+            continue;
+        }
+        let (epoch, recovered) = sharded.slice(victim, s).expect("recovered shard");
+        assert_eq!(epoch, 2, "journal replay must reach the coordinator epoch");
+        for &other in hosts.iter().filter(|&&h| h != victim) {
+            let (oe, live) = sharded.slice(other, s).unwrap();
+            assert_eq!(oe, 2);
+            assert_eq!(
+                *recovered, *live,
+                "shard {s}: journal-replayed slice diverged from the live replica"
+            );
+        }
+    }
+    let new_user = UserId(ds.matrix.n_users() as u32);
+    for &u in &[ds.overlap_users[0], new_user] {
+        assert_same_recs(
+            &sharded.recommend(u, 5).unwrap(),
+            &reference.recommend(u, 5),
+            "post-recovery top-5",
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill a node *before* an ingest: its journal never sees the new epoch, so
+/// recovery must detect the stale journal and re-replicate the shard from the
+/// coordinator — ending at the same bits as the live replicas all the same.
+#[test]
+fn node_dead_across_an_ingest_recovers_by_rereplication() {
+    let ds = dataset();
+    let delta = probe_delta(&ds);
+    let reference = fit(&ds, XMapMode::NxMapUserBased);
+    reference.apply_delta(&delta).unwrap();
+
+    let mut sharded =
+        ShardedModel::with_hot_replication(fit(&ds, XMapMode::NxMapUserBased), 2, 2).unwrap();
+    let dir = temp_store("rereplication");
+    sharded.persist(&dir).unwrap();
+    sharded.kill_node(1).unwrap();
+    sharded.ingest(&delta).unwrap(); // dead node skipped: journal goes stale
+    sharded.recover_node(1).unwrap();
+
+    let map = sharded.shard_map().clone();
+    for s in 0..map.n_shards() as u32 {
+        let hosts = map.hosts(s, 2);
+        if !hosts.contains(&1) {
+            continue;
+        }
+        let (epoch, recovered) = sharded.slice(1, s).expect("recovered shard");
+        assert_eq!(epoch, 2, "re-replication must adopt the coordinator epoch");
+        for &other in hosts.iter().filter(|&&h| h != 1) {
+            let (_, live) = sharded.slice(other, s).unwrap();
+            assert_eq!(
+                *recovered, *live,
+                "shard {s}: re-replicated slice diverged from the live replica"
+            );
+        }
+    }
+    let new_user = UserId(ds.matrix.n_users() as u32);
+    for &u in &[ds.overlap_users[0], new_user] {
+        assert_same_recs(
+            &sharded.recommend(u, 5).unwrap(),
+            &reference.recommend(u, 5),
+            "post-rereplication top-5",
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

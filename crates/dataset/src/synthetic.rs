@@ -41,6 +41,13 @@ pub struct CrossDomainConfig {
     pub noise: f64,
     /// RNG seed; the same seed always produces the same trace.
     pub seed: u64,
+    /// Popularity skew of item selection. `0.0` keeps the historical uniform
+    /// sampling (byte-identical to traces generated before this knob existed);
+    /// positive values draw items Zipf-like with weight `1 / (rank + 1)^skew`,
+    /// where an item's rank is its position in the domain's ascending id order —
+    /// low ids become the popularity head. The hot-shard replication policy of
+    /// the sharded model keys off exactly this kind of head.
+    pub popularity_skew: f64,
 }
 
 impl Default for CrossDomainConfig {
@@ -55,6 +62,7 @@ impl Default for CrossDomainConfig {
             latent_dim: 4,
             noise: 0.35,
             seed: 7,
+            popularity_skew: 0.0,
         }
     }
 }
@@ -72,6 +80,7 @@ impl CrossDomainConfig {
             latent_dim: 3,
             noise: 0.3,
             seed: 13,
+            popularity_skew: 0.0,
         }
     }
 
@@ -148,7 +157,12 @@ impl CrossDomainDataset {
                     user: UserId,
                     items: &[ItemId],
                     timestep_base: u32| {
-            let mut chosen = sample_without_replacement(rng, items, config.ratings_per_user);
+            let mut chosen = sample_without_replacement(
+                rng,
+                items,
+                config.ratings_per_user,
+                config.popularity_skew,
+            );
             chosen.sort_unstable();
             for (ord, item) in chosen.into_iter().enumerate() {
                 let affinity = dot(&user_factors[user.index()], &item_factors[item.index()]);
@@ -241,15 +255,48 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-fn sample_without_replacement(rng: &mut StdRng, pool: &[ItemId], count: usize) -> Vec<ItemId> {
+fn sample_without_replacement(
+    rng: &mut StdRng,
+    pool: &[ItemId],
+    count: usize,
+    skew: f64,
+) -> Vec<ItemId> {
     let count = count.min(pool.len());
-    let mut indices: Vec<usize> = (0..pool.len()).collect();
-    // partial Fisher–Yates
-    for i in 0..count {
-        let j = rng.gen_range(i..indices.len());
-        indices.swap(i, j);
+    // Exact zero selects the historical uniform path, which must keep consuming
+    // the RNG stream identically so pre-knob traces reproduce bit-for-bit.
+    // lint: float-eq — 0.0 is the sentinel for "knob unset", not a computed value.
+    if skew == 0.0 {
+        let mut indices: Vec<usize> = (0..pool.len()).collect();
+        // partial Fisher–Yates
+        for i in 0..count {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        return indices[..count].iter().map(|&i| pool[i]).collect();
     }
-    indices[..count].iter().map(|&i| pool[i]).collect()
+    // Zipf-like weighted sampling without replacement: weight 1/(rank+1)^skew by
+    // pool position (ascending item id), drawn by cumulative-weight inversion.
+    let mut weights: Vec<f64> = (0..pool.len())
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(skew))
+        .collect();
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    let mut chosen = Vec::with_capacity(count);
+    for _ in 0..count {
+        let total: f64 = weights.iter().sum();
+        let mut draw = rng.gen_range(0.0..total);
+        let mut pick = weights.len() - 1;
+        for (ix, &w) in weights.iter().enumerate() {
+            if draw < w {
+                pick = ix;
+                break;
+            }
+            draw -= w;
+        }
+        chosen.push(pool[indices[pick]]);
+        indices.remove(pick);
+        weights.remove(pick);
+    }
+    chosen
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -364,6 +411,52 @@ mod tests {
         );
     }
 
+    #[test]
+    fn skewed_sampling_is_deterministic_for_a_fixed_seed() {
+        let cfg = CrossDomainConfig {
+            popularity_skew: 1.2,
+            ..CrossDomainConfig::small()
+        };
+        let a = CrossDomainDataset::generate(cfg);
+        let b = CrossDomainDataset::generate(cfg);
+        assert_eq!(
+            a.matrix, b.matrix,
+            "the same seed and skew must reproduce the trace bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn positive_skew_concentrates_ratings_on_the_low_id_head() {
+        let head_mass = |skew: f64| -> f64 {
+            let ds = CrossDomainDataset::generate(CrossDomainConfig {
+                popularity_skew: skew,
+                ..CrossDomainConfig::small()
+            });
+            let head = (ds.matrix.n_items() / 10).max(1);
+            let head_ratings: usize = (0..head as u32)
+                .map(|i| ds.matrix.item_degree(ItemId(i)))
+                .sum();
+            head_ratings as f64 / ds.matrix.n_ratings() as f64
+        };
+        let uniform = head_mass(0.0);
+        let skewed = head_mass(1.5);
+        assert!(
+            skewed > uniform * 1.5,
+            "skew 1.5 must concentrate the head: uniform {uniform:.3} vs skewed {skewed:.3}"
+        );
+    }
+
+    #[test]
+    fn zero_skew_reproduces_the_uniform_sampling_path() {
+        // `small()` leaves the knob at 0.0; spelling it out must change nothing.
+        let implicit = CrossDomainDataset::generate(CrossDomainConfig::small());
+        let explicit = CrossDomainDataset::generate(CrossDomainConfig {
+            popularity_skew: 0.0,
+            ..CrossDomainConfig::small()
+        });
+        assert_eq!(implicit.matrix, explicit.matrix);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         /// The generator never panics and always respects group sizes for a range of
@@ -386,6 +479,7 @@ mod tests {
                 latent_dim: 3,
                 noise: 0.2,
                 seed,
+                popularity_skew: 0.0,
             };
             let ds = CrossDomainDataset::generate(cfg);
             prop_assert_eq!(ds.overlap_users.len(), overlap);

@@ -155,6 +155,130 @@ impl ClusterSim {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Routed execution: nodes that own shards and run the tasks sent to them
+// ---------------------------------------------------------------------------
+
+/// One task of a routed trace: the node that executed it and its data-derived cost.
+///
+/// Unlike the anonymous task bags [`ClusterSim`] schedules with LPT, a routed task is
+/// *pinned*: the router already decided which node runs it (the shard owner or a
+/// replica), so the replay must respect that placement instead of re-balancing it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoutedTask {
+    /// The node the router sent the task to.
+    pub node: usize,
+    /// Data-derived cost of the task, in the same unit as [`ClusterSim`] task costs.
+    pub cost: f64,
+}
+
+/// Aggregated outcome of replaying a routed ledger on a sharded cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutedReport {
+    /// Total busy time per node, indexed by node id.
+    pub node_loads: Vec<f64>,
+    /// Simulated completion time: the busiest node plus the modelled serial,
+    /// per-node and shuffle costs.
+    pub makespan: f64,
+    /// Number of tasks replayed.
+    pub n_tasks: usize,
+    /// Sum of all task costs.
+    pub total_work: f64,
+}
+
+impl RoutedReport {
+    /// Load imbalance: busiest node over mean node load (1.0 = perfectly balanced).
+    /// Zero total work reports 1.0.
+    pub fn imbalance(&self) -> f64 {
+        if self.node_loads.is_empty() || self.total_work <= 0.0 {
+            return 1.0;
+        }
+        let max = self.node_loads.iter().cloned().fold(0.0, f64::max);
+        let mean = self.total_work / self.node_loads.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// A cluster whose nodes hold model shards and execute routed requests.
+///
+/// Where [`ClusterSim`] answers "how fast could this bag of tasks run if a scheduler
+/// placed them perfectly?", `ShardedCluster` answers "how fast did the *routed* trace
+/// run given where the shards actually live?" — placement is the router's, so skewed
+/// shard maps show up as load imbalance instead of being silently re-balanced.
+#[derive(Clone, Debug)]
+pub struct ShardedCluster {
+    /// `assignment[node]` = shard ids hosted by that node (primaries and replicas).
+    assignment: Vec<Vec<u64>>,
+    model: ClusterCostModel,
+}
+
+impl ShardedCluster {
+    /// Creates a cluster from its node → hosted-shards assignment. Every node may
+    /// host any number of shards (replicas repeat a shard id on several nodes); an
+    /// empty node is allowed (it simply never receives routed work).
+    pub fn new(assignment: Vec<Vec<u64>>, model: ClusterCostModel) -> Self {
+        assert!(!assignment.is_empty(), "a cluster needs at least one node");
+        ShardedCluster { assignment, model }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The nodes hosting `shard` (primary first, in assignment order).
+    pub fn hosts(&self, shard: u64) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, shards)| shards.contains(&shard))
+            .map(|(node, _)| node)
+            .collect()
+    }
+
+    /// Replays a routed ledger: each task runs on the node the router pinned it to.
+    /// The makespan is the busiest node's finish time plus the same serial /
+    /// per-node / shuffle terms [`ClusterSim::makespan`] charges, so routed and
+    /// LPT replays of the same work are directly comparable.
+    ///
+    /// Tasks must name an existing node and carry finite, non-negative costs.
+    pub fn replay(&self, tasks: &[RoutedTask]) -> RoutedReport {
+        let mut node_loads = vec![0.0f64; self.assignment.len()];
+        let mut total_work = 0.0;
+        for task in tasks {
+            assert!(
+                task.node < node_loads.len(),
+                "routed task names node {} of a {}-node cluster",
+                task.node,
+                node_loads.len()
+            );
+            assert!(
+                task.cost.is_finite() && task.cost >= 0.0,
+                "task costs must be finite and non-negative"
+            );
+            node_loads[task.node] += task.cost;
+            total_work += task.cost;
+        }
+        let busiest = node_loads.iter().cloned().fold(0.0, f64::max);
+        let m = node_loads.len() as f64;
+        let shuffle = self.model.shuffle_cost
+            * total_work
+            * ((m - 1.0) / m)
+            * self.model.shuffle_stages as f64;
+        let overhead = self.model.per_machine_overhead * m;
+        RoutedReport {
+            makespan: self.model.serial_cost + busiest + shuffle + overhead,
+            node_loads,
+            n_tasks: tasks.len(),
+            total_work,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +365,78 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_costs_rejected() {
         let _ = ClusterSim::new(vec![1.0, -0.5], ClusterCostModel::xmap_like());
+    }
+
+    #[test]
+    fn routed_replay_pins_tasks_to_their_nodes() {
+        let cluster = ShardedCluster::new(
+            vec![vec![0], vec![1], vec![2], vec![3]],
+            ClusterCostModel {
+                serial_cost: 0.0,
+                per_machine_overhead: 0.0,
+                shuffle_cost: 0.0,
+                shuffle_stages: 0,
+            },
+        );
+        // Everything routed to node 2: no LPT rebalancing may hide the hotspot.
+        let tasks: Vec<RoutedTask> = (0..10).map(|_| RoutedTask { node: 2, cost: 1.0 }).collect();
+        let report = cluster.replay(&tasks);
+        assert_eq!(report.n_tasks, 10);
+        assert!((report.makespan - 10.0).abs() < 1e-12);
+        assert!((report.node_loads[2] - 10.0).abs() < 1e-12);
+        assert!(
+            (report.imbalance() - 4.0).abs() < 1e-12,
+            "one of four nodes does all the work"
+        );
+    }
+
+    #[test]
+    fn routed_replay_balanced_matches_lpt_parallel_part() {
+        let model = ClusterCostModel::xmap_like();
+        let cluster = ShardedCluster::new(vec![vec![0], vec![1]], model);
+        let tasks = vec![
+            RoutedTask { node: 0, cost: 2.0 },
+            RoutedTask { node: 1, cost: 2.0 },
+        ];
+        let routed = cluster.replay(&tasks);
+        let lpt = ClusterSim::new(vec![2.0, 2.0], model);
+        assert!(
+            (routed.makespan - lpt.makespan(2)).abs() < 1e-12,
+            "a perfectly balanced routed trace costs exactly what LPT would"
+        );
+        assert!((routed.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hosts_reports_replica_placement() {
+        let cluster = ShardedCluster::new(
+            vec![vec![0, 1], vec![1], vec![2]],
+            ClusterCostModel::xmap_like(),
+        );
+        assert_eq!(cluster.n_nodes(), 3);
+        assert_eq!(cluster.hosts(1), vec![0, 1]);
+        assert_eq!(cluster.hosts(2), vec![2]);
+        assert!(cluster.hosts(9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "names node")]
+    fn routed_task_beyond_cluster_is_rejected() {
+        let cluster = ShardedCluster::new(vec![vec![0]], ClusterCostModel::xmap_like());
+        let _ = cluster.replay(&[RoutedTask { node: 1, cost: 1.0 }]);
+    }
+
+    #[test]
+    fn empty_routed_ledger_costs_only_overheads() {
+        let model = ClusterCostModel::xmap_like();
+        let cluster = ShardedCluster::new(vec![vec![0], vec![1]], model);
+        let report = cluster.replay(&[]);
+        assert_eq!(report.n_tasks, 0);
+        assert!(
+            (report.makespan - (model.serial_cost + model.per_machine_overhead * 2.0)).abs()
+                < 1e-12
+        );
+        assert!((report.imbalance() - 1.0).abs() < 1e-12);
     }
 
     proptest! {

@@ -44,7 +44,9 @@ pub mod pool;
 pub mod stage;
 pub mod sync;
 
-pub use cluster::{ClusterCostModel, ClusterSim, SpeedupPoint};
+pub use cluster::{
+    ClusterCostModel, ClusterSim, RoutedReport, RoutedTask, ShardedCluster, SpeedupPoint,
+};
 pub use concurrent::{
     ConcurrentIngest, ConcurrentRead, ConcurrentReport, ConcurrentStage, IngestRecord, ReadRecord,
     CONCURRENT_INGEST_STAGE, CONCURRENT_READ_STAGE,

@@ -63,6 +63,22 @@ pub struct JournalRecord<T> {
     pub value: T,
 }
 
+/// A [`StoreError::Corrupt`] whose detail names the offending file. Per-shard
+/// stores open many journals; a bare offset cannot say *which* file is damaged,
+/// so every corruption this module reports is attributed to its path.
+fn corrupt_in(path: &Path, offset: u64, detail: impl std::fmt::Display) -> StoreError {
+    StoreError::corrupt(offset, format!("{}: {detail}", path.display()))
+}
+
+/// Attributes an error bubbling out of a payload decode to the journal file it
+/// came from (IO errors already carry their path and pass through unchanged).
+fn attribute(path: &Path, err: StoreError) -> StoreError {
+    match err {
+        StoreError::Corrupt { offset, detail } => corrupt_in(path, offset, detail),
+        other => other,
+    }
+}
+
 /// An open append-only journal (see the module docs for framing and semantics).
 pub struct Journal {
     file: File,
@@ -115,7 +131,8 @@ impl Journal {
         let bytes =
             std::fs::read(path).map_err(|e| StoreError::io(path, "read journal file", e))?;
         if (bytes.len() as u64) < HEADER_LEN {
-            return Err(StoreError::corrupt(
+            return Err(corrupt_in(
+                path,
                 bytes.len() as u64,
                 format!(
                     "journal header truncated: {} bytes, need {HEADER_LEN}",
@@ -124,11 +141,12 @@ impl Journal {
             ));
         }
         if bytes[..8] != JOURNAL_MAGIC {
-            return Err(StoreError::corrupt(0, "bad journal magic"));
+            return Err(corrupt_in(path, 0, "bad journal magic"));
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
         if version != FORMAT_VERSION {
-            return Err(StoreError::corrupt(
+            return Err(corrupt_in(
+                path,
                 8,
                 format!(
                     "unsupported journal format version {version} (this build reads \
@@ -139,7 +157,7 @@ impl Journal {
         let stored_header_crc = u32::from_le_bytes([bytes[18], bytes[19], bytes[20], bytes[21]]);
         let computed_header_crc = crc32(&bytes[..18]);
         if stored_header_crc != computed_header_crc {
-            return Err(StoreError::corrupt(18, "journal header checksum mismatch"));
+            return Err(corrupt_in(path, 18, "journal header checksum mismatch"));
         }
         let base_epoch = u64::from_le_bytes([
             bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17],
@@ -172,7 +190,8 @@ impl Journal {
             ]);
             let computed_crc = crc32(&bytes[pos..body_end]);
             if stored_crc != computed_crc {
-                return Err(StoreError::corrupt(
+                return Err(corrupt_in(
+                    path,
                     pos as u64,
                     format!(
                         "journal record checksum mismatch: stored {stored_crc:#010x}, \
@@ -191,7 +210,8 @@ impl Journal {
                 bytes[pos + 11],
             ]);
             if epoch != last_epoch + 1 {
-                return Err(StoreError::corrupt(
+                return Err(corrupt_in(
+                    path,
                     pos as u64 + 4,
                     format!(
                         "journal epoch stamp {epoch} is not contiguous (previous was \
@@ -200,7 +220,8 @@ impl Journal {
                 ));
             }
             let payload = &bytes[pos + FRAME_PREFIX as usize..body_end];
-            let value: T = decode_exact(payload, (pos as u64) + FRAME_PREFIX)?;
+            let value: T = decode_exact(payload, (pos as u64) + FRAME_PREFIX)
+                .map_err(|e| attribute(path, e))?;
             records.push(JournalRecord {
                 epoch,
                 offset: pos as u64,
@@ -240,7 +261,8 @@ impl Journal {
     /// error nothing is acknowledged — the caller must not publish the epoch.
     pub fn append<T: Codec>(&mut self, epoch: u64, value: &T) -> Result<u64, StoreError> {
         if epoch != self.last_epoch + 1 {
-            return Err(StoreError::corrupt(
+            return Err(corrupt_in(
+                &self.path,
                 self.end,
                 format!(
                     "refusing non-contiguous append: epoch {epoch} after {}",

@@ -18,6 +18,7 @@ fn dataset() -> CrossDomainDataset {
         latent_dim: 4,
         noise: 0.3,
         seed: 3,
+        popularity_skew: 0.0,
     })
 }
 

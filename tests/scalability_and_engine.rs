@@ -15,6 +15,7 @@ fn dataset() -> CrossDomainDataset {
         latent_dim: 4,
         noise: 0.3,
         seed: 19,
+        popularity_skew: 0.0,
     })
 }
 
