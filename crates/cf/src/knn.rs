@@ -119,12 +119,12 @@ impl<'a> UserKnn<'a> {
     }
 
     /// Equation 1 between an external profile and a stored user (centred by item average).
-    fn profile_user_similarity(&self, profile: &HashMap<ItemId, f64>, other: UserId) -> f64 {
+    fn profile_user_similarity(&self, profile_map: &HashMap<ItemId, f64>, other: UserId) -> f64 {
         let mut num = 0.0;
         let mut den_a = 0.0;
         let mut den_b = 0.0;
         for e in self.matrix.user_profile(other) {
-            if let Some(&ra) = profile.get(&e.item) {
+            if let Some(&ra) = profile_map.get(&e.item) {
                 let i_avg = self.matrix.item_average(e.item);
                 let da = ra - i_avg;
                 let db = e.value - i_avg;

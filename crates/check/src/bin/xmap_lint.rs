@@ -1,13 +1,23 @@
 //! Workspace linter entry point: `cargo xmap-lint` (alias in `.cargo/config.toml`).
 //!
-//! Walks every first-party `src/` tree from the workspace root, applies the house
+//! Audits every first-party `src/` tree from the workspace root with the nine
 //! rules in [`xmap_check::lint`], prints findings in `file:line: [rule] message`
-//! form and exits non-zero if any were found.
+//! form (plus stale-tag warnings) and exits non-zero if any finding survived
+//! escape-tag suppression.
+//!
+//! Flags:
+//!
+//! * `--json <path>` — also write the versioned JSON findings report (the
+//!   `lint-audit` CI job uploads it as an artifact);
+//! * `--explain <rule>` — print the rule's rationale and escape syntax, then
+//!   exit (so red CI logs are self-documenting: paste the rule name back);
+//! * a positional argument overrides the workspace root.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use xmap_check::lint::{run_workspace, Config};
+use xmap_check::lint::{audit_workspace, Config, Rule};
+use xmap_check::report::render_report;
 
 /// Workspace root: walk up from `CARGO_MANIFEST_DIR` (set under `cargo run`) or
 /// the current directory until a directory containing both `Cargo.toml` and
@@ -26,27 +36,84 @@ fn workspace_root() -> Option<PathBuf> {
 }
 
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => match workspace_root() {
-            Some(root) => root,
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
+
+    let mut args = std::env::args_os().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.to_str() {
+            Some("--json") => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("xmap-lint: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            Some("--explain") => match args.next().and_then(|a| a.to_str().map(str::to_string)) {
+                Some(rule) => explain = Some(rule),
+                None => {
+                    eprintln!("xmap-lint: --explain needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => root_arg = Some(PathBuf::from(arg)),
+        }
+    }
+
+    if let Some(name) = explain {
+        return match Rule::from_name(&name) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
             None => {
                 eprintln!(
-                    "xmap-lint: could not locate the workspace root (pass it as the first argument)"
+                    "xmap-lint: unknown rule `{name}`; rules: {}",
+                    Rule::all().map(|r| r.name()).join(", ")
                 );
-                return ExitCode::FAILURE;
+                ExitCode::from(2)
             }
-        },
+        };
+    }
+
+    let root = match root_arg.or_else(workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "xmap-lint: could not locate the workspace root (pass it as the first argument)"
+            );
+            return ExitCode::FAILURE;
+        }
     };
-    let findings = run_workspace(&root, &Config::default());
-    for finding in &findings {
+
+    let audit = audit_workspace(&root, &Config::default());
+    for finding in &audit.findings {
         println!("{finding}");
     }
-    if findings.is_empty() {
-        println!("xmap-lint: clean");
+    for warning in &audit.warnings {
+        eprintln!("{warning}");
+    }
+    if let Some(path) = json_path {
+        let report = render_report(&root.to_string_lossy(), &audit);
+        if let Err(err) = std::fs::write(&path, report) {
+            eprintln!("xmap-lint: could not write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if audit.findings.is_empty() {
+        println!(
+            "xmap-lint: clean ({} files, {} rule(s), {} warning(s))",
+            audit.files,
+            Rule::all().len(),
+            audit.warnings.len()
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("xmap-lint: {} finding(s)", findings.len());
+        eprintln!(
+            "xmap-lint: {} finding(s); run `cargo xmap-lint -- --explain <rule>` for rationale",
+            audit.findings.len()
+        );
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,459 @@
+//! The analyzer's lexer: Rust source → rule-relevant tokens + `// lint:` tags.
+//!
+//! The lexer is shared by every pass. It sees tokens, strings, comments and
+//! lines — not types — and is careful about exactly the things that corrupt
+//! line numbers in a naive scanner: raw strings (`r#"…"#`) spanning lines,
+//! nested block comments, multi-line string literals, char/lifetime ambiguity.
+//! A property test in `crates/check/tests` drives randomized mixtures of those
+//! constructs and asserts reported line numbers stay exact.
+//!
+//! Escape tags come in two scopes:
+//!
+//! * `// lint: <tag> [justification]` — covers its own line and the next line,
+//!   so it can trail the offending line or sit on its own line above it;
+//! * `// lint: <tag> (block) [justification]` — covers the next brace block
+//!   (typically the item it annotates): from the tag line through the matching
+//!   `}` of the first `{` at or below the tag.
+//!
+//! Multiple comma-separated tags may share one comment; each segment carries
+//! its own optional `(block)` marker.
+
+/// A lexed token kind. Only the shapes the rules inspect are distinguished.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Tok {
+    Ident(String),
+    /// A punctuation cluster the rules care about (`::`, `==`, `!=`, `->`) or a
+    /// single punctuation character.
+    Punct(String),
+    Float,
+    Int,
+    Str,
+    Char,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    pub(crate) tok: Tok,
+    pub(crate) line: u32,
+}
+
+/// One `// lint:` escape-tag site, before scope resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct TagSite {
+    /// The tag name (a rule name).
+    pub(crate) tag: String,
+    /// Line the comment sits on.
+    pub(crate) line: u32,
+    /// Whether the `(block)` scope marker was present.
+    pub(crate) block: bool,
+}
+
+/// Lex `src` into rule-relevant tokens plus the `// lint:` escape-tag sites.
+pub(crate) fn lex(src: &str) -> (Vec<Token>, Vec<TagSite>) {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut tags: Vec<TagSite> = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                let comment = src[start..j].trim();
+                if let Some(rest) = comment.strip_prefix("lint:") {
+                    // The tag list ends at the em dash opening the justification
+                    // (`// lint: panic, float-eq — why`), so prose commas after
+                    // it don't read as extra tags. Each comma segment before it
+                    // is `<tag> [(block)]`.
+                    let tag_list = rest.split('—').next().unwrap_or(rest);
+                    for segment in tag_list.split(',') {
+                        if let Some(tag) = segment.split_whitespace().next() {
+                            tags.push(TagSite {
+                                tag: tag.to_string(),
+                                line,
+                                block: segment.contains("(block)"),
+                            });
+                        }
+                    }
+                }
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let (j, newlines) = scan_string(bytes, i + 1);
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+                line += newlines;
+                i = j;
+            }
+            'r' | 'b' if is_raw_string_start(bytes, i) => {
+                let (j, newlines) = scan_raw_string(bytes, i);
+                tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+                line += newlines;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` ident not followed by
+                // a closing quote.
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let is_lifetime = matches!(next, Some(n) if (n as char).is_alphabetic() || n == b'_')
+                    && after != Some(b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    // Char literal: handle escapes, find closing quote.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&b'\\') {
+                        j += 2;
+                        // Consume the rest of longer escapes (\u{..}, \x..)
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                    } else {
+                        // One (possibly multi-byte) character.
+                        j += 1;
+                        while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+                            j += 1;
+                        }
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let (j, is_float) = scan_number(bytes, i);
+                tokens.push(Token {
+                    tok: if is_float { Tok::Float } else { Tok::Int },
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap_or(' ');
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("::".into()),
+                    line,
+                });
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("==".into()),
+                    line,
+                });
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("!=".into()),
+                    line,
+                });
+                i += 2;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                // Lexed as one cluster so `fn() -> T` return arrows never look
+                // like a closing angle bracket to the parser layer.
+                tokens.push(Token {
+                    tok: Tok::Punct("->".into()),
+                    line,
+                });
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token {
+                    tok: Tok::Punct("=>".into()),
+                    line,
+                });
+                i += 2;
+            }
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                tokens.push(Token {
+                    tok: Tok::Punct(c.to_string()),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    (tokens, tags)
+}
+
+/// Scan past a `"..."` string body starting just after the opening quote; returns
+/// (index after closing quote, newlines crossed).
+fn scan_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
+    let mut newlines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // r"..." | r#"..."# | br"..." | b"..." handled by '"' arm (b is lexed as an
+    // ident; the quote follows). Here: r or br raw strings only.
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn scan_raw_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut newlines = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (j, newlines);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (i, newlines)
+}
+
+/// Scan a numeric literal; returns (end index, is_float). Floats are `1.5`,
+/// `1.5e3`, `1e3`, `1.` (when not a range/method like `1..` or `1.max`), and any
+/// literal with an `f32`/`f64` suffix.
+fn scan_number(bytes: &[u8], mut i: usize) -> (usize, bool) {
+    let mut is_float = false;
+    // Hex/octal/binary literals are never floats.
+    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        i += 2;
+        while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, false);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'.') {
+        let after = bytes.get(i + 1).copied();
+        let fractional = matches!(after, Some(d) if d.is_ascii_digit());
+        // `1.` with nothing ident-like after is also a float (e.g. `1. + x`);
+        // `1..` is a range and `1.max` a method call on an integer.
+        let bare_dot =
+            !matches!(after, Some(d) if d == b'.' || (d as char).is_alphabetic() || d == b'_');
+        if fractional || bare_dot {
+            is_float = true;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        if matches!(bytes.get(j), Some(d) if d.is_ascii_digit()) {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix: f32/f64 force float; u*/i* stay int.
+    let suffix_start = i;
+    while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    if bytes[suffix_start..i].starts_with(b"f3") || bytes[suffix_start..i].starts_with(b"f6") {
+        is_float = true;
+    }
+    (i, is_float)
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers shared by the parser layer and the passes
+// ---------------------------------------------------------------------------
+
+pub(crate) fn is_punct(tokens: &[Token], i: usize, p: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { tok: Tok::Punct(s), .. }) if s == p)
+}
+
+pub(crate) fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(Token {
+            tok: Tok::Ident(s), ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Scan an outer attribute `#[...]` starting at `i` (which must point at `#`).
+/// Returns (index after the closing `]`, attribute marks a test item).
+pub(crate) fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 2; // past '#' '['
+    let mut depth = 1;
+    let mut has_test = false;
+    let mut has_not = false;
+    while j < tokens.len() && depth > 0 {
+        if is_punct(tokens, j, "[") {
+            depth += 1;
+        } else if is_punct(tokens, j, "]") {
+            depth -= 1;
+        } else if let Some(name) = ident_at(tokens, j) {
+            if name == "test" {
+                has_test = true;
+            }
+            if name == "not" {
+                has_not = true;
+            }
+        }
+        j += 1;
+    }
+    (j, has_test && !has_not)
+}
+
+/// Index just past the item that starts at `i`: the matching `}` of its first
+/// top-level brace block, or a `;` before any brace (for `use` etc.).
+pub(crate) fn scan_item_end(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut saw_brace = false;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "{") {
+            depth += 1;
+            saw_brace = true;
+        } else if is_punct(tokens, i, "}") {
+            depth = depth.saturating_sub(1);
+            if saw_brace && depth == 0 {
+                return i + 1;
+            }
+        } else if is_punct(tokens, i, ";") && !saw_brace {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-guarded item.
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
+            let (mut j, is_test) = scan_attr(tokens, i);
+            if is_test {
+                // Skip the rest of the attribute stack, then the item itself.
+                while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
+                    j = scan_attr(tokens, j).0;
+                }
+                let end = scan_item_end(tokens, j);
+                for m in mask.iter_mut().take(end).skip(i) {
+                    *m = true;
+                }
+                i = end;
+            } else {
+                i = j;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}

@@ -1,33 +1,46 @@
-//! `xmap-lint`: the workspace's house-rule linter.
+//! `xmap-lint` v2: the workspace's determinism auditor.
 //!
-//! A small hand-rolled Rust lexer (the vendor tree's `syn` stand-in is a stub, so
-//! no real parser is available offline) drives five token-level rules over every
-//! `src/` tree in the workspace:
+//! PR 7's five token-level house rules now sit on a shared lexer
+//! ([`crate::lex`]) and a lightweight parser layer ([`crate::parse`] — item
+//! structure, `use` resolution, struct field lists; no `syn`, same offline
+//! discipline), joined by four multi-pass rule families ([`crate::passes`])
+//! aimed at the bit-identity killers the contracts can't see statically:
 //!
-//! * **ordering** — `Ordering::Relaxed` and `Ordering::SeqCst` are forbidden
-//!   outside the audited concurrency files ([`Config::ordering_allowlist`]); any
-//!   other use must carry a `// lint: ordering` tag on the same or previous line
-//!   justifying why the extreme ordering is correct there.
-//! * **panic** — `.unwrap()` / `.expect(...)` are forbidden in non-test library
-//!   code (binaries, `tests/`, `benches/`, `examples/` and `#[cfg(test)]` items are
-//!   exempt); a justified invariant panic carries `// lint: panic`.
-//! * **float-eq** — `==` / `!=` against a float literal is forbidden (the
-//!   house discipline compares through explicit helpers or exact-sentinel checks
-//!   tagged `// lint: float-eq`).
-//! * **atomic-facade** — naming `std::sync::atomic` / `core::sync::atomic`
-//!   anywhere outside `xmap-engine`'s `sync` facade bypasses the model checker's
-//!   instrumentation and is forbidden, with no tag escape.
-//! * **surface-doc** — every `pub fn` in the serve/epoch/concurrent read-surface
-//!   files must be mentioned by name in `DESIGN.md`.
+//! * **ordering** — `Ordering::Relaxed`/`SeqCst` outside the audited
+//!   concurrency files needs a `// lint: ordering` justification.
+//! * **panic** — `.unwrap()`/`.expect()` in non-test library code needs
+//!   `// lint: panic`.
+//! * **float-eq** — `==`/`!=` against a float literal needs
+//!   `// lint: float-eq`.
+//! * **atomic-facade** — `std::sync::atomic` outside `xmap_engine::sync`
+//!   bypasses the model checker; no escape.
+//! * **surface-doc** — every `pub fn` in the read-surface files must be
+//!   mentioned in `DESIGN.md`; no escape.
+//! * **iter-order** — hash-container iteration in library code must discard
+//!   order (sort, BTree, order-insensitive aggregation) or carry
+//!   `// lint: iter-order`.
+//! * **ambient-nondeterminism** — `Instant::now`/`SystemTime`/`thread_rng`/
+//!   `from_entropy`/`std::env` banned outside the clock facade, bins, benches
+//!   and tests.
+//! * **codec-exhaustive** — every field of every struct with a `Codec` impl
+//!   must appear in both `enc` and `dec` bodies (cross-file join).
+//! * **lock-order** — the workspace Mutex-acquisition graph (built from
+//!   nested-lock evidence) must be acyclic.
 //!
-//! The linter is intentionally lexical: it sees tokens, comments and lines, not
-//! types. The rules are phrased so that token evidence is sufficient — e.g. the
-//! float-eq rule fires only when one comparand is literally a float literal.
+//! Passes emit raw findings; this driver applies escape-tag suppression
+//! uniformly ([`crate::tags::TagIndex`], line and `(block)` scopes) and turns
+//! tags that suppressed nothing into stale-tag warnings.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{ident_at, is_punct, Tok};
+use crate::parse::{parse_file, ParsedFile};
+use crate::passes;
+use crate::tags::{TagIndex, Warning};
+
+pub use crate::passes::codec::CodecField;
 
 /// Which rule a [`Violation`] belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,18 +55,166 @@ pub enum Rule {
     AtomicFacade,
     /// A read-surface `pub fn` missing from `DESIGN.md`.
     SurfaceDoc,
+    /// Hash-container iteration whose order can reach an output.
+    IterOrder,
+    /// Ambient clock/entropy/environment read in library code.
+    Ambient,
+    /// A `Codec` impl missing a field of its struct.
+    CodecExhaustive,
+    /// A cycle in the Mutex-acquisition graph.
+    LockOrder,
 }
 
-impl fmt::Display for Rule {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+impl Rule {
+    /// All nine rules, in reporting order.
+    pub fn all() -> [Rule; 9] {
+        [
+            Rule::Ordering,
+            Rule::Panic,
+            Rule::FloatEq,
+            Rule::AtomicFacade,
+            Rule::SurfaceDoc,
+            Rule::IterOrder,
+            Rule::Ambient,
+            Rule::CodecExhaustive,
+            Rule::LockOrder,
+        ]
+    }
+
+    /// The rule's name — also its escape-tag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
             Rule::Ordering => "ordering",
             Rule::Panic => "panic",
             Rule::FloatEq => "float-eq",
             Rule::AtomicFacade => "atomic-facade",
             Rule::SurfaceDoc => "surface-doc",
-        };
-        f.write_str(name)
+            Rule::IterOrder => "iter-order",
+            Rule::Ambient => "ambient-nondeterminism",
+            Rule::CodecExhaustive => "codec-exhaustive",
+            Rule::LockOrder => "lock-order",
+        }
+    }
+
+    /// Whether a `// lint: <tag>` justification can suppress the rule.
+    /// The facade and doc rules are structural and carry no escape.
+    pub fn escapable(self) -> bool {
+        !matches!(self, Rule::AtomicFacade | Rule::SurfaceDoc)
+    }
+
+    /// Resolves a rule by its reported name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::all().into_iter().find(|r| r.name() == name)
+    }
+
+    /// The rule's rationale and escape syntax, for `xmap-lint --explain`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Ordering => {
+                "ordering — Ordering::Relaxed / Ordering::SeqCst outside the audited\n\
+                 concurrency files (epoch.rs, concurrent.rs, mrv.rs, engine/src/sync/).\n\
+                 Relaxed hides reorderings the model checker must see; SeqCst hides a\n\
+                 missing happens-before edge behind a global fence. Use Acquire/Release\n\
+                 through the xmap_engine::sync facade, move the code into the audited\n\
+                 files, or justify in-line:\n\
+                 \n\
+                 escape: `// lint: ordering <why this extreme ordering is correct>`\n\
+                 scoped: `// lint: ordering (block) <why>` covers the next brace block"
+            }
+            Rule::Panic => {
+                "panic — .unwrap() / .expect() in non-test library code (bins, tests/,\n\
+                 benches/, examples/ and #[cfg(test)] items are exempt). A library panic\n\
+                 takes down a serving node; return an error or use unwrap_or_else. A\n\
+                 genuine invariant (checked just above, poisoning-free lock) may be\n\
+                 justified in-line:\n\
+                 \n\
+                 escape: `// lint: panic <the invariant that makes this infallible>`\n\
+                 scoped: `// lint: panic (block) <why>` covers the next brace block"
+            }
+            Rule::FloatEq => {
+                "float-eq — == / != with a float literal comparand. Exact float equality\n\
+                 is almost always a rounding bug; compare through an epsilon helper or\n\
+                 total_cmp. Exact-sentinel checks (e.g. a 0.0 written by this very code)\n\
+                 may be justified in-line:\n\
+                 \n\
+                 escape: `// lint: float-eq <why the comparison is exact by construction>`\n\
+                 scoped: `// lint: float-eq (block) <why>` covers the next brace block"
+            }
+            Rule::AtomicFacade => {
+                "atomic-facade — std::sync::atomic / core::sync::atomic named outside\n\
+                 xmap-engine's sync facade. Raw atomics bypass the model checker's\n\
+                 instrumentation (vector clocks, seeded interleaving hooks), so races\n\
+                 there are invisible to the concurrency test suite. Import atomics from\n\
+                 xmap_engine::sync (crate::sync inside xmap-engine) instead.\n\
+                 \n\
+                 escape: none — move the code or extend the facade"
+            }
+            Rule::SurfaceDoc => {
+                "surface-doc — a pub fn in the read-surface files (serve/epoch/\n\
+                 concurrent/persist/shard and the analyzer's own parser+passes) is not\n\
+                 mentioned in DESIGN.md. The surface doc is the contract readers audit\n\
+                 against; an undocumented entry point is an unaudited one. Document the\n\
+                 function in DESIGN.md (by name) or unexport it.\n\
+                 \n\
+                 escape: none — the doc is the point"
+            }
+            Rule::IterOrder => {
+                "iter-order — iteration over a std HashMap/HashSet in library code.\n\
+                 Hash iteration order is unspecified and changes across runs, inserts\n\
+                 and platforms, so any order reaching an output breaks the bit-identity\n\
+                 contracts (serve == serial reference, delta == refit, shard == single\n\
+                 node). The pass accepts: order-insensitive aggregation terminals\n\
+                 (count/len/is_empty/any/all/contains), collecting into BTreeMap/\n\
+                 BTreeSet/HashMap/HashSet, an in-chain sort, or the collect-then-sort\n\
+                 idiom (`let mut v: Vec<_> = m.keys().collect(); v.sort_unstable();`).\n\
+                 Otherwise switch to a BTree container or sort — or justify why order\n\
+                 provably cannot reach any output:\n\
+                 \n\
+                 escape: `// lint: iter-order <why order cannot surface>`\n\
+                 scoped: `// lint: iter-order (block) <why>` covers the next brace block"
+            }
+            Rule::Ambient => {
+                "ambient-nondeterminism — Instant::now / SystemTime / thread_rng /\n\
+                 from_entropy / std::env in library code. Ambient reads make re-execution\n\
+                 diverge: replayed fits, recovery-by-replay and the shard/serial identity\n\
+                 gates all assume a run is a function of its inputs. Timing goes through\n\
+                 the xmap_engine::clock Stopwatch facade (the one file allowed to touch\n\
+                 Instant); RNG derives from explicit (seed, key) streams; configuration\n\
+                 is threaded as parameters. Bins, benches and tests are exempt.\n\
+                 \n\
+                 escape: `// lint: ambient-nondeterminism <why the read is harmless>`\n\
+                 scoped: `// lint: ambient-nondeterminism (block) <why>`"
+            }
+            Rule::CodecExhaustive => {
+                "codec-exhaustive — a struct with a Codec impl has a field that does not\n\
+                 appear in both the enc and the dec body (cross-file join of every\n\
+                 `impl Codec for T` against the workspace's struct definitions). A\n\
+                 forgotten field makes snapshot/journal round-trips silently lossy —\n\
+                 format drift becomes a corruption bug at recovery time. Persist the\n\
+                 field, or justify a genuinely derived/rebuilt-on-load field:\n\
+                 \n\
+                 escape: `// lint: codec-exhaustive <why the field is rebuilt on load>`\n\
+                 (place on the impl header line)"
+            }
+            Rule::LockOrder => {
+                "lock-order — a cycle in the workspace's Mutex-acquisition graph. The\n\
+                 graph has an edge A → B for every `.lock()` of B made while a guard of\n\
+                 A is still live in the same function (lexical liveness: let-bound guard\n\
+                 to end of block or drop(); temporary to end of statement). A cycle means\n\
+                 two call paths can take the same pair of locks in opposite orders —\n\
+                 deadlock under the right interleaving. Pick one global order, or\n\
+                 justify why the two paths can never interleave:\n\
+                 \n\
+                 escape: `// lint: lock-order <why the orders cannot interleave>`\n\
+                 (place on the acquisition that closes the cycle)"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -90,6 +251,8 @@ pub struct Config {
     pub atomic_allowlist: Vec<String>,
     /// Files whose `pub fn`s must each be mentioned in `DESIGN.md`.
     pub surface_files: Vec<String>,
+    /// The one file allowed to read the ambient clock: the Stopwatch facade.
+    pub clock_allowlist: Vec<String>,
 }
 
 impl Default for Config {
@@ -118,7 +281,15 @@ impl Default for Config {
                 // The sharded-model surface: the shard map, slice and router the
                 // simulated cluster serves from.
                 "crates/core/src/shard.rs".into(),
+                // The analyzer's own surface: the parser layer, the report, and
+                // the clock facade the ambient rule funnels time through.
+                "crates/check/src/lint.rs".into(),
+                "crates/check/src/parse.rs".into(),
+                "crates/check/src/report.rs".into(),
+                "crates/check/src/passes/".into(),
+                "crates/engine/src/clock.rs".into(),
             ],
+            clock_allowlist: vec!["crates/engine/src/clock.rs".into()],
         }
     }
 }
@@ -131,427 +302,10 @@ fn path_matches(path: &str, entry: &str) -> bool {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum Tok {
-    Ident(String),
-    /// A punctuation cluster the rules care about (`::`, `==`, `!=`) or a single
-    /// punctuation character.
-    Punct(String),
-    Float,
-    Int,
-    Str,
-    Char,
-}
-
-#[derive(Clone, Debug)]
-struct Token {
-    tok: Tok,
-    line: u32,
-}
-
-/// Lex `src` into rule-relevant tokens plus the `// lint: <tag>` escape tags.
-/// A tag comment applies to its own line and the following line, so it can sit
-/// either at the end of the offending line or on its own line above it.
-fn lex(src: &str) -> (Vec<Token>, HashMap<u32, HashSet<String>>) {
-    let bytes = src.as_bytes();
-    let mut tokens = Vec::new();
-    let mut tags: HashMap<u32, HashSet<String>> = HashMap::new();
-    let mut line: u32 = 1;
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            '/' if bytes.get(i + 1) == Some(&b'/') => {
-                let start = i + 2;
-                let mut j = start;
-                while j < bytes.len() && bytes[j] != b'\n' {
-                    j += 1;
-                }
-                let comment = src[start..j].trim();
-                if let Some(rest) = comment.strip_prefix("lint:") {
-                    // Each comma segment is `<tag> [free-form justification]`.
-                    for segment in rest.split(',') {
-                        if let Some(tag) = segment.split_whitespace().next() {
-                            tags.entry(line).or_default().insert(tag.to_string());
-                            tags.entry(line + 1).or_default().insert(tag.to_string());
-                        }
-                    }
-                }
-                i = j;
-            }
-            '/' if bytes.get(i + 1) == Some(&b'*') => {
-                // Nested block comment.
-                let mut depth = 1;
-                let mut j = i + 2;
-                while j < bytes.len() && depth > 0 {
-                    if bytes[j] == b'\n' {
-                        line += 1;
-                        j += 1;
-                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
-                        depth += 1;
-                        j += 2;
-                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
-                }
-                i = j;
-            }
-            '"' => {
-                let (j, newlines) = scan_string(bytes, i + 1);
-                tokens.push(Token {
-                    tok: Tok::Str,
-                    line,
-                });
-                line += newlines;
-                i = j;
-            }
-            'r' | 'b' if is_raw_string_start(bytes, i) => {
-                let (j, newlines) = scan_raw_string(bytes, i);
-                tokens.push(Token {
-                    tok: Tok::Str,
-                    line,
-                });
-                line += newlines;
-                i = j;
-            }
-            '\'' => {
-                // Lifetime or char literal. A lifetime is `'` ident not followed by
-                // a closing quote.
-                let next = bytes.get(i + 1).copied();
-                let after = bytes.get(i + 2).copied();
-                let is_lifetime = matches!(next, Some(n) if (n as char).is_alphabetic() || n == b'_')
-                    && after != Some(b'\'');
-                if is_lifetime {
-                    let mut j = i + 1;
-                    while j < bytes.len()
-                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
-                    {
-                        j += 1;
-                    }
-                    i = j;
-                } else {
-                    // Char literal: handle escapes, find closing quote.
-                    let mut j = i + 1;
-                    if bytes.get(j) == Some(&b'\\') {
-                        j += 2;
-                        // Consume the rest of longer escapes (\u{..}, \x..)
-                        while j < bytes.len() && bytes[j] != b'\'' {
-                            j += 1;
-                        }
-                    } else {
-                        // One (possibly multi-byte) character.
-                        j += 1;
-                        while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
-                            j += 1;
-                        }
-                    }
-                    if bytes.get(j) == Some(&b'\'') {
-                        j += 1;
-                    }
-                    tokens.push(Token {
-                        tok: Tok::Char,
-                        line,
-                    });
-                    i = j;
-                }
-            }
-            _ if c.is_ascii_digit() => {
-                let (j, is_float) = scan_number(bytes, i);
-                tokens.push(Token {
-                    tok: if is_float { Tok::Float } else { Tok::Int },
-                    line,
-                });
-                i = j;
-            }
-            _ if c.is_alphabetic() || c == '_' => {
-                let mut j = i;
-                while j < bytes.len() {
-                    let ch = src[j..].chars().next().unwrap_or(' ');
-                    if ch.is_alphanumeric() || ch == '_' {
-                        j += ch.len_utf8();
-                    } else {
-                        break;
-                    }
-                }
-                tokens.push(Token {
-                    tok: Tok::Ident(src[i..j].to_string()),
-                    line,
-                });
-                i = j;
-            }
-            ':' if bytes.get(i + 1) == Some(&b':') => {
-                tokens.push(Token {
-                    tok: Tok::Punct("::".into()),
-                    line,
-                });
-                i += 2;
-            }
-            '=' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token {
-                    tok: Tok::Punct("==".into()),
-                    line,
-                });
-                i += 2;
-            }
-            '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token {
-                    tok: Tok::Punct("!=".into()),
-                    line,
-                });
-                i += 2;
-            }
-            _ if c.is_ascii_whitespace() => {
-                i += 1;
-            }
-            _ => {
-                tokens.push(Token {
-                    tok: Tok::Punct(c.to_string()),
-                    line,
-                });
-                i += c.len_utf8();
-            }
-        }
-    }
-    (tokens, tags)
-}
-
-/// Scan past a `"..."` string body starting just after the opening quote; returns
-/// (index after closing quote, newlines crossed).
-fn scan_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
-    let mut newlines = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' => i += 2,
-            b'\n' => {
-                newlines += 1;
-                i += 1;
-            }
-            b'"' => return (i + 1, newlines),
-            _ => i += 1,
-        }
-    }
-    (i, newlines)
-}
-
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    // r"..." | r#"..."# | br"..." | b"..." handled by '"' arm (b is lexed as an
-    // ident; the quote follows). Here: r or br raw strings only.
-    let mut j = i;
-    if bytes.get(j) == Some(&b'b') {
-        j += 1;
-    }
-    if bytes.get(j) != Some(&b'r') {
-        return false;
-    }
-    j += 1;
-    while bytes.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    bytes.get(j) == Some(&b'"')
-}
-
-fn scan_raw_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
-    if bytes.get(i) == Some(&b'b') {
-        i += 1;
-    }
-    i += 1; // 'r'
-    let mut hashes = 0;
-    while bytes.get(i) == Some(&b'#') {
-        hashes += 1;
-        i += 1;
-    }
-    i += 1; // opening quote
-    let mut newlines = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'\n' {
-            newlines += 1;
-            i += 1;
-        } else if bytes[i] == b'"' {
-            let mut j = i + 1;
-            let mut seen = 0;
-            while seen < hashes && bytes.get(j) == Some(&b'#') {
-                seen += 1;
-                j += 1;
-            }
-            if seen == hashes {
-                return (j, newlines);
-            }
-            i += 1;
-        } else {
-            i += 1;
-        }
-    }
-    (i, newlines)
-}
-
-/// Scan a numeric literal; returns (end index, is_float). Floats are `1.5`,
-/// `1.5e3`, `1e3`, `1.` (when not a range/method like `1..` or `1.max`), and any
-/// literal with an `f32`/`f64` suffix.
-fn scan_number(bytes: &[u8], mut i: usize) -> (usize, bool) {
-    let mut is_float = false;
-    // Hex/octal/binary literals are never floats.
-    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'o') | Some(b'b')) {
-        i += 2;
-        while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
-            i += 1;
-        }
-        return (i, false);
-    }
-    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
-        i += 1;
-    }
-    if bytes.get(i) == Some(&b'.') {
-        let after = bytes.get(i + 1).copied();
-        let fractional = matches!(after, Some(d) if d.is_ascii_digit());
-        // `1.` with nothing ident-like after is also a float (e.g. `1. + x`);
-        // `1..` is a range and `1.max` a method call on an integer.
-        let bare_dot =
-            !matches!(after, Some(d) if d == b'.' || (d as char).is_alphabetic() || d == b'_');
-        if fractional || bare_dot {
-            is_float = true;
-            i += 1;
-            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
-                i += 1;
-            }
-        }
-    }
-    if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
-        let mut j = i + 1;
-        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
-            j += 1;
-        }
-        if matches!(bytes.get(j), Some(d) if d.is_ascii_digit()) {
-            is_float = true;
-            i = j;
-            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
-                i += 1;
-            }
-        }
-    }
-    // Type suffix: f32/f64 force float; u*/i* stay int.
-    let suffix_start = i;
-    while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
-        i += 1;
-    }
-    if bytes[suffix_start..i].starts_with(b"f3") || bytes[suffix_start..i].starts_with(b"f6") {
-        is_float = true;
-    }
-    (i, is_float)
-}
-
-// ---------------------------------------------------------------------------
-// Test-region masking
-// ---------------------------------------------------------------------------
-
-fn is_punct(tokens: &[Token], i: usize, p: &str) -> bool {
-    matches!(tokens.get(i), Some(Token { tok: Tok::Punct(s), .. }) if s == p)
-}
-
-fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
-    match tokens.get(i) {
-        Some(Token {
-            tok: Tok::Ident(s), ..
-        }) => Some(s.as_str()),
-        _ => None,
-    }
-}
-
-/// Scan an outer attribute `#[...]` starting at `i` (which must point at `#`).
-/// Returns (index after the closing `]`, attribute marks a test item).
-fn scan_attr(tokens: &[Token], i: usize) -> (usize, bool) {
-    let mut j = i + 2; // past '#' '['
-    let mut depth = 1;
-    let mut has_test = false;
-    let mut has_not = false;
-    while j < tokens.len() && depth > 0 {
-        if is_punct(tokens, j, "[") {
-            depth += 1;
-        } else if is_punct(tokens, j, "]") {
-            depth -= 1;
-        } else if let Some(name) = ident_at(tokens, j) {
-            if name == "test" {
-                has_test = true;
-            }
-            if name == "not" {
-                has_not = true;
-            }
-        }
-        j += 1;
-    }
-    (j, has_test && !has_not)
-}
-
-/// Index just past the item that starts at `i`: the matching `}` of its first
-/// top-level brace block, or a `;` before any brace (for `use` etc.).
-fn scan_item_end(tokens: &[Token], mut i: usize) -> usize {
-    let mut depth = 0usize;
-    let mut saw_brace = false;
-    while i < tokens.len() {
-        if is_punct(tokens, i, "{") {
-            depth += 1;
-            saw_brace = true;
-        } else if is_punct(tokens, i, "}") {
-            depth = depth.saturating_sub(1);
-            if saw_brace && depth == 0 {
-                return i + 1;
-            }
-        } else if is_punct(tokens, i, ";") && !saw_brace {
-            return i + 1;
-        }
-        i += 1;
-    }
-    i
-}
-
-/// Marks every token inside a `#[test]` / `#[cfg(test)]`-guarded item.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if is_punct(tokens, i, "#") && is_punct(tokens, i + 1, "[") {
-            let (mut j, is_test) = scan_attr(tokens, i);
-            if is_test {
-                // Skip the rest of the attribute stack, then the item itself.
-                while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
-                    j = scan_attr(tokens, j).0;
-                }
-                let end = scan_item_end(tokens, j);
-                for m in mask.iter_mut().take(end).skip(i) {
-                    *m = true;
-                }
-                i = end;
-            } else {
-                i = j;
-            }
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
-
-fn has_tag(tags: &HashMap<u32, HashSet<String>>, line: u32, tag: &str) -> bool {
-    tags.get(&line).is_some_and(|s| s.contains(tag))
-}
-
-/// Whether the panic rule applies to this workspace-relative path: library source
-/// trees only — binaries and out-of-tree test/bench/example code are exempt.
-fn panic_rule_applies(path: &str) -> bool {
+/// Whether the library-code rules (panic, iter-order, ambient) apply to this
+/// workspace-relative path: `src/` trees minus binaries and out-of-tree
+/// test/bench/example code.
+fn library_code(path: &str) -> bool {
     let in_src = path.contains("/src/") || path.starts_with("src/");
     let exempt = path.contains("/bin/")
         || path.contains("/tests/")
@@ -560,11 +314,13 @@ fn panic_rule_applies(path: &str) -> bool {
     in_src && !exempt
 }
 
-/// Lint one source file (workspace-relative `path`, contents `src`).
-/// `design` is `DESIGN.md`'s contents, used by the surface-doc rule.
-pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<Violation> {
-    let (tokens, tags) = lex(src);
-    let mask = test_mask(&tokens);
+// ---------------------------------------------------------------------------
+// Token rules (the original five), emitting raw findings
+// ---------------------------------------------------------------------------
+
+fn token_rules(pf: &ParsedFile, design: &str, config: &Config) -> Vec<Violation> {
+    let path = pf.path.as_str();
+    let tokens = &pf.tokens;
     let mut out = Vec::new();
 
     let ordering_allowed = config
@@ -576,51 +332,45 @@ pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<
         .iter()
         .any(|e| path_matches(path, e));
     let is_surface = config.surface_files.iter().any(|e| path_matches(path, e));
-    let panic_applies = panic_rule_applies(path);
+    let panic_applies = library_code(path);
 
     for i in 0..tokens.len() {
-        if mask[i] {
+        if pf.mask[i] {
             continue;
         }
         let line = tokens[i].line;
 
         // ordering: `Ordering` `::` `Relaxed|SeqCst`
         if !ordering_allowed
-            && ident_at(&tokens, i) == Some("Ordering")
-            && is_punct(&tokens, i + 1, "::")
+            && ident_at(tokens, i) == Some("Ordering")
+            && is_punct(tokens, i + 1, "::")
         {
-            if let Some(which @ ("Relaxed" | "SeqCst")) = ident_at(&tokens, i + 2) {
-                let line = tokens[i + 2].line;
-                if !has_tag(&tags, line, "ordering") {
-                    out.push(Violation {
-                        file: path.to_string(),
-                        line,
-                        rule: Rule::Ordering,
-                        message: format!(
-                            "Ordering::{which} outside the audited concurrency files; \
-                             justify with `// lint: ordering` or move the code into the facade"
-                        ),
-                    });
-                }
+            if let Some(which @ ("Relaxed" | "SeqCst")) = ident_at(tokens, i + 2) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: tokens[i + 2].line,
+                    rule: Rule::Ordering,
+                    message: format!(
+                        "Ordering::{which} outside the audited concurrency files; \
+                         justify with `// lint: ordering` or move the code into the facade"
+                    ),
+                });
             }
         }
 
         // panic: `.` `unwrap|expect` `(`
-        if panic_applies && is_punct(&tokens, i, ".") {
-            if let Some(name @ ("unwrap" | "expect")) = ident_at(&tokens, i + 1) {
-                if is_punct(&tokens, i + 2, "(") {
-                    let line = tokens[i + 1].line;
-                    if !has_tag(&tags, line, "panic") {
-                        out.push(Violation {
-                            file: path.to_string(),
-                            line,
-                            rule: Rule::Panic,
-                            message: format!(
-                                ".{name}() in library code; return an error, use \
-                                 unwrap_or_else, or justify an invariant with `// lint: panic`"
-                            ),
-                        });
-                    }
+        if panic_applies && is_punct(tokens, i, ".") {
+            if let Some(name @ ("unwrap" | "expect")) = ident_at(tokens, i + 1) {
+                if is_punct(tokens, i + 2, "(") {
+                    out.push(Violation {
+                        file: path.to_string(),
+                        line: tokens[i + 1].line,
+                        rule: Rule::Panic,
+                        message: format!(
+                            ".{name}() in library code; return an error, use \
+                             unwrap_or_else, or justify an invariant with `// lint: panic`"
+                        ),
+                    });
                 }
             }
         }
@@ -631,7 +381,7 @@ pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<
                 tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
                 Some(Tok::Float)
             ) || matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Float));
-            if float_beside && !has_tag(&tags, line, "float-eq") {
+            if float_beside {
                 out.push(Violation {
                     file: path.to_string(),
                     line,
@@ -645,11 +395,11 @@ pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<
 
         // atomic-facade: `std|core` `::` `sync` `::` `atomic`
         if !atomic_allowed
-            && matches!(ident_at(&tokens, i), Some("std") | Some("core"))
-            && is_punct(&tokens, i + 1, "::")
-            && ident_at(&tokens, i + 2) == Some("sync")
-            && is_punct(&tokens, i + 3, "::")
-            && ident_at(&tokens, i + 4) == Some("atomic")
+            && matches!(ident_at(tokens, i), Some("std") | Some("core"))
+            && is_punct(tokens, i + 1, "::")
+            && ident_at(tokens, i + 2) == Some("sync")
+            && is_punct(tokens, i + 3, "::")
+            && ident_at(tokens, i + 4) == Some("atomic")
         {
             out.push(Violation {
                 file: path.to_string(),
@@ -665,18 +415,18 @@ pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<
     // surface-doc: every `pub fn` in a read-surface file must appear in DESIGN.md.
     if is_surface {
         for i in 0..tokens.len() {
-            if mask[i] {
+            if pf.mask[i] {
                 continue;
             }
-            if ident_at(&tokens, i) == Some("pub") && ident_at(&tokens, i + 1) == Some("fn") {
-                if let Some(name) = ident_at(&tokens, i + 2) {
+            if ident_at(tokens, i) == Some("pub") && ident_at(tokens, i + 1) == Some("fn") {
+                if let Some(name) = ident_at(tokens, i + 2) {
                     if !mentions_word(design, name) {
                         out.push(Violation {
                             file: path.to_string(),
                             line: tokens[i + 2].line,
                             rule: Rule::SurfaceDoc,
                             message: format!(
-                                "pub fn `{name}` on the serve/epoch read surface is not \
+                                "pub fn `{name}` on the audited read surface is not \
                                  mentioned in DESIGN.md"
                             ),
                         });
@@ -712,6 +462,94 @@ fn mentions_word(text: &str, name: &str) -> bool {
         start = at + name.len().max(1);
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// The audit driver
+// ---------------------------------------------------------------------------
+
+/// One audit run's outcome: suppressed-and-sorted findings plus non-fatal
+/// warnings (stale or unknown escape tags) and the file count.
+pub struct Audit {
+    /// Findings that survived escape-tag suppression, ordered by file then line.
+    pub findings: Vec<Violation>,
+    /// Stale/unknown-tag warnings, ordered by file then line.
+    pub warnings: Vec<Warning>,
+    /// How many files were audited.
+    pub files: usize,
+}
+
+/// Audits a set of sources: `(workspace-relative path, contents)` pairs.
+/// `design` is `DESIGN.md`'s contents, used by the surface-doc rule. This is
+/// the whole pipeline — parse, per-file passes, cross-file passes, suppression,
+/// stale-tag detection — on in-memory sources, so tests (and the mutation
+/// gate) can audit doctored workspaces without touching disk.
+pub fn audit_sources(sources: &[(String, String)], design: &str, config: &Config) -> Audit {
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(path, src)| parse_file(path, src))
+        .collect();
+    let mut tag_index = TagIndex::new(&parsed);
+
+    let mut raw: Vec<Violation> = Vec::new();
+    for pf in &parsed {
+        raw.extend(token_rules(pf, design, config));
+        if library_code(&pf.path) {
+            raw.extend(passes::iter_order::check(pf));
+            if !config
+                .clock_allowlist
+                .iter()
+                .any(|e| path_matches(&pf.path, e))
+            {
+                raw.extend(passes::ambient::check(pf));
+            }
+        }
+    }
+    raw.extend(passes::codec::check(&parsed));
+    raw.extend(passes::lock_order::check(&parsed));
+
+    let mut findings: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| !(v.rule.escapable() && tag_index.covers(&v.file, v.line, v.rule.name())))
+        .collect();
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.name().cmp(b.rule.name()))
+    });
+
+    let known: Vec<&str> = Rule::all()
+        .into_iter()
+        .filter(|r| r.escapable())
+        .map(|r| r.name())
+        .collect();
+    let mut warnings = tag_index.stale(&known);
+    warnings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+
+    Audit {
+        findings,
+        warnings,
+        files: parsed.len(),
+    }
+}
+
+/// Lint one source file (workspace-relative `path`, contents `src`).
+/// `design` is `DESIGN.md`'s contents, used by the surface-doc rule.
+pub fn lint_source(path: &str, src: &str, design: &str, config: &Config) -> Vec<Violation> {
+    audit_sources(&[(path.to_string(), src.to_string())], design, config).findings
+}
+
+/// The codec-exhaustive pass's work list over a set of sources: every
+/// (type, field) pair it holds an impl accountable for, with the `enc`/`dec`
+/// body line ranges. The mutation gate deletes each field's mention and
+/// asserts the pass fires.
+pub fn codec_surface(sources: &[(String, String)]) -> Vec<CodecField> {
+    let parsed: Vec<ParsedFile> = sources
+        .iter()
+        .map(|(path, src)| parse_file(path, src))
+        .collect();
+    passes::codec::surface(&parsed)
 }
 
 // ---------------------------------------------------------------------------
@@ -756,11 +594,8 @@ fn lintable_roots(root: &Path) -> Vec<PathBuf> {
     roots
 }
 
-/// Lints the whole workspace rooted at `root`. Returns all findings, ordered by
-/// file then line. Missing `DESIGN.md` makes every surface `pub fn` a finding
-/// rather than silently passing.
-pub fn run_workspace(root: &Path, config: &Config) -> Vec<Violation> {
-    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+/// Reads every lintable source under `root` as `(relative path, contents)`.
+pub fn workspace_sources(root: &Path) -> Vec<(String, String)> {
     let mut files = Vec::new();
     for src_root in lintable_roots(root) {
         collect_rs_files(&src_root, &mut files);
@@ -772,13 +607,24 @@ pub fn run_workspace(root: &Path, config: &Config) -> Vec<Violation> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let Ok(source) = fs::read_to_string(&file) else {
-            continue;
-        };
-        out.extend(lint_source(&rel, &source, &design, config));
+        if let Ok(source) = fs::read_to_string(&file) {
+            out.push((rel, source));
+        }
     }
-    out.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
     out
+}
+
+/// Audits the whole workspace rooted at `root`. Missing `DESIGN.md` makes
+/// every surface `pub fn` a finding rather than silently passing.
+pub fn audit_workspace(root: &Path, config: &Config) -> Audit {
+    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    audit_sources(&workspace_sources(root), &design, config)
+}
+
+/// Lints the whole workspace rooted at `root`. Returns all findings, ordered by
+/// file then line. (Compatibility wrapper over [`audit_workspace`].)
+pub fn run_workspace(root: &Path, config: &Config) -> Vec<Violation> {
+    audit_workspace(root, config).findings
 }
 
 #[cfg(test)]
@@ -928,5 +774,45 @@ pub fn planted(flag: &AtomicU64, x: Option<f64>) -> bool {
         assert!(rules.contains(&Rule::Panic), "{v:?}");
         assert!(rules.contains(&Rule::Ordering), "{v:?}");
         assert!(rules.contains(&Rule::FloatEq), "{v:?}");
+    }
+
+    #[test]
+    fn explain_names_every_rule() {
+        for rule in Rule::all() {
+            assert!(Rule::from_name(rule.name()) == Some(rule));
+            assert!(rule.explain().contains(rule.name()), "{rule}");
+            if rule.escapable() {
+                assert!(rule.explain().contains("escape: `// lint:"), "{rule}");
+            } else {
+                assert!(rule.explain().contains("escape: none"), "{rule}");
+            }
+        }
+    }
+
+    #[test]
+    fn unused_tag_surfaces_as_stale_warning() {
+        let src = "// lint: iter-order nothing here actually iterates\nfn f() {}\n";
+        let audit = audit_sources(
+            &[("crates/cf/src/matrix.rs".into(), src.into())],
+            "",
+            &Config::default(),
+        );
+        assert!(audit.findings.is_empty(), "{:?}", audit.findings);
+        assert_eq!(audit.warnings.len(), 1, "{:?}", audit.warnings);
+        assert!(audit.warnings[0]
+            .message
+            .contains("stale lint tag `iter-order`"));
+    }
+
+    #[test]
+    fn unknown_tag_surfaces_as_warning() {
+        let src = "// lint: no-such-rule\nfn f() {}\n";
+        let audit = audit_sources(
+            &[("crates/cf/src/matrix.rs".into(), src.into())],
+            "",
+            &Config::default(),
+        );
+        assert_eq!(audit.warnings.len(), 1, "{:?}", audit.warnings);
+        assert!(audit.warnings[0].message.contains("unknown lint tag"));
     }
 }

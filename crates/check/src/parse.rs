@@ -1,0 +1,558 @@
+//! The analyzer's lightweight parser layer.
+//!
+//! Built on the token stream from [`crate::lex`], this recovers just enough
+//! structure for the multi-pass rules — no `syn`, same offline discipline as
+//! the lexer:
+//!
+//! * **item/block structure** — brace matching, `fn` bodies (free functions and
+//!   impl methods, with the enclosing impl type), `struct` definitions with
+//!   their named-field lists;
+//! * **`use` resolution** — an alias → full-path map covering grouped imports
+//!   (`use std::collections::{HashMap, HashSet}`) and `as` renames, so the
+//!   passes can tell a `std::collections::HashMap` from some other `HashMap`;
+//! * **type-evidence binding sets** — which identifiers (struct fields vs.
+//!   locals/params) are bound to std hash containers, from `: HashMap<…>`
+//!   annotations and `HashMap::new()`-style initialisers;
+//! * **`Codec` impl inventory** — every `impl … Codec for Type` block with the
+//!   token spans and line ranges of its `enc` and `dec` methods, feeding the
+//!   cross-file codec-exhaustive pass.
+//!
+//! Everything here is per-file; the cross-file passes join `ParsedFile`s.
+
+use std::collections::BTreeSet;
+
+use crate::lex::{ident_at, is_punct, lex, test_mask, TagSite, Tok, Token};
+
+/// A named-field struct definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// The named fields, in declaration order, with their lines.
+    pub fields: Vec<(String, u32)>,
+}
+
+/// A function (free or method) with its body's token span.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Token range of the body: index of the opening `{` .. index of the
+    /// matching `}` (inclusive bounds on the braces themselves).
+    pub body: (usize, usize),
+    /// The `impl` type the method belongs to, if any.
+    pub impl_type: Option<String>,
+}
+
+/// One `impl … Codec for Type` block with its `enc`/`dec` method spans.
+#[derive(Clone, Debug)]
+pub struct CodecImpl {
+    /// The implementing type's name.
+    pub type_name: String,
+    /// Line of the `impl` keyword.
+    pub line: u32,
+    /// Token span of the `enc` body (braces inclusive), with its line range.
+    pub enc: Option<((usize, usize), (u32, u32))>,
+    /// Token span of the `dec` body (braces inclusive), with its line range.
+    pub dec: Option<((usize, usize), (u32, u32))>,
+}
+
+/// One source file after lexing + structural recovery. Produced by
+/// [`parse_file`]; consumed by every pass.
+pub struct ParsedFile {
+    /// Workspace-relative path.
+    pub path: String,
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) tags: Vec<TagSite>,
+    pub(crate) mask: Vec<bool>,
+    /// For each token index holding `{`, the index of its matching `}`
+    /// (`usize::MAX` when unmatched); and the reverse for `}`.
+    pub(crate) brace_match: Vec<usize>,
+    /// Structs with named fields.
+    pub(crate) structs: Vec<StructDef>,
+    /// Functions and methods.
+    pub(crate) fns: Vec<FnDef>,
+    /// `impl … Codec for Type` blocks.
+    pub(crate) codec_impls: Vec<CodecImpl>,
+    /// Struct fields bound to `std::collections::HashMap`/`HashSet` (reached
+    /// through `self.<name>`).
+    pub(crate) hash_fields: BTreeSet<String>,
+    /// Locals and params bound to hash containers (reached as bare `<name>`).
+    pub(crate) hash_locals: BTreeSet<String>,
+    /// Whether `std::collections::HashMap`/`HashSet` is visible in this file
+    /// under its plain name (via `use`); used to resolve bare annotations.
+    std_hash_names: BTreeSet<String>,
+    /// Whether `use std::env` makes bare `env::…` ambient.
+    pub(crate) env_imported: bool,
+}
+
+/// Parses one source file into the structure the passes consume.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let (tokens, tags) = lex(src);
+    let mask = test_mask(&tokens);
+    let brace_match = match_braces(&tokens);
+    let mut pf = ParsedFile {
+        path: path.to_string(),
+        tokens,
+        tags,
+        mask,
+        brace_match,
+        structs: Vec::new(),
+        fns: Vec::new(),
+        codec_impls: Vec::new(),
+        hash_fields: BTreeSet::new(),
+        hash_locals: BTreeSet::new(),
+        std_hash_names: BTreeSet::new(),
+        env_imported: false,
+    };
+    collect_uses(&mut pf);
+    collect_structs(&mut pf);
+    collect_fns_and_impls(&mut pf);
+    collect_hash_bindings(&mut pf);
+    pf
+}
+
+impl ParsedFile {
+    /// The line of token `i` (0 when out of range).
+    pub(crate) fn line(&self, i: usize) -> u32 {
+        self.tokens.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Whether the bare type name `name` (e.g. `HashMap`) resolves to the std
+    /// hash container of that name in this file, either via `use
+    /// std::collections::…` or because the occurrence at `i` is written fully
+    /// qualified (`std::collections::HashMap`).
+    pub(crate) fn is_std_hash_at(&self, i: usize) -> bool {
+        let Some(name) = ident_at(&self.tokens, i) else {
+            return false;
+        };
+        if name != "HashMap" && name != "HashSet" {
+            return false;
+        }
+        if self.std_hash_names.contains(name) {
+            return true;
+        }
+        // Fully qualified: `std :: collections :: HashMap`.
+        i >= 4
+            && is_punct(&self.tokens, i - 1, "::")
+            && ident_at(&self.tokens, i - 2) == Some("collections")
+            && is_punct(&self.tokens, i - 3, "::")
+            && ident_at(&self.tokens, i - 4) == Some("std")
+    }
+}
+
+/// Matches braces: for each `{` its closing `}` index and vice versa.
+fn match_braces(tokens: &[Token]) -> Vec<usize> {
+    let mut out = vec![usize::MAX; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for i in 0..tokens.len() {
+        if is_punct(tokens, i, "{") {
+            stack.push(i);
+        } else if is_punct(tokens, i, "}") {
+            if let Some(open) = stack.pop() {
+                out[open] = i;
+                out[i] = open;
+            }
+        }
+    }
+    out
+}
+
+/// Builds the alias → full-path map from `use` declarations and notes which std
+/// names are visible bare.
+fn collect_uses(pf: &mut ParsedFile) {
+    let mut i = 0;
+    while i < pf.tokens.len() {
+        if ident_at(&pf.tokens, i) == Some("use") {
+            let end = next_semicolon(&pf.tokens, i);
+            let mut prefix: Vec<String> = Vec::new();
+            collect_use_tree(pf, i + 1, end, &mut prefix);
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Walks one `use` tree between `start` and the terminating `;` at `end`,
+/// recording resolved leaves (including `as` renames) into the file's
+/// name-resolution sets. `prefix` is the path so far.
+fn collect_use_tree(pf: &mut ParsedFile, start: usize, end: usize, prefix: &mut Vec<String>) {
+    let mut i = start;
+    let base_len = prefix.len();
+    fn record(pf: &mut ParsedFile, alias: &str, path: &[String]) {
+        let full = path.join("::");
+        if full == "std::collections::HashMap" || full == "std::collections::HashSet" {
+            pf.std_hash_names.insert(alias.to_string());
+        }
+        if full == "std::env" {
+            pf.env_imported = true;
+        }
+    }
+    while i < end {
+        if let Some(name) = ident_at(&pf.tokens, i) {
+            prefix.push(name.to_string());
+            if is_punct(&pf.tokens, i + 1, "::") {
+                if is_punct(&pf.tokens, i + 2, "{") {
+                    // Group: recurse per comma segment inside the braces.
+                    let close = pf.brace_match[i + 2];
+                    if close != usize::MAX {
+                        let mut seg_start = i + 3;
+                        let mut depth = 0usize;
+                        for j in i + 3..close {
+                            let at_comma = is_punct(&pf.tokens, j, ",") && depth == 0;
+                            if is_punct(&pf.tokens, j, "{") {
+                                depth += 1;
+                            } else if is_punct(&pf.tokens, j, "}") {
+                                depth = depth.saturating_sub(1);
+                            }
+                            if at_comma {
+                                collect_use_tree(pf, seg_start, j, prefix);
+                                seg_start = j + 1;
+                            }
+                        }
+                        collect_use_tree(pf, seg_start, close, prefix);
+                        prefix.truncate(base_len);
+                        return;
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            // Leaf — possibly renamed with `as`.
+            if ident_at(&pf.tokens, i + 1) == Some("as") {
+                if let Some(alias) = ident_at(&pf.tokens, i + 2) {
+                    let alias = alias.to_string();
+                    let path = prefix.clone();
+                    record(pf, &alias, &path);
+                    prefix.pop();
+                    i += 3;
+                    continue;
+                }
+            }
+            let leaf = name.to_string();
+            let path = prefix.clone();
+            record(pf, &leaf, &path);
+            prefix.truncate(prefix.len() - 1);
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    prefix.truncate(base_len);
+}
+
+fn next_semicolon(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() && !is_punct(tokens, i, ";") {
+        i += 1;
+    }
+    i
+}
+
+/// Records every named-field `struct` definition.
+fn collect_structs(pf: &mut ParsedFile) {
+    let mut i = 0;
+    while i < pf.tokens.len() {
+        if ident_at(&pf.tokens, i) == Some("struct") {
+            if let Some(name) = ident_at(&pf.tokens, i + 1) {
+                let name = name.to_string();
+                // Find the body `{` (skipping generics / where clauses) or bail
+                // at `;`/`(` — tuple and unit structs have no named fields.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < pf.tokens.len() {
+                    if is_punct(&pf.tokens, j, "{") {
+                        body = Some(j);
+                        break;
+                    }
+                    if is_punct(&pf.tokens, j, ";") || is_punct(&pf.tokens, j, "(") {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    let close = pf.brace_match[open];
+                    if close != usize::MAX {
+                        let fields = struct_fields(pf, open, close);
+                        pf.structs.push(StructDef { name, fields });
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Extracts the field names between a struct body's braces: idents followed by
+/// `:` at nesting depth 0 in field position (after `{`, `,`, an attribute's
+/// `]`, or a `pub(...)` group).
+fn struct_fields(pf: &ParsedFile, open: usize, close: usize) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    let mut expecting = true;
+    let mut depth = 0usize; // nested braces/parens/brackets/angles inside types
+    let mut j = open + 1;
+    while j < close {
+        let t = &pf.tokens[j];
+        match &t.tok {
+            Tok::Punct(p) => match p.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth = depth.saturating_sub(1);
+                    // `pub(crate)` / attribute close keeps field position.
+                }
+                "<" => depth += 1,
+                ">" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => expecting = true,
+                _ => {}
+            },
+            Tok::Ident(name) if expecting && depth == 0 && name != "pub" => {
+                if is_punct(&pf.tokens, j + 1, ":") {
+                    fields.push((name.clone(), t.line));
+                }
+                expecting = false;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    fields
+}
+
+/// Records every `fn` (with body span and enclosing impl type) plus every
+/// `impl … Codec for Type` block.
+fn collect_fns_and_impls(pf: &mut ParsedFile) {
+    // Impl spans: (type_name, body_open, body_close), innermost last.
+    let mut impls: Vec<(String, usize, usize, Option<String>, u32)> = Vec::new();
+    let mut i = 0;
+    while i < pf.tokens.len() {
+        if ident_at(&pf.tokens, i) == Some("impl") {
+            if let Some((type_name, trait_name, open, line)) = parse_impl_header(pf, i) {
+                let close = pf.brace_match[open];
+                if close != usize::MAX {
+                    impls.push((type_name, open, close, trait_name, line));
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let impl_of = |idx: usize| -> Option<&str> {
+        impls
+            .iter()
+            .filter(|(_, open, close, _, _)| *open < idx && idx < *close)
+            .map(|(name, _, _, _, _)| name.as_str())
+            .next_back()
+    };
+
+    let mut i = 0;
+    while i < pf.tokens.len() {
+        if ident_at(&pf.tokens, i) == Some("fn") {
+            if let Some(name) = ident_at(&pf.tokens, i + 1) {
+                // The body `{`: after the signature's parens; trait-decl
+                // methods end in `;` instead.
+                let mut j = i + 2;
+                let mut open = None;
+                while j < pf.tokens.len() {
+                    if is_punct(&pf.tokens, j, "{") {
+                        open = Some(j);
+                        break;
+                    }
+                    if is_punct(&pf.tokens, j, ";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    let close = pf.brace_match[open];
+                    if close != usize::MAX {
+                        pf.fns.push(FnDef {
+                            name: name.to_string(),
+                            body: (open, close),
+                            impl_type: impl_of(i).map(str::to_string),
+                        });
+                        // Do NOT skip the body: nested fns/impls are collected too.
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Codec impls: trait name's last segment is `Codec`.
+    for (type_name, open, close, trait_name, line) in &impls {
+        if trait_name.as_deref() != Some("Codec") {
+            continue;
+        }
+        let mut enc = None;
+        let mut dec = None;
+        for f in &pf.fns {
+            if f.body.0 > *open && f.body.1 < *close {
+                let span = (f.body, (pf.line(f.body.0), pf.line(f.body.1)));
+                if f.name == "enc" && enc.is_none() {
+                    enc = Some(span);
+                } else if f.name == "dec" && dec.is_none() {
+                    dec = Some(span);
+                }
+            }
+        }
+        pf.codec_impls.push(CodecImpl {
+            type_name: type_name.clone(),
+            line: *line,
+            enc,
+            dec,
+        });
+    }
+}
+
+/// Parses an `impl` header at token `i`: returns (type name, trait last
+/// segment, body-open index, line). Handles `impl<T> Trait for Type`,
+/// `impl path::Trait for Type<…>`, and inherent `impl Type`.
+fn parse_impl_header(pf: &ParsedFile, i: usize) -> Option<(String, Option<String>, usize, u32)> {
+    let line = pf.line(i);
+    let mut j = i + 1;
+    // Skip generic params `<…>`.
+    if is_punct(&pf.tokens, j, "<") {
+        let mut depth = 1;
+        j += 1;
+        while j < pf.tokens.len() && depth > 0 {
+            if is_punct(&pf.tokens, j, "<") {
+                depth += 1;
+            } else if is_punct(&pf.tokens, j, ">") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+    }
+    // First path: trait (if followed by `for`) or the inherent type.
+    let (first_last_seg, after_first) = parse_path(pf, j)?;
+    let mut trait_name = None;
+    let mut type_name = first_last_seg;
+    let mut k = after_first;
+    if ident_at(&pf.tokens, k) == Some("for") {
+        trait_name = Some(type_name);
+        let (ty, after_ty) = parse_path(pf, k + 1)?;
+        type_name = ty;
+        k = after_ty;
+    }
+    // Find the body `{` (skipping where clauses).
+    while k < pf.tokens.len() {
+        if is_punct(&pf.tokens, k, "{") {
+            return Some((type_name, trait_name, k, line));
+        }
+        if is_punct(&pf.tokens, k, ";") {
+            return None;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Parses a (possibly `::`-qualified, possibly generic) path starting at `i`;
+/// returns (last segment before any generics, index after the path). Fails on
+/// non-path starts (`(`, `[`, `&` — tuple/slice/ref impls are not named types).
+fn parse_path(pf: &ParsedFile, mut i: usize) -> Option<(String, usize)> {
+    let mut last = ident_at(&pf.tokens, i)?.to_string();
+    i += 1;
+    loop {
+        if is_punct(&pf.tokens, i, "::") {
+            if let Some(seg) = ident_at(&pf.tokens, i + 1) {
+                last = seg.to_string();
+                i += 2;
+                continue;
+            }
+        }
+        if is_punct(&pf.tokens, i, "<") {
+            let mut depth = 1;
+            i += 1;
+            while i < pf.tokens.len() && depth > 0 {
+                if is_punct(&pf.tokens, i, "<") {
+                    depth += 1;
+                } else if is_punct(&pf.tokens, i, ">") {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        return Some((last, i));
+    }
+}
+
+/// Collects identifiers bound to std hash containers, split into struct fields
+/// (reached via `self.x`) and locals/params (reached bare).
+fn collect_hash_bindings(pf: &mut ParsedFile) {
+    // Struct-field spans, for classifying an annotation site.
+    let field_lines: BTreeSet<(String, u32)> = pf
+        .structs
+        .iter()
+        .flat_map(|s| s.fields.iter().cloned())
+        .collect();
+
+    let mut fields = BTreeSet::new();
+    let mut locals = BTreeSet::new();
+    for i in 0..pf.tokens.len() {
+        // Bindings inside #[cfg(test)] must not pollute library-code analysis:
+        // a test-only `let pairs = HashMap::new()` would otherwise flag every
+        // library local that happens to share the name.
+        if pf.mask[i] || !pf.is_std_hash_at(i) {
+            continue;
+        }
+        // Annotation form: `name : [&] [mut] [path ::]* HashMap`. Walk back over
+        // the path / reference tokens to the `:` and the bound name.
+        let mut j = i;
+        while j >= 2 && is_punct(&pf.tokens, j - 1, "::") && ident_at(&pf.tokens, j - 2).is_some() {
+            j -= 2;
+        }
+        while j >= 1
+            && (is_punct(&pf.tokens, j - 1, "&")
+                || ident_at(&pf.tokens, j - 1) == Some("mut")
+                || matches!(&pf.tokens[j - 1].tok, Tok::Ident(s) if s == "dyn"))
+        {
+            j -= 1;
+        }
+        if j >= 2 && is_punct(&pf.tokens, j - 1, ":") {
+            if let Some(name) = ident_at(&pf.tokens, j - 2) {
+                let line = pf.tokens[j - 2].line;
+                if field_lines.contains(&(name.to_string(), line)) {
+                    fields.insert(name.to_string());
+                } else {
+                    locals.insert(name.to_string());
+                }
+                continue;
+            }
+        }
+        // Initialiser form: `let [mut] name = [path::]HashMap :: new|with_capacity|…`
+        // or a `.collect::<HashMap<…>>()` turbofish inside a `let` statement:
+        // search back to the statement start for `let name`.
+        if let Some(name) = let_binding_before(pf, i) {
+            locals.insert(name);
+        }
+    }
+    pf.hash_fields = fields;
+    pf.hash_locals = locals;
+}
+
+/// If token `i` sits inside a `let` statement, the bound identifier.
+fn let_binding_before(pf: &ParsedFile, i: usize) -> Option<String> {
+    // Scan back to the statement boundary.
+    let mut j = i;
+    while j > 0 {
+        if is_punct(&pf.tokens, j - 1, ";")
+            || is_punct(&pf.tokens, j - 1, "{")
+            || is_punct(&pf.tokens, j - 1, "}")
+        {
+            break;
+        }
+        j -= 1;
+    }
+    if ident_at(&pf.tokens, j) == Some("let") {
+        let mut k = j + 1;
+        if ident_at(&pf.tokens, k) == Some("mut") {
+            k += 1;
+        }
+        return ident_at(&pf.tokens, k).map(str::to_string);
+    }
+    None
+}

@@ -1,0 +1,82 @@
+//! **ambient-nondeterminism**: wall-clock, OS entropy and environment reads.
+//!
+//! Re-execution equivalence (the house bit-identity contracts) dies the moment
+//! library code reads ambient state: `Instant::now` / `SystemTime` (wall
+//! clock), `thread_rng` / `from_entropy` (OS entropy), `std::env`
+//! (configuration picked up implicitly). All timing must route through the
+//! `xmap_engine::clock` Stopwatch facade (the one file allowed to touch
+//! `Instant`), RNG streams must derive from explicit `(seed, key)` pairs, and
+//! configuration must be threaded as parameters. Binaries, benches and test
+//! code are exempt (driver-side); a deliberate exception carries
+//! `// lint: ambient-nondeterminism`.
+
+use crate::lex::{ident_at, is_punct};
+use crate::lint::{Rule, Violation};
+use crate::parse::ParsedFile;
+
+pub(crate) fn check(pf: &ParsedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |line: u32, message: String| {
+        out.push(Violation {
+            file: pf.path.clone(),
+            line,
+            rule: Rule::Ambient,
+            message,
+        });
+    };
+    for i in 0..pf.tokens.len() {
+        if pf.mask[i] {
+            continue;
+        }
+        match ident_at(&pf.tokens, i) {
+            Some("Instant")
+                if is_punct(&pf.tokens, i + 1, "::")
+                    && ident_at(&pf.tokens, i + 2) == Some("now") =>
+            {
+                push(
+                    pf.tokens[i + 2].line,
+                    "ambient clock read `Instant::now()`; route timing through the \
+                     xmap_engine::clock Stopwatch facade or justify with \
+                     `// lint: ambient-nondeterminism`"
+                        .to_string(),
+                );
+            }
+            Some("SystemTime") => {
+                push(
+                    pf.tokens[i].line,
+                    "`SystemTime` is ambient wall-clock state; carry explicit timesteps \
+                     (or the clock facade) instead, or justify with \
+                     `// lint: ambient-nondeterminism`"
+                        .to_string(),
+                );
+            }
+            Some(rng @ ("thread_rng" | "from_entropy")) => {
+                push(
+                    pf.tokens[i].line,
+                    format!(
+                        "`{rng}` draws from ambient OS entropy; derive RNG streams from an \
+                         explicit (seed, key) instead, or justify with \
+                         `// lint: ambient-nondeterminism`"
+                    ),
+                );
+            }
+            Some("env") if is_punct(&pf.tokens, i + 1, "::") => {
+                let qualified = i >= 2
+                    && is_punct(&pf.tokens, i - 1, "::")
+                    && ident_at(&pf.tokens, i - 2) == Some("std");
+                let bare = pf.env_imported && (i == 0 || !is_punct(&pf.tokens, i - 1, "::"));
+                if qualified || bare {
+                    push(
+                        pf.tokens[i].line,
+                        "`std::env` read in library code pulls configuration from ambient \
+                         process state; thread it through explicit parameters or justify \
+                         with `// lint: ambient-nondeterminism`"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}

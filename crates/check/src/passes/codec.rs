@@ -1,0 +1,166 @@
+//! **codec-exhaustive**: persisted-format drift between a struct and its
+//! `Codec` impl.
+//!
+//! A struct that gains a field whose `Codec` impl forgets it corrupts every
+//! snapshot/journal round-trip *silently*: `enc` drops the data, `dec` fills
+//! it with whatever the constructor defaults. This cross-file pass joins every
+//! `impl … Codec for Type` block against the workspace's struct definitions
+//! and requires each named field to appear — as an identifier token — inside
+//! both the `enc` and the `dec` body. Enum impls and macro-generated newtype
+//! impls have no matching struct definition and are skipped; when several
+//! structs share a name, the best-matching candidate (fewest missing fields)
+//! is the one held against the impl, so an impl is only flagged when *no*
+//! same-named struct is fully covered.
+
+use std::collections::BTreeMap;
+
+use crate::lex::ident_at;
+use crate::lint::{Rule, Violation};
+use crate::parse::{ParsedFile, StructDef};
+
+/// One (type, field) of the workspace's persisted surface, with the line
+/// ranges of the `enc`/`dec` bodies covering it. Public so the mutation test
+/// can enumerate every codec field and knock each one out in turn.
+#[derive(Clone, Debug)]
+pub struct CodecField {
+    /// File holding the `Codec` impl.
+    pub file: String,
+    /// The implementing type.
+    pub type_name: String,
+    /// The field name.
+    pub field: String,
+    /// 1-based line range (inclusive) of the `enc` body.
+    pub enc_lines: (u32, u32),
+    /// 1-based line range (inclusive) of the `dec` body.
+    pub dec_lines: (u32, u32),
+}
+
+fn struct_index(files: &[ParsedFile]) -> BTreeMap<&str, Vec<&StructDef>> {
+    let mut idx: BTreeMap<&str, Vec<&StructDef>> = BTreeMap::new();
+    for pf in files {
+        for sd in &pf.structs {
+            idx.entry(sd.name.as_str()).or_default().push(sd);
+        }
+    }
+    idx
+}
+
+fn span_mentions(pf: &ParsedFile, span: (usize, usize), name: &str) -> bool {
+    (span.0..=span.1.min(pf.tokens.len().saturating_sub(1)))
+        .any(|i| ident_at(&pf.tokens, i) == Some(name))
+}
+
+/// The best-matching candidate's missing fields: `(missing_from_enc,
+/// missing_from_dec)`, empty when some candidate is fully covered.
+fn best_missing(
+    pf: &ParsedFile,
+    candidates: &[&StructDef],
+    enc: (usize, usize),
+    dec: (usize, usize),
+) -> (Vec<String>, Vec<String>) {
+    let mut best: Option<(Vec<String>, Vec<String>)> = None;
+    for sd in candidates {
+        let miss_enc: Vec<String> = sd
+            .fields
+            .iter()
+            .filter(|(f, _)| !span_mentions(pf, enc, f))
+            .map(|(f, _)| f.clone())
+            .collect();
+        let miss_dec: Vec<String> = sd
+            .fields
+            .iter()
+            .filter(|(f, _)| !span_mentions(pf, dec, f))
+            .map(|(f, _)| f.clone())
+            .collect();
+        let score = miss_enc.len() + miss_dec.len();
+        if best.as_ref().is_none_or(|(e, d)| score < e.len() + d.len()) {
+            best = Some((miss_enc, miss_dec));
+        }
+    }
+    best.unwrap_or_default()
+}
+
+pub(crate) fn check(files: &[ParsedFile]) -> Vec<Violation> {
+    let idx = struct_index(files);
+    let mut out = Vec::new();
+    for pf in files {
+        for ci in &pf.codec_impls {
+            let Some(candidates) = idx.get(ci.type_name.as_str()) else {
+                continue;
+            };
+            let (Some((enc_span, _)), Some((dec_span, _))) = (ci.enc, ci.dec) else {
+                continue;
+            };
+            let (miss_enc, miss_dec) = best_missing(pf, candidates, enc_span, dec_span);
+            if miss_enc.is_empty() && miss_dec.is_empty() {
+                continue;
+            }
+            let mut parts = Vec::new();
+            if !miss_enc.is_empty() {
+                parts.push(format!("`{}` missing from enc", miss_enc.join("`, `")));
+            }
+            if !miss_dec.is_empty() {
+                parts.push(format!("`{}` missing from dec", miss_dec.join("`, `")));
+            }
+            out.push(Violation {
+                file: pf.path.clone(),
+                line: ci.line,
+                rule: Rule::CodecExhaustive,
+                message: format!(
+                    "Codec impl for `{}` drifts from its struct: {} — snapshots/journals \
+                     would silently drop the field; persist it (or justify a derived/\
+                     rebuilt field with `// lint: codec-exhaustive`)",
+                    ci.type_name,
+                    parts.join("; ")
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Every (type, field) pair the codec-exhaustive pass holds an impl to, with
+/// `enc`/`dec` body line ranges — the mutation test's work list.
+pub(crate) fn surface(files: &[ParsedFile]) -> Vec<CodecField> {
+    let idx = struct_index(files);
+    let mut out = Vec::new();
+    for pf in files {
+        for ci in &pf.codec_impls {
+            let Some(candidates) = idx.get(ci.type_name.as_str()) else {
+                continue;
+            };
+            let (Some((enc_span, enc_lines)), Some((dec_span, dec_lines))) = (ci.enc, ci.dec)
+            else {
+                continue;
+            };
+            // The struct this impl is held against: fewest missing fields.
+            let mut best: Option<&StructDef> = None;
+            let mut best_score = usize::MAX;
+            for sd in candidates {
+                let score = sd
+                    .fields
+                    .iter()
+                    .filter(|(f, _)| {
+                        !span_mentions(pf, enc_span, f) || !span_mentions(pf, dec_span, f)
+                    })
+                    .count();
+                if score < best_score {
+                    best_score = score;
+                    best = Some(sd);
+                }
+            }
+            if let Some(sd) = best {
+                for (field, _) in &sd.fields {
+                    out.push(CodecField {
+                        file: pf.path.clone(),
+                        type_name: ci.type_name.clone(),
+                        field: field.clone(),
+                        enc_lines,
+                        dec_lines,
+                    });
+                }
+            }
+        }
+    }
+    out
+}

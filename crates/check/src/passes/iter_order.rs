@@ -1,0 +1,265 @@
+//! **iter-order**: iteration over `std` hash containers in library code.
+//!
+//! `HashMap`/`HashSet` iteration order is unspecified and varies run to run
+//! once the hasher is keyed (and across insertion histories even unkeyed), so
+//! any hash-container iteration whose order can reach an output is a
+//! bit-identity hazard. The pass flags iteration evidence — a `for` loop over a
+//! hash-bound binding, or a `.iter()`/`.keys()`/`.values()`/`.drain()`-family
+//! call on one — unless the statement provably discards order:
+//!
+//! * the chain ends in an order-insensitive aggregation (`count`, `len`,
+//!   `is_empty`, `any`, `all`, `contains`, `contains_key`) or a `sort*` call;
+//! * the chain collects into a deterministic-content container (`BTreeMap`,
+//!   `BTreeSet`, `HashMap`, `HashSet`) via turbofish or `let` annotation;
+//! * the collected binding is sorted by the *next* statement
+//!   (`let mut v: Vec<_> = m.keys().collect(); v.sort_unstable();`).
+//!
+//! Anything else needs a rewrite (BTree container, collect-then-sort) or an
+//! in-line `// lint: iter-order` justification.
+
+use std::collections::BTreeSet;
+
+use super::{stmt_end, stmt_start};
+use crate::lex::{ident_at, is_punct};
+use crate::lint::{Rule, Violation};
+use crate::parse::ParsedFile;
+
+/// Methods that iterate a hash container.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Chain-level terminal methods whose result is order-insensitive.
+const SINKS: &[&str] = &[
+    "count",
+    "len",
+    "is_empty",
+    "any",
+    "all",
+    "contains",
+    "contains_key",
+];
+
+/// Collect targets with deterministic content regardless of feed order.
+const DET_TARGETS: &[&str] = &["BTreeMap", "BTreeSet", "HashMap", "HashSet"];
+
+pub(crate) fn check(pf: &ParsedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    for i in 0..pf.tokens.len() {
+        if pf.mask[i] {
+            continue;
+        }
+        let Some(name) = ident_at(&pf.tokens, i) else {
+            continue;
+        };
+        // A field occurrence reaches the container through `<recv>.name`; a
+        // bare occurrence must be a known hash local/param.
+        let hashy = if i > 0 && is_punct(&pf.tokens, i - 1, ".") {
+            pf.hash_fields.contains(name)
+        } else {
+            pf.hash_locals.contains(name)
+        };
+        if !hashy {
+            continue;
+        }
+        // Skip the binding/annotation site itself (`name: HashMap<…>`).
+        if is_punct(&pf.tokens, i + 1, ":") {
+            continue;
+        }
+        let start = stmt_start(pf, i);
+
+        // A `for` loop consuming the container directly: the body sees the
+        // nondeterministic order, no sink can launder it.
+        if ident_at(&pf.tokens, start) == Some("for")
+            && (start..i).any(|j| ident_at(&pf.tokens, j) == Some("in"))
+        {
+            push(&mut out, &mut seen, pf, i, name, true);
+            continue;
+        }
+
+        // Method-chain iteration evidence, then look for a deterministic sink.
+        let Some(m_idx) = chain_iter_method(pf, i) else {
+            continue;
+        };
+        if deterministic_sink(pf, start, m_idx) {
+            continue;
+        }
+        push(&mut out, &mut seen, pf, i, name, false);
+    }
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    seen: &mut BTreeSet<(u32, String)>,
+    pf: &ParsedFile,
+    i: usize,
+    name: &str,
+    for_loop: bool,
+) {
+    let line = pf.tokens[i].line;
+    if !seen.insert((line, name.to_string())) {
+        return;
+    }
+    let message = if for_loop {
+        format!(
+            "for-loop over std hash container `{name}` visits entries in nondeterministic \
+             order; iterate a sorted snapshot (BTree container or collect-then-sort) or \
+             justify with `// lint: iter-order`"
+        )
+    } else {
+        format!(
+            "iteration over std hash container `{name}` can leak nondeterministic order into \
+             results; sort, collect through a deterministic container, aggregate \
+             order-insensitively, or justify with `// lint: iter-order`"
+        )
+    };
+    out.push(Violation {
+        file: pf.path.clone(),
+        line,
+        rule: Rule::IterOrder,
+        message,
+    });
+}
+
+/// If the occurrence at `i` heads a method chain that iterates the container,
+/// the token index of the iterating method's name. The chain may pass through
+/// `.clone()` (`m.clone().into_iter()`); any other intervening method (point
+/// lookups, `entry`, `insert`, …) is not iteration.
+fn chain_iter_method(pf: &ParsedFile, i: usize) -> Option<usize> {
+    let mut cur = i;
+    loop {
+        if !is_punct(&pf.tokens, cur + 1, ".") {
+            return None;
+        }
+        let m = ident_at(&pf.tokens, cur + 2)?;
+        if !is_punct(&pf.tokens, cur + 3, "(") {
+            return None;
+        }
+        if ITER_METHODS.contains(&m) {
+            return Some(cur + 2);
+        }
+        if m != "clone" {
+            return None;
+        }
+        cur = match_paren(pf, cur + 3)?;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(pf: &ParsedFile, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in open..pf.tokens.len() {
+        if is_punct(&pf.tokens, j, "(") {
+            depth += 1;
+        } else if is_punct(&pf.tokens, j, ")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Whether the statement discards iteration order: a chain-level sink, a
+/// deterministic collect target, or the let-then-sort idiom.
+fn deterministic_sink(pf: &ParsedFile, start: usize, m_idx: usize) -> bool {
+    let end = stmt_end(pf, m_idx);
+    let mut depth = 0i32;
+    let mut j = m_idx;
+    while j < end {
+        if is_punct(&pf.tokens, j, "(") || is_punct(&pf.tokens, j, "[") {
+            depth += 1;
+        } else if is_punct(&pf.tokens, j, ")") || is_punct(&pf.tokens, j, "]") {
+            depth -= 1;
+        } else if is_punct(&pf.tokens, j, "{") {
+            // Closure / match bodies are not chain level; jump them.
+            let c = pf.brace_match[j];
+            if c == usize::MAX {
+                break;
+            }
+            j = c;
+        } else if depth == 0 && j > 0 && is_punct(&pf.tokens, j - 1, ".") {
+            if let Some(m) = ident_at(&pf.tokens, j) {
+                if SINKS.contains(&m) || m.starts_with("sort") {
+                    return true;
+                }
+                if m == "collect" && collect_is_deterministic(pf, start, j) {
+                    return true;
+                }
+            }
+        }
+        j += 1;
+    }
+    let_then_sort(pf, start, end)
+}
+
+/// Whether the `collect` at `j` targets a deterministic-content container, via
+/// turbofish (`collect::<BTreeMap<_, _>>()`) or the `let` annotation of the
+/// statement starting at `start`.
+fn collect_is_deterministic(pf: &ParsedFile, start: usize, j: usize) -> bool {
+    if is_punct(&pf.tokens, j + 1, "::") && is_punct(&pf.tokens, j + 2, "<") {
+        let mut angle = 1i32;
+        let mut k = j + 3;
+        while k < pf.tokens.len() && angle > 0 {
+            if is_punct(&pf.tokens, k, "<") {
+                angle += 1;
+            } else if is_punct(&pf.tokens, k, ">") {
+                angle -= 1;
+            } else if let Some(t) = ident_at(&pf.tokens, k) {
+                if DET_TARGETS.contains(&t) {
+                    return true;
+                }
+            }
+            k += 1;
+        }
+        return false;
+    }
+    // `let name: TYPE = … .collect();`
+    if ident_at(&pf.tokens, start) == Some("let") {
+        let mut k = start + 1;
+        if ident_at(&pf.tokens, k) == Some("mut") {
+            k += 1;
+        }
+        if ident_at(&pf.tokens, k).is_some() && is_punct(&pf.tokens, k + 1, ":") {
+            let mut a = k + 2;
+            while a < pf.tokens.len() && !is_punct(&pf.tokens, a, "=") {
+                if let Some(t) = ident_at(&pf.tokens, a) {
+                    if DET_TARGETS.contains(&t) {
+                        return true;
+                    }
+                }
+                a += 1;
+            }
+        }
+    }
+    false
+}
+
+/// The collect-then-sort idiom: a `let`-bound collection sorted by the very
+/// next statement (`let mut keys: Vec<_> = m.keys().collect(); keys.sort…;`).
+fn let_then_sort(pf: &ParsedFile, start: usize, end: usize) -> bool {
+    if ident_at(&pf.tokens, start) != Some("let") || !is_punct(&pf.tokens, end, ";") {
+        return false;
+    }
+    let mut k = start + 1;
+    if ident_at(&pf.tokens, k) == Some("mut") {
+        k += 1;
+    }
+    let Some(bound) = ident_at(&pf.tokens, k) else {
+        return false;
+    };
+    ident_at(&pf.tokens, end + 1) == Some(bound)
+        && is_punct(&pf.tokens, end + 2, ".")
+        && ident_at(&pf.tokens, end + 3).is_some_and(|m| m.starts_with("sort"))
+}

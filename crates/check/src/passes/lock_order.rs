@@ -1,0 +1,275 @@
+//! **lock-order**: cycles in the workspace's Mutex-acquisition graph.
+//!
+//! Deadlock needs two locks taken in opposite orders on two threads. The pass
+//! collects *nested-lock evidence* — a `.lock()` call made while another lock
+//! guard is still live in the same function body — into a directed
+//! acquisition graph, then fails on cycles. Lock identity is structural:
+//! `Type::field` for `self.field.lock()` (and for `x.field.lock()` when
+//! exactly one workspace struct owns a field of that name), `file::name` for
+//! bare locals. Guard liveness is approximated lexically: a `let`-bound guard
+//! lives to the end of its enclosing block (or an explicit `drop(guard)`);
+//! a temporary guard lives to the end of its statement.
+//!
+//! A justified exception (`// lint: lock-order` on the acquisition that closes
+//! the cycle) must explain why the two orders can never interleave.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{enclosing_block_close, stmt_end, stmt_start};
+use crate::lex::{ident_at, is_punct};
+use crate::lint::{Rule, Violation};
+use crate::parse::{FnDef, ParsedFile};
+
+/// One `.lock()` acquisition with its structural identity and guard liveness.
+struct Acq {
+    id: String,
+    idx: usize,
+    live_end: usize,
+    line: u32,
+}
+
+/// Edge evidence: the file/line of the inner (second) acquisition.
+type Edges = BTreeMap<String, BTreeMap<String, (String, u32)>>;
+
+pub(crate) fn check(files: &[ParsedFile]) -> Vec<Violation> {
+    // field name -> owning struct names, workspace-wide, to qualify
+    // `x.field.lock()` receivers.
+    let mut field_owner: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for pf in files {
+        for sd in &pf.structs {
+            for (f, _) in &sd.fields {
+                field_owner
+                    .entry(f.as_str())
+                    .or_default()
+                    .insert(sd.name.as_str());
+            }
+        }
+    }
+
+    let mut edges: Edges = BTreeMap::new();
+    for pf in files {
+        for f in &pf.fns {
+            let acqs = collect_acqs(pf, f, &field_owner);
+            for a in &acqs {
+                for b in &acqs {
+                    if a.idx < b.idx && b.idx <= a.live_end && a.id != b.id {
+                        edges
+                            .entry(a.id.clone())
+                            .or_default()
+                            .entry(b.id.clone())
+                            .or_insert((pf.path.clone(), b.line));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for cycle in find_cycles(&edges) {
+        let key: BTreeSet<String> = cycle.iter().cloned().collect();
+        if !reported.insert(key) {
+            continue;
+        }
+        // Evidence: each edge around the cycle; anchor the finding on the edge
+        // that closes it (last -> first).
+        let mut hops = Vec::new();
+        for w in 0..cycle.len() {
+            let from = &cycle[w];
+            let to = &cycle[(w + 1) % cycle.len()];
+            if let Some((file, line)) = edges.get(from).and_then(|m| m.get(to)) {
+                hops.push(format!("{from} → {to} at {file}:{line}"));
+            }
+        }
+        let (anchor_file, anchor_line) = edges
+            .get(&cycle[cycle.len() - 1])
+            .and_then(|m| m.get(&cycle[0]))
+            .cloned()
+            .unwrap_or_else(|| (files[0].path.clone(), 1));
+        out.push(Violation {
+            file: anchor_file,
+            line: anchor_line,
+            rule: Rule::LockOrder,
+            message: format!(
+                "lock-order cycle in the Mutex-acquisition graph: {} — pick one global \
+                 order (or justify a never-interleaving pair with `// lint: lock-order`)",
+                hops.join("; ")
+            ),
+        });
+    }
+    out
+}
+
+/// Every `.lock()` call inside `f`'s body, with identity and liveness.
+fn collect_acqs(
+    pf: &ParsedFile,
+    f: &FnDef,
+    field_owner: &BTreeMap<&str, BTreeSet<&str>>,
+) -> Vec<Acq> {
+    let (open, close) = f.body;
+    let mut out = Vec::new();
+    for i in open..close {
+        if pf.mask[i] {
+            continue;
+        }
+        if ident_at(&pf.tokens, i) != Some("lock")
+            || i < 2
+            || !is_punct(&pf.tokens, i - 1, ".")
+            || !is_punct(&pf.tokens, i + 1, "(")
+        {
+            continue;
+        }
+        let Some((root, last)) = receiver(pf, i) else {
+            continue;
+        };
+        let stem = file_stem(&pf.path);
+        let id = if root == "self" && last != "self" {
+            match &f.impl_type {
+                Some(t) => format!("{t}::{last}"),
+                None => format!("{stem}::{last}"),
+            }
+        } else if last != root {
+            // `x.field.lock()` — qualify by the unique owning struct if any.
+            match field_owner.get(last.as_str()) {
+                Some(owners) if owners.len() == 1 => {
+                    format!("{}::{last}", owners.iter().next().map_or("?", |o| o))
+                }
+                _ => format!("{stem}::{last}"),
+            }
+        } else {
+            format!("{stem}::{last}")
+        };
+        out.push(Acq {
+            id,
+            idx: i,
+            live_end: liveness_end(pf, i),
+            line: pf.tokens[i].line,
+        });
+    }
+    out
+}
+
+/// The receiver chain of the `.lock()` at `i`: `(root identifier, last
+/// identifier)`. Walks back over `.`-chains, skipping index/call groups
+/// (`self.nodes[i].journal.lock()`, `self.node(i).journal.lock()`).
+fn receiver(pf: &ParsedFile, i: usize) -> Option<(String, String)> {
+    let last = ident_at(&pf.tokens, i - 2)?.to_string();
+    let mut k = i - 2;
+    loop {
+        if k >= 2 && is_punct(&pf.tokens, k - 1, ".") {
+            if ident_at(&pf.tokens, k - 2).is_some() {
+                k -= 2;
+                continue;
+            }
+            // `… ) . x` / `… ] . x`: skip back over the group to its opener.
+            let (close_p, open_p) = if is_punct(&pf.tokens, k - 2, ")") {
+                (")", "(")
+            } else if is_punct(&pf.tokens, k - 2, "]") {
+                ("]", "[")
+            } else {
+                break;
+            };
+            let mut depth = 0usize;
+            let mut j = k - 2;
+            loop {
+                if is_punct(&pf.tokens, j, close_p) {
+                    depth += 1;
+                } else if is_punct(&pf.tokens, j, open_p) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return Some((last.clone(), last));
+                }
+                j -= 1;
+            }
+            if j >= 1 && ident_at(&pf.tokens, j - 1).is_some() {
+                k = j - 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    let root = ident_at(&pf.tokens, k).unwrap_or(&last).to_string();
+    Some((root, last))
+}
+
+/// How long the guard produced by the `.lock()` at `i` stays live.
+fn liveness_end(pf: &ParsedFile, i: usize) -> usize {
+    let start = stmt_start(pf, i);
+    if ident_at(&pf.tokens, start) == Some("let") {
+        let mut k = start + 1;
+        if ident_at(&pf.tokens, k) == Some("mut") {
+            k += 1;
+        }
+        if let Some(name) = ident_at(&pf.tokens, k) {
+            if name != "_" {
+                let close = enclosing_block_close(pf, i);
+                // An explicit `drop(name)` releases early.
+                for j in i..close.min(pf.tokens.len()) {
+                    if ident_at(&pf.tokens, j) == Some("drop")
+                        && is_punct(&pf.tokens, j + 1, "(")
+                        && ident_at(&pf.tokens, j + 2) == Some(name)
+                        && is_punct(&pf.tokens, j + 3, ")")
+                    {
+                        return j;
+                    }
+                }
+                return close;
+            }
+        }
+    }
+    stmt_end(pf, i)
+}
+
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .strip_suffix(".rs")
+        .unwrap_or(path)
+}
+
+/// Every elementary cycle reachable in DFS order (one per back edge), as node
+/// sequences. Deterministic: adjacency is BTreeMap-ordered.
+fn find_cycles(edges: &Edges) -> Vec<Vec<String>> {
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+
+    fn dfs<'a>(
+        node: &'a str,
+        edges: &'a Edges,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        color.insert(node, 1);
+        stack.push(node);
+        if let Some(next) = edges.get(node) {
+            for to in next.keys() {
+                match color.get(to.as_str()).copied().unwrap_or(0) {
+                    0 => dfs(to, edges, color, stack, cycles),
+                    1 => {
+                        if let Some(pos) = stack.iter().position(|n| *n == to) {
+                            cycles.push(stack[pos..].iter().map(|s| s.to_string()).collect());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(node, 2);
+    }
+
+    for node in edges.keys() {
+        if color.get(node.as_str()).copied().unwrap_or(0) == 0 {
+            dfs(node, edges, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    cycles
+}

@@ -1,0 +1,75 @@
+//! The analyzer's rule-family passes.
+//!
+//! Each pass consumes [`crate::parse::ParsedFile`]s and emits *raw* findings —
+//! no escape-tag filtering here. The driver in [`crate::lint`] owns
+//! suppression (via [`crate::tags::TagIndex`]) so that stale tags can be
+//! detected across every pass uniformly.
+
+pub(crate) mod ambient;
+pub(crate) mod codec;
+pub(crate) mod iter_order;
+pub(crate) mod lock_order;
+
+use crate::lex::is_punct;
+use crate::parse::ParsedFile;
+
+/// Index of the first token of the statement containing token `i`: the token
+/// after the previous `;`, `{` or `}` (or 0).
+pub(crate) fn stmt_start(pf: &ParsedFile, i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        if is_punct(&pf.tokens, j - 1, ";")
+            || is_punct(&pf.tokens, j - 1, "{")
+            || is_punct(&pf.tokens, j - 1, "}")
+        {
+            break;
+        }
+        j -= 1;
+    }
+    j
+}
+
+/// Index of the token that ends the statement containing token `i`: the first
+/// `;` outside parens, a `)`/`]` closing an enclosing group (the expression is
+/// an argument), or a `}` closing the enclosing block (tail expression).
+/// Matched brace blocks *inside* the statement (closures, match/if bodies) are
+/// jumped over via the brace match.
+pub(crate) fn stmt_end(pf: &ParsedFile, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < pf.tokens.len() {
+        if is_punct(&pf.tokens, j, "(") || is_punct(&pf.tokens, j, "[") {
+            depth += 1;
+        } else if is_punct(&pf.tokens, j, ")") || is_punct(&pf.tokens, j, "]") {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if is_punct(&pf.tokens, j, "{") {
+            let c = pf.brace_match[j];
+            if c == usize::MAX {
+                return j;
+            }
+            j = c;
+        } else if is_punct(&pf.tokens, j, "}") || (is_punct(&pf.tokens, j, ";") && depth == 0) {
+            return j;
+        }
+        j += 1;
+    }
+    pf.tokens.len().saturating_sub(1)
+}
+
+/// Index of the `}` closing the innermost brace block containing token `i`
+/// (token-stream end when `i` is at the top level).
+pub(crate) fn enclosing_block_close(pf: &ParsedFile, i: usize) -> usize {
+    let mut close = pf.tokens.len();
+    for o in 0..pf.tokens.len() {
+        if is_punct(&pf.tokens, o, "{") {
+            let c = pf.brace_match[o];
+            if c != usize::MAX && o < i && i < c {
+                close = c; // opens are visited in order, so the last hit is innermost
+            }
+        }
+    }
+    close
+}

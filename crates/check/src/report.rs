@@ -1,0 +1,100 @@
+//! Machine-readable findings report for CI.
+//!
+//! The `lint-audit` CI job runs `cargo xmap-lint --json lint-findings.json`
+//! and uploads the report as an artifact, so a red job carries its evidence.
+//! JSON is rendered by hand — the vendored `serde` is an offline marker stub —
+//! and the shape is versioned so consumers can evolve:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "root": "/path/to/workspace",
+//!   "rules": [{"name": "iter-order", "escapable": true}, …],
+//!   "findings": [{"file": "…", "line": 7, "rule": "iter-order", "message": "…"}],
+//!   "warnings": [{"file": "…", "line": 3, "message": "stale lint tag …"}],
+//!   "summary": {"files": 57, "findings": 0, "warnings": 0, "clean": true}
+//! }
+//! ```
+
+use crate::lint::{Audit, Rule};
+
+/// Renders the versioned JSON findings report for one audit run.
+pub fn render_report(root: &str, audit: &Audit) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": 2,\n");
+    s.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
+
+    s.push_str("  \"rules\": [");
+    for (i, rule) in Rule::all().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"name\": \"{}\", \"escapable\": {}}}",
+            rule,
+            rule.escapable()
+        ));
+    }
+    s.push_str("],\n");
+
+    s.push_str("  \"findings\": [");
+    for (i, v) in audit.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&v.file),
+            v.line,
+            v.rule,
+            esc(&v.message)
+        ));
+    }
+    if !audit.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+
+    s.push_str("  \"warnings\": [");
+    for (i, w) in audit.warnings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(&w.file),
+            w.line,
+            esc(&w.message)
+        ));
+    }
+    if !audit.warnings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+
+    s.push_str(&format!(
+        "  \"summary\": {{\"files\": {}, \"findings\": {}, \"warnings\": {}, \"clean\": {}}}\n}}\n",
+        audit.files,
+        audit.findings.len(),
+        audit.warnings.len(),
+        audit.findings.is_empty()
+    ));
+    s
+}
+
+/// JSON string escaping: quotes, backslashes, control characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,141 @@
+//! Escape-tag bookkeeping: scope resolution, suppression, stale detection.
+//!
+//! Passes report findings unconditionally; the driver asks the [`TagIndex`]
+//! whether a justified `// lint: <tag>` covers each one. Tags that end a run
+//! without having suppressed anything are *stale* and surface as warnings —
+//! a justification that outlived its finding is noise at best and a sign the
+//! justified hazard moved at worst.
+
+use std::collections::BTreeMap;
+
+use crate::lex::is_punct;
+use crate::parse::ParsedFile;
+
+/// One tag site after scope resolution: covers `[line, end_line]`.
+#[derive(Clone, Debug)]
+struct ResolvedTag {
+    tag: String,
+    line: u32,
+    end_line: u32,
+    block: bool,
+    used: bool,
+}
+
+/// A non-fatal analyzer warning (stale or unknown escape tags).
+#[derive(Clone, Debug)]
+pub struct Warning {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the tag comment.
+    pub line: u32,
+    /// What is wrong with the tag.
+    pub message: String,
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: warning: {}", self.file, self.line, self.message)
+    }
+}
+
+/// All escape tags of an audit run, with usage tracking.
+pub(crate) struct TagIndex {
+    /// Per-file resolved tag sites, ordered by line.
+    per_file: BTreeMap<String, Vec<ResolvedTag>>,
+}
+
+impl TagIndex {
+    /// Resolves every tag site in `files` to its covered line range.
+    ///
+    /// * line tags cover their own line and the next (trailing or above);
+    /// * `(block)` tags cover from the tag line through the matching `}` of the
+    ///   first `{` at or below the tag — the item they annotate.
+    pub(crate) fn new(files: &[ParsedFile]) -> TagIndex {
+        let mut per_file = BTreeMap::new();
+        for pf in files {
+            let mut resolved = Vec::new();
+            for site in &pf.tags {
+                let end_line = if site.block {
+                    block_end_line(pf, site.line)
+                } else {
+                    site.line + 1
+                };
+                resolved.push(ResolvedTag {
+                    tag: site.tag.clone(),
+                    line: site.line,
+                    end_line,
+                    block: site.block,
+                    used: false,
+                });
+            }
+            per_file.insert(pf.path.clone(), resolved);
+        }
+        TagIndex { per_file }
+    }
+
+    /// Whether a tag named `tag` covers `line` in `file`; marks every covering
+    /// site used. Block tags covering a wide range win ties with line tags —
+    /// both are marked, so neither reads as stale.
+    pub(crate) fn covers(&mut self, file: &str, line: u32, tag: &str) -> bool {
+        let Some(sites) = self.per_file.get_mut(file) else {
+            return false;
+        };
+        let mut hit = false;
+        for site in sites.iter_mut() {
+            if site.tag == tag && site.line <= line && line <= site.end_line {
+                site.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Warnings for every tag that suppressed nothing, plus tags naming no
+    /// known rule. `known` is the set of valid tag names.
+    pub(crate) fn stale(&self, known: &[&str]) -> Vec<Warning> {
+        let mut out = Vec::new();
+        for (file, sites) in &self.per_file {
+            for site in sites {
+                if !known.contains(&site.tag.as_str()) {
+                    out.push(Warning {
+                        file: file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "unknown lint tag `{}`; valid tags: {}",
+                            site.tag,
+                            known.join(", ")
+                        ),
+                    });
+                } else if !site.used {
+                    let scope = if site.block { " (block)" } else { "" };
+                    out.push(Warning {
+                        file: file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "stale lint tag `{}`{scope}: it no longer matches any finding — \
+                             remove it or re-justify",
+                            site.tag
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Last line covered by a `(block)` tag at `tag_line`: the closing brace of the
+/// first `{` at or below the tag. Tags on items without braces cover two lines,
+/// like a line tag.
+fn block_end_line(pf: &ParsedFile, tag_line: u32) -> u32 {
+    for i in 0..pf.tokens.len() {
+        if pf.tokens[i].line >= tag_line && is_punct(&pf.tokens, i, "{") {
+            let close = pf.brace_match[i];
+            if close != usize::MAX {
+                return pf.tokens[close].line;
+            }
+            break;
+        }
+    }
+    tag_line + 1
+}

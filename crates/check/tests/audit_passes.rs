@@ -1,0 +1,553 @@
+//! Planted-violation fixtures for the four v2 audit passes, escape-tag scope
+//! tests, the codec mutation gate, and a lexer line-number property test.
+//!
+//! The analyzer is itself a determinism gate, so it gets the same treatment as
+//! the concurrency model checker: every rule must demonstrably see the bug it
+//! was built for (planted fixtures), and the codec-exhaustive rule is mutation
+//! tested against the *real* workspace codecs — delete any field mention from
+//! any `enc`/`dec` body and the audit must fail.
+
+use std::path::Path;
+
+use xmap_check::lint::{audit_sources, codec_surface, workspace_sources, Audit, Config, Rule};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels below the workspace root")
+}
+
+fn srcs(files: &[(&str, &str)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect()
+}
+
+/// Audits fixture sources with an empty DESIGN (fixture paths are never on the
+/// documented surface, so the surface-doc rule stays quiet).
+fn audit(files: &[(&str, &str)]) -> Audit {
+    audit_sources(&srcs(files), "", &Config::default())
+}
+
+fn has_rule(audit: &Audit, rule: Rule) -> bool {
+    audit.findings.iter().any(|f| f.rule == rule)
+}
+
+// --- iter-order ---------------------------------------------------------------
+
+#[test]
+fn iter_order_rejects_hash_iteration_in_library_code() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::collections::HashMap;
+pub fn leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+    out
+}
+"#,
+    )]);
+    assert!(
+        has_rule(&audit, Rule::IterOrder),
+        "planted hash iteration was not flagged: {:?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn iter_order_accepts_the_collect_then_sort_idiom() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::collections::HashMap;
+pub fn sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+pub fn counted(m: &HashMap<u32, u32>) -> usize {
+    m.values().filter(|v| **v > 0).count()
+}
+"#,
+    )]);
+    assert!(
+        !has_rule(&audit, Rule::IterOrder),
+        "deterministic sinks were flagged: {:?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn iter_order_ignores_test_code_and_non_library_paths() {
+    let body = r#"
+use std::collections::HashMap;
+pub fn leak(m: &HashMap<u32, u32>) {
+    for k in m.keys() {
+        let _ = k;
+    }
+}
+"#;
+    for path in [
+        "crates/cf/benches/fixture.rs",
+        "crates/cf/tests/fixture.rs",
+        "crates/bench/src/bin/fixture.rs",
+    ] {
+        let audit = audit(&[(path, body)]);
+        assert!(
+            !has_rule(&audit, Rule::IterOrder),
+            "{path}: non-library code was flagged: {:?}",
+            audit.findings
+        );
+    }
+}
+
+// --- ambient-nondeterminism ----------------------------------------------------
+
+#[test]
+fn ambient_rejects_wall_clock_entropy_and_env_reads() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::time::Instant;
+pub fn timed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+pub fn seeded() -> u64 {
+    let mut rng = thread_rng();
+    rng.next()
+}
+pub fn configured() -> Option<String> {
+    std::env::var("XMAP_MODE").ok()
+}
+"#,
+    )]);
+    let n = audit
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::Ambient)
+        .count();
+    assert!(
+        n >= 3,
+        "expected clock + rng + env findings, got {n}: {:?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn ambient_allows_the_clock_facade_itself() {
+    let audit = audit(&[(
+        "crates/engine/src/clock.rs",
+        r#"
+use std::time::Instant;
+pub fn probe() -> Instant {
+    Instant::now()
+}
+"#,
+    )]);
+    assert!(
+        !has_rule(&audit, Rule::Ambient),
+        "the clock facade must be allowed to read Instant: {:?}",
+        audit.findings
+    );
+}
+
+// --- codec-exhaustive ----------------------------------------------------------
+
+const CODEC_STRUCT: &str = r#"
+pub struct Rec {
+    pub alpha: u32,
+    pub beta: f64,
+    pub gamma: usize,
+}
+"#;
+
+#[test]
+fn codec_exhaustive_rejects_a_field_missing_from_enc() {
+    let audit = audit(&[
+        ("crates/cf/src/fixture.rs", CODEC_STRUCT),
+        (
+            "crates/cf/src/fixture_codec.rs",
+            r#"
+use crate::fixture::Rec;
+impl xmap_store::Codec for Rec {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        self.alpha.enc(e);
+        e.put_f64(self.beta);
+    }
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> Result<Self, xmap_store::StoreError> {
+        Ok(Rec { alpha: u32::dec(d)?, beta: d.take_f64()?, gamma: d.take_usize()? })
+    }
+}
+"#,
+        ),
+    ]);
+    let finding = audit
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::CodecExhaustive)
+        .unwrap_or_else(|| panic!("dropped field was not flagged: {:?}", audit.findings));
+    assert!(
+        finding.message.contains("gamma") && finding.message.contains("enc"),
+        "finding should name the field and the side: {finding}"
+    );
+}
+
+#[test]
+fn codec_exhaustive_accepts_a_complete_impl() {
+    let audit = audit(&[
+        ("crates/cf/src/fixture.rs", CODEC_STRUCT),
+        (
+            "crates/cf/src/fixture_codec.rs",
+            r#"
+use crate::fixture::Rec;
+impl xmap_store::Codec for Rec {
+    fn enc(&self, e: &mut xmap_store::Encoder) {
+        self.alpha.enc(e);
+        e.put_f64(self.beta);
+        e.put_usize(self.gamma);
+    }
+    fn dec(d: &mut xmap_store::Decoder<'_>) -> Result<Self, xmap_store::StoreError> {
+        Ok(Rec { alpha: u32::dec(d)?, beta: d.take_f64()?, gamma: d.take_usize()? })
+    }
+}
+"#,
+        ),
+    ]);
+    assert!(
+        !has_rule(&audit, Rule::CodecExhaustive),
+        "complete codec was flagged: {:?}",
+        audit.findings
+    );
+}
+
+// --- lock-order ----------------------------------------------------------------
+
+#[test]
+fn lock_order_rejects_opposite_nested_acquisition() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+}
+"#,
+    )]);
+    assert!(
+        has_rule(&audit, Rule::LockOrder),
+        "opposite-order nested locking was not flagged: {:?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn lock_order_accepts_a_consistent_acquisition_order() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+    pub fn diff(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga - *gb
+    }
+}
+"#,
+    )]);
+    assert!(
+        !has_rule(&audit, Rule::LockOrder),
+        "consistent order was flagged: {:?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn lock_order_respects_early_drop() {
+    // `drop(ga)` ends the first guard before the second acquisition, so the
+    // opposite-order pair in `ba` never overlaps `ab`'s edge.
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::sync::Mutex;
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let x = *ga;
+        drop(ga);
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        x + *gb
+    }
+    pub fn ba(&self) -> u32 {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let y = *gb;
+        drop(gb);
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        y + *ga
+    }
+}
+"#,
+    )]);
+    assert!(
+        !has_rule(&audit, Rule::LockOrder),
+        "hand-over-hand locking was flagged: {:?}",
+        audit.findings
+    );
+}
+
+// --- escape-tag scopes ----------------------------------------------------------
+
+#[test]
+fn a_block_tag_suppresses_every_finding_in_its_item() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::collections::HashMap;
+// lint: iter-order (block) — fixture: both loops feed a commutative fold.
+pub fn fold(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    for v in m.values() {
+        acc = acc.wrapping_add(u64::from(*v));
+    }
+    for k in m.keys() {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(*k) & 1);
+    }
+    acc
+}
+"#,
+    )]);
+    assert!(
+        !has_rule(&audit, Rule::IterOrder),
+        "block tag did not cover the whole item: {:?}",
+        audit.findings
+    );
+    assert!(
+        audit.warnings.is_empty(),
+        "a used block tag must not warn: {:?}",
+        audit.warnings
+    );
+}
+
+#[test]
+fn a_line_tag_nested_inside_a_block_tag_leaves_neither_stale() {
+    // Both tags cover the first loop; `covers` marks every covering site used,
+    // so the redundant inner tag is not reported stale (the block tag is still
+    // load-bearing for the second loop).
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::collections::HashMap;
+// lint: iter-order (block) — fixture: commutative folds.
+pub fn fold(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    // lint: iter-order — fixture: wrapping add commutes.
+    for v in m.values() {
+        acc = acc.wrapping_add(u64::from(*v));
+    }
+    for k in m.keys() {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(*k) & 1);
+    }
+    acc
+}
+"#,
+    )]);
+    assert!(!has_rule(&audit, Rule::IterOrder), "{:?}", audit.findings);
+    assert!(
+        audit.warnings.is_empty(),
+        "nested tags must both count as used: {:?}",
+        audit.warnings
+    );
+}
+
+#[test]
+fn a_line_tag_does_not_reach_past_its_scope() {
+    // The line tag covers only the first loop; the second must still be flagged.
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+use std::collections::HashMap;
+pub fn fold(m: &HashMap<u32, u32>) -> u64 {
+    let mut acc = 0u64;
+    // lint: iter-order — fixture: wrapping add commutes.
+    for v in m.values() {
+        acc = acc.wrapping_add(u64::from(*v));
+    }
+    let mut order: Vec<u32> = Vec::new();
+    for k in m.keys() {
+        order.push(*k);
+    }
+    acc.wrapping_add(u64::from(order.first().copied().unwrap_or(0)))
+}
+"#,
+    )]);
+    let flagged: Vec<_> = audit
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::IterOrder)
+        .collect();
+    assert_eq!(
+        flagged.len(),
+        1,
+        "exactly the out-of-scope loop must be flagged: {:?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn stale_and_unknown_tags_surface_as_warnings() {
+    let audit = audit(&[(
+        "crates/cf/src/fixture.rs",
+        r#"
+// lint: iter-order — nothing here iterates anything.
+pub fn quiet() -> u32 {
+    // lint: determinsm — misspelled rule name.
+    7
+}
+"#,
+    )]);
+    assert!(audit.findings.is_empty(), "{:?}", audit.findings);
+    assert!(
+        audit.warnings.iter().any(|w| w.message.contains("stale")),
+        "unused tag must warn: {:?}",
+        audit.warnings
+    );
+    assert!(
+        audit.warnings.iter().any(|w| w.message.contains("unknown")),
+        "misspelled tag must warn: {:?}",
+        audit.warnings
+    );
+}
+
+// --- codec mutation gate ---------------------------------------------------------
+
+/// Replaces whole-word occurrences of `field` with a nonsense identifier on the
+/// 1-based lines `span` (inclusive) of `path` inside `sources`.
+fn mutate_field_mention(
+    sources: &[(String, String)],
+    path: &str,
+    span: (u32, u32),
+    field: &str,
+) -> Vec<(String, String)> {
+    let mut out = sources.to_vec();
+    let entry = out
+        .iter_mut()
+        .find(|(p, _)| p == path)
+        .unwrap_or_else(|| panic!("{path} missing from workspace sources"));
+    let mut mutated_any = false;
+    let mutated: Vec<String> = entry
+        .1
+        .lines()
+        .enumerate()
+        .map(|(ix, line)| {
+            let lineno = ix as u32 + 1;
+            if lineno < span.0 || lineno > span.1 {
+                return line.to_string();
+            }
+            let replaced = replace_word(line, field, "zz_mutated");
+            if replaced != line {
+                mutated_any = true;
+            }
+            replaced
+        })
+        .collect();
+    assert!(
+        mutated_any,
+        "field `{field}` had no mention on lines {span:?} of {path} — the \
+         surface map disagrees with the source"
+    );
+    entry.1 = mutated.join("\n");
+    out
+}
+
+/// Word-boundary string replacement (no regex offline).
+fn replace_word(line: &str, word: &str, with: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    let is_word = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    while i < line.len() {
+        if line[i..].starts_with(word) {
+            let before_ok = i == 0 || !is_word(bytes[i - 1]);
+            let after = i + word.len();
+            let after_ok = after >= line.len() || !is_word(bytes[after]);
+            if before_ok && after_ok {
+                out.push_str(with);
+                i = after;
+                continue;
+            }
+        }
+        let ch = line[i..].chars().next().expect("in-bounds char");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+#[test]
+fn every_workspace_codec_field_is_mutation_covered() {
+    // The real gate: for every (Codec impl, struct field) pair in the live
+    // workspace, deleting the field's mention from the `enc` body — and then,
+    // independently, from the `dec` body — must produce a codec-exhaustive
+    // finding. A codec rule that cannot see a dropped field does not count.
+    let root = workspace_root();
+    let sources = workspace_sources(root);
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md exists");
+    let config = Config::default();
+
+    let surface = codec_surface(&sources);
+    assert!(
+        surface.len() >= 10,
+        "the workspace should expose a meaningful codec surface, got {}",
+        surface.len()
+    );
+
+    for cf in &surface {
+        for (side, span) in [("enc", cf.enc_lines), ("dec", cf.dec_lines)] {
+            let mutated = mutate_field_mention(&sources, &cf.file, span, &cf.field);
+            let audit = audit_sources(&mutated, &design, &config);
+            let caught = audit.findings.iter().any(|f| {
+                f.rule == Rule::CodecExhaustive
+                    && f.file == cf.file
+                    && f.message.contains(&cf.field)
+                    && f.message.contains(side)
+            });
+            assert!(
+                caught,
+                "dropping `{}::{}` from `{side}` in {} went undetected",
+                cf.type_name, cf.field, cf.file
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property test: reported line numbers survive lexical noise.
+//!
+//! The audit's findings are only actionable if their line numbers are exact, so
+//! the lexer must keep counting correctly through the constructs most likely to
+//! derail a hand-rolled scanner: multi-line raw strings (containing quotes,
+//! braces and decoy `// lint:` tags), nested block comments (containing decoy
+//! violations), and `#[cfg(test)]` items (containing *masked* violations that
+//! must not leak into the findings). A random mixture of those precedes one
+//! planted violation; the audit must report exactly that violation on exactly
+//! the computed line, with zero escape-tag warnings — proving the decoy tag
+//! inside the raw string was never parsed as a tag.
+
+use proptest::{prop_assert, prop_assert_eq, proptest};
+use xmap_check::lint::{audit_sources, Config, Rule};
+
+/// One noise segment: its source text (newline-terminated) and line count.
+fn segment(pos: usize, kind: usize) -> (String, u32) {
+    match kind {
+        0 => (
+            format!(
+                "pub const RS{pos}: &str = r#\"quote \" closing brace }} // lint: panic\n\
+                 /* not a comment, still a raw string\n\
+                 last raw line\"#;\n"
+            ),
+            3,
+        ),
+        1 => (
+            "/* outer /* inner .unwrap() == 1.5\n\
+             still inside the nested comment\n\
+             */ outer tail .expect(\"decoy\") */\n"
+                .to_string(),
+            3,
+        ),
+        2 => (
+            format!(
+                "#[cfg(test)]\n\
+                 mod masked{pos} {{\n\
+                 \x20   pub fn g(x: Option<u32>) -> u32 {{ x.unwrap() }}\n\
+                 }}\n"
+            ),
+            4,
+        ),
+        _ => (format!("pub fn ok{pos}() {{}}\n"), 1),
+    }
+}
+
+proptest! {
+    #[test]
+    fn planted_violation_line_survives_lexical_noise(
+        kinds in proptest::collection::vec(0usize..4, 0..12),
+    ) {
+        let mut src = String::new();
+        let mut planted_line = 1u32;
+        for (pos, &kind) in kinds.iter().enumerate() {
+            let (text, lines) = segment(pos, kind);
+            src.push_str(&text);
+            planted_line += lines;
+        }
+        src.push_str("pub fn planted(x: Option<u32>) -> u32 { x.unwrap() }\n");
+
+        let sources = vec![("crates/cf/src/fixture.rs".to_string(), src)];
+        let audit = audit_sources(&sources, "", &Config::default());
+
+        let panics: Vec<_> = audit
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::Panic)
+            .collect();
+        prop_assert_eq!(
+            panics.len(),
+            1,
+            "exactly the planted unwrap must be reported (decoys masked): {:?}",
+            audit.findings
+        );
+        prop_assert_eq!(panics[0].line, planted_line, "line drifted: {:?}", panics[0]);
+        prop_assert!(
+            audit.warnings.is_empty(),
+            "the decoy tag inside the raw string leaked into tag parsing: {:?}",
+            audit.warnings
+        );
+    }
+}

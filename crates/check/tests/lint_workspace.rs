@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use xmap_check::lint::{lint_source, run_workspace, Config, Rule};
+use xmap_check::lint::{audit_workspace, lint_source, run_workspace, Config, Rule};
 
 fn workspace_root() -> &'static Path {
     // crates/check → workspace root.
@@ -24,6 +24,36 @@ fn the_workspace_lints_clean() {
         findings
             .iter()
             .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_workspace_audit_has_no_findings_and_no_warnings() {
+    // The full v2 audit — all nine rules plus escape-tag hygiene. Zero findings
+    // means every hazard is fixed or justified; zero warnings means every
+    // justification is still load-bearing and correctly spelled.
+    let audit = audit_workspace(workspace_root(), &Config::default());
+    assert!(
+        audit.findings.is_empty(),
+        "the audit found {} violation(s):\n{}",
+        audit.findings.len(),
+        audit
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        audit.warnings.is_empty(),
+        "the audit produced {} warning(s):\n{}",
+        audit.warnings.len(),
+        audit
+            .warnings
+            .iter()
+            .map(|w| w.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );

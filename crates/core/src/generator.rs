@@ -97,9 +97,12 @@ impl ReplacementTable {
         self.replacements.is_empty()
     }
 
-    /// Iterates `(source item, replacement)` pairs.
+    /// Iterates `(source item, replacement)` pairs in ascending source-item order.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, ItemId)> + '_ {
-        self.replacements.iter().map(|(a, b)| (*a, *b))
+        let mut pairs: Vec<(ItemId, ItemId)> =
+            self.replacements.iter().map(|(a, b)| (*a, *b)).collect();
+        pairs.sort_unstable();
+        pairs.into_iter()
     }
 
     /// Maps a user's source-domain profile into an AlterEgo in the target domain

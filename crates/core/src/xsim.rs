@@ -29,7 +29,7 @@
 //!   per-hop edge re-resolution.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use xmap_cf::{DomainId, ItemId};
 use xmap_engine::{StageContext, WorkerPool};
 use xmap_graph::{
@@ -470,7 +470,7 @@ impl XSimTable {
     ) -> Vec<XSimEntry> {
         // Direct heterogeneous edges keep their baseline similarity, with the edge's
         // normalised weighted significance as the certainty.
-        let mut direct: HashMap<ItemId, (f64, f64)> = HashMap::new();
+        let mut direct: BTreeMap<ItemId, (f64, f64)> = BTreeMap::new();
         for e in graph.neighbors(item).iter() {
             if graph.item_domain(e.to) != source_domain {
                 direct.insert(e.to, (e.stats.similarity, e.normalized_significance()));
@@ -479,7 +479,7 @@ impl XSimTable {
 
         // Meta-paths fill in the pairs that are not directly connected.
         let paths = enumerate_cross_domain_paths(graph, partition, item, source_domain, metapath);
-        let mut by_destination: HashMap<ItemId, Vec<&MetaPath>> = HashMap::new();
+        let mut by_destination: BTreeMap<ItemId, Vec<&MetaPath>> = BTreeMap::new();
         for p in &paths {
             by_destination.entry(p.destination()).or_default().push(p);
         }
@@ -544,12 +544,17 @@ impl XSimTable {
     /// Total number of heterogeneous `(source item, target item)` pairs with an X-Sim
     /// value — the "meta-path-based" bar of Figure 1(b).
     pub fn n_heterogeneous_pairs(&self) -> usize {
+        // lint: iter-order — integer sum over row lengths is order-insensitive.
         self.entries.values().map(|v| v.len()).sum()
     }
 
-    /// Iterates over all `(source item, candidates)` pairs.
+    /// Iterates over all `(source item, candidates)` pairs in ascending source-item
+    /// order, so downstream consumers see a deterministic sequence.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, &[XSimEntry])> + '_ {
-        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+        let mut keys: Vec<ItemId> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(move |k| (k, self.entries[&k].as_slice()))
     }
 }
 

@@ -1,0 +1,69 @@
+//! The workspace's single sanctioned ambient clock read.
+//!
+//! Bit-identity contracts (serve == serial reference, delta == refit, recovery
+//! == in-memory) require every computed value to be a function of explicit
+//! inputs, so the `ambient-nondeterminism` lint rule bans `Instant::now` in
+//! library code. Wall-clock *measurement* is still wanted — stage ledgers,
+//! latency records, throughput benches — and it is harmless exactly as long
+//! as durations only ever flow into reports, never into model state.
+//!
+//! [`Stopwatch`] is that funnel: the one place (`clock_allowlist` in the lint
+//! config) allowed to touch `std::time::Instant`. Everything else measures
+//! through it, which keeps the "timing never feeds data" discipline greppable
+//! and machine-checkable.
+
+use std::time::{Duration, Instant};
+
+/// A started wall-clock measurement. Durations read from it must only be
+/// recorded (ledgers, reports, latency histograms) — never branched on to
+/// produce model-visible values.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a measurement now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Wall-clock time since the last `lap` (or since start), restarting the
+    /// measurement — for timing consecutive phases with one watch.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now.duration_since(self.start);
+        self.start = now;
+        lap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let watch = Stopwatch::start();
+        let a = watch.elapsed();
+        let b = watch.elapsed();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lap_restarts_the_measurement() {
+        let mut watch = Stopwatch::start();
+        std::thread::sleep(Duration::from_micros(50));
+        let first = watch.lap();
+        let second = watch.elapsed();
+        assert!(first >= Duration::from_micros(50));
+        assert!(second <= first, "lap must restart the watch");
+    }
+}

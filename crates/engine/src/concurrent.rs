@@ -21,11 +21,12 @@
 //! [`CONCURRENT_READ_STAGE`] and [`CONCURRENT_INGEST_STAGE`] via
 //! [`Dataflow::record_external`], with the usual replace-latest semantics.
 
+use crate::clock::Stopwatch;
 use crate::dataflow::Dataflow;
 use crate::pool::SendPtr;
 use crate::sync::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Ledger/timer name for the reader side of a [`ConcurrentStage`] run.
 pub const CONCURRENT_READ_STAGE: &str = "concurrent-read";
@@ -163,7 +164,7 @@ impl ConcurrentStage {
         let mut costs: Vec<f64> = vec![0.0; n];
         let costs_ptr = SendPtr(costs.as_mut_ptr());
 
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let read_elapsed = Mutex::new(Duration::ZERO);
         let mut ingests = Vec::with_capacity(n_updates);
         let mut ingest_costs = Vec::with_capacity(n_updates);
@@ -180,7 +181,7 @@ impl ConcurrentStage {
                         if idx >= n {
                             break;
                         }
-                        let begin = Instant::now();
+                        let begin = Stopwatch::start();
                         let result = read(idx, &queries[idx]);
                         let latency = begin.elapsed();
                         // SAFETY: each index is claimed by exactly one reader
@@ -208,9 +209,9 @@ impl ConcurrentStage {
             }
 
             // The ingest worker: the calling thread, concurrent with the readers.
-            let ingest_start = Instant::now();
+            let ingest_start = Stopwatch::start();
             for update_ix in 0..n_updates {
-                let begin = Instant::now();
+                let begin = Stopwatch::start();
                 let applied = ingest(update_ix);
                 ingests.push(IngestRecord {
                     index: update_ix,

@@ -17,6 +17,9 @@
 //!   partitions, the unit of work distribution (Spark's `partitionBy`).
 //! * [`stage::StageTimer`] — named-stage wall-clock accounting so experiments can report
 //!   per-component times (baseliner / extender / generator / recommender, Figure 4).
+//! * [`clock::Stopwatch`] — the one sanctioned ambient clock read; all wall-clock
+//!   measurement funnels through it so the `ambient-nondeterminism` lint rule can ban
+//!   `Instant::now` everywhere else.
 //! * [`epoch::EpochHandle`] — an atomically swappable, epoch-counted snapshot handle:
 //!   writers build the next model version aside and publish it with one pointer swing;
 //!   readers take wait-free reference-counted snapshots and never observe a torn or
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod clock;
 pub mod cluster;
 pub mod concurrent;
 pub mod dataflow;
@@ -44,6 +48,7 @@ pub mod pool;
 pub mod stage;
 pub mod sync;
 
+pub use clock::Stopwatch;
 pub use cluster::{
     ClusterCostModel, ClusterSim, RoutedReport, RoutedTask, ShardedCluster, SpeedupPoint,
 };

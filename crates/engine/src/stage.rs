@@ -6,7 +6,9 @@
 //! realistic stage weights.
 
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::clock::Stopwatch;
 
 /// One recorded stage.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,9 +38,9 @@ impl StageTimer {
     /// stage indefinitely keeps one report per distinct stage name. Use
     /// [`StageTimer::record`] directly when append semantics are wanted.
     pub fn run_stage<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let result = f();
-        self.record_latest(name, start.elapsed());
+        self.record_latest(name, watch.elapsed());
         result
     }
 
